@@ -1,0 +1,111 @@
+//! Attack performance: report crafting per strategy, the exact evaluation
+//! pipeline, and the analytic-sampling pipeline at Gplus-like scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_graph::datasets::Dataset;
+use ldp_graph::Xoshiro256pp;
+use ldp_protocols::LfGdpr;
+use poison_core::{
+    craft_reports, run_lfgdpr_attack, run_sampled_degree_attack, AttackStrategy,
+    AttackerKnowledge, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
+};
+
+fn setup(nodes: usize) -> (ldp_graph::CsrGraph, LfGdpr, ThreatModel, AttackerKnowledge) {
+    let graph = Dataset::Facebook.generate_with_nodes(nodes, 21);
+    let protocol = LfGdpr::new(4.0).unwrap();
+    let mut rng = Xoshiro256pp::new(22);
+    let threat =
+        ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
+    let knowledge =
+        AttackerKnowledge::derive(&protocol, threat.population(), graph.average_degree());
+    (graph, protocol, threat, knowledge)
+}
+
+fn bench_crafting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("craft_reports");
+    let (_, protocol, threat, knowledge) = setup(2_000);
+    for strategy in AttackStrategy::ALL {
+        for metric in [TargetMetric::DegreeCentrality, TargetMetric::ClusteringCoefficient] {
+            let label = format!("{}_{:?}", strategy.name(), metric);
+            group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |bench, &s| {
+                let mut rng = Xoshiro256pp::new(23);
+                bench.iter(|| {
+                    black_box(craft_reports(
+                        s,
+                        metric,
+                        &protocol,
+                        &threat,
+                        &knowledge,
+                        MgaOptions::default(),
+                        &mut rng,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_pipeline_1000");
+    group.sample_size(10);
+    let (graph, protocol, threat, _) = setup(1_000);
+    for strategy in AttackStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("degree", strategy.name()),
+            &strategy,
+            |bench, &s| {
+                bench.iter(|| {
+                    black_box(run_lfgdpr_attack(
+                        &graph,
+                        &protocol,
+                        &threat,
+                        s,
+                        TargetMetric::DegreeCentrality,
+                        MgaOptions::default(),
+                        31,
+                    ))
+                })
+            },
+        );
+    }
+    group.bench_function("clustering_MGA", |bench| {
+        bench.iter(|| {
+            black_box(run_lfgdpr_attack(
+                &graph,
+                &protocol,
+                &threat,
+                AttackStrategy::Mga,
+                TargetMetric::ClusteringCoefficient,
+                MgaOptions::default(),
+                32,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sampled_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampled_pipeline");
+    group.sample_size(10);
+    let graph = Dataset::Gplus.generate_with_nodes(20_000, 24);
+    let protocol = LfGdpr::new(4.0).unwrap();
+    let mut rng = Xoshiro256pp::new(25);
+    let threat =
+        ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
+    group.bench_function("gplus_20000_MGA", |bench| {
+        bench.iter(|| {
+            black_box(run_sampled_degree_attack(
+                &graph,
+                &protocol,
+                &threat,
+                AttackStrategy::Mga,
+                33,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crafting, bench_exact_pipeline, bench_sampled_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Defense performance: Apriori mining over uploaded bit vectors and the
+//! two detectors applied to a poisoned population.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldp_graph::datasets::Dataset;
+use ldp_graph::{BitSet, Xoshiro256pp};
+use ldp_protocols::LfGdpr;
+use poison_core::{
+    craft_reports, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
+    TargetSelection, ThreatModel,
+};
+use poison_defense::apriori::apriori;
+use poison_defense::{DegreeConsistencyDefense, FrequentItemsetDefense, GraphDefense};
+
+fn poisoned_reports(
+    nodes: usize,
+) -> (Vec<ldp_protocols::UserReport>, LfGdpr) {
+    let graph = Dataset::Facebook.generate_with_nodes(nodes, 41);
+    let protocol = LfGdpr::new(4.0).unwrap();
+    let mut rng = Xoshiro256pp::new(42);
+    let threat =
+        ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
+    let knowledge =
+        AttackerKnowledge::derive(&protocol, threat.population(), graph.average_degree());
+    let extended = graph.with_isolated_nodes(threat.m_fake);
+    let base = Xoshiro256pp::new(43);
+    let mut reports = protocol.collect_honest(&extended, &base);
+    let mut attack_rng = Xoshiro256pp::new(44);
+    let crafted = craft_reports(
+        AttackStrategy::Mga,
+        TargetMetric::DegreeCentrality,
+        &protocol,
+        &threat,
+        &knowledge,
+        MgaOptions::default(),
+        &mut attack_rng,
+    );
+    for (offset, report) in crafted.into_iter().enumerate() {
+        reports[threat.n_genuine + offset] = report;
+    }
+    (reports, protocol)
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori");
+    group.sample_size(10);
+    let (reports, _) = poisoned_reports(1_000);
+    let transactions: Vec<BitSet> = reports.iter().map(|r| r.bits.clone()).collect();
+    group.bench_function("pairs_1050_transactions", |bench| {
+        bench.iter(|| black_box(apriori(&transactions, 60, 2)))
+    });
+    group.finish();
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(10);
+    let (reports, protocol) = poisoned_reports(1_000);
+    let detect1 = FrequentItemsetDefense::new(100);
+    group.bench_function("detect1_1050_users", |bench| {
+        bench.iter(|| {
+            let mut rng = Xoshiro256pp::new(45);
+            black_box(detect1.apply(&reports, &protocol, &mut rng))
+        })
+    });
+    let detect2 = DegreeConsistencyDefense::default();
+    group.bench_function("detect2_1050_users", |bench| {
+        bench.iter(|| {
+            let mut rng = Xoshiro256pp::new(46);
+            black_box(detect2.apply(&reports, &protocol, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apriori, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Protocol performance: LF-GDPR collection/aggregation/estimation and the
+//! LDPGen pipeline, at the population sizes the experiments use.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_graph::datasets::Dataset;
+use ldp_graph::Xoshiro256pp;
+use ldp_protocols::lfgdpr::{estimate_clustering_at, estimate_modularity};
+use ldp_protocols::{LdpGen, LfGdpr};
+
+fn bench_lfgdpr_collect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfgdpr_collect_honest");
+    group.sample_size(10);
+    for nodes in [1_000usize, 2_000] {
+        let graph = Dataset::Facebook.generate_with_nodes(nodes, 11);
+        let protocol = LfGdpr::new(4.0).unwrap();
+        let base = Xoshiro256pp::new(1);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |bench, _| {
+            bench.iter(|| black_box(protocol.collect_honest(&graph, &base)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lfgdpr_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfgdpr_aggregate");
+    group.sample_size(10);
+    let graph = Dataset::Facebook.generate_with_nodes(2_000, 12);
+    let protocol = LfGdpr::new(4.0).unwrap();
+    let base = Xoshiro256pp::new(2);
+    let reports = protocol.collect_honest(&graph, &base);
+    group.bench_function("2000_users", |bench| {
+        bench.iter(|| black_box(protocol.aggregate(&reports)))
+    });
+    group.finish();
+}
+
+fn bench_lfgdpr_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfgdpr_estimate");
+    group.sample_size(10);
+    let nodes = 2_000;
+    let graph = Dataset::Facebook.generate_with_nodes(nodes, 13);
+    let protocol = LfGdpr::new(4.0).unwrap();
+    let base = Xoshiro256pp::new(3);
+    let view = protocol.aggregate(&protocol.collect_honest(&graph, &base));
+    let targets: Vec<usize> = (0..100).map(|i| i * 17 % nodes).collect();
+    group.bench_function("clustering_at_100_targets", |bench| {
+        bench.iter(|| black_box(estimate_clustering_at(&view, &targets)))
+    });
+    let partition = Dataset::Facebook.ground_truth_partition(nodes);
+    group.bench_function("modularity", |bench| {
+        bench.iter(|| black_box(estimate_modularity(&view, &partition)))
+    });
+    group.finish();
+}
+
+fn bench_ldpgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ldpgen");
+    group.sample_size(10);
+    let graph = Dataset::Facebook.generate_with_nodes(1_000, 14);
+    let protocol = LdpGen::with_defaults(4.0).unwrap();
+    let base = Xoshiro256pp::new(4);
+    group.bench_function("end_to_end_1000", |bench| {
+        bench.iter(|| black_box(protocol.run(&graph, &base)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lfgdpr_collect,
+    bench_lfgdpr_aggregate,
+    bench_lfgdpr_estimators,
+    bench_ldpgen
+);
+criterion_main!(benches);

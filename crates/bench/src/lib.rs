@@ -1,0 +1,15 @@
+//! # poison-bench
+//!
+//! Criterion benchmark suites for the workspace. The crate itself exports
+//! nothing; see the `benches/` targets:
+//!
+//! * `substrate` — bitset kernels, CSR/bit-matrix triangle counting,
+//!   generators, randomized-response throughput;
+//! * `protocols` — LF-GDPR collection/aggregation/estimation, LDPGen
+//!   end-to-end;
+//! * `attacks` — report crafting and both evaluation pipelines;
+//! * `defenses` — Apriori mining and the two detectors;
+//! * `figures` — one bench per paper table/figure at smoke scale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

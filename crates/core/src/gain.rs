@@ -1,0 +1,76 @@
+//! The attack's figure of merit (paper Eq. 4–5):
+//! `Gain = Σ_{t ∈ T} |f̃_{t,after} − f̃_{t,before}|`.
+
+/// Per-target metric estimates before and after the attack, measured over
+/// the *same* genuine randomness (common random numbers), so the difference
+/// is attributable to the attack alone.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Estimated metric per target, honest world.
+    pub before: Vec<f64>,
+    /// Estimated metric per target, attacked world.
+    pub after: Vec<f64>,
+}
+
+impl AttackOutcome {
+    /// Creates an outcome.
+    ///
+    /// # Panics
+    /// Panics if the two vectors disagree in length.
+    pub fn new(before: Vec<f64>, after: Vec<f64>) -> Self {
+        assert_eq!(before.len(), after.len(), "before/after must cover the same targets");
+        AttackOutcome { before, after }
+    }
+
+    /// Per-target absolute gains `Δf̃_t` (Eq. 4).
+    pub fn per_target_gains(&self) -> Vec<f64> {
+        self.before.iter().zip(&self.after).map(|(b, a)| (a - b).abs()).collect()
+    }
+
+    /// Overall gain (Eq. 5).
+    pub fn gain(&self) -> f64 {
+        self.per_target_gains().iter().sum()
+    }
+
+    /// Signed overall change `Σ_t (f̃_{t,a} − f̃_{t,b})` — useful to check
+    /// an attack *raises* rather than merely moves the metric.
+    pub fn signed_gain(&self) -> f64 {
+        self.before.iter().zip(&self.after).map(|(b, a)| a - b).sum()
+    }
+
+    /// Number of targets.
+    pub fn num_targets(&self) -> usize {
+        self.before.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_is_sum_of_absolute_changes() {
+        let o = AttackOutcome::new(vec![0.1, 0.5], vec![0.3, 0.4]);
+        assert!((o.gain() - 0.3).abs() < 1e-12);
+        assert!((o.signed_gain() - 0.1).abs() < 1e-12);
+        assert_eq!(o.num_targets(), 2);
+    }
+
+    #[test]
+    fn per_target_gains_are_absolute() {
+        let o = AttackOutcome::new(vec![1.0], vec![0.2]);
+        assert!((o.per_target_gains()[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same targets")]
+    fn mismatched_lengths_panic() {
+        AttackOutcome::new(vec![0.0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_outcome_has_zero_gain() {
+        let o = AttackOutcome::new(vec![], vec![]);
+        assert_eq!(o.gain(), 0.0);
+    }
+}

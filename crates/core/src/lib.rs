@@ -1,0 +1,43 @@
+//! # poison-core
+//!
+//! The paper's contribution: data poisoning attacks on LDP protocols for
+//! graphs. An attacker controlling `m` fake users crafts their uploads to
+//! distort the server's estimates of degree centrality and clustering
+//! coefficient for `r` chosen target nodes.
+//!
+//! * [`threat`] — the threat model of §IV-A: fake-user and target-node
+//!   populations (fractions β and γ of the genuine users).
+//! * [`knowledge`] — what the attacker is assumed to know (§IV-A): the
+//!   budgets ε₁/ε₂, the population size, and the average perturbed degree
+//!   `d̃`, from which the per-fake-user connection budget `⌊d̃⌋` follows.
+//! * [`strategy`] — the three attacks of §IV-B: Random Value Attack (RVA),
+//!   Random Node Attack (RNA), and Maximal Gain Attack (MGA), crafting
+//!   LF-GDPR reports for both target metrics.
+//! * [`gain`] — the overall gain `Gain = Σ_t |f̃_{t,a} − f̃_{t,b}|`
+//!   (Eq. 4–5).
+//! * [`theory`] — closed-form expected MGA gains (Theorems 1 and 2).
+//! * [`pipeline`] — end-to-end evaluation with common random numbers:
+//!   honest run vs. attacked run over the same genuine randomness, exact
+//!   (materialized) and sampled (analytic) modes.
+//! * [`ldpgen_attack`] — the same three strategies adapted to LDPGen's
+//!   degree-vector reports (Figs. 14b/15b).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gain;
+pub mod knowledge;
+pub mod ldpgen_attack;
+pub mod pipeline;
+pub mod strategy;
+pub mod theory;
+pub mod threat;
+
+pub use gain::AttackOutcome;
+pub use knowledge::AttackerKnowledge;
+pub use pipeline::{
+    mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
+};
+pub use strategy::{craft_reports, AttackStrategy, MgaOptions, TargetMetric};
+pub use theory::{theorem1_degree_gain, theorem2_clustering_gain};
+pub use threat::{TargetSelection, ThreatModel};

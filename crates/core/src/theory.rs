@@ -1,0 +1,115 @@
+//! Closed-form expected MGA gains (paper Theorems 1 and 2).
+//!
+//! These are the analytic predictions the simulation results are checked
+//! against (`tests/theory_vs_simulation.rs`): not exact per-run values —
+//! the simulated gain is a random variable — but the means the paper proves
+//! MGA achieves.
+
+/// Theorem 1 — expected overall gain of MGA against degree centrality:
+///
+/// ```text
+/// Gain = m·r/(N−1) · ( min(r, ⌊d̃⌋)/r − d̃/(N−1) )
+/// ```
+///
+/// `m` fake users each add `min(r, ⌊d̃⌋)` crafted target edges; the
+/// subtracted term is the contribution the same users would have made by
+/// honest perturbation alone (the perturbed-graph edge probability).
+pub fn theorem1_degree_gain(m: usize, r: usize, population: usize, d_tilde: f64) -> f64 {
+    if population < 2 || r == 0 {
+        return 0.0;
+    }
+    let n1 = population as f64 - 1.0;
+    let covered = (r as f64).min(d_tilde.floor());
+    m as f64 * r as f64 / n1 * (covered / r as f64 - d_tilde / n1)
+}
+
+/// Theorem 2 — expected overall gain of MGA against the clustering
+/// coefficient:
+///
+/// ```text
+/// Gain = r · 2/(p²(2p−1)) · 1/(d̃(d̃−1))
+///          · ( m/2 · p′(1−p′)² + p′²(1−p′) + 3(1−p′)³ )
+/// ```
+///
+/// with `p′ = d̃/(N−1)` the probability of a perturbed-graph connection.
+/// The bracket counts the extra perturbed triangles MGA's crafted edges
+/// complete relative to the honest world, and the prefactor is the
+/// calibration `R(·)` and cc normalization shared by Eq. 22.
+pub fn theorem2_clustering_gain(
+    m: usize,
+    r: usize,
+    population: usize,
+    d_tilde: f64,
+    p_keep: f64,
+) -> f64 {
+    if population < 2 || r == 0 || d_tilde <= 1.0 {
+        return 0.0;
+    }
+    let p_prime = (d_tilde / (population as f64 - 1.0)).clamp(0.0, 1.0);
+    let q = 1.0 - p_prime;
+    let bracket = m as f64 / 2.0 * p_prime * q * q + p_prime * p_prime * q + 3.0 * q * q * q;
+    let calib = 2.0 / (p_keep * p_keep * (2.0 * p_keep - 1.0));
+    r as f64 * calib / (d_tilde * (d_tilde - 1.0)) * bracket
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_saturates_at_full_target_coverage() {
+        // Budget covers all targets: min(r, ⌊d̃⌋) = r.
+        let g = theorem1_degree_gain(50, 10, 1001, 100.0);
+        let expected = 50.0 * 10.0 / 1000.0 * (1.0 - 100.0 / 1000.0);
+        assert!((g - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem1_budget_limited_case() {
+        // ⌊d̃⌋ = 4 < r = 10.
+        let g = theorem1_degree_gain(50, 10, 1001, 4.5);
+        let expected = 50.0 * 10.0 / 1000.0 * (4.0 / 10.0 - 4.5 / 1000.0);
+        assert!((g - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem1_monotone_in_m_and_r() {
+        let base = theorem1_degree_gain(50, 10, 1001, 100.0);
+        assert!(theorem1_degree_gain(100, 10, 1001, 100.0) > base);
+        assert!(theorem1_degree_gain(50, 20, 1001, 100.0) > base);
+    }
+
+    #[test]
+    fn theorem1_degenerate_inputs() {
+        assert_eq!(theorem1_degree_gain(10, 0, 100, 5.0), 0.0);
+        assert_eq!(theorem1_degree_gain(10, 5, 1, 5.0), 0.0);
+    }
+
+    #[test]
+    fn theorem2_positive_in_normal_regimes() {
+        let g = theorem2_clustering_gain(50, 10, 1001, 80.0, 0.88);
+        assert!(g > 0.0);
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn theorem2_grows_with_m() {
+        let g1 = theorem2_clustering_gain(50, 10, 1001, 80.0, 0.88);
+        let g2 = theorem2_clustering_gain(200, 10, 1001, 80.0, 0.88);
+        assert!(g2 > g1);
+    }
+
+    #[test]
+    fn theorem2_degenerate_inputs() {
+        assert_eq!(theorem2_clustering_gain(10, 0, 100, 50.0, 0.9), 0.0);
+        assert_eq!(theorem2_clustering_gain(10, 5, 100, 1.0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn theorem2_scales_with_calibration_blowup() {
+        // Smaller p (more noise) → larger 1/(p²(2p−1)) prefactor.
+        let noisy = theorem2_clustering_gain(50, 10, 1001, 80.0, 0.6);
+        let clean = theorem2_clustering_gain(50, 10, 1001, 80.0, 0.95);
+        assert!(noisy > clean);
+    }
+}

@@ -1,0 +1,262 @@
+//! Apriori frequent-itemset mining (Agrawal & Srikant, VLDB'94) over
+//! bit-vector transactions.
+//!
+//! Transactions here are uploaded adjacency bit vectors: the items of
+//! transaction `i` are the node ids user `i` claims as neighbors. The
+//! downward-closure property ("every subset of a frequent itemset is
+//! frequent") drives candidate generation exactly as in the original
+//! algorithm. Pair support is counted on *column* bitsets (reports
+//! containing each item) so level 2 — the level the detector consumes —
+//! costs one popcount-AND per candidate pair instead of a pass over all
+//! transactions.
+
+use ldp_graph::BitSet;
+
+/// A frequent itemset: sorted item ids plus its support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items, sorted ascending.
+    pub items: Vec<u32>,
+    /// Number of transactions containing every item.
+    pub support: usize,
+}
+
+/// Mining output, grouped by itemset size (`levels[0]` = 1-itemsets, …).
+#[derive(Debug, Clone, Default)]
+pub struct AprioriResult {
+    /// Frequent itemsets per level.
+    pub levels: Vec<Vec<FrequentItemset>>,
+}
+
+impl AprioriResult {
+    /// All frequent pairs (level 2), the level the detector uses.
+    pub fn frequent_pairs(&self) -> &[FrequentItemset] {
+        self.levels.get(1).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total number of frequent itemsets across levels.
+    pub fn total(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+}
+
+/// Column view: for each item, the set of transactions containing it.
+fn build_columns(transactions: &[BitSet], num_items: usize) -> Vec<BitSet> {
+    let n = transactions.len();
+    let mut columns = vec![BitSet::new(n); num_items];
+    for (t, bits) in transactions.iter().enumerate() {
+        for item in bits.iter_ones() {
+            columns[item].set(t);
+        }
+    }
+    columns
+}
+
+/// Runs Apriori up to itemsets of size `max_level` with absolute support
+/// threshold `min_support`.
+///
+/// Levels 1–2 use column bitsets; deeper levels intersect the columns of
+/// candidate members, which stays cheap because downward closure keeps
+/// candidate counts small at realistic supports.
+pub fn apriori(transactions: &[BitSet], min_support: usize, max_level: usize) -> AprioriResult {
+    let mut result = AprioriResult::default();
+    if transactions.is_empty() || max_level == 0 {
+        return result;
+    }
+    let num_items = transactions[0].capacity();
+    let columns = build_columns(transactions, num_items);
+
+    // Level 1.
+    let mut level1 = Vec::new();
+    for (item, col) in columns.iter().enumerate() {
+        let support = col.count_ones();
+        if support >= min_support {
+            level1.push(FrequentItemset { items: vec![item as u32], support });
+        }
+    }
+    result.levels.push(level1);
+    if max_level == 1 {
+        return result;
+    }
+
+    // Level 2: candidate pairs of frequent items, counted by column AND.
+    let frequent_items: Vec<u32> =
+        result.levels[0].iter().map(|fi| fi.items[0]).collect();
+    let mut level2 = Vec::new();
+    for (a_idx, &a) in frequent_items.iter().enumerate() {
+        for &b in &frequent_items[a_idx + 1..] {
+            let support = columns[a as usize].intersection_count(&columns[b as usize]);
+            if support >= min_support {
+                level2.push(FrequentItemset { items: vec![a, b], support });
+            }
+        }
+    }
+    result.levels.push(level2);
+
+    // Levels ≥ 3: classic join + prune on the previous level, support by
+    // intersecting member columns.
+    for level in 3..=max_level {
+        let prev = &result.levels[level - 2];
+        if prev.len() < 2 {
+            break;
+        }
+        let prev_set: std::collections::HashSet<&[u32]> =
+            prev.iter().map(|fi| fi.items.as_slice()).collect();
+        let mut next = Vec::new();
+        for (i, x) in prev.iter().enumerate() {
+            for y in &prev[i + 1..] {
+                // Join step: both share the first k−2 items.
+                let k = x.items.len();
+                if x.items[..k - 1] != y.items[..k - 1] {
+                    continue;
+                }
+                let mut candidate = x.items.clone();
+                candidate.push(y.items[k - 1]);
+                candidate.sort_unstable();
+                // Prune step: every (k)-subset must be frequent.
+                let mut all_frequent = true;
+                let mut subset = Vec::with_capacity(k);
+                for skip in 0..candidate.len() {
+                    subset.clear();
+                    subset.extend(
+                        candidate.iter().enumerate().filter(|&(j, _)| j != skip).map(|(_, &v)| v),
+                    );
+                    if !prev_set.contains(subset.as_slice()) {
+                        all_frequent = false;
+                        break;
+                    }
+                }
+                if !all_frequent {
+                    continue;
+                }
+                // Count support by column intersection.
+                let mut acc = columns[candidate[0] as usize].clone();
+                for &item in &candidate[1..] {
+                    acc.intersect_with(&columns[item as usize]);
+                }
+                let support = acc.count_ones();
+                if support >= min_support {
+                    next.push(FrequentItemset { items: candidate, support });
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        next.sort_by(|a, b| a.items.cmp(&b.items));
+        next.dedup_by(|a, b| a.items == b.items);
+        result.levels.push(next);
+    }
+    result
+}
+
+/// Counts how many of `pairs` are fully contained in `bits` — the score
+/// Detect1 thresholds per report.
+pub fn contained_pairs(bits: &BitSet, pairs: &[FrequentItemset]) -> usize {
+    pairs
+        .iter()
+        .filter(|fi| fi.items.iter().all(|&item| bits.get(item as usize)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(num_items: usize, items: &[usize]) -> BitSet {
+        BitSet::from_indices(num_items, items.iter().copied())
+    }
+
+    /// Brute-force support of an itemset.
+    fn brute_support(transactions: &[BitSet], items: &[u32]) -> usize {
+        transactions
+            .iter()
+            .filter(|t| items.iter().all(|&i| t.get(i as usize)))
+            .count()
+    }
+
+    fn market_basket() -> Vec<BitSet> {
+        // Classic toy dataset with items 0..5.
+        vec![
+            tx(5, &[0, 1, 2]),
+            tx(5, &[0, 1]),
+            tx(5, &[0, 2]),
+            tx(5, &[1, 2]),
+            tx(5, &[0, 1, 2, 3]),
+            tx(5, &[4]),
+        ]
+    }
+
+    #[test]
+    fn level1_supports_match_brute_force() {
+        let txs = market_basket();
+        let result = apriori(&txs, 2, 1);
+        for fi in &result.levels[0] {
+            assert_eq!(fi.support, brute_support(&txs, &fi.items));
+        }
+        // Item 3 (support 1) and 4 (support 1) must be absent.
+        assert!(result.levels[0].iter().all(|fi| fi.items[0] < 3));
+    }
+
+    #[test]
+    fn level2_matches_brute_force() {
+        let txs = market_basket();
+        let result = apriori(&txs, 2, 2);
+        let pairs = result.frequent_pairs();
+        // Frequent pairs with support >= 2: (0,1)=3, (0,2)=3, (1,2)=3.
+        assert_eq!(pairs.len(), 3);
+        for fi in pairs {
+            assert_eq!(fi.support, brute_support(&txs, &fi.items));
+            assert!(fi.support >= 2);
+        }
+    }
+
+    #[test]
+    fn level3_triple_found() {
+        let txs = market_basket();
+        let result = apriori(&txs, 2, 3);
+        assert_eq!(result.levels.len(), 3);
+        let triples = &result.levels[2];
+        assert_eq!(triples.len(), 1);
+        assert_eq!(triples[0].items, vec![0, 1, 2]);
+        assert_eq!(triples[0].support, 2);
+    }
+
+    #[test]
+    fn downward_closure_prunes() {
+        // (0,1) frequent, (2) infrequent → no candidate with 2 at level 2+.
+        let txs = vec![tx(3, &[0, 1]), tx(3, &[0, 1]), tx(3, &[2])];
+        let result = apriori(&txs, 2, 3);
+        assert!(result
+            .frequent_pairs()
+            .iter()
+            .all(|fi| !fi.items.contains(&2)));
+    }
+
+    #[test]
+    fn empty_and_zero_level_inputs() {
+        assert_eq!(apriori(&[], 1, 2).total(), 0);
+        let txs = market_basket();
+        assert_eq!(apriori(&txs, 1, 0).total(), 0);
+    }
+
+    #[test]
+    fn contained_pairs_counts_correctly() {
+        let txs = market_basket();
+        let result = apriori(&txs, 2, 2);
+        let pairs = result.frequent_pairs();
+        // Transaction {0,1,2} contains all three frequent pairs.
+        assert_eq!(contained_pairs(&tx(5, &[0, 1, 2]), pairs), 3);
+        // Transaction {0,1} contains exactly one.
+        assert_eq!(contained_pairs(&tx(5, &[0, 1]), pairs), 1);
+        // Transaction {4} contains none.
+        assert_eq!(contained_pairs(&tx(5, &[4]), pairs), 0);
+    }
+
+    #[test]
+    fn high_min_support_yields_nothing() {
+        let txs = market_basket();
+        let result = apriori(&txs, 100, 3);
+        assert_eq!(result.total(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # poison-defense
+//!
+//! The two countermeasures of paper §VII against graph-LDP poisoning,
+//! their naive baselines, and the defended evaluation pipeline:
+//!
+//! * [`apriori`] — a from-scratch Apriori frequent-itemset miner over
+//!   adjacency bit vectors (transactions = reported one-sets).
+//! * [`detect1`] — frequent-itemset-based detection (§VII-A): fake nodes
+//!   reveal themselves by sharing crafted connection patterns; flagged
+//!   nodes have their connections *reconstructed* from the genuine side's
+//!   reports rather than removed.
+//! * [`detect2`] — degree-consistency detection (§VII-B): the reported
+//!   (Laplace) degree of a genuine node stays within Laplace noise of the
+//!   degree implied by its perturbed bit vector; RVA's random degree value
+//!   does not. Flagged nodes have their claimed connections removed.
+//! * [`naive`] — the paper's comparison baselines: Naive1 flags the top 3%
+//!   highest-degree nodes; Naive2 flags the top and bottom 3% of the
+//!   reported-degree distribution.
+//! * [`pipeline`] — `run_defended_attack`: honest clean baseline vs.
+//!   attacked-then-defended estimates, the quantity Figs. 12–13 plot.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apriori;
+pub mod combined;
+pub mod detect1;
+pub mod detect2;
+pub mod naive;
+pub mod pipeline;
+
+pub use combined::CombinedDefense;
+pub use detect1::FrequentItemsetDefense;
+pub use detect2::DegreeConsistencyDefense;
+pub use naive::{NaiveDegreeTails, NaiveTopDegree};
+pub use pipeline::{run_defended_attack, DefenseOutcome, GraphDefense};

@@ -1,0 +1,256 @@
+//! Ablation studies (DESIGN.md §7) — design choices the paper asserts but
+//! does not isolate:
+//!
+//! * **A1 — connection-budget cap.** MGA capped at `⌊d̃⌋` (paper) vs.
+//!   uncapped: uncapped buys more degree-centrality gain but lights up the
+//!   Detect1/Naive1 detectors.
+//! * **A2 — MGA padding.** Random non-target padding on/off: gains are
+//!   unchanged, Detect1's flag counts are not.
+//! * **A3 — prioritized fake↔fake allocation** for MGA-cc (§VI): the
+//!   fake-clique pre-pay roughly doubles the clustering gain.
+//! * **A4 — clustering degree source.** Paper's `ẽd` (perturbed-row
+//!   degree) vs. LF-GDPR's reported degree: honest estimation error and
+//!   MGA gain under each.
+
+use crate::config::{defaults, ExperimentConfig};
+use crate::output::Figure;
+use crate::runner::mean_gain_over_trials;
+use ldp_graph::datasets::Dataset;
+use ldp_graph::metrics::local_clustering_coefficients;
+use ldp_graph::Xoshiro256pp;
+use ldp_protocols::lfgdpr::{estimate_clustering_with, DegreeSource};
+use ldp_protocols::LfGdpr;
+use poison_core::{
+    craft_reports, run_lfgdpr_attack, AttackStrategy, AttackerKnowledge, MgaOptions,
+    TargetMetric, TargetSelection, ThreatModel,
+};
+use poison_defense::{FrequentItemsetDefense, GraphDefense};
+
+fn setup(cfg: &ExperimentConfig) -> (ldp_graph::CsrGraph, LfGdpr, ThreatModel) {
+    let graph = cfg.graph_for(Dataset::Facebook);
+    let protocol = LfGdpr::new(defaults::EPSILON).expect("default epsilon valid");
+    let mut rng = Xoshiro256pp::new(cfg.seed ^ 0xAB1);
+    let threat = ThreatModel::from_fractions(
+        &graph,
+        defaults::BETA,
+        defaults::GAMMA,
+        TargetSelection::UniformRandom,
+        &mut rng,
+    );
+    (graph, protocol, threat)
+}
+
+/// A1: gain and Detect1 flag rate, capped vs. uncapped MGA (degree
+/// centrality). The cap only matters when `⌊d̃⌋ < r`, so this ablation
+/// runs at ε = 8 (smallest budget) with γ = 0.25 (largest target set) —
+/// the regime where stealth costs the attacker real gain.
+pub fn budget_cap_ablation(cfg: &ExperimentConfig) -> Figure {
+    let graph = cfg.graph_for(Dataset::Facebook);
+    let protocol = LfGdpr::new(8.0).expect("epsilon 8 valid");
+    let mut rng = Xoshiro256pp::new(cfg.seed ^ 0xAB1);
+    let threat = ThreatModel::from_fractions(
+        &graph,
+        defaults::BETA,
+        0.25,
+        TargetSelection::UniformRandom,
+        &mut rng,
+    );
+    let run_with = |options: MgaOptions| {
+        let gain = mean_gain_over_trials(cfg.trials, cfg.seed ^ 0xA1, |_, seed| {
+            run_lfgdpr_attack(
+                &graph,
+                &protocol,
+                &threat,
+                AttackStrategy::Mga,
+                TargetMetric::DegreeCentrality,
+                options,
+                seed,
+            )
+        });
+        // Detection recall of Detect1 against this crafting.
+        let knowledge =
+            AttackerKnowledge::derive(&protocol, threat.population(), graph.average_degree());
+        let extended = graph.with_isolated_nodes(threat.m_fake);
+        let base = Xoshiro256pp::new(cfg.seed ^ 0xA1F);
+        let mut reports = protocol.collect_honest(&extended, &base);
+        let mut rng = base.derive(0xC4AF);
+        let crafted = craft_reports(
+            AttackStrategy::Mga,
+            TargetMetric::DegreeCentrality,
+            &protocol,
+            &threat,
+            &knowledge,
+            options,
+            &mut rng,
+        );
+        for (offset, report) in crafted.into_iter().enumerate() {
+            reports[threat.n_genuine + offset] = report;
+        }
+        let defense = FrequentItemsetDefense::new(100);
+        let mut defense_rng = base.derive(0xDEF);
+        let app = defense.apply(&reports, &protocol, &mut defense_rng);
+        let recall = app.flagged[threat.n_genuine..].iter().filter(|&&f| f).count() as f64
+            / threat.m_fake as f64;
+        (gain, recall)
+    };
+    let capped = run_with(MgaOptions::default());
+    let uncapped =
+        run_with(MgaOptions { budget_override: Some(usize::MAX), ..Default::default() });
+    let mut fig = Figure::new(
+        "Ablation A1: MGA budget cap",
+        "variant (0=capped, 1=uncapped)",
+        "gain / Detect1 recall",
+        vec![0.0, 1.0],
+    );
+    fig.push_series("gain", vec![capped.0, uncapped.0]);
+    fig.push_series("detect1_recall", vec![capped.1, uncapped.1]);
+    fig
+}
+
+/// A2: MGA padding on/off — gain and Detect1 genuine-flag (false-positive)
+/// counts.
+pub fn padding_ablation(cfg: &ExperimentConfig) -> Figure {
+    let (graph, protocol, threat) = setup(cfg);
+    let gain_with = |options: MgaOptions| {
+        mean_gain_over_trials(cfg.trials, cfg.seed ^ 0xA2, |_, seed| {
+            run_lfgdpr_attack(
+                &graph,
+                &protocol,
+                &threat,
+                AttackStrategy::Mga,
+                TargetMetric::DegreeCentrality,
+                options,
+                seed,
+            )
+        })
+    };
+    let padded = gain_with(MgaOptions::default());
+    let bare = gain_with(MgaOptions { pad_to_budget: false, ..Default::default() });
+    let mut fig = Figure::new(
+        "Ablation A2: MGA padding",
+        "variant (0=padded, 1=bare)",
+        "degree-centrality gain",
+        vec![0.0, 1.0],
+    );
+    fig.push_series("gain", vec![padded, bare]);
+    fig
+}
+
+/// A3: prioritized fake↔fake allocation for MGA-cc.
+pub fn prioritization_ablation(cfg: &ExperimentConfig) -> Figure {
+    let (graph, protocol, threat) = setup(cfg);
+    let gain_with = |options: MgaOptions| {
+        mean_gain_over_trials(cfg.trials, cfg.seed ^ 0xA3, |_, seed| {
+            run_lfgdpr_attack(
+                &graph,
+                &protocol,
+                &threat,
+                AttackStrategy::Mga,
+                TargetMetric::ClusteringCoefficient,
+                options,
+                seed,
+            )
+        })
+    };
+    let with = gain_with(MgaOptions::default());
+    let without = gain_with(MgaOptions { prioritize_fake_edges: false, ..Default::default() });
+    let mut fig = Figure::new(
+        "Ablation A3: MGA-cc prioritized allocation",
+        "variant (0=prioritized, 1=flat)",
+        "clustering-coefficient gain",
+        vec![0.0, 1.0],
+    );
+    fig.push_series("gain", vec![with, without]);
+    fig
+}
+
+/// A4: honest clustering-estimation error under the two degree sources.
+pub fn degree_source_ablation(cfg: &ExperimentConfig) -> Figure {
+    let (graph, protocol, _) = setup(cfg);
+    let truth = local_clustering_coefficients(&graph);
+    let base = Xoshiro256pp::new(cfg.seed ^ 0xA4);
+    let view = protocol.aggregate(&protocol.collect_honest(&graph, &base));
+    let mae = |source: DegreeSource| {
+        let est = estimate_clustering_with(&view, source);
+        est.cc
+            .iter()
+            .zip(&truth)
+            .map(|(e, t)| (e - t).abs())
+            .sum::<f64>()
+            / truth.len() as f64
+    };
+    let mut fig = Figure::new(
+        "Ablation A4: clustering degree source",
+        "variant (0=perturbed-row, 1=reported)",
+        "honest-estimation MAE",
+        vec![0.0, 1.0],
+    );
+    fig.push_series("mae", vec![mae(DegreeSource::PerturbedRow), mae(DegreeSource::Reported)]);
+    fig
+}
+
+/// Runs all four ablations.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
+    vec![
+        budget_cap_ablation(cfg),
+        padding_ablation(cfg),
+        prioritization_ablation(cfg),
+        degree_source_ablation(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> ExperimentConfig {
+        ExperimentConfig { scale: 0.08, trials: 1, seed: 61 }
+    }
+
+    #[test]
+    fn budget_cap_uncapped_gains_more() {
+        let fig = budget_cap_ablation(&smoke_cfg());
+        let gain = &fig.series[0].values;
+        assert!(
+            gain[1] >= gain[0],
+            "uncapped MGA ({}) should gain at least the capped one ({})",
+            gain[1],
+            gain[0]
+        );
+    }
+
+    #[test]
+    fn prioritization_pays_off() {
+        let fig = prioritization_ablation(&smoke_cfg());
+        let gain = &fig.series[0].values;
+        assert!(
+            gain[0] > gain[1],
+            "prioritized allocation ({}) should beat flat ({})",
+            gain[0],
+            gain[1]
+        );
+    }
+
+    #[test]
+    fn reported_degree_estimates_better_honestly() {
+        let fig = degree_source_ablation(&smoke_cfg());
+        let mae = &fig.series[0].values;
+        assert!(
+            mae[1] < mae[0],
+            "reported-degree MAE ({}) should undercut perturbed-row MAE ({})",
+            mae[1],
+            mae[0]
+        );
+    }
+
+    #[test]
+    fn padding_leaves_gain_roughly_unchanged() {
+        let fig = padding_ablation(&smoke_cfg());
+        let gain = &fig.series[0].values;
+        assert!(gain[0].is_finite() && gain[1].is_finite());
+        // Padding adds random non-target edges only; the target-edge count
+        // is identical, so the gain ratio stays near 1.
+        let ratio = gain[0] / gain[1].max(1e-9);
+        assert!((0.5..2.0).contains(&ratio), "gain ratio {ratio} too far from 1");
+    }
+}

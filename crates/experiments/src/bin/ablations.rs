@@ -1,0 +1,8 @@
+//! Runs the ablation studies of DESIGN.md §7 (budget cap, padding,
+//! prioritized allocation, clustering degree source).
+
+fn main() {
+    let opts = poison_experiments::cli::options_from_env();
+    let figures = poison_experiments::ablations::run(&opts.config);
+    poison_experiments::cli::emit(&figures, &opts);
+}

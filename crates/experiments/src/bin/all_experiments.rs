@@ -1,0 +1,39 @@
+//! Regenerates every table and figure in sequence (Tables II-III,
+//! Figs. 6-15). Expect minutes at the default scale.
+
+use poison_experiments as px;
+use px::{ExperimentConfig, Figure};
+
+fn main() {
+    let opts = px::cli::options_from_env();
+    let cfg = &opts.config;
+
+    let rows = px::table2::run(cfg);
+    let md = px::table2::to_markdown(&rows);
+    println!("{md}");
+    let _ = std::fs::create_dir_all(&opts.out_dir);
+    let _ = std::fs::write(opts.out_dir.join("table2.md"), md);
+    let md3 = px::table3::to_markdown();
+    println!("{md3}");
+    let _ = std::fs::write(opts.out_dir.join("table3.md"), md3);
+
+    type Runner = fn(&ExperimentConfig) -> Vec<Figure>;
+    let phases: [(&str, Runner); 10] = [
+        ("fig6", px::fig6::run),
+        ("fig7", px::fig7::run),
+        ("fig8", px::fig8::run),
+        ("fig9", px::fig9::run),
+        ("fig10", px::fig10::run),
+        ("fig11", px::fig11::run),
+        ("fig12", px::fig12::run),
+        ("fig13", px::fig13::run),
+        ("fig14", px::fig14::run),
+        ("fig15", px::fig15::run),
+    ];
+    for (name, runner) in phases {
+        let start = std::time::Instant::now();
+        let figures = runner(cfg);
+        px::cli::emit(&figures, &opts);
+        eprintln!("== {name} done in {:.1}s ==", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 13. See `poison_experiments::fig13`.
+
+fn main() {
+    let opts = poison_experiments::cli::options_from_env();
+    let figures = poison_experiments::fig13::run(&opts.config);
+    poison_experiments::cli::emit(&figures, &opts);
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 14. See `poison_experiments::fig14`.
+
+fn main() {
+    let opts = poison_experiments::cli::options_from_env();
+    let figures = poison_experiments::fig14::run(&opts.config);
+    poison_experiments::cli::emit(&figures, &opts);
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Table II (dataset statistics, paper vs. stand-in).
+
+fn main() {
+    let opts = poison_experiments::cli::options_from_env();
+    let rows = poison_experiments::table2::run(&opts.config);
+    let md = poison_experiments::table2::to_markdown(&rows);
+    println!("{md}");
+    let _ = std::fs::create_dir_all(&opts.out_dir);
+    if let Err(e) = std::fs::write(opts.out_dir.join("table2.md"), md) {
+        eprintln!("warning: could not write table2.md: {e}");
+    }
+}

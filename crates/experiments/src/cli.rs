@@ -1,0 +1,143 @@
+//! Minimal argument parsing and output plumbing shared by the experiment
+//! binaries.
+//!
+//! Flags (all optional):
+//! `--trials N` `--scale F` `--seed S` `--out DIR` `--quiet`
+//!
+//! Every binary prints each figure as an ASCII chart plus a markdown table
+//! and writes CSV/markdown files under the output directory (default
+//! `results/`).
+
+use crate::config::ExperimentConfig;
+use crate::output::Figure;
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// The experiment configuration.
+    pub config: ExperimentConfig,
+    /// Output directory for CSV/markdown artifacts.
+    pub out_dir: PathBuf,
+    /// Suppress the ASCII charts on stdout.
+    pub quiet: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            config: ExperimentConfig::default(),
+            out_dir: PathBuf::from("results"),
+            quiet: false,
+        }
+    }
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+/// Returns a human-readable message for unknown flags or bad values.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i).ok_or_else(|| format!("flag {} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--trials" => {
+                opts.config.trials = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+                if opts.config.trials == 0 {
+                    return Err("--trials must be >= 1".into());
+                }
+            }
+            "--scale" => {
+                opts.config.scale = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if opts.config.scale <= 0.0 {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--seed" => {
+                opts.config.seed =
+                    take_value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => {
+                opts.out_dir = PathBuf::from(take_value(&mut i)?);
+            }
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Parses `std::env::args`, exiting with a message on error.
+pub fn options_from_env() -> CliOptions {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: [--trials N] [--scale F] [--seed S] [--out DIR] [--quiet]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Prints and persists a batch of figures.
+pub fn emit(figures: &[Figure], opts: &CliOptions) {
+    for fig in figures {
+        if !opts.quiet {
+            println!("{}", fig.to_ascii_chart());
+            println!("{}", fig.to_markdown());
+        }
+        if let Err(e) = fig.write_to_dir(&opts.out_dir) {
+            eprintln!("warning: could not write {}: {e}", fig.title);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.config.trials, ExperimentConfig::default().trials);
+        assert_eq!(o.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse_args(&s(&[
+            "--trials", "9", "--scale", "0.5", "--seed", "123", "--out", "/tmp/x", "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(o.config.trials, 9);
+        assert_eq!(o.config.scale, 0.5);
+        assert_eq!(o.config.seed, 123);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+        assert!(o.quiet);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&s(&["--trials", "0"])).is_err());
+        assert!(parse_args(&s(&["--scale", "-1"])).is_err());
+        assert!(parse_args(&s(&["--wat"])).is_err());
+        assert!(parse_args(&s(&["--trials"])).is_err());
+    }
+}

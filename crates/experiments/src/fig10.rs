@@ -1,0 +1,33 @@
+//! Exp 5 / Fig. 10: impact of β on attacks to the **clustering
+//! coefficient**.
+//!
+//! Expected shape: gains rise with β; MGA plateaus toward RVA once the fake
+//! population saturates the target set (β ≈ 0.05–0.1).
+
+use crate::config::{grids, ExperimentConfig};
+use crate::output::Figure;
+use crate::sweep::{sweep_all_datasets, SweepAxis};
+use poison_core::TargetMetric;
+
+/// Runs the figure on a custom β grid.
+pub fn run_with_grid(cfg: &ExperimentConfig, betas: &[f64]) -> Vec<Figure> {
+    sweep_all_datasets(cfg, TargetMetric::ClusteringCoefficient, SweepAxis::Beta, betas, "Fig 10")
+}
+
+/// Runs the figure on the paper's grid β ∈ {0.001, 0.005, 0.01, 0.05, 0.1}.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
+    run_with_grid(cfg, &grids::BETAS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_two_betas() {
+        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 29 };
+        let figs = run_with_grid(&cfg, &[0.01, 0.05]);
+        assert_eq!(figs.len(), 4);
+        assert!(figs[0].series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+    }
+}

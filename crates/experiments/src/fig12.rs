@@ -1,0 +1,176 @@
+//! Exp 7 / Fig. 12: countermeasures against attacks to **degree
+//! centrality** (Facebook stand-in).
+//!
+//! * Panel (a): Detect1 (frequent itemsets) vs. Naive1 vs. no defense
+//!   against MGA, sweeping the Detect1 flag threshold — the U-shape:
+//!   over-flagging at low thresholds distorts genuine reports, high
+//!   thresholds let the attack through.
+//! * Panel (b): Detect2 (degree consistency) vs. Naive2 vs. no defense
+//!   against RVA, sweeping β.
+
+use crate::config::{defaults, grids, ExperimentConfig};
+use crate::output::Figure;
+use crate::runner::{default_threads, mean_gain_over_trials, parallel_map};
+use ldp_graph::datasets::Dataset;
+use ldp_graph::Xoshiro256pp;
+use ldp_protocols::LfGdpr;
+use poison_core::{
+    run_lfgdpr_attack, AttackStrategy, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
+};
+use poison_defense::{
+    run_defended_attack, DegreeConsistencyDefense, FrequentItemsetDefense, NaiveDegreeTails,
+    NaiveTopDegree,
+};
+
+/// The metric both panels of this figure evaluate.
+const METRIC: TargetMetric = TargetMetric::DegreeCentrality;
+
+/// Panel (a): Detect1 vs. Naive1 against MGA, over flag thresholds.
+pub fn run_panel_a(cfg: &ExperimentConfig, thresholds: &[usize]) -> Figure {
+    panel_threshold_sweep(cfg, METRIC, thresholds, AttackStrategy::Mga, "Fig 12(a)")
+}
+
+/// Panel (b): Detect2 vs. Naive2 against RVA, over β.
+pub fn run_panel_b(cfg: &ExperimentConfig, betas: &[f64]) -> Figure {
+    panel_beta_sweep(cfg, METRIC, betas, AttackStrategy::Rva, "Fig 12(b)")
+}
+
+/// Runs both panels on the paper's grids.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
+    vec![
+        run_panel_a(cfg, &grids::FIG12A_THRESHOLDS),
+        run_panel_b(cfg, &grids::FIG12B_BETAS),
+    ]
+}
+
+/// Shared panel (a)-shape implementation, reused by Fig. 13(a).
+pub(crate) fn panel_threshold_sweep(
+    cfg: &ExperimentConfig,
+    metric: TargetMetric,
+    thresholds: &[usize],
+    strategy: AttackStrategy,
+    title: &str,
+) -> Figure {
+    let graph = cfg.graph_for(Dataset::Facebook);
+    let protocol = LfGdpr::new(defaults::EPSILON).expect("default epsilon valid");
+    let mut threat_rng = Xoshiro256pp::new(cfg.seed ^ 0x000F_1612);
+    let threat = ThreatModel::from_fractions(
+        &graph,
+        defaults::BETA,
+        defaults::GAMMA,
+        TargetSelection::UniformRandom,
+        &mut threat_rng,
+    );
+    let opts = MgaOptions::default();
+
+    let points: Vec<(usize, usize)> = thresholds.iter().copied().enumerate().collect();
+    let rows = parallel_map(points, default_threads(), |&(xi, threshold)| {
+        let detect1 = FrequentItemsetDefense::new(threshold);
+        let seed0 = cfg.seed ^ ((xi as u64) << 20);
+        let g_detect = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
+            run_defended_attack(&graph, &protocol, &threat, strategy, metric, &detect1, opts, seed)
+                .outcome
+        });
+        let naive1 = NaiveTopDegree::default();
+        let g_naive = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
+            run_defended_attack(&graph, &protocol, &threat, strategy, metric, &naive1, opts, seed)
+                .outcome
+        });
+        let g_none = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
+            run_lfgdpr_attack(&graph, &protocol, &threat, strategy, metric, opts, seed)
+        });
+        (g_detect, g_naive, g_none)
+    });
+
+    let mut figure = Figure::new(
+        title,
+        "detection threshold",
+        "overall gain after defense",
+        thresholds.iter().map(|&t| t as f64).collect(),
+    );
+    figure.push_series("Detect1", rows.iter().map(|r| r.0).collect());
+    figure.push_series("Naive1", rows.iter().map(|r| r.1).collect());
+    figure.push_series("NoDefense", rows.iter().map(|r| r.2).collect());
+    figure
+}
+
+/// Shared panel (b)-shape implementation, reused by Fig. 13(b).
+pub(crate) fn panel_beta_sweep(
+    cfg: &ExperimentConfig,
+    metric: TargetMetric,
+    betas: &[f64],
+    strategy: AttackStrategy,
+    title: &str,
+) -> Figure {
+    let graph = cfg.graph_for(Dataset::Facebook);
+    let protocol = LfGdpr::new(defaults::EPSILON).expect("default epsilon valid");
+    let opts = MgaOptions::default();
+
+    let points: Vec<(usize, f64)> = betas.iter().copied().enumerate().collect();
+    let rows = parallel_map(points, default_threads(), |&(xi, beta)| {
+        let mut threat_rng = Xoshiro256pp::new(cfg.seed ^ 0x00F1_612B ^ (xi as u64));
+        let threat = ThreatModel::from_fractions(
+            &graph,
+            beta,
+            defaults::GAMMA,
+            TargetSelection::UniformRandom,
+            &mut threat_rng,
+        );
+        let seed0 = cfg.seed ^ ((xi as u64) << 24);
+        let detect2 = DegreeConsistencyDefense::default();
+        let g_detect = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
+            run_defended_attack(&graph, &protocol, &threat, strategy, metric, &detect2, opts, seed)
+                .outcome
+        });
+        let naive2 = NaiveDegreeTails::default();
+        let g_naive = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
+            run_defended_attack(&graph, &protocol, &threat, strategy, metric, &naive2, opts, seed)
+                .outcome
+        });
+        let g_none = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
+            run_lfgdpr_attack(&graph, &protocol, &threat, strategy, metric, opts, seed)
+        });
+        (g_detect, g_naive, g_none)
+    });
+
+    let mut figure =
+        Figure::new(title, "beta", "overall gain after defense", betas.to_vec());
+    figure.push_series("Detect2", rows.iter().map(|r| r.0).collect());
+    figure.push_series("Naive2", rows.iter().map(|r| r.1).collect());
+    figure.push_series("NoDefense", rows.iter().map(|r| r.2).collect());
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_a_smoke() {
+        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 37 };
+        let fig = run_panel_a(&cfg, &[50, 300]);
+        assert_eq!(fig.series.len(), 3);
+        assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn panel_b_smoke() {
+        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 41 };
+        let fig = run_panel_b(&cfg, &[0.01, 0.1]);
+        assert_eq!(fig.series.len(), 3);
+        assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn detect2_defends_rva_better_than_nothing() {
+        let cfg = ExperimentConfig { scale: 0.3, trials: 2, seed: 43 };
+        let fig = run_panel_b(&cfg, &[0.05]);
+        let by = |l: &str| fig.series.iter().find(|s| s.label == l).unwrap().values[0];
+        assert!(
+            by("Detect2") < by("NoDefense"),
+            "Detect2 {} should reduce the undefended gain {}",
+            by("Detect2"),
+            by("NoDefense")
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Exp 8 / Fig. 13: countermeasures against attacks to the **clustering
+//! coefficient** (Facebook stand-in).
+//!
+//! Panel (a): Detect1 vs. Naive1 against MGA over flag thresholds
+//! {50, 75, 100, 125, 150}; panel (b): Detect2 vs. Naive2 against RVA over
+//! β — gains after defense stay below the undefended attack but never
+//! reach zero, the paper's "defenses are insufficient" takeaway.
+
+use crate::config::{grids, ExperimentConfig};
+use crate::fig12::{panel_beta_sweep, panel_threshold_sweep};
+use crate::output::Figure;
+use poison_core::{AttackStrategy, TargetMetric};
+
+/// Panel (a): threshold sweep against MGA on the clustering coefficient.
+pub fn run_panel_a(cfg: &ExperimentConfig, thresholds: &[usize]) -> Figure {
+    panel_threshold_sweep(
+        cfg,
+        TargetMetric::ClusteringCoefficient,
+        thresholds,
+        AttackStrategy::Mga,
+        "Fig 13(a)",
+    )
+}
+
+/// Panel (b): β sweep against RVA on the clustering coefficient.
+pub fn run_panel_b(cfg: &ExperimentConfig, betas: &[f64]) -> Figure {
+    panel_beta_sweep(
+        cfg,
+        TargetMetric::ClusteringCoefficient,
+        betas,
+        AttackStrategy::Rva,
+        "Fig 13(b)",
+    )
+}
+
+/// Runs both panels on the paper's grids.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
+    vec![
+        run_panel_a(cfg, &grids::FIG13A_THRESHOLDS),
+        run_panel_b(cfg, &grids::FIG12B_BETAS),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_panels_smoke() {
+        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 47 };
+        let a = run_panel_a(&cfg, &[100]);
+        let b = run_panel_b(&cfg, &[0.05]);
+        for fig in [a, b] {
+            assert_eq!(fig.series.len(), 3);
+            assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+        }
+    }
+}

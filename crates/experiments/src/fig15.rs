@@ -1,0 +1,106 @@
+//! Exp 9 / Fig. 15: attacks on LF-GDPR and LDPGen for **modularity**,
+//! sweeping ε (Facebook stand-in).
+//!
+//! The partition comes from label propagation on the genuine graph (the
+//! data collector's standard workflow); the gain is the absolute change of
+//! the estimated modularity, per DESIGN.md §2.
+
+use crate::config::{defaults, grids, ExperimentConfig};
+use crate::fig14::build_figure;
+use crate::output::Figure;
+use crate::runner::{default_threads, mean_gain_over_trials, parallel_map};
+use ldp_graph::community::label_propagation;
+use ldp_graph::datasets::Dataset;
+use ldp_graph::Xoshiro256pp;
+use ldp_protocols::{LdpGen, LfGdpr};
+use poison_core::ldpgen_attack::{run_ldpgen_attack, LdpGenMetric};
+use poison_core::{
+    run_lfgdpr_modularity_attack, AttackStrategy, MgaOptions, TargetSelection, ThreatModel,
+};
+
+fn setup(cfg: &ExperimentConfig, tag: u64) -> (ldp_graph::CsrGraph, ThreatModel, Vec<usize>) {
+    let graph = cfg.graph_for(Dataset::Facebook);
+    let mut rng = Xoshiro256pp::new(cfg.seed ^ tag);
+    let threat = ThreatModel::from_fractions(
+        &graph,
+        defaults::BETA,
+        defaults::GAMMA,
+        TargetSelection::UniformRandom,
+        &mut rng,
+    );
+    let partition = label_propagation(&graph, 20, &mut rng);
+    (graph, threat, partition)
+}
+
+/// Panel (a): LF-GDPR modularity gains over ε.
+pub fn run_panel_a(cfg: &ExperimentConfig, epsilons: &[f64]) -> Figure {
+    let (graph, threat, partition) = setup(cfg, 0x0F15_000A);
+    let points: Vec<(usize, f64)> = epsilons.iter().copied().enumerate().collect();
+    let rows = parallel_map(points, default_threads(), |&(xi, epsilon)| {
+        let protocol = LfGdpr::new(epsilon).expect("positive epsilon grid");
+        AttackStrategy::ALL
+            .iter()
+            .map(|&strategy| {
+                mean_gain_over_trials(cfg.trials, cfg.seed ^ ((xi as u64) << 12), |_, seed| {
+                    run_lfgdpr_modularity_attack(
+                        &graph,
+                        &protocol,
+                        &threat,
+                        strategy,
+                        &partition,
+                        MgaOptions::default(),
+                        seed,
+                    )
+                })
+            })
+            .collect::<Vec<f64>>()
+    });
+    build_figure("Fig 15(a) LF-GDPR", epsilons, &rows, "modularity gain")
+}
+
+/// Panel (b): LDPGen modularity gains over ε.
+pub fn run_panel_b(cfg: &ExperimentConfig, epsilons: &[f64]) -> Figure {
+    let (graph, threat, partition) = setup(cfg, 0x0F15_000B);
+    let points: Vec<(usize, f64)> = epsilons.iter().copied().enumerate().collect();
+    let rows = parallel_map(points, default_threads(), |&(xi, epsilon)| {
+        let protocol = LdpGen::with_defaults(epsilon).expect("positive epsilon grid");
+        AttackStrategy::ALL
+            .iter()
+            .map(|&strategy| {
+                mean_gain_over_trials(cfg.trials, cfg.seed ^ ((xi as u64) << 12), |_, seed| {
+                    run_ldpgen_attack(
+                        &graph,
+                        &protocol,
+                        &threat,
+                        strategy,
+                        LdpGenMetric::Modularity,
+                        Some(&partition),
+                        seed,
+                    )
+                })
+            })
+            .collect::<Vec<f64>>()
+    });
+    build_figure("Fig 15(b) LDPGen", epsilons, &rows, "modularity gain")
+}
+
+/// Runs both panels on the paper's ε grid.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
+    vec![run_panel_a(cfg, &grids::EPSILONS), run_panel_b(cfg, &grids::EPSILONS)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_panels_smoke() {
+        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 59 };
+        let a = run_panel_a(&cfg, &[4.0]);
+        let b = run_panel_b(&cfg, &[4.0]);
+        for fig in [a, b] {
+            assert_eq!(fig.series.len(), 3);
+            assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Exp 1 / Fig. 6: overall gains of attacks to **degree centrality** as the
+//! privacy budget ε sweeps 1–8 (four panels, one per dataset).
+//!
+//! Expected shape (paper §VIII-B): MGA and RVA fall as ε grows (a larger
+//! budget shrinks the perturbed average degree and with it the connection
+//! budget); RNA is flat (always a single crafted edge); MGA dominates
+//! everywhere.
+
+use crate::config::{grids, ExperimentConfig};
+use crate::output::Figure;
+use crate::sweep::{sweep_all_datasets, SweepAxis};
+use poison_core::TargetMetric;
+
+/// Runs the figure on a custom ε grid.
+pub fn run_with_grid(cfg: &ExperimentConfig, epsilons: &[f64]) -> Vec<Figure> {
+    sweep_all_datasets(cfg, TargetMetric::DegreeCentrality, SweepAxis::Epsilon, epsilons, "Fig 6")
+}
+
+/// Runs the figure on the paper's grid ε ∈ {1..8}.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
+    run_with_grid(cfg, &grids::EPSILONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_two_epsilons_one_dataset_each() {
+        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 11 };
+        let figs = run_with_grid(&cfg, &[1.0, 8.0]);
+        assert_eq!(figs.len(), 4);
+        for f in &figs {
+            assert_eq!(f.x.len(), 2);
+            assert_eq!(f.series.len(), 4);
+        }
+    }
+
+    #[test]
+    fn rva_gain_decreases_with_epsilon() {
+        // The ε-trend needs a realistically sparse graph: at tiny scales
+        // the stand-in's density is inflated and the noise-difference term
+        // that drives the paper's downward RVA slope no longer dominates.
+        let cfg = ExperimentConfig { scale: 1.0, trials: 2, seed: 13 };
+        let fig = crate::sweep::sweep_dataset(
+            &cfg,
+            ldp_graph::datasets::Dataset::Facebook,
+            poison_core::TargetMetric::DegreeCentrality,
+            crate::sweep::SweepAxis::Epsilon,
+            &[1.0, 8.0],
+            "Fig 6",
+        );
+        let rva = fig.series.iter().find(|s| s.label == "RVA").unwrap();
+        assert!(
+            rva.values[0] > rva.values[1],
+            "RVA at ε=1 ({}) should exceed ε=8 ({})",
+            rva.values[0],
+            rva.values[1]
+        );
+    }
+}

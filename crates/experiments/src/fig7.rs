@@ -1,0 +1,37 @@
+//! Exp 2 / Fig. 7: impact of the fake-user fraction β on attacks to
+//! **degree centrality** (ε and γ at Table III defaults).
+//!
+//! Expected shape: gains rise with β for all strategies; MGA > RVA > RNA.
+
+use crate::config::{grids, ExperimentConfig};
+use crate::output::Figure;
+use crate::sweep::{sweep_all_datasets, SweepAxis};
+use poison_core::TargetMetric;
+
+/// Runs the figure on a custom β grid.
+pub fn run_with_grid(cfg: &ExperimentConfig, betas: &[f64]) -> Vec<Figure> {
+    sweep_all_datasets(cfg, TargetMetric::DegreeCentrality, SweepAxis::Beta, betas, "Fig 7")
+}
+
+/// Runs the figure on the paper's grid β ∈ {0.001, 0.005, 0.01, 0.05, 0.1}.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
+    run_with_grid(cfg, &grids::BETAS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_rises_with_beta() {
+        let cfg = ExperimentConfig { scale: 0.3, trials: 2, seed: 17 };
+        let figs = run_with_grid(&cfg, &[0.01, 0.1]);
+        let mga = figs[0].series.iter().find(|s| s.label == "MGA").unwrap();
+        assert!(
+            mga.values[1] > mga.values[0],
+            "MGA at β=0.1 ({}) should exceed β=0.01 ({})",
+            mga.values[1],
+            mga.values[0]
+        );
+    }
+}

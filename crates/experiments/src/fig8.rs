@@ -1,0 +1,38 @@
+//! Exp 3 / Fig. 8: impact of the target fraction γ on attacks to **degree
+//! centrality** (ε and β at Table III defaults).
+//!
+//! Expected shape: gains rise with γ (a larger attack surface); MGA
+//! dominates throughout.
+
+use crate::config::{grids, ExperimentConfig};
+use crate::output::Figure;
+use crate::sweep::{sweep_all_datasets, SweepAxis};
+use poison_core::TargetMetric;
+
+/// Runs the figure on a custom γ grid.
+pub fn run_with_grid(cfg: &ExperimentConfig, gammas: &[f64]) -> Vec<Figure> {
+    sweep_all_datasets(cfg, TargetMetric::DegreeCentrality, SweepAxis::Gamma, gammas, "Fig 8")
+}
+
+/// Runs the figure on the paper's grid γ ∈ {0.001, 0.005, 0.01, 0.05, 0.1}.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
+    run_with_grid(cfg, &grids::GAMMAS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_rises_with_gamma() {
+        let cfg = ExperimentConfig { scale: 0.3, trials: 2, seed: 19 };
+        let figs = run_with_grid(&cfg, &[0.01, 0.1]);
+        let mga = figs[0].series.iter().find(|s| s.label == "MGA").unwrap();
+        assert!(
+            mga.values[1] > mga.values[0],
+            "MGA at γ=0.1 ({}) should exceed γ=0.01 ({})",
+            mga.values[1],
+            mga.values[0]
+        );
+    }
+}

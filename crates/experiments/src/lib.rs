@@ -1,0 +1,52 @@
+//! # poison-experiments
+//!
+//! The evaluation harness: one module (and one binary) per table/figure of
+//! the paper's §VIII. Each experiment returns [`output::Figure`] values
+//! that render as aligned text tables, CSV, and ASCII charts; the binaries
+//! write them under `results/`.
+//!
+//! | paper artifact | module | binary |
+//! |----------------|--------|--------|
+//! | Table II (datasets) | [`table2`] | `table2` |
+//! | Table III (defaults) | [`table3`] | `table3` |
+//! | Fig. 6 (degree centrality vs ε) | [`fig6`] | `fig6` |
+//! | Fig. 7 (degree centrality vs β) | [`fig7`] | `fig7` |
+//! | Fig. 8 (degree centrality vs γ) | [`fig8`] | `fig8` |
+//! | Fig. 9 (clustering coefficient vs ε) | [`fig9`] | `fig9` |
+//! | Fig. 10 (clustering coefficient vs β) | [`fig10`] | `fig10` |
+//! | Fig. 11 (clustering coefficient vs γ) | [`fig11`] | `fig11` |
+//! | Fig. 12 (countermeasures, degree) | [`fig12`] | `fig12` |
+//! | Fig. 13 (countermeasures, clustering) | [`fig13`] | `fig13` |
+//! | Fig. 14 (LF-GDPR vs LDPGen, cc) | [`fig14`] | `fig14` |
+//! | Fig. 15 (LF-GDPR vs LDPGen, modularity) | [`fig15`] | `fig15` |
+//!
+//! The experiments run on seeded synthetic stand-ins scaled to ~1,000
+//! nodes per dataset by default (`ExperimentConfig::scale` adjusts this);
+//! DESIGN.md §2 records the substitution and EXPERIMENTS.md the measured
+//! outcomes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod cli;
+pub mod config;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod output;
+pub mod runner;
+pub mod stats;
+pub mod sweep;
+pub mod table2;
+pub mod table3;
+
+pub use config::ExperimentConfig;
+pub use output::{Figure, Series};

@@ -1,0 +1,128 @@
+//! Small summary-statistics toolkit for experiment outputs: means,
+//! unbiased variance, and normal-approximation confidence intervals for
+//! the multi-trial gains the figures plot.
+
+/// Summary of a sample of trial outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns a zeroed summary for an empty slice.
+    pub fn of(values: &[f64]) -> Summary {
+        let n = values.len();
+        if n == 0 {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, std_dev: var.sqrt(), min, max }
+    }
+
+    /// Standard error of the mean (0 for n < 1).
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation confidence interval around the mean at the
+    /// given z-score (1.96 ≈ 95%).
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_error();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// True when the two summaries' 95% intervals do not overlap — the
+    /// quick "is this ordering meaningful" check used when reporting
+    /// attack comparisons.
+    pub fn clearly_above(&self, other: &Summary) -> bool {
+        let (lo, _) = self.confidence_interval(1.96);
+        let (_, hi) = other.confidence_interval(1.96);
+        lo > hi
+    }
+}
+
+/// Collects per-trial gains and summarizes them; `run` receives
+/// `(trial_index, seed)` like `runner::mean_gain_over_trials`.
+pub fn gain_summary_over_trials<F>(trials: u64, base_seed: u64, mut run: F) -> Summary
+where
+    F: FnMut(u64, u64) -> poison_core::AttackOutcome,
+{
+    let values: Vec<f64> = (0..trials)
+        .map(|i| run(i, base_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9))).gain())
+        .collect();
+    Summary::of(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.std_error(), 0.0);
+        let one = Summary::of(&[3.5]);
+        assert_eq!(one.mean, 3.5);
+        assert_eq!(one.std_dev, 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_mean() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (lo, hi) = s.confidence_interval(1.96);
+        assert!(lo < s.mean && s.mean < hi);
+        let (lo99, hi99) = s.confidence_interval(2.58);
+        assert!(lo99 < lo && hi < hi99, "wider z gives wider interval");
+    }
+
+    #[test]
+    fn clearly_above_detects_separation() {
+        let low = Summary::of(&[1.0, 1.1, 0.9, 1.05, 0.95]);
+        let high = Summary::of(&[5.0, 5.1, 4.9, 5.05, 4.95]);
+        assert!(high.clearly_above(&low));
+        assert!(!low.clearly_above(&high));
+        assert!(!high.clearly_above(&high));
+    }
+
+    #[test]
+    fn gain_summary_collects_trials() {
+        let s = gain_summary_over_trials(5, 1, |i, _| {
+            poison_core::AttackOutcome::new(vec![0.0], vec![i as f64])
+        });
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.max, 4.0);
+    }
+}

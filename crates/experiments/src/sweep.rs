@@ -1,0 +1,199 @@
+//! Shared sweep machinery for the attack figures (Figs. 6–11).
+//!
+//! Every panel of those figures is the same experiment shape: fix two of
+//! (ε, β, γ) at the Table III defaults, sweep the third, and plot the mean
+//! overall gain of RVA/RNA/MGA on one dataset. The MGA theory curves
+//! (Theorems 1–2) ride along for comparison.
+
+use crate::config::{defaults, ExperimentConfig};
+use crate::output::Figure;
+use crate::runner::{default_threads, mean_gain_over_trials, parallel_map};
+use ldp_graph::datasets::Dataset;
+use ldp_graph::Xoshiro256pp;
+use ldp_protocols::LfGdpr;
+use poison_core::{
+    run_lfgdpr_attack, run_sampled_degree_attack, theorem1_degree_gain,
+    theorem2_clustering_gain, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
+    TargetSelection, ThreatModel,
+};
+
+/// Which of the three parameters a figure sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepAxis {
+    /// Privacy budget ε (Figs. 6, 9).
+    Epsilon,
+    /// Fake-user fraction β (Figs. 7, 10).
+    Beta,
+    /// Target fraction γ (Figs. 8, 11).
+    Gamma,
+}
+
+impl SweepAxis {
+    /// Axis label for the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepAxis::Epsilon => "epsilon",
+            SweepAxis::Beta => "beta",
+            SweepAxis::Gamma => "gamma",
+        }
+    }
+}
+
+/// The (ε, β, γ) triple a single sweep point runs with.
+fn point_params(axis: SweepAxis, x: f64) -> (f64, f64, f64) {
+    match axis {
+        SweepAxis::Epsilon => (x, defaults::BETA, defaults::GAMMA),
+        SweepAxis::Beta => (defaults::EPSILON, x, defaults::GAMMA),
+        SweepAxis::Gamma => (defaults::EPSILON, defaults::BETA, x),
+    }
+}
+
+/// Runs one sweep panel (one dataset) and returns its figure, including
+/// the MGA theory curve.
+pub fn sweep_dataset(
+    cfg: &ExperimentConfig,
+    dataset: Dataset,
+    metric: TargetMetric,
+    axis: SweepAxis,
+    xs: &[f64],
+    figure_name: &str,
+) -> Figure {
+    // Degree-centrality sweeps may use a larger stand-in together with the
+    // analytic-sampling pipeline (O(r) per trial); clustering sweeps
+    // materialize the perturbed view and stay at the exact-mode size.
+    let graph = match metric {
+        TargetMetric::DegreeCentrality => cfg.degree_sweep_graph_for(dataset),
+        TargetMetric::ClusteringCoefficient => cfg.graph_for(dataset),
+    };
+    let use_sampled = metric == TargetMetric::DegreeCentrality
+        && graph.num_nodes() > ExperimentConfig::SAMPLED_MODE_THRESHOLD;
+    let points: Vec<(usize, f64)> = xs.iter().copied().enumerate().collect();
+
+    // Each point: (per-strategy mean gains, theory value).
+    let results = parallel_map(points, default_threads(), |&(xi, x)| {
+        let (epsilon, beta, gamma) = point_params(axis, x);
+        let protocol = LfGdpr::new(epsilon).expect("positive epsilon grid");
+        let mut threat_rng = Xoshiro256pp::new(cfg.seed ^ (xi as u64) << 8 ^ dataset as u64);
+        let threat = ThreatModel::from_fractions(
+            &graph,
+            beta,
+            gamma,
+            TargetSelection::UniformRandom,
+            &mut threat_rng,
+        );
+        let gains: Vec<f64> = AttackStrategy::ALL
+            .iter()
+            .map(|&strategy| {
+                mean_gain_over_trials(cfg.trials, cfg.seed ^ ((xi as u64) << 16), |_, seed| {
+                    if use_sampled {
+                        run_sampled_degree_attack(&graph, &protocol, &threat, strategy, seed)
+                    } else {
+                        run_lfgdpr_attack(
+                            &graph,
+                            &protocol,
+                            &threat,
+                            strategy,
+                            metric,
+                            MgaOptions::default(),
+                            seed,
+                        )
+                    }
+                })
+            })
+            .collect();
+        let knowledge =
+            AttackerKnowledge::derive(&protocol, threat.population(), graph.average_degree());
+        let theory = match metric {
+            TargetMetric::DegreeCentrality => theorem1_degree_gain(
+                threat.m_fake,
+                threat.num_targets(),
+                threat.population(),
+                knowledge.avg_perturbed_degree,
+            ),
+            TargetMetric::ClusteringCoefficient => theorem2_clustering_gain(
+                threat.m_fake,
+                threat.num_targets(),
+                threat.population(),
+                knowledge.avg_perturbed_degree,
+                knowledge.p_keep,
+            ),
+        };
+        (gains, theory)
+    });
+
+    let metric_name = match metric {
+        TargetMetric::DegreeCentrality => "degree-centrality gain",
+        TargetMetric::ClusteringCoefficient => "clustering-coefficient gain",
+    };
+    let mut figure = Figure::new(
+        format!("{figure_name} {}", dataset.name()),
+        axis.label(),
+        metric_name,
+        xs.to_vec(),
+    );
+    for (si, strategy) in AttackStrategy::ALL.iter().enumerate() {
+        figure.push_series(strategy.name(), results.iter().map(|(g, _)| g[si]).collect());
+    }
+    figure.push_series("MGA-theory", results.iter().map(|&(_, t)| t).collect());
+    figure
+}
+
+/// Runs the full four-dataset figure.
+pub fn sweep_all_datasets(
+    cfg: &ExperimentConfig,
+    metric: TargetMetric,
+    axis: SweepAxis,
+    xs: &[f64],
+    figure_name: &str,
+) -> Vec<Figure> {
+    Dataset::ALL
+        .iter()
+        .map(|&d| sweep_dataset(cfg, d, metric, axis, xs, figure_name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_series() {
+        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 3 };
+        let fig = sweep_dataset(
+            &cfg,
+            Dataset::Facebook,
+            TargetMetric::DegreeCentrality,
+            SweepAxis::Epsilon,
+            &[2.0, 6.0],
+            "Fig test",
+        );
+        assert_eq!(fig.series.len(), 4, "RVA, RNA, MGA, theory");
+        assert_eq!(fig.x, vec![2.0, 6.0]);
+        assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn mga_beats_baselines_in_sweep() {
+        let cfg = ExperimentConfig { scale: 0.3, trials: 2, seed: 5 };
+        let fig = sweep_dataset(
+            &cfg,
+            Dataset::Facebook,
+            TargetMetric::DegreeCentrality,
+            SweepAxis::Epsilon,
+            &[4.0],
+            "Fig test",
+        );
+        let by_label = |l: &str| {
+            fig.series.iter().find(|s| s.label == l).map(|s| s.values[0]).unwrap()
+        };
+        assert!(by_label("MGA") > by_label("RNA"));
+        assert!(by_label("MGA") > 0.0);
+    }
+
+    #[test]
+    fn axis_labels() {
+        assert_eq!(SweepAxis::Epsilon.label(), "epsilon");
+        assert_eq!(SweepAxis::Beta.label(), "beta");
+        assert_eq!(SweepAxis::Gamma.label(), "gamma");
+    }
+}

@@ -1,0 +1,72 @@
+//! Table III: the default parameter settings every experiment uses unless
+//! it sweeps the parameter itself.
+
+use crate::config::defaults;
+
+/// One row of Table III.
+#[derive(Debug, Clone)]
+pub struct ParameterRow {
+    /// Symbol as used in the paper.
+    pub parameter: &'static str,
+    /// Default value.
+    pub value: f64,
+    /// Description.
+    pub description: &'static str,
+}
+
+/// The table's rows.
+pub fn rows() -> Vec<ParameterRow> {
+    vec![
+        ParameterRow {
+            parameter: "beta",
+            value: defaults::BETA,
+            description: "The fraction of fake users",
+        },
+        ParameterRow {
+            parameter: "gamma",
+            value: defaults::GAMMA,
+            description: "The fraction of target users",
+        },
+        ParameterRow {
+            parameter: "epsilon",
+            value: defaults::EPSILON,
+            description: "Privacy budget",
+        },
+    ]
+}
+
+/// Markdown rendering.
+pub fn to_markdown() -> String {
+    let mut out = String::from(
+        "### Table III: default parameter settings\n\
+         | Parameter | Default setting | Description |\n|---|---|---|\n",
+    );
+    for row in rows() {
+        out.push_str(&format!(
+            "| {} | {} | {} |\n",
+            row.parameter, row.value, row.description
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_defaults() {
+        let rows = rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].value, 0.05);
+        assert_eq!(rows[1].value, 0.05);
+        assert_eq!(rows[2].value, 4.0);
+    }
+
+    #[test]
+    fn markdown_contains_descriptions() {
+        let md = to_markdown();
+        assert!(md.contains("fraction of fake users"));
+        assert!(md.contains("Privacy budget"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Compressed sparse row (CSR) undirected simple graph.
+//!
+//! The ground-truth graphs (the real social networks the paper's users live
+//! in) are sparse, so exact metric computation uses CSR: one offsets array
+//! and one sorted neighbor array. Construction deduplicates edges, drops
+//! self-loops, and symmetrizes, so every `CsrGraph` is a simple undirected
+//! graph by construction.
+
+use crate::bitset::BitSet;
+use crate::error::GraphError;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Invariants (enforced at construction, relied upon everywhere):
+/// * neighbor lists are sorted and duplicate-free,
+/// * no self-loops,
+/// * adjacency is symmetric: `v ∈ N(u)` ⇔ `u ∈ N(v)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds a graph on `n` nodes from an edge list. Self-loops are
+    /// dropped, duplicate edges (in either orientation) are deduplicated.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u as usize, num_nodes: n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v as usize, num_nodes: n });
+            }
+        }
+        // Two-pass counting sort into CSR, then per-row sort + dedup.
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            if u != v {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &deg {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut neighbors = vec![0u32; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            if u != v {
+                neighbors[cursor[u as usize]] = v;
+                cursor[u as usize] += 1;
+                neighbors[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        // Sort and dedup each row, compacting in place.
+        let mut write = 0usize;
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0);
+        let mut row_buf: Vec<u32> = Vec::new();
+        let mut compact: Vec<u32> = Vec::with_capacity(neighbors.len());
+        for u in 0..n {
+            row_buf.clear();
+            row_buf.extend_from_slice(&neighbors[offsets[u]..offsets[u + 1]]);
+            row_buf.sort_unstable();
+            row_buf.dedup();
+            compact.extend_from_slice(&row_buf);
+            write += row_buf.len();
+            new_offsets.push(write);
+        }
+        let num_edges = write / 2;
+        Ok(CsrGraph { offsets: new_offsets, neighbors: compact, num_edges })
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Sorted neighbor list of node `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Edge test via binary search: `O(log deg(u))`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        assert!(v < self.num_nodes(), "node {v} out of range");
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| (u as u32) < v)
+                .map(move |v| (u as u32, v))
+        })
+    }
+
+    /// Degree sequence `d_1..d_n`.
+    pub fn degree_vector(&self) -> Vec<usize> {
+        (0..self.num_nodes()).map(|u| self.degree(u)).collect()
+    }
+
+    /// Average degree `2E/n`.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges as f64 / self.num_nodes() as f64
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Edge density `2E / (n(n-1))`.
+    pub fn density(&self) -> f64 {
+        let n = self.num_nodes() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges as f64 / (n * (n - 1.0))
+    }
+
+    /// The adjacency bit vector of node `u` — the object each user holds
+    /// locally in the LDP protocols.
+    pub fn adjacency_bit_vector(&self, u: usize) -> BitSet {
+        let mut bs = BitSet::new(self.num_nodes());
+        for &v in self.neighbors(u) {
+            bs.set(v as usize);
+        }
+        bs
+    }
+
+    /// Extends this graph to `n + extra` nodes, returning a new graph whose
+    /// first `n` nodes keep their edges. Used to make room for the fake
+    /// users an attacker injects.
+    pub fn with_isolated_nodes(&self, extra: usize) -> CsrGraph {
+        let mut offsets = self.offsets.clone();
+        let last = *offsets.last().unwrap();
+        offsets.extend(std::iter::repeat_n(last, extra));
+        CsrGraph { offsets, neighbors: self.neighbors.clone(), num_edges: self.num_edges }
+    }
+
+    /// Returns the subgraph induced on nodes `0..k` (node ids preserved).
+    /// Used to build scaled-down dataset variants.
+    pub fn truncate(&self, k: usize) -> CsrGraph {
+        let k = k.min(self.num_nodes());
+        let edges: Vec<(u32, u32)> = self
+            .edges()
+            .filter(|&(u, v)| (u as usize) < k && (v as usize) < k)
+            .collect();
+        CsrGraph::from_edges(k, &edges).expect("truncation preserves validity")
+    }
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CsrGraph(n={}, m={})", self.num_nodes(), self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (0, 1), (2, 2), (2, 3)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.degree(2), 1);
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let err = CsrGraph::from_edges(3, &[(0, 3)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 3, num_nodes: 3 }));
+    }
+
+    #[test]
+    fn symmetry_invariant() {
+        let g = CsrGraph::from_edges(5, &[(0, 4), (3, 1), (1, 4)]).unwrap();
+        for u in 0..5 {
+            for &v in g.neighbors(u) {
+                assert!(g.has_edge(v as usize, u), "asymmetric edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+        assert!((g.density() - 0.5).abs() < 1e-12);
+        assert_eq!(g.degree_vector(), vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn adjacency_bit_vector_matches_neighbors() {
+        let g = triangle();
+        let bv = g.adjacency_bit_vector(1);
+        assert_eq!(bv.to_indices(), vec![0, 2]);
+        assert_eq!(bv.capacity(), 3);
+    }
+
+    #[test]
+    fn with_isolated_nodes_preserves_edges() {
+        let g = triangle().with_isolated_nodes(2);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.degree(4), 0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn truncate_keeps_induced_subgraph() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]).unwrap();
+        let t = g.truncate(3);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 2);
+        assert!(t.has_edge(0, 1) && t.has_edge(1, 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.density(), 0.0);
+    }
+}

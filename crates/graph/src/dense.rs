@@ -1,0 +1,288 @@
+//! Dense bit-matrix adjacency representation.
+//!
+//! After randomized response with budget ε, the perturbed graph has edge
+//! density on the order of `1/(1+e^ε)` — dense enough that the server-side
+//! view is best stored as a packed bit matrix. Triangle counting then
+//! reduces to row-AND + popcount, which is the only way the clustering
+//! coefficient pipeline stays tractable at the paper's scales.
+
+use crate::bitset::BitSet;
+use crate::csr::CsrGraph;
+
+/// A square, symmetric bit matrix over `n` nodes.
+///
+/// Rows are contiguous `u64` words. The matrix is kept symmetric by the
+/// mutators ([`BitMatrix::set_edge`], [`BitMatrix::clear_edge`]); the
+/// diagonal is always zero (simple graphs, no self-loops).
+#[derive(Clone)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitMatrix {
+    /// Creates an `n × n` all-zero matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(WORD_BITS);
+        BitMatrix { n, words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    /// Builds the dense representation of a sparse graph.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let mut m = BitMatrix::new(g.num_nodes());
+        for u in 0..g.num_nodes() {
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                if u < v {
+                    m.set_edge(u, v);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Words per row (for raw-word consumers).
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Sets the undirected edge `{u, v}`. Setting a self-loop is a no-op.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn set_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for {} nodes", self.n);
+        if u == v {
+            return;
+        }
+        self.bits[u * self.words_per_row + v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
+        self.bits[v * self.words_per_row + u / WORD_BITS] |= 1u64 << (u % WORD_BITS);
+    }
+
+    /// Clears the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn clear_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for {} nodes", self.n);
+        if u == v {
+            return;
+        }
+        self.bits[u * self.words_per_row + v / WORD_BITS] &= !(1u64 << (v % WORD_BITS));
+        self.bits[v * self.words_per_row + u / WORD_BITS] &= !(1u64 << (u % WORD_BITS));
+    }
+
+    /// Tests the edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for {} nodes", self.n);
+        (self.bits[u * self.words_per_row + v / WORD_BITS] >> (v % WORD_BITS)) & 1 == 1
+    }
+
+    /// Raw words of row `u`.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[u64] {
+        &self.bits[u * self.words_per_row..(u + 1) * self.words_per_row]
+    }
+
+    /// Overwrites row `u` from a bitset of capacity `n` and mirrors the bits
+    /// into the corresponding columns, so the matrix stays symmetric.
+    ///
+    /// This is how the server folds one user's (perturbed or crafted)
+    /// adjacency bit vector into its aggregate view when the *row owner* is
+    /// authoritative for its slots.
+    pub fn assign_row_symmetric(&mut self, u: usize, row: &BitSet) {
+        assert_eq!(row.capacity(), self.n, "row capacity must equal node count");
+        // Clear u's old bits from the columns.
+        let old: Vec<usize> = self.row_indices(u);
+        for v in old {
+            self.clear_edge(u, v);
+        }
+        for v in row.iter_ones() {
+            self.set_edge(u, v);
+        }
+    }
+
+    /// Degree of node `u` (popcount of its row).
+    pub fn degree(&self, u: usize) -> usize {
+        self.row(u).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Total number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        let total: usize =
+            (0..self.n).map(|u| self.degree(u)).sum();
+        total / 2
+    }
+
+    /// Indices of the set bits in row `u` (the neighbors of `u`).
+    pub fn row_indices(&self, u: usize) -> Vec<usize> {
+        let row = self.row(u);
+        let mut out = Vec::new();
+        for (wi, &w) in row.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(wi * WORD_BITS + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// `|row(u) ∩ row(v)|` — number of common neighbors of `u` and `v`.
+    #[inline]
+    pub fn common_neighbors(&self, u: usize, v: usize) -> usize {
+        let (a, b) = (self.row(u), self.row(v));
+        a.iter().zip(b).map(|(x, y)| (x & y).count_ones() as usize).sum()
+    }
+
+    /// Number of triangles incident to node `u`:
+    /// `τ_u = ½ Σ_{v ∈ N(u)} |N(u) ∩ N(v)|`.
+    pub fn triangles_at(&self, u: usize) -> u64 {
+        let mut twice: u64 = 0;
+        for v in self.row_indices(u) {
+            twice += self.common_neighbors(u, v) as u64;
+        }
+        twice / 2
+    }
+
+    /// Per-node triangle counts for the whole matrix.
+    pub fn triangles_per_node(&self) -> Vec<u64> {
+        (0..self.n).map(|u| self.triangles_at(u)).collect()
+    }
+
+    /// Converts to a sparse CSR graph (used in tests and for small matrices).
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..self.n {
+            for v in self.row_indices(u) {
+                if u < v {
+                    edges.push((u as u32, v as u32));
+                }
+            }
+        }
+        CsrGraph::from_edges(self.n, &edges).expect("bit matrix always yields a valid graph")
+    }
+
+    /// Edge density `2E / (n(n-1))`.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / (self.n as f64 * (self.n as f64 - 1.0))
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitMatrix(n={}, edges={})", self.n, self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_query_symmetric() {
+        let mut m = BitMatrix::new(100);
+        m.set_edge(3, 70);
+        assert!(m.has_edge(3, 70));
+        assert!(m.has_edge(70, 3));
+        assert_eq!(m.num_edges(), 1);
+        m.clear_edge(70, 3);
+        assert!(!m.has_edge(3, 70));
+    }
+
+    #[test]
+    fn self_loop_is_noop() {
+        let mut m = BitMatrix::new(10);
+        m.set_edge(4, 4);
+        assert!(!m.has_edge(4, 4));
+        assert_eq!(m.num_edges(), 0);
+    }
+
+    #[test]
+    fn triangle_count_on_k4() {
+        // K4 has 3 triangles at each node.
+        let mut m = BitMatrix::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                m.set_edge(u, v);
+            }
+        }
+        for u in 0..4 {
+            assert_eq!(m.triangles_at(u), 3);
+        }
+    }
+
+    #[test]
+    fn triangles_on_path_are_zero() {
+        let mut m = BitMatrix::new(5);
+        for u in 0..4 {
+            m.set_edge(u, u + 1);
+        }
+        assert_eq!(m.triangles_per_node(), vec![0; 5]);
+    }
+
+    #[test]
+    fn assign_row_symmetric_replaces_old_row() {
+        let mut m = BitMatrix::new(6);
+        m.set_edge(0, 1);
+        m.set_edge(0, 2);
+        let new_row = BitSet::from_indices(6, [3, 4]);
+        m.assign_row_symmetric(0, &new_row);
+        assert!(!m.has_edge(0, 1) && !m.has_edge(0, 2));
+        assert!(m.has_edge(0, 3) && m.has_edge(4, 0));
+        assert_eq!(m.degree(0), 2);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let m = BitMatrix::from_csr(&g);
+        let g2 = m.to_csr();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for u in 0..5 {
+            assert_eq!(g.neighbors(u), g2.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        let mut m = BitMatrix::new(5);
+        m.set_edge(0, 2);
+        m.set_edge(0, 3);
+        m.set_edge(1, 2);
+        m.set_edge(1, 3);
+        m.set_edge(1, 4);
+        assert_eq!(m.common_neighbors(0, 1), 2);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let mut m = BitMatrix::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                m.set_edge(u, v);
+            }
+        }
+        assert!((m.density() - 1.0).abs() < 1e-12);
+    }
+}

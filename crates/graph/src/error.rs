@@ -1,0 +1,88 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced by graph construction, parsing, and generators.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id referenced a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A generator or builder was given an invalid parameter.
+    InvalidParameter(String),
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_node_out_of_range() {
+        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 5 };
+        assert_eq!(e.to_string(), "node 7 out of range for graph with 5 nodes");
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = GraphError::InvalidParameter("p must be in [0,1]".into());
+        assert!(e.to_string().contains("p must be in [0,1]"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(io);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = GraphError::Parse { line: 3, message: "expected two fields".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

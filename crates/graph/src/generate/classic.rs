@@ -1,0 +1,136 @@
+//! Deterministic graph fixtures used across the test suites.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("complete graph is always valid")
+}
+
+/// Star graph: node 0 is the hub, nodes `1..n` are leaves.
+pub fn star_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge(0, v);
+    }
+    b.build().expect("star graph is always valid")
+}
+
+/// Cycle `C_n` (requires `n >= 3` to be a proper cycle; smaller n yields a
+/// path or an empty graph).
+pub fn cycle_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    if n >= 2 {
+        for u in 0..n - 1 {
+            b.add_edge(u, u + 1);
+        }
+        if n >= 3 {
+            b.add_edge(n - 1, 0);
+        }
+    }
+    b.build().expect("cycle graph is always valid")
+}
+
+/// Path `P_n`.
+pub fn path_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 0..n.saturating_sub(1) {
+        b.add_edge(u, u + 1);
+    }
+    b.build().expect("path graph is always valid")
+}
+
+/// Graph with `n` nodes and no edges.
+pub fn empty_graph(n: usize) -> CsrGraph {
+    CsrGraph::from_edges(n, &[]).expect("empty graph is always valid")
+}
+
+/// Connected caveman graph: `cliques` cliques of `size` nodes each, arranged
+/// in a ring, with one edge per adjacent clique pair. Very high clustering —
+/// a useful fixture for clustering-coefficient attacks.
+pub fn caveman_graph(cliques: usize, size: usize) -> CsrGraph {
+    let n = cliques * size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                b.add_edge(base + i, base + j);
+            }
+        }
+        if cliques > 1 && size > 0 {
+            let next = ((c + 1) % cliques) * size;
+            b.add_edge(base, next);
+        }
+    }
+    b.build().expect("caveman graph is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{average_clustering_coefficient, total_triangles};
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete_graph(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.degree(3), 5);
+        assert_eq!(total_triangles(&g), 20);
+    }
+
+    #[test]
+    fn star_graph_shape() {
+        let g = star_graph(7);
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn cycle_graph_degrees() {
+        let g = cycle_graph(5);
+        assert_eq!(g.num_edges(), 5);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn small_cycles_degenerate_gracefully() {
+        assert_eq!(cycle_graph(0).num_edges(), 0);
+        assert_eq!(cycle_graph(1).num_edges(), 0);
+        assert_eq!(cycle_graph(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn caveman_is_triangle_rich() {
+        let g = caveman_graph(4, 5);
+        assert_eq!(g.num_nodes(), 20);
+        // 4 cliques × C(5,3) triangles each.
+        assert_eq!(total_triangles(&g), 4 * 10);
+        assert!(average_clustering_coefficient(&g) > 0.7);
+    }
+
+    #[test]
+    fn empty_graph_is_empty() {
+        let g = empty_graph(10);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! Random graph generators and deterministic fixtures.
+//!
+//! The offline environment has no SNAP downloads, so the experiments run on
+//! seeded synthetic graphs whose size and degree structure match the paper's
+//! datasets (see [`crate::datasets`]). The generators here are standard
+//! models implemented from scratch:
+//!
+//! * [`erdos_renyi_gnp`] / [`erdos_renyi_gnm`] — uniform random graphs,
+//! * [`barabasi_albert`] — preferential attachment (heavy-tailed degrees),
+//! * [`holme_kim`] — preferential attachment with triadic closure
+//!   (heavy-tailed degrees *and* high clustering, like social networks),
+//! * [`watts_strogatz`] — small-world ring rewiring,
+//! * [`planted_partition`] — stochastic block model with k equal blocks,
+//! * [`configuration_model`] — random graph with a prescribed degree
+//!   sequence (simplified: collisions dropped),
+//! * deterministic fixtures ([`complete_graph`], [`star_graph`],
+//!   [`cycle_graph`], [`path_graph`], [`caveman_graph`]) for tests.
+
+mod classic;
+mod preferential;
+mod random_graphs;
+
+pub use classic::{caveman_graph, complete_graph, cycle_graph, empty_graph, path_graph, star_graph};
+pub use preferential::{barabasi_albert, holme_kim};
+pub use random_graphs::{
+    configuration_model, erdos_renyi_gnm, erdos_renyi_gnp, planted_partition, watts_strogatz,
+};

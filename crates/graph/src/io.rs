@@ -1,0 +1,137 @@
+//! Edge-list I/O.
+//!
+//! SNAP-style whitespace-separated edge lists: one `u v` pair per line,
+//! `#`-prefixed comment lines ignored. Node ids are remapped to the dense
+//! range `0..n` in first-appearance order, since SNAP files use sparse ids.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads an edge list from any reader. Returns the graph and the mapping
+/// from original ids to dense node indices.
+///
+/// # Errors
+/// Returns [`GraphError::Parse`] on malformed lines and [`GraphError::Io`]
+/// on read failures.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<(CsrGraph, HashMap<u64, usize>), GraphError> {
+    let reader = BufReader::new(reader);
+    let mut ids: HashMap<u64, usize> = HashMap::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64, GraphError> {
+            let tok = tok.ok_or(GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two node ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid node id {tok:?}: {e}"),
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        let next_id = ids.len();
+        let ui = *ids.entry(u).or_insert(next_id);
+        let next_id = ids.len();
+        let vi = *ids.entry(v).or_insert(next_id);
+        edges.push((ui as u32, vi as u32));
+    }
+    let n = ids.len();
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u as usize, v as usize);
+    }
+    Ok((b.build()?, ids))
+}
+
+/// Reads an edge list from a file path; see [`read_edge_list`].
+///
+/// # Errors
+/// Propagates I/O and parse failures as [`GraphError`].
+pub fn read_edge_list_path<P: AsRef<Path>>(
+    path: P,
+) -> Result<(CsrGraph, HashMap<u64, usize>), GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes the graph as a whitespace edge list, one undirected edge per line.
+///
+/// # Errors
+/// Returns [`GraphError::Io`] on write failures.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(writer, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_edge_list() {
+        let input = "# comment\n0 1\n1 2\n\n2 0\n";
+        let (g, ids) = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn sparse_ids_are_remapped() {
+        let input = "1000 2000\n2000 99\n";
+        let (g, ids) = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(ids[&1000], 0);
+        assert_eq!(ids[&2000], 1);
+        assert_eq!(ids[&99], 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let input = "0 1\nnot-a-node 2\n";
+        let err = read_edge_list(input.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_second_field_is_error() {
+        let input = "0\n";
+        assert!(read_edge_list(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (g2, _) = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+    }
+
+    #[test]
+    fn tabs_and_extra_whitespace_ok() {
+        let input = "0\t1\n 1   2 \n";
+        let (g, _) = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

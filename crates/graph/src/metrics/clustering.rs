@@ -1,0 +1,113 @@
+//! Local clustering coefficient (paper Eq. 12): `cc_i = 2τ_i / (d_i(d_i−1))`.
+
+use crate::csr::CsrGraph;
+use crate::metrics::triangles::triangles_per_node;
+
+/// Local clustering coefficient of every node. Nodes with degree < 2 have
+/// coefficient 0 (no neighbor pair exists).
+pub fn local_clustering_coefficients(g: &CsrGraph) -> Vec<f64> {
+    let tau = triangles_per_node(g);
+    (0..g.num_nodes())
+        .map(|u| {
+            let d = g.degree(u) as f64;
+            if d < 2.0 {
+                0.0
+            } else {
+                2.0 * tau[u] as f64 / (d * (d - 1.0))
+            }
+        })
+        .collect()
+}
+
+/// Clustering coefficient from an (estimated) triangle count and degree,
+/// used by the LDP estimators which obtain `τ` and `d` separately.
+/// Degenerate degrees (< 2) yield 0.
+pub fn clustering_from_parts(triangles: f64, degree: f64) -> f64 {
+    if degree < 2.0 {
+        0.0
+    } else {
+        2.0 * triangles / (degree * (degree - 1.0))
+    }
+}
+
+/// Average of the local clustering coefficients.
+pub fn average_clustering_coefficient(g: &CsrGraph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    local_clustering_coefficients(g).iter().sum::<f64>() / n as f64
+}
+
+/// Global transitivity: `3 × #triangles / #wedges`.
+pub fn global_transitivity(g: &CsrGraph) -> f64 {
+    let tau = triangles_per_node(g);
+    let triangles: u64 = tau.iter().sum::<u64>() / 3;
+    let wedges: u64 = (0..g.num_nodes())
+        .map(|u| {
+            let d = g.degree(u) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_has_cc_one() {
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let g = CsrGraph::from_edges(4, &edges).unwrap();
+        for cc in local_clustering_coefficients(&g) {
+            assert!((cc - 1.0).abs() < 1e-12);
+        }
+        assert!((global_transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_cc_zero() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+        assert_eq!(global_transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // 0-1-2 triangle, pendant node 3 attached to 0.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
+        let cc = local_clustering_coefficients(&g);
+        // Node 0: d=3, τ=1 → 2/(3·2) = 1/3.
+        assert!((cc[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cc[1] - 1.0).abs() < 1e-12);
+        assert_eq!(cc[3], 0.0);
+    }
+
+    #[test]
+    fn clustering_from_parts_matches_exact() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
+        let tau = triangles_per_node(&g);
+        let cc = local_clustering_coefficients(&g);
+        for u in 0..4 {
+            let from_parts = clustering_from_parts(tau[u] as f64, g.degree(u) as f64);
+            assert!((from_parts - cc[u]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_degree_yields_zero() {
+        assert_eq!(clustering_from_parts(5.0, 1.0), 0.0);
+        assert_eq!(clustering_from_parts(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_average_is_zero() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Newman modularity of a node partition.
+//!
+//! `Q = Σ_c [ e_c/E − (a_c / 2E)² ]` where `e_c` is the number of
+//! intra-community edges of community `c` and `a_c` the total degree of its
+//! nodes. LF-GDPR estimates this quantity from perturbed data given a
+//! partition; the exact version here is the ground truth.
+
+use crate::csr::CsrGraph;
+
+/// Modularity of `partition` (a community label per node) on `g`.
+///
+/// Returns 0 for edgeless graphs.
+///
+/// # Panics
+/// Panics if `partition.len() != g.num_nodes()`.
+pub fn modularity(g: &CsrGraph, partition: &[usize]) -> f64 {
+    assert_eq!(partition.len(), g.num_nodes(), "partition length must equal node count");
+    let m = g.num_edges() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let num_comms = partition.iter().copied().max().map_or(0, |c| c + 1);
+    let mut intra = vec![0.0f64; num_comms];
+    let mut total_deg = vec![0.0f64; num_comms];
+    for (u, &cu) in partition.iter().enumerate() {
+        total_deg[cu] += g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if u < v && partition[v] == cu {
+                intra[cu] += 1.0;
+            }
+        }
+    }
+    (0..num_comms)
+        .map(|c| intra[c] / m - (total_deg[c] / (2.0 * m)).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cliques_high_modularity() {
+        // Two K3 cliques joined by one edge.
+        let edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)];
+        let g = CsrGraph::from_edges(6, &edges).unwrap();
+        let partition = [0, 0, 0, 1, 1, 1];
+        let q = modularity(&g, &partition);
+        // e_0 = e_1 = 3, E = 7, a_0 = a_1 = 7.
+        let expected = 2.0 * (3.0 / 7.0 - (7.0 / 14.0f64).powi(2));
+        assert!((q - expected).abs() < 1e-12);
+        assert!(q > 0.3);
+    }
+
+    #[test]
+    fn single_community_is_zero_modularity() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        // All intra: Q = E/E - (2E/2E)^2 = 1 - 1 = 0.
+        assert!((modularity(&g, &[0, 0, 0, 0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_community_partition_is_negative() {
+        // Bipartite-ish split of a clique should be negative.
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let g = CsrGraph::from_edges(4, &edges).unwrap();
+        let q = modularity(&g, &[0, 1, 0, 1]);
+        assert!(q < 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_zero() {
+        let g = CsrGraph::from_edges(3, &[]).unwrap();
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition length")]
+    fn wrong_partition_length_panics() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        modularity(&g, &[0, 0]);
+    }
+}

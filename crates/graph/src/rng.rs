@@ -1,0 +1,207 @@
+//! Fast, reproducible pseudo-random number generation.
+//!
+//! The simulation layers above this crate flip billions of bits (randomized
+//! response over adjacency bit vectors), so the default `StdRng` (ChaCha12)
+//! is needlessly slow. [`Xoshiro256pp`] implements the xoshiro256++ generator
+//! of Blackman & Vigna — a small-state, high-quality, non-cryptographic PRNG
+//! that integrates with the `rand` traits. Cryptographic strength is not
+//! required: the randomness models *honest users' noise*, not secrets.
+
+use rand::{RngCore, SeedableRng};
+
+/// The xoshiro256++ pseudo-random number generator.
+///
+/// State is 256 bits; period is 2^256 − 1. Output passes BigCrush. This is
+/// the workhorse RNG of the whole workspace; every experiment takes an
+/// explicit `u64` seed so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+#[inline(always)]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+/// SplitMix64 step, used for seeding (per the xoshiro reference code).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator from a 64-bit seed, expanding it through
+    /// SplitMix64 as recommended by the xoshiro authors.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // The all-zero state is invalid (fixed point); SplitMix64 cannot
+        // produce four zeros from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            Self { s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3] }
+        } else {
+            Self { s }
+        }
+    }
+
+    /// Generates the next 64-bit output.
+    #[allow(clippy::should_implement_trait)] // deliberate name: the raw xoshiro step
+    #[inline(always)]
+    pub fn next(&mut self) -> u64 {
+        let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = rotl(self.s[3], 45);
+        result
+    }
+
+    /// Jump-like derivation of an independent stream: hashes the stream index
+    /// into the seed space. Used to hand each simulated user or each parallel
+    /// trial its own generator deterministically.
+    pub fn derive(&self, stream: u64) -> Self {
+        let mut sm = self
+            .s[0]
+            .wrapping_mul(0xA24B_AED4_963E_E407)
+            .wrapping_add(stream.wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+}
+
+impl RngCore for Xoshiro256pp {
+    #[inline(always)]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256pp {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        if s == [0, 0, 0, 0] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        Self { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::new(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Xoshiro256pp::new(42);
+        let mut b = Xoshiro256pp::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256pp::new(1);
+        let mut b = Xoshiro256pp::new(2);
+        let same = (0..64).filter(|_| a.next() == b.next()).count();
+        assert!(same < 4, "streams from different seeds should not collide");
+    }
+
+    #[test]
+    fn reference_vector_xoshiro256pp() {
+        // Reference: seeding the raw state with s = [1, 2, 3, 4] must produce
+        // the sequence published with the xoshiro256++ reference code.
+        let mut rng = Xoshiro256pp { s: [1, 2, 3, 4] };
+        // First two outputs of the reference sequence, verified by hand
+        // against the update rule: rotl(s0+s3, 23) + s0.
+        assert_eq!(rng.next(), 41943041);
+        assert_eq!(rng.next(), 58720359);
+    }
+
+    #[test]
+    fn derive_gives_independent_streams() {
+        let base = Xoshiro256pp::new(7);
+        let mut a = base.derive(0);
+        let mut b = base.derive(1);
+        let same = (0..64).filter(|_| a.next() == b.next()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn works_with_rand_traits() {
+        let mut rng = Xoshiro256pp::new(9);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let k = rng.gen_range(0..10usize);
+        assert!(k < 10);
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = Xoshiro256pp::new(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn uniform_mean_close_to_half() {
+        let mut rng = Xoshiro256pp::new(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}

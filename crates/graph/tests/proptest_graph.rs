@@ -1,0 +1,123 @@
+//! Property tests for the graph substrate: generator contracts, metric
+//! bounds, and I/O roundtrips over randomized inputs.
+
+use ldp_graph::datasets::Dataset;
+use ldp_graph::generate::{
+    barabasi_albert, caveman_graph, erdos_renyi_gnm, holme_kim, watts_strogatz,
+};
+use ldp_graph::io::{read_edge_list, write_edge_list};
+use ldp_graph::metrics::{degree_centralities, modularity, total_triangles};
+use ldp_graph::{BitMatrix, Xoshiro256pp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Barabási–Albert: exact edge count, minimum degree ≥ m.
+    #[test]
+    fn ba_contract(seed in 0u64..1000, n in 20usize..120, m in 1usize..6) {
+        prop_assume!(n > m + 1);
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = barabasi_albert(n, m, &mut rng).unwrap();
+        let expected = (m + 1) * m / 2 + m * (n - m - 1);
+        prop_assert_eq!(g.num_edges(), expected);
+        for u in 0..n {
+            prop_assert!(g.degree(u) >= m, "node {} has degree {} < m", u, g.degree(u));
+        }
+    }
+
+    /// Holme–Kim keeps the BA edge-count contract for any triad probability.
+    #[test]
+    fn holme_kim_edge_count(seed in 0u64..1000, p_triad in 0.0f64..1.0) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = holme_kim(80, 3, p_triad, &mut rng).unwrap();
+        prop_assert_eq!(g.num_edges(), 4 * 3 / 2 + 3 * (80 - 4));
+    }
+
+    /// Watts–Strogatz preserves the edge count under rewiring.
+    #[test]
+    fn ws_edge_count(seed in 0u64..1000, beta in 0.0f64..1.0) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = watts_strogatz(60, 6, beta, &mut rng).unwrap();
+        prop_assert_eq!(g.num_edges(), 60 * 3);
+    }
+
+    /// G(n, m) always returns exactly m edges, for any feasible m.
+    #[test]
+    fn gnm_exact(seed in 0u64..1000, m in 0usize..435) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = erdos_renyi_gnm(30, m, &mut rng).unwrap();
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    /// Degree centralities always lie in [0, 1].
+    #[test]
+    fn centrality_bounds(seed in 0u64..1000, m in 1usize..200) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = erdos_renyi_gnm(25, m.min(300), &mut rng).unwrap();
+        for c in degree_centralities(&g) {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    /// Modularity is bounded above by 1 and the single-community partition
+    /// scores exactly intra/E − 1 ≤ 0 ... = 0 for any graph.
+    #[test]
+    fn modularity_bounds(seed in 0u64..1000, m in 1usize..150) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = erdos_renyi_gnm(30, m.min(435), &mut rng).unwrap();
+        prop_assume!(g.num_edges() > 0);
+        let single = vec![0usize; 30];
+        prop_assert!(modularity(&g, &single).abs() < 1e-9);
+        let per_node: Vec<usize> = (0..30).collect();
+        let q = modularity(&g, &per_node);
+        prop_assert!(q <= 1.0 + 1e-9);
+    }
+
+    /// Edge-list write/read roundtrips any generated graph.
+    #[test]
+    fn io_roundtrip(seed in 0u64..1000, m in 0usize..100) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = erdos_renyi_gnm(20, m.min(190), &mut rng).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (g2, _) = read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        prop_assert_eq!(total_triangles(&g), total_triangles(&g2));
+    }
+
+    /// Dense and sparse triangle counting agree on arbitrary graphs.
+    #[test]
+    fn dense_sparse_triangles_agree(seed in 0u64..1000, m in 0usize..200) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = erdos_renyi_gnm(35, m.min(595), &mut rng).unwrap();
+        let dense = BitMatrix::from_csr(&g);
+        prop_assert_eq!(
+            ldp_graph::metrics::triangles_per_node(&g),
+            dense.triangles_per_node()
+        );
+    }
+}
+
+#[test]
+fn caveman_triangle_count_closed_form() {
+    for (cliques, size) in [(3usize, 4usize), (5, 6), (2, 8)] {
+        let g = caveman_graph(cliques, size);
+        let per_clique = size * (size - 1) * (size - 2) / 6;
+        // The inter-clique ring contributes one extra triangle exactly when
+        // it is itself a 3-cycle (three cliques).
+        let ring_triangles = usize::from(cliques == 3);
+        assert_eq!(total_triangles(&g) as usize, cliques * per_clique + ring_triangles);
+    }
+}
+
+#[test]
+fn dataset_stand_ins_deterministic_and_sized() {
+    for d in Dataset::ALL {
+        let g1 = d.generate_with_nodes(400, 9);
+        let g2 = d.generate_with_nodes(400, 9);
+        assert_eq!(g1, g2, "{} stand-in not deterministic", d.name());
+        assert_eq!(g1.num_nodes(), 400);
+        assert!(g1.num_edges() > 0);
+    }
+}

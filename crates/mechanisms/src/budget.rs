@@ -1,0 +1,108 @@
+//! Privacy-budget bookkeeping.
+//!
+//! LF-GDPR spends a total budget ε on two channels: ε₁ perturbs the
+//! adjacency bit vector (randomized response) and ε₂ perturbs the degree
+//! (Laplace). Sequential composition requires ε₁ + ε₂ = ε. The paper's
+//! attacker is assumed to know both shares (§IV-A).
+
+use crate::error::MechanismError;
+
+/// A total privacy budget split across the two LF-GDPR channels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    /// Budget for the adjacency bit vector (randomized response).
+    pub epsilon_adjacency: f64,
+    /// Budget for the degree value (Laplace mechanism).
+    pub epsilon_degree: f64,
+}
+
+impl PrivacyBudget {
+    /// Splits `epsilon` evenly across the two channels.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::InvalidBudget`] unless `epsilon` is
+    /// positive and finite.
+    pub fn split_even(epsilon: f64) -> Result<Self, MechanismError> {
+        Self::split_fraction(epsilon, 0.5)
+    }
+
+    /// Gives `fraction` of `epsilon` to the adjacency channel and the rest
+    /// to the degree channel.
+    ///
+    /// LF-GDPR tunes this split to minimize the estimation error of the
+    /// target metric; the experiments use the even split unless an
+    /// experiment says otherwise, matching the paper's setup where only the
+    /// total ε is reported.
+    ///
+    /// # Errors
+    /// Returns an error if `epsilon` is not positive/finite or `fraction`
+    /// is not strictly inside `(0, 1)`.
+    pub fn split_fraction(epsilon: f64, fraction: f64) -> Result<Self, MechanismError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(MechanismError::InvalidBudget(epsilon));
+        }
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(MechanismError::InvalidParameter(format!(
+                "fraction = {fraction} must lie strictly inside (0, 1)"
+            )));
+        }
+        Ok(PrivacyBudget {
+            epsilon_adjacency: epsilon * fraction,
+            epsilon_degree: epsilon * (1.0 - fraction),
+        })
+    }
+
+    /// Builds a budget from explicit per-channel shares.
+    ///
+    /// # Errors
+    /// Returns an error unless both shares are positive and finite.
+    pub fn from_parts(epsilon_adjacency: f64, epsilon_degree: f64) -> Result<Self, MechanismError> {
+        for eps in [epsilon_adjacency, epsilon_degree] {
+            if !(eps.is_finite() && eps > 0.0) {
+                return Err(MechanismError::InvalidBudget(eps));
+            }
+        }
+        Ok(PrivacyBudget { epsilon_adjacency, epsilon_degree })
+    }
+
+    /// Total budget ε = ε₁ + ε₂ (sequential composition).
+    pub fn total(&self) -> f64 {
+        self.epsilon_adjacency + self.epsilon_degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_halves() {
+        let b = PrivacyBudget::split_even(4.0).unwrap();
+        assert_eq!(b.epsilon_adjacency, 2.0);
+        assert_eq!(b.epsilon_degree, 2.0);
+        assert_eq!(b.total(), 4.0);
+    }
+
+    #[test]
+    fn fraction_split() {
+        let b = PrivacyBudget::split_fraction(2.0, 0.75).unwrap();
+        assert!((b.epsilon_adjacency - 1.5).abs() < 1e-12);
+        assert!((b.epsilon_degree - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_budgets_rejected() {
+        assert!(PrivacyBudget::split_even(0.0).is_err());
+        assert!(PrivacyBudget::split_even(-1.0).is_err());
+        assert!(PrivacyBudget::split_even(f64::INFINITY).is_err());
+        assert!(PrivacyBudget::split_fraction(1.0, 0.0).is_err());
+        assert!(PrivacyBudget::split_fraction(1.0, 1.0).is_err());
+        assert!(PrivacyBudget::from_parts(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn from_parts_accepts_asymmetric() {
+        let b = PrivacyBudget::from_parts(3.0, 1.0).unwrap();
+        assert_eq!(b.total(), 4.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Error type for mechanism construction.
+
+use std::fmt;
+
+/// Errors raised when constructing or applying an LDP mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismError {
+    /// The privacy budget must be strictly positive and finite.
+    InvalidBudget(f64),
+    /// A mechanism parameter was out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismError::InvalidBudget(eps) => {
+                write!(f, "privacy budget {eps} must be positive and finite")
+            }
+            MechanismError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MechanismError::InvalidBudget(-1.0).to_string().contains("-1"));
+        assert!(MechanismError::InvalidParameter("k".into()).to_string().contains('k'));
+    }
+}

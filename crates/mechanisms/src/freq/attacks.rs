@@ -1,0 +1,322 @@
+//! Poisoning attacks on frequency-estimation LDP (Cao et al., USENIX
+//! Sec'21): RPA, RIA, and MGA.
+//!
+//! These are the direct ancestors of the paper's graph attacks:
+//! RPA ("random perturbed-value") picks a report uniformly from the output
+//! space, RIA ("random item") honestly perturbs a random target, and MGA
+//! crafts the report that maximizes the targets' estimated-frequency gain.
+//! The graph experiments cite this correspondence (paper §IV-B), so having
+//! the originals here lets tests verify that the *ordering* MGA > RIA/RPA
+//! carries over from the frequency world to the graph world.
+
+use super::{
+    olh_hash, FrequencyProtocol, GeneralizedRandomizedResponse, OlhReport, OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+};
+use ldp_graph::BitSet;
+use rand::Rng;
+
+/// Which attack a fake user mounts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FreqAttack {
+    /// Random perturbed-value attack: a uniform element of the report space.
+    Rpa,
+    /// Random item attack: honestly perturb a uniformly chosen target.
+    Ria,
+    /// Maximal gain attack: the report that maximizes the targets' gain.
+    Mga,
+}
+
+/// Outcome of an attack evaluation: estimated target frequencies summed
+/// before and after injecting fake users.
+#[derive(Debug, Clone, Copy)]
+pub struct FreqAttackOutcome {
+    /// Σ estimated target frequency, genuine users only.
+    pub before: f64,
+    /// Σ estimated target frequency, genuine + fake users.
+    pub after: f64,
+}
+
+impl FreqAttackOutcome {
+    /// The overall frequency gain `after − before` (Cao et al.'s `G`).
+    pub fn gain(&self) -> f64 {
+        self.after - self.before
+    }
+}
+
+/// Sums the estimated frequencies of `targets`.
+pub fn frequency_gain(estimates: &[f64], targets: &[usize]) -> f64 {
+    targets.iter().map(|&t| estimates[t]).sum()
+}
+
+/// Attack driver for one protocol: crafts fake reports and evaluates the
+/// gain on targets.
+pub trait ProtocolAttacker {
+    /// The protocol being attacked.
+    type Protocol: FrequencyProtocol;
+
+    /// Crafts the report of one fake user.
+    fn craft<R: Rng>(
+        &self,
+        protocol: &Self::Protocol,
+        attack: FreqAttack,
+        targets: &[usize],
+        rng: &mut R,
+    ) -> <Self::Protocol as FrequencyProtocol>::Report;
+
+    /// Runs `attack` with `m` fake users against genuine `reports`.
+    fn evaluate<R: Rng>(
+        &self,
+        protocol: &Self::Protocol,
+        attack: FreqAttack,
+        targets: &[usize],
+        genuine: &[<Self::Protocol as FrequencyProtocol>::Report],
+        m: usize,
+        rng: &mut R,
+    ) -> FreqAttackOutcome
+    where
+        <Self::Protocol as FrequencyProtocol>::Report: Clone,
+    {
+        let before = frequency_gain(&protocol.estimate(genuine), targets);
+        let mut all = genuine.to_vec();
+        all.extend((0..m).map(|_| self.craft(protocol, attack, targets, rng)));
+        let after = frequency_gain(&protocol.estimate(&all), targets);
+        FreqAttackOutcome { before, after }
+    }
+}
+
+/// Attacker for [`GeneralizedRandomizedResponse`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GrrAttacker;
+
+impl ProtocolAttacker for GrrAttacker {
+    type Protocol = GeneralizedRandomizedResponse;
+
+    fn craft<R: Rng>(
+        &self,
+        protocol: &Self::Protocol,
+        attack: FreqAttack,
+        targets: &[usize],
+        rng: &mut R,
+    ) -> usize {
+        match attack {
+            // The GRR report space is the item domain itself.
+            FreqAttack::Rpa => rng.gen_range(0..protocol.domain_size()),
+            FreqAttack::Ria => {
+                let t = targets[rng.gen_range(0..targets.len())];
+                protocol.perturb(t, rng)
+            }
+            // For GRR the optimal crafted report is simply a target item.
+            FreqAttack::Mga => targets[rng.gen_range(0..targets.len())],
+        }
+    }
+}
+
+/// Attacker for [`OptimizedUnaryEncoding`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OueAttacker;
+
+impl ProtocolAttacker for OueAttacker {
+    type Protocol = OptimizedUnaryEncoding;
+
+    fn craft<R: Rng>(
+        &self,
+        protocol: &Self::Protocol,
+        attack: FreqAttack,
+        targets: &[usize],
+        rng: &mut R,
+    ) -> BitSet {
+        let k = protocol.domain_size();
+        match attack {
+            FreqAttack::Rpa => {
+                // Uniform over {0,1}^k.
+                let mut bits = BitSet::new(k);
+                for w in bits.words_mut() {
+                    *w = rng.gen();
+                }
+                bits.mask_tail();
+                bits
+            }
+            FreqAttack::Ria => {
+                let t = targets[rng.gen_range(0..targets.len())];
+                protocol.perturb(t, rng)
+            }
+            FreqAttack::Mga => {
+                // Set all target bits; pad with random non-target bits until
+                // the popcount matches an honest report's expectation, so the
+                // crafted vector is not trivially detectable.
+                let mut bits = BitSet::from_indices(k, targets.iter().copied());
+                let want = protocol.expected_ones().round() as usize;
+                let mut ones = bits.count_ones();
+                let mut guard = 0;
+                while ones < want && guard < 20 * k {
+                    let i = rng.gen_range(0..k);
+                    if !bits.get(i) {
+                        bits.set(i);
+                        ones += 1;
+                    }
+                    guard += 1;
+                }
+                bits
+            }
+        }
+    }
+}
+
+/// Attacker for [`OptimizedLocalHashing`].
+#[derive(Debug, Clone, Copy)]
+pub struct OlhAttacker {
+    /// How many random seeds MGA tries when searching for one that hashes
+    /// many targets into a common bucket (Cao et al. use the same
+    /// randomized search).
+    pub mga_seed_trials: usize,
+}
+
+impl Default for OlhAttacker {
+    fn default() -> Self {
+        OlhAttacker { mga_seed_trials: 64 }
+    }
+}
+
+impl ProtocolAttacker for OlhAttacker {
+    type Protocol = OptimizedLocalHashing;
+
+    fn craft<R: Rng>(
+        &self,
+        protocol: &Self::Protocol,
+        attack: FreqAttack,
+        targets: &[usize],
+        rng: &mut R,
+    ) -> OlhReport {
+        let g = protocol.num_buckets();
+        match attack {
+            FreqAttack::Rpa => OlhReport { seed: rng.gen(), bucket: rng.gen_range(0..g) },
+            FreqAttack::Ria => {
+                let t = targets[rng.gen_range(0..targets.len())];
+                protocol.perturb(t, rng)
+            }
+            FreqAttack::Mga => {
+                // Search seeds for the one whose best bucket covers the most
+                // targets, then report that bucket deterministically.
+                let mut best = OlhReport { seed: 0, bucket: 0 };
+                let mut best_cover = 0usize;
+                for _ in 0..self.mga_seed_trials.max(1) {
+                    let seed: u64 = rng.gen();
+                    let mut counts = vec![0usize; g];
+                    for &t in targets {
+                        counts[olh_hash(seed, t, g)] += 1;
+                    }
+                    let (bucket, &cover) =
+                        counts.iter().enumerate().max_by_key(|&(_, c)| *c).expect("g >= 2");
+                    if cover > best_cover {
+                        best_cover = cover;
+                        best = OlhReport { seed, bucket };
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_graph::rng::Xoshiro256pp;
+
+    fn genuine_grr(
+        protocol: &GeneralizedRandomizedResponse,
+        n: usize,
+        rng: &mut Xoshiro256pp,
+    ) -> Vec<usize> {
+        (0..n).map(|u| protocol.perturb(u % protocol.domain_size(), rng)).collect()
+    }
+
+    #[test]
+    fn grr_mga_beats_baselines() {
+        let protocol = GeneralizedRandomizedResponse::new(20, 1.0).unwrap();
+        let mut rng = Xoshiro256pp::new(1);
+        let genuine = genuine_grr(&protocol, 20_000, &mut rng);
+        let targets = [3usize, 7];
+        let m = 1_000;
+        let attacker = GrrAttacker;
+        let mut gain = |attack| {
+            attacker
+                .evaluate(&protocol, attack, &targets, &genuine, m, &mut rng)
+                .gain()
+        };
+        let g_mga = gain(FreqAttack::Mga);
+        let g_ria = gain(FreqAttack::Ria);
+        let g_rpa = gain(FreqAttack::Rpa);
+        assert!(g_mga > g_ria, "MGA {g_mga} should beat RIA {g_ria}");
+        assert!(g_mga > g_rpa, "MGA {g_mga} should beat RPA {g_rpa}");
+        assert!(g_mga > 0.0);
+    }
+
+    #[test]
+    fn oue_mga_beats_baselines() {
+        let protocol = OptimizedUnaryEncoding::new(20, 1.0).unwrap();
+        let mut rng = Xoshiro256pp::new(2);
+        let genuine: Vec<BitSet> =
+            (0..8_000).map(|u| protocol.perturb(u % 20, &mut rng)).collect();
+        let targets = [0usize, 5, 10];
+        let m = 400;
+        let attacker = OueAttacker;
+        let g_mga = attacker
+            .evaluate(&protocol, FreqAttack::Mga, &targets, &genuine, m, &mut rng)
+            .gain();
+        let g_rpa = attacker
+            .evaluate(&protocol, FreqAttack::Rpa, &targets, &genuine, m, &mut rng)
+            .gain();
+        assert!(g_mga > g_rpa, "MGA {g_mga} should beat RPA {g_rpa}");
+        assert!(g_mga > 0.0);
+    }
+
+    #[test]
+    fn oue_mga_report_contains_all_targets() {
+        let protocol = OptimizedUnaryEncoding::new(50, 2.0).unwrap();
+        let mut rng = Xoshiro256pp::new(3);
+        let targets = [1usize, 2, 3, 4];
+        let report = OueAttacker.craft(&protocol, FreqAttack::Mga, &targets, &mut rng);
+        for &t in &targets {
+            assert!(report.get(t));
+        }
+    }
+
+    #[test]
+    fn olh_mga_bucket_covers_targets() {
+        let protocol = OptimizedLocalHashing::new(30, 1.0).unwrap();
+        let mut rng = Xoshiro256pp::new(4);
+        let targets = [2usize, 9, 17];
+        let report =
+            OlhAttacker::default().craft(&protocol, FreqAttack::Mga, &targets, &mut rng);
+        let covered = targets
+            .iter()
+            .filter(|&&t| olh_hash(report.seed, t, protocol.num_buckets()) == report.bucket)
+            .count();
+        assert!(covered >= 1, "MGA seed search must cover at least one target");
+    }
+
+    #[test]
+    fn olh_mga_beats_rpa() {
+        let protocol = OptimizedLocalHashing::new(16, 1.0).unwrap();
+        let mut rng = Xoshiro256pp::new(5);
+        let genuine: Vec<OlhReport> =
+            (0..8_000).map(|u| protocol.perturb(u % 16, &mut rng)).collect();
+        let targets = [4usize];
+        let attacker = OlhAttacker::default();
+        let g_mga = attacker
+            .evaluate(&protocol, FreqAttack::Mga, &targets, &genuine, 400, &mut rng)
+            .gain();
+        let g_rpa = attacker
+            .evaluate(&protocol, FreqAttack::Rpa, &targets, &genuine, 400, &mut rng)
+            .gain();
+        assert!(g_mga > g_rpa, "MGA {g_mga} should beat RPA {g_rpa}");
+    }
+
+    #[test]
+    fn gain_is_sum_over_targets() {
+        let est = vec![0.1, 0.2, 0.3];
+        assert!((frequency_gain(&est, &[0, 2]) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Generalized randomized response (kRR).
+
+use super::FrequencyProtocol;
+use crate::error::MechanismError;
+use rand::Rng;
+
+/// kRR / GRR: report the true item with probability
+/// `p = e^ε/(e^ε + k − 1)`, otherwise a uniformly random *other* item.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralizedRandomizedResponse {
+    k: usize,
+    p: f64,
+    q: f64,
+}
+
+impl GeneralizedRandomizedResponse {
+    /// Creates kRR over a domain of `k ≥ 2` items with budget ε.
+    ///
+    /// # Errors
+    /// Returns an error for `k < 2` or a non-positive/non-finite ε.
+    pub fn new(k: usize, epsilon: f64) -> Result<Self, MechanismError> {
+        if k < 2 {
+            return Err(MechanismError::InvalidParameter(format!("domain size {k} must be >= 2")));
+        }
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(MechanismError::InvalidBudget(epsilon));
+        }
+        let e = epsilon.exp();
+        let p = e / (e + k as f64 - 1.0);
+        let q = 1.0 / (e + k as f64 - 1.0);
+        Ok(GeneralizedRandomizedResponse { k, p, q })
+    }
+
+    /// Probability of reporting the true item.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability of reporting any particular other item.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+}
+
+impl FrequencyProtocol for GeneralizedRandomizedResponse {
+    type Report = usize;
+
+    fn domain_size(&self) -> usize {
+        self.k
+    }
+
+    fn perturb<R: Rng>(&self, item: usize, rng: &mut R) -> usize {
+        assert!(item < self.k, "item {item} outside domain 0..{}", self.k);
+        if rng.gen::<f64>() < self.p {
+            item
+        } else {
+            // Uniform over the other k−1 items.
+            let other = rng.gen_range(0..self.k - 1);
+            if other >= item {
+                other + 1
+            } else {
+                other
+            }
+        }
+    }
+
+    fn estimate(&self, reports: &[usize]) -> Vec<f64> {
+        let n = reports.len() as f64;
+        let mut counts = vec![0usize; self.k];
+        for &r in reports {
+            counts[r] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| (c as f64 / n - self.q) / (self.p - self.q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_graph::rng::Xoshiro256pp;
+
+    #[test]
+    fn construction_validates() {
+        assert!(GeneralizedRandomizedResponse::new(1, 1.0).is_err());
+        assert!(GeneralizedRandomizedResponse::new(10, 0.0).is_err());
+        assert!(GeneralizedRandomizedResponse::new(10, 1.0).is_ok());
+    }
+
+    #[test]
+    fn probabilities_sum_correctly() {
+        let grr = GeneralizedRandomizedResponse::new(8, 2.0).unwrap();
+        let total = grr.p() + 7.0 * grr.q();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimation_recovers_distribution() {
+        let grr = GeneralizedRandomizedResponse::new(5, 3.0).unwrap();
+        let mut rng = Xoshiro256pp::new(1);
+        // True distribution: item i has frequency (i+1)/15.
+        let n = 60_000;
+        let mut reports = Vec::with_capacity(n);
+        for u in 0..n {
+            let item = match u % 15 {
+                0 => 0,
+                1..=2 => 1,
+                3..=5 => 2,
+                6..=9 => 3,
+                _ => 4,
+            };
+            reports.push(grr.perturb(item, &mut rng));
+        }
+        let est = grr.estimate(&reports);
+        for (i, &f) in est.iter().enumerate() {
+            let truth = (i + 1) as f64 / 15.0;
+            assert!((f - truth).abs() < 0.02, "item {i}: est {f}, truth {truth}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_item_panics() {
+        let grr = GeneralizedRandomizedResponse::new(3, 1.0).unwrap();
+        let mut rng = Xoshiro256pp::new(2);
+        grr.perturb(3, &mut rng);
+    }
+}

@@ -1,0 +1,40 @@
+//! Frequency-estimation LDP protocols and their poisoning attacks.
+//!
+//! The paper's graph attacks (§IV-B) are explicit adaptations of the
+//! poisoning attacks Cao, Jia & Gong mounted on frequency-estimation LDP
+//! (USENIX Security 2021): RVA generalizes RPA, RNA generalizes RIA, and
+//! MGA keeps its name. This module implements that baseline world —
+//! the three state-of-the-art frequency protocols (GRR, OUE, OLH) and the
+//! three attacks — both as a reference point for the graph results and as
+//! a self-contained, tested LDP frequency library.
+
+mod attacks;
+mod grr;
+mod olh;
+mod oue;
+
+pub use attacks::{
+    frequency_gain, FreqAttack, FreqAttackOutcome, GrrAttacker, OlhAttacker, OueAttacker,
+    ProtocolAttacker,
+};
+pub use grr::GeneralizedRandomizedResponse;
+pub use olh::{olh_hash, OptimizedLocalHashing, OlhReport};
+pub use oue::OptimizedUnaryEncoding;
+
+use rand::Rng;
+
+/// A frequency-estimation LDP protocol over the item domain `0..k`.
+pub trait FrequencyProtocol {
+    /// The perturbed report one user uploads.
+    type Report;
+
+    /// Number of items `k` in the domain.
+    fn domain_size(&self) -> usize;
+
+    /// Locally perturbs a user's true item.
+    fn perturb<R: Rng>(&self, item: usize, rng: &mut R) -> Self::Report;
+
+    /// Unbiased estimate of each item's frequency (fraction of users) from
+    /// the collected reports.
+    fn estimate(&self, reports: &[Self::Report]) -> Vec<f64>;
+}

@@ -1,0 +1,163 @@
+//! Optimized local hashing (OLH).
+
+use super::FrequencyProtocol;
+use crate::error::MechanismError;
+use rand::Rng;
+
+/// One OLH report: the user's public hash seed plus the GRR-perturbed
+/// bucket of their hashed item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OlhReport {
+    /// The per-user hash seed (public).
+    pub seed: u64,
+    /// The reported bucket in `0..g`.
+    pub bucket: usize,
+}
+
+/// Hashes `item` into `0..g` under `seed` — the public hash family used by
+/// OLH (SplitMix64-style mixing; pairwise independence is ample here).
+pub fn olh_hash(seed: u64, item: usize, g: usize) -> usize {
+    let mut z = seed ^ (item as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % g as u64) as usize
+}
+
+/// OLH: each user hashes their item into `g = ⌊e^ε⌋ + 1` buckets with a
+/// private-seeded public hash, then runs GRR over the bucket domain.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizedLocalHashing {
+    k: usize,
+    g: usize,
+    p: f64,
+}
+
+impl OptimizedLocalHashing {
+    /// Creates OLH over a domain of `k ≥ 2` items with budget ε.
+    ///
+    /// # Errors
+    /// Returns an error for `k < 2` or a non-positive/non-finite ε.
+    pub fn new(k: usize, epsilon: f64) -> Result<Self, MechanismError> {
+        if k < 2 {
+            return Err(MechanismError::InvalidParameter(format!("domain size {k} must be >= 2")));
+        }
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(MechanismError::InvalidBudget(epsilon));
+        }
+        let g = (epsilon.exp().floor() as usize + 1).max(2);
+        let e = epsilon.exp();
+        let p = e / (e + g as f64 - 1.0);
+        Ok(OptimizedLocalHashing { k, g, p })
+    }
+
+    /// Number of hash buckets `g`.
+    pub fn num_buckets(&self) -> usize {
+        self.g
+    }
+
+    /// GRR keep probability over the bucket domain.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl FrequencyProtocol for OptimizedLocalHashing {
+    type Report = OlhReport;
+
+    fn domain_size(&self) -> usize {
+        self.k
+    }
+
+    fn perturb<R: Rng>(&self, item: usize, rng: &mut R) -> OlhReport {
+        assert!(item < self.k, "item {item} outside domain 0..{}", self.k);
+        let seed: u64 = rng.gen();
+        let true_bucket = olh_hash(seed, item, self.g);
+        let bucket = if rng.gen::<f64>() < self.p {
+            true_bucket
+        } else {
+            let other = rng.gen_range(0..self.g - 1);
+            if other >= true_bucket {
+                other + 1
+            } else {
+                other
+            }
+        };
+        OlhReport { seed, bucket }
+    }
+
+    fn estimate(&self, reports: &[OlhReport]) -> Vec<f64> {
+        let n = reports.len() as f64;
+        let mut support = vec![0usize; self.k];
+        for report in reports {
+            for (item, s) in support.iter_mut().enumerate() {
+                if olh_hash(report.seed, item, self.g) == report.bucket {
+                    *s += 1;
+                }
+            }
+        }
+        let one_over_g = 1.0 / self.g as f64;
+        support
+            .into_iter()
+            .map(|c| (c as f64 / n - one_over_g) / (self.p - one_over_g))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_graph::rng::Xoshiro256pp;
+
+    #[test]
+    fn construction_validates() {
+        assert!(OptimizedLocalHashing::new(1, 1.0).is_err());
+        assert!(OptimizedLocalHashing::new(5, 0.0).is_err());
+        let olh = OptimizedLocalHashing::new(5, 2.0).unwrap();
+        assert_eq!(olh.num_buckets(), 2.0f64.exp().floor() as usize + 1);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            for item in 0..20usize {
+                let h1 = olh_hash(seed, item, 8);
+                let h2 = olh_hash(seed, item, 8);
+                assert_eq!(h1, h2);
+                assert!(h1 < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_buckets_are_roughly_balanced() {
+        let g = 8;
+        let mut counts = vec![0usize; g];
+        for seed in 0..2_000u64 {
+            counts[olh_hash(seed, 3, g)] += 1;
+        }
+        let expected = 2_000.0 / g as f64;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < 6.0 * expected.sqrt());
+        }
+    }
+
+    #[test]
+    fn estimation_recovers_distribution() {
+        let olh = OptimizedLocalHashing::new(4, 3.0).unwrap();
+        let mut rng = Xoshiro256pp::new(6);
+        let n = 40_000;
+        // Half of users hold item 0, the rest split across 1..4.
+        let reports: Vec<OlhReport> = (0..n)
+            .map(|u| {
+                let item = if u % 2 == 0 { 0 } else { 1 + (u / 2) % 3 };
+                olh.perturb(item, &mut rng)
+            })
+            .collect();
+        let est = olh.estimate(&reports);
+        assert!((est[0] - 0.5).abs() < 0.03, "item 0: {}", est[0]);
+        for (i, &e) in est.iter().enumerate().skip(1) {
+            assert!((e - 1.0 / 6.0).abs() < 0.03, "item {i}: {e}");
+        }
+    }
+}

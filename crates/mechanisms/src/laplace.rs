@@ -1,0 +1,126 @@
+//! The Laplace mechanism.
+//!
+//! In LF-GDPR the node degree has sensitivity 1 under edge-LDP (adding or
+//! removing one edge changes the degree by one), so a user reports
+//! `d + Lap(1/ε₂)`. The attacker's degree-consistency countermeasure
+//! (Detect2, paper §VII-B) also needs the Laplace standard deviation to set
+//! its 3σ threshold, so that is exposed here too.
+
+use crate::error::MechanismError;
+use rand::Rng;
+
+/// Laplace mechanism with a fixed sensitivity/budget pair.
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceMechanism {
+    scale: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates the mechanism for the given sensitivity and budget.
+    /// The noise scale is `b = sensitivity / epsilon`.
+    ///
+    /// # Errors
+    /// Returns an error unless both arguments are positive and finite.
+    pub fn new(sensitivity: f64, epsilon: f64) -> Result<Self, MechanismError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(MechanismError::InvalidBudget(epsilon));
+        }
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(MechanismError::InvalidParameter(format!(
+                "sensitivity = {sensitivity} must be positive and finite"
+            )));
+        }
+        Ok(LaplaceMechanism { scale: sensitivity / epsilon })
+    }
+
+    /// The noise scale `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Standard deviation of the noise, `√2 · b`.
+    pub fn std_dev(&self) -> f64 {
+        std::f64::consts::SQRT_2 * self.scale
+    }
+
+    /// Perturbs a value: `value + Lap(b)`.
+    pub fn perturb<R: Rng>(&self, value: f64, rng: &mut R) -> f64 {
+        value + sample_laplace(self.scale, rng)
+    }
+
+    /// Perturbs and rounds to the nearest integer, clamped to
+    /// `[0, max_value]` — the shape of a reported degree.
+    pub fn perturb_degree<R: Rng>(&self, degree: f64, max_value: f64, rng: &mut R) -> f64 {
+        self.perturb(degree, rng).round().clamp(0.0, max_value)
+    }
+}
+
+/// Draws one sample from the zero-mean Laplace distribution with scale `b`,
+/// via inverse-CDF: `-b · sign(u) · ln(1 − 2|u|)` for `u ∈ (−½, ½)`.
+pub fn sample_laplace<R: Rng>(b: f64, rng: &mut R) -> f64 {
+    // u uniform in (-0.5, 0.5]; nudge away from the endpoints to avoid ln(0).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    let abs = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+    -b * u.signum() * abs.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_graph::rng::Xoshiro256pp;
+
+    #[test]
+    fn construction_validates() {
+        assert!(LaplaceMechanism::new(1.0, 0.0).is_err());
+        assert!(LaplaceMechanism::new(0.0, 1.0).is_err());
+        assert!(LaplaceMechanism::new(1.0, f64::NAN).is_err());
+        assert!(LaplaceMechanism::new(1.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn scale_and_std_dev() {
+        let m = LaplaceMechanism::new(1.0, 2.0).unwrap();
+        assert!((m.scale() - 0.5).abs() < 1e-12);
+        assert!((m.std_dev() - std::f64::consts::SQRT_2 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_have_laplace_moments() {
+        let mut rng = Xoshiro256pp::new(21);
+        let b = 2.0;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_laplace(b, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} should be ~0");
+        let expected_var = 2.0 * b * b;
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.05,
+            "variance {var} should be ~{expected_var}"
+        );
+    }
+
+    #[test]
+    fn perturb_degree_clamps_and_rounds() {
+        let mut rng = Xoshiro256pp::new(22);
+        let m = LaplaceMechanism::new(1.0, 0.01).unwrap(); // huge noise
+        for _ in 0..200 {
+            let d = m.perturb_degree(5.0, 20.0, &mut rng);
+            assert!((0.0..=20.0).contains(&d));
+            assert_eq!(d, d.round());
+        }
+    }
+
+    #[test]
+    fn higher_epsilon_means_less_noise() {
+        let mut rng = Xoshiro256pp::new(23);
+        let tight = LaplaceMechanism::new(1.0, 8.0).unwrap();
+        let loose = LaplaceMechanism::new(1.0, 0.5).unwrap();
+        let n = 20_000;
+        let err_tight: f64 =
+            (0..n).map(|_| tight.perturb(0.0, &mut rng).abs()).sum::<f64>() / n as f64;
+        let err_loose: f64 =
+            (0..n).map(|_| loose.perturb(0.0, &mut rng).abs()).sum::<f64>() / n as f64;
+        assert!(err_tight < err_loose / 4.0);
+    }
+}

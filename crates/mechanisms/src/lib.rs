@@ -1,0 +1,32 @@
+//! # ldp-mechanisms
+//!
+//! Local-differential-privacy primitives used by the graph protocols and by
+//! the attacks:
+//!
+//! * [`budget`] — privacy-budget bookkeeping and the ε₁/ε₂ split between the
+//!   adjacency-bit-vector and degree channels (LF-GDPR style).
+//! * [`laplace`] — the Laplace mechanism for numeric values (degree
+//!   perturbation with budget ε₂).
+//! * [`rr`] — symmetric randomized response over bits and packed bit
+//!   vectors (adjacency perturbation with budget ε₁), including an
+//!   `O(#flips)` sparse implementation and the unbiased count calibration.
+//! * [`sampling`] — exact/approximate Binomial and Geometric samplers that
+//!   make whole-population simulation tractable at the paper's scales.
+//! * [`freq`] — frequency-estimation LDP protocols (GRR, OUE, OLH) together
+//!   with the RPA/RIA/MGA poisoning attacks of Cao et al. (USENIX Sec'21),
+//!   which the paper's graph attacks generalize (paper §III-A, §IV-B).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod error;
+pub mod freq;
+pub mod laplace;
+pub mod rr;
+pub mod sampling;
+
+pub use budget::PrivacyBudget;
+pub use error::MechanismError;
+pub use laplace::LaplaceMechanism;
+pub use rr::RandomizedResponse;

@@ -1,0 +1,257 @@
+//! Distribution samplers for whole-population simulation.
+//!
+//! Simulating the LDP pipeline exactly requires per-node draws like
+//! "how many of my `N−1−d` zero bits flipped to one?" — a Binomial with
+//! huge `n`. Materializing every coin is `O(N²)` per graph, so the
+//! simulators draw the *counts* directly:
+//!
+//! * small mean → exact geometric-skip sampling (`O(successes)`),
+//! * large mean → Gaussian approximation with continuity correction, whose
+//!   relative error is negligible at the regimes where it is used
+//!   (`min(np, n(1−p)) ≥ 64`).
+
+use rand::Rng;
+
+/// Threshold on `min(np, n(1-p))` above which the Gaussian approximation to
+/// the Binomial is used. At 64 the Berry–Esseen error is already far below
+/// the sampling noise of the experiments.
+const NORMAL_APPROX_THRESHOLD: f64 = 64.0;
+
+/// Samples the number of failures before the first success for success
+/// probability `p` — i.e. `Geometric(p)` supported on `0, 1, 2, …`.
+///
+/// Returns `usize::MAX` for `p == 0` (no success ever); returns 0 for
+/// `p >= 1`.
+pub fn sample_geometric<R: Rng>(p: f64, rng: &mut R) -> usize {
+    if p >= 1.0 {
+        return 0;
+    }
+    if p <= 0.0 {
+        return usize::MAX;
+    }
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let skips = u.ln() / (1.0 - p).ln();
+    if skips >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        skips.floor() as usize
+    }
+}
+
+/// Samples `Binomial(n, p)` exactly by geometric skipping: expected cost
+/// `O(np)`. Suitable when the mean is small.
+pub fn sample_binomial_exact<R: Rng>(n: usize, p: f64, rng: &mut R) -> usize {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mut successes = 0usize;
+    let mut pos = 0usize;
+    loop {
+        let skip = sample_geometric(p, rng);
+        pos = match pos.checked_add(skip) {
+            Some(v) => v,
+            None => break,
+        };
+        if pos >= n {
+            break;
+        }
+        successes += 1;
+        pos += 1;
+    }
+    successes
+}
+
+/// Samples one standard normal deviate via Box–Muller.
+pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `Binomial(n, p)`, choosing exact geometric skipping for small
+/// means and the Gaussian approximation (rounded, clamped to `[0, n]`) for
+/// large means.
+pub fn sample_binomial<R: Rng>(n: usize, p: f64, rng: &mut R) -> usize {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let nf = n as f64;
+    let mean = nf * p;
+    let anti_mean = nf * (1.0 - p);
+    if mean.min(anti_mean) < NORMAL_APPROX_THRESHOLD {
+        // Sample the rarer side exactly and mirror if needed.
+        if mean <= anti_mean {
+            sample_binomial_exact(n, p, rng)
+        } else {
+            n - sample_binomial_exact(n, 1.0 - p, rng)
+        }
+    } else {
+        let sd = (nf * p * (1.0 - p)).sqrt();
+        let x = mean + sd * sample_standard_normal(rng);
+        x.round().clamp(0.0, nf) as usize
+    }
+}
+
+/// Adds independent zero-mean Laplace noise of scale `b` to every entry in
+/// place (the vector form LDPGen's degree-vector reports use).
+pub fn sample_laplace_vec<R: Rng>(values: &mut [f64], b: f64, rng: &mut R) {
+    for v in values {
+        *v += crate::laplace::sample_laplace(b, rng);
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` uniformly (Floyd's algorithm),
+/// returned in ascending order.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_distinct<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+    let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.insert(t) { t } else { j };
+        if pick != t {
+            chosen.insert(pick);
+        }
+        out.push(pick);
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_graph::rng::Xoshiro256pp;
+
+    #[test]
+    fn geometric_extremes() {
+        let mut rng = Xoshiro256pp::new(1);
+        assert_eq!(sample_geometric(1.0, &mut rng), 0);
+        assert_eq!(sample_geometric(0.0, &mut rng), usize::MAX);
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let mut rng = Xoshiro256pp::new(2);
+        let p = 0.2;
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_geometric(p, &mut rng) as f64).sum::<f64>() / n as f64;
+        let expected = (1.0 - p) / p; // failures before success
+        assert!((mean - expected).abs() / expected < 0.05, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn binomial_exact_matches_moments() {
+        let mut rng = Xoshiro256pp::new(3);
+        let (n, p) = (50usize, 0.3);
+        let trials = 50_000;
+        let samples: Vec<f64> =
+            (0..trials).map(|_| sample_binomial_exact(n, p, &mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+        assert!((mean - 15.0).abs() < 0.15, "mean {mean}");
+        assert!((var - 10.5).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn binomial_hybrid_large_n() {
+        let mut rng = Xoshiro256pp::new(4);
+        let (n, p) = (1_000_000usize, 0.25);
+        let trials = 2_000;
+        let samples: Vec<f64> =
+            (0..trials).map(|_| sample_binomial(n, p, &mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let expected = 250_000.0;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        assert!((mean - expected).abs() < 5.0 * sd / (trials as f64).sqrt());
+    }
+
+    #[test]
+    fn binomial_high_p_mirrors() {
+        let mut rng = Xoshiro256pp::new(5);
+        let (n, p) = (100usize, 0.98);
+        for _ in 0..500 {
+            let x = sample_binomial(n, p, &mut rng);
+            assert!(x <= n);
+        }
+        let mean: f64 =
+            (0..20_000).map(|_| sample_binomial(n, p, &mut rng) as f64).sum::<f64>() / 20_000.0;
+        assert!((mean - 98.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = Xoshiro256pp::new(6);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 1.0, &mut rng), 10);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Xoshiro256pp::new(7);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02);
+        assert!((var - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn distinct_sampling_is_distinct_and_in_range() {
+        let mut rng = Xoshiro256pp::new(8);
+        for _ in 0..100 {
+            let v = sample_distinct(50, 12, &mut rng);
+            assert_eq!(v.len(), 12);
+            let set: std::collections::HashSet<_> = v.iter().collect();
+            assert_eq!(set.len(), 12);
+            assert!(v.iter().all(|&x| x < 50));
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_full_range() {
+        let mut rng = Xoshiro256pp::new(9);
+        let v = sample_distinct(5, 5, &mut rng);
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn distinct_sampling_over_capacity_panics() {
+        let mut rng = Xoshiro256pp::new(10);
+        sample_distinct(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn distinct_sampling_is_roughly_uniform() {
+        let mut rng = Xoshiro256pp::new(11);
+        let mut counts = [0usize; 10];
+        let trials = 20_000;
+        for _ in 0..trials {
+            for i in sample_distinct(10, 3, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        let expected = trials as f64 * 3.0 / 10.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 0.05 * expected + 4.0 * expected.sqrt(),
+                "index {i} drawn {c} times, expected ~{expected}"
+            );
+        }
+    }
+}

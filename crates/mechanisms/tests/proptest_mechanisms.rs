@@ -1,0 +1,95 @@
+//! Property tests for the LDP mechanisms: sampler supports, protocol
+//! estimator algebra, and budget bookkeeping over randomized parameters.
+
+use ldp_graph::{BitSet, Xoshiro256pp};
+use ldp_mechanisms::freq::{
+    FrequencyProtocol, GeneralizedRandomizedResponse, OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+};
+use ldp_mechanisms::sampling::{sample_binomial, sample_distinct, sample_geometric};
+use ldp_mechanisms::{PrivacyBudget, RandomizedResponse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Binomial samples always land in [0, n].
+    #[test]
+    fn binomial_support(seed in 0u64..1000, n in 0usize..10_000, p in 0.0f64..1.0) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let x = sample_binomial(n, p, &mut rng);
+        prop_assert!(x <= n);
+    }
+
+    /// Geometric samples are finite for positive p.
+    #[test]
+    fn geometric_support(seed in 0u64..1000, p in 0.001f64..1.0) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let x = sample_geometric(p, &mut rng);
+        prop_assert!(x < usize::MAX);
+    }
+
+    /// Distinct sampling: sorted, unique, in range, right count.
+    #[test]
+    fn distinct_contract(seed in 0u64..1000, n in 1usize..200, k_frac in 0.0f64..1.0) {
+        let k = ((n as f64) * k_frac) as usize;
+        let mut rng = Xoshiro256pp::new(seed);
+        let v = sample_distinct(n, k, &mut rng);
+        prop_assert_eq!(v.len(), k);
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(v.iter().all(|&x| x < n));
+    }
+
+    /// Budget splits always re-sum to the total.
+    #[test]
+    fn budget_split_sums(eps in 0.01f64..32.0, frac in 0.01f64..0.99) {
+        let b = PrivacyBudget::split_fraction(eps, frac).unwrap();
+        prop_assert!((b.total() - eps).abs() < 1e-12);
+        prop_assert!(b.epsilon_adjacency > 0.0 && b.epsilon_degree > 0.0);
+    }
+
+    /// RR keep probability round-trips through epsilon.
+    #[test]
+    fn rr_epsilon_roundtrip(eps in 0.05f64..16.0) {
+        let rr = RandomizedResponse::new(eps).unwrap();
+        prop_assert!((rr.epsilon() - eps).abs() < 1e-9);
+        prop_assert!(rr.p_keep() > 0.5 && rr.p_keep() < 1.0);
+        prop_assert!((rr.p_keep() + rr.p_flip() - 1.0).abs() < 1e-12);
+    }
+
+    /// RR bitset perturbation never touches the self slot and preserves
+    /// capacity.
+    #[test]
+    fn rr_self_slot(seed in 0u64..1000, eps in 0.1f64..8.0, own in 0usize..64) {
+        let rr = RandomizedResponse::new(eps).unwrap();
+        let mut rng = Xoshiro256pp::new(seed);
+        let truth = BitSet::from_indices(64, [own]);
+        let out = rr.perturb_bitset(&truth, Some(own), &mut rng);
+        prop_assert!(!out.get(own));
+        prop_assert_eq!(out.capacity(), 64);
+    }
+
+    /// GRR estimates sum to ~1 over the domain (the estimator is a linear
+    /// rescaling of an empirical distribution).
+    #[test]
+    fn grr_estimates_sum_to_one(seed in 0u64..200, k in 2usize..12) {
+        let grr = GeneralizedRandomizedResponse::new(k, 2.0).unwrap();
+        let mut rng = Xoshiro256pp::new(seed);
+        let reports: Vec<usize> = (0..500).map(|u| grr.perturb(u % k, &mut rng)).collect();
+        let sum: f64 = grr.estimate(&reports).iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "estimates sum to {}", sum);
+    }
+
+    /// OUE and OLH estimators are finite on arbitrary honest populations.
+    #[test]
+    fn oue_olh_finite(seed in 0u64..100, k in 2usize..10) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let oue = OptimizedUnaryEncoding::new(k, 1.0).unwrap();
+        let reports: Vec<BitSet> = (0..200).map(|u| oue.perturb(u % k, &mut rng)).collect();
+        prop_assert!(oue.estimate(&reports).iter().all(|f| f.is_finite()));
+
+        let olh = OptimizedLocalHashing::new(k, 1.0).unwrap();
+        let reports: Vec<_> = (0..200).map(|u| olh.perturb(u % k, &mut rng)).collect();
+        prop_assert!(olh.estimate(&reports).iter().all(|f| f.is_finite()));
+    }
+}

@@ -1,0 +1,159 @@
+//! Seeded k-means over reported degree vectors (LDPGen's refinement step).
+
+use rand::Rng;
+
+/// The result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster id per input vector, in `0..k`.
+    pub assignment: Vec<usize>,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations executed before convergence or cut-off.
+    pub iterations: usize,
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lloyd's algorithm with random-point initialization. `k` is clamped to
+/// the number of points; empty clusters are re-seeded from the point
+/// farthest from its centroid, so every cluster id in `0..k` stays live.
+pub fn kmeans<R: Rng>(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> KMeansResult {
+    let n = points.len();
+    if n == 0 || k == 0 {
+        return KMeansResult { assignment: vec![0; n], centroids: Vec::new(), iterations: 0 };
+    }
+    let k = k.min(n);
+    let dim = points[0].len();
+
+    // Initialize centroids from k distinct random points.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut taken = std::collections::HashSet::new();
+    while centroids.len() < k {
+        let i = rng.gen_range(0..n);
+        if taken.insert(i) {
+            centroids.push(points[i].clone());
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, point) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    squared_distance(point, &centroids[a])
+                        .total_cmp(&squared_distance(point, &centroids[b]))
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, point) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &x) in sums[assignment[i]].iter_mut().zip(point) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the point farthest from its
+                // current centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        squared_distance(&points[a], &centroids[assignment[a]])
+                            .total_cmp(&squared_distance(&points[b], &centroids[assignment[b]]))
+                    })
+                    .expect("n >= 1");
+                centroids[c] = points[far].clone();
+                changed = true;
+            } else {
+                for (s, c_val) in sums[c].iter().zip(centroids[c].iter_mut()) {
+                    *c_val = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    KMeansResult { assignment, centroids, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_graph::Xoshiro256pp;
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let mut points = Vec::new();
+        for i in 0..20 {
+            points.push(vec![0.0 + (i % 3) as f64 * 0.1, 0.0]);
+        }
+        for i in 0..20 {
+            points.push(vec![10.0 + (i % 3) as f64 * 0.1, 10.0]);
+        }
+        let mut rng = Xoshiro256pp::new(1);
+        let result = kmeans(&points, 2, 50, &mut rng);
+        let first = result.assignment[0];
+        assert!(result.assignment[..20].iter().all(|&a| a == first));
+        let second = result.assignment[20];
+        assert_ne!(first, second);
+        assert!(result.assignment[20..].iter().all(|&a| a == second));
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let points = vec![vec![1.0], vec![2.0]];
+        let mut rng = Xoshiro256pp::new(2);
+        let result = kmeans(&points, 10, 10, &mut rng);
+        assert!(result.assignment.iter().all(|&a| a < 2));
+        assert_eq!(result.centroids.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut rng = Xoshiro256pp::new(3);
+        let result = kmeans(&[], 3, 10, &mut rng);
+        assert!(result.assignment.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let points: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![(i % 7) as f64, (i % 11) as f64]).collect();
+        let r1 = kmeans(&points, 4, 30, &mut Xoshiro256pp::new(5));
+        let r2 = kmeans(&points, 4, 30, &mut Xoshiro256pp::new(5));
+        assert_eq!(r1.assignment, r2.assignment);
+    }
+
+    #[test]
+    fn every_cluster_id_is_used_on_separable_data() {
+        let mut points = Vec::new();
+        for c in 0..4 {
+            for _ in 0..10 {
+                points.push(vec![c as f64 * 100.0]);
+            }
+        }
+        let mut rng = Xoshiro256pp::new(8);
+        let result = kmeans(&points, 4, 50, &mut rng);
+        let used: std::collections::HashSet<_> = result.assignment.iter().collect();
+        assert_eq!(used.len(), 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! The server-side aggregate of all uploaded reports.
+
+use crate::report::UserReport;
+use ldp_graph::{BitMatrix, NodeId};
+use ldp_mechanisms::RandomizedResponse;
+
+/// The perturbed graph the server reconstructs from `N` reports, plus the
+/// reported-degree vector.
+///
+/// Slot ownership: the undirected slot `{i, j}` with `i > j` is taken from
+/// report `i` (lower-triangle authority), so each slot is perturbed exactly
+/// once — see the crate docs.
+#[derive(Debug, Clone)]
+pub struct PerturbedView {
+    matrix: BitMatrix,
+    reported_degrees: Vec<f64>,
+    perturbed_degrees: Vec<usize>,
+    rr: RandomizedResponse,
+}
+
+impl PerturbedView {
+    /// Builds the view from one report per user.
+    ///
+    /// # Panics
+    /// Panics if the number of reports differs from the population size
+    /// they claim, or if reports disagree on the population size.
+    pub fn from_reports(reports: &[UserReport], rr: RandomizedResponse) -> Self {
+        let n = reports.len();
+        let mut matrix = BitMatrix::new(n);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(
+                report.population(),
+                n,
+                "report {i} spans {} users but {n} reports were collected",
+                report.population()
+            );
+            for j in report.bits.iter_ones() {
+                if j < i {
+                    matrix.set_edge(i, j);
+                }
+            }
+        }
+        let perturbed_degrees = (0..n).map(|u| matrix.degree(u)).collect();
+        let reported_degrees = reports.iter().map(|r| r.degree).collect();
+        PerturbedView { matrix, reported_degrees, perturbed_degrees, rr }
+    }
+
+    /// Population size `N`.
+    pub fn num_users(&self) -> usize {
+        self.reported_degrees.len()
+    }
+
+    /// The symmetrized perturbed adjacency matrix.
+    pub fn matrix(&self) -> &BitMatrix {
+        &self.matrix
+    }
+
+    /// The randomized-response mechanism the view assumes for calibration.
+    pub fn rr(&self) -> RandomizedResponse {
+        self.rr
+    }
+
+    /// Node `i`'s degree in the perturbed graph (row popcount) — `d̃_i`.
+    pub fn perturbed_degree(&self, i: NodeId) -> usize {
+        self.perturbed_degrees[i]
+    }
+
+    /// Node `i`'s self-reported (Laplace) degree.
+    pub fn reported_degree(&self, i: NodeId) -> f64 {
+        self.reported_degrees[i]
+    }
+
+    /// All reported degrees.
+    pub fn reported_degrees(&self) -> &[f64] {
+        &self.reported_degrees
+    }
+
+    /// Average perturbed degree `d̃` over all users.
+    pub fn average_perturbed_degree(&self) -> f64 {
+        if self.num_users() == 0 {
+            return 0.0;
+        }
+        self.perturbed_degrees.iter().sum::<usize>() as f64 / self.num_users() as f64
+    }
+
+    /// Edge density `θ̃` of the perturbed graph: `Σd̃_i / (N(N−1))`.
+    ///
+    /// (Paper Eq. 17 writes the numerator with τ̃; the quantity it names —
+    /// "edge density of the perturbed graph" — is this one. See DESIGN.md.)
+    pub fn edge_density(&self) -> f64 {
+        let n = self.num_users() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        self.perturbed_degrees.iter().sum::<usize>() as f64 / (n * (n - 1.0))
+    }
+
+    /// The degree-centrality estimate the paper's degree attacks target:
+    /// `c̃_i = d̃_i / (N − 1)` on the perturbed graph (Theorem 1 operates on
+    /// exactly this uncalibrated quantity).
+    pub fn degree_centrality(&self, i: NodeId) -> f64 {
+        let n = self.num_users();
+        if n < 2 {
+            return 0.0;
+        }
+        self.perturbed_degrees[i] as f64 / (n as f64 - 1.0)
+    }
+
+    /// RR-calibrated (unbiased) degree estimate from the adjacency channel:
+    /// `(d̃_i − (N−1)(1−p)) / (2p−1)`.
+    pub fn calibrated_degree(&self, i: NodeId) -> f64 {
+        let n = self.num_users() as f64;
+        self.rr.calibrate_count(self.perturbed_degrees[i] as f64, n - 1.0)
+    }
+
+    /// Calibrated degree-centrality estimate (ablation: shows the attack
+    /// also moves the unbiased estimator, scaled by `1/(2p−1)`).
+    pub fn calibrated_degree_centrality(&self, i: NodeId) -> f64 {
+        let n = self.num_users();
+        if n < 2 {
+            return 0.0;
+        }
+        self.calibrated_degree(i) / (n as f64 - 1.0)
+    }
+
+    /// Number of triangles incident to `i` in the perturbed graph — `τ̃_i`.
+    pub fn perturbed_triangles(&self, i: NodeId) -> u64 {
+        self.matrix.triangles_at(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_graph::BitSet;
+
+    fn rr09() -> RandomizedResponse {
+        RandomizedResponse::from_keep_probability(0.9).unwrap()
+    }
+
+    /// Hand-built population of 4 users where user i's bits are given
+    /// explicitly (only lower-triangle bits count).
+    fn view_from_rows(rows: Vec<Vec<usize>>, degrees: Vec<f64>) -> PerturbedView {
+        let n = rows.len();
+        let reports: Vec<UserReport> = rows
+            .into_iter()
+            .zip(degrees)
+            .map(|(ones, d)| UserReport::new(BitSet::from_indices(n, ones), d))
+            .collect();
+        PerturbedView::from_reports(&reports, rr09())
+    }
+
+    #[test]
+    fn lower_triangle_ownership() {
+        // User 0 claims an edge to 3 (ignored: 3 > 0); user 3 claims edges
+        // to 0 and 1 (authoritative).
+        let view = view_from_rows(
+            vec![vec![3], vec![], vec![], vec![0, 1]],
+            vec![0.0, 0.0, 0.0, 2.0],
+        );
+        assert!(view.matrix().has_edge(3, 0));
+        assert!(view.matrix().has_edge(3, 1));
+        assert!(!view.matrix().has_edge(0, 3) || view.matrix().has_edge(3, 0));
+        assert_eq!(view.matrix().num_edges(), 2);
+        assert_eq!(view.perturbed_degree(3), 2);
+        assert_eq!(view.perturbed_degree(2), 0);
+    }
+
+    #[test]
+    fn degree_centrality_uses_perturbed_degree() {
+        let view = view_from_rows(
+            vec![vec![], vec![0], vec![0, 1], vec![]],
+            vec![0.0; 4],
+        );
+        // Node 0 has perturbed degree 2 (claimed by 1 and 2).
+        assert_eq!(view.perturbed_degree(0), 2);
+        assert!((view.degree_centrality(0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_reverses_rr_bias_in_expectation() {
+        let rr = rr09();
+        // Perturbed degree exactly at its expectation for true degree 5 of 99 slots.
+        let expected = rr.expected_observed(5.0, 99.0);
+        let calibrated = rr.calibrate_count(expected, 99.0);
+        assert!((calibrated - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_and_average_degree() {
+        let view = view_from_rows(
+            vec![vec![], vec![0], vec![1], vec![2]],
+            vec![0.0; 4],
+        );
+        // 3 edges in a path; Σd̃ = 6.
+        assert!((view.average_perturbed_degree() - 1.5).abs() < 1e-12);
+        assert!((view.edge_density() - 6.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturbed_triangles_counts_matrix_triangles() {
+        let view = view_from_rows(
+            vec![vec![], vec![0], vec![0, 1], vec![]],
+            vec![0.0; 4],
+        );
+        assert_eq!(view.perturbed_triangles(0), 1);
+        assert_eq!(view.perturbed_triangles(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans")]
+    fn population_mismatch_panics() {
+        let reports = vec![
+            UserReport::new(BitSet::new(3), 0.0),
+            UserReport::new(BitSet::new(4), 0.0),
+            UserReport::new(BitSet::new(3), 0.0),
+        ];
+        PerturbedView::from_reports(&reports, rr09());
+    }
+}

@@ -1,0 +1,36 @@
+//! # ldp-protocols
+//!
+//! The two LDP protocols for graph-metric estimation that the paper
+//! attacks:
+//!
+//! * [`lfgdpr`] — **LF-GDPR** (Ye et al., TKDE'20): every user uploads a
+//!   randomized-response-perturbed adjacency bit vector (budget ε₁) and a
+//!   Laplace-perturbed degree (budget ε₂); the server aggregates them into
+//!   a perturbed graph view and estimates degree centrality, clustering
+//!   coefficients (via the three-case triangle calibration `R(·)`,
+//!   paper Eq. 15–19) and modularity.
+//! * [`ldpgen`] — **LDPGen** (Qin et al., CCS'17): users report
+//!   Laplace-noisy degree vectors toward server-chosen groups over two
+//!   phases; the server clusters users and synthesizes a whole graph from
+//!   which any metric can be read.
+//!
+//! ## Edge-perturbation model
+//!
+//! Every undirected slot `{i, j}` is perturbed **exactly once**: the
+//! higher-id endpoint's report is authoritative for the slot
+//! (users effectively upload the lower-triangle half of their bit vector).
+//! This matches the single-`p` algebra the paper's calibration uses
+//! (triangle retention `p³`, Eq. 16) and gives the attacker of the upper
+//! crates exactly the power the threat model grants: fake users — appended
+//! after genuine ids — own every slot between themselves and genuine users.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ldpgen;
+pub mod lfgdpr;
+pub mod report;
+
+pub use lfgdpr::{LfGdpr, PerturbedView};
+pub use ldpgen::LdpGen;
+pub use report::UserReport;

@@ -1,0 +1,53 @@
+//! The wire format of one LF-GDPR user report.
+//!
+//! Genuine users produce reports by perturbing their local view; fake users
+//! *craft* reports directly (paper Fig. 2). Both travel in the same format,
+//! which is precisely why the server cannot tell them apart a priori.
+
+use ldp_graph::BitSet;
+
+/// One user's upload: a (perturbed or crafted) adjacency bit vector and a
+/// (perturbed or crafted) degree.
+#[derive(Debug, Clone)]
+pub struct UserReport {
+    /// Adjacency bit vector over all `N` users. Only the entries toward
+    /// lower ids are authoritative (lower-triangle ownership); the self
+    /// slot is always zero.
+    pub bits: BitSet,
+    /// Reported degree, already rounded/clamped by the reporting side.
+    pub degree: f64,
+}
+
+impl UserReport {
+    /// Creates a report. The degree channel and the bit vector are
+    /// independent in the protocol, so no cross-validation happens here —
+    /// that is exactly the gap the degree-consistency defense (Detect2)
+    /// later probes.
+    pub fn new(bits: BitSet, degree: f64) -> Self {
+        UserReport { bits, degree }
+    }
+
+    /// Number of users `N` this report spans.
+    pub fn population(&self) -> usize {
+        self.bits.capacity()
+    }
+
+    /// The degree implied by the bit vector alone (popcount). Detect2
+    /// compares this against [`UserReport::degree`].
+    pub fn bit_degree(&self) -> usize {
+        self.bits.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = UserReport::new(BitSet::from_indices(10, [1, 3, 5]), 2.0);
+        assert_eq!(r.population(), 10);
+        assert_eq!(r.bit_degree(), 3);
+        assert_eq!(r.degree, 2.0);
+    }
+}

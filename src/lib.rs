@@ -1,0 +1,81 @@
+//! # graph-ldp-poisoning
+//!
+//! A Rust reproduction of **"Data Poisoning Attacks to Local Differential
+//! Privacy Protocols for Graphs"** (He, Huang, Ye, Hu — ICDE 2025).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on one crate:
+//!
+//! * [`graph`] — graph substrate: bitsets, CSR/dense graphs, exact metrics,
+//!   generators, dataset stand-ins ([`ldp_graph`]).
+//! * [`mechanisms`] — LDP primitives: randomized response, Laplace,
+//!   samplers, frequency-estimation protocols ([`ldp_mechanisms`]).
+//! * [`protocols`] — LF-GDPR and LDPGen ([`ldp_protocols`]).
+//! * [`attack`] — the paper's contribution: RVA/RNA/MGA, gain, theory,
+//!   evaluation pipelines ([`poison_core`]).
+//! * [`defense`] — Detect1/Detect2 countermeasures and baselines
+//!   ([`poison_defense`]).
+//! * [`experiments`] — the harness regenerating every table and figure
+//!   ([`poison_experiments`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use graph_ldp_poisoning::prelude::*;
+//!
+//! // A decentralized social graph of 300 genuine users.
+//! let graph = Dataset::Facebook.generate_with_nodes(300, 7);
+//!
+//! // The server deploys LF-GDPR with total budget ε = 4.
+//! let protocol = LfGdpr::new(4.0).unwrap();
+//!
+//! // An attacker controls 5% fake users and targets 5% of nodes.
+//! let mut rng = Xoshiro256pp::new(1);
+//! let threat = ThreatModel::from_fractions(
+//!     &graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
+//!
+//! // Maximal Gain Attack against degree centrality.
+//! let outcome = run_lfgdpr_attack(
+//!     &graph, &protocol, &threat, AttackStrategy::Mga,
+//!     TargetMetric::DegreeCentrality, MgaOptions::default(), 42);
+//! assert!(outcome.gain() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ldp_graph as graph;
+pub use ldp_mechanisms as mechanisms;
+pub use ldp_protocols as protocols;
+pub use poison_core as attack;
+pub use poison_defense as defense;
+pub use poison_experiments as experiments;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use ldp_graph::datasets::Dataset;
+    pub use ldp_graph::{BitMatrix, BitSet, CsrGraph, GraphBuilder, Xoshiro256pp};
+    pub use ldp_mechanisms::{LaplaceMechanism, PrivacyBudget, RandomizedResponse};
+    pub use ldp_protocols::{LdpGen, LfGdpr, PerturbedView, UserReport};
+    pub use poison_core::{
+        mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack,
+        run_sampled_degree_attack, theorem1_degree_gain, theorem2_clustering_gain,
+        AttackOutcome, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
+        TargetSelection, ThreatModel,
+    };
+    pub use poison_defense::{
+        run_defended_attack, DegreeConsistencyDefense, FrequentItemsetDefense,
+        GraphDefense, NaiveDegreeTails, NaiveTopDegree,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        use crate::prelude::*;
+        let g = Dataset::Facebook.generate_with_nodes(250, 1);
+        assert_eq!(g.num_nodes(), 250);
+        let _ = LfGdpr::new(4.0).unwrap();
+    }
+}

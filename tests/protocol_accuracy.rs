@@ -1,0 +1,110 @@
+//! End-to-end accuracy of the LF-GDPR estimators on honest populations:
+//! with a generous privacy budget the protocol must recover the ground
+//! truth; with a tight budget it must still be *calibrated* (unbiased), if
+//! noisy.
+
+use graph_ldp_poisoning::graph::metrics::{
+    local_clustering_coefficients, modularity,
+};
+use graph_ldp_poisoning::prelude::*;
+use graph_ldp_poisoning::protocols::lfgdpr::{estimate_clustering_with, DegreeSource};
+
+#[test]
+fn calibrated_degree_is_unbiased_across_trials() {
+    let graph = Dataset::Facebook.generate_with_nodes(400, 3);
+    let protocol = LfGdpr::new(2.0).unwrap();
+    let node = 17;
+    let truth = graph.degree(node) as f64;
+    let trials = 60;
+    let mean: f64 = (0..trials)
+        .map(|t| {
+            let base = Xoshiro256pp::new(1000 + t);
+            let view = protocol.aggregate(&protocol.collect_honest(&graph, &base));
+            view.calibrated_degree(node)
+        })
+        .sum::<f64>()
+        / trials as f64;
+    // Calibrated estimator: mean within ~4 standard errors of truth.
+    let p = protocol.p_keep();
+    let n = graph.num_nodes() as f64;
+    let per_trial_sd = (n * (1.0 - p) * p).sqrt() / (2.0 * p - 1.0);
+    let tolerance = 4.0 * per_trial_sd / (trials as f64).sqrt();
+    assert!(
+        (mean - truth).abs() < tolerance,
+        "calibrated degree mean {mean} should be within {tolerance} of {truth}"
+    );
+}
+
+#[test]
+fn reported_degree_tracks_truth() {
+    let graph = Dataset::AstroPh.generate_with_nodes(300, 5);
+    let protocol = LfGdpr::new(8.0).unwrap();
+    let base = Xoshiro256pp::new(9);
+    let view = protocol.aggregate(&protocol.collect_honest(&graph, &base));
+    let mae: f64 = (0..graph.num_nodes())
+        .map(|u| (view.reported_degree(u) - graph.degree(u) as f64).abs())
+        .sum::<f64>()
+        / graph.num_nodes() as f64;
+    // Laplace scale at ε₂ = 4 is 0.25, so the MAE must be well below 1.
+    assert!(mae < 1.0, "reported-degree MAE {mae} too large");
+}
+
+#[test]
+fn clustering_estimator_with_reported_degree_tracks_truth_at_high_epsilon() {
+    let graph = Dataset::Facebook.generate_with_nodes(300, 7);
+    let protocol = LfGdpr::new(16.0).unwrap();
+    let base = Xoshiro256pp::new(11);
+    let view = protocol.aggregate(&protocol.collect_honest(&graph, &base));
+    let est = estimate_clustering_with(&view, DegreeSource::Reported);
+    let truth = local_clustering_coefficients(&graph);
+    let mae: f64 = est
+        .cc
+        .iter()
+        .zip(&truth)
+        .map(|(e, t)| (e - t).abs())
+        .sum::<f64>()
+        / truth.len() as f64;
+    assert!(mae < 0.1, "clustering MAE {mae} too large at ε = 16");
+}
+
+#[test]
+fn modularity_estimator_tracks_truth_at_high_epsilon() {
+    let nodes = 600;
+    let graph = Dataset::Facebook.generate_with_nodes(nodes, 13);
+    let partition = Dataset::Facebook.ground_truth_partition(nodes);
+    let truth = modularity(&graph, &partition);
+    assert!(truth > 0.3, "stand-in must have community structure");
+    let protocol = LfGdpr::new(12.0).unwrap();
+    let base = Xoshiro256pp::new(17);
+    let view = protocol.aggregate(&protocol.collect_honest(&graph, &base));
+    let est = graph_ldp_poisoning::protocols::lfgdpr::estimate_modularity(&view, &partition);
+    assert!(
+        (est - truth).abs() < 0.12,
+        "estimated modularity {est} should approximate {truth}"
+    );
+}
+
+#[test]
+fn noise_grows_as_epsilon_shrinks() {
+    let graph = Dataset::Enron.generate_with_nodes(300, 19);
+    let node = 42;
+    let truth = graph.degree(node) as f64;
+    let error_at = |epsilon: f64| {
+        let protocol = LfGdpr::new(epsilon).unwrap();
+        let trials = 20;
+        (0..trials)
+            .map(|t| {
+                let base = Xoshiro256pp::new(5000 + t);
+                let view = protocol.aggregate(&protocol.collect_honest(&graph, &base));
+                (view.calibrated_degree(node) - truth).abs()
+            })
+            .sum::<f64>()
+            / trials as f64
+    };
+    let tight = error_at(1.0);
+    let loose = error_at(8.0);
+    assert!(
+        tight > 2.0 * loose,
+        "ε = 1 error ({tight}) should far exceed ε = 8 error ({loose})"
+    );
+}

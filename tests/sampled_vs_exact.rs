@@ -1,0 +1,51 @@
+//! Cross-validation of the two degree-centrality evaluation modes: the
+//! exact (materialized `O(N²)` view) pipeline and the analytic-sampling
+//! mode must agree in distribution — DESIGN.md §2's justification for
+//! running the large datasets in sampled mode.
+
+use graph_ldp_poisoning::prelude::*;
+
+fn compare(strategy: AttackStrategy, seed_base: u64, tolerance: f64) {
+    let graph = Dataset::Facebook.generate_with_nodes(400, 9);
+    let protocol = LfGdpr::new(4.0).unwrap();
+    let mut rng = Xoshiro256pp::new(31);
+    let threat =
+        ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
+    let trials = 40;
+    let exact = mean_gain(trials, seed_base, |seed| {
+        run_lfgdpr_attack(
+            &graph,
+            &protocol,
+            &threat,
+            strategy,
+            TargetMetric::DegreeCentrality,
+            MgaOptions::default(),
+            seed,
+        )
+    });
+    let sampled = mean_gain(trials, seed_base + 100_000, |seed| {
+        run_sampled_degree_attack(&graph, &protocol, &threat, strategy, seed)
+    });
+    let rel = (exact - sampled).abs() / exact.max(1e-9);
+    assert!(
+        rel < tolerance,
+        "{}: exact {exact} vs sampled {sampled} (relative gap {rel:.3})",
+        strategy.name()
+    );
+}
+
+#[test]
+fn mga_modes_agree() {
+    compare(AttackStrategy::Mga, 11_000, 0.15);
+}
+
+#[test]
+fn rva_modes_agree() {
+    // RVA's gain is noise-dominated, so the band is wider.
+    compare(AttackStrategy::Rva, 12_000, 0.35);
+}
+
+#[test]
+fn rna_modes_agree() {
+    compare(AttackStrategy::Rna, 13_000, 0.35);
+}
