@@ -6,8 +6,8 @@ use ldp_graph::datasets::Dataset;
 use ldp_graph::Xoshiro256pp;
 use ldp_protocols::LfGdpr;
 use poison_core::{
-    craft_reports, run_lfgdpr_attack, run_sampled_degree_attack, AttackStrategy,
-    AttackerKnowledge, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
+    craft_reports, run_lfgdpr_attack, run_sampled_degree_attack, AttackStrategy, AttackerKnowledge,
+    MgaOptions, TargetMetric, TargetSelection, ThreatModel,
 };
 
 fn setup(nodes: usize) -> (ldp_graph::CsrGraph, LfGdpr, ThreatModel, AttackerKnowledge) {
@@ -25,22 +25,29 @@ fn bench_crafting(c: &mut Criterion) {
     let mut group = c.benchmark_group("craft_reports");
     let (_, protocol, threat, knowledge) = setup(2_000);
     for strategy in AttackStrategy::ALL {
-        for metric in [TargetMetric::DegreeCentrality, TargetMetric::ClusteringCoefficient] {
+        for metric in [
+            TargetMetric::DegreeCentrality,
+            TargetMetric::ClusteringCoefficient,
+        ] {
             let label = format!("{}_{:?}", strategy.name(), metric);
-            group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |bench, &s| {
-                let mut rng = Xoshiro256pp::new(23);
-                bench.iter(|| {
-                    black_box(craft_reports(
-                        s,
-                        metric,
-                        &protocol,
-                        &threat,
-                        &knowledge,
-                        MgaOptions::default(),
-                        &mut rng,
-                    ))
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &strategy,
+                |bench, &s| {
+                    let mut rng = Xoshiro256pp::new(23);
+                    bench.iter(|| {
+                        black_box(craft_reports(
+                            s,
+                            metric,
+                            &protocol,
+                            &threat,
+                            &knowledge,
+                            MgaOptions::default(),
+                            &mut rng,
+                        ))
+                    })
+                },
+            );
         }
     }
     group.finish();
@@ -107,5 +114,10 @@ fn bench_sampled_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crafting, bench_exact_pipeline, bench_sampled_pipeline);
+criterion_group!(
+    benches,
+    bench_crafting,
+    bench_exact_pipeline,
+    bench_sampled_pipeline
+);
 criterion_main!(benches);

@@ -6,15 +6,13 @@ use ldp_graph::datasets::Dataset;
 use ldp_graph::{BitSet, Xoshiro256pp};
 use ldp_protocols::LfGdpr;
 use poison_core::{
-    craft_reports, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
-    TargetSelection, ThreatModel,
+    craft_reports, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric, TargetSelection,
+    ThreatModel,
 };
 use poison_defense::apriori::apriori;
 use poison_defense::{DegreeConsistencyDefense, FrequentItemsetDefense, GraphDefense};
 
-fn poisoned_reports(
-    nodes: usize,
-) -> (Vec<ldp_protocols::UserReport>, LfGdpr) {
+fn poisoned_reports(nodes: usize) -> (Vec<ldp_protocols::UserReport>, LfGdpr) {
     let graph = Dataset::Facebook.generate_with_nodes(nodes, 41);
     let protocol = LfGdpr::new(4.0).unwrap();
     let mut rng = Xoshiro256pp::new(42);

@@ -10,7 +10,11 @@ use poison_experiments as px;
 use px::ExperimentConfig;
 
 fn smoke() -> ExperimentConfig {
-    ExperimentConfig { scale: 0.1, trials: 1, seed: 99 }
+    ExperimentConfig {
+        scale: 0.1,
+        trials: 1,
+        seed: 99,
+    }
 }
 
 fn bench_tables(c: &mut Criterion) {
@@ -18,7 +22,9 @@ fn bench_tables(c: &mut Criterion) {
     group.sample_size(10);
     let cfg = smoke();
     group.bench_function("table2", |b| b.iter(|| black_box(px::table2::run(&cfg))));
-    group.bench_function("table3", |b| b.iter(|| black_box(px::table3::to_markdown())));
+    group.bench_function("table3", |b| {
+        b.iter(|| black_box(px::table3::to_markdown()))
+    });
     group.finish();
 }
 

@@ -14,9 +14,11 @@ fn bench_bitset_kernels(c: &mut Criterion) {
     for nbits in [4_096usize, 65_536] {
         let a = BitSet::from_indices(nbits, (0..nbits).step_by(7));
         let b = BitSet::from_indices(nbits, (0..nbits).step_by(11));
-        group.bench_with_input(BenchmarkId::new("intersection_count", nbits), &nbits, |bench, _| {
-            bench.iter(|| black_box(a.intersection_count(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("intersection_count", nbits),
+            &nbits,
+            |bench, _| bench.iter(|| black_box(a.intersection_count(&b))),
+        );
         group.bench_with_input(BenchmarkId::new("iter_ones", nbits), &nbits, |bench, _| {
             bench.iter(|| black_box(a.iter_ones().sum::<usize>()))
         });

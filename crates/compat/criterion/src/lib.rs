@@ -1,0 +1,389 @@
+//! # criterion (vendored compatibility subset)
+//!
+//! A minimal, API-compatible subset of the `criterion` benchmarking crate,
+//! vendored so the workspace builds hermetically (no network access at
+//! build time). It supports the surface used by the `poison-bench` suites:
+//!
+//! * [`Criterion::bench_function`] and [`Criterion::benchmark_group`];
+//! * [`BenchmarkGroup::bench_function`],
+//!   [`BenchmarkGroup::bench_with_input`],
+//!   [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::finish`];
+//! * [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//!   [`criterion_group!`]/[`criterion_main!`] macros (benches must set
+//!   `harness = false`, as with upstream criterion).
+//!
+//! ## Deliberate simplifications
+//!
+//! Instead of upstream's statistical engine (HTML reports, outlier
+//! classification, regression detection), each benchmark is warmed up
+//! briefly, run for a sample of timed batches, and reported to stdout as
+//! `median ns/iter` with min/max spread. A positional CLI argument
+//! filters which benchmarks run. As with upstream criterion, full
+//! measurement happens only under `cargo bench` (which passes `--bench`);
+//! every other invocation — `cargo test --benches`, or running the bench
+//! binary directly — executes each benchmark exactly once as a fast smoke
+//! test.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// computation that produced or consumed `value`.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone (upstream:
+    /// `from_parameter`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly, recording per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: determine a batch size targeting ~5ms per sample so
+        // Instant overhead is amortized for nanosecond-scale routines.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let batch = ((5_000_000 / per_iter.max(1)) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / batch as u32);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Settings {
+    fn from_args() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        // As upstream criterion: `cargo bench` passes `--bench`, which
+        // selects full measurement; any other invocation (`cargo test
+        // --benches`, running the binary directly) runs each benchmark
+        // once as a smoke test.
+        let mut bench_mode = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => bench_mode = true,
+                // Harness flags forwarded by `cargo bench`/`cargo test`
+                // that take a value we do not use.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Settings {
+            filter,
+            test_mode: test_mode || !bench_mode,
+            sample_size: 20,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+fn report(id: &str, samples: &[Duration], test_mode: bool) {
+    if test_mode {
+        println!("test bench {id} ... ok");
+        return;
+    }
+    let mut ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    ns.sort_unstable();
+    let median = ns[ns.len() / 2];
+    let (min, max) = (ns[0], ns[ns.len() - 1]);
+    println!(
+        "{id:<48} {median:>12} ns/iter (min {min}, max {max}, n={len})",
+        len = ns.len()
+    );
+}
+
+/// The benchmark manager: entry point handed to every benchmark function.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configures the number of timed samples per benchmark (upstream
+    /// builder method; retained for API compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher<'_>)) {
+        if !self.settings.matches(id) {
+            return;
+        }
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_count: self.settings.sample_size,
+            test_mode: self.settings.test_mode,
+        };
+        f(&mut bencher);
+        if samples.is_empty() {
+            samples.push(Duration::ZERO);
+        }
+        report(id, &samples, self.settings.test_mode);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark within the group (`group/name`).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let saved = self.apply_sample_size();
+        self.criterion.run(&id, |b| f(b));
+        self.criterion.settings.sample_size = saved;
+        self
+    }
+
+    /// Runs one benchmark that receives a reference to a fixed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let saved = self.apply_sample_size();
+        self.criterion.run(&id, |b| f(b, input));
+        self.criterion.settings.sample_size = saved;
+        self
+    }
+
+    /// Ends the group. (Upstream flushes reports here; the subset reports
+    /// eagerly, so this only consumes the group.)
+    pub fn finish(self) {}
+
+    fn apply_sample_size(&mut self) -> usize {
+        let saved = self.criterion.settings.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.settings.sample_size = n;
+        }
+        saved
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's
+/// `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settings_quiet() -> Settings {
+        Settings {
+            filter: None,
+            test_mode: true,
+            sample_size: 3,
+        }
+    }
+
+    #[test]
+    fn measurement_requires_bench_flag() {
+        // The unit-test binary is never invoked with `--bench`, so
+        // from_args must select run-once test mode — as upstream
+        // criterion does for `cargo test --benches` and direct runs.
+        let settings = Settings::from_args();
+        assert!(settings.test_mode);
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            settings: settings_quiet(),
+        };
+        let mut ran = 0u32;
+        c.bench_function("touch", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed_and_filterable() {
+        let mut settings = settings_quiet();
+        settings.filter = Some("group_a/".into());
+        let mut c = Criterion { settings };
+        let mut hits = Vec::new();
+        {
+            let mut g = c.benchmark_group("group_a");
+            g.bench_function("x", |b| b.iter(|| hits.push("ax")));
+            g.finish();
+        }
+        {
+            let mut g = c.benchmark_group("group_b");
+            g.bench_function("x", |b| b.iter(|| hits.push("bx")));
+            g.finish();
+        }
+        assert!(hits.contains(&"ax"));
+        assert!(!hits.contains(&"bx"));
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion {
+            settings: settings_quiet(),
+        };
+        let mut seen = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("len", 3), &vec![1, 2, 3], |b, v| {
+            b.iter(|| seen = v.len())
+        });
+        g.finish();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("tri", 64).to_string(), "tri/64");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        let v = vec![1, 2, 3];
+        assert_eq!(black_box(v.clone()), v);
+    }
+}

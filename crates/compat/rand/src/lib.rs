@@ -1,0 +1,525 @@
+//! # rand (vendored compatibility subset)
+//!
+//! A minimal, dependency-free, API-compatible subset of the `rand` 0.8
+//! crate, vendored so the workspace builds hermetically (no network access
+//! at build time). Only the surface the workspace actually uses is
+//! provided:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — the generator traits implemented by
+//!   `ldp_graph::rng::Xoshiro256pp`.
+//! * [`Rng`] — the user-facing extension trait: [`Rng::gen`],
+//!   [`Rng::gen_range`], [`Rng::gen_bool`], [`Rng::fill`].
+//! * [`Error`] — the (infallible here) error type of
+//!   [`RngCore::try_fill_bytes`].
+//! * [`distributions`] — the [`distributions::Standard`] distribution and
+//!   the uniform-range machinery backing `gen_range`.
+//!
+//! The numeric algebra matches upstream `rand` 0.8 where it is
+//! statistically observable: `gen::<f64>()` draws 53 mantissa bits uniformly
+//! from `[0, 1)`, and integer ranges use rejection sampling, so there is no
+//! modulo bias. Exact output *streams* are not guaranteed to be
+//! bit-identical to upstream `rand`; the workspace pins all reproducibility
+//! to explicit `u64` seeds of its own xoshiro generator instead.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use core::fmt;
+
+/// Error type returned by fallible [`RngCore`] operations.
+///
+/// The vendored subset has no fallible entropy sources, so this error is
+/// never constructed by the library itself; it exists so that
+/// [`RngCore::try_fill_bytes`] keeps the upstream signature.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error carrying a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: a source of uniformly random
+/// `u32`/`u64` words and byte fills.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure as an [`Error`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from the raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it through SplitMix64 as
+    /// upstream `rand` does for non-crypto seeding.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 step (public-domain reference constants), used for seeding.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod distributions {
+    //! Sampling distributions: [`Standard`] (the "natural" uniform draw for
+    //! a type) and the uniform-range machinery behind
+    //! [`Rng::gen_range`](crate::Rng::gen_range).
+
+    use crate::RngCore;
+
+    /// Types that can be sampled from a distribution `D`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: uniform over all values of an integer
+    /// type, uniform over `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_small_uint {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    // Take high bits: xoshiro-family low bits are weaker.
+                    (rng.next_u64() >> (64 - <$t>::BITS)) as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_small_uint!(u8, u16, u32);
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    macro_rules! impl_standard_via_unsigned {
+        ($($s:ty => $u:ty),*) => {$(
+            impl Distribution<$s> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $s {
+                    <Standard as Distribution<$u>>::sample(self, rng) as $s
+                }
+            }
+        )*};
+    }
+    impl_standard_via_unsigned!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            // Highest bit of the next word.
+            (rng.next_u64() >> 63) == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1), as upstream rand.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform sampling over ranges, bias-free for integers.
+
+        use crate::RngCore;
+
+        /// Rejection-samples a uniform value in `[0, span)`, `span ≥ 1`.
+        pub(crate) fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            debug_assert!(span >= 1);
+            // Largest multiple of `span` representable in u64 arithmetic;
+            // values at or above it would introduce modulo bias.
+            let zone = (u64::MAX / span).wrapping_mul(span);
+            loop {
+                let v = rng.next_u64();
+                if zone == 0 || v < zone {
+                    return v % span;
+                }
+            }
+        }
+
+        /// Marker for types `gen_range` can sample.
+        pub trait SampleUniform: Sized {}
+
+        /// Range-like arguments accepted by
+        /// [`Rng::gen_range`](crate::Rng::gen_range).
+        pub trait SampleRange<T> {
+            /// Draws one value uniformly from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty => $via:ty),*) => {$(
+                impl SampleUniform for $t {}
+
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as $via).wrapping_sub(self.start as $via) as u64;
+                        self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+                    }
+                }
+
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as $via).wrapping_sub(lo as $via) as u64;
+                        if span == u64::MAX {
+                            // Full-width inclusive range: every word is valid.
+                            return lo.wrapping_add(rng.next_u64() as $t);
+                        }
+                        lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_uniform_int!(
+            u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+            i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+        );
+
+        macro_rules! impl_uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {}
+
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let x: $t = <super::Standard as super::Distribution<$t>>::sample(
+                            &super::Standard, rng);
+                        let v = self.start + x * (self.end - self.start);
+                        // `start + x*(end-start)` can round up to `end` when
+                        // the endpoints are large relative to the span; the
+                        // contract is half-open, so clamp just below it.
+                        if v < self.end {
+                            v
+                        } else {
+                            self.end.next_down().max(self.start)
+                        }
+                    }
+                }
+            )*};
+        }
+        impl_uniform_float!(f32, f64);
+    }
+}
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the [`Standard`] distribution: uniform over the
+    /// type for integers, uniform over `[0, 1)` for floats.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random bytes (alias of
+    /// [`fill_bytes`](RngCore::fill_bytes)).
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Convenience generators (subset: [`mock`] only).
+
+    pub mod mock {
+        //! A deterministic step generator for tests of `rand`-consuming
+        //! code.
+
+        use crate::{Error, RngCore};
+
+        /// Yields `0, increment, 2*increment, …` as `u64` outputs.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates a generator starting at `initial`, stepping by
+            /// `increment`.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                (self.next_u64() >> 32) as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                out
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let word = self.next_u64().to_le_bytes();
+                    let n = chunk.len();
+                    chunk.copy_from_slice(&word[..n]);
+                }
+            }
+
+            fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+                self.fill_bytes(dest);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The most common imports: `use rand::prelude::*;`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::*;
+
+    /// A tiny xorshift so the statistical tests below have a real source.
+    struct XorShift(u64);
+
+    impl RngCore for XorShift {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&word[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = XorShift(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_all_values() {
+        let mut rng = XorShift(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_endpoints() {
+        let mut rng = XorShift(13);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2_000 {
+            match rng.gen_range(0..=3usize) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = XorShift(1);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn uniform_mean_close_to_half() {
+        let mut rng = XorShift(17);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn float_range_stays_half_open_when_ill_conditioned() {
+        // ulp(start) here exceeds the span's sampled offsets, so the naive
+        // affine transform rounds up to `end`; the contract is [start, end).
+        let mut rng = XorShift(29);
+        let (start, end) = (1.0e16f64, 1.000_000_000_000_000_4e16f64);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(start..end);
+            assert!(v < end, "sampled the exclusive end bound: {v}");
+            assert!(v >= start);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = XorShift(19);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn seed_from_u64_default_impl_fills_seed() {
+        struct S([u8; 32]);
+        impl SeedableRng for S {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                S(seed)
+            }
+        }
+        let s = S::seed_from_u64(42);
+        assert!(s.0.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut rng = StepRng::new(0, 1);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 1);
+    }
+
+    #[test]
+    fn try_fill_bytes_is_infallible() {
+        let mut rng = XorShift(23);
+        let mut buf = [0u8; 13];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -18,13 +18,21 @@ impl AttackOutcome {
     /// # Panics
     /// Panics if the two vectors disagree in length.
     pub fn new(before: Vec<f64>, after: Vec<f64>) -> Self {
-        assert_eq!(before.len(), after.len(), "before/after must cover the same targets");
+        assert_eq!(
+            before.len(),
+            after.len(),
+            "before/after must cover the same targets"
+        );
         AttackOutcome { before, after }
     }
 
     /// Per-target absolute gains `Δf̃_t` (Eq. 4).
     pub fn per_target_gains(&self) -> Vec<f64> {
-        self.before.iter().zip(&self.after).map(|(b, a)| (a - b).abs()).collect()
+        self.before
+            .iter()
+            .zip(&self.after)
+            .map(|(b, a)| (a - b).abs())
+            .collect()
     }
 
     /// Overall gain (Eq. 5).
@@ -35,7 +43,11 @@ impl AttackOutcome {
     /// Signed overall change `Σ_t (f̃_{t,a} − f̃_{t,b})` — useful to check
     /// an attack *raises* rather than merely moves the metric.
     pub fn signed_gain(&self) -> f64 {
-        self.before.iter().zip(&self.after).map(|(b, a)| a - b).sum()
+        self.before
+            .iter()
+            .zip(&self.after)
+            .map(|(b, a)| a - b)
+            .sum()
     }
 
     /// Number of targets.

@@ -87,7 +87,10 @@ mod tests {
     #[test]
     fn budget_is_floor_of_d_tilde() {
         let k = knowledge(4.0, 1000, 20.0);
-        assert_eq!(k.connection_budget(), k.avg_perturbed_degree.floor() as usize);
+        assert_eq!(
+            k.connection_budget(),
+            k.avg_perturbed_degree.floor() as usize
+        );
     }
 
     #[test]

@@ -106,7 +106,11 @@ pub fn run_ldpgen_attack(
     partition: Option<&[usize]>,
     seed: u64,
 ) -> AttackOutcome {
-    assert_eq!(graph.num_nodes(), threat.n_genuine, "graph/threat population mismatch");
+    assert_eq!(
+        graph.num_nodes(),
+        threat.n_genuine,
+        "graph/threat population mismatch"
+    );
     let extended = graph.with_isolated_nodes(threat.m_fake);
     let base = Xoshiro256pp::new(seed);
     let budget = graph.average_degree().floor().max(1.0) as usize;
@@ -120,7 +124,15 @@ pub fn run_ldpgen_attack(
     // Attacked world: crafted vectors in both phases.
     let mut craft_rng = base.derive(0xA77A);
     let attacked_agg = protocol.aggregate_with_crafted(&extended, &base, |_phase, groups, k| {
-        craft_degree_vectors(strategy, threat, groups, k, budget, noise_scale, &mut craft_rng)
+        craft_degree_vectors(
+            strategy,
+            threat,
+            groups,
+            k,
+            budget,
+            noise_scale,
+            &mut craft_rng,
+        )
     });
     let mut synth_rng = base.derive(0x5E_ED);
     let synth_after = protocol.synthesize(&attacked_agg, &mut synth_rng);
@@ -136,7 +148,11 @@ pub fn run_ldpgen_attack(
         }
         LdpGenMetric::Modularity => {
             let partition = partition.expect("modularity needs a partition of genuine users");
-            assert_eq!(partition.len(), threat.n_genuine, "partition must cover genuine users");
+            assert_eq!(
+                partition.len(),
+                threat.n_genuine,
+                "partition must cover genuine users"
+            );
             let num_comms = partition.iter().copied().max().map_or(1, |c| c + 1);
             let mut full = partition.to_vec();
             full.extend((0..threat.m_fake).map(|i| i % num_comms));
@@ -182,10 +198,12 @@ mod tests {
         groups[0] = 1;
         groups[8] = 1;
         let mut rng = Xoshiro256pp::new(2);
-        let vs =
-            craft_degree_vectors(AttackStrategy::Mga, &threat, &groups, 2, 10, 1.0, &mut rng);
+        let vs = craft_degree_vectors(AttackStrategy::Mga, &threat, &groups, 2, 10, 1.0, &mut rng);
         for v in vs {
-            assert!((v[1] - 5.0).abs() < 1e-12, "half the budget to group 1: {v:?}");
+            assert!(
+                (v[1] - 5.0).abs() < 1e-12,
+                "half the budget to group 1: {v:?}"
+            );
             assert!((v[0] - 5.0).abs() < 1e-12);
         }
     }

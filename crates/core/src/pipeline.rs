@@ -39,7 +39,11 @@ pub fn run_lfgdpr_attack(
     options: MgaOptions,
     seed: u64,
 ) -> AttackOutcome {
-    assert_eq!(graph.num_nodes(), threat.n_genuine, "graph/threat population mismatch");
+    assert_eq!(
+        graph.num_nodes(),
+        threat.n_genuine,
+        "graph/threat population mismatch"
+    );
     let extended = graph.with_isolated_nodes(threat.m_fake);
     let base = Xoshiro256pp::new(seed);
 
@@ -53,8 +57,15 @@ pub fn run_lfgdpr_attack(
     let knowledge =
         AttackerKnowledge::derive(protocol, threat.population(), graph.average_degree());
     let mut attack_rng = base.derive(STREAM_ATTACK);
-    let crafted =
-        craft_reports(strategy, metric, protocol, threat, &knowledge, options, &mut attack_rng);
+    let crafted = craft_reports(
+        strategy,
+        metric,
+        protocol,
+        threat,
+        &knowledge,
+        options,
+        &mut attack_rng,
+    );
     debug_assert_eq!(crafted.len(), threat.m_fake);
     for (offset, report) in crafted.into_iter().enumerate() {
         reports[threat.n_genuine + offset] = report;
@@ -71,9 +82,11 @@ fn estimate_at_targets(
     metric: TargetMetric,
 ) -> Vec<f64> {
     match metric {
-        TargetMetric::DegreeCentrality => {
-            threat.targets.iter().map(|&t| view.degree_centrality(t)).collect()
-        }
+        TargetMetric::DegreeCentrality => threat
+            .targets
+            .iter()
+            .map(|&t| view.degree_centrality(t))
+            .collect(),
         TargetMetric::ClusteringCoefficient => estimate_clustering_at(view, &threat.targets),
     }
 }
@@ -91,8 +104,16 @@ pub fn run_lfgdpr_modularity_attack(
     options: MgaOptions,
     seed: u64,
 ) -> AttackOutcome {
-    assert_eq!(graph.num_nodes(), threat.n_genuine, "graph/threat population mismatch");
-    assert_eq!(partition.len(), threat.n_genuine, "partition must cover genuine users");
+    assert_eq!(
+        graph.num_nodes(),
+        threat.n_genuine,
+        "graph/threat population mismatch"
+    );
+    assert_eq!(
+        partition.len(),
+        threat.n_genuine,
+        "partition must cover genuine users"
+    );
     let num_comms = partition.iter().copied().max().map_or(1, |c| c + 1);
     let mut full_partition = partition.to_vec();
     full_partition.extend((0..threat.m_fake).map(|i| i % num_comms));
@@ -139,7 +160,11 @@ pub fn run_sampled_degree_attack(
     strategy: AttackStrategy,
     seed: u64,
 ) -> AttackOutcome {
-    assert_eq!(graph.num_nodes(), threat.n_genuine, "graph/threat population mismatch");
+    assert_eq!(
+        graph.num_nodes(),
+        threat.n_genuine,
+        "graph/threat population mismatch"
+    );
     let base = Xoshiro256pp::new(seed);
     let mut rng = base.derive(STREAM_ATTACK);
     let knowledge =
@@ -223,10 +248,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::threat::TargetSelection;
     use ldp_graph::datasets::Dataset;
     use ldp_graph::generate::caveman_graph;
     use ldp_graph::Xoshiro256pp;
-    use crate::threat::TargetSelection;
 
     fn small_world() -> (CsrGraph, LfGdpr, ThreatModel) {
         let graph = Dataset::Facebook.generate_with_nodes(300, 42);
@@ -279,7 +304,10 @@ mod tests {
             MgaOptions::default(),
             7,
         );
-        assert!(outcome.signed_gain() > 0.0, "MGA adds edges, so centrality must rise");
+        assert!(
+            outcome.signed_gain() > 0.0,
+            "MGA adds edges, so centrality must rise"
+        );
     }
 
     #[test]
@@ -295,7 +323,11 @@ mod tests {
                 MgaOptions::default(),
                 11,
             );
-            assert!(outcome.gain().is_finite(), "{} gain must be finite", strategy.name());
+            assert!(
+                outcome.gain().is_finite(),
+                "{} gain must be finite",
+                strategy.name()
+            );
         }
     }
 
@@ -318,7 +350,10 @@ mod tests {
             run_sampled_degree_attack(&graph, &protocol, &threat, AttackStrategy::Mga, seed)
         });
         let rel = (exact - sampled).abs() / exact.max(1e-9);
-        assert!(rel < 0.25, "exact {exact} vs sampled {sampled} diverge ({rel:.2})");
+        assert!(
+            rel < 0.25,
+            "exact {exact} vs sampled {sampled} diverge ({rel:.2})"
+        );
     }
 
     #[test]

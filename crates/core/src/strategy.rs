@@ -45,8 +45,11 @@ pub enum AttackStrategy {
 
 impl AttackStrategy {
     /// All strategies in presentation order.
-    pub const ALL: [AttackStrategy; 3] =
-        [AttackStrategy::Rva, AttackStrategy::Rna, AttackStrategy::Mga];
+    pub const ALL: [AttackStrategy; 3] = [
+        AttackStrategy::Rva,
+        AttackStrategy::Rna,
+        AttackStrategy::Mga,
+    ];
 
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -78,7 +81,11 @@ pub struct MgaOptions {
 
 impl Default for MgaOptions {
     fn default() -> Self {
-        MgaOptions { pad_to_budget: true, prioritize_fake_edges: true, budget_override: None }
+        MgaOptions {
+            pad_to_budget: true,
+            prioritize_fake_edges: true,
+            budget_override: None,
+        }
     }
 }
 
@@ -156,8 +163,9 @@ fn craft_rna<R: Rng>(protocol: &LfGdpr, threat: &ThreatModel, rng: &mut R) -> Ve
             let target = threat.targets[rng.gen_range(0..threat.targets.len())];
             let truth = BitSet::from_indices(population, [target]);
             let bits = protocol.rr().perturb_bitset(&truth, Some(fake), rng);
-            let degree =
-                protocol.laplace().perturb_degree(1.0, (population - 1) as f64, rng);
+            let degree = protocol
+                .laplace()
+                .perturb_degree(1.0, (population - 1) as f64, rng);
             UserReport::new(bits, degree)
         })
         .collect()
@@ -292,7 +300,12 @@ mod tests {
     use super::*;
     use ldp_graph::Xoshiro256pp;
 
-    fn setup(n: usize, m: usize, targets: Vec<usize>, epsilon: f64) -> (LfGdpr, ThreatModel, AttackerKnowledge) {
+    fn setup(
+        n: usize,
+        m: usize,
+        targets: Vec<usize>,
+        epsilon: f64,
+    ) -> (LfGdpr, ThreatModel, AttackerKnowledge) {
         let protocol = LfGdpr::new(epsilon).unwrap();
         let threat = ThreatModel::explicit(n, m, targets);
         let knowledge = AttackerKnowledge::derive(&protocol, threat.population(), 8.0);
@@ -355,7 +368,10 @@ mod tests {
             MgaOptions::default(),
             &mut rng,
         );
-        assert!(knowledge.connection_budget() >= 3, "test premise: budget covers targets");
+        assert!(
+            knowledge.connection_budget() >= 3,
+            "test premise: budget covers targets"
+        );
         for r in &reports {
             for &t in &threat.targets {
                 assert!(r.bits.get(t), "target {t} missing from crafted vector");
@@ -377,7 +393,10 @@ mod tests {
             &protocol,
             &threat,
             &knowledge,
-            MgaOptions { pad_to_budget: false, ..Default::default() },
+            MgaOptions {
+                pad_to_budget: false,
+                ..Default::default()
+            },
             &mut rng,
         );
         for r in &reports {
@@ -446,7 +465,11 @@ mod tests {
             &protocol,
             &threat,
             &knowledge,
-            MgaOptions { prioritize_fake_edges: false, pad_to_budget: false, ..Default::default() },
+            MgaOptions {
+                prioritize_fake_edges: false,
+                pad_to_budget: false,
+                ..Default::default()
+            },
             &mut rng,
         );
         for r in &reports {

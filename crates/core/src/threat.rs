@@ -43,8 +43,14 @@ impl ThreatModel {
         selection: TargetSelection,
         rng: &mut R,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&beta), "beta = {beta} must be in [0, 1]");
-        assert!((0.0..=1.0).contains(&gamma), "gamma = {gamma} must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "beta = {beta} must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "gamma = {gamma} must be in [0, 1]"
+        );
         let n = graph.num_nodes();
         let m = ((beta * n as f64).floor() as usize).max(1);
         let r = ((gamma * n as f64).floor() as usize).clamp(1, n);
@@ -65,7 +71,11 @@ impl ThreatModel {
                 t
             }
         };
-        ThreatModel { n_genuine: n, m_fake: m, targets }
+        ThreatModel {
+            n_genuine: n,
+            m_fake: m,
+            targets,
+        }
     }
 
     /// Builds an explicit threat model (tests, hand-crafted scenarios).
@@ -74,11 +84,18 @@ impl ThreatModel {
     /// Panics if a target id is not a genuine user.
     pub fn explicit(n_genuine: usize, m_fake: usize, mut targets: Vec<usize>) -> Self {
         for &t in &targets {
-            assert!(t < n_genuine, "target {t} is not a genuine user (n = {n_genuine})");
+            assert!(
+                t < n_genuine,
+                "target {t} is not a genuine user (n = {n_genuine})"
+            );
         }
         targets.sort_unstable();
         targets.dedup();
-        ThreatModel { n_genuine, m_fake, targets }
+        ThreatModel {
+            n_genuine,
+            m_fake,
+            targets,
+        }
     }
 
     /// Total population `N = n + m`.
@@ -117,7 +134,8 @@ mod tests {
     fn fractions_determine_sizes() {
         let g = star_graph(1000);
         let mut rng = Xoshiro256pp::new(1);
-        let t = ThreatModel::from_fractions(&g, 0.05, 0.01, TargetSelection::UniformRandom, &mut rng);
+        let t =
+            ThreatModel::from_fractions(&g, 0.05, 0.01, TargetSelection::UniformRandom, &mut rng);
         assert_eq!(t.n_genuine, 1000);
         assert_eq!(t.m_fake, 50);
         assert_eq!(t.num_targets(), 10);
@@ -130,7 +148,8 @@ mod tests {
     fn minimums_enforced_on_tiny_graphs() {
         let g = star_graph(20);
         let mut rng = Xoshiro256pp::new(2);
-        let t = ThreatModel::from_fractions(&g, 0.001, 0.001, TargetSelection::UniformRandom, &mut rng);
+        let t =
+            ThreatModel::from_fractions(&g, 0.001, 0.001, TargetSelection::UniformRandom, &mut rng);
         assert_eq!(t.m_fake, 1);
         assert_eq!(t.num_targets(), 1);
     }
@@ -139,7 +158,8 @@ mod tests {
     fn highest_degree_selection_picks_the_hub() {
         let g = star_graph(50);
         let mut rng = Xoshiro256pp::new(3);
-        let t = ThreatModel::from_fractions(&g, 0.1, 0.02, TargetSelection::HighestDegree, &mut rng);
+        let t =
+            ThreatModel::from_fractions(&g, 0.1, 0.02, TargetSelection::HighestDegree, &mut rng);
         assert_eq!(t.targets, vec![0], "the star hub must be the top target");
     }
 
@@ -155,7 +175,8 @@ mod tests {
     fn targets_are_sorted_distinct_genuine() {
         let g = star_graph(200);
         let mut rng = Xoshiro256pp::new(5);
-        let t = ThreatModel::from_fractions(&g, 0.05, 0.1, TargetSelection::UniformRandom, &mut rng);
+        let t =
+            ThreatModel::from_fractions(&g, 0.05, 0.1, TargetSelection::UniformRandom, &mut rng);
         assert!(t.targets.windows(2).all(|w| w[0] < w[1]));
         assert!(t.targets.iter().all(|&x| x < 200));
     }

@@ -71,7 +71,10 @@ pub fn apriori(transactions: &[BitSet], min_support: usize, max_level: usize) ->
     for (item, col) in columns.iter().enumerate() {
         let support = col.count_ones();
         if support >= min_support {
-            level1.push(FrequentItemset { items: vec![item as u32], support });
+            level1.push(FrequentItemset {
+                items: vec![item as u32],
+                support,
+            });
         }
     }
     result.levels.push(level1);
@@ -80,14 +83,16 @@ pub fn apriori(transactions: &[BitSet], min_support: usize, max_level: usize) ->
     }
 
     // Level 2: candidate pairs of frequent items, counted by column AND.
-    let frequent_items: Vec<u32> =
-        result.levels[0].iter().map(|fi| fi.items[0]).collect();
+    let frequent_items: Vec<u32> = result.levels[0].iter().map(|fi| fi.items[0]).collect();
     let mut level2 = Vec::new();
     for (a_idx, &a) in frequent_items.iter().enumerate() {
         for &b in &frequent_items[a_idx + 1..] {
             let support = columns[a as usize].intersection_count(&columns[b as usize]);
             if support >= min_support {
-                level2.push(FrequentItemset { items: vec![a, b], support });
+                level2.push(FrequentItemset {
+                    items: vec![a, b],
+                    support,
+                });
             }
         }
     }
@@ -119,7 +124,11 @@ pub fn apriori(transactions: &[BitSet], min_support: usize, max_level: usize) ->
                 for skip in 0..candidate.len() {
                     subset.clear();
                     subset.extend(
-                        candidate.iter().enumerate().filter(|&(j, _)| j != skip).map(|(_, &v)| v),
+                        candidate
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != skip)
+                            .map(|(_, &v)| v),
                     );
                     if !prev_set.contains(subset.as_slice()) {
                         all_frequent = false;
@@ -136,7 +145,10 @@ pub fn apriori(transactions: &[BitSet], min_support: usize, max_level: usize) ->
                 }
                 let support = acc.count_ones();
                 if support >= min_support {
-                    next.push(FrequentItemset { items: candidate, support });
+                    next.push(FrequentItemset {
+                        items: candidate,
+                        support,
+                    });
                 }
             }
         }

@@ -47,7 +47,10 @@ impl GraphDefense for CombinedDefense {
             .zip(&second.flagged)
             .map(|(&a, &b)| a || b)
             .collect();
-        DefenseApplication { repaired: second.repaired, flagged }
+        DefenseApplication {
+            repaired: second.repaired,
+            flagged,
+        }
     }
 }
 
@@ -57,8 +60,7 @@ mod tests {
     use ldp_graph::datasets::Dataset;
     use ldp_graph::Xoshiro256pp;
     use poison_core::{
-        craft_reports, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
-        ThreatModel,
+        craft_reports, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric, ThreatModel,
     };
 
     /// Build a population poisoned by BOTH attack styles: half the fakes
@@ -109,12 +111,14 @@ mod tests {
         let mut rng = Xoshiro256pp::new(53);
         let d1_only = FrequentItemsetDefense::new(40).apply(&reports, &protocol, &mut rng);
         let mut rng = Xoshiro256pp::new(53);
-        let d2_only =
-            DegreeConsistencyDefense::default().apply(&reports, &protocol, &mut rng);
+        let d2_only = DegreeConsistencyDefense::default().apply(&reports, &protocol, &mut rng);
         let c = count_fakes(&combined.flagged);
         let a = count_fakes(&d1_only.flagged);
         let b = count_fakes(&d2_only.flagged);
-        assert!(c >= a && c >= b, "combined {c} should cover Detect1 {a} and Detect2 {b}");
+        assert!(
+            c >= a && c >= b,
+            "combined {c} should cover Detect1 {a} and Detect2 {b}"
+        );
         assert!(c > 0);
         let _ = m_fake;
     }

@@ -32,7 +32,10 @@ pub struct FrequentItemsetDefense {
 impl FrequentItemsetDefense {
     /// Creates the defense with an automatic support threshold.
     pub fn new(flag_threshold: usize) -> Self {
-        FrequentItemsetDefense { min_support: None, flag_threshold }
+        FrequentItemsetDefense {
+            min_support: None,
+            flag_threshold,
+        }
     }
 
     fn resolve_min_support(&self, reports: &[UserReport]) -> usize {
@@ -142,7 +145,10 @@ mod tests {
         let result = defense.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
         let fake_flagged = result.flagged[200..].iter().filter(|&&f| f).count();
         let genuine_flagged = result.flagged[..200].iter().filter(|&&f| f).count();
-        assert!(fake_flagged >= 18, "most fakes should be flagged, got {fake_flagged}/20");
+        assert!(
+            fake_flagged >= 18,
+            "most fakes should be flagged, got {fake_flagged}/20"
+        );
         assert!(
             genuine_flagged <= 10,
             "few genuine users should be flagged, got {genuine_flagged}/200"
@@ -179,8 +185,10 @@ mod tests {
         let protocol = LfGdpr::new(4.0).unwrap();
         // min_support=1 makes everything frequent; threshold 0 flags the
         // report containing at least one frequent pair — user 2 only.
-        let defense =
-            FrequentItemsetDefense { min_support: Some(1), flag_threshold: 0 };
+        let defense = FrequentItemsetDefense {
+            min_support: Some(1),
+            flag_threshold: 0,
+        };
         let result = defense.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
         assert!(result.flagged[2]);
         // Rebuilt from others: only user 0 claimed an edge to 2.
@@ -194,6 +202,9 @@ mod tests {
         let defense = FrequentItemsetDefense::new(50);
         let support = defense.resolve_min_support(&sparse);
         assert!(support >= 4);
-        assert!(support < 300, "support {support} should stay below the population");
+        assert!(
+            support < 300,
+            "support {support} should stay below the population"
+        );
     }
 }

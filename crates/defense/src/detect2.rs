@@ -24,7 +24,9 @@ pub struct DegreeConsistencyDefense {
 
 impl Default for DegreeConsistencyDefense {
     fn default() -> Self {
-        DegreeConsistencyDefense { sigma_multiplier: 3.0 }
+        DegreeConsistencyDefense {
+            sigma_multiplier: 3.0,
+        }
     }
 }
 
@@ -32,7 +34,9 @@ impl DegreeConsistencyDefense {
     /// The calibrated degree implied by a report's bit vector.
     fn calibrated_bit_degree(report: &UserReport, protocol: &LfGdpr) -> f64 {
         let n = report.population() as f64;
-        protocol.rr().calibrate_count(report.bit_degree() as f64, n - 1.0)
+        protocol
+            .rr()
+            .calibrate_count(report.bit_degree() as f64, n - 1.0)
     }
 }
 
@@ -71,8 +75,9 @@ impl GraphDefense for DegreeConsistencyDefense {
                 let n = report.population();
                 let empty = BitSet::new(n);
                 report.bits = protocol.rr().perturb_bitset(&empty, Some(f), &mut rng);
-                report.degree =
-                    protocol.laplace().perturb_degree(0.0, (n - 1) as f64, &mut rng);
+                report.degree = protocol
+                    .laplace()
+                    .perturb_degree(0.0, (n - 1) as f64, &mut rng);
             }
         }
         DefenseApplication { repaired, flagged }
@@ -92,7 +97,11 @@ mod tests {
         let protocol = LfGdpr::new(4.0).unwrap();
         let base = Xoshiro256pp::new(1);
         let reports = protocol.collect_honest(&g, &base);
-        let result = DegreeConsistencyDefense::default().apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let result = DegreeConsistencyDefense::default().apply(
+            &reports,
+            &protocol,
+            &mut Xoshiro256pp::new(0xD0),
+        );
         let flagged = result.flagged.iter().filter(|&&f| f).count();
         assert_eq!(flagged, 0, "honest population must produce no flags");
     }
@@ -115,14 +124,25 @@ mod tests {
             }
             *report = UserReport::new(bits, (n - 1) as f64);
         }
-        let result = DegreeConsistencyDefense::default().apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let result = DegreeConsistencyDefense::default().apply(
+            &reports,
+            &protocol,
+            &mut Xoshiro256pp::new(0xD0),
+        );
         let fake_flagged = result.flagged[n - 8..].iter().filter(|&&f| f).count();
-        assert!(fake_flagged >= 6, "RVA-style reports should be caught: {fake_flagged}/8");
+        assert!(
+            fake_flagged >= 6,
+            "RVA-style reports should be caught: {fake_flagged}/8"
+        );
         // Flagged rows are neutralized: the absurd degree value is gone and
         // the bits are a fresh null-perturbation (self slot clear).
         for (i, rep) in result.repaired.iter().enumerate() {
             if result.flagged[i] {
-                assert!(rep.degree < 5.0, "degree value should be near zero: {}", rep.degree);
+                assert!(
+                    rep.degree < 5.0,
+                    "degree value should be near zero: {}",
+                    rep.degree
+                );
                 assert!(!rep.bits.get(i));
             }
         }
@@ -136,9 +156,15 @@ mod tests {
         let reports = protocol.collect_honest(&g, &base);
         // A negative multiplier forces the threshold below honest noise →
         // many flags; the default threshold flags none.
-        let harsh = DegreeConsistencyDefense { sigma_multiplier: -1000.0 };
+        let harsh = DegreeConsistencyDefense {
+            sigma_multiplier: -1000.0,
+        };
         let strict = harsh.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
-        let lenient = DegreeConsistencyDefense::default().apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let lenient = DegreeConsistencyDefense::default().apply(
+            &reports,
+            &protocol,
+            &mut Xoshiro256pp::new(0xD0),
+        );
         let harsh_count = strict.flagged.iter().filter(|&&f| f).count();
         let lenient_count = lenient.flagged.iter().filter(|&&f| f).count();
         assert!(harsh_count > lenient_count);

@@ -99,9 +99,11 @@ impl GraphDefense for NaiveDegreeTails {
             if flagged[f] {
                 let empty = BitSet::new(report.population());
                 report.bits = protocol.rr().perturb_bitset(&empty, Some(f), &mut rng);
-                report.degree = protocol
-                    .laplace()
-                    .perturb_degree(0.0, (report.population() - 1) as f64, &mut rng);
+                report.degree = protocol.laplace().perturb_degree(
+                    0.0,
+                    (report.population() - 1) as f64,
+                    &mut rng,
+                );
             }
         }
         DefenseApplication { repaired, flagged }
@@ -164,8 +166,16 @@ mod tests {
     fn zero_fraction_flags_nobody() {
         let reports = population(&[1.0; 50]);
         let protocol = LfGdpr::new(4.0).unwrap();
-        let r1 = NaiveTopDegree { fraction: 0.0 }.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
-        let r2 = NaiveDegreeTails { fraction: 0.0 }.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let r1 = NaiveTopDegree { fraction: 0.0 }.apply(
+            &reports,
+            &protocol,
+            &mut Xoshiro256pp::new(0xD0),
+        );
+        let r2 = NaiveDegreeTails { fraction: 0.0 }.apply(
+            &reports,
+            &protocol,
+            &mut Xoshiro256pp::new(0xD0),
+        );
         assert!(r1.flagged.iter().all(|&f| !f));
         assert!(r2.flagged.iter().all(|&f| !f));
     }

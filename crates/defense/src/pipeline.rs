@@ -92,7 +92,11 @@ pub fn run_defended_attack(
     options: MgaOptions,
     seed: u64,
 ) -> DefenseOutcome {
-    assert_eq!(graph.num_nodes(), threat.n_genuine, "graph/threat population mismatch");
+    assert_eq!(
+        graph.num_nodes(),
+        threat.n_genuine,
+        "graph/threat population mismatch"
+    );
     let extended = graph.with_isolated_nodes(threat.m_fake);
     let base = Xoshiro256pp::new(seed);
 
@@ -100,20 +104,27 @@ pub fn run_defended_attack(
     let mut reports = protocol.collect_honest(&extended, &base);
     let view_clean = protocol.aggregate(&reports);
     let before = match metric {
-        TargetMetric::DegreeCentrality => {
-            threat.targets.iter().map(|&t| view_clean.degree_centrality(t)).collect()
-        }
-        TargetMetric::ClusteringCoefficient => {
-            estimate_clustering_at(&view_clean, &threat.targets)
-        }
+        TargetMetric::DegreeCentrality => threat
+            .targets
+            .iter()
+            .map(|&t| view_clean.degree_centrality(t))
+            .collect(),
+        TargetMetric::ClusteringCoefficient => estimate_clustering_at(&view_clean, &threat.targets),
     };
 
     // Attack.
     let knowledge =
         AttackerKnowledge::derive(protocol, threat.population(), graph.average_degree());
     let mut attack_rng = base.derive(0xA77A_C4ED_0000_0001);
-    let crafted =
-        craft_reports(strategy, metric, protocol, threat, &knowledge, options, &mut attack_rng);
+    let crafted = craft_reports(
+        strategy,
+        metric,
+        protocol,
+        threat,
+        &knowledge,
+        options,
+        &mut attack_rng,
+    );
     for (offset, report) in crafted.into_iter().enumerate() {
         reports[threat.n_genuine + offset] = report;
     }
@@ -121,17 +132,23 @@ pub fn run_defended_attack(
     // Defense.
     let mut defense_rng = base.derive(0xDEFE_2E00_0000_0001);
     let application = defense.apply(&reports, protocol, &mut defense_rng);
-    let flagged_fake =
-        application.flagged[threat.n_genuine..].iter().filter(|&&f| f).count();
-    let flagged_genuine =
-        application.flagged[..threat.n_genuine].iter().filter(|&&f| f).count();
+    let flagged_fake = application.flagged[threat.n_genuine..]
+        .iter()
+        .filter(|&&f| f)
+        .count();
+    let flagged_genuine = application.flagged[..threat.n_genuine]
+        .iter()
+        .filter(|&&f| f)
+        .count();
 
     // Estimation on the repaired uploads.
     let view_defended = protocol.aggregate(&application.repaired);
     let after = match metric {
-        TargetMetric::DegreeCentrality => {
-            threat.targets.iter().map(|&t| view_defended.degree_centrality(t)).collect()
-        }
+        TargetMetric::DegreeCentrality => threat
+            .targets
+            .iter()
+            .map(|&t| view_defended.degree_centrality(t))
+            .collect(),
         TargetMetric::ClusteringCoefficient => {
             estimate_clustering_at(&view_defended, &threat.targets)
         }
@@ -227,8 +244,16 @@ mod tests {
         // RVA's uniform degree is far from its calibrated bit degree about
         // (1 - (maxdeg + 3σ)/N) of the time; with 12 fakes expect some hits
         // and essentially no genuine false positives.
-        assert!(out.flagged_genuine <= 2, "false positives: {}", out.flagged_genuine);
-        assert!(out.recall(threat.m_fake) > 0.2, "recall {}", out.recall(threat.m_fake));
+        assert!(
+            out.flagged_genuine <= 2,
+            "false positives: {}",
+            out.flagged_genuine
+        );
+        assert!(
+            out.recall(threat.m_fake) > 0.2,
+            "recall {}",
+            out.recall(threat.m_fake)
+        );
     }
 
     #[test]

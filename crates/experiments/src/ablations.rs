@@ -21,8 +21,8 @@ use ldp_graph::Xoshiro256pp;
 use ldp_protocols::lfgdpr::{estimate_clustering_with, DegreeSource};
 use ldp_protocols::LfGdpr;
 use poison_core::{
-    craft_reports, run_lfgdpr_attack, AttackStrategy, AttackerKnowledge, MgaOptions,
-    TargetMetric, TargetSelection, ThreatModel,
+    craft_reports, run_lfgdpr_attack, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
+    TargetSelection, ThreatModel,
 };
 use poison_defense::{FrequentItemsetDefense, GraphDefense};
 
@@ -89,13 +89,18 @@ pub fn budget_cap_ablation(cfg: &ExperimentConfig) -> Figure {
         let defense = FrequentItemsetDefense::new(100);
         let mut defense_rng = base.derive(0xDEF);
         let app = defense.apply(&reports, &protocol, &mut defense_rng);
-        let recall = app.flagged[threat.n_genuine..].iter().filter(|&&f| f).count() as f64
+        let recall = app.flagged[threat.n_genuine..]
+            .iter()
+            .filter(|&&f| f)
+            .count() as f64
             / threat.m_fake as f64;
         (gain, recall)
     };
     let capped = run_with(MgaOptions::default());
-    let uncapped =
-        run_with(MgaOptions { budget_override: Some(usize::MAX), ..Default::default() });
+    let uncapped = run_with(MgaOptions {
+        budget_override: Some(usize::MAX),
+        ..Default::default()
+    });
     let mut fig = Figure::new(
         "Ablation A1: MGA budget cap",
         "variant (0=capped, 1=uncapped)",
@@ -125,7 +130,10 @@ pub fn padding_ablation(cfg: &ExperimentConfig) -> Figure {
         })
     };
     let padded = gain_with(MgaOptions::default());
-    let bare = gain_with(MgaOptions { pad_to_budget: false, ..Default::default() });
+    let bare = gain_with(MgaOptions {
+        pad_to_budget: false,
+        ..Default::default()
+    });
     let mut fig = Figure::new(
         "Ablation A2: MGA padding",
         "variant (0=padded, 1=bare)",
@@ -153,7 +161,10 @@ pub fn prioritization_ablation(cfg: &ExperimentConfig) -> Figure {
         })
     };
     let with = gain_with(MgaOptions::default());
-    let without = gain_with(MgaOptions { prioritize_fake_edges: false, ..Default::default() });
+    let without = gain_with(MgaOptions {
+        prioritize_fake_edges: false,
+        ..Default::default()
+    });
     let mut fig = Figure::new(
         "Ablation A3: MGA-cc prioritized allocation",
         "variant (0=prioritized, 1=flat)",
@@ -185,7 +196,10 @@ pub fn degree_source_ablation(cfg: &ExperimentConfig) -> Figure {
         "honest-estimation MAE",
         vec![0.0, 1.0],
     );
-    fig.push_series("mae", vec![mae(DegreeSource::PerturbedRow), mae(DegreeSource::Reported)]);
+    fig.push_series(
+        "mae",
+        vec![mae(DegreeSource::PerturbedRow), mae(DegreeSource::Reported)],
+    );
     fig
 }
 
@@ -204,7 +218,11 @@ mod tests {
     use super::*;
 
     fn smoke_cfg() -> ExperimentConfig {
-        ExperimentConfig { scale: 0.08, trials: 1, seed: 61 }
+        ExperimentConfig {
+            scale: 0.08,
+            trials: 1,
+            seed: 61,
+        }
     }
 
     #[test]
@@ -251,6 +269,9 @@ mod tests {
         // Padding adds random non-target edges only; the target-edge count
         // is identical, so the gain ratio stays near 1.
         let ratio = gain[0] / gain[1].max(1e-9);
-        assert!((0.5..2.0).contains(&ratio), "gain ratio {ratio} too far from 1");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "gain ratio {ratio} too far from 1"
+        );
     }
 }

@@ -43,7 +43,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     while i < args.len() {
         let take_value = |i: &mut usize| -> Result<&String, String> {
             *i += 1;
-            args.get(*i).ok_or_else(|| format!("flag {} needs a value", args[*i - 1]))
+            args.get(*i)
+                .ok_or_else(|| format!("flag {} needs a value", args[*i - 1]))
         };
         match args[i].as_str() {
             "--trials" => {
@@ -63,8 +64,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 }
             }
             "--seed" => {
-                opts.config.seed =
-                    take_value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                opts.config.seed = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--out" => {
                 opts.out_dir = PathBuf::from(take_value(&mut i)?);
@@ -84,9 +86,7 @@ pub fn options_from_env() -> CliOptions {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!(
-                "usage: [--trials N] [--scale F] [--seed S] [--out DIR] [--quiet]"
-            );
+            eprintln!("usage: [--trials N] [--scale F] [--seed S] [--out DIR] [--quiet]");
             std::process::exit(2);
         }
     }

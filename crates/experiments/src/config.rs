@@ -26,14 +26,22 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { scale: 1.0, trials: 5, seed: 20_250_101 }
+        ExperimentConfig {
+            scale: 1.0,
+            trials: 5,
+            seed: 20_250_101,
+        }
     }
 }
 
 impl ExperimentConfig {
     /// A fast configuration for tests: tiny graphs, two trials.
     pub fn smoke() -> Self {
-        ExperimentConfig { scale: 0.25, trials: 2, seed: 7 }
+        ExperimentConfig {
+            scale: 0.25,
+            trials: 2,
+            seed: 7,
+        }
     }
 
     /// Node count for a dataset's experiment stand-in (exact-mode
@@ -115,7 +123,10 @@ mod tests {
         assert_eq!(cfg.nodes_for(Dataset::Facebook), 4_039, "full paper size");
         let half = ExperimentConfig { scale: 0.5, ..cfg };
         assert_eq!(half.nodes_for(Dataset::Enron), 1_000);
-        let tiny = ExperimentConfig { scale: 0.0001, ..cfg };
+        let tiny = ExperimentConfig {
+            scale: 0.0001,
+            ..cfg
+        };
         assert_eq!(tiny.nodes_for(Dataset::Facebook), 250, "floor enforced");
     }
 
@@ -127,7 +138,9 @@ mod tests {
             cfg.degree_sweep_nodes_for(Dataset::Facebook),
             cfg.nodes_for(Dataset::Facebook)
         );
-        assert!(cfg.degree_sweep_nodes_for(Dataset::Gplus) > ExperimentConfig::SAMPLED_MODE_THRESHOLD);
+        assert!(
+            cfg.degree_sweep_nodes_for(Dataset::Gplus) > ExperimentConfig::SAMPLED_MODE_THRESHOLD
+        );
     }
 
     #[test]

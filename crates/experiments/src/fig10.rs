@@ -11,7 +11,13 @@ use poison_core::TargetMetric;
 
 /// Runs the figure on a custom β grid.
 pub fn run_with_grid(cfg: &ExperimentConfig, betas: &[f64]) -> Vec<Figure> {
-    sweep_all_datasets(cfg, TargetMetric::ClusteringCoefficient, SweepAxis::Beta, betas, "Fig 10")
+    sweep_all_datasets(
+        cfg,
+        TargetMetric::ClusteringCoefficient,
+        SweepAxis::Beta,
+        betas,
+        "Fig 10",
+    )
 }
 
 /// Runs the figure on the paper's grid β ∈ {0.001, 0.005, 0.01, 0.05, 0.1}.
@@ -25,9 +31,16 @@ mod tests {
 
     #[test]
     fn smoke_runs_two_betas() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 29 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 29,
+        };
         let figs = run_with_grid(&cfg, &[0.01, 0.05]);
         assert_eq!(figs.len(), 4);
-        assert!(figs[0].series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+        assert!(figs[0]
+            .series
+            .iter()
+            .all(|s| s.values.iter().all(|v| v.is_finite())));
     }
 }

@@ -30,9 +30,16 @@ mod tests {
 
     #[test]
     fn smoke_runs_two_gammas() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 31 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 31,
+        };
         let figs = run_with_grid(&cfg, &[0.01, 0.1]);
         assert_eq!(figs.len(), 4);
-        assert!(figs[0].series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+        assert!(figs[0]
+            .series
+            .iter()
+            .all(|s| s.values.iter().all(|v| v.is_finite())));
     }
 }

@@ -68,13 +68,17 @@ pub(crate) fn panel_threshold_sweep(
         let detect1 = FrequentItemsetDefense::new(threshold);
         let seed0 = cfg.seed ^ ((xi as u64) << 20);
         let g_detect = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_defended_attack(&graph, &protocol, &threat, strategy, metric, &detect1, opts, seed)
-                .outcome
+            run_defended_attack(
+                &graph, &protocol, &threat, strategy, metric, &detect1, opts, seed,
+            )
+            .outcome
         });
         let naive1 = NaiveTopDegree::default();
         let g_naive = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_defended_attack(&graph, &protocol, &threat, strategy, metric, &naive1, opts, seed)
-                .outcome
+            run_defended_attack(
+                &graph, &protocol, &threat, strategy, metric, &naive1, opts, seed,
+            )
+            .outcome
         });
         let g_none = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
             run_lfgdpr_attack(&graph, &protocol, &threat, strategy, metric, opts, seed)
@@ -119,13 +123,17 @@ pub(crate) fn panel_beta_sweep(
         let seed0 = cfg.seed ^ ((xi as u64) << 24);
         let detect2 = DegreeConsistencyDefense::default();
         let g_detect = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_defended_attack(&graph, &protocol, &threat, strategy, metric, &detect2, opts, seed)
-                .outcome
+            run_defended_attack(
+                &graph, &protocol, &threat, strategy, metric, &detect2, opts, seed,
+            )
+            .outcome
         });
         let naive2 = NaiveDegreeTails::default();
         let g_naive = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_defended_attack(&graph, &protocol, &threat, strategy, metric, &naive2, opts, seed)
-                .outcome
+            run_defended_attack(
+                &graph, &protocol, &threat, strategy, metric, &naive2, opts, seed,
+            )
+            .outcome
         });
         let g_none = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
             run_lfgdpr_attack(&graph, &protocol, &threat, strategy, metric, opts, seed)
@@ -133,8 +141,7 @@ pub(crate) fn panel_beta_sweep(
         (g_detect, g_naive, g_none)
     });
 
-    let mut figure =
-        Figure::new(title, "beta", "overall gain after defense", betas.to_vec());
+    let mut figure = Figure::new(title, "beta", "overall gain after defense", betas.to_vec());
     figure.push_series("Detect2", rows.iter().map(|r| r.0).collect());
     figure.push_series("Naive2", rows.iter().map(|r| r.1).collect());
     figure.push_series("NoDefense", rows.iter().map(|r| r.2).collect());
@@ -147,23 +154,41 @@ mod tests {
 
     #[test]
     fn panel_a_smoke() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 37 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 37,
+        };
         let fig = run_panel_a(&cfg, &[50, 300]);
         assert_eq!(fig.series.len(), 3);
-        assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+        assert!(fig
+            .series
+            .iter()
+            .all(|s| s.values.iter().all(|v| v.is_finite())));
     }
 
     #[test]
     fn panel_b_smoke() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 41 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 41,
+        };
         let fig = run_panel_b(&cfg, &[0.01, 0.1]);
         assert_eq!(fig.series.len(), 3);
-        assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+        assert!(fig
+            .series
+            .iter()
+            .all(|s| s.values.iter().all(|v| v.is_finite())));
     }
 
     #[test]
     fn detect2_defends_rva_better_than_nothing() {
-        let cfg = ExperimentConfig { scale: 0.3, trials: 2, seed: 43 };
+        let cfg = ExperimentConfig {
+            scale: 0.3,
+            trials: 2,
+            seed: 43,
+        };
         let fig = run_panel_b(&cfg, &[0.05]);
         let by = |l: &str| fig.series.iter().find(|s| s.label == l).unwrap().values[0];
         assert!(

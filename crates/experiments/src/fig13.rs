@@ -47,12 +47,19 @@ mod tests {
 
     #[test]
     fn both_panels_smoke() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 47 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 47,
+        };
         let a = run_panel_a(&cfg, &[100]);
         let b = run_panel_b(&cfg, &[0.05]);
         for fig in [a, b] {
             assert_eq!(fig.series.len(), 3);
-            assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+            assert!(fig
+                .series
+                .iter()
+                .all(|s| s.values.iter().all(|v| v.is_finite())));
         }
     }
 }

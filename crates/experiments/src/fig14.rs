@@ -47,7 +47,12 @@ pub fn run_panel_a(cfg: &ExperimentConfig, epsilons: &[f64]) -> Figure {
             })
             .collect::<Vec<f64>>()
     });
-    build_figure("Fig 14(a) LF-GDPR", epsilons, &rows, "clustering-coefficient gain")
+    build_figure(
+        "Fig 14(a) LF-GDPR",
+        epsilons,
+        &rows,
+        "clustering-coefficient gain",
+    )
 }
 
 /// Panel (b): LDPGen clustering-coefficient gains over ε.
@@ -81,15 +86,15 @@ pub fn run_panel_b(cfg: &ExperimentConfig, epsilons: &[f64]) -> Figure {
             })
             .collect::<Vec<f64>>()
     });
-    build_figure("Fig 14(b) LDPGen", epsilons, &rows, "clustering-coefficient gain")
+    build_figure(
+        "Fig 14(b) LDPGen",
+        epsilons,
+        &rows,
+        "clustering-coefficient gain",
+    )
 }
 
-pub(crate) fn build_figure(
-    title: &str,
-    xs: &[f64],
-    rows: &[Vec<f64>],
-    y_label: &str,
-) -> Figure {
+pub(crate) fn build_figure(title: &str, xs: &[f64], rows: &[Vec<f64>], y_label: &str) -> Figure {
     let mut figure = Figure::new(title, "epsilon", y_label, xs.to_vec());
     for (si, strategy) in AttackStrategy::ALL.iter().enumerate() {
         figure.push_series(strategy.name(), rows.iter().map(|r| r[si]).collect());
@@ -99,7 +104,10 @@ pub(crate) fn build_figure(
 
 /// Runs both panels on the paper's ε grid.
 pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
-    vec![run_panel_a(cfg, &grids::EPSILONS), run_panel_b(cfg, &grids::EPSILONS)]
+    vec![
+        run_panel_a(cfg, &grids::EPSILONS),
+        run_panel_b(cfg, &grids::EPSILONS),
+    ]
 }
 
 #[cfg(test)]
@@ -108,12 +116,19 @@ mod tests {
 
     #[test]
     fn both_panels_smoke() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 53 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 53,
+        };
         let a = run_panel_a(&cfg, &[4.0]);
         let b = run_panel_b(&cfg, &[4.0]);
         for fig in [a, b] {
             assert_eq!(fig.series.len(), 3);
-            assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+            assert!(fig
+                .series
+                .iter()
+                .all(|s| s.values.iter().all(|v| v.is_finite())));
         }
     }
 }

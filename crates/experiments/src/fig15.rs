@@ -86,7 +86,10 @@ pub fn run_panel_b(cfg: &ExperimentConfig, epsilons: &[f64]) -> Figure {
 
 /// Runs both panels on the paper's ε grid.
 pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
-    vec![run_panel_a(cfg, &grids::EPSILONS), run_panel_b(cfg, &grids::EPSILONS)]
+    vec![
+        run_panel_a(cfg, &grids::EPSILONS),
+        run_panel_b(cfg, &grids::EPSILONS),
+    ]
 }
 
 #[cfg(test)]
@@ -95,12 +98,19 @@ mod tests {
 
     #[test]
     fn both_panels_smoke() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 59 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 59,
+        };
         let a = run_panel_a(&cfg, &[4.0]);
         let b = run_panel_b(&cfg, &[4.0]);
         for fig in [a, b] {
             assert_eq!(fig.series.len(), 3);
-            assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+            assert!(fig
+                .series
+                .iter()
+                .all(|s| s.values.iter().all(|v| v.is_finite())));
         }
     }
 }

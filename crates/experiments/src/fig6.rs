@@ -13,7 +13,13 @@ use poison_core::TargetMetric;
 
 /// Runs the figure on a custom ε grid.
 pub fn run_with_grid(cfg: &ExperimentConfig, epsilons: &[f64]) -> Vec<Figure> {
-    sweep_all_datasets(cfg, TargetMetric::DegreeCentrality, SweepAxis::Epsilon, epsilons, "Fig 6")
+    sweep_all_datasets(
+        cfg,
+        TargetMetric::DegreeCentrality,
+        SweepAxis::Epsilon,
+        epsilons,
+        "Fig 6",
+    )
 }
 
 /// Runs the figure on the paper's grid ε ∈ {1..8}.
@@ -27,7 +33,11 @@ mod tests {
 
     #[test]
     fn smoke_two_epsilons_one_dataset_each() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 11 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 11,
+        };
         let figs = run_with_grid(&cfg, &[1.0, 8.0]);
         assert_eq!(figs.len(), 4);
         for f in &figs {
@@ -41,7 +51,11 @@ mod tests {
         // The ε-trend needs a realistically sparse graph: at tiny scales
         // the stand-in's density is inflated and the noise-difference term
         // that drives the paper's downward RVA slope no longer dominates.
-        let cfg = ExperimentConfig { scale: 1.0, trials: 2, seed: 13 };
+        let cfg = ExperimentConfig {
+            scale: 1.0,
+            trials: 2,
+            seed: 13,
+        };
         let fig = crate::sweep::sweep_dataset(
             &cfg,
             ldp_graph::datasets::Dataset::Facebook,

@@ -10,7 +10,13 @@ use poison_core::TargetMetric;
 
 /// Runs the figure on a custom β grid.
 pub fn run_with_grid(cfg: &ExperimentConfig, betas: &[f64]) -> Vec<Figure> {
-    sweep_all_datasets(cfg, TargetMetric::DegreeCentrality, SweepAxis::Beta, betas, "Fig 7")
+    sweep_all_datasets(
+        cfg,
+        TargetMetric::DegreeCentrality,
+        SweepAxis::Beta,
+        betas,
+        "Fig 7",
+    )
 }
 
 /// Runs the figure on the paper's grid β ∈ {0.001, 0.005, 0.01, 0.05, 0.1}.
@@ -24,7 +30,11 @@ mod tests {
 
     #[test]
     fn gain_rises_with_beta() {
-        let cfg = ExperimentConfig { scale: 0.3, trials: 2, seed: 17 };
+        let cfg = ExperimentConfig {
+            scale: 0.3,
+            trials: 2,
+            seed: 17,
+        };
         let figs = run_with_grid(&cfg, &[0.01, 0.1]);
         let mga = figs[0].series.iter().find(|s| s.label == "MGA").unwrap();
         assert!(

@@ -11,7 +11,13 @@ use poison_core::TargetMetric;
 
 /// Runs the figure on a custom γ grid.
 pub fn run_with_grid(cfg: &ExperimentConfig, gammas: &[f64]) -> Vec<Figure> {
-    sweep_all_datasets(cfg, TargetMetric::DegreeCentrality, SweepAxis::Gamma, gammas, "Fig 8")
+    sweep_all_datasets(
+        cfg,
+        TargetMetric::DegreeCentrality,
+        SweepAxis::Gamma,
+        gammas,
+        "Fig 8",
+    )
 }
 
 /// Runs the figure on the paper's grid γ ∈ {0.001, 0.005, 0.01, 0.05, 0.1}.
@@ -25,7 +31,11 @@ mod tests {
 
     #[test]
     fn gain_rises_with_gamma() {
-        let cfg = ExperimentConfig { scale: 0.3, trials: 2, seed: 19 };
+        let cfg = ExperimentConfig {
+            scale: 0.3,
+            trials: 2,
+            seed: 19,
+        };
         let figs = run_with_grid(&cfg, &[0.01, 0.1]);
         let mga = figs[0].series.iter().find(|s| s.label == "MGA").unwrap();
         assert!(

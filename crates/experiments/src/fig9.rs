@@ -31,12 +31,21 @@ mod tests {
 
     #[test]
     fn smoke_produces_finite_gains() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 23 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 23,
+        };
         let figs = run_with_grid(&cfg, &[4.0]);
         assert_eq!(figs.len(), 4);
         for f in &figs {
             for s in &f.series {
-                assert!(s.values[0].is_finite(), "{} not finite in {}", s.label, f.title);
+                assert!(
+                    s.values[0].is_finite(),
+                    "{} not finite in {}",
+                    s.label,
+                    f.title
+                );
             }
         }
     }

@@ -53,8 +53,15 @@ impl Figure {
     /// # Panics
     /// Panics if the series length differs from the x-grid.
     pub fn push_series(&mut self, label: impl Into<String>, values: Vec<f64>) {
-        assert_eq!(values.len(), self.x.len(), "series length must match x grid");
-        self.series.push(Series { label: label.into(), values });
+        assert_eq!(
+            values.len(),
+            self.x.len(),
+            "series length must match x grid"
+        );
+        self.series.push(Series {
+            label: label.into(),
+            values,
+        });
     }
 
     /// Markdown table: x column plus one column per series.

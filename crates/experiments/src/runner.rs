@@ -1,9 +1,9 @@
 //! Parallel sweep execution.
 //!
 //! Experiment points (dataset × x-value × strategy) are independent, so the
-//! runner fans them out over scoped crossbeam threads. Each point carries
-//! its own seeds; results come back in input order regardless of thread
-//! interleaving.
+//! runner fans them out over scoped threads (`std::thread::scope`). Each
+//! point carries its own seeds; results come back in input order regardless
+//! of thread interleaving.
 
 use poison_core::AttackOutcome;
 
@@ -28,9 +28,9 @@ where
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
         results.iter_mut().map(std::sync::Mutex::new).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -39,10 +39,12 @@ where
                 **slots[i].lock().expect("slot lock poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     drop(slots);
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 /// Number of worker threads to use by default: the machine's parallelism,

@@ -22,7 +22,13 @@ impl Summary {
     pub fn of(values: &[f64]) -> Summary {
         let n = values.len();
         if n == 0 {
-            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = if n < 2 {
@@ -32,7 +38,13 @@ impl Summary {
         };
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { n, mean, std_dev: var.sqrt(), min, max }
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Standard error of the mean (0 for n < 1).

@@ -12,9 +12,8 @@ use ldp_graph::datasets::Dataset;
 use ldp_graph::Xoshiro256pp;
 use ldp_protocols::LfGdpr;
 use poison_core::{
-    run_lfgdpr_attack, run_sampled_degree_attack, theorem1_degree_gain,
-    theorem2_clustering_gain, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
-    TargetSelection, ThreatModel,
+    run_lfgdpr_attack, run_sampled_degree_attack, theorem1_degree_gain, theorem2_clustering_gain,
+    AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
 };
 
 /// Which of the three parameters a figure sweeps.
@@ -132,7 +131,10 @@ pub fn sweep_dataset(
         xs.to_vec(),
     );
     for (si, strategy) in AttackStrategy::ALL.iter().enumerate() {
-        figure.push_series(strategy.name(), results.iter().map(|(g, _)| g[si]).collect());
+        figure.push_series(
+            strategy.name(),
+            results.iter().map(|(g, _)| g[si]).collect(),
+        );
     }
     figure.push_series("MGA-theory", results.iter().map(|&(_, t)| t).collect());
     figure
@@ -158,7 +160,11 @@ mod tests {
 
     #[test]
     fn sweep_produces_all_series() {
-        let cfg = ExperimentConfig { scale: 0.25, trials: 1, seed: 3 };
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 3,
+        };
         let fig = sweep_dataset(
             &cfg,
             Dataset::Facebook,
@@ -169,12 +175,19 @@ mod tests {
         );
         assert_eq!(fig.series.len(), 4, "RVA, RNA, MGA, theory");
         assert_eq!(fig.x, vec![2.0, 6.0]);
-        assert!(fig.series.iter().all(|s| s.values.iter().all(|v| v.is_finite())));
+        assert!(fig
+            .series
+            .iter()
+            .all(|s| s.values.iter().all(|v| v.is_finite())));
     }
 
     #[test]
     fn mga_beats_baselines_in_sweep() {
-        let cfg = ExperimentConfig { scale: 0.3, trials: 2, seed: 5 };
+        let cfg = ExperimentConfig {
+            scale: 0.3,
+            trials: 2,
+            seed: 5,
+        };
         let fig = sweep_dataset(
             &cfg,
             Dataset::Facebook,
@@ -184,7 +197,11 @@ mod tests {
             "Fig test",
         );
         let by_label = |l: &str| {
-            fig.series.iter().find(|s| s.label == l).map(|s| s.values[0]).unwrap()
+            fig.series
+                .iter()
+                .find(|s| s.label == l)
+                .map(|s| s.values[0])
+                .unwrap()
         };
         assert!(by_label("MGA") > by_label("RNA"));
         assert!(by_label("MGA") > 0.0);

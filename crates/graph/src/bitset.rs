@@ -18,7 +18,10 @@ const WORD_BITS: usize = 64;
 impl BitSet {
     /// Creates an empty bitset with capacity for `nbits` bits, all zero.
     pub fn new(nbits: usize) -> Self {
-        BitSet { words: vec![0; nbits.div_ceil(WORD_BITS)], nbits }
+        BitSet {
+            words: vec![0; nbits.div_ceil(WORD_BITS)],
+            nbits,
+        }
     }
 
     /// Builds a bitset of capacity `nbits` with the given bit indices set.
@@ -45,7 +48,11 @@ impl BitSet {
     /// Panics if `i >= capacity()`.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.nbits, "bit index {i} out of range for capacity {}", self.nbits);
+        assert!(
+            i < self.nbits,
+            "bit index {i} out of range for capacity {}",
+            self.nbits
+        );
         self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
@@ -55,7 +62,11 @@ impl BitSet {
     /// Panics if `i >= capacity()`.
     #[inline]
     pub fn clear(&mut self, i: usize) {
-        assert!(i < self.nbits, "bit index {i} out of range for capacity {}", self.nbits);
+        assert!(
+            i < self.nbits,
+            "bit index {i} out of range for capacity {}",
+            self.nbits
+        );
         self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 
@@ -65,7 +76,11 @@ impl BitSet {
     /// Panics if `i >= capacity()`.
     #[inline]
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.nbits, "bit index {i} out of range for capacity {}", self.nbits);
+        assert!(
+            i < self.nbits,
+            "bit index {i} out of range for capacity {}",
+            self.nbits
+        );
         self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
     }
 
@@ -75,7 +90,11 @@ impl BitSet {
     /// Panics if `i >= capacity()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.nbits, "bit index {i} out of range for capacity {}", self.nbits);
+        assert!(
+            i < self.nbits,
+            "bit index {i} out of range for capacity {}",
+            self.nbits
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -138,7 +157,11 @@ impl BitSet {
 
     /// Iterates over the indices of set bits in increasing order.
     pub fn iter_ones(&self) -> OnesIter<'_> {
-        OnesIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        OnesIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Collects the set bit indices into a vector.

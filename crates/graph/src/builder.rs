@@ -19,12 +19,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `num_nodes` nodes and no edges.
     pub fn new(num_nodes: usize) -> Self {
-        GraphBuilder { num_nodes, edges: Vec::new() }
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder pre-sized for an expected number of edges.
     pub fn with_capacity(num_nodes: usize, edges: usize) -> Self {
-        GraphBuilder { num_nodes, edges: Vec::with_capacity(edges) }
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::with_capacity(edges),
+        }
     }
 
     /// Starts from an existing graph (e.g. to graft attack edges on top).

@@ -31,10 +31,16 @@ impl CsrGraph {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
         for &(u, v) in edges {
             if u as usize >= n {
-                return Err(GraphError::NodeOutOfRange { node: u as usize, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: u as usize,
+                    num_nodes: n,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::NodeOutOfRange { node: v as usize, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v as usize,
+                    num_nodes: n,
+                });
             }
         }
         // Two-pass counting sort into CSR, then per-row sort + dedup.
@@ -76,7 +82,11 @@ impl CsrGraph {
             new_offsets.push(write);
         }
         let num_edges = write / 2;
-        Ok(CsrGraph { offsets: new_offsets, neighbors: compact, num_edges })
+        Ok(CsrGraph {
+            offsets: new_offsets,
+            neighbors: compact,
+            num_edges,
+        })
     }
 
     /// Number of nodes `n`.
@@ -144,7 +154,10 @@ impl CsrGraph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Edge density `2E / (n(n-1))`.
@@ -173,7 +186,11 @@ impl CsrGraph {
         let mut offsets = self.offsets.clone();
         let last = *offsets.last().unwrap();
         offsets.extend(std::iter::repeat_n(last, extra));
-        CsrGraph { offsets, neighbors: self.neighbors.clone(), num_edges: self.num_edges }
+        CsrGraph {
+            offsets,
+            neighbors: self.neighbors.clone(),
+            num_edges: self.num_edges,
+        }
     }
 
     /// Returns the subgraph induced on nodes `0..k` (node ids preserved).
@@ -190,7 +207,12 @@ impl CsrGraph {
 
 impl std::fmt::Debug for CsrGraph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CsrGraph(n={}, m={})", self.num_nodes(), self.num_edges())
+        write!(
+            f,
+            "CsrGraph(n={}, m={})",
+            self.num_nodes(),
+            self.num_edges()
+        )
     }
 }
 
@@ -223,7 +245,13 @@ mod tests {
     #[test]
     fn out_of_range_edge_rejected() {
         let err = CsrGraph::from_edges(3, &[(0, 3)]).unwrap_err();
-        assert!(matches!(err, GraphError::NodeOutOfRange { node: 3, num_nodes: 3 }));
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 3,
+                num_nodes: 3
+            }
+        ));
     }
 
     #[test]

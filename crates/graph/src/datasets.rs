@@ -31,7 +31,12 @@ pub enum Dataset {
 
 impl Dataset {
     /// All four datasets in the order the paper's figures use.
-    pub const ALL: [Dataset; 4] = [Dataset::Facebook, Dataset::Enron, Dataset::AstroPh, Dataset::Gplus];
+    pub const ALL: [Dataset; 4] = [
+        Dataset::Facebook,
+        Dataset::Enron,
+        Dataset::AstroPh,
+        Dataset::Gplus,
+    ];
 
     /// Human-readable name as used in the paper.
     pub fn name(self) -> &'static str {
@@ -107,7 +112,11 @@ impl Dataset {
         let mut intra_edges = 0usize;
         for b in 0..num_blocks {
             let start = b * block_size;
-            let end = if b + 1 == num_blocks { nodes } else { start + block_size };
+            let end = if b + 1 == num_blocks {
+                nodes
+            } else {
+                start + block_size
+            };
             let size = end - start;
             let m = self.attachment().min(size.saturating_sub(1) / 2).max(1);
             let mut block_rng = rng.derive(b as u64 + 1);
@@ -135,7 +144,9 @@ impl Dataset {
                 guard += 1;
             }
         }
-        builder.build().expect("all endpoints in range by construction")
+        builder
+            .build()
+            .expect("all endpoints in range by construction")
     }
 
     /// The ground-truth community of each node in a stand-in generated by
@@ -145,7 +156,9 @@ impl Dataset {
         let min_block = (3 * self.attachment()).max(250);
         let num_blocks = (nodes / min_block).clamp(1, 12);
         let block_size = nodes / num_blocks;
-        (0..nodes).map(|u| (u / block_size).min(num_blocks - 1)).collect()
+        (0..nodes)
+            .map(|u| (u / block_size).min(num_blocks - 1))
+            .collect()
     }
 
     /// Generates a stand-in scaled to `fraction` of the paper node count
@@ -265,7 +278,10 @@ mod tests {
         let partition = Dataset::Facebook.ground_truth_partition(nodes);
         assert_eq!(partition.len(), nodes);
         let q = modularity(&g, &partition);
-        assert!(q > 0.3, "block partition should have high modularity, got {q}");
+        assert!(
+            q > 0.3,
+            "block partition should have high modularity, got {q}"
+        );
     }
 
     #[test]

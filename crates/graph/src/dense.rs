@@ -27,7 +27,11 @@ impl BitMatrix {
     /// Creates an `n × n` all-zero matrix.
     pub fn new(n: usize) -> Self {
         let words_per_row = n.div_ceil(WORD_BITS);
-        BitMatrix { n, words_per_row, bits: vec![0; n * words_per_row] }
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
     }
 
     /// Builds the dense representation of a sparse graph.
@@ -62,7 +66,11 @@ impl BitMatrix {
     /// Panics if `u` or `v` is out of range.
     #[inline]
     pub fn set_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for {} nodes", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for {} nodes",
+            self.n
+        );
         if u == v {
             return;
         }
@@ -76,7 +84,11 @@ impl BitMatrix {
     /// Panics if `u` or `v` is out of range.
     #[inline]
     pub fn clear_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for {} nodes", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for {} nodes",
+            self.n
+        );
         if u == v {
             return;
         }
@@ -90,7 +102,11 @@ impl BitMatrix {
     /// Panics if `u` or `v` is out of range.
     #[inline]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for {} nodes", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for {} nodes",
+            self.n
+        );
         (self.bits[u * self.words_per_row + v / WORD_BITS] >> (v % WORD_BITS)) & 1 == 1
     }
 
@@ -125,8 +141,7 @@ impl BitMatrix {
 
     /// Total number of undirected edges.
     pub fn num_edges(&self) -> usize {
-        let total: usize =
-            (0..self.n).map(|u| self.degree(u)).sum();
+        let total: usize = (0..self.n).map(|u| self.degree(u)).sum();
         total / 2
     }
 
@@ -149,7 +164,10 @@ impl BitMatrix {
     #[inline]
     pub fn common_neighbors(&self, u: usize, v: usize) -> usize {
         let (a, b) = (self.row(u), self.row(v));
-        a.iter().zip(b).map(|(x, y)| (x & y).count_ones() as usize).sum()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
     }
 
     /// Number of triangles incident to node `u`:

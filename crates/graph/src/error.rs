@@ -29,7 +29,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             GraphError::Parse { line, message } => {
@@ -61,7 +64,10 @@ mod tests {
 
     #[test]
     fn display_node_out_of_range() {
-        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 5,
+        };
         assert_eq!(e.to_string(), "node 7 out of range for graph with 5 nodes");
     }
 
@@ -82,7 +88,10 @@ mod tests {
 
     #[test]
     fn parse_error_reports_line() {
-        let e = GraphError::Parse { line: 3, message: "expected two fields".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "expected two fields".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

@@ -20,7 +20,9 @@ mod classic;
 mod preferential;
 mod random_graphs;
 
-pub use classic::{caveman_graph, complete_graph, cycle_graph, empty_graph, path_graph, star_graph};
+pub use classic::{
+    caveman_graph, complete_graph, cycle_graph, empty_graph, path_graph, star_graph,
+};
 pub use preferential::{barabasi_albert, holme_kim};
 pub use random_graphs::{
     configuration_model, erdos_renyi_gnm, erdos_renyi_gnp, planted_partition, watts_strogatz,

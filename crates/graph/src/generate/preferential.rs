@@ -41,10 +41,14 @@ pub fn holme_kim<R: Rng>(
         return Err(GraphError::InvalidParameter("m must be >= 1".into()));
     }
     if n <= m {
-        return Err(GraphError::InvalidParameter(format!("n = {n} must exceed m = {m}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "n = {n} must exceed m = {m}"
+        )));
     }
     if !(0.0..=1.0).contains(&p_triad) {
-        return Err(GraphError::InvalidParameter(format!("p_triad = {p_triad} not in [0, 1]")));
+        return Err(GraphError::InvalidParameter(format!(
+            "p_triad = {p_triad} not in [0, 1]"
+        )));
     }
     let mut b = GraphBuilder::with_capacity(n, m * (n - m));
     // repeated-endpoint list: sampling uniformly from it is sampling

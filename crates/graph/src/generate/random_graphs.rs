@@ -16,7 +16,9 @@ use std::collections::HashSet;
 /// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
 pub fn erdos_renyi_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<CsrGraph, GraphError> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameter(format!("p = {p} not in [0, 1]")));
+        return Err(GraphError::InvalidParameter(format!(
+            "p = {p} not in [0, 1]"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     if p > 0.0 && n >= 2 {
@@ -120,13 +122,19 @@ pub fn watts_strogatz<R: Rng>(
     rng: &mut R,
 ) -> Result<CsrGraph, GraphError> {
     if !k.is_multiple_of(2) {
-        return Err(GraphError::InvalidParameter(format!("k = {k} must be even")));
+        return Err(GraphError::InvalidParameter(format!(
+            "k = {k} must be even"
+        )));
     }
     if n > 0 && k >= n {
-        return Err(GraphError::InvalidParameter(format!("k = {k} must be < n = {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "k = {k} must be < n = {n}"
+        )));
     }
     if !(0.0..=1.0).contains(&beta) {
-        return Err(GraphError::InvalidParameter(format!("beta = {beta} not in [0, 1]")));
+        return Err(GraphError::InvalidParameter(format!(
+            "beta = {beta} not in [0, 1]"
+        )));
     }
     let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
     for u in 0..n {
@@ -181,7 +189,9 @@ pub fn planted_partition<R: Rng>(
     }
     for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
         if !(0.0..=1.0).contains(&p) {
-            return Err(GraphError::InvalidParameter(format!("{name} = {p} not in [0, 1]")));
+            return Err(GraphError::InvalidParameter(format!(
+                "{name} = {p} not in [0, 1]"
+            )));
         }
     }
     let block = |u: usize| u * k / n.max(1);
@@ -212,7 +222,9 @@ pub fn configuration_model<R: Rng>(degrees: &[usize], rng: &mut R) -> Result<Csr
     let n = degrees.len();
     let sum: usize = degrees.iter().sum();
     if !sum.is_multiple_of(2) {
-        return Err(GraphError::InvalidParameter("degree sum must be even".into()));
+        return Err(GraphError::InvalidParameter(
+            "degree sum must be even".into(),
+        ));
     }
     if let Some((u, &d)) = degrees.iter().enumerate().find(|&(_, &d)| d >= n.max(1)) {
         return Err(GraphError::InvalidParameter(format!(
@@ -356,7 +368,13 @@ mod tests {
     #[test]
     fn configuration_model_validation() {
         let mut rng = Xoshiro256pp::new(11);
-        assert!(configuration_model(&[1, 1, 1], &mut rng).is_err(), "odd sum");
-        assert!(configuration_model(&[4, 1, 1, 2], &mut rng).is_err(), "degree > n-1");
+        assert!(
+            configuration_model(&[1, 1, 1], &mut rng).is_err(),
+            "odd sum"
+        );
+        assert!(
+            configuration_model(&[4, 1, 1, 2], &mut rng).is_err(),
+            "degree > n-1"
+        );
     }
 }

@@ -16,7 +16,9 @@ pub fn degree_centrality(g: &CsrGraph, u: usize) -> f64 {
 
 /// Degree centralities of every node.
 pub fn degree_centralities(g: &CsrGraph) -> Vec<f64> {
-    (0..g.num_nodes()).map(|u| degree_centrality(g, u)).collect()
+    (0..g.num_nodes())
+        .map(|u| degree_centrality(g, u))
+        .collect()
 }
 
 /// Degree centrality computed from a raw degree and population size, used

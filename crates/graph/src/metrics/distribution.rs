@@ -37,8 +37,10 @@ pub fn degree_ccdf(g: &CsrGraph) -> Vec<f64> {
 /// Returns `None` when the graph has fewer than `k + 1` nodes with
 /// positive degree or when the tail is degenerate (all cut values equal).
 pub fn hill_tail_exponent(g: &CsrGraph, k: usize) -> Option<f64> {
-    let mut degrees: Vec<usize> =
-        (0..g.num_nodes()).map(|u| g.degree(u)).filter(|&d| d > 0).collect();
+    let mut degrees: Vec<usize> = (0..g.num_nodes())
+        .map(|u| g.degree(u))
+        .filter(|&d| d > 0)
+        .collect();
     if degrees.len() < k + 1 || k == 0 {
         return None;
     }
@@ -80,8 +82,11 @@ pub fn degree_gini(g: &CsrGraph) -> f64 {
         return 0.0;
     }
     let nf = n as f64;
-    let weighted: f64 =
-        degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d).sum();
+    let weighted: f64 = degrees
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as f64 + 1.0) * d)
+        .sum();
     (2.0 * weighted) / (nf * total) - (nf + 1.0) / nf
 }
 
@@ -106,7 +111,10 @@ mod tests {
         let g = barabasi_albert(200, 3, &mut rng).unwrap();
         let ccdf = degree_ccdf(&g);
         assert!((ccdf[0] - 1.0).abs() < 1e-12);
-        assert!(ccdf.windows(2).all(|w| w[0] >= w[1]), "CCDF must be non-increasing");
+        assert!(
+            ccdf.windows(2).all(|w| w[0] >= w[1]),
+            "CCDF must be non-increasing"
+        );
         assert!(*ccdf.last().unwrap() > 0.0, "someone has the max degree");
     }
 
@@ -128,7 +136,10 @@ mod tests {
         // All degrees equal → sum of logs is 0 → None.
         assert!(hill_tail_exponent(&g, 2).is_none());
         assert!(hill_tail_exponent(&g, 0).is_none());
-        assert!(hill_tail_exponent(&g, 100).is_none(), "k larger than the graph");
+        assert!(
+            hill_tail_exponent(&g, 100).is_none(),
+            "k larger than the graph"
+        );
     }
 
     #[test]
@@ -144,7 +155,10 @@ mod tests {
         let hubby = star_graph(20);
         let g_regular = degree_gini(&regular);
         let g_hubby = degree_gini(&hubby);
-        assert!(g_regular.abs() < 1e-9, "complete graph is perfectly equal: {g_regular}");
+        assert!(
+            g_regular.abs() < 1e-9,
+            "complete graph is perfectly equal: {g_regular}"
+        );
         // The 20-node star's exact Gini is 0.45: one hub holds half the
         // degree mass, the rest is spread evenly over 19 leaves.
         assert!((g_hubby - 0.45).abs() < 1e-9, "star graph gini: {g_hubby}");

@@ -10,8 +10,12 @@ pub mod distribution;
 pub mod modularity;
 pub mod triangles;
 
-pub use clustering::{average_clustering_coefficient, global_transitivity, local_clustering_coefficients};
+pub use clustering::{
+    average_clustering_coefficient, global_transitivity, local_clustering_coefficients,
+};
 pub use degree::{degree_centralities, degree_centrality};
-pub use distribution::{degree_ccdf, degree_gini, degree_histogram, hill_tail_exponent, median_degree};
+pub use distribution::{
+    degree_ccdf, degree_gini, degree_histogram, hill_tail_exponent, median_degree,
+};
 pub use modularity::modularity;
 pub use triangles::{total_triangles, triangles_per_node};

@@ -14,7 +14,11 @@ use crate::csr::CsrGraph;
 /// # Panics
 /// Panics if `partition.len() != g.num_nodes()`.
 pub fn modularity(g: &CsrGraph, partition: &[usize]) -> f64 {
-    assert_eq!(partition.len(), g.num_nodes(), "partition length must equal node count");
+    assert_eq!(
+        partition.len(),
+        g.num_nodes(),
+        "partition length must equal node count"
+    );
     let m = g.num_edges() as f64;
     if m == 0.0 {
         return 0.0;

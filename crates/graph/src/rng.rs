@@ -48,7 +48,9 @@ impl Xoshiro256pp {
         // The all-zero state is invalid (fixed point); SplitMix64 cannot
         // produce four zeros from any seed, but guard anyway.
         if s == [0, 0, 0, 0] {
-            Self { s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3] }
+            Self {
+                s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+            }
         } else {
             Self { s }
         }
@@ -73,8 +75,7 @@ impl Xoshiro256pp {
     /// into the seed space. Used to hand each simulated user or each parallel
     /// trial its own generator deterministically.
     pub fn derive(&self, stream: u64) -> Self {
-        let mut sm = self
-            .s[0]
+        let mut sm = self.s[0]
             .wrapping_mul(0xA24B_AED4_963E_E407)
             .wrapping_add(stream.wrapping_mul(0x9FB2_1C65_1E98_DF25));
         let s = [

@@ -107,7 +107,10 @@ fn caveman_triangle_count_closed_form() {
         // The inter-clique ring contributes one extra triangle exactly when
         // it is itself a 3-cycle (three cliques).
         let ring_triangles = usize::from(cliques == 3);
-        assert_eq!(total_triangles(&g) as usize, cliques * per_clique + ring_triangles);
+        assert_eq!(
+            total_triangles(&g) as usize,
+            cliques * per_clique + ring_triangles
+        );
     }
 }
 

@@ -62,7 +62,10 @@ impl PrivacyBudget {
                 return Err(MechanismError::InvalidBudget(eps));
             }
         }
-        Ok(PrivacyBudget { epsilon_adjacency, epsilon_degree })
+        Ok(PrivacyBudget {
+            epsilon_adjacency,
+            epsilon_degree,
+        })
     }
 
     /// Total budget ε = ε₁ + ε₂ (sequential composition).

@@ -30,7 +30,11 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(MechanismError::InvalidBudget(-1.0).to_string().contains("-1"));
-        assert!(MechanismError::InvalidParameter("k".into()).to_string().contains('k'));
+        assert!(MechanismError::InvalidBudget(-1.0)
+            .to_string()
+            .contains("-1"));
+        assert!(MechanismError::InvalidParameter("k".into())
+            .to_string()
+            .contains('k'));
     }
 }

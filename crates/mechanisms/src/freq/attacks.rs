@@ -174,7 +174,9 @@ pub struct OlhAttacker {
 
 impl Default for OlhAttacker {
     fn default() -> Self {
-        OlhAttacker { mga_seed_trials: 64 }
+        OlhAttacker {
+            mga_seed_trials: 64,
+        }
     }
 }
 
@@ -190,7 +192,10 @@ impl ProtocolAttacker for OlhAttacker {
     ) -> OlhReport {
         let g = protocol.num_buckets();
         match attack {
-            FreqAttack::Rpa => OlhReport { seed: rng.gen(), bucket: rng.gen_range(0..g) },
+            FreqAttack::Rpa => OlhReport {
+                seed: rng.gen(),
+                bucket: rng.gen_range(0..g),
+            },
             FreqAttack::Ria => {
                 let t = targets[rng.gen_range(0..targets.len())];
                 protocol.perturb(t, rng)
@@ -206,8 +211,11 @@ impl ProtocolAttacker for OlhAttacker {
                     for &t in targets {
                         counts[olh_hash(seed, t, g)] += 1;
                     }
-                    let (bucket, &cover) =
-                        counts.iter().enumerate().max_by_key(|&(_, c)| *c).expect("g >= 2");
+                    let (bucket, &cover) = counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(_, c)| *c)
+                        .expect("g >= 2");
                     if cover > best_cover {
                         best_cover = cover;
                         best = OlhReport { seed, bucket };
@@ -229,7 +237,9 @@ mod tests {
         n: usize,
         rng: &mut Xoshiro256pp,
     ) -> Vec<usize> {
-        (0..n).map(|u| protocol.perturb(u % protocol.domain_size(), rng)).collect()
+        (0..n)
+            .map(|u| protocol.perturb(u % protocol.domain_size(), rng))
+            .collect()
     }
 
     #[test]
@@ -257,8 +267,9 @@ mod tests {
     fn oue_mga_beats_baselines() {
         let protocol = OptimizedUnaryEncoding::new(20, 1.0).unwrap();
         let mut rng = Xoshiro256pp::new(2);
-        let genuine: Vec<BitSet> =
-            (0..8_000).map(|u| protocol.perturb(u % 20, &mut rng)).collect();
+        let genuine: Vec<BitSet> = (0..8_000)
+            .map(|u| protocol.perturb(u % 20, &mut rng))
+            .collect();
         let targets = [0usize, 5, 10];
         let m = 400;
         let attacker = OueAttacker;
@@ -288,28 +299,45 @@ mod tests {
         let protocol = OptimizedLocalHashing::new(30, 1.0).unwrap();
         let mut rng = Xoshiro256pp::new(4);
         let targets = [2usize, 9, 17];
-        let report =
-            OlhAttacker::default().craft(&protocol, FreqAttack::Mga, &targets, &mut rng);
+        let report = OlhAttacker::default().craft(&protocol, FreqAttack::Mga, &targets, &mut rng);
         let covered = targets
             .iter()
             .filter(|&&t| olh_hash(report.seed, t, protocol.num_buckets()) == report.bucket)
             .count();
-        assert!(covered >= 1, "MGA seed search must cover at least one target");
+        assert!(
+            covered >= 1,
+            "MGA seed search must cover at least one target"
+        );
     }
 
     #[test]
     fn olh_mga_beats_rpa() {
         let protocol = OptimizedLocalHashing::new(16, 1.0).unwrap();
         let mut rng = Xoshiro256pp::new(5);
-        let genuine: Vec<OlhReport> =
-            (0..8_000).map(|u| protocol.perturb(u % 16, &mut rng)).collect();
+        let genuine: Vec<OlhReport> = (0..8_000)
+            .map(|u| protocol.perturb(u % 16, &mut rng))
+            .collect();
         let targets = [4usize];
         let attacker = OlhAttacker::default();
         let g_mga = attacker
-            .evaluate(&protocol, FreqAttack::Mga, &targets, &genuine, 400, &mut rng)
+            .evaluate(
+                &protocol,
+                FreqAttack::Mga,
+                &targets,
+                &genuine,
+                400,
+                &mut rng,
+            )
             .gain();
         let g_rpa = attacker
-            .evaluate(&protocol, FreqAttack::Rpa, &targets, &genuine, 400, &mut rng)
+            .evaluate(
+                &protocol,
+                FreqAttack::Rpa,
+                &targets,
+                &genuine,
+                400,
+                &mut rng,
+            )
             .gain();
         assert!(g_mga > g_rpa, "MGA {g_mga} should beat RPA {g_rpa}");
     }

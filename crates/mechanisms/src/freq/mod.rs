@@ -18,7 +18,7 @@ pub use attacks::{
     ProtocolAttacker,
 };
 pub use grr::GeneralizedRandomizedResponse;
-pub use olh::{olh_hash, OptimizedLocalHashing, OlhReport};
+pub use olh::{olh_hash, OlhReport, OptimizedLocalHashing};
 pub use oue::OptimizedUnaryEncoding;
 
 use rand::Rng;

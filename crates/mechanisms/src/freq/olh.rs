@@ -40,7 +40,9 @@ impl OptimizedLocalHashing {
     /// Returns an error for `k < 2` or a non-positive/non-finite ε.
     pub fn new(k: usize, epsilon: f64) -> Result<Self, MechanismError> {
         if k < 2 {
-            return Err(MechanismError::InvalidParameter(format!("domain size {k} must be >= 2")));
+            return Err(MechanismError::InvalidParameter(format!(
+                "domain size {k} must be >= 2"
+            )));
         }
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(MechanismError::InvalidBudget(epsilon));

@@ -24,12 +24,17 @@ impl OptimizedUnaryEncoding {
     /// Returns an error for `k < 2` or a non-positive/non-finite ε.
     pub fn new(k: usize, epsilon: f64) -> Result<Self, MechanismError> {
         if k < 2 {
-            return Err(MechanismError::InvalidParameter(format!("domain size {k} must be >= 2")));
+            return Err(MechanismError::InvalidParameter(format!(
+                "domain size {k} must be >= 2"
+            )));
         }
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(MechanismError::InvalidBudget(epsilon));
         }
-        Ok(OptimizedUnaryEncoding { k, q: 1.0 / (epsilon.exp() + 1.0) })
+        Ok(OptimizedUnaryEncoding {
+            k,
+            q: 1.0 / (epsilon.exp() + 1.0),
+        })
     }
 
     /// Probability a 0-bit is reported as 1.

@@ -30,7 +30,9 @@ impl LaplaceMechanism {
                 "sensitivity = {sensitivity} must be positive and finite"
             )));
         }
-        Ok(LaplaceMechanism { scale: sensitivity / epsilon })
+        Ok(LaplaceMechanism {
+            scale: sensitivity / epsilon,
+        })
     }
 
     /// The noise scale `b`.
@@ -117,10 +119,14 @@ mod tests {
         let tight = LaplaceMechanism::new(1.0, 8.0).unwrap();
         let loose = LaplaceMechanism::new(1.0, 0.5).unwrap();
         let n = 20_000;
-        let err_tight: f64 =
-            (0..n).map(|_| tight.perturb(0.0, &mut rng).abs()).sum::<f64>() / n as f64;
-        let err_loose: f64 =
-            (0..n).map(|_| loose.perturb(0.0, &mut rng).abs()).sum::<f64>() / n as f64;
+        let err_tight: f64 = (0..n)
+            .map(|_| tight.perturb(0.0, &mut rng).abs())
+            .sum::<f64>()
+            / n as f64;
+        let err_loose: f64 = (0..n)
+            .map(|_| loose.perturb(0.0, &mut rng).abs())
+            .sum::<f64>()
+            / n as f64;
         assert!(err_tight < err_loose / 4.0);
     }
 }

@@ -29,7 +29,9 @@ impl RandomizedResponse {
             return Err(MechanismError::InvalidBudget(epsilon));
         }
         let e = epsilon.exp();
-        Ok(RandomizedResponse { p_keep: e / (1.0 + e) })
+        Ok(RandomizedResponse {
+            p_keep: e / (1.0 + e),
+        })
     }
 
     /// Builds directly from a keep probability `p ∈ (½, 1)` (used by tests
@@ -215,7 +217,10 @@ mod tests {
             sum += rr.calibrate_count(perturbed.count_ones() as f64, n as f64);
         }
         let mean = sum / trials as f64;
-        assert!((mean - 200.0).abs() < 8.0, "calibrated mean {mean} should be ~200");
+        assert!(
+            (mean - 200.0).abs() < 8.0,
+            "calibrated mean {mean} should be ~200"
+        );
     }
 
     #[test]

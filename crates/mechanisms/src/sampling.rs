@@ -144,10 +144,15 @@ mod tests {
         let mut rng = Xoshiro256pp::new(2);
         let p = 0.2;
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_geometric(p, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_geometric(p, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         let expected = (1.0 - p) / p; // failures before success
-        assert!((mean - expected).abs() / expected < 0.05, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -155,11 +160,11 @@ mod tests {
         let mut rng = Xoshiro256pp::new(3);
         let (n, p) = (50usize, 0.3);
         let trials = 50_000;
-        let samples: Vec<f64> =
-            (0..trials).map(|_| sample_binomial_exact(n, p, &mut rng) as f64).collect();
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| sample_binomial_exact(n, p, &mut rng) as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / trials as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
         assert!((mean - 15.0).abs() < 0.15, "mean {mean}");
         assert!((var - 10.5).abs() < 0.5, "var {var}");
     }
@@ -169,8 +174,9 @@ mod tests {
         let mut rng = Xoshiro256pp::new(4);
         let (n, p) = (1_000_000usize, 0.25);
         let trials = 2_000;
-        let samples: Vec<f64> =
-            (0..trials).map(|_| sample_binomial(n, p, &mut rng) as f64).collect();
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| sample_binomial(n, p, &mut rng) as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / trials as f64;
         let expected = 250_000.0;
         let sd = (n as f64 * p * (1.0 - p)).sqrt();
@@ -185,8 +191,10 @@ mod tests {
             let x = sample_binomial(n, p, &mut rng);
             assert!(x <= n);
         }
-        let mean: f64 =
-            (0..20_000).map(|_| sample_binomial(n, p, &mut rng) as f64).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000)
+            .map(|_| sample_binomial(n, p, &mut rng) as f64)
+            .sum::<f64>()
+            / 20_000.0;
         assert!((mean - 98.0).abs() < 0.1, "mean {mean}");
     }
 

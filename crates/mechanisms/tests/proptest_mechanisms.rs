@@ -3,8 +3,7 @@
 
 use ldp_graph::{BitSet, Xoshiro256pp};
 use ldp_mechanisms::freq::{
-    FrequencyProtocol, GeneralizedRandomizedResponse, OptimizedLocalHashing,
-    OptimizedUnaryEncoding,
+    FrequencyProtocol, GeneralizedRandomizedResponse, OptimizedLocalHashing, OptimizedUnaryEncoding,
 };
 use ldp_mechanisms::sampling::{sample_binomial, sample_distinct, sample_geometric};
 use ldp_mechanisms::{PrivacyBudget, RandomizedResponse};

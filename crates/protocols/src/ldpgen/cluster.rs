@@ -28,7 +28,11 @@ pub fn kmeans<R: Rng>(
 ) -> KMeansResult {
     let n = points.len();
     if n == 0 || k == 0 {
-        return KMeansResult { assignment: vec![0; n], centroids: Vec::new(), iterations: 0 };
+        return KMeansResult {
+            assignment: vec![0; n],
+            centroids: Vec::new(),
+            iterations: 0,
+        };
     }
     let k = k.min(n);
     let dim = points[0].len();
@@ -92,7 +96,11 @@ pub fn kmeans<R: Rng>(
             break;
         }
     }
-    KMeansResult { assignment, centroids, iterations }
+    KMeansResult {
+        assignment,
+        centroids,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -136,8 +144,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let points: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![(i % 7) as f64, (i % 11) as f64]).collect();
+        let points: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 11) as f64])
+            .collect();
         let r1 = kmeans(&points, 4, 30, &mut Xoshiro256pp::new(5));
         let r2 = kmeans(&points, 4, 30, &mut Xoshiro256pp::new(5));
         assert_eq!(r1.assignment, r2.assignment);

@@ -90,8 +90,7 @@ impl LdpGen {
     /// under edge-LDP (one edge moves one unit of count), and each of the
     /// two phases spends ε/2.
     fn phase_mechanism(&self) -> LaplaceMechanism {
-        LaplaceMechanism::new(1.0, self.epsilon / 2.0)
-            .expect("validated at construction")
+        LaplaceMechanism::new(1.0, self.epsilon / 2.0).expect("validated at construction")
     }
 
     /// The honest degree vector of `node` toward `groups` (no noise).
@@ -169,12 +168,11 @@ impl LdpGen {
         let vectors1 = collect_phase(1, &groups0, self.k0, crafted1);
 
         // Refined cluster count: k1 ≈ √(average reported degree), clamped.
-        let avg_degree: f64 = vectors1
-            .iter()
-            .map(|v| v.iter().sum::<f64>())
-            .sum::<f64>()
-            / n.max(1) as f64;
-        let k1 = (avg_degree.max(1.0).sqrt().round() as usize).clamp(2, 32).min(n.max(2));
+        let avg_degree: f64 =
+            vectors1.iter().map(|v| v.iter().sum::<f64>()).sum::<f64>() / n.max(1) as f64;
+        let k1 = (avg_degree.max(1.0).sqrt().round() as usize)
+            .clamp(2, 32)
+            .min(n.max(2));
 
         let mut kmeans_rng = base_rng.derive(0xB22);
         let phase1 = cluster::kmeans(&vectors1, k1, 25, &mut kmeans_rng);

@@ -47,9 +47,8 @@ pub fn synthesize_block_graph<R: Rng>(aggregate: &LdpGenAggregate, rng: &mut R) 
         }
     }
 
-    let weight_of = |u: usize, toward: usize, vectors: &[DegreeVector]| -> f64 {
-        vectors[u][toward].max(0.0)
-    };
+    let weight_of =
+        |u: usize, toward: usize, vectors: &[DegreeVector]| -> f64 { vectors[u][toward].max(0.0) };
 
     let mut builder = GraphBuilder::new(n);
     for a in 0..k {
@@ -83,7 +82,9 @@ pub fn synthesize_block_graph<R: Rng>(aggregate: &LdpGenAggregate, rng: &mut R) 
             }
         }
     }
-    builder.build().expect("synthesis endpoints are always in range")
+    builder
+        .build()
+        .expect("synthesis endpoints are always in range")
 }
 
 #[cfg(test)]
@@ -103,7 +104,11 @@ mod tests {
             vec![0.0, 0.0],
             vec![0.0, 0.0],
         ];
-        LdpGenAggregate { groups, num_groups: 2, degree_vectors }
+        LdpGenAggregate {
+            groups,
+            num_groups: 2,
+            degree_vectors,
+        }
     }
 
     #[test]
@@ -123,7 +128,10 @@ mod tests {
                 intra1 += 1;
             }
         }
-        assert!(intra0 >= intra1, "group 0 should be denser: {intra0} vs {intra1}");
+        assert!(
+            intra0 >= intra1,
+            "group 0 should be denser: {intra0} vs {intra1}"
+        );
     }
 
     #[test]
@@ -159,8 +167,11 @@ mod tests {
 
     #[test]
     fn empty_aggregate_yields_empty_graph() {
-        let agg =
-            LdpGenAggregate { groups: vec![], num_groups: 0, degree_vectors: vec![] };
+        let agg = LdpGenAggregate {
+            groups: vec![],
+            num_groups: 0,
+            degree_vectors: vec![],
+        };
         let mut rng = Xoshiro256pp::new(5);
         let g = synthesize_block_graph(&agg, &mut rng);
         assert_eq!(g.num_nodes(), 0);

@@ -82,10 +82,7 @@ pub struct ClusteringEstimate {
 
 /// Runs the full LF-GDPR clustering-coefficient estimation over a view:
 /// `cc_i = 2·R(τ̃_i) / (ẽd_i(ẽd_i − 1))`, with `ẽd_i` chosen by `source`.
-pub fn estimate_clustering_with(
-    view: &PerturbedView,
-    source: DegreeSource,
-) -> ClusteringEstimate {
+pub fn estimate_clustering_with(view: &PerturbedView, source: DegreeSource) -> ClusteringEstimate {
     let n = view.num_users();
     let nf = n as f64;
     let p = view.rr().p_keep();
@@ -99,7 +96,11 @@ pub fn estimate_clustering_with(
         taus.push(tau);
         cc.push(clustering_from_parts(tau, degree));
     }
-    ClusteringEstimate { cc, calibrated_triangles: taus, theta_tilde: theta }
+    ClusteringEstimate {
+        cc,
+        calibrated_triangles: taus,
+        theta_tilde: theta,
+    }
 }
 
 /// [`estimate_clustering_with`] at the paper-default degree source.
@@ -174,8 +175,13 @@ mod tests {
         let est = estimate_clustering(&view);
         let truth = local_clustering_coefficients(&g);
         let n = g.num_nodes() as f64;
-        let mae: f64 =
-            est.cc.iter().zip(&truth).map(|(e, t)| (e - t).abs()).sum::<f64>() / n;
+        let mae: f64 = est
+            .cc
+            .iter()
+            .zip(&truth)
+            .map(|(e, t)| (e - t).abs())
+            .sum::<f64>()
+            / n;
         assert!(mae < 0.15, "mean absolute error {mae} too large");
     }
 

@@ -6,9 +6,8 @@ mod sampled;
 mod view;
 
 pub use calibration::{
-    calibrate_triangles, estimate_clustering, estimate_clustering_at,
-    estimate_clustering_at_with, estimate_clustering_with, expected_perturbed_triangles,
-    ClusteringEstimate, DegreeSource,
+    calibrate_triangles, estimate_clustering, estimate_clustering_at, estimate_clustering_at_with,
+    estimate_clustering_with, expected_perturbed_triangles, ClusteringEstimate, DegreeSource,
 };
 pub use modularity::estimate_modularity;
 pub use sampled::SampledDegreeModel;
@@ -76,7 +75,9 @@ impl LfGdpr {
         let truth = graph.adjacency_bit_vector(node);
         let bits = self.rr.perturb_bitset(&truth, Some(node), rng);
         let max_degree = (graph.num_nodes() - 1) as f64;
-        let degree = self.laplace.perturb_degree(graph.degree(node) as f64, max_degree, rng);
+        let degree = self
+            .laplace
+            .perturb_degree(graph.degree(node) as f64, max_degree, rng);
         UserReport::new(bits, degree)
     }
 
@@ -176,7 +177,11 @@ mod tests {
         let base = Xoshiro256pp::new(3);
         let reports = proto.collect_honest(&g, &base);
         for r in &reports {
-            assert!((r.degree - 29.0).abs() <= 2.0, "degree {} should be ~29", r.degree);
+            assert!(
+                (r.degree - 29.0).abs() <= 2.0,
+                "degree {} should be ~29",
+                r.degree
+            );
         }
     }
 }

@@ -19,7 +19,11 @@ use super::view::PerturbedView;
 /// Panics if `partition.len()` differs from the view's population.
 pub fn estimate_modularity(view: &PerturbedView, partition: &[usize]) -> f64 {
     let n = view.num_users();
-    assert_eq!(partition.len(), n, "partition length must equal population size");
+    assert_eq!(
+        partition.len(),
+        n,
+        "partition length must equal population size"
+    );
     if n < 2 {
         return 0.0;
     }
@@ -44,8 +48,7 @@ pub fn estimate_modularity(view: &PerturbedView, partition: &[usize]) -> f64 {
 
     // Calibrated totals.
     let total_slots = n as f64 * (n as f64 - 1.0) / 2.0;
-    let observed_total: f64 =
-        (0..n).map(|u| view.perturbed_degree(u) as f64).sum::<f64>() / 2.0;
+    let observed_total: f64 = (0..n).map(|u| view.perturbed_degree(u) as f64).sum::<f64>() / 2.0;
     let e_total = (observed_total - total_slots * (1.0 - p)) / denom;
     if e_total <= 0.0 {
         return 0.0;

@@ -46,8 +46,7 @@ impl SampledDegreeModel {
     pub fn sample_genuine_slots<R: Rng>(&self, true_degree: usize, rng: &mut R) -> usize {
         let genuine_slots = self.n_genuine - 1;
         let kept = sample_binomial(true_degree, self.p_keep, rng);
-        let flipped =
-            sample_binomial(genuine_slots - true_degree, 1.0 - self.p_keep, rng);
+        let flipped = sample_binomial(genuine_slots - true_degree, 1.0 - self.p_keep, rng);
         kept + flipped
     }
 
@@ -61,7 +60,10 @@ impl SampledDegreeModel {
     /// Fake-slot contribution in the attacked world when crafted vectors
     /// bypass the mechanism (RVA/MGA): exactly the crafted edges.
     pub fn fake_crafted_unperturbed(&self, crafted_edges: usize) -> usize {
-        assert!(crafted_edges <= self.m_fake, "more crafted edges than fake users");
+        assert!(
+            crafted_edges <= self.m_fake,
+            "more crafted edges than fake users"
+        );
         crafted_edges
     }
 
@@ -75,10 +77,12 @@ impl SampledDegreeModel {
         crafted_edges: usize,
         rng: &mut R,
     ) -> usize {
-        assert!(crafted_edges <= self.m_fake, "more crafted edges than fake users");
+        assert!(
+            crafted_edges <= self.m_fake,
+            "more crafted edges than fake users"
+        );
         let crafted_kept = sample_binomial(crafted_edges, self.p_keep, rng);
-        let fake_noise =
-            sample_binomial(self.m_fake - crafted_edges, 1.0 - self.p_keep, rng);
+        let fake_noise = sample_binomial(self.m_fake - crafted_edges, 1.0 - self.p_keep, rng);
         crafted_kept + fake_noise
     }
 
@@ -115,7 +119,11 @@ mod tests {
     use ldp_graph::Xoshiro256pp;
 
     fn model() -> SampledDegreeModel {
-        SampledDegreeModel { n_genuine: 900, m_fake: 100, p_keep: 0.85 }
+        SampledDegreeModel {
+            n_genuine: 900,
+            m_fake: 100,
+            p_keep: 0.85,
+        }
     }
 
     #[test]
@@ -124,11 +132,15 @@ mod tests {
         let mut rng = Xoshiro256pp::new(1);
         let trials = 4_000;
         let d = 40;
-        let mean: f64 =
-            (0..trials).map(|_| m.sample_before(d, &mut rng) as f64).sum::<f64>()
-                / trials as f64;
+        let mean: f64 = (0..trials)
+            .map(|_| m.sample_before(d, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
         let expected = m.expected_before(d);
-        assert!((mean - expected).abs() < 0.02 * expected, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.02 * expected,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -140,14 +152,12 @@ mod tests {
         let crafted = 80;
         let mean_after: f64 = (0..trials)
             .map(|_| {
-                (m.sample_genuine_slots(d, &mut rng) + m.fake_crafted_unperturbed(crafted))
-                    as f64
+                (m.sample_genuine_slots(d, &mut rng) + m.fake_crafted_unperturbed(crafted)) as f64
             })
             .sum::<f64>()
             / trials as f64;
         // After: fake noise replaced by exactly `crafted` deterministic ones.
-        let expected = m.expected_before(d) - m.m_fake as f64 * (1.0 - m.p_keep)
-            + crafted as f64;
+        let expected = m.expected_before(d) - m.m_fake as f64 * (1.0 - m.p_keep) + crafted as f64;
         assert!(
             (mean_after - expected).abs() < 0.02 * expected,
             "mean {mean_after} vs {expected}"
@@ -164,8 +174,7 @@ mod tests {
         let mean: f64 = (0..trials)
             .map(|_| {
                 (m.sample_genuine_slots(d, &mut rng)
-                    + m.sample_fake_crafted_perturbed(crafted, &mut rng))
-                    as f64
+                    + m.sample_fake_crafted_perturbed(crafted, &mut rng)) as f64
             })
             .sum::<f64>()
             / trials as f64;
@@ -173,7 +182,10 @@ mod tests {
             + (899.0 - d as f64) * 0.15
             + crafted as f64 * m.p_keep
             + 50.0 * 0.15;
-        assert!((mean - expected).abs() < 0.03 * expected, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.03 * expected,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

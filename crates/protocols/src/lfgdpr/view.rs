@@ -42,7 +42,12 @@ impl PerturbedView {
         }
         let perturbed_degrees = (0..n).map(|u| matrix.degree(u)).collect();
         let reported_degrees = reports.iter().map(|r| r.degree).collect();
-        PerturbedView { matrix, reported_degrees, perturbed_degrees, rr }
+        PerturbedView {
+            matrix,
+            reported_degrees,
+            perturbed_degrees,
+            rr,
+        }
     }
 
     /// Population size `N`.
@@ -110,7 +115,8 @@ impl PerturbedView {
     /// `(d̃_i − (N−1)(1−p)) / (2p−1)`.
     pub fn calibrated_degree(&self, i: NodeId) -> f64 {
         let n = self.num_users() as f64;
-        self.rr.calibrate_count(self.perturbed_degrees[i] as f64, n - 1.0)
+        self.rr
+            .calibrate_count(self.perturbed_degrees[i] as f64, n - 1.0)
     }
 
     /// Calibrated degree-centrality estimate (ablation: shows the attack
@@ -168,10 +174,7 @@ mod tests {
 
     #[test]
     fn degree_centrality_uses_perturbed_degree() {
-        let view = view_from_rows(
-            vec![vec![], vec![0], vec![0, 1], vec![]],
-            vec![0.0; 4],
-        );
+        let view = view_from_rows(vec![vec![], vec![0], vec![0, 1], vec![]], vec![0.0; 4]);
         // Node 0 has perturbed degree 2 (claimed by 1 and 2).
         assert_eq!(view.perturbed_degree(0), 2);
         assert!((view.degree_centrality(0) - 2.0 / 3.0).abs() < 1e-12);
@@ -188,10 +191,7 @@ mod tests {
 
     #[test]
     fn density_and_average_degree() {
-        let view = view_from_rows(
-            vec![vec![], vec![0], vec![1], vec![2]],
-            vec![0.0; 4],
-        );
+        let view = view_from_rows(vec![vec![], vec![0], vec![1], vec![2]], vec![0.0; 4]);
         // 3 edges in a path; Σd̃ = 6.
         assert!((view.average_perturbed_degree() - 1.5).abs() < 1e-12);
         assert!((view.edge_density() - 6.0 / 12.0).abs() < 1e-12);
@@ -199,10 +199,7 @@ mod tests {
 
     #[test]
     fn perturbed_triangles_counts_matrix_triangles() {
-        let view = view_from_rows(
-            vec![vec![], vec![0], vec![0, 1], vec![]],
-            vec![0.0; 4],
-        );
+        let view = view_from_rows(vec![vec![], vec![0], vec![0, 1], vec![]], vec![0.0; 4]);
         assert_eq!(view.perturbed_triangles(0), 1);
         assert_eq!(view.perturbed_triangles(3), 0);
     }

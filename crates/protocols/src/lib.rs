@@ -31,6 +31,6 @@ pub mod ldpgen;
 pub mod lfgdpr;
 pub mod report;
 
-pub use lfgdpr::{LfGdpr, PerturbedView};
 pub use ldpgen::LdpGen;
+pub use lfgdpr::{LfGdpr, PerturbedView};
 pub use report::UserReport;

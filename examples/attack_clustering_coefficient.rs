@@ -18,10 +18,17 @@ fn main() {
         ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
     let protocol = LfGdpr::new(4.0).expect("valid budget");
 
-    println!("attacking {} targets with {} fake users\n", threat.num_targets(), threat.m_fake);
+    println!(
+        "attacking {} targets with {} fake users\n",
+        threat.num_targets(),
+        threat.m_fake
+    );
 
     // Compare the three strategies under identical randomness.
-    println!("{:>8} {:>12} {:>14}", "attack", "overall gain", "signed change");
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "attack", "overall gain", "signed change"
+    );
     let mut outcomes = Vec::new();
     for strategy in AttackStrategy::ALL {
         let outcome = run_lfgdpr_attack(
@@ -49,7 +56,10 @@ fn main() {
         &threat,
         AttackStrategy::Mga,
         TargetMetric::ClusteringCoefficient,
-        MgaOptions { prioritize_fake_edges: false, ..Default::default() },
+        MgaOptions {
+            prioritize_fake_edges: false,
+            ..Default::default()
+        },
         77,
     );
     println!(

@@ -20,22 +20,34 @@ fn main() {
 
     // Undefended references.
     let mga_raw = run_lfgdpr_attack(
-        &graph, &protocol, &threat, AttackStrategy::Mga,
-        TargetMetric::DegreeCentrality, opts, seed,
+        &graph,
+        &protocol,
+        &threat,
+        AttackStrategy::Mga,
+        TargetMetric::DegreeCentrality,
+        opts,
+        seed,
     );
     let rva_raw = run_lfgdpr_attack(
-        &graph, &protocol, &threat, AttackStrategy::Rva,
-        TargetMetric::DegreeCentrality, opts, seed,
+        &graph,
+        &protocol,
+        &threat,
+        AttackStrategy::Rva,
+        TargetMetric::DegreeCentrality,
+        opts,
+        seed,
     );
-    println!("undefended gains: MGA {:.4}, RVA {:.4}\n", mga_raw.gain(), rva_raw.gain());
+    println!(
+        "undefended gains: MGA {:.4}, RVA {:.4}\n",
+        mga_raw.gain(),
+        rva_raw.gain()
+    );
 
     println!(
         "{:<22} {:>8} {:>14} {:>10} {:>8}",
         "defense vs attack", "gain", "flagged (f/g)", "precision", "recall"
     );
-    let report = |label: &str,
-                      strategy: AttackStrategy,
-                      defense: &dyn GraphDefense| {
+    let report = |label: &str, strategy: AttackStrategy, defense: &dyn GraphDefense| {
         let out = run_defended_attack(
             &graph,
             &protocol,
@@ -60,14 +72,30 @@ fn main() {
     // Detect1 threshold sweep against MGA (Fig. 12a shape).
     for threshold in [50usize, 150, 300] {
         let d1 = FrequentItemsetDefense::new(threshold);
-        report(&format!("Detect1(t={threshold}) vs MGA"), AttackStrategy::Mga, &d1);
+        report(
+            &format!("Detect1(t={threshold}) vs MGA"),
+            AttackStrategy::Mga,
+            &d1,
+        );
     }
-    report("Naive1 vs MGA", AttackStrategy::Mga, &NaiveTopDegree::default());
+    report(
+        "Naive1 vs MGA",
+        AttackStrategy::Mga,
+        &NaiveTopDegree::default(),
+    );
 
     println!();
     // Detect2 against RVA (Fig. 12b shape).
-    report("Detect2 vs RVA", AttackStrategy::Rva, &DegreeConsistencyDefense::default());
-    report("Naive2 vs RVA", AttackStrategy::Rva, &NaiveDegreeTails::default());
+    report(
+        "Detect2 vs RVA",
+        AttackStrategy::Rva,
+        &DegreeConsistencyDefense::default(),
+    );
+    report(
+        "Naive2 vs RVA",
+        AttackStrategy::Rva,
+        &NaiveDegreeTails::default(),
+    );
 
     println!("\ntakeaway (paper §VIII-D): both countermeasures shave the gains but");
     println!("neither neutralizes the attacks — new defenses are needed.");

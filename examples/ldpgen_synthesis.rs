@@ -18,8 +18,16 @@ fn main() {
 
     // Honest synthesis.
     let synthetic = protocol.run(&graph, &base);
-    println!("original:  {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
-    println!("synthetic: {} nodes, {} edges", synthetic.num_nodes(), synthetic.num_edges());
+    println!(
+        "original:  {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!(
+        "synthetic: {} nodes, {} edges",
+        synthetic.num_nodes(),
+        synthetic.num_edges()
+    );
     println!(
         "avg clustering: original {:.4}, synthetic {:.4}",
         average_clustering_coefficient(&graph),
@@ -45,7 +53,10 @@ fn main() {
         threat.m_fake,
         threat.num_targets()
     );
-    println!("{:>8} {:>22} {:>18}", "attack", "clustering-coeff gain", "modularity gain");
+    println!(
+        "{:>8} {:>22} {:>18}",
+        "attack", "clustering-coeff gain", "modularity gain"
+    );
     for strategy in AttackStrategy::ALL {
         let cc = run_ldpgen_attack(
             &graph,
@@ -65,6 +76,11 @@ fn main() {
             Some(&partition),
             7,
         );
-        println!("{:>8} {:>22.4} {:>18.4}", strategy.name(), cc.gain(), q.gain());
+        println!(
+            "{:>8} {:>22.4} {:>18.4}",
+            strategy.name(),
+            cc.gain(),
+            q.gain()
+        );
     }
 }

@@ -58,14 +58,13 @@ pub mod prelude {
     pub use ldp_mechanisms::{LaplaceMechanism, PrivacyBudget, RandomizedResponse};
     pub use ldp_protocols::{LdpGen, LfGdpr, PerturbedView, UserReport};
     pub use poison_core::{
-        mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack,
-        run_sampled_degree_attack, theorem1_degree_gain, theorem2_clustering_gain,
-        AttackOutcome, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
-        TargetSelection, ThreatModel,
+        mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
+        theorem1_degree_gain, theorem2_clustering_gain, AttackOutcome, AttackStrategy,
+        AttackerKnowledge, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
     };
     pub use poison_defense::{
-        run_defended_attack, DegreeConsistencyDefense, FrequentItemsetDefense,
-        GraphDefense, NaiveDegreeTails, NaiveTopDegree,
+        run_defended_attack, DegreeConsistencyDefense, FrequentItemsetDefense, GraphDefense,
+        NaiveDegreeTails, NaiveTopDegree,
     };
 }
 

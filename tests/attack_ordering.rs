@@ -13,7 +13,13 @@ fn setup(dataset: Dataset, nodes: usize, seed: u64) -> (CsrGraph, LfGdpr, Threat
     (graph, protocol, threat)
 }
 
-fn mean(graph: &CsrGraph, protocol: &LfGdpr, threat: &ThreatModel, s: AttackStrategy, m: TargetMetric) -> f64 {
+fn mean(
+    graph: &CsrGraph,
+    protocol: &LfGdpr,
+    threat: &ThreatModel,
+    s: AttackStrategy,
+    m: TargetMetric,
+) -> f64 {
     mean_gain(4, 300, |seed| {
         run_lfgdpr_attack(graph, protocol, threat, s, m, MgaOptions::default(), seed)
     })
@@ -54,7 +60,10 @@ fn mga_dominates_on_clustering_coefficient() {
 #[test]
 fn mga_inflates_rather_than_just_perturbs() {
     let (graph, protocol, threat) = setup(Dataset::Facebook, 400, 4);
-    for metric in [TargetMetric::DegreeCentrality, TargetMetric::ClusteringCoefficient] {
+    for metric in [
+        TargetMetric::DegreeCentrality,
+        TargetMetric::ClusteringCoefficient,
+    ] {
         let outcome = run_lfgdpr_attack(
             &graph,
             &protocol,
@@ -77,14 +86,27 @@ fn prioritized_allocation_beats_flat_mga_on_clustering() {
     let metric = TargetMetric::ClusteringCoefficient;
     let with = mean_gain(4, 700, |seed| {
         run_lfgdpr_attack(
-            &graph, &protocol, &threat, AttackStrategy::Mga, metric,
-            MgaOptions::default(), seed,
+            &graph,
+            &protocol,
+            &threat,
+            AttackStrategy::Mga,
+            metric,
+            MgaOptions::default(),
+            seed,
         )
     });
     let without = mean_gain(4, 700, |seed| {
         run_lfgdpr_attack(
-            &graph, &protocol, &threat, AttackStrategy::Mga, metric,
-            MgaOptions { prioritize_fake_edges: false, ..Default::default() }, seed,
+            &graph,
+            &protocol,
+            &threat,
+            AttackStrategy::Mga,
+            metric,
+            MgaOptions {
+                prioritize_fake_edges: false,
+                ..Default::default()
+            },
+            seed,
         )
     });
     assert!(
@@ -100,16 +122,28 @@ fn gain_scales_with_fake_fraction() {
     let gain_at = |beta: f64| {
         let mut rng = Xoshiro256pp::new(77);
         let threat = ThreatModel::from_fractions(
-            &graph, beta, 0.05, TargetSelection::UniformRandom, &mut rng,
+            &graph,
+            beta,
+            0.05,
+            TargetSelection::UniformRandom,
+            &mut rng,
         );
         mean_gain(3, 800, |seed| {
             run_lfgdpr_attack(
-                &graph, &protocol, &threat, AttackStrategy::Mga,
-                TargetMetric::DegreeCentrality, MgaOptions::default(), seed,
+                &graph,
+                &protocol,
+                &threat,
+                AttackStrategy::Mga,
+                TargetMetric::DegreeCentrality,
+                MgaOptions::default(),
+                seed,
             )
         })
     };
     let small = gain_at(0.01);
     let large = gain_at(0.10);
-    assert!(large > 3.0 * small, "β = 0.10 gain {large} vs β = 0.01 gain {small}");
+    assert!(
+        large > 3.0 * small,
+        "β = 0.10 gain {large} vs β = 0.01 gain {small}"
+    );
 }

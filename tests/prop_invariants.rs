@@ -1,13 +1,9 @@
 //! Property-based invariants spanning the workspace (proptest).
 
 use graph_ldp_poisoning::graph::generate::erdos_renyi_gnm;
-use graph_ldp_poisoning::graph::metrics::{
-    local_clustering_coefficients, triangles_per_node,
-};
+use graph_ldp_poisoning::graph::metrics::{local_clustering_coefficients, triangles_per_node};
 use graph_ldp_poisoning::prelude::*;
-use graph_ldp_poisoning::protocols::lfgdpr::{
-    calibrate_triangles, expected_perturbed_triangles,
-};
+use graph_ldp_poisoning::protocols::lfgdpr::{calibrate_triangles, expected_perturbed_triangles};
 use proptest::prelude::*;
 
 proptest! {

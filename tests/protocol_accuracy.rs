@@ -3,9 +3,7 @@
 //! truth; with a tight budget it must still be *calibrated* (unbiased), if
 //! noisy.
 
-use graph_ldp_poisoning::graph::metrics::{
-    local_clustering_coefficients, modularity,
-};
+use graph_ldp_poisoning::graph::metrics::{local_clustering_coefficients, modularity};
 use graph_ldp_poisoning::prelude::*;
 use graph_ldp_poisoning::protocols::lfgdpr::{estimate_clustering_with, DegreeSource};
 

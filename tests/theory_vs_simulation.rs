@@ -27,8 +27,7 @@ fn theorem1_matches_simulated_mga_degree_gain() {
             seed,
         )
     });
-    let d_tilde =
-        protocol.expected_perturbed_degree(threat.population(), graph.average_degree());
+    let d_tilde = protocol.expected_perturbed_degree(threat.population(), graph.average_degree());
     let theory = theorem1_degree_gain(
         threat.m_fake,
         threat.num_targets(),
@@ -52,8 +51,7 @@ fn theorem1_matches_sampled_mode_too() {
     let simulated = mean_gain(8, 5_000, |seed| {
         run_sampled_degree_attack(&graph, &protocol, &threat, AttackStrategy::Mga, seed)
     });
-    let d_tilde =
-        protocol.expected_perturbed_degree(threat.population(), graph.average_degree());
+    let d_tilde = protocol.expected_perturbed_degree(threat.population(), graph.average_degree());
     let theory = theorem1_degree_gain(
         threat.m_fake,
         threat.num_targets(),
