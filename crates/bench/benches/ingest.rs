@@ -1,0 +1,43 @@
+//! Report-aggregation throughput: one-shot `from_reports` versus the
+//! streaming engine at the population sizes the scaling roadmap targets.
+//!
+//! Reports are synthesized at the word level (≈12.5% density, the regime a
+//! perturbed graph lives in) so the bench isolates ingestion cost from
+//! randomized-response cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_mechanisms::RandomizedResponse;
+use ldp_protocols::{PerturbedView, StreamingAggregator};
+use poison_bench::synthetic_reports;
+
+fn rr() -> RandomizedResponse {
+    RandomizedResponse::from_keep_probability(0.9).unwrap()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    for nodes in [1_000usize, 5_000, 10_000] {
+        let reports = synthetic_reports(nodes, 0xBE57 + nodes as u64);
+        group.bench_with_input(BenchmarkId::new("oneshot", nodes), &nodes, |bench, _| {
+            bench.iter(|| black_box(PerturbedView::from_reports(&reports, rr())))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("streamed_512", nodes),
+            &nodes,
+            |bench, &n| {
+                bench.iter(|| {
+                    let mut agg = StreamingAggregator::new(n, rr());
+                    for chunk in reports.chunks(512) {
+                        agg.ingest_batch(chunk);
+                    }
+                    black_box(agg.finalize())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

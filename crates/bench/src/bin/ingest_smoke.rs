@@ -1,0 +1,92 @@
+//! Ingestion smoke benchmark: batch vs. streamed aggregation at n = 1k,
+//! written to `BENCH_ingest.json` to seed the perf trajectory (CI runs
+//! this after the bench smoke step).
+//!
+//! `oneshot_ms` and `streamed_ms` are timed over the same pre-synthesized
+//! reports, so they compare pure aggregation cost. The memory-bounded
+//! lazy driver (`aggregate_stream`, reports generated per batch and never
+//! all resident) is timed separately as `lazy_driver_ms_incl_synthesis`,
+//! and the `*_report_bytes` fields describe exactly those two runs: the
+//! one-shot path holds all `n` report bit vectors (`n · ⌈n/64⌉ · 8`
+//! bytes), the lazy driver at most `batch_size` of them — `O(batch · n)`
+//! instead of `O(n²)` as n grows. All three views are asserted
+//! bit-identical.
+
+use ldp_graph::Xoshiro256pp;
+use ldp_mechanisms::RandomizedResponse;
+use ldp_protocols::{PerturbedView, StreamingAggregator, UserReport};
+use poison_bench::{synthetic_report, synthetic_reports};
+use std::time::Instant;
+
+const N: usize = 1_000;
+const BATCH: usize = 256;
+const REPS: usize = 5;
+
+fn report_bytes(n: usize, resident_reports: usize) -> usize {
+    resident_reports * n.div_ceil(64) * 8
+}
+
+fn main() {
+    let rr = RandomizedResponse::from_keep_probability(0.9).expect("valid p");
+    let reports: Vec<UserReport> = synthetic_reports(N, 0xBE57);
+
+    // One-shot: single fold over all N resident reports.
+    let start = Instant::now();
+    let mut oneshot = None;
+    for _ in 0..REPS {
+        oneshot = Some(PerturbedView::from_reports(&reports, rr));
+    }
+    let oneshot_ms = start.elapsed().as_secs_f64() * 1e3 / REPS as f64;
+    let oneshot = oneshot.expect("at least one rep");
+
+    // Streamed: same reports folded in BATCH-sized batches.
+    let start = Instant::now();
+    let mut streamed = None;
+    for _ in 0..REPS {
+        let mut agg = StreamingAggregator::new(N, rr);
+        for chunk in reports.chunks(BATCH) {
+            agg.ingest_batch(chunk);
+        }
+        streamed = Some(agg.finalize());
+    }
+    let streamed_ms = start.elapsed().as_secs_f64() * 1e3 / REPS as f64;
+    let streamed = streamed.expect("at least one rep");
+    assert_eq!(
+        streamed.matrix(),
+        oneshot.matrix(),
+        "streamed and one-shot views must be identical"
+    );
+
+    // The memory-bounded lazy driver (reports generated per batch, never
+    // all resident) produces the same view bit for bit. This is the run
+    // the peak-report-memory bound describes; its wall-clock includes
+    // report synthesis, so it is reported under its own key.
+    let start = Instant::now();
+    let mut driven = None;
+    for _ in 0..REPS {
+        let mut gen_rng = Xoshiro256pp::new(0xBE57);
+        driven = Some(ldp_protocols::ingest::aggregate_stream(
+            N,
+            rr,
+            BATCH,
+            std::iter::repeat_with(move || synthetic_report(N, &mut gen_rng)).take(N),
+        ));
+    }
+    let lazy_driver_ms = start.elapsed().as_secs_f64() * 1e3 / REPS as f64;
+    let driven = driven.expect("at least one rep");
+    assert_eq!(driven.matrix(), oneshot.matrix(), "lazy driver must agree");
+
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"n\": {N},\n  \"batch_size\": {BATCH},\n  \
+         \"reps\": {REPS},\n  \"oneshot_ms\": {oneshot_ms:.3},\n  \
+         \"streamed_ms\": {streamed_ms:.3},\n  \
+         \"lazy_driver_ms_incl_synthesis\": {lazy_driver_ms:.3},\n  \
+         \"oneshot_report_bytes\": {},\n  \"lazy_driver_peak_report_bytes\": {},\n  \
+         \"edges\": {}\n}}\n",
+        report_bytes(N, N),
+        report_bytes(N, BATCH),
+        oneshot.matrix().num_edges(),
+    );
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    print!("{json}");
+}

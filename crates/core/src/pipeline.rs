@@ -6,7 +6,11 @@
 //! caused by the fake users' uploads alone.
 //!
 //! Two modes:
-//! * [`run_lfgdpr_attack`] — exact: materializes the perturbed view twice;
+//! * [`run_lfgdpr_attack`] — exact: materializes the perturbed view twice.
+//!   Collection and aggregation both run over the shared parallel runtime
+//!   (`ldp_protocols::ingest` folds reports in batches; per-target
+//!   clustering calibration is chunk-parallel), so the exact mode scales
+//!   with cores while staying bit-deterministic.
 //! * [`run_sampled_degree_attack`] — analytic: samples target perturbed
 //!   degrees from their exact Binomial law, `O(r)` per world, usable at the
 //!   full 107k-node Gplus scale.

@@ -1,57 +1,14 @@
 //! Parallel sweep execution.
 //!
 //! Experiment points (dataset × x-value × strategy) are independent, so the
-//! runner fans them out over scoped threads (`std::thread::scope`). Each
-//! point carries its own seeds; results come back in input order regardless
-//! of thread interleaving.
+//! runner fans them out over the workspace-shared parallel runtime
+//! ([`ldp_graph::runtime`], where `parallel_map` was promoted once the
+//! protocol layer needed it too). Each point carries its own seeds;
+//! results come back in input order regardless of thread interleaving.
 
 use poison_core::AttackOutcome;
 
-/// Maps `f` over `items` on up to `threads` worker threads, preserving
-/// input order. Falls back to a sequential loop for a single item or
-/// thread.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock poisoned") = Some(r);
-            });
-        }
-    });
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
-}
-
-/// Number of worker threads to use by default: the machine's parallelism,
-/// capped to leave a core for the harness.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |p| p.get().saturating_sub(1).max(1))
-}
+pub use ldp_graph::runtime::{default_threads, parallel_map};
 
 /// Mean overall gain across trials; `run` receives `(trial_index, seed)`.
 pub fn mean_gain_over_trials<F>(trials: u64, base_seed: u64, mut run: F) -> f64
@@ -69,23 +26,13 @@ where
 mod tests {
     use super::*;
 
+    // The thorough parallel_map suite (order, fast paths, chunk coverage)
+    // lives with the implementation in ldp_graph::runtime; this pins the
+    // re-export so sweep call sites keep compiling against this path.
     #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..100).collect();
-        let out = parallel_map(items, 8, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_single_thread_path() {
-        let out = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn parallel_map_empty() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
-        assert!(out.is_empty());
+    fn reexported_parallel_map_works() {
+        let out = parallel_map((0..50).collect::<Vec<usize>>(), 4, |&x| x + 1);
+        assert_eq!(out, (1..51).collect::<Vec<_>>());
     }
 
     #[test]

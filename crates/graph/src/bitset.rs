@@ -164,6 +164,27 @@ impl BitSet {
         }
     }
 
+    /// Iterates over the indices of set bits strictly below `limit`, in
+    /// increasing order.
+    ///
+    /// Only words `0..⌈limit/64⌉` are scanned, so a consumer that discards
+    /// everything at or above `limit` (e.g. lower-triangle report
+    /// ingestion, where report `i` is authoritative only for slots `j < i`)
+    /// skips the tail of the vector entirely instead of filtering it out.
+    /// A `limit` beyond [`Self::capacity`] is clamped.
+    pub fn iter_ones_below(&self, limit: usize) -> OnesBelowIter<'_> {
+        let limit = limit.min(self.nbits);
+        let words = &self.words[..limit.div_ceil(WORD_BITS)];
+        OnesBelowIter {
+            inner: OnesIter {
+                words,
+                word_idx: 0,
+                current: words.first().copied().unwrap_or(0),
+            },
+            limit,
+        }
+    }
+
     /// Collects the set bit indices into a vector.
     pub fn to_indices(&self) -> Vec<usize> {
         let mut v = Vec::with_capacity(self.count_ones());
@@ -236,6 +257,24 @@ impl Iterator for OnesIter<'_> {
     }
 }
 
+/// Iterator over set-bit indices below a bound; see
+/// [`BitSet::iter_ones_below`].
+pub struct OnesBelowIter<'a> {
+    inner: OnesIter<'a>,
+    limit: usize,
+}
+
+impl Iterator for OnesBelowIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        // Indices come out ascending, so the first one at/above the limit
+        // ends the iteration for good.
+        self.inner.next().filter(|&i| i < self.limit)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +313,33 @@ mod tests {
     fn iter_ones_in_order() {
         let bs = BitSet::from_indices(200, [5, 63, 64, 65, 199]);
         assert_eq!(bs.to_indices(), vec![5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn iter_ones_below_bounds_scan() {
+        let bs = BitSet::from_indices(200, [5, 63, 64, 65, 199]);
+        assert_eq!(bs.iter_ones_below(65).collect::<Vec<_>>(), vec![5, 63, 64]);
+        assert_eq!(bs.iter_ones_below(5).count(), 0);
+        assert_eq!(bs.iter_ones_below(6).collect::<Vec<_>>(), vec![5]);
+        // Word-boundary limits.
+        assert_eq!(bs.iter_ones_below(64).collect::<Vec<_>>(), vec![5, 63]);
+        assert_eq!(bs.iter_ones_below(0).count(), 0);
+    }
+
+    #[test]
+    fn iter_ones_below_clamps_past_capacity() {
+        let bs = BitSet::from_indices(70, [0, 69]);
+        assert_eq!(bs.iter_ones_below(1000).collect::<Vec<_>>(), vec![0, 69]);
+        assert_eq!(bs.iter_ones_below(70).collect::<Vec<_>>(), bs.to_indices());
+    }
+
+    #[test]
+    fn iter_ones_below_is_fused_at_limit() {
+        let bs = BitSet::from_indices(128, [1, 2, 100]);
+        let mut it = bs.iter_ones_below(2);
+        assert_eq!(it.next(), Some(1));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
     }
 
     #[test]

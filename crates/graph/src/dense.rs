@@ -14,7 +14,7 @@ use crate::csr::CsrGraph;
 /// Rows are contiguous `u64` words. The matrix is kept symmetric by the
 /// mutators ([`BitMatrix::set_edge`], [`BitMatrix::clear_edge`]); the
 /// diagonal is always zero (simple graphs, no self-loops).
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct BitMatrix {
     n: usize,
     words_per_row: usize,
@@ -114,6 +114,55 @@ impl BitMatrix {
     #[inline]
     pub fn row(&self, u: usize) -> &[u64] {
         &self.bits[u * self.words_per_row..(u + 1) * self.words_per_row]
+    }
+
+    /// Exclusive access to the contiguous words of rows `lo..hi`, laid out
+    /// row-major ([`Self::words_per_row`] words per row).
+    ///
+    /// This is the escape hatch for bulk ingestion: a batch of row owners
+    /// writes its rows through disjoint sub-slices of this region (e.g. via
+    /// [`crate::runtime::parallel_chunks_mut`]) with no shared state. The
+    /// caller is responsible for keeping the diagonal zero and for
+    /// restoring symmetry afterwards — [`Self::mirror_lower`] does the
+    /// latter when only lower-triangle bits were written.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > num_nodes()`.
+    pub fn rows_mut(&mut self, lo: usize, hi: usize) -> &mut [u64] {
+        assert!(
+            lo <= hi && hi <= self.n,
+            "row range {lo}..{hi} out of bounds for {} nodes",
+            self.n
+        );
+        &mut self.bits[lo * self.words_per_row..hi * self.words_per_row]
+    }
+
+    /// Mirrors every lower-triangle bit `(u, v)` with `v < u` into its
+    /// upper twin `(v, u)`, restoring the symmetric invariant after a bulk
+    /// lower-triangle write ([`Self::rows_mut`]). Existing upper-triangle
+    /// bits are preserved; the diagonal is untouched.
+    ///
+    /// Sequential: a Θ(n²/128) word scan plus one scattered column write
+    /// per set bit (the writes race if partitioned by source row).
+    pub fn mirror_lower(&mut self) {
+        for u in 0..self.n {
+            let row_start = u * self.words_per_row;
+            let col_word = u / WORD_BITS;
+            let col_bit = 1u64 << (u % WORD_BITS);
+            // Bits below u live in words 0..=u/64 of row u; the last word
+            // is masked down to the bits strictly below u.
+            for wi in 0..=col_word {
+                let mut w = self.bits[row_start + wi];
+                if wi == col_word {
+                    w &= col_bit - 1;
+                }
+                while w != 0 {
+                    let v = wi * WORD_BITS + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    self.bits[v * self.words_per_row + col_word] |= col_bit;
+                }
+            }
+        }
     }
 
     /// Overwrites row `u` from a bitset of capacity `n` and mirrors the bits
@@ -269,6 +318,48 @@ mod tests {
         assert!(!m.has_edge(0, 1) && !m.has_edge(0, 2));
         assert!(m.has_edge(0, 3) && m.has_edge(4, 0));
         assert_eq!(m.degree(0), 2);
+    }
+
+    #[test]
+    fn mirror_lower_restores_symmetry() {
+        // Write lower-triangle bits only through rows_mut, then mirror.
+        let mut m = BitMatrix::new(130);
+        let wpr = m.words_per_row();
+        {
+            let rows = m.rows_mut(0, 130);
+            // Row 70 claims {70,3} and {70,65}; row 129 claims {129,70}.
+            rows[70 * wpr] |= 1u64 << 3;
+            rows[70 * wpr + 1] |= 1u64 << 1; // bit 65
+            rows[129 * wpr + 1] |= 1u64 << 6; // bit 70
+        }
+        m.mirror_lower();
+        for (u, v) in [(70, 3), (70, 65), (129, 70)] {
+            assert!(m.has_edge(u, v) && m.has_edge(v, u), "edge ({u},{v})");
+        }
+        assert_eq!(m.num_edges(), 3);
+        // Result matches the set_edge-built matrix exactly.
+        let mut reference = BitMatrix::new(130);
+        reference.set_edge(70, 3);
+        reference.set_edge(70, 65);
+        reference.set_edge(129, 70);
+        assert_eq!(m, reference);
+    }
+
+    #[test]
+    fn mirror_lower_is_idempotent_on_symmetric() {
+        let mut m = BitMatrix::new(67);
+        m.set_edge(1, 2);
+        m.set_edge(64, 3);
+        let before = m.clone();
+        m.mirror_lower();
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rows_mut_range_checked() {
+        let mut m = BitMatrix::new(4);
+        m.rows_mut(2, 5);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * Synthetic stand-ins for the four SNAP datasets of the paper
 //!   (see [`datasets`]), plus edge-list I/O (see [`io`]) so real datasets can
 //!   be dropped in when available.
+//! * A shared parallel [`runtime`]: order-preserving `parallel_map` and
+//!   disjoint-chunk `parallel_chunks_mut` over scoped threads, used by the
+//!   protocol ingestion and experiment layers above.
 //!
 //! The crate is dependency-light by design: only `rand` (for generator
 //! randomness) is pulled in, and a fast, reproducible [`rng::Xoshiro256pp`]
@@ -43,6 +46,7 @@ pub mod generate;
 pub mod io;
 pub mod metrics;
 pub mod rng;
+pub mod runtime;
 
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;

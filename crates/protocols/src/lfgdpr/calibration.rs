@@ -16,6 +16,17 @@
 
 use super::view::PerturbedView;
 use ldp_graph::metrics::clustering::clustering_from_parts;
+use ldp_graph::runtime::{default_threads, parallel_map, threads_for_work};
+
+/// Worker count for calibrating `targets` nodes of `view`: each target's
+/// triangle count scans its `d̃` neighbor rows of `⌈N/64⌉` words, so the
+/// job is `targets · d̃ · N/64` word ops (the shared runtime threshold
+/// decides when that amortizes a thread scope).
+fn calibration_threads(view: &PerturbedView, targets: usize) -> usize {
+    let words_per_row = view.num_users().div_ceil(64).max(1);
+    let work = (view.average_perturbed_degree() * targets as f64) as usize * words_per_row;
+    threads_for_work(work, default_threads())
+}
 
 /// Applies Eq. 16: calibrates a perturbed triangle count back to an
 /// unbiased estimate of the true count.
@@ -82,20 +93,22 @@ pub struct ClusteringEstimate {
 
 /// Runs the full LF-GDPR clustering-coefficient estimation over a view:
 /// `cc_i = 2·R(τ̃_i) / (ẽd_i(ẽd_i − 1))`, with `ẽd_i` chosen by `source`.
+///
+/// Per-node triangle counting dominates, and nodes are independent, so the
+/// loop is chunk-parallelized over the shared runtime for large views;
+/// results are identical at any thread count.
 pub fn estimate_clustering_with(view: &PerturbedView, source: DegreeSource) -> ClusteringEstimate {
     let n = view.num_users();
     let nf = n as f64;
     let p = view.rr().p_keep();
     let theta = view.edge_density();
-    let mut cc = Vec::with_capacity(n);
-    let mut taus = Vec::with_capacity(n);
-    for i in 0..n {
+    let pairs = parallel_map((0..n).collect(), calibration_threads(view, n), |&i| {
         let tau_tilde = view.perturbed_triangles(i) as f64;
         let degree = degree_of(view, i, source);
         let tau = calibrate_triangles(tau_tilde, degree, nf, p, theta);
-        taus.push(tau);
-        cc.push(clustering_from_parts(tau, degree));
-    }
+        (tau, clustering_from_parts(tau, degree))
+    });
+    let (taus, cc) = pairs.into_iter().unzip();
     ClusteringEstimate {
         cc,
         calibrated_triangles: taus,
@@ -118,15 +131,13 @@ pub fn estimate_clustering_at_with(
     let nf = view.num_users() as f64;
     let p = view.rr().p_keep();
     let theta = view.edge_density();
-    nodes
-        .iter()
-        .map(|&i| {
-            let tau_tilde = view.perturbed_triangles(i) as f64;
-            let degree = degree_of(view, i, source);
-            let tau = calibrate_triangles(tau_tilde, degree, nf, p, theta);
-            clustering_from_parts(tau, degree)
-        })
-        .collect()
+    let threads = calibration_threads(view, nodes.len());
+    parallel_map(nodes.to_vec(), threads, |&i| {
+        let tau_tilde = view.perturbed_triangles(i) as f64;
+        let degree = degree_of(view, i, source);
+        let tau = calibrate_triangles(tau_tilde, degree, nf, p, theta);
+        clustering_from_parts(tau, degree)
+    })
 }
 
 /// [`estimate_clustering_at_with`] at the paper-default degree source.

@@ -13,7 +13,9 @@ pub use modularity::estimate_modularity;
 pub use sampled::SampledDegreeModel;
 pub use view::PerturbedView;
 
+use crate::ingest::StreamingAggregator;
 use crate::report::UserReport;
+use ldp_graph::runtime::{default_threads, parallel_map, threads_for_work};
 use ldp_graph::CsrGraph;
 use ldp_mechanisms::{LaplaceMechanism, MechanismError, PrivacyBudget, RandomizedResponse};
 use rand::Rng;
@@ -85,17 +87,22 @@ impl LfGdpr {
     /// from its own derived RNG stream, so a node's randomness does not
     /// depend on how many other nodes report — the common-random-numbers
     /// device the attack pipeline uses to isolate attack effects.
+    ///
+    /// The per-node streams also make the loop order-free, so large
+    /// populations are collected in parallel; output is bit-identical at
+    /// any thread count.
     pub fn collect_honest(
         &self,
         graph: &CsrGraph,
         base_rng: &ldp_graph::Xoshiro256pp,
     ) -> Vec<UserReport> {
-        (0..graph.num_nodes())
-            .map(|node| {
-                let mut rng = base_rng.derive(node as u64);
-                self.honest_report(graph, node, &mut rng)
-            })
-            .collect()
+        let n = graph.num_nodes();
+        // Perturbation samples per adjacency bit, so the job is ~n² ops.
+        let threads = threads_for_work(n.saturating_mul(n), default_threads());
+        parallel_map((0..n).collect(), threads, |&node| {
+            let mut rng = base_rng.derive(node as u64);
+            self.honest_report(graph, node, &mut rng)
+        })
     }
 
     /// Aggregates reports into the server-side perturbed view.
@@ -105,6 +112,26 @@ impl LfGdpr {
     /// differs from it.
     pub fn aggregate(&self, reports: &[UserReport]) -> PerturbedView {
         PerturbedView::from_reports(reports, self.rr)
+    }
+
+    /// Starts a [`StreamingAggregator`] for a population of `n` users,
+    /// bound to this protocol's randomized-response mechanism. Ingest
+    /// reports in id-ordered batches and `finalize()` into the view.
+    pub fn streaming_aggregator(&self, n: usize) -> StreamingAggregator {
+        StreamingAggregator::new(n, self.rr)
+    }
+
+    /// Aggregates a lazily produced report stream while holding at most
+    /// `batch_size` reports in memory — see [`crate::ingest::aggregate_stream`].
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero or the stream does not yield exactly
+    /// `n` reports spanning `n` users.
+    pub fn aggregate_streamed<I>(&self, n: usize, batch_size: usize, reports: I) -> PerturbedView
+    where
+        I: IntoIterator<Item = UserReport>,
+    {
+        crate::ingest::aggregate_stream(n, self.rr, batch_size, reports)
     }
 
     /// Expected average perturbed degree for a graph of `n` nodes with true
@@ -158,6 +185,18 @@ mod tests {
             assert_eq!(x.bits, y.bits);
             assert_eq!(x.degree, y.degree);
         }
+    }
+
+    #[test]
+    fn streamed_aggregate_matches_oneshot() {
+        let g = complete_graph(40);
+        let proto = LfGdpr::new(4.0).unwrap();
+        let base = Xoshiro256pp::new(5);
+        let reports = proto.collect_honest(&g, &base);
+        let oneshot = proto.aggregate(&reports);
+        let streamed = proto.aggregate_streamed(40, 7, reports);
+        assert_eq!(streamed.matrix(), oneshot.matrix());
+        assert_eq!(streamed.reported_degrees(), oneshot.reported_degrees());
     }
 
     #[test]

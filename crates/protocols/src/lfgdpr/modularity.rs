@@ -54,18 +54,19 @@ pub fn estimate_modularity(view: &PerturbedView, partition: &[usize]) -> f64 {
         return 0.0;
     }
 
+    // Calibrated total degree per community — one pass over nodes, not one
+    // filter pass per community (the old O(n·C) inner loop).
+    let mut a = vec![0f64; num_comms];
+    for u in 0..n {
+        a[partition[u]] += view.calibrated_degree(u).max(0.0);
+    }
+
     let mut q = 0.0;
     for c in 0..num_comms {
         let sz = sizes[c] as f64;
         let intra_slots = sz * (sz - 1.0) / 2.0;
         let e_c = ((observed_intra[c] - intra_slots * (1.0 - p)) / denom).max(0.0);
-        // Calibrated total degree of the community. Σ over members of the
-        // calibrated per-node degree.
-        let a_c: f64 = (0..n)
-            .filter(|&u| partition[u] == c)
-            .map(|u| view.calibrated_degree(u).max(0.0))
-            .sum();
-        q += e_c / e_total - (a_c / (2.0 * e_total)).powi(2);
+        q += e_c / e_total - (a[c] / (2.0 * e_total)).powi(2);
     }
     q
 }

@@ -21,27 +21,32 @@ pub struct PerturbedView {
 impl PerturbedView {
     /// Builds the view from one report per user.
     ///
+    /// This is a thin wrapper over the streaming path
+    /// ([`crate::ingest::StreamingAggregator`]) with the whole input as a
+    /// single batch, so it inherits the parallel lower-triangle fold and
+    /// the bounded per-report bit scan. Callers that can produce reports
+    /// lazily should stream batches instead to keep report memory bounded.
+    ///
     /// # Panics
     /// Panics if the number of reports differs from the population size
     /// they claim, or if reports disagree on the population size.
     pub fn from_reports(reports: &[UserReport], rr: RandomizedResponse) -> Self {
-        let n = reports.len();
-        let mut matrix = BitMatrix::new(n);
-        for (i, report) in reports.iter().enumerate() {
-            assert_eq!(
-                report.population(),
-                n,
-                "report {i} spans {} users but {n} reports were collected",
-                report.population()
-            );
-            for j in report.bits.iter_ones() {
-                if j < i {
-                    matrix.set_edge(i, j);
-                }
-            }
-        }
-        let perturbed_degrees = (0..n).map(|u| matrix.degree(u)).collect();
-        let reported_degrees = reports.iter().map(|r| r.degree).collect();
+        let mut agg = crate::ingest::StreamingAggregator::new(reports.len(), rr);
+        agg.ingest_batch(reports);
+        agg.finalize()
+    }
+
+    /// Assembles a view from already-aggregated parts; reserved for the
+    /// ingestion engine, which upholds the invariants (symmetric matrix,
+    /// degree vectors of length `N` consistent with it).
+    pub(crate) fn from_parts(
+        matrix: BitMatrix,
+        reported_degrees: Vec<f64>,
+        perturbed_degrees: Vec<usize>,
+        rr: RandomizedResponse,
+    ) -> Self {
+        debug_assert_eq!(matrix.num_nodes(), reported_degrees.len());
+        debug_assert_eq!(matrix.num_nodes(), perturbed_degrees.len());
         PerturbedView {
             matrix,
             reported_degrees,

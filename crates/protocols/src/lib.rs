@@ -13,6 +13,10 @@
 //!   Laplace-noisy degree vectors toward server-chosen groups over two
 //!   phases; the server clusters users and synthesizes a whole graph from
 //!   which any metric can be read.
+//! * [`ingest`] — the streaming, sharded report-aggregation engine behind
+//!   LF-GDPR's server side: bounded batches folded in parallel into the
+//!   lower-triangle aggregate, finalized into a [`PerturbedView`]. The
+//!   one-shot `PerturbedView::from_reports` is a wrapper over this path.
 //!
 //! ## Edge-perturbation model
 //!
@@ -27,10 +31,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ingest;
 pub mod ldpgen;
 pub mod lfgdpr;
 pub mod report;
 
+pub use ingest::StreamingAggregator;
 pub use ldpgen::LdpGen;
 pub use lfgdpr::{LfGdpr, PerturbedView};
 pub use report::UserReport;

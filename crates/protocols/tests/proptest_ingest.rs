@@ -1,0 +1,113 @@
+//! Property tests pinning the streaming aggregation engine to the one-shot
+//! path: for any population, report contents, and batch size (including 1
+//! and N), the streamed view is bit-for-bit identical — matrix, reported
+//! degrees, perturbed degrees.
+
+use ldp_graph::{BitSet, Xoshiro256pp};
+use ldp_mechanisms::RandomizedResponse;
+use ldp_protocols::ingest::aggregate_stream;
+use ldp_protocols::{PerturbedView, StreamingAggregator, UserReport};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Synthesizes `n` reports with word-level random bits at roughly the
+/// given density (upper-triangle and self bits included on purpose — the
+/// aggregator must ignore them identically on both paths).
+fn random_reports(n: usize, density_shift: u32, seed: u64) -> Vec<UserReport> {
+    let mut rng = Xoshiro256pp::new(seed);
+    (0..n)
+        .map(|_| {
+            let mut bits = BitSet::new(n);
+            for w in bits.words_mut() {
+                // AND-ing k independent words gives density 2^-k.
+                let mut word = rng.gen::<u64>();
+                for _ in 0..density_shift {
+                    word &= rng.gen::<u64>();
+                }
+                *w = word;
+            }
+            bits.mask_tail();
+            let degree = rng.gen_range(0.0..n.max(1) as f64);
+            UserReport::new(bits, degree)
+        })
+        .collect()
+}
+
+fn rr() -> RandomizedResponse {
+    RandomizedResponse::from_keep_probability(0.85).unwrap()
+}
+
+fn assert_views_identical(streamed: &PerturbedView, oneshot: &PerturbedView) -> Result<(), String> {
+    if streamed.matrix() != oneshot.matrix() {
+        return Err("matrices differ".into());
+    }
+    if streamed.reported_degrees() != oneshot.reported_degrees() {
+        return Err("reported degrees differ".into());
+    }
+    for u in 0..oneshot.num_users() {
+        if streamed.perturbed_degree(u) != oneshot.perturbed_degree(u) {
+            return Err(format!("perturbed degree differs at node {u}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Explicit batching: any batch size from 1 to n (and beyond) folds to
+    /// the identical view.
+    #[test]
+    fn streamed_equals_oneshot(
+        n in 0usize..70,
+        batch in 1usize..80,
+        density_shift in 0u32..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let reports = random_reports(n, density_shift, seed);
+        let oneshot = PerturbedView::from_reports(&reports, rr());
+        let mut agg = StreamingAggregator::new(n, rr());
+        for chunk in reports.chunks(batch) {
+            agg.ingest_batch(chunk);
+        }
+        let streamed = agg.finalize();
+        if let Err(msg) = assert_views_identical(&streamed, &oneshot) {
+            prop_assert!(false, "n={} batch={}: {}", n, batch, msg);
+        }
+        // Running accumulator converged to the true edge count.
+        prop_assert_eq!(
+            streamed.matrix().num_edges() as u64,
+            {
+                let mut check = StreamingAggregator::new(n, rr());
+                check.ingest_batch(&reports);
+                check.edges_ingested()
+            }
+        );
+    }
+
+    /// The lazy driver (bounded buffer) agrees too, and so does one-at-a-
+    /// time ingestion.
+    #[test]
+    fn stream_driver_and_single_ingest_agree(
+        n in 1usize..50,
+        batch in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let reports = random_reports(n, 1, seed);
+        let oneshot = PerturbedView::from_reports(&reports, rr());
+
+        let driven = aggregate_stream(n, rr(), batch, reports.iter().cloned());
+        if let Err(msg) = assert_views_identical(&driven, &oneshot) {
+            prop_assert!(false, "driver n={} batch={}: {}", n, batch, msg);
+        }
+
+        let mut agg = StreamingAggregator::with_threads(n, rr(), 3);
+        for r in &reports {
+            agg.ingest(r);
+        }
+        let single = agg.finalize();
+        if let Err(msg) = assert_views_identical(&single, &oneshot) {
+            prop_assert!(false, "single n={}: {}", n, msg);
+        }
+    }
+}
