@@ -5,9 +5,11 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use ldp_graph::datasets::Dataset;
 use ldp_graph::Xoshiro256pp;
 use ldp_protocols::LfGdpr;
+use ldp_protocols::Metric;
+use poison_core::scenario::Scenario;
 use poison_core::{
-    craft_reports, run_lfgdpr_attack, run_sampled_degree_attack, AttackStrategy, AttackerKnowledge,
-    MgaOptions, TargetMetric, TargetSelection, ThreatModel,
+    attack_for, craft_reports, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
+    TargetSelection, ThreatModel,
 };
 
 fn setup(nodes: usize) -> (ldp_graph::CsrGraph, LfGdpr, ThreatModel, AttackerKnowledge) {
@@ -63,30 +65,32 @@ fn bench_exact_pipeline(c: &mut Criterion) {
             &strategy,
             |bench, &s| {
                 bench.iter(|| {
-                    black_box(run_lfgdpr_attack(
-                        &graph,
-                        &protocol,
-                        &threat,
-                        s,
-                        TargetMetric::DegreeCentrality,
-                        MgaOptions::default(),
-                        31,
-                    ))
+                    black_box(
+                        Scenario::on(protocol)
+                            .attack(attack_for(s, MgaOptions::default()))
+                            .metric(Metric::Degree)
+                            .threat(threat.clone())
+                            .exact()
+                            .seed(31)
+                            .run(&graph)
+                            .unwrap(),
+                    )
                 })
             },
         );
     }
     group.bench_function("clustering_MGA", |bench| {
         bench.iter(|| {
-            black_box(run_lfgdpr_attack(
-                &graph,
-                &protocol,
-                &threat,
-                AttackStrategy::Mga,
-                TargetMetric::ClusteringCoefficient,
-                MgaOptions::default(),
-                32,
-            ))
+            black_box(
+                Scenario::on(protocol)
+                    .attack(attack_for(AttackStrategy::Mga, MgaOptions::default()))
+                    .metric(Metric::Clustering)
+                    .threat(threat.clone())
+                    .exact()
+                    .seed(32)
+                    .run(&graph)
+                    .unwrap(),
+            )
         })
     });
     group.finish();
@@ -102,13 +106,16 @@ fn bench_sampled_pipeline(c: &mut Criterion) {
         ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
     group.bench_function("gplus_20000_MGA", |bench| {
         bench.iter(|| {
-            black_box(run_sampled_degree_attack(
-                &graph,
-                &protocol,
-                &threat,
-                AttackStrategy::Mga,
-                33,
-            ))
+            black_box(
+                Scenario::on(protocol)
+                    .attack(attack_for(AttackStrategy::Mga, MgaOptions::default()))
+                    .metric(Metric::Degree)
+                    .threat(threat.clone())
+                    .sampled()
+                    .seed(33)
+                    .run(&graph)
+                    .unwrap(),
+            )
         })
     });
     group.finish();

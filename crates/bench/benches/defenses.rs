@@ -10,9 +10,9 @@ use poison_core::{
     ThreatModel,
 };
 use poison_defense::apriori::apriori;
-use poison_defense::{DegreeConsistencyDefense, FrequentItemsetDefense, GraphDefense};
+use poison_defense::{Defense, DegreeConsistencyDefense, FrequentItemsetDefense};
 
-fn poisoned_reports(nodes: usize) -> (Vec<ldp_protocols::UserReport>, LfGdpr) {
+fn poisoned_reports(nodes: usize) -> (Vec<ldp_protocols::AdjacencyReport>, LfGdpr) {
     let graph = Dataset::Facebook.generate_with_nodes(nodes, 41);
     let protocol = LfGdpr::new(4.0).unwrap();
     let mut rng = Xoshiro256pp::new(42);
@@ -58,14 +58,14 @@ fn bench_detectors(c: &mut Criterion) {
     group.bench_function("detect1_1050_users", |bench| {
         bench.iter(|| {
             let mut rng = Xoshiro256pp::new(45);
-            black_box(detect1.apply(&reports, &protocol, &mut rng))
+            black_box(detect1.filter_reports(&reports, &protocol, &mut rng))
         })
     });
     let detect2 = DegreeConsistencyDefense::default();
     group.bench_function("detect2_1050_users", |bench| {
         bench.iter(|| {
             let mut rng = Xoshiro256pp::new(46);
-            black_box(detect2.apply(&reports, &protocol, &mut rng))
+            black_box(detect2.filter_reports(&reports, &protocol, &mut rng))
         })
     });
     group.finish();

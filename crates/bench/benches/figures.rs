@@ -33,22 +33,22 @@ fn bench_attack_figures(c: &mut Criterion) {
     group.sample_size(10);
     let cfg = smoke();
     group.bench_function("fig6_point", |b| {
-        b.iter(|| black_box(px::fig6::run_with_grid(&cfg, &[4.0])))
+        b.iter(|| black_box(px::fig6::run_with_grid(&cfg, &[4.0], None)))
     });
     group.bench_function("fig7_point", |b| {
-        b.iter(|| black_box(px::fig7::run_with_grid(&cfg, &[0.05])))
+        b.iter(|| black_box(px::fig7::run_with_grid(&cfg, &[0.05], None)))
     });
     group.bench_function("fig8_point", |b| {
-        b.iter(|| black_box(px::fig8::run_with_grid(&cfg, &[0.05])))
+        b.iter(|| black_box(px::fig8::run_with_grid(&cfg, &[0.05], None)))
     });
     group.bench_function("fig9_point", |b| {
-        b.iter(|| black_box(px::fig9::run_with_grid(&cfg, &[4.0])))
+        b.iter(|| black_box(px::fig9::run_with_grid(&cfg, &[4.0], None)))
     });
     group.bench_function("fig10_point", |b| {
-        b.iter(|| black_box(px::fig10::run_with_grid(&cfg, &[0.05])))
+        b.iter(|| black_box(px::fig10::run_with_grid(&cfg, &[0.05], None)))
     });
     group.bench_function("fig11_point", |b| {
-        b.iter(|| black_box(px::fig11::run_with_grid(&cfg, &[0.05])))
+        b.iter(|| black_box(px::fig11::run_with_grid(&cfg, &[0.05], None)))
     });
     group.finish();
 }

@@ -14,7 +14,7 @@
 
 use ldp_graph::Xoshiro256pp;
 use ldp_mechanisms::RandomizedResponse;
-use ldp_protocols::{PerturbedView, StreamingAggregator, UserReport};
+use ldp_protocols::{AdjacencyReport, PerturbedView, StreamingAggregator};
 use poison_bench::{synthetic_report, synthetic_reports};
 use std::time::Instant;
 
@@ -28,7 +28,7 @@ fn report_bytes(n: usize, resident_reports: usize) -> usize {
 
 fn main() {
     let rr = RandomizedResponse::from_keep_probability(0.9).expect("valid p");
-    let reports: Vec<UserReport> = synthetic_reports(N, 0xBE57);
+    let reports: Vec<AdjacencyReport> = synthetic_reports(N, 0xBE57);
 
     // One-shot: single fold over all N resident reports.
     let start = Instant::now();

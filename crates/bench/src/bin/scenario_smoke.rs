@@ -1,0 +1,127 @@
+//! Scenario-engine smoke benchmark: the unified builder versus a
+//! hand-inlined replica of the pre-refactor exact pipeline, written to
+//! `BENCH_scenario.json` for the perf trajectory (CI runs this after the
+//! bench smoke step, alongside `BENCH_ingest.json`).
+//!
+//! The two paths are asserted bit-identical first; the JSON then records
+//! median-of-reps wall-clock for each and the engine's relative overhead,
+//! which must stay small (the builder adds trait dispatch and adapters,
+//! not protocol work — target ≤ 2%, hard-failed at 25% to catch gross
+//! regressions without flaking on machine noise).
+
+use ldp_graph::datasets::Dataset;
+use ldp_graph::Xoshiro256pp;
+use ldp_protocols::protocol::STREAM_ATTACK;
+use ldp_protocols::{LfGdpr, Metric};
+use poison_core::scenario::Scenario;
+use poison_core::{
+    craft_reports, AttackOutcome, AttackStrategy, AttackerKnowledge, Mga, MgaOptions, TargetMetric,
+    TargetSelection, ThreatModel,
+};
+use std::time::Instant;
+
+const NODES: usize = 400;
+const REPS: usize = 7;
+const SEED: u64 = 61;
+
+/// What `run_lfgdpr_attack` did before it became a wrapper over the
+/// engine, inlined.
+fn manual_exact_degree(
+    graph: &ldp_graph::CsrGraph,
+    protocol: &LfGdpr,
+    threat: &ThreatModel,
+    seed: u64,
+) -> AttackOutcome {
+    let extended = graph.with_isolated_nodes(threat.m_fake);
+    let base = Xoshiro256pp::new(seed);
+    let mut reports = protocol.collect_honest(&extended, &base);
+    let view_before = protocol.aggregate(&reports);
+    let before: Vec<f64> = threat
+        .targets
+        .iter()
+        .map(|&t| view_before.degree_centrality(t))
+        .collect();
+    let knowledge =
+        AttackerKnowledge::derive(protocol, threat.population(), graph.average_degree());
+    let mut attack_rng = base.derive(STREAM_ATTACK);
+    let crafted = craft_reports(
+        AttackStrategy::Mga,
+        TargetMetric::DegreeCentrality,
+        protocol,
+        threat,
+        &knowledge,
+        MgaOptions::default(),
+        &mut attack_rng,
+    );
+    for (offset, report) in crafted.into_iter().enumerate() {
+        reports[threat.n_genuine + offset] = report;
+    }
+    let view_after = protocol.aggregate(&reports);
+    let after: Vec<f64> = threat
+        .targets
+        .iter()
+        .map(|&t| view_after.degree_centrality(t))
+        .collect();
+    AttackOutcome::new(before, after)
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let graph = Dataset::Facebook.generate_with_nodes(NODES, 21);
+    let protocol = LfGdpr::new(4.0).expect("valid budget");
+    let mut rng = Xoshiro256pp::new(22);
+    let threat =
+        ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
+
+    let engine = |seed: u64| {
+        Scenario::on(protocol)
+            .attack(Mga::default())
+            .metric(Metric::Degree)
+            .threat(threat.clone())
+            .exact()
+            .seed(seed)
+            .run(&graph)
+            .expect("valid scenario")
+            .into_single_outcome()
+    };
+
+    // Equivalence before timing.
+    let manual = manual_exact_degree(&graph, &protocol, &threat, SEED);
+    let built = engine(SEED);
+    assert_eq!(manual.before, built.before, "paths must be bit-identical");
+    assert_eq!(manual.after, built.after, "paths must be bit-identical");
+
+    // Warm-up, then interleaved reps so drift hits both paths equally.
+    let _ = manual_exact_degree(&graph, &protocol, &threat, SEED);
+    let _ = engine(SEED);
+    let mut manual_samples = Vec::with_capacity(REPS);
+    let mut engine_samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        std::hint::black_box(manual_exact_degree(&graph, &protocol, &threat, SEED));
+        manual_samples.push(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        std::hint::black_box(engine(SEED));
+        engine_samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let manual_ms = median_ms(manual_samples);
+    let builder_ms = median_ms(engine_samples);
+    let overhead_pct = (builder_ms - manual_ms) / manual_ms * 100.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"scenario\",\n  \"n\": {NODES},\n  \"reps\": {REPS},\n  \
+         \"manual_ms\": {manual_ms:.3},\n  \"builder_ms\": {builder_ms:.3},\n  \
+         \"engine_overhead_pct\": {overhead_pct:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_scenario.json", &json).expect("write BENCH_scenario.json");
+    print!("{json}");
+
+    assert!(
+        overhead_pct < 25.0,
+        "engine overhead {overhead_pct:.2}% is far beyond the ≤2% target"
+    );
+}

@@ -19,25 +19,25 @@
 #![forbid(unsafe_code)]
 
 use ldp_graph::{BitSet, Xoshiro256pp};
-use ldp_protocols::UserReport;
+use ldp_protocols::AdjacencyReport;
 use rand::Rng;
 
 /// Synthesizes one report over `n` users with word-level random bits at
 /// ≈12.5% density (three AND-ed words — the regime an RR-perturbed graph
 /// lives in), so ingestion benches isolate aggregation cost from
 /// randomized-response cost.
-pub fn synthetic_report(n: usize, rng: &mut Xoshiro256pp) -> UserReport {
+pub fn synthetic_report(n: usize, rng: &mut Xoshiro256pp) -> AdjacencyReport {
     let mut bits = BitSet::new(n);
     for w in bits.words_mut() {
         *w = rng.gen::<u64>() & rng.gen::<u64>() & rng.gen::<u64>();
     }
     bits.mask_tail();
     let degree = rng.gen_range(0.0..n.max(1) as f64);
-    UserReport::new(bits, degree)
+    AdjacencyReport::new(bits, degree)
 }
 
 /// A full population of [`synthetic_report`]s from one seed.
-pub fn synthetic_reports(n: usize, seed: u64) -> Vec<UserReport> {
+pub fn synthetic_reports(n: usize, seed: u64) -> Vec<AdjacencyReport> {
     let mut rng = Xoshiro256pp::new(seed);
     (0..n).map(|_| synthetic_report(n, &mut rng)).collect()
 }

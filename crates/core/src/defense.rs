@@ -1,0 +1,91 @@
+//! The defense abstraction of the scenario engine.
+//!
+//! The trait is defined here — below `poison-defense` in the crate graph —
+//! so the [`crate::scenario::ScenarioBuilder`] can hold `Box<dyn Defense>`
+//! while the concrete countermeasures (Detect1's Apriori miner, Detect2's
+//! degree-consistency screen, the naive baselines, and their composition)
+//! live in `poison-defense`, which re-exports this trait and implements it.
+//!
+//! A defense answers two questions:
+//!
+//! * [`Defense::filter_reports`] — flag suspicious uploads and repair the
+//!   set the server aggregates (the operation the paper's §VII evaluates);
+//! * [`Defense::score_users`] — a per-user suspicion score (higher = more
+//!   suspicious), the ranking the flag rule thresholds; exposed so
+//!   scenario reports can carry verdict diagnostics beyond binary flags.
+
+use ldp_protocols::{AdjacencyReport, LfGdpr};
+use rand::RngCore;
+
+/// What a defense did to one upload set.
+#[derive(Debug, Clone)]
+pub struct DefenseApplication {
+    /// The repaired reports the server aggregates instead.
+    pub repaired: Vec<AdjacencyReport>,
+    /// Which users were flagged as fake.
+    pub flagged: Vec<bool>,
+}
+
+/// A server-side countermeasure operating on collected adjacency reports.
+/// Object-safe: scenarios hold `Box<dyn Defense>`.
+///
+/// `rng` supplies server-side randomness for repairs that *neutralize* a
+/// flagged user by substituting a null-perturbation draw (an RR pass over
+/// an empty neighborhood). Plain deletion would bias every downstream
+/// calibration: all `N` rows are assumed to carry mechanism noise, and a
+/// zeroed row removes noise the estimators correct for, creating a deficit
+/// larger than the attack itself on sparse graphs.
+pub trait Defense {
+    /// Display name (as used in the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Per-user suspicion scores (higher = more suspicious). The scale is
+    /// defense-specific; only the ordering is meaningful.
+    fn score_users(&self, reports: &[AdjacencyReport], protocol: &LfGdpr) -> Vec<f64>;
+
+    /// Flags suspicious reports and repairs the upload set.
+    fn filter_reports(
+        &self,
+        reports: &[AdjacencyReport],
+        protocol: &LfGdpr,
+        rng: &mut dyn RngCore,
+    ) -> DefenseApplication;
+}
+
+impl<D: Defense + ?Sized> Defense for &D {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn score_users(&self, reports: &[AdjacencyReport], protocol: &LfGdpr) -> Vec<f64> {
+        (**self).score_users(reports, protocol)
+    }
+
+    fn filter_reports(
+        &self,
+        reports: &[AdjacencyReport],
+        protocol: &LfGdpr,
+        rng: &mut dyn RngCore,
+    ) -> DefenseApplication {
+        (**self).filter_reports(reports, protocol, rng)
+    }
+}
+
+impl<D: Defense + ?Sized> Defense for Box<D> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn score_users(&self, reports: &[AdjacencyReport], protocol: &LfGdpr) -> Vec<f64> {
+        (**self).score_users(reports, protocol)
+    }
+
+    fn filter_reports(
+        &self,
+        reports: &[AdjacencyReport],
+        protocol: &LfGdpr,
+        rng: &mut dyn RngCore,
+    ) -> DefenseApplication {
+        (**self).filter_reports(reports, protocol, rng)
+    }
+}

@@ -7,7 +7,7 @@
 //! of crafted edges that keeps a fake node's degree near the perturbed
 //! average so it does not stand out (§V, §VI).
 
-use ldp_protocols::LfGdpr;
+use ldp_protocols::{LfGdpr, PublicParams};
 
 /// Everything the attacker is assumed to know.
 #[derive(Debug, Clone, Copy)]
@@ -28,13 +28,33 @@ impl AttackerKnowledge {
     /// Derives the knowledge from protocol parameters and the published
     /// average degree: `d̃ = p·d̄ + (1−p)(N−1−d̄)`.
     pub fn derive(protocol: &LfGdpr, population: usize, avg_true_degree: f64) -> Self {
-        AttackerKnowledge {
-            p_keep: protocol.p_keep(),
-            degree_noise_scale: protocol.laplace().scale(),
+        use ldp_protocols::GraphLdpProtocol;
+        Self::from_public(
+            protocol.public_params(population, avg_true_degree),
             population,
-            avg_perturbed_degree: protocol.expected_perturbed_degree(population, avg_true_degree),
+            avg_true_degree,
+        )
+    }
+
+    /// Derives the knowledge from a protocol's published parameters — the
+    /// protocol-agnostic constructor the scenario engine uses (any
+    /// [`ldp_protocols::GraphLdpProtocol`] supplies its
+    /// [`PublicParams`]).
+    pub fn from_public(params: PublicParams, population: usize, avg_true_degree: f64) -> Self {
+        AttackerKnowledge {
+            p_keep: params.p_keep,
+            degree_noise_scale: params.degree_noise_scale,
+            population,
+            avg_perturbed_degree: params.avg_perturbed_degree,
             avg_true_degree,
         }
+    }
+
+    /// The connection budget per fake user against LDPGen: the protocol
+    /// has no RR channel, so the cap that avoids trivial detection is the
+    /// published *true* average degree `⌊d̄⌋` (at least 1).
+    pub fn ldpgen_budget(&self) -> usize {
+        self.avg_true_degree.floor().max(1.0) as usize
     }
 
     /// The connection budget per fake user: `⌊d̃⌋` crafted edges keep the

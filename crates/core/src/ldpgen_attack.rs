@@ -18,12 +18,14 @@
 //! on the synthetic graph of the honest world vs. the attacked world,
 //! common randomness everywhere else.
 
+use crate::attack::attack_for;
 use crate::gain::AttackOutcome;
-use crate::strategy::AttackStrategy;
+use crate::scenario::Scenario;
+use crate::strategy::{AttackStrategy, MgaOptions};
 use crate::threat::ThreatModel;
-use ldp_graph::metrics::{local_clustering_coefficients, modularity};
-use ldp_graph::{CsrGraph, Xoshiro256pp};
+use ldp_graph::CsrGraph;
 use ldp_mechanisms::sampling::sample_laplace_vec;
+use ldp_protocols::Metric;
 use rand::Rng;
 
 /// Crafts the phase reports of all `m` fake users for one LDPGen phase.
@@ -90,6 +92,15 @@ pub enum LdpGenMetric {
     Modularity,
 }
 
+impl From<LdpGenMetric> for Metric {
+    fn from(metric: LdpGenMetric) -> Self {
+        match metric {
+            LdpGenMetric::ClusteringCoefficient => Metric::Clustering,
+            LdpGenMetric::Modularity => Metric::Modularity,
+        }
+    }
+}
+
 /// Runs one attack against LDPGen end-to-end.
 ///
 /// For [`LdpGenMetric::Modularity`] a partition of the genuine users must
@@ -97,6 +108,9 @@ pub enum LdpGenMetric {
 ///
 /// # Panics
 /// Panics on population mismatches or a missing partition for modularity.
+#[deprecated(note = "use poison_core::scenario::Scenario: \
+            Scenario::on(*protocol).attack(attack_for(strategy, Default::default()))\
+            .metric(metric.into()).threat(threat.clone()).seed(seed).run(graph)")]
 pub fn run_ldpgen_attack(
     graph: &CsrGraph,
     protocol: &ldp_protocols::LdpGen,
@@ -106,68 +120,26 @@ pub fn run_ldpgen_attack(
     partition: Option<&[usize]>,
     seed: u64,
 ) -> AttackOutcome {
-    assert_eq!(
-        graph.num_nodes(),
-        threat.n_genuine,
-        "graph/threat population mismatch"
-    );
-    let extended = graph.with_isolated_nodes(threat.m_fake);
-    let base = Xoshiro256pp::new(seed);
-    let budget = graph.average_degree().floor().max(1.0) as usize;
-    let noise_scale = 2.0 / protocol.epsilon();
-
-    // Honest world.
-    let honest_agg = protocol.aggregate(&extended, &base);
-    let mut synth_rng = base.derive(0x5E_ED);
-    let synth_before = protocol.synthesize(&honest_agg, &mut synth_rng);
-
-    // Attacked world: crafted vectors in both phases.
-    let mut craft_rng = base.derive(0xA77A);
-    let attacked_agg = protocol.aggregate_with_crafted(&extended, &base, |_phase, groups, k| {
-        craft_degree_vectors(
-            strategy,
-            threat,
-            groups,
-            k,
-            budget,
-            noise_scale,
-            &mut craft_rng,
-        )
-    });
-    let mut synth_rng = base.derive(0x5E_ED);
-    let synth_after = protocol.synthesize(&attacked_agg, &mut synth_rng);
-
-    match metric {
-        LdpGenMetric::ClusteringCoefficient => {
-            let cc_before = local_clustering_coefficients(&synth_before);
-            let cc_after = local_clustering_coefficients(&synth_after);
-            AttackOutcome::new(
-                threat.targets.iter().map(|&t| cc_before[t]).collect(),
-                threat.targets.iter().map(|&t| cc_after[t]).collect(),
-            )
-        }
-        LdpGenMetric::Modularity => {
-            let partition = partition.expect("modularity needs a partition of genuine users");
-            assert_eq!(
-                partition.len(),
-                threat.n_genuine,
-                "partition must cover genuine users"
-            );
-            let num_comms = partition.iter().copied().max().map_or(1, |c| c + 1);
-            let mut full = partition.to_vec();
-            full.extend((0..threat.m_fake).map(|i| i % num_comms));
-            AttackOutcome::new(
-                vec![modularity(&synth_before, &full)],
-                vec![modularity(&synth_after, &full)],
-            )
-        }
+    let mut builder = Scenario::on(*protocol)
+        .attack(attack_for(strategy, MgaOptions::default()))
+        .metric(metric.into())
+        .threat(threat.clone())
+        .seed(seed);
+    if let Some(partition) = partition {
+        builder = builder.partition(partition);
     }
+    builder
+        .run(graph)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_single_outcome()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use ldp_graph::generate::caveman_graph;
+    use ldp_graph::Xoshiro256pp;
     use ldp_protocols::LdpGen;
 
     fn setup() -> (CsrGraph, LdpGen, ThreatModel) {

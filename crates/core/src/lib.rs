@@ -2,42 +2,62 @@
 //!
 //! The paper's contribution: data poisoning attacks on LDP protocols for
 //! graphs. An attacker controlling `m` fake users crafts their uploads to
-//! distort the server's estimates of degree centrality and clustering
-//! coefficient for `r` chosen target nodes.
+//! distort the server's estimates of degree centrality, clustering
+//! coefficient, and modularity for `r` chosen target nodes.
 //!
 //! * [`threat`] — the threat model of §IV-A: fake-user and target-node
 //!   populations (fractions β and γ of the genuine users).
 //! * [`knowledge`] — what the attacker is assumed to know (§IV-A): the
 //!   budgets ε₁/ε₂, the population size, and the average perturbed degree
 //!   `d̃`, from which the per-fake-user connection budget `⌊d̃⌋` follows.
-//! * [`strategy`] — the three attacks of §IV-B: Random Value Attack (RVA),
-//!   Random Node Attack (RNA), and Maximal Gain Attack (MGA), crafting
-//!   LF-GDPR reports for both target metrics.
+//! * [`strategy`] — the §IV-B crafting routines for LF-GDPR reports;
+//!   [`ldpgen_attack`] — the same strategies adapted to LDPGen's
+//!   degree-vector channel.
+//! * [`attack`] — the object-safe [`attack::Attack`] trait
+//!   ([`attack::Rva`]/[`attack::Rna`]/[`attack::Mga`]) crafting uploads
+//!   for *any* protocol channel.
+//! * [`defense`] — the object-safe [`defense::Defense`] trait the
+//!   countermeasures in `poison-defense` implement.
+//! * [`scenario`] — the unified evaluation engine:
+//!   `Scenario::on(protocol).attack(…).metric(…).defend(…).run(&graph)`
+//!   covers every (protocol × attack × metric × defense) combination with
+//!   common random numbers, exact/sampled mode selection, streaming
+//!   ingest, and structured reports.
 //! * [`gain`] — the overall gain `Gain = Σ_t |f̃_{t,a} − f̃_{t,b}|`
-//!   (Eq. 4–5).
-//! * [`theory`] — closed-form expected MGA gains (Theorems 1 and 2).
-//! * [`pipeline`] — end-to-end evaluation with common random numbers:
-//!   honest run vs. attacked run over the same genuine randomness, exact
-//!   (materialized) and sampled (analytic) modes.
-//! * [`ldpgen_attack`] — the same three strategies adapted to LDPGen's
-//!   degree-vector reports (Figs. 14b/15b).
+//!   (Eq. 4–5); [`theory`] — closed-form expected MGA gains
+//!   (Theorems 1 and 2).
+//! * [`error`] — the typed [`error::ScenarioError`] the engine returns
+//!   instead of aborting.
+//! * [`pipeline`] — the deprecated per-protocol entry points, now thin
+//!   wrappers over the engine (see its docs for the migration map).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attack;
+pub mod defense;
+pub mod error;
 pub mod gain;
 pub mod knowledge;
 pub mod ldpgen_attack;
 pub mod pipeline;
+pub mod scenario;
 pub mod strategy;
 pub mod theory;
 pub mod threat;
 
+pub use attack::{attack_for, Attack, DegreeFootprint, Mga, Rna, Rva};
+pub use defense::{Defense, DefenseApplication};
+pub use error::ScenarioError;
 pub use gain::AttackOutcome;
 pub use knowledge::AttackerKnowledge;
-pub use pipeline::{
-    mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
-};
+pub use ldp_protocols::{GraphLdpProtocol, Metric, ServerView};
+pub use scenario::{EvalMode, Scenario, ScenarioBuilder, ScenarioReport, TrialOutcome};
 pub use strategy::{craft_reports, AttackStrategy, MgaOptions, TargetMetric};
 pub use theory::{theorem1_degree_gain, theorem2_clustering_gain};
 pub use threat::{TargetSelection, ThreatModel};
+
+#[allow(deprecated)]
+pub use pipeline::{
+    mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
+};

@@ -1,39 +1,35 @@
-//! End-to-end attack evaluation against LF-GDPR.
+//! Legacy end-to-end evaluation entry points, kept for one PR as thin
+//! wrappers over the unified scenario engine
+//! ([`crate::scenario::Scenario`]).
 //!
-//! The measurement discipline matches Eq. 4: the *same* genuine randomness
-//! drives the honest and the attacked world (each user's report comes from
-//! an RNG stream derived from the user id), so per-target differences are
-//! caused by the fake users' uploads alone.
+//! Every function here is `#[deprecated]`: the engine expresses the same
+//! runs (bit for bit — pinned by `tests/scenario_equivalence.rs`) plus
+//! every combination these hand-wired pipelines could not. Migration map:
 //!
-//! Two modes:
-//! * [`run_lfgdpr_attack`] — exact: materializes the perturbed view twice.
-//!   Collection and aggregation both run over the shared parallel runtime
-//!   (`ldp_protocols::ingest` folds reports in batches; per-target
-//!   clustering calibration is chunk-parallel), so the exact mode scales
-//!   with cores while staying bit-deterministic.
-//! * [`run_sampled_degree_attack`] — analytic: samples target perturbed
-//!   degrees from their exact Binomial law, `O(r)` per world, usable at the
-//!   full 107k-node Gplus scale.
+//! | legacy call | builder equivalent |
+//! |-------------|--------------------|
+//! | `run_lfgdpr_attack(g, p, t, s, m, o, seed)` | `Scenario::on(*p).attack(attack_for(s, o)).metric(m.into()).threat(t.clone()).exact().seed(seed).run(g)` |
+//! | `run_lfgdpr_modularity_attack(g, p, t, s, part, o, seed)` | `Scenario::on(*p).attack(attack_for(s, o)).metric(Metric::Modularity).threat(t.clone()).partition(part).exact().seed(seed).run(g)` |
+//! | `run_sampled_degree_attack(g, p, t, s, seed)` | `Scenario::on(*p).attack(attack_for(s, Default::default())).metric(Metric::Degree).threat(t.clone()).sampled().seed(seed).run(g)` |
+//!
+//! The wrappers preserve the legacy panic-on-misuse contract by
+//! unwrapping the engine's typed [`crate::error::ScenarioError`]; new code
+//! should match on the `Result` instead.
 
+use crate::attack::attack_for;
 use crate::gain::AttackOutcome;
-use crate::knowledge::AttackerKnowledge;
-use crate::strategy::{craft_reports, AttackStrategy, MgaOptions, TargetMetric};
+use crate::scenario::Scenario;
+use crate::strategy::{AttackStrategy, MgaOptions, TargetMetric};
 use crate::threat::ThreatModel;
-use ldp_graph::{CsrGraph, Xoshiro256pp};
-use ldp_mechanisms::sampling::{sample_binomial, sample_distinct};
-use ldp_protocols::lfgdpr::{estimate_clustering_at, estimate_modularity, SampledDegreeModel};
-use ldp_protocols::LfGdpr;
-use rand::Rng;
-
-/// RNG stream tags, kept distinct from the per-user streams (user streams
-/// are derived from ids < 2^32).
-const STREAM_ATTACK: u64 = 0xA77A_C4ED_0000_0001;
+use ldp_graph::CsrGraph;
+use ldp_protocols::{LfGdpr, Metric};
 
 /// Runs one attack against LF-GDPR and returns per-target estimates in the
 /// honest and attacked worlds.
 ///
 /// # Panics
 /// Panics if `graph` does not have exactly `threat.n_genuine` nodes.
+#[deprecated(note = "use poison_core::scenario::Scenario (see module docs for the mapping)")]
 pub fn run_lfgdpr_attack(
     graph: &CsrGraph,
     protocol: &LfGdpr,
@@ -43,62 +39,25 @@ pub fn run_lfgdpr_attack(
     options: MgaOptions,
     seed: u64,
 ) -> AttackOutcome {
-    assert_eq!(
-        graph.num_nodes(),
-        threat.n_genuine,
-        "graph/threat population mismatch"
-    );
-    let extended = graph.with_isolated_nodes(threat.m_fake);
-    let base = Xoshiro256pp::new(seed);
-
-    // Honest world: every user (fake ones included, as isolated honest
-    // nodes) reports truthfully.
-    let mut reports = protocol.collect_honest(&extended, &base);
-    let view_before = protocol.aggregate(&reports);
-    let before = estimate_at_targets(&view_before, threat, metric);
-
-    // Attacked world: the fake tail is replaced by crafted reports.
-    let knowledge =
-        AttackerKnowledge::derive(protocol, threat.population(), graph.average_degree());
-    let mut attack_rng = base.derive(STREAM_ATTACK);
-    let crafted = craft_reports(
-        strategy,
-        metric,
-        protocol,
-        threat,
-        &knowledge,
-        options,
-        &mut attack_rng,
-    );
-    debug_assert_eq!(crafted.len(), threat.m_fake);
-    for (offset, report) in crafted.into_iter().enumerate() {
-        reports[threat.n_genuine + offset] = report;
-    }
-    let view_after = protocol.aggregate(&reports);
-    let after = estimate_at_targets(&view_after, threat, metric);
-
-    AttackOutcome::new(before, after)
-}
-
-fn estimate_at_targets(
-    view: &ldp_protocols::PerturbedView,
-    threat: &ThreatModel,
-    metric: TargetMetric,
-) -> Vec<f64> {
-    match metric {
-        TargetMetric::DegreeCentrality => threat
-            .targets
-            .iter()
-            .map(|&t| view.degree_centrality(t))
-            .collect(),
-        TargetMetric::ClusteringCoefficient => estimate_clustering_at(view, &threat.targets),
-    }
+    Scenario::on(*protocol)
+        .attack(attack_for(strategy, options))
+        .metric(metric.into())
+        .threat(threat.clone())
+        .exact()
+        .seed(seed)
+        .run(graph)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_single_outcome()
 }
 
 /// Runs one attack and measures *modularity* (a global metric, so the
 /// outcome has a single entry) given a partition of the genuine users.
 /// Fake users are assigned to communities round-robin, keeping community
 /// sizes balanced.
+///
+/// # Panics
+/// Panics on population or partition mismatches.
+#[deprecated(note = "use poison_core::scenario::Scenario (see module docs for the mapping)")]
 pub fn run_lfgdpr_modularity_attack(
     graph: &CsrGraph,
     protocol: &LfGdpr,
@@ -108,55 +67,26 @@ pub fn run_lfgdpr_modularity_attack(
     options: MgaOptions,
     seed: u64,
 ) -> AttackOutcome {
-    assert_eq!(
-        graph.num_nodes(),
-        threat.n_genuine,
-        "graph/threat population mismatch"
-    );
-    assert_eq!(
-        partition.len(),
-        threat.n_genuine,
-        "partition must cover genuine users"
-    );
-    let num_comms = partition.iter().copied().max().map_or(1, |c| c + 1);
-    let mut full_partition = partition.to_vec();
-    full_partition.extend((0..threat.m_fake).map(|i| i % num_comms));
-
-    let extended = graph.with_isolated_nodes(threat.m_fake);
-    let base = Xoshiro256pp::new(seed);
-    let mut reports = protocol.collect_honest(&extended, &base);
-    let view_before = protocol.aggregate(&reports);
-    let before = estimate_modularity(&view_before, &full_partition);
-
-    let knowledge =
-        AttackerKnowledge::derive(protocol, threat.population(), graph.average_degree());
-    let mut attack_rng = base.derive(STREAM_ATTACK);
-    // Modularity attacks reuse the clustering-coefficient crafting: the
-    // triangle-dense fake/target pattern is also what shifts community
-    // edge mass (paper Fig. 15 evaluates the same three strategies).
-    let crafted = craft_reports(
-        strategy,
-        TargetMetric::ClusteringCoefficient,
-        protocol,
-        threat,
-        &knowledge,
-        options,
-        &mut attack_rng,
-    );
-    for (offset, report) in crafted.into_iter().enumerate() {
-        reports[threat.n_genuine + offset] = report;
-    }
-    let view_after = protocol.aggregate(&reports);
-    let after = estimate_modularity(&view_after, &full_partition);
-
-    AttackOutcome::new(vec![before], vec![after])
+    Scenario::on(*protocol)
+        .attack(attack_for(strategy, options))
+        .metric(Metric::Modularity)
+        .threat(threat.clone())
+        .partition(partition)
+        .exact()
+        .seed(seed)
+        .run(graph)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_single_outcome()
 }
 
 /// Analytic degree-centrality evaluation: samples each target's perturbed
 /// degree from its exact distribution instead of materializing the `O(N²)`
 /// view. Valid for all three strategies (their degree-channel footprints
-/// are what differ). Cross-validated against [`run_lfgdpr_attack`] in the
-/// integration tests.
+/// are what differ).
+///
+/// # Panics
+/// Panics if `graph` does not have exactly `threat.n_genuine` nodes.
+#[deprecated(note = "use poison_core::scenario::Scenario (see module docs for the mapping)")]
 pub fn run_sampled_degree_attack(
     graph: &CsrGraph,
     protocol: &LfGdpr,
@@ -164,82 +94,23 @@ pub fn run_sampled_degree_attack(
     strategy: AttackStrategy,
     seed: u64,
 ) -> AttackOutcome {
-    assert_eq!(
-        graph.num_nodes(),
-        threat.n_genuine,
-        "graph/threat population mismatch"
-    );
-    let base = Xoshiro256pp::new(seed);
-    let mut rng = base.derive(STREAM_ATTACK);
-    let knowledge =
-        AttackerKnowledge::derive(protocol, threat.population(), graph.average_degree());
-    let model = SampledDegreeModel {
-        n_genuine: threat.n_genuine,
-        m_fake: threat.m_fake,
-        p_keep: protocol.p_keep(),
-    };
-
-    // Crafted fake→target edge counts per target, by strategy.
-    let r = threat.targets.len();
-    let budget = knowledge.connection_budget().min(threat.population() - 1);
-    let mut crafted = vec![0usize; r];
-    let mut perturbed_crafting = false;
-    match strategy {
-        AttackStrategy::Mga => {
-            let per_fake = r.min(budget);
-            if per_fake == r {
-                crafted = vec![threat.m_fake; r];
-            } else {
-                for _ in 0..threat.m_fake {
-                    for idx in sample_distinct(r, per_fake, &mut rng) {
-                        crafted[idx] += 1;
-                    }
-                }
-            }
-        }
-        AttackStrategy::Rva => {
-            // Each fake picks `budget` uniform nodes out of N−1; a given
-            // target is hit with probability budget/(N−1).
-            let p_hit = budget as f64 / (threat.population() as f64 - 1.0);
-            for c in crafted.iter_mut() {
-                *c = sample_binomial(threat.m_fake, p_hit, &mut rng);
-            }
-        }
-        AttackStrategy::Rna => {
-            perturbed_crafting = true;
-            for _ in 0..threat.m_fake {
-                crafted[rng.gen_range(0..r)] += 1;
-            }
-        }
-    }
-
-    let mut before = Vec::with_capacity(r);
-    let mut after = Vec::with_capacity(r);
-    for (idx, &t) in threat.targets.iter().enumerate() {
-        let d_true = graph.degree(t);
-        // Genuine-slot randomness is common to both worlds (those users'
-        // reports do not change); fake-slot randomness is independent per
-        // world, exactly as in the materialized pipeline where the honest
-        // fake reports and the crafted ones come from different streams.
-        let mut genuine_rng = base.derive(t as u64);
-        let genuine = model.sample_genuine_slots(d_true, &mut genuine_rng);
-        let mut honest_fake_rng = base.derive(t as u64 ^ 0x0BEF_0000_0000_0000);
-        let d_before = genuine + model.sample_fake_honest(&mut honest_fake_rng);
-        let crafted_t = crafted[idx].min(threat.m_fake);
-        let d_after = if perturbed_crafting {
-            let mut attack_fake_rng = base.derive(t as u64 ^ 0x0AF7_0000_0000_0000);
-            genuine + model.sample_fake_crafted_perturbed(crafted_t, &mut attack_fake_rng)
-        } else {
-            genuine + model.fake_crafted_unperturbed(crafted_t)
-        };
-        before.push(model.centrality(d_before));
-        after.push(model.centrality(d_after));
-    }
-    AttackOutcome::new(before, after)
+    Scenario::on(*protocol)
+        .attack(attack_for(strategy, MgaOptions::default()))
+        .metric(Metric::Degree)
+        .threat(threat.clone())
+        .sampled()
+        .seed(seed)
+        .run(graph)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_single_outcome()
 }
 
 /// Mean gain over `trials` independent runs (seeds `seed..seed+trials`),
 /// the quantity the paper's figures plot.
+#[deprecated(
+    note = "use poison_core::scenario::ScenarioBuilder::trials, which folds trials \
+            into one run (with the experiment runner's seed schedule)"
+)]
 pub fn mean_gain<F>(trials: u64, seed: u64, mut run: F) -> f64
 where
     F: FnMut(u64) -> AttackOutcome,
@@ -250,6 +121,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::threat::TargetSelection;

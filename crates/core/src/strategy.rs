@@ -1,6 +1,6 @@
 //! The three poisoning attacks of §IV-B, crafting LF-GDPR reports.
 //!
-//! Every strategy produces one [`UserReport`] per fake user. The crafted
+//! Every strategy produces one [`AdjacencyReport`] per fake user. The crafted
 //! bit vector covers the whole population; under the protocol's
 //! lower-triangle slot ownership, a fake user (id `≥ n`) is authoritative
 //! for every slot toward genuine users and toward lower-id fake users, so
@@ -18,7 +18,7 @@ use crate::knowledge::AttackerKnowledge;
 use crate::threat::ThreatModel;
 use ldp_graph::BitSet;
 use ldp_mechanisms::sampling::sample_distinct;
-use ldp_protocols::{LfGdpr, UserReport};
+use ldp_protocols::{AdjacencyReport, LfGdpr};
 use rand::Rng;
 
 /// Which graph metric the attack aims to distort.
@@ -111,7 +111,7 @@ pub fn craft_reports<R: Rng>(
     knowledge: &AttackerKnowledge,
     options: MgaOptions,
     rng: &mut R,
-) -> Vec<UserReport> {
+) -> Vec<AdjacencyReport> {
     match strategy {
         AttackStrategy::Rva => craft_rva(protocol, threat, knowledge, rng),
         AttackStrategy::Rna => craft_rna(protocol, threat, rng),
@@ -134,7 +134,7 @@ fn craft_rva<R: Rng>(
     threat: &ThreatModel,
     knowledge: &AttackerKnowledge,
     rng: &mut R,
-) -> Vec<UserReport> {
+) -> Vec<AdjacencyReport> {
     let population = threat.population();
     let budget = knowledge.connection_budget().min(population - 1);
     threat
@@ -147,7 +147,7 @@ fn craft_rva<R: Rng>(
                 bits.set(node);
             }
             let degree = rng.gen_range(0..=knowledge.degree_domain()) as f64;
-            UserReport::new(bits, degree)
+            AdjacencyReport::new(bits, degree)
         })
         .collect()
 }
@@ -155,7 +155,7 @@ fn craft_rva<R: Rng>(
 /// RNA (§V, §VI): each fake user crafts a single edge to one random target
 /// and then runs the genuine LDP pipeline over it: RR on the bit vector,
 /// Laplace on the degree.
-fn craft_rna<R: Rng>(protocol: &LfGdpr, threat: &ThreatModel, rng: &mut R) -> Vec<UserReport> {
+fn craft_rna<R: Rng>(protocol: &LfGdpr, threat: &ThreatModel, rng: &mut R) -> Vec<AdjacencyReport> {
     let population = threat.population();
     threat
         .fake_ids()
@@ -166,7 +166,7 @@ fn craft_rna<R: Rng>(protocol: &LfGdpr, threat: &ThreatModel, rng: &mut R) -> Ve
             let degree = protocol
                 .laplace()
                 .perturb_degree(1.0, (population - 1) as f64, rng);
-            UserReport::new(bits, degree)
+            AdjacencyReport::new(bits, degree)
         })
         .collect()
 }
@@ -181,7 +181,7 @@ fn craft_mga_degree<R: Rng>(
     knowledge: &AttackerKnowledge,
     options: MgaOptions,
     rng: &mut R,
-) -> Vec<UserReport> {
+) -> Vec<AdjacencyReport> {
     let population = threat.population();
     let budget = options.effective_budget(knowledge, population);
     let per_fake_targets = threat.targets.len().min(budget);
@@ -206,7 +206,7 @@ fn craft_mga_degree<R: Rng>(
                 (population - 1) as f64,
                 rng,
             );
-            UserReport::new(bits, degree)
+            AdjacencyReport::new(bits, degree)
         })
         .collect()
 }
@@ -223,7 +223,7 @@ fn craft_mga_clustering<R: Rng>(
     knowledge: &AttackerKnowledge,
     options: MgaOptions,
     rng: &mut R,
-) -> Vec<UserReport> {
+) -> Vec<AdjacencyReport> {
     let population = threat.population();
     let budget = options.effective_budget(knowledge, population);
     let m = threat.m_fake;
@@ -273,7 +273,7 @@ fn craft_mga_clustering<R: Rng>(
                 (population - 1) as f64,
                 rng,
             );
-            UserReport::new(bits, degree)
+            AdjacencyReport::new(bits, degree)
         })
         .collect()
 }

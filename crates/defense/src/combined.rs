@@ -6,8 +6,8 @@
 
 use crate::detect1::FrequentItemsetDefense;
 use crate::detect2::DegreeConsistencyDefense;
-use crate::pipeline::{DefenseApplication, GraphDefense};
-use ldp_protocols::{LfGdpr, UserReport};
+use ldp_protocols::{AdjacencyReport, LfGdpr};
+use poison_core::{Defense, DefenseApplication};
 
 /// Detect2 followed by Detect1.
 #[derive(Debug, Clone, Copy)]
@@ -28,19 +28,41 @@ impl CombinedDefense {
     }
 }
 
-impl GraphDefense for CombinedDefense {
+impl Defense for CombinedDefense {
     fn name(&self) -> &'static str {
         "Detect1+Detect2"
     }
 
-    fn apply(
+    /// Score = elementwise max of the two stages' scores, each normalized
+    /// by its population maximum (the scales are incommensurable: pair
+    /// counts vs. degree discrepancies).
+    fn score_users(&self, reports: &[AdjacencyReport], protocol: &LfGdpr) -> Vec<f64> {
+        let normalize = |mut scores: Vec<f64>| {
+            let max = scores.iter().copied().fold(0.0f64, f64::max);
+            if max > 0.0 {
+                for s in &mut scores {
+                    *s /= max;
+                }
+            }
+            scores
+        };
+        let degree = normalize(self.degree.score_users(reports, protocol));
+        let itemset = normalize(self.itemset.score_users(reports, protocol));
+        degree
+            .into_iter()
+            .zip(itemset)
+            .map(|(a, b)| a.max(b))
+            .collect()
+    }
+
+    fn filter_reports(
         &self,
-        reports: &[UserReport],
+        reports: &[AdjacencyReport],
         protocol: &LfGdpr,
         rng: &mut dyn rand::RngCore,
     ) -> DefenseApplication {
-        let first = self.degree.apply(reports, protocol, rng);
-        let second = self.itemset.apply(&first.repaired, protocol, rng);
+        let first = self.degree.filter_reports(reports, protocol, rng);
+        let second = self.itemset.filter_reports(&first.repaired, protocol, rng);
         let flagged: Vec<bool> = first
             .flagged
             .iter()
@@ -65,7 +87,7 @@ mod tests {
 
     /// Build a population poisoned by BOTH attack styles: half the fakes
     /// run RVA (inconsistent degree), half run MGA (shared pattern).
-    fn mixed_poisoned() -> (Vec<UserReport>, LfGdpr, usize, usize) {
+    fn mixed_poisoned() -> (Vec<AdjacencyReport>, LfGdpr, usize, usize) {
         let graph = Dataset::Facebook.generate_with_nodes(400, 51);
         let protocol = LfGdpr::new(4.0).unwrap();
         let threat = ThreatModel::explicit(400, 20, (0..20).collect());
@@ -107,11 +129,12 @@ mod tests {
         let (reports, protocol, n_genuine, m_fake) = mixed_poisoned();
         let count_fakes = |flags: &[bool]| flags[n_genuine..].iter().filter(|&&f| f).count();
         let mut rng = Xoshiro256pp::new(53);
-        let combined = CombinedDefense::new(40).apply(&reports, &protocol, &mut rng);
+        let combined = CombinedDefense::new(40).filter_reports(&reports, &protocol, &mut rng);
         let mut rng = Xoshiro256pp::new(53);
-        let d1_only = FrequentItemsetDefense::new(40).apply(&reports, &protocol, &mut rng);
+        let d1_only = FrequentItemsetDefense::new(40).filter_reports(&reports, &protocol, &mut rng);
         let mut rng = Xoshiro256pp::new(53);
-        let d2_only = DegreeConsistencyDefense::default().apply(&reports, &protocol, &mut rng);
+        let d2_only =
+            DegreeConsistencyDefense::default().filter_reports(&reports, &protocol, &mut rng);
         let c = count_fakes(&combined.flagged);
         let a = count_fakes(&d1_only.flagged);
         let b = count_fakes(&d2_only.flagged);
@@ -127,7 +150,7 @@ mod tests {
     fn combined_flag_vector_is_union() {
         let (reports, protocol, _, _) = mixed_poisoned();
         let mut rng = Xoshiro256pp::new(54);
-        let combined = CombinedDefense::new(40).apply(&reports, &protocol, &mut rng);
+        let combined = CombinedDefense::new(40).filter_reports(&reports, &protocol, &mut rng);
         assert_eq!(combined.flagged.len(), reports.len());
         assert_eq!(combined.repaired.len(), reports.len());
     }
@@ -139,7 +162,7 @@ mod tests {
         let base = Xoshiro256pp::new(56);
         let reports = protocol.collect_honest(&graph, &base);
         let mut rng = Xoshiro256pp::new(57);
-        let app = CombinedDefense::new(10_000).apply(&reports, &protocol, &mut rng);
+        let app = CombinedDefense::new(10_000).filter_reports(&reports, &protocol, &mut rng);
         assert!(app.flagged.iter().all(|&f| !f));
     }
 }

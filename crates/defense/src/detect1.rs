@@ -9,9 +9,9 @@
 //! (step 3 of §VII-A, the difference from Cao et al.'s removal).
 
 use crate::apriori::{apriori, contained_pairs};
-use crate::pipeline::{DefenseApplication, GraphDefense};
 use ldp_graph::BitSet;
-use ldp_protocols::{LfGdpr, UserReport};
+use ldp_protocols::{AdjacencyReport, LfGdpr};
+use poison_core::{Defense, DefenseApplication};
 
 /// Configuration of the frequent-itemset defense.
 #[derive(Debug, Clone, Copy)]
@@ -38,7 +38,7 @@ impl FrequentItemsetDefense {
         }
     }
 
-    fn resolve_min_support(&self, reports: &[UserReport]) -> usize {
+    fn resolve_min_support(&self, reports: &[AdjacencyReport]) -> usize {
         if let Some(s) = self.min_support {
             return s;
         }
@@ -56,14 +56,27 @@ impl FrequentItemsetDefense {
     }
 }
 
-impl GraphDefense for FrequentItemsetDefense {
+impl Defense for FrequentItemsetDefense {
     fn name(&self) -> &'static str {
         "Detect1"
     }
 
-    fn apply(
+    /// Score = number of frequent pairs a report contains (the quantity
+    /// the flag threshold cuts).
+    fn score_users(&self, reports: &[AdjacencyReport], _protocol: &LfGdpr) -> Vec<f64> {
+        let transactions: Vec<BitSet> = reports.iter().map(|r| r.bits.clone()).collect();
+        let min_support = self.resolve_min_support(reports);
+        let mined = apriori(&transactions, min_support, 2);
+        let pairs = mined.frequent_pairs();
+        reports
+            .iter()
+            .map(|r| contained_pairs(&r.bits, pairs) as f64)
+            .collect()
+    }
+
+    fn filter_reports(
         &self,
-        reports: &[UserReport],
+        reports: &[AdjacencyReport],
         _protocol: &LfGdpr,
         _rng: &mut dyn rand::RngCore,
     ) -> DefenseApplication {
@@ -81,7 +94,7 @@ impl GraphDefense for FrequentItemsetDefense {
         // Reconstruction: a flagged user's slots are re-derived from the
         // *other* endpoint's (original) report — the genuine side perturbed
         // honestly, so its claim is the best available evidence.
-        let mut repaired: Vec<UserReport> = reports.to_vec();
+        let mut repaired: Vec<AdjacencyReport> = reports.to_vec();
         for (f, report) in repaired.iter_mut().enumerate() {
             if !flagged[f] {
                 continue;
@@ -113,7 +126,7 @@ mod tests {
         m_fake: usize,
         targets: &[usize],
         seed: u64,
-    ) -> Vec<UserReport> {
+    ) -> Vec<AdjacencyReport> {
         let n = n_genuine + m_fake;
         let rr = RandomizedResponse::from_keep_probability(0.9).unwrap();
         let mut rng = Xoshiro256pp::new(seed);
@@ -122,7 +135,7 @@ mod tests {
             let truth = BitSet::new(n);
             let bits = rr.perturb_bitset(&truth, Some(i), &mut rng);
             let degree = bits.count_ones() as f64;
-            reports.push(UserReport::new(bits, degree));
+            reports.push(AdjacencyReport::new(bits, degree));
         }
         for _ in 0..m_fake {
             let mut bits = BitSet::from_indices(n, targets.iter().copied());
@@ -131,7 +144,7 @@ mod tests {
                 bits.set(rng.gen_range(0..n));
             }
             let degree = bits.count_ones() as f64;
-            reports.push(UserReport::new(bits, degree));
+            reports.push(AdjacencyReport::new(bits, degree));
         }
         reports
     }
@@ -142,7 +155,7 @@ mod tests {
         let reports = poisoned_population(200, 20, &targets, 1);
         let protocol = LfGdpr::new(4.0).unwrap();
         let defense = FrequentItemsetDefense::new(10);
-        let result = defense.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let result = defense.filter_reports(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
         let fake_flagged = result.flagged[200..].iter().filter(|&&f| f).count();
         let genuine_flagged = result.flagged[..200].iter().filter(|&&f| f).count();
         assert!(
@@ -161,7 +174,7 @@ mod tests {
         let reports = poisoned_population(100, 10, &targets, 2);
         let protocol = LfGdpr::new(4.0).unwrap();
         let defense = FrequentItemsetDefense::new(usize::MAX - 1);
-        let result = defense.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let result = defense.filter_reports(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
         assert!(result.flagged.iter().all(|&f| !f));
         // Untouched reports.
         for (orig, rep) in reports.iter().zip(&result.repaired) {
@@ -178,9 +191,9 @@ mod tests {
         // 0 and 1.
         let n = 3;
         let reports = vec![
-            UserReport::new(BitSet::from_indices(n, [2usize]), 1.0), // 0 claims 2
-            UserReport::new(BitSet::from_indices(n, [] as [usize; 0]), 0.0),
-            UserReport::new(BitSet::from_indices(n, [0usize, 1]), 2.0),
+            AdjacencyReport::new(BitSet::from_indices(n, [2usize]), 1.0), // 0 claims 2
+            AdjacencyReport::new(BitSet::from_indices(n, [] as [usize; 0]), 0.0),
+            AdjacencyReport::new(BitSet::from_indices(n, [0usize, 1]), 2.0),
         ];
         let protocol = LfGdpr::new(4.0).unwrap();
         // min_support=1 makes everything frequent; threshold 0 flags the
@@ -189,7 +202,7 @@ mod tests {
             min_support: Some(1),
             flag_threshold: 0,
         };
-        let result = defense.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let result = defense.filter_reports(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
         assert!(result.flagged[2]);
         // Rebuilt from others: only user 0 claimed an edge to 2.
         assert_eq!(result.repaired[2].bits.to_indices(), vec![0]);

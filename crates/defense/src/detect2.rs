@@ -8,11 +8,11 @@
 //! with `σ` the Laplace standard deviation (`k = 3` in the paper), then
 //! removes the flagged users' claimed connections — implemented as
 //! substituting a null-perturbation row, which keeps the population's
-//! noise calibration intact (see [`GraphDefense`]).
+//! noise calibration intact (see [`poison_core::Defense`]).
 
-use crate::pipeline::{DefenseApplication, GraphDefense};
 use ldp_graph::BitSet;
-use ldp_protocols::{LfGdpr, UserReport};
+use ldp_protocols::{AdjacencyReport, LfGdpr};
+use poison_core::{Defense, DefenseApplication};
 
 /// Configuration of the degree-consistency defense.
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +32,7 @@ impl Default for DegreeConsistencyDefense {
 
 impl DegreeConsistencyDefense {
     /// The calibrated degree implied by a report's bit vector.
-    fn calibrated_bit_degree(report: &UserReport, protocol: &LfGdpr) -> f64 {
+    fn calibrated_bit_degree(report: &AdjacencyReport, protocol: &LfGdpr) -> f64 {
         let n = report.population() as f64;
         protocol
             .rr()
@@ -40,14 +40,23 @@ impl DegreeConsistencyDefense {
     }
 }
 
-impl GraphDefense for DegreeConsistencyDefense {
+impl Defense for DegreeConsistencyDefense {
     fn name(&self) -> &'static str {
         "Detect2"
     }
 
-    fn apply(
+    /// Score = channel discrepancy `|reported − calibrated bit degree|`
+    /// (the quantity the `max + k·σ` threshold cuts).
+    fn score_users(&self, reports: &[AdjacencyReport], protocol: &LfGdpr) -> Vec<f64> {
+        reports
+            .iter()
+            .map(|r| (r.degree - Self::calibrated_bit_degree(r, protocol).max(0.0)).abs())
+            .collect()
+    }
+
+    fn filter_reports(
         &self,
-        reports: &[UserReport],
+        reports: &[AdjacencyReport],
         protocol: &LfGdpr,
         mut rng: &mut dyn rand::RngCore,
     ) -> DefenseApplication {
@@ -69,7 +78,7 @@ impl GraphDefense for DegreeConsistencyDefense {
         // aggregate (restoring genuine nodes' degrees, §VII-B step 3). The
         // row is re-drawn as an RR pass over an empty neighborhood so the
         // slots still carry the mechanism noise calibration assumes.
-        let mut repaired: Vec<UserReport> = reports.to_vec();
+        let mut repaired: Vec<AdjacencyReport> = reports.to_vec();
         for (f, report) in repaired.iter_mut().enumerate() {
             if flagged[f] {
                 let n = report.population();
@@ -97,7 +106,7 @@ mod tests {
         let protocol = LfGdpr::new(4.0).unwrap();
         let base = Xoshiro256pp::new(1);
         let reports = protocol.collect_honest(&g, &base);
-        let result = DegreeConsistencyDefense::default().apply(
+        let result = DegreeConsistencyDefense::default().filter_reports(
             &reports,
             &protocol,
             &mut Xoshiro256pp::new(0xD0),
@@ -122,9 +131,9 @@ mod tests {
             for _ in 0..10 {
                 bits.set(rng.gen_range(0..n));
             }
-            *report = UserReport::new(bits, (n - 1) as f64);
+            *report = AdjacencyReport::new(bits, (n - 1) as f64);
         }
-        let result = DegreeConsistencyDefense::default().apply(
+        let result = DegreeConsistencyDefense::default().filter_reports(
             &reports,
             &protocol,
             &mut Xoshiro256pp::new(0xD0),
@@ -159,8 +168,8 @@ mod tests {
         let harsh = DegreeConsistencyDefense {
             sigma_multiplier: -1000.0,
         };
-        let strict = harsh.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
-        let lenient = DegreeConsistencyDefense::default().apply(
+        let strict = harsh.filter_reports(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let lenient = DegreeConsistencyDefense::default().filter_reports(
             &reports,
             &protocol,
             &mut Xoshiro256pp::new(0xD0),

@@ -1,7 +1,10 @@
 //! # poison-defense
 //!
 //! The two countermeasures of paper §VII against graph-LDP poisoning,
-//! their naive baselines, and the defended evaluation pipeline:
+//! their naive baselines, and their composition — all implementing the
+//! unified [`Defense`] trait (`filter_reports`/`score_users`), so every
+//! one of them plugs into the scenario engine's
+//! `Scenario::on(protocol).attack(…).defend(…)` builder:
 //!
 //! * [`apriori`] — a from-scratch Apriori frequent-itemset miner over
 //!   adjacency bit vectors (transactions = reported one-sets).
@@ -16,8 +19,10 @@
 //! * [`naive`] — the paper's comparison baselines: Naive1 flags the top 3%
 //!   highest-degree nodes; Naive2 flags the top and bottom 3% of the
 //!   reported-degree distribution.
-//! * [`pipeline`] — `run_defended_attack`: honest clean baseline vs.
-//!   attacked-then-defended estimates, the quantity Figs. 12–13 plot.
+//! * [`combined`] — Detect2 then Detect1, flags unioned (an extension
+//!   beyond the paper).
+//! * [`pipeline`] — the deprecated [`GraphDefense`] trait and
+//!   `run_defended_attack` wrapper, kept for one PR.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,4 +38,8 @@ pub use combined::CombinedDefense;
 pub use detect1::FrequentItemsetDefense;
 pub use detect2::DegreeConsistencyDefense;
 pub use naive::{NaiveDegreeTails, NaiveTopDegree};
-pub use pipeline::{run_defended_attack, DefenseOutcome, GraphDefense};
+pub use pipeline::DefenseOutcome;
+pub use poison_core::{Defense, DefenseApplication};
+
+#[allow(deprecated)]
+pub use pipeline::{run_defended_attack, GraphDefense};

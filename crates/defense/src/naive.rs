@@ -5,9 +5,9 @@
 //! * **Naive2** (vs. Detect2, Fig. 12b): flag the top *and* bottom 3% of
 //!   the reported-degree distribution and remove their connections.
 
-use crate::pipeline::{DefenseApplication, GraphDefense};
 use ldp_graph::BitSet;
-use ldp_protocols::{LfGdpr, UserReport};
+use ldp_protocols::{AdjacencyReport, LfGdpr};
+use poison_core::{Defense, DefenseApplication};
 
 /// Naive1: degree-rank flagging with reconstruction.
 #[derive(Debug, Clone, Copy)]
@@ -22,14 +22,20 @@ impl Default for NaiveTopDegree {
     }
 }
 
-impl GraphDefense for NaiveTopDegree {
+impl Defense for NaiveTopDegree {
     fn name(&self) -> &'static str {
         "Naive1"
     }
 
-    fn apply(
+    /// Score = claimed bit-vector degree (the rank the top fraction is
+    /// cut from).
+    fn score_users(&self, reports: &[AdjacencyReport], _protocol: &LfGdpr) -> Vec<f64> {
+        reports.iter().map(|r| r.bit_degree() as f64).collect()
+    }
+
+    fn filter_reports(
         &self,
-        reports: &[UserReport],
+        reports: &[AdjacencyReport],
         _protocol: &LfGdpr,
         _rng: &mut dyn rand::RngCore,
     ) -> DefenseApplication {
@@ -41,7 +47,7 @@ impl GraphDefense for NaiveTopDegree {
         for &i in order.iter().take(k) {
             flagged[i] = true;
         }
-        let mut repaired: Vec<UserReport> = reports.to_vec();
+        let mut repaired: Vec<AdjacencyReport> = reports.to_vec();
         for (f, report) in repaired.iter_mut().enumerate() {
             if !flagged[f] {
                 continue;
@@ -72,14 +78,26 @@ impl Default for NaiveDegreeTails {
     }
 }
 
-impl GraphDefense for NaiveDegreeTails {
+impl Defense for NaiveDegreeTails {
     fn name(&self) -> &'static str {
         "Naive2"
     }
 
-    fn apply(
+    /// Score = distance of the reported degree from the population median
+    /// (both tails rank high).
+    fn score_users(&self, reports: &[AdjacencyReport], _protocol: &LfGdpr) -> Vec<f64> {
+        if reports.is_empty() {
+            return Vec::new();
+        }
+        let mut degrees: Vec<f64> = reports.iter().map(|r| r.degree).collect();
+        degrees.sort_by(f64::total_cmp);
+        let median = degrees[degrees.len() / 2];
+        reports.iter().map(|r| (r.degree - median).abs()).collect()
+    }
+
+    fn filter_reports(
         &self,
-        reports: &[UserReport],
+        reports: &[AdjacencyReport],
         protocol: &LfGdpr,
         mut rng: &mut dyn rand::RngCore,
     ) -> DefenseApplication {
@@ -94,7 +112,7 @@ impl GraphDefense for NaiveDegreeTails {
         for &i in order.iter().rev().take(k) {
             flagged[i] = true;
         }
-        let mut repaired: Vec<UserReport> = reports.to_vec();
+        let mut repaired: Vec<AdjacencyReport> = reports.to_vec();
         for (f, report) in repaired.iter_mut().enumerate() {
             if flagged[f] {
                 let empty = BitSet::new(report.population());
@@ -115,7 +133,7 @@ mod tests {
     use super::*;
     use ldp_graph::Xoshiro256pp;
 
-    fn population(degrees: &[f64]) -> Vec<UserReport> {
+    fn population(degrees: &[f64]) -> Vec<AdjacencyReport> {
         let n = degrees.len();
         degrees
             .iter()
@@ -124,7 +142,7 @@ mod tests {
                 // Give user i a bit vector with `i` claimed edges so the
                 // bit-degree ranking is deterministic.
                 let bits = BitSet::from_indices(n, (0..i.min(n - 1)).map(|j| (j + i + 1) % n));
-                UserReport::new(bits, d)
+                AdjacencyReport::new(bits, d)
             })
             .collect()
     }
@@ -134,7 +152,7 @@ mod tests {
         let reports = population(&[0.0; 100]);
         let protocol = LfGdpr::new(4.0).unwrap();
         let defense = NaiveTopDegree { fraction: 0.05 };
-        let result = defense.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let result = defense.filter_reports(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
         let count = result.flagged.iter().filter(|&&f| f).count();
         assert_eq!(count, 5);
         // The largest bit vectors belong to the highest indices.
@@ -149,7 +167,7 @@ mod tests {
         let reports = population(&degrees);
         let protocol = LfGdpr::new(4.0).unwrap();
         let defense = NaiveDegreeTails { fraction: 0.03 };
-        let result = defense.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let result = defense.filter_reports(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
         let count = result.flagged.iter().filter(|&&f| f).count();
         assert_eq!(count, 6);
         for i in [0, 1, 2, 97, 98, 99] {
@@ -166,12 +184,12 @@ mod tests {
     fn zero_fraction_flags_nobody() {
         let reports = population(&[1.0; 50]);
         let protocol = LfGdpr::new(4.0).unwrap();
-        let r1 = NaiveTopDegree { fraction: 0.0 }.apply(
+        let r1 = NaiveTopDegree { fraction: 0.0 }.filter_reports(
             &reports,
             &protocol,
             &mut Xoshiro256pp::new(0xD0),
         );
-        let r2 = NaiveDegreeTails { fraction: 0.0 }.apply(
+        let r2 = NaiveDegreeTails { fraction: 0.0 }.filter_reports(
             &reports,
             &protocol,
             &mut Xoshiro256pp::new(0xD0),

@@ -1,47 +1,89 @@
-//! Defended attack evaluation — the pipeline behind Figs. 12–13.
+//! Legacy defended-evaluation entry point and the deprecated
+//! [`GraphDefense`] trait, kept for one PR as thin wrappers over the
+//! scenario engine.
 //!
-//! The measured quantity is `Σ_t |f̃(attacked, defended) − f̃(honest)|`:
-//! the defense is applied to the attacked upload set, and the result is
-//! compared against the *clean* honest baseline. A perfect defense drives
-//! the gain to the honest-noise floor; an over-eager one (low Detect1
-//! threshold) distorts genuine reports and pushes the gain back up — the
-//! U-shape of Fig. 12a.
+//! The primary abstraction is now [`poison_core::Defense`]
+//! (`filter_reports`/`score_users`), which every countermeasure in this
+//! crate implements; a blanket impl keeps old `GraphDefense::apply` call
+//! sites compiling. Migration map:
+//!
+//! | legacy call | builder equivalent |
+//! |-------------|--------------------|
+//! | `run_defended_attack(g, p, t, s, m, &defense, o, seed)` | `Scenario::on(*p).attack(attack_for(s, o)).metric(m.into()).defend(defense).threat(t.clone()).exact().seed(seed).run(g)` |
+//!
+//! The measured quantity is unchanged (Figs. 12–13):
+//! `Σ_t |f̃(attacked, defended) − f̃(honest)|` — the defense is applied to
+//! the attacked upload set, and the result is compared against the *clean*
+//! honest baseline. A perfect defense drives the gain to the honest-noise
+//! floor; an over-eager one distorts genuine reports and pushes the gain
+//! back up — the U-shape of Fig. 12a.
 
 use ldp_graph::CsrGraph;
-use ldp_graph::Xoshiro256pp;
-use ldp_protocols::lfgdpr::estimate_clustering_at;
-use ldp_protocols::{LfGdpr, UserReport};
+use ldp_protocols::{AdjacencyReport, LfGdpr, Metric};
 use poison_core::gain::AttackOutcome;
-use poison_core::strategy::{craft_reports, MgaOptions};
-use poison_core::{AttackStrategy, AttackerKnowledge, TargetMetric, ThreatModel};
-
-/// What a defense did to one upload set.
-#[derive(Debug, Clone)]
-pub struct DefenseApplication {
-    /// The repaired reports the server aggregates instead.
-    pub repaired: Vec<UserReport>,
-    /// Which users were flagged as fake.
-    pub flagged: Vec<bool>,
-}
+use poison_core::scenario::Scenario;
+use poison_core::strategy::MgaOptions;
+use poison_core::{
+    attack_for, AttackStrategy, Defense, DefenseApplication, TargetMetric, ThreatModel,
+};
 
 /// A server-side countermeasure operating on the collected reports.
 ///
-/// `rng` supplies server-side randomness for repairs that *neutralize* a
-/// flagged user by substituting a null-perturbation draw (an RR pass over
-/// an empty neighborhood). Plain deletion would bias every downstream
-/// calibration: all `N` rows are assumed to carry mechanism noise, and a
-/// zeroed row removes noise the estimators correct for, creating a deficit
-/// larger than the attack itself on sparse graphs.
+/// Superseded by [`poison_core::Defense`]; every `Defense` automatically
+/// implements this trait, so existing `&dyn GraphDefense` call sites keep
+/// working for one PR.
+#[deprecated(note = "use poison_core::Defense (filter_reports/score_users)")]
 pub trait GraphDefense {
     /// Display name (as used in the paper's figures).
     fn name(&self) -> &'static str;
     /// Flags suspicious reports and repairs the upload set.
     fn apply(
         &self,
-        reports: &[UserReport],
+        reports: &[AdjacencyReport],
         protocol: &LfGdpr,
         rng: &mut dyn rand::RngCore,
     ) -> DefenseApplication;
+}
+
+#[allow(deprecated)]
+impl<T: Defense> GraphDefense for T {
+    fn name(&self) -> &'static str {
+        Defense::name(self)
+    }
+
+    fn apply(
+        &self,
+        reports: &[AdjacencyReport],
+        protocol: &LfGdpr,
+        rng: &mut dyn rand::RngCore,
+    ) -> DefenseApplication {
+        self.filter_reports(reports, protocol, rng)
+    }
+}
+
+/// Adapter lending a legacy `&dyn GraphDefense` to the scenario engine.
+#[allow(deprecated)]
+struct LegacyDefense<'a>(&'a dyn GraphDefense);
+
+#[allow(deprecated)]
+impl Defense for LegacyDefense<'_> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn score_users(&self, reports: &[AdjacencyReport], _protocol: &LfGdpr) -> Vec<f64> {
+        // The legacy trait exposes no scores — flags only.
+        vec![0.0; reports.len()]
+    }
+
+    fn filter_reports(
+        &self,
+        reports: &[AdjacencyReport],
+        protocol: &LfGdpr,
+        rng: &mut dyn rand::RngCore,
+    ) -> DefenseApplication {
+        self.0.apply(reports, protocol, rng)
+    }
 }
 
 /// The outcome of one defended run.
@@ -81,7 +123,13 @@ impl DefenseOutcome {
 
 /// Runs attack → defense → estimation, with the same common-random-numbers
 /// discipline as the undefended pipeline.
-#[allow(clippy::too_many_arguments)] // mirrors the undefended pipeline + defense
+///
+/// # Panics
+/// Panics if `graph` does not have exactly `threat.n_genuine` nodes.
+#[allow(deprecated)]
+#[allow(clippy::too_many_arguments)] // mirrors the legacy signature it wraps
+#[deprecated(note = "use poison_core::scenario::Scenario with .defend(...) \
+                     (see module docs for the mapping)")]
 pub fn run_defended_attack(
     graph: &CsrGraph,
     protocol: &LfGdpr,
@@ -92,81 +140,31 @@ pub fn run_defended_attack(
     options: MgaOptions,
     seed: u64,
 ) -> DefenseOutcome {
-    assert_eq!(
-        graph.num_nodes(),
-        threat.n_genuine,
-        "graph/threat population mismatch"
-    );
-    let extended = graph.with_isolated_nodes(threat.m_fake);
-    let base = Xoshiro256pp::new(seed);
-
-    // Clean honest baseline (no attack, no defense).
-    let mut reports = protocol.collect_honest(&extended, &base);
-    let view_clean = protocol.aggregate(&reports);
-    let before = match metric {
-        TargetMetric::DegreeCentrality => threat
-            .targets
-            .iter()
-            .map(|&t| view_clean.degree_centrality(t))
-            .collect(),
-        TargetMetric::ClusteringCoefficient => estimate_clustering_at(&view_clean, &threat.targets),
-    };
-
-    // Attack.
-    let knowledge =
-        AttackerKnowledge::derive(protocol, threat.population(), graph.average_degree());
-    let mut attack_rng = base.derive(0xA77A_C4ED_0000_0001);
-    let crafted = craft_reports(
-        strategy,
-        metric,
-        protocol,
-        threat,
-        &knowledge,
-        options,
-        &mut attack_rng,
-    );
-    for (offset, report) in crafted.into_iter().enumerate() {
-        reports[threat.n_genuine + offset] = report;
-    }
-
-    // Defense.
-    let mut defense_rng = base.derive(0xDEFE_2E00_0000_0001);
-    let application = defense.apply(&reports, protocol, &mut defense_rng);
-    let flagged_fake = application.flagged[threat.n_genuine..]
-        .iter()
-        .filter(|&&f| f)
-        .count();
-    let flagged_genuine = application.flagged[..threat.n_genuine]
-        .iter()
-        .filter(|&&f| f)
-        .count();
-
-    // Estimation on the repaired uploads.
-    let view_defended = protocol.aggregate(&application.repaired);
-    let after = match metric {
-        TargetMetric::DegreeCentrality => threat
-            .targets
-            .iter()
-            .map(|&t| view_defended.degree_centrality(t))
-            .collect(),
-        TargetMetric::ClusteringCoefficient => {
-            estimate_clustering_at(&view_defended, &threat.targets)
-        }
-    };
-
+    let report = Scenario::on(*protocol)
+        .attack(attack_for(strategy, options))
+        .metric(Metric::from(metric))
+        .defend(LegacyDefense(defense))
+        .threat(threat.clone())
+        .exact()
+        .seed(seed)
+        .run(graph)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let trial = &report.trials[0];
     DefenseOutcome {
-        outcome: AttackOutcome::new(before, after),
-        flagged_fake,
-        flagged_genuine,
+        flagged_fake: trial.flagged_fake.unwrap_or(0),
+        flagged_genuine: trial.flagged_genuine.unwrap_or(0),
+        outcome: trial.outcome.clone(),
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::detect1::FrequentItemsetDefense;
     use crate::detect2::DegreeConsistencyDefense;
     use ldp_graph::datasets::Dataset;
+    use ldp_graph::Xoshiro256pp;
     use poison_core::pipeline::run_lfgdpr_attack;
     use poison_core::TargetSelection;
 

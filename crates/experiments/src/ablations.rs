@@ -14,17 +14,39 @@
 
 use crate::config::{defaults, ExperimentConfig};
 use crate::output::Figure;
-use crate::runner::mean_gain_over_trials;
 use ldp_graph::datasets::Dataset;
 use ldp_graph::metrics::local_clustering_coefficients;
 use ldp_graph::Xoshiro256pp;
 use ldp_protocols::lfgdpr::{estimate_clustering_with, DegreeSource};
-use ldp_protocols::LfGdpr;
+use ldp_protocols::{LfGdpr, Metric};
+use poison_core::scenario::Scenario;
 use poison_core::{
-    craft_reports, run_lfgdpr_attack, AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric,
-    TargetSelection, ThreatModel,
+    craft_reports, AttackStrategy, AttackerKnowledge, Defense, Mga, MgaOptions, ScenarioError,
+    TargetMetric, TargetSelection, ThreatModel,
 };
-use poison_defense::{FrequentItemsetDefense, GraphDefense};
+use poison_defense::FrequentItemsetDefense;
+
+/// Mean MGA gain through the scenario engine (exact mode, runner seed
+/// schedule).
+fn mga_mean_gain(
+    cfg: &ExperimentConfig,
+    graph: &ldp_graph::CsrGraph,
+    protocol: &LfGdpr,
+    threat: &ThreatModel,
+    metric: Metric,
+    options: MgaOptions,
+    seed: u64,
+) -> Result<f64, ScenarioError> {
+    Ok(Scenario::on(*protocol)
+        .attack(Mga::new(options))
+        .metric(metric)
+        .threat(threat.clone())
+        .exact()
+        .trials(cfg.trials)
+        .seed(seed)
+        .run(graph)?
+        .mean_gain())
+}
 
 fn setup(cfg: &ExperimentConfig) -> (ldp_graph::CsrGraph, LfGdpr, ThreatModel) {
     let graph = cfg.graph_for(Dataset::Facebook);
@@ -44,7 +66,10 @@ fn setup(cfg: &ExperimentConfig) -> (ldp_graph::CsrGraph, LfGdpr, ThreatModel) {
 /// centrality). The cap only matters when `⌊d̃⌋ < r`, so this ablation
 /// runs at ε = 8 (smallest budget) with γ = 0.25 (largest target set) —
 /// the regime where stealth costs the attacker real gain.
-pub fn budget_cap_ablation(cfg: &ExperimentConfig) -> Figure {
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn budget_cap_ablation(cfg: &ExperimentConfig) -> Result<Figure, ScenarioError> {
     let graph = cfg.graph_for(Dataset::Facebook);
     let protocol = LfGdpr::new(8.0).expect("epsilon 8 valid");
     let mut rng = Xoshiro256pp::new(cfg.seed ^ 0xAB1);
@@ -55,18 +80,16 @@ pub fn budget_cap_ablation(cfg: &ExperimentConfig) -> Figure {
         TargetSelection::UniformRandom,
         &mut rng,
     );
-    let run_with = |options: MgaOptions| {
-        let gain = mean_gain_over_trials(cfg.trials, cfg.seed ^ 0xA1, |_, seed| {
-            run_lfgdpr_attack(
-                &graph,
-                &protocol,
-                &threat,
-                AttackStrategy::Mga,
-                TargetMetric::DegreeCentrality,
-                options,
-                seed,
-            )
-        });
+    let run_with = |options: MgaOptions| -> Result<(f64, f64), ScenarioError> {
+        let gain = mga_mean_gain(
+            cfg,
+            &graph,
+            &protocol,
+            &threat,
+            Metric::Degree,
+            options,
+            cfg.seed ^ 0xA1,
+        )?;
         // Detection recall of Detect1 against this crafting.
         let knowledge =
             AttackerKnowledge::derive(&protocol, threat.population(), graph.average_degree());
@@ -88,19 +111,19 @@ pub fn budget_cap_ablation(cfg: &ExperimentConfig) -> Figure {
         }
         let defense = FrequentItemsetDefense::new(100);
         let mut defense_rng = base.derive(0xDEF);
-        let app = defense.apply(&reports, &protocol, &mut defense_rng);
+        let app = defense.filter_reports(&reports, &protocol, &mut defense_rng);
         let recall = app.flagged[threat.n_genuine..]
             .iter()
             .filter(|&&f| f)
             .count() as f64
             / threat.m_fake as f64;
-        (gain, recall)
+        Ok((gain, recall))
     };
-    let capped = run_with(MgaOptions::default());
+    let capped = run_with(MgaOptions::default())?;
     let uncapped = run_with(MgaOptions {
         budget_override: Some(usize::MAX),
         ..Default::default()
-    });
+    })?;
     let mut fig = Figure::new(
         "Ablation A1: MGA budget cap",
         "variant (0=capped, 1=uncapped)",
@@ -109,31 +132,32 @@ pub fn budget_cap_ablation(cfg: &ExperimentConfig) -> Figure {
     );
     fig.push_series("gain", vec![capped.0, uncapped.0]);
     fig.push_series("detect1_recall", vec![capped.1, uncapped.1]);
-    fig
+    Ok(fig)
 }
 
 /// A2: MGA padding on/off — gain and Detect1 genuine-flag (false-positive)
 /// counts.
-pub fn padding_ablation(cfg: &ExperimentConfig) -> Figure {
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn padding_ablation(cfg: &ExperimentConfig) -> Result<Figure, ScenarioError> {
     let (graph, protocol, threat) = setup(cfg);
     let gain_with = |options: MgaOptions| {
-        mean_gain_over_trials(cfg.trials, cfg.seed ^ 0xA2, |_, seed| {
-            run_lfgdpr_attack(
-                &graph,
-                &protocol,
-                &threat,
-                AttackStrategy::Mga,
-                TargetMetric::DegreeCentrality,
-                options,
-                seed,
-            )
-        })
+        mga_mean_gain(
+            cfg,
+            &graph,
+            &protocol,
+            &threat,
+            Metric::Degree,
+            options,
+            cfg.seed ^ 0xA2,
+        )
     };
-    let padded = gain_with(MgaOptions::default());
+    let padded = gain_with(MgaOptions::default())?;
     let bare = gain_with(MgaOptions {
         pad_to_budget: false,
         ..Default::default()
-    });
+    })?;
     let mut fig = Figure::new(
         "Ablation A2: MGA padding",
         "variant (0=padded, 1=bare)",
@@ -141,30 +165,31 @@ pub fn padding_ablation(cfg: &ExperimentConfig) -> Figure {
         vec![0.0, 1.0],
     );
     fig.push_series("gain", vec![padded, bare]);
-    fig
+    Ok(fig)
 }
 
 /// A3: prioritized fake↔fake allocation for MGA-cc.
-pub fn prioritization_ablation(cfg: &ExperimentConfig) -> Figure {
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn prioritization_ablation(cfg: &ExperimentConfig) -> Result<Figure, ScenarioError> {
     let (graph, protocol, threat) = setup(cfg);
     let gain_with = |options: MgaOptions| {
-        mean_gain_over_trials(cfg.trials, cfg.seed ^ 0xA3, |_, seed| {
-            run_lfgdpr_attack(
-                &graph,
-                &protocol,
-                &threat,
-                AttackStrategy::Mga,
-                TargetMetric::ClusteringCoefficient,
-                options,
-                seed,
-            )
-        })
+        mga_mean_gain(
+            cfg,
+            &graph,
+            &protocol,
+            &threat,
+            Metric::Clustering,
+            options,
+            cfg.seed ^ 0xA3,
+        )
     };
-    let with = gain_with(MgaOptions::default());
+    let with = gain_with(MgaOptions::default())?;
     let without = gain_with(MgaOptions {
         prioritize_fake_edges: false,
         ..Default::default()
-    });
+    })?;
     let mut fig = Figure::new(
         "Ablation A3: MGA-cc prioritized allocation",
         "variant (0=prioritized, 1=flat)",
@@ -172,7 +197,7 @@ pub fn prioritization_ablation(cfg: &ExperimentConfig) -> Figure {
         vec![0.0, 1.0],
     );
     fig.push_series("gain", vec![with, without]);
-    fig
+    Ok(fig)
 }
 
 /// A4: honest clustering-estimation error under the two degree sources.
@@ -204,13 +229,16 @@ pub fn degree_source_ablation(cfg: &ExperimentConfig) -> Figure {
 }
 
 /// Runs all four ablations.
-pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
-    vec![
-        budget_cap_ablation(cfg),
-        padding_ablation(cfg),
-        prioritization_ablation(cfg),
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Figure>, ScenarioError> {
+    Ok(vec![
+        budget_cap_ablation(cfg)?,
+        padding_ablation(cfg)?,
+        prioritization_ablation(cfg)?,
         degree_source_ablation(cfg),
-    ]
+    ])
 }
 
 #[cfg(test)]
@@ -227,7 +255,7 @@ mod tests {
 
     #[test]
     fn budget_cap_uncapped_gains_more() {
-        let fig = budget_cap_ablation(&smoke_cfg());
+        let fig = budget_cap_ablation(&smoke_cfg()).unwrap();
         let gain = &fig.series[0].values;
         assert!(
             gain[1] >= gain[0],
@@ -239,7 +267,7 @@ mod tests {
 
     #[test]
     fn prioritization_pays_off() {
-        let fig = prioritization_ablation(&smoke_cfg());
+        let fig = prioritization_ablation(&smoke_cfg()).unwrap();
         let gain = &fig.series[0].values;
         assert!(
             gain[0] > gain[1],
@@ -263,7 +291,7 @@ mod tests {
 
     #[test]
     fn padding_leaves_gain_roughly_unchanged() {
-        let fig = padding_ablation(&smoke_cfg());
+        let fig = padding_ablation(&smoke_cfg()).unwrap();
         let gain = &fig.series[0].values;
         assert!(gain[0].is_finite() && gain[1].is_finite());
         // Padding adds random non-target edges only; the target-edge count

@@ -17,23 +17,26 @@ fn main() {
     println!("{md3}");
     let _ = std::fs::write(opts.out_dir.join("table3.md"), md3);
 
-    type Runner = fn(&ExperimentConfig) -> Vec<Figure>;
-    let phases: [(&str, Runner); 10] = [
-        ("fig6", px::fig6::run),
-        ("fig7", px::fig7::run),
-        ("fig8", px::fig8::run),
-        ("fig9", px::fig9::run),
-        ("fig10", px::fig10::run),
-        ("fig11", px::fig11::run),
-        ("fig12", px::fig12::run),
-        ("fig13", px::fig13::run),
-        ("fig14", px::fig14::run),
-        ("fig15", px::fig15::run),
+    type FigResult = Result<Vec<Figure>, poison_core::ScenarioError>;
+    type Runner = fn(&ExperimentConfig) -> FigResult;
+    type SweepRunner = fn(&ExperimentConfig, Option<ldp_graph::datasets::Dataset>) -> FigResult;
+    type Phase = Box<dyn Fn(&ExperimentConfig) -> FigResult>;
+    let sweep = |run: SweepRunner| move |cfg: &ExperimentConfig| run(cfg, opts.dataset);
+    let phases: [(&str, Phase); 10] = [
+        ("fig6", Box::new(sweep(px::fig6::run))),
+        ("fig7", Box::new(sweep(px::fig7::run))),
+        ("fig8", Box::new(sweep(px::fig8::run))),
+        ("fig9", Box::new(sweep(px::fig9::run))),
+        ("fig10", Box::new(sweep(px::fig10::run))),
+        ("fig11", Box::new(sweep(px::fig11::run))),
+        ("fig12", Box::new(px::fig12::run as Runner)),
+        ("fig13", Box::new(px::fig13::run as Runner)),
+        ("fig14", Box::new(px::fig14::run as Runner)),
+        ("fig15", Box::new(px::fig15::run as Runner)),
     ];
     for (name, runner) in phases {
         let start = std::time::Instant::now();
-        let figures = runner(cfg);
-        px::cli::emit(&figures, &opts);
+        px::cli::emit_or_exit(runner(cfg), &opts);
         eprintln!("== {name} done in {:.1}s ==", start.elapsed().as_secs_f64());
     }
 }

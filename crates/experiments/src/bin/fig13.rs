@@ -3,5 +3,5 @@
 fn main() {
     let opts = poison_experiments::cli::options_from_env();
     let figures = poison_experiments::fig13::run(&opts.config);
-    poison_experiments::cli::emit(&figures, &opts);
+    poison_experiments::cli::emit_or_exit(figures, &opts);
 }

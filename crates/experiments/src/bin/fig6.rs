@@ -2,6 +2,6 @@
 
 fn main() {
     let opts = poison_experiments::cli::options_from_env();
-    let figures = poison_experiments::fig6::run(&opts.config);
-    poison_experiments::cli::emit(&figures, &opts);
+    let figures = poison_experiments::fig6::run(&opts.config, opts.dataset);
+    poison_experiments::cli::emit_or_exit(figures, &opts);
 }

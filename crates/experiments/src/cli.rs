@@ -2,7 +2,13 @@
 //! binaries.
 //!
 //! Flags (all optional):
-//! `--trials N` `--scale F` `--seed S` `--out DIR` `--quiet`
+//! `--trials N` `--scale F` `--seed S` `--out DIR` `--threads N`
+//! `--dataset NAME` `--quiet`
+//!
+//! `--threads` caps the shared parallel runtime's fan-out
+//! ([`ldp_graph::runtime::set_thread_cap`]); results are bit-identical at
+//! any cap. `--dataset` restricts the four-panel sweep figures
+//! (Figs. 6–11) to one dataset.
 //!
 //! Every binary prints each figure as an ASCII chart plus a markdown table
 //! and writes CSV/markdown files under the output directory (default
@@ -10,6 +16,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::output::Figure;
+use ldp_graph::datasets::Dataset;
 use std::path::PathBuf;
 
 /// Parsed command-line options.
@@ -19,6 +26,10 @@ pub struct CliOptions {
     pub config: ExperimentConfig,
     /// Output directory for CSV/markdown artifacts.
     pub out_dir: PathBuf,
+    /// Cap on the parallel runtime's worker threads (None = machine).
+    pub threads: Option<usize>,
+    /// Restrict four-panel sweeps to one dataset (None = all four).
+    pub dataset: Option<Dataset>,
     /// Suppress the ASCII charts on stdout.
     pub quiet: bool,
 }
@@ -28,6 +39,8 @@ impl Default for CliOptions {
         CliOptions {
             config: ExperimentConfig::default(),
             out_dir: PathBuf::from("results"),
+            threads: None,
+            dataset: None,
             quiet: false,
         }
     }
@@ -71,6 +84,24 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--out" => {
                 opts.out_dir = PathBuf::from(take_value(&mut i)?);
             }
+            "--threads" => {
+                let threads: usize = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                opts.threads = Some(threads);
+            }
+            "--dataset" => {
+                let name = take_value(&mut i)?;
+                opts.dataset = Some(Dataset::from_name(name).ok_or_else(|| {
+                    format!(
+                        "--dataset: unknown dataset {name} (expected one of \
+                         Facebook, Enron, AstroPh, Gplus)"
+                    )
+                })?);
+            }
             "--quiet" => opts.quiet = true,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -79,14 +110,23 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     Ok(opts)
 }
 
-/// Parses `std::env::args`, exiting with a message on error.
+/// Parses `std::env::args`, exiting with a message on error, and installs
+/// the `--threads` cap into the shared parallel runtime.
 pub fn options_from_env() -> CliOptions {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
-        Ok(o) => o,
+        Ok(opts) => {
+            if let Some(threads) = opts.threads {
+                ldp_graph::runtime::set_thread_cap(threads);
+            }
+            opts
+        }
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: [--trials N] [--scale F] [--seed S] [--out DIR] [--quiet]");
+            eprintln!(
+                "usage: [--trials N] [--scale F] [--seed S] [--out DIR] \
+                 [--threads N] [--dataset NAME] [--quiet]"
+            );
             std::process::exit(2);
         }
     }
@@ -105,6 +145,18 @@ pub fn emit(figures: &[Figure], opts: &CliOptions) {
     }
 }
 
+/// Unwraps an experiment result and emits its figures; a scenario error is
+/// reported and exits nonzero instead of panicking mid-sweep.
+pub fn emit_or_exit(figures: Result<Vec<Figure>, poison_core::ScenarioError>, opts: &CliOptions) {
+    match figures {
+        Ok(figures) => emit(&figures, opts),
+        Err(e) => {
+            eprintln!("error: scenario failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,18 +170,34 @@ mod tests {
         let o = parse_args(&[]).unwrap();
         assert_eq!(o.config.trials, ExperimentConfig::default().trials);
         assert_eq!(o.out_dir, PathBuf::from("results"));
+        assert_eq!(o.threads, None);
+        assert_eq!(o.dataset, None);
     }
 
     #[test]
     fn parses_all_flags() {
         let o = parse_args(&s(&[
-            "--trials", "9", "--scale", "0.5", "--seed", "123", "--out", "/tmp/x", "--quiet",
+            "--trials",
+            "9",
+            "--scale",
+            "0.5",
+            "--seed",
+            "123",
+            "--out",
+            "/tmp/x",
+            "--threads",
+            "3",
+            "--dataset",
+            "enron",
+            "--quiet",
         ]))
         .unwrap();
         assert_eq!(o.config.trials, 9);
         assert_eq!(o.config.scale, 0.5);
         assert_eq!(o.config.seed, 123);
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(o.threads, Some(3));
+        assert_eq!(o.dataset, Some(Dataset::Enron));
         assert!(o.quiet);
     }
 
@@ -139,5 +207,29 @@ mod tests {
         assert!(parse_args(&s(&["--scale", "-1"])).is_err());
         assert!(parse_args(&s(&["--wat"])).is_err());
         assert!(parse_args(&s(&["--trials"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_threads() {
+        assert!(parse_args(&s(&["--threads", "0"]))
+            .unwrap_err()
+            .contains("--threads"));
+        assert!(parse_args(&s(&["--threads", "many"]))
+            .unwrap_err()
+            .contains("--threads"));
+        assert!(parse_args(&s(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_dataset() {
+        let err = parse_args(&s(&["--dataset", "orkut"])).unwrap_err();
+        assert!(err.contains("unknown dataset"));
+        assert!(parse_args(&s(&["--dataset"])).is_err());
+    }
+
+    #[test]
+    fn dataset_parse_is_case_insensitive() {
+        let o = parse_args(&s(&["--dataset", "GPLUS"])).unwrap();
+        assert_eq!(o.dataset, Some(Dataset::Gplus));
     }
 }

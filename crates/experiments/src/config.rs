@@ -76,8 +76,10 @@ impl ExperimentConfig {
     }
 
     /// Above this population the degree sweeps switch from the exact
-    /// (materialized view) pipeline to the analytic-sampling pipeline.
-    pub const SAMPLED_MODE_THRESHOLD: usize = 4_500;
+    /// (materialized view) pipeline to the analytic-sampling pipeline —
+    /// the scenario engine's auto-mode threshold, re-exported so the
+    /// Gplus sizing test below stays tied to the value actually in force.
+    pub const SAMPLED_MODE_THRESHOLD: usize = poison_core::scenario::SAMPLED_MODE_THRESHOLD;
 
     /// The graph stand-in for a dataset under this configuration.
     pub fn graph_for(&self, dataset: Dataset) -> ldp_graph::CsrGraph {

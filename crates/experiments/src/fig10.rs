@@ -7,22 +7,33 @@
 use crate::config::{grids, ExperimentConfig};
 use crate::output::Figure;
 use crate::sweep::{sweep_all_datasets, SweepAxis};
-use poison_core::TargetMetric;
+use ldp_graph::datasets::Dataset;
+use ldp_protocols::Metric;
+use poison_core::ScenarioError;
 
-/// Runs the figure on a custom β grid.
-pub fn run_with_grid(cfg: &ExperimentConfig, betas: &[f64]) -> Vec<Figure> {
+/// Runs the figure on a custom β grid, optionally restricted to one
+/// dataset (the `--dataset` flag).
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run_with_grid(
+    cfg: &ExperimentConfig,
+    betas: &[f64],
+    only: Option<Dataset>,
+) -> Result<Vec<Figure>, ScenarioError> {
     sweep_all_datasets(
         cfg,
-        TargetMetric::ClusteringCoefficient,
+        Metric::Clustering,
         SweepAxis::Beta,
         betas,
         "Fig 10",
+        only,
     )
 }
 
 /// Runs the figure on the paper's grid β ∈ {0.001, 0.005, 0.01, 0.05, 0.1}.
-pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
-    run_with_grid(cfg, &grids::BETAS)
+pub fn run(cfg: &ExperimentConfig, only: Option<Dataset>) -> Result<Vec<Figure>, ScenarioError> {
+    run_with_grid(cfg, &grids::BETAS, only)
 }
 
 #[cfg(test)]
@@ -36,7 +47,7 @@ mod tests {
             trials: 1,
             seed: 29,
         };
-        let figs = run_with_grid(&cfg, &[0.01, 0.05]);
+        let figs = run_with_grid(&cfg, &[0.01, 0.05], None).unwrap();
         assert_eq!(figs.len(), 4);
         assert!(figs[0]
             .series

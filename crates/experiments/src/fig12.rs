@@ -7,50 +7,88 @@
 //!   thresholds let the attack through.
 //! * Panel (b): Detect2 (degree consistency) vs. Naive2 vs. no defense
 //!   against RVA, sweeping β.
+//!
+//! Every cell is one [`Scenario`] run; the defended and undefended
+//! variants differ only by `.defend(...)`.
 
 use crate::config::{defaults, grids, ExperimentConfig};
 use crate::output::Figure;
-use crate::runner::{default_threads, mean_gain_over_trials, parallel_map};
+use crate::runner::{default_threads, parallel_map};
 use ldp_graph::datasets::Dataset;
 use ldp_graph::Xoshiro256pp;
-use ldp_protocols::LfGdpr;
+use ldp_protocols::{LfGdpr, Metric};
+use poison_core::scenario::Scenario;
 use poison_core::{
-    run_lfgdpr_attack, AttackStrategy, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
+    attack_for, AttackStrategy, Defense, MgaOptions, ScenarioError, TargetSelection, ThreatModel,
 };
 use poison_defense::{
-    run_defended_attack, DegreeConsistencyDefense, FrequentItemsetDefense, NaiveDegreeTails,
-    NaiveTopDegree,
+    DegreeConsistencyDefense, FrequentItemsetDefense, NaiveDegreeTails, NaiveTopDegree,
 };
 
 /// The metric both panels of this figure evaluate.
-const METRIC: TargetMetric = TargetMetric::DegreeCentrality;
+const METRIC: Metric = Metric::Degree;
 
 /// Panel (a): Detect1 vs. Naive1 against MGA, over flag thresholds.
-pub fn run_panel_a(cfg: &ExperimentConfig, thresholds: &[usize]) -> Figure {
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run_panel_a(cfg: &ExperimentConfig, thresholds: &[usize]) -> Result<Figure, ScenarioError> {
     panel_threshold_sweep(cfg, METRIC, thresholds, AttackStrategy::Mga, "Fig 12(a)")
 }
 
 /// Panel (b): Detect2 vs. Naive2 against RVA, over β.
-pub fn run_panel_b(cfg: &ExperimentConfig, betas: &[f64]) -> Figure {
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run_panel_b(cfg: &ExperimentConfig, betas: &[f64]) -> Result<Figure, ScenarioError> {
     panel_beta_sweep(cfg, METRIC, betas, AttackStrategy::Rva, "Fig 12(b)")
 }
 
 /// Runs both panels on the paper's grids.
-pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
-    vec![
-        run_panel_a(cfg, &grids::FIG12A_THRESHOLDS),
-        run_panel_b(cfg, &grids::FIG12B_BETAS),
-    ]
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Figure>, ScenarioError> {
+    Ok(vec![
+        run_panel_a(cfg, &grids::FIG12A_THRESHOLDS)?,
+        run_panel_b(cfg, &grids::FIG12B_BETAS)?,
+    ])
+}
+
+/// One figure cell: mean gain of `strategy` on `metric`, defended by
+/// `defense` (or undefended when `None`).
+#[allow(clippy::too_many_arguments)] // one slot per scenario knob, named at call sites
+fn mean_defended_gain(
+    graph: &ldp_graph::CsrGraph,
+    protocol: &LfGdpr,
+    threat: &ThreatModel,
+    strategy: AttackStrategy,
+    metric: Metric,
+    defense: Option<&dyn Defense>,
+    trials: u64,
+    seed: u64,
+) -> Result<f64, ScenarioError> {
+    let mut builder = Scenario::on(*protocol)
+        .attack(attack_for(strategy, MgaOptions::default()))
+        .metric(metric)
+        .threat(threat.clone())
+        .exact()
+        .trials(trials)
+        .seed(seed);
+    if let Some(defense) = defense {
+        builder = builder.defend(defense);
+    }
+    Ok(builder.run(graph)?.mean_gain())
 }
 
 /// Shared panel (a)-shape implementation, reused by Fig. 13(a).
 pub(crate) fn panel_threshold_sweep(
     cfg: &ExperimentConfig,
-    metric: TargetMetric,
+    metric: Metric,
     thresholds: &[usize],
     strategy: AttackStrategy,
     title: &str,
-) -> Figure {
+) -> Result<Figure, ScenarioError> {
     let graph = cfg.graph_for(Dataset::Facebook);
     let protocol = LfGdpr::new(defaults::EPSILON).expect("default epsilon valid");
     let mut threat_rng = Xoshiro256pp::new(cfg.seed ^ 0x000F_1612);
@@ -61,30 +99,22 @@ pub(crate) fn panel_threshold_sweep(
         TargetSelection::UniformRandom,
         &mut threat_rng,
     );
-    let opts = MgaOptions::default();
 
     let points: Vec<(usize, usize)> = thresholds.iter().copied().enumerate().collect();
     let rows = parallel_map(points, default_threads(), |&(xi, threshold)| {
-        let detect1 = FrequentItemsetDefense::new(threshold);
         let seed0 = cfg.seed ^ ((xi as u64) << 20);
-        let g_detect = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_defended_attack(
-                &graph, &protocol, &threat, strategy, metric, &detect1, opts, seed,
+        let cell = |defense: Option<&dyn Defense>| {
+            mean_defended_gain(
+                &graph, &protocol, &threat, strategy, metric, defense, cfg.trials, seed0,
             )
-            .outcome
-        });
+        };
+        let detect1 = FrequentItemsetDefense::new(threshold);
         let naive1 = NaiveTopDegree::default();
-        let g_naive = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_defended_attack(
-                &graph, &protocol, &threat, strategy, metric, &naive1, opts, seed,
-            )
-            .outcome
-        });
-        let g_none = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_lfgdpr_attack(&graph, &protocol, &threat, strategy, metric, opts, seed)
-        });
-        (g_detect, g_naive, g_none)
+        Ok((cell(Some(&detect1))?, cell(Some(&naive1))?, cell(None)?))
     });
+    let rows = rows
+        .into_iter()
+        .collect::<Result<Vec<(f64, f64, f64)>, ScenarioError>>()?;
 
     let mut figure = Figure::new(
         title,
@@ -95,20 +125,19 @@ pub(crate) fn panel_threshold_sweep(
     figure.push_series("Detect1", rows.iter().map(|r| r.0).collect());
     figure.push_series("Naive1", rows.iter().map(|r| r.1).collect());
     figure.push_series("NoDefense", rows.iter().map(|r| r.2).collect());
-    figure
+    Ok(figure)
 }
 
 /// Shared panel (b)-shape implementation, reused by Fig. 13(b).
 pub(crate) fn panel_beta_sweep(
     cfg: &ExperimentConfig,
-    metric: TargetMetric,
+    metric: Metric,
     betas: &[f64],
     strategy: AttackStrategy,
     title: &str,
-) -> Figure {
+) -> Result<Figure, ScenarioError> {
     let graph = cfg.graph_for(Dataset::Facebook);
     let protocol = LfGdpr::new(defaults::EPSILON).expect("default epsilon valid");
-    let opts = MgaOptions::default();
 
     let points: Vec<(usize, f64)> = betas.iter().copied().enumerate().collect();
     let rows = parallel_map(points, default_threads(), |&(xi, beta)| {
@@ -121,31 +150,24 @@ pub(crate) fn panel_beta_sweep(
             &mut threat_rng,
         );
         let seed0 = cfg.seed ^ ((xi as u64) << 24);
+        let cell = |defense: Option<&dyn Defense>| {
+            mean_defended_gain(
+                &graph, &protocol, &threat, strategy, metric, defense, cfg.trials, seed0,
+            )
+        };
         let detect2 = DegreeConsistencyDefense::default();
-        let g_detect = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_defended_attack(
-                &graph, &protocol, &threat, strategy, metric, &detect2, opts, seed,
-            )
-            .outcome
-        });
         let naive2 = NaiveDegreeTails::default();
-        let g_naive = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_defended_attack(
-                &graph, &protocol, &threat, strategy, metric, &naive2, opts, seed,
-            )
-            .outcome
-        });
-        let g_none = mean_gain_over_trials(cfg.trials, seed0, |_, seed| {
-            run_lfgdpr_attack(&graph, &protocol, &threat, strategy, metric, opts, seed)
-        });
-        (g_detect, g_naive, g_none)
+        Ok((cell(Some(&detect2))?, cell(Some(&naive2))?, cell(None)?))
     });
+    let rows = rows
+        .into_iter()
+        .collect::<Result<Vec<(f64, f64, f64)>, ScenarioError>>()?;
 
     let mut figure = Figure::new(title, "beta", "overall gain after defense", betas.to_vec());
     figure.push_series("Detect2", rows.iter().map(|r| r.0).collect());
     figure.push_series("Naive2", rows.iter().map(|r| r.1).collect());
     figure.push_series("NoDefense", rows.iter().map(|r| r.2).collect());
-    figure
+    Ok(figure)
 }
 
 #[cfg(test)]
@@ -159,7 +181,7 @@ mod tests {
             trials: 1,
             seed: 37,
         };
-        let fig = run_panel_a(&cfg, &[50, 300]);
+        let fig = run_panel_a(&cfg, &[50, 300]).unwrap();
         assert_eq!(fig.series.len(), 3);
         assert!(fig
             .series
@@ -174,7 +196,7 @@ mod tests {
             trials: 1,
             seed: 41,
         };
-        let fig = run_panel_b(&cfg, &[0.01, 0.1]);
+        let fig = run_panel_b(&cfg, &[0.01, 0.1]).unwrap();
         assert_eq!(fig.series.len(), 3);
         assert!(fig
             .series
@@ -189,7 +211,7 @@ mod tests {
             trials: 2,
             seed: 43,
         };
-        let fig = run_panel_b(&cfg, &[0.05]);
+        let fig = run_panel_b(&cfg, &[0.05]).unwrap();
         let by = |l: &str| fig.series.iter().find(|s| s.label == l).unwrap().values[0];
         assert!(
             by("Detect2") < by("NoDefense"),

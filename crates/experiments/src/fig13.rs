@@ -9,13 +9,17 @@
 use crate::config::{grids, ExperimentConfig};
 use crate::fig12::{panel_beta_sweep, panel_threshold_sweep};
 use crate::output::Figure;
-use poison_core::{AttackStrategy, TargetMetric};
+use ldp_protocols::Metric;
+use poison_core::{AttackStrategy, ScenarioError};
 
 /// Panel (a): threshold sweep against MGA on the clustering coefficient.
-pub fn run_panel_a(cfg: &ExperimentConfig, thresholds: &[usize]) -> Figure {
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run_panel_a(cfg: &ExperimentConfig, thresholds: &[usize]) -> Result<Figure, ScenarioError> {
     panel_threshold_sweep(
         cfg,
-        TargetMetric::ClusteringCoefficient,
+        Metric::Clustering,
         thresholds,
         AttackStrategy::Mga,
         "Fig 13(a)",
@@ -23,10 +27,13 @@ pub fn run_panel_a(cfg: &ExperimentConfig, thresholds: &[usize]) -> Figure {
 }
 
 /// Panel (b): β sweep against RVA on the clustering coefficient.
-pub fn run_panel_b(cfg: &ExperimentConfig, betas: &[f64]) -> Figure {
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run_panel_b(cfg: &ExperimentConfig, betas: &[f64]) -> Result<Figure, ScenarioError> {
     panel_beta_sweep(
         cfg,
-        TargetMetric::ClusteringCoefficient,
+        Metric::Clustering,
         betas,
         AttackStrategy::Rva,
         "Fig 13(b)",
@@ -34,11 +41,14 @@ pub fn run_panel_b(cfg: &ExperimentConfig, betas: &[f64]) -> Figure {
 }
 
 /// Runs both panels on the paper's grids.
-pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
-    vec![
-        run_panel_a(cfg, &grids::FIG13A_THRESHOLDS),
-        run_panel_b(cfg, &grids::FIG12B_BETAS),
-    ]
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Figure>, ScenarioError> {
+    Ok(vec![
+        run_panel_a(cfg, &grids::FIG13A_THRESHOLDS)?,
+        run_panel_b(cfg, &grids::FIG12B_BETAS)?,
+    ])
 }
 
 #[cfg(test)]
@@ -52,8 +62,8 @@ mod tests {
             trials: 1,
             seed: 47,
         };
-        let a = run_panel_a(&cfg, &[100]);
-        let b = run_panel_b(&cfg, &[0.05]);
+        let a = run_panel_a(&cfg, &[100]).unwrap();
+        let b = run_panel_b(&cfg, &[0.05]).unwrap();
         for fig in [a, b] {
             assert_eq!(fig.series.len(), 3);
             assert!(fig

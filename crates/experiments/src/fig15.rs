@@ -3,20 +3,17 @@
 //!
 //! The partition comes from label propagation on the genuine graph (the
 //! data collector's standard workflow); the gain is the absolute change of
-//! the estimated modularity, per DESIGN.md §2.
+//! the estimated modularity, per DESIGN.md §2. Both panels run through
+//! `fig14`'s generic ε-panel helper — only the protocol factory differs.
 
 use crate::config::{defaults, grids, ExperimentConfig};
-use crate::fig14::build_figure;
+use crate::fig14::epsilon_panel;
 use crate::output::Figure;
-use crate::runner::{default_threads, mean_gain_over_trials, parallel_map};
 use ldp_graph::community::label_propagation;
 use ldp_graph::datasets::Dataset;
 use ldp_graph::Xoshiro256pp;
-use ldp_protocols::{LdpGen, LfGdpr};
-use poison_core::ldpgen_attack::{run_ldpgen_attack, LdpGenMetric};
-use poison_core::{
-    run_lfgdpr_modularity_attack, AttackStrategy, MgaOptions, TargetSelection, ThreatModel,
-};
+use ldp_protocols::{LdpGen, LfGdpr, Metric};
+use poison_core::{ScenarioError, TargetSelection, ThreatModel};
 
 fn setup(cfg: &ExperimentConfig, tag: u64) -> (ldp_graph::CsrGraph, ThreatModel, Vec<usize>) {
     let graph = cfg.graph_for(Dataset::Facebook);
@@ -33,63 +30,52 @@ fn setup(cfg: &ExperimentConfig, tag: u64) -> (ldp_graph::CsrGraph, ThreatModel,
 }
 
 /// Panel (a): LF-GDPR modularity gains over ε.
-pub fn run_panel_a(cfg: &ExperimentConfig, epsilons: &[f64]) -> Figure {
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run_panel_a(cfg: &ExperimentConfig, epsilons: &[f64]) -> Result<Figure, ScenarioError> {
     let (graph, threat, partition) = setup(cfg, 0x0F15_000A);
-    let points: Vec<(usize, f64)> = epsilons.iter().copied().enumerate().collect();
-    let rows = parallel_map(points, default_threads(), |&(xi, epsilon)| {
-        let protocol = LfGdpr::new(epsilon).expect("positive epsilon grid");
-        AttackStrategy::ALL
-            .iter()
-            .map(|&strategy| {
-                mean_gain_over_trials(cfg.trials, cfg.seed ^ ((xi as u64) << 12), |_, seed| {
-                    run_lfgdpr_modularity_attack(
-                        &graph,
-                        &protocol,
-                        &threat,
-                        strategy,
-                        &partition,
-                        MgaOptions::default(),
-                        seed,
-                    )
-                })
-            })
-            .collect::<Vec<f64>>()
-    });
-    build_figure("Fig 15(a) LF-GDPR", epsilons, &rows, "modularity gain")
+    epsilon_panel(
+        cfg,
+        &graph,
+        &threat,
+        Some(&partition),
+        |epsilon| LfGdpr::new(epsilon).expect("positive epsilon grid"),
+        Metric::Modularity,
+        epsilons,
+        "Fig 15(a) LF-GDPR",
+        "modularity gain",
+    )
 }
 
 /// Panel (b): LDPGen modularity gains over ε.
-pub fn run_panel_b(cfg: &ExperimentConfig, epsilons: &[f64]) -> Figure {
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run_panel_b(cfg: &ExperimentConfig, epsilons: &[f64]) -> Result<Figure, ScenarioError> {
     let (graph, threat, partition) = setup(cfg, 0x0F15_000B);
-    let points: Vec<(usize, f64)> = epsilons.iter().copied().enumerate().collect();
-    let rows = parallel_map(points, default_threads(), |&(xi, epsilon)| {
-        let protocol = LdpGen::with_defaults(epsilon).expect("positive epsilon grid");
-        AttackStrategy::ALL
-            .iter()
-            .map(|&strategy| {
-                mean_gain_over_trials(cfg.trials, cfg.seed ^ ((xi as u64) << 12), |_, seed| {
-                    run_ldpgen_attack(
-                        &graph,
-                        &protocol,
-                        &threat,
-                        strategy,
-                        LdpGenMetric::Modularity,
-                        Some(&partition),
-                        seed,
-                    )
-                })
-            })
-            .collect::<Vec<f64>>()
-    });
-    build_figure("Fig 15(b) LDPGen", epsilons, &rows, "modularity gain")
+    epsilon_panel(
+        cfg,
+        &graph,
+        &threat,
+        Some(&partition),
+        |epsilon| LdpGen::with_defaults(epsilon).expect("positive epsilon grid"),
+        Metric::Modularity,
+        epsilons,
+        "Fig 15(b) LDPGen",
+        "modularity gain",
+    )
 }
 
 /// Runs both panels on the paper's ε grid.
-pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
-    vec![
-        run_panel_a(cfg, &grids::EPSILONS),
-        run_panel_b(cfg, &grids::EPSILONS),
-    ]
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Figure>, ScenarioError> {
+    Ok(vec![
+        run_panel_a(cfg, &grids::EPSILONS)?,
+        run_panel_b(cfg, &grids::EPSILONS)?,
+    ])
 }
 
 #[cfg(test)]
@@ -103,8 +89,8 @@ mod tests {
             trials: 1,
             seed: 59,
         };
-        let a = run_panel_a(&cfg, &[4.0]);
-        let b = run_panel_b(&cfg, &[4.0]);
+        let a = run_panel_a(&cfg, &[4.0]).unwrap();
+        let b = run_panel_b(&cfg, &[4.0]).unwrap();
         for fig in [a, b] {
             assert_eq!(fig.series.len(), 3);
             assert!(fig

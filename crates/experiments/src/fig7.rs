@@ -6,22 +6,26 @@
 use crate::config::{grids, ExperimentConfig};
 use crate::output::Figure;
 use crate::sweep::{sweep_all_datasets, SweepAxis};
-use poison_core::TargetMetric;
+use ldp_graph::datasets::Dataset;
+use ldp_protocols::Metric;
+use poison_core::ScenarioError;
 
-/// Runs the figure on a custom β grid.
-pub fn run_with_grid(cfg: &ExperimentConfig, betas: &[f64]) -> Vec<Figure> {
-    sweep_all_datasets(
-        cfg,
-        TargetMetric::DegreeCentrality,
-        SweepAxis::Beta,
-        betas,
-        "Fig 7",
-    )
+/// Runs the figure on a custom β grid, optionally restricted to one
+/// dataset (the `--dataset` flag).
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run_with_grid(
+    cfg: &ExperimentConfig,
+    betas: &[f64],
+    only: Option<Dataset>,
+) -> Result<Vec<Figure>, ScenarioError> {
+    sweep_all_datasets(cfg, Metric::Degree, SweepAxis::Beta, betas, "Fig 7", only)
 }
 
 /// Runs the figure on the paper's grid β ∈ {0.001, 0.005, 0.01, 0.05, 0.1}.
-pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
-    run_with_grid(cfg, &grids::BETAS)
+pub fn run(cfg: &ExperimentConfig, only: Option<Dataset>) -> Result<Vec<Figure>, ScenarioError> {
+    run_with_grid(cfg, &grids::BETAS, only)
 }
 
 #[cfg(test)]
@@ -35,7 +39,7 @@ mod tests {
             trials: 2,
             seed: 17,
         };
-        let figs = run_with_grid(&cfg, &[0.01, 0.1]);
+        let figs = run_with_grid(&cfg, &[0.01, 0.1], None).unwrap();
         let mga = figs[0].series.iter().find(|s| s.label == "MGA").unwrap();
         assert!(
             mga.values[1] > mga.values[0],

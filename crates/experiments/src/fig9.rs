@@ -7,22 +7,33 @@
 use crate::config::{grids, ExperimentConfig};
 use crate::output::Figure;
 use crate::sweep::{sweep_all_datasets, SweepAxis};
-use poison_core::TargetMetric;
+use ldp_graph::datasets::Dataset;
+use ldp_protocols::Metric;
+use poison_core::ScenarioError;
 
-/// Runs the figure on a custom ε grid.
-pub fn run_with_grid(cfg: &ExperimentConfig, epsilons: &[f64]) -> Vec<Figure> {
+/// Runs the figure on a custom ε grid, optionally restricted to one
+/// dataset (the `--dataset` flag).
+///
+/// # Errors
+/// Propagates the first scenario failure.
+pub fn run_with_grid(
+    cfg: &ExperimentConfig,
+    epsilons: &[f64],
+    only: Option<Dataset>,
+) -> Result<Vec<Figure>, ScenarioError> {
     sweep_all_datasets(
         cfg,
-        TargetMetric::ClusteringCoefficient,
+        Metric::Clustering,
         SweepAxis::Epsilon,
         epsilons,
         "Fig 9",
+        only,
     )
 }
 
 /// Runs the figure on the paper's grid ε ∈ {1..8}.
-pub fn run(cfg: &ExperimentConfig) -> Vec<Figure> {
-    run_with_grid(cfg, &grids::EPSILONS)
+pub fn run(cfg: &ExperimentConfig, only: Option<Dataset>) -> Result<Vec<Figure>, ScenarioError> {
+    run_with_grid(cfg, &grids::EPSILONS, only)
 }
 
 #[cfg(test)]
@@ -36,7 +47,7 @@ mod tests {
             trials: 1,
             seed: 23,
         };
-        let figs = run_with_grid(&cfg, &[4.0]);
+        let figs = run_with_grid(&cfg, &[4.0], None).unwrap();
         assert_eq!(figs.len(), 4);
         for f in &figs {
             for s in &f.series {

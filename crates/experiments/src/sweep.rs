@@ -4,16 +4,23 @@
 //! (ε, β, γ) at the Table III defaults, sweep the third, and plot the mean
 //! overall gain of RVA/RNA/MGA on one dataset. The MGA theory curves
 //! (Theorems 1–2) ride along for comparison.
+//!
+//! Each point is one [`Scenario`] run: the engine owns the exact vs.
+//! analytic-sampled choice (degree sweeps on large stand-ins sample
+//! analytically at `O(r)` per trial), the common-random-numbers
+//! discipline, and the trial fold — there is no protocol- or mode-specific
+//! branching left here.
 
 use crate::config::{defaults, ExperimentConfig};
 use crate::output::Figure;
-use crate::runner::{default_threads, mean_gain_over_trials, parallel_map};
+use crate::runner::{default_threads, parallel_map};
 use ldp_graph::datasets::Dataset;
 use ldp_graph::Xoshiro256pp;
-use ldp_protocols::LfGdpr;
+use ldp_protocols::{LfGdpr, Metric};
+use poison_core::scenario::Scenario;
 use poison_core::{
-    run_lfgdpr_attack, run_sampled_degree_attack, theorem1_degree_gain, theorem2_clustering_gain,
-    AttackStrategy, AttackerKnowledge, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
+    attack_for, theorem1_degree_gain, theorem2_clustering_gain, AttackStrategy, AttackerKnowledge,
+    MgaOptions, ScenarioError, TargetSelection, ThreatModel,
 };
 
 /// Which of the three parameters a figure sweeps.
@@ -49,81 +56,77 @@ fn point_params(axis: SweepAxis, x: f64) -> (f64, f64, f64) {
 
 /// Runs one sweep panel (one dataset) and returns its figure, including
 /// the MGA theory curve.
+///
+/// # Errors
+/// Propagates the first scenario failure instead of aborting the sweep.
 pub fn sweep_dataset(
     cfg: &ExperimentConfig,
     dataset: Dataset,
-    metric: TargetMetric,
+    metric: Metric,
     axis: SweepAxis,
     xs: &[f64],
     figure_name: &str,
-) -> Figure {
-    // Degree-centrality sweeps may use a larger stand-in together with the
-    // analytic-sampling pipeline (O(r) per trial); clustering sweeps
-    // materialize the perturbed view and stay at the exact-mode size.
+) -> Result<Figure, ScenarioError> {
+    // Degree-centrality sweeps may use a larger stand-in: the engine's
+    // auto mode serves those points through the analytic-sampling pipeline
+    // (O(r) per trial); clustering sweeps materialize the perturbed view
+    // and stay at the exact-mode size.
     let graph = match metric {
-        TargetMetric::DegreeCentrality => cfg.degree_sweep_graph_for(dataset),
-        TargetMetric::ClusteringCoefficient => cfg.graph_for(dataset),
+        Metric::Degree => cfg.degree_sweep_graph_for(dataset),
+        _ => cfg.graph_for(dataset),
     };
-    let use_sampled = metric == TargetMetric::DegreeCentrality
-        && graph.num_nodes() > ExperimentConfig::SAMPLED_MODE_THRESHOLD;
     let points: Vec<(usize, f64)> = xs.iter().copied().enumerate().collect();
 
     // Each point: (per-strategy mean gains, theory value).
-    let results = parallel_map(points, default_threads(), |&(xi, x)| {
-        let (epsilon, beta, gamma) = point_params(axis, x);
-        let protocol = LfGdpr::new(epsilon).expect("positive epsilon grid");
-        let mut threat_rng = Xoshiro256pp::new(cfg.seed ^ (xi as u64) << 8 ^ dataset as u64);
-        let threat = ThreatModel::from_fractions(
-            &graph,
-            beta,
-            gamma,
-            TargetSelection::UniformRandom,
-            &mut threat_rng,
-        );
-        let gains: Vec<f64> = AttackStrategy::ALL
-            .iter()
-            .map(|&strategy| {
-                mean_gain_over_trials(cfg.trials, cfg.seed ^ ((xi as u64) << 16), |_, seed| {
-                    if use_sampled {
-                        run_sampled_degree_attack(&graph, &protocol, &threat, strategy, seed)
-                    } else {
-                        run_lfgdpr_attack(
-                            &graph,
-                            &protocol,
-                            &threat,
-                            strategy,
-                            metric,
-                            MgaOptions::default(),
-                            seed,
-                        )
-                    }
+    let results: Vec<Result<(Vec<f64>, f64), ScenarioError>> =
+        parallel_map(points, default_threads(), |&(xi, x)| {
+            let (epsilon, beta, gamma) = point_params(axis, x);
+            let protocol = LfGdpr::new(epsilon).expect("positive epsilon grid");
+            let mut threat_rng = Xoshiro256pp::new(cfg.seed ^ (xi as u64) << 8 ^ dataset as u64);
+            let threat = ThreatModel::from_fractions(
+                &graph,
+                beta,
+                gamma,
+                TargetSelection::UniformRandom,
+                &mut threat_rng,
+            );
+            let gains = AttackStrategy::ALL
+                .iter()
+                .map(|&strategy| {
+                    Ok(Scenario::on(protocol)
+                        .attack(attack_for(strategy, MgaOptions::default()))
+                        .metric(metric)
+                        .threat(threat.clone())
+                        .trials(cfg.trials)
+                        .seed(cfg.seed ^ ((xi as u64) << 16))
+                        .run(&graph)?
+                        .mean_gain())
                 })
-            })
-            .collect();
-        let knowledge =
-            AttackerKnowledge::derive(&protocol, threat.population(), graph.average_degree());
-        let theory = match metric {
-            TargetMetric::DegreeCentrality => theorem1_degree_gain(
-                threat.m_fake,
-                threat.num_targets(),
-                threat.population(),
-                knowledge.avg_perturbed_degree,
-            ),
-            TargetMetric::ClusteringCoefficient => theorem2_clustering_gain(
-                threat.m_fake,
-                threat.num_targets(),
-                threat.population(),
-                knowledge.avg_perturbed_degree,
-                knowledge.p_keep,
-            ),
-        };
-        (gains, theory)
-    });
+                .collect::<Result<Vec<f64>, ScenarioError>>()?;
+            let knowledge =
+                AttackerKnowledge::derive(&protocol, threat.population(), graph.average_degree());
+            let theory = match metric {
+                Metric::Clustering => theorem2_clustering_gain(
+                    threat.m_fake,
+                    threat.num_targets(),
+                    threat.population(),
+                    knowledge.avg_perturbed_degree,
+                    knowledge.p_keep,
+                ),
+                _ => theorem1_degree_gain(
+                    threat.m_fake,
+                    threat.num_targets(),
+                    threat.population(),
+                    knowledge.avg_perturbed_degree,
+                ),
+            };
+            Ok((gains, theory))
+        });
+    let results = results
+        .into_iter()
+        .collect::<Result<Vec<(Vec<f64>, f64)>, ScenarioError>>()?;
 
-    let metric_name = match metric {
-        TargetMetric::DegreeCentrality => "degree-centrality gain",
-        TargetMetric::ClusteringCoefficient => "clustering-coefficient gain",
-    };
+    let metric_name = format!("{metric} gain");
     let mut figure = Figure::new(
         format!("{figure_name} {}", dataset.name()),
         axis.label(),
@@ -137,19 +140,25 @@ pub fn sweep_dataset(
         );
     }
     figure.push_series("MGA-theory", results.iter().map(|&(_, t)| t).collect());
-    figure
+    Ok(figure)
 }
 
-/// Runs the full four-dataset figure.
+/// Runs the figure over all four datasets — or one, when `only` is given
+/// (the `--dataset` flag).
+///
+/// # Errors
+/// Propagates the first scenario failure.
 pub fn sweep_all_datasets(
     cfg: &ExperimentConfig,
-    metric: TargetMetric,
+    metric: Metric,
     axis: SweepAxis,
     xs: &[f64],
     figure_name: &str,
-) -> Vec<Figure> {
+    only: Option<Dataset>,
+) -> Result<Vec<Figure>, ScenarioError> {
     Dataset::ALL
         .iter()
+        .filter(|&&d| only.is_none_or(|o| o == d))
         .map(|&d| sweep_dataset(cfg, d, metric, axis, xs, figure_name))
         .collect()
 }
@@ -168,11 +177,12 @@ mod tests {
         let fig = sweep_dataset(
             &cfg,
             Dataset::Facebook,
-            TargetMetric::DegreeCentrality,
+            Metric::Degree,
             SweepAxis::Epsilon,
             &[2.0, 6.0],
             "Fig test",
-        );
+        )
+        .unwrap();
         assert_eq!(fig.series.len(), 4, "RVA, RNA, MGA, theory");
         assert_eq!(fig.x, vec![2.0, 6.0]);
         assert!(fig
@@ -191,11 +201,12 @@ mod tests {
         let fig = sweep_dataset(
             &cfg,
             Dataset::Facebook,
-            TargetMetric::DegreeCentrality,
+            Metric::Degree,
             SweepAxis::Epsilon,
             &[4.0],
             "Fig test",
-        );
+        )
+        .unwrap();
         let by_label = |l: &str| {
             fig.series
                 .iter()
@@ -205,6 +216,26 @@ mod tests {
         };
         assert!(by_label("MGA") > by_label("RNA"));
         assert!(by_label("MGA") > 0.0);
+    }
+
+    #[test]
+    fn dataset_filter_restricts_the_panels() {
+        let cfg = ExperimentConfig {
+            scale: 0.25,
+            trials: 1,
+            seed: 7,
+        };
+        let figs = sweep_all_datasets(
+            &cfg,
+            Metric::Degree,
+            SweepAxis::Epsilon,
+            &[4.0],
+            "Fig test",
+            Some(Dataset::Enron),
+        )
+        .unwrap();
+        assert_eq!(figs.len(), 1);
+        assert!(figs[0].title.contains("Enron"));
     }
 
     #[test]

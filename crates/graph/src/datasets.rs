@@ -48,6 +48,14 @@ impl Dataset {
         }
     }
 
+    /// Parses a dataset from its name, case-insensitively (the `--dataset`
+    /// flag of the experiment binaries).
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        Dataset::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
+    }
+
     /// Node count reported in Table II.
     pub fn paper_nodes(self) -> usize {
         match self {
@@ -217,6 +225,17 @@ pub fn table2_row(dataset: Dataset, fraction: f64, seed: u64) -> DatasetStats {
 mod tests {
     use super::*;
     use crate::metrics::average_clustering_coefficient;
+
+    #[test]
+    fn from_name_is_case_insensitive_and_total() {
+        assert_eq!(Dataset::from_name("facebook"), Some(Dataset::Facebook));
+        assert_eq!(Dataset::from_name("GPLUS"), Some(Dataset::Gplus));
+        assert_eq!(Dataset::from_name("AstroPh"), Some(Dataset::AstroPh));
+        assert_eq!(Dataset::from_name("nope"), None);
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+        }
+    }
 
     #[test]
     fn table2_constants_match_paper() {

@@ -14,6 +14,7 @@
 //! bit-identical output at any thread count.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 thread_local! {
@@ -28,10 +29,32 @@ fn in_runtime_worker() -> bool {
     IN_RUNTIME_WORKER.with(Cell::get)
 }
 
+/// Process-wide worker cap installed by [`set_thread_cap`]; 0 = uncapped.
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps every runtime fan-out in this process to at most `threads` workers
+/// (the `--threads N` flag of the experiment binaries ends up here).
+/// `threads` is clamped to at least 1; results are bit-identical at any
+/// cap, only wall-clock changes.
+pub fn set_thread_cap(threads: usize) {
+    THREAD_CAP.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// Removes the cap installed by [`set_thread_cap`].
+pub fn clear_thread_cap() {
+    THREAD_CAP.store(0, Ordering::Relaxed);
+}
+
 /// Number of worker threads to use by default: the machine's parallelism,
-/// capped to leave a core for the harness.
+/// capped to leave a core for the harness — and further by
+/// [`set_thread_cap`] when a cap is installed.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |p| p.get().saturating_sub(1).max(1))
+    let machine =
+        std::thread::available_parallelism().map_or(4, |p| p.get().saturating_sub(1).max(1));
+    match THREAD_CAP.load(Ordering::Relaxed) {
+        0 => machine,
+        cap => machine.min(cap),
+    }
 }
 
 /// Estimated word operations below which a thread scope costs more than
@@ -232,6 +255,21 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_cap_bounds_default_threads() {
+        // Other tests read default_threads() but none install a cap, so
+        // this serialized-by-itself mutation is safe to restore.
+        let uncapped = default_threads();
+        set_thread_cap(1);
+        assert_eq!(default_threads(), 1);
+        set_thread_cap(0); // clamps to 1
+        assert_eq!(default_threads(), 1);
+        set_thread_cap(usize::MAX);
+        assert_eq!(default_threads(), uncapped, "cap above machine is inert");
+        clear_thread_cap();
+        assert_eq!(default_threads(), uncapped);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! the equivalence is pinned by `tests/proptest_ingest.rs`).
 
 use crate::lfgdpr::PerturbedView;
-use crate::report::UserReport;
+use crate::report::AdjacencyReport;
 use ldp_graph::runtime::{default_threads, parallel_chunks_mut, parallel_map, threads_for_work};
 use ldp_graph::{BitMatrix, BitSet};
 use ldp_mechanisms::RandomizedResponse;
@@ -112,7 +112,7 @@ impl StreamingAggregator {
     /// # Panics
     /// Panics if the report spans a different population or the population
     /// is already fully ingested.
-    pub fn ingest(&mut self, report: &UserReport) {
+    pub fn ingest(&mut self, report: &AdjacencyReport) {
         self.ingest_batch(std::slice::from_ref(report));
     }
 
@@ -123,7 +123,7 @@ impl StreamingAggregator {
     /// # Panics
     /// Panics if any report spans a different population, or if the batch
     /// would exceed the declared population.
-    pub fn ingest_batch(&mut self, batch: &[UserReport]) {
+    pub fn ingest_batch(&mut self, batch: &[AdjacencyReport]) {
         if batch.is_empty() {
             return;
         }
@@ -238,11 +238,11 @@ pub fn aggregate_stream<I>(
     reports: I,
 ) -> PerturbedView
 where
-    I: IntoIterator<Item = UserReport>,
+    I: IntoIterator<Item = AdjacencyReport>,
 {
     assert!(batch_size > 0, "batch_size must be positive");
     let mut agg = StreamingAggregator::new(n, rr);
-    let mut buf: Vec<UserReport> = Vec::with_capacity(batch_size.min(n.max(1)));
+    let mut buf: Vec<AdjacencyReport> = Vec::with_capacity(batch_size.min(n.max(1)));
     for report in reports {
         buf.push(report);
         if buf.len() == batch_size {
@@ -263,8 +263,8 @@ mod tests {
         RandomizedResponse::from_keep_probability(0.9).unwrap()
     }
 
-    fn report(n: usize, ones: &[usize], degree: f64) -> UserReport {
-        UserReport::new(BitSet::from_indices(n, ones.iter().copied()), degree)
+    fn report(n: usize, ones: &[usize], degree: f64) -> AdjacencyReport {
+        AdjacencyReport::new(BitSet::from_indices(n, ones.iter().copied()), degree)
     }
 
     #[test]
@@ -348,7 +348,7 @@ mod tests {
     #[test]
     fn aggregate_stream_bounded_buffer() {
         let n = 7;
-        let reports: Vec<UserReport> = (0..n)
+        let reports: Vec<AdjacencyReport> = (0..n)
             .map(|i| {
                 report(
                     n,

@@ -30,9 +30,7 @@ use ldp_graph::{CsrGraph, Xoshiro256pp};
 use ldp_mechanisms::{sampling::sample_laplace_vec, LaplaceMechanism, MechanismError};
 use rand::Rng;
 
-/// One user's upload in an LDPGen phase: a noisy count of their neighbors
-/// in each server-defined group.
-pub type DegreeVector = Vec<f64>;
+pub use crate::report::DegreeVector;
 
 /// The LDPGen protocol instance.
 #[derive(Debug, Clone, Copy)]
@@ -140,33 +138,63 @@ impl LdpGen {
     where
         F: FnMut(/*phase*/ usize, &[usize], usize) -> Vec<DegreeVector>,
     {
-        let n = graph.num_nodes();
-        // Phase 1: random initial grouping.
-        let mut seed_rng = base_rng.derive(0xA11);
-        let groups0: Vec<usize> = (0..n).map(|_| seed_rng.gen_range(0..self.k0)).collect();
-
-        let collect_phase = |phase: usize,
-                             groups: &[usize],
-                             num_groups: usize,
-                             craftd: Vec<DegreeVector>|
-         -> Vec<DegreeVector> {
-            let honest_count = n - craftd.len();
-            let mut vectors: Vec<DegreeVector> = (0..honest_count)
-                .map(|node| {
-                    let mut rng = base_rng.derive((phase as u64) << 32 | node as u64);
-                    self.honest_degree_vector(graph, node, groups, num_groups, &mut rng)
-                })
-                .collect();
-            for v in craftd {
-                assert_eq!(v.len(), num_groups, "crafted vector has wrong group count");
-                vectors.push(v);
-            }
-            vectors
-        };
-
+        // Phase 1: random initial grouping (stream shared with
+        // `GraphLdpProtocol::collect_honest`).
+        let groups0 = self.initial_groups(graph.num_nodes(), base_rng);
         let crafted1 = craft(1, &groups0, self.k0);
-        let vectors1 = collect_phase(1, &groups0, self.k0, crafted1);
+        let vectors1 = self.collect_phase(graph, base_rng, 1, &groups0, self.k0, crafted1);
+        self.finish_from_phase1(graph, base_rng, vectors1, craft)
+    }
 
+    /// The phase-1 random grouping (stream `0xA11`); shared by the
+    /// aggregation pipeline and `GraphLdpProtocol::collect_honest`.
+    pub(crate) fn initial_groups(&self, n: usize, base_rng: &Xoshiro256pp) -> Vec<usize> {
+        let mut seed_rng = base_rng.derive(0xA11);
+        (0..n).map(|_| seed_rng.gen_range(0..self.k0)).collect()
+    }
+
+    /// Collects one phase's degree vectors: honest users first (per-node
+    /// derived streams), then the crafted tail verbatim.
+    fn collect_phase(
+        &self,
+        graph: &CsrGraph,
+        base_rng: &Xoshiro256pp,
+        phase: usize,
+        groups: &[usize],
+        num_groups: usize,
+        crafted: Vec<DegreeVector>,
+    ) -> Vec<DegreeVector> {
+        let n = graph.num_nodes();
+        let honest_count = n - crafted.len();
+        let mut vectors: Vec<DegreeVector> = (0..honest_count)
+            .map(|node| {
+                let mut rng = base_rng.derive((phase as u64) << 32 | node as u64);
+                self.honest_degree_vector(graph, node, groups, num_groups, &mut rng)
+            })
+            .collect();
+        for v in crafted {
+            assert_eq!(v.len(), num_groups, "crafted vector has wrong group count");
+            vectors.push(v);
+        }
+        vectors
+    }
+
+    /// Runs everything after phase-1 collection: refined clustering, the
+    /// phase-2 round (with optional crafted tail), and the final
+    /// clustering. Split out so the [`crate::protocol::GraphLdpProtocol`]
+    /// implementation can aggregate an externally supplied phase-1 upload
+    /// set.
+    pub(crate) fn finish_from_phase1<F>(
+        &self,
+        graph: &CsrGraph,
+        base_rng: &Xoshiro256pp,
+        vectors1: Vec<DegreeVector>,
+        mut craft: F,
+    ) -> LdpGenAggregate
+    where
+        F: FnMut(/*phase*/ usize, &[usize], usize) -> Vec<DegreeVector>,
+    {
+        let n = graph.num_nodes();
         // Refined cluster count: k1 ≈ √(average reported degree), clamped.
         let avg_degree: f64 =
             vectors1.iter().map(|v| v.iter().sum::<f64>()).sum::<f64>() / n.max(1) as f64;
@@ -179,7 +207,7 @@ impl LdpGen {
 
         // Phase 2: report toward refined groups, cluster once more.
         let crafted2 = craft(2, &phase1.assignment, k1);
-        let vectors2 = collect_phase(2, &phase1.assignment, k1, crafted2);
+        let vectors2 = self.collect_phase(graph, base_rng, 2, &phase1.assignment, k1, crafted2);
         let mut kmeans_rng2 = base_rng.derive(0xC33);
         let phase2 = cluster::kmeans(&vectors2, k1, 25, &mut kmeans_rng2);
 

@@ -14,7 +14,7 @@ pub use sampled::SampledDegreeModel;
 pub use view::PerturbedView;
 
 use crate::ingest::StreamingAggregator;
-use crate::report::UserReport;
+use crate::report::AdjacencyReport;
 use ldp_graph::runtime::{default_threads, parallel_map, threads_for_work};
 use ldp_graph::CsrGraph;
 use ldp_mechanisms::{LaplaceMechanism, MechanismError, PrivacyBudget, RandomizedResponse};
@@ -73,14 +73,19 @@ impl LfGdpr {
     }
 
     /// Produces the honest report of `node` in `graph`.
-    pub fn honest_report<R: Rng>(&self, graph: &CsrGraph, node: usize, rng: &mut R) -> UserReport {
+    pub fn honest_report<R: Rng>(
+        &self,
+        graph: &CsrGraph,
+        node: usize,
+        rng: &mut R,
+    ) -> AdjacencyReport {
         let truth = graph.adjacency_bit_vector(node);
         let bits = self.rr.perturb_bitset(&truth, Some(node), rng);
         let max_degree = (graph.num_nodes() - 1) as f64;
         let degree = self
             .laplace
             .perturb_degree(graph.degree(node) as f64, max_degree, rng);
-        UserReport::new(bits, degree)
+        AdjacencyReport::new(bits, degree)
     }
 
     /// Collects honest reports from every node of `graph`. Each node draws
@@ -95,7 +100,7 @@ impl LfGdpr {
         &self,
         graph: &CsrGraph,
         base_rng: &ldp_graph::Xoshiro256pp,
-    ) -> Vec<UserReport> {
+    ) -> Vec<AdjacencyReport> {
         let n = graph.num_nodes();
         // Perturbation samples per adjacency bit, so the job is ~n² ops.
         let threads = threads_for_work(n.saturating_mul(n), default_threads());
@@ -110,7 +115,7 @@ impl LfGdpr {
     /// # Panics
     /// Panics if reports disagree on the population size or their count
     /// differs from it.
-    pub fn aggregate(&self, reports: &[UserReport]) -> PerturbedView {
+    pub fn aggregate(&self, reports: &[AdjacencyReport]) -> PerturbedView {
         PerturbedView::from_reports(reports, self.rr)
     }
 
@@ -129,7 +134,7 @@ impl LfGdpr {
     /// `n` reports spanning `n` users.
     pub fn aggregate_streamed<I>(&self, n: usize, batch_size: usize, reports: I) -> PerturbedView
     where
-        I: IntoIterator<Item = UserReport>,
+        I: IntoIterator<Item = AdjacencyReport>,
     {
         crate::ingest::aggregate_stream(n, self.rr, batch_size, reports)
     }

@@ -1,6 +1,6 @@
 //! The server-side aggregate of all uploaded reports.
 
-use crate::report::UserReport;
+use crate::report::AdjacencyReport;
 use ldp_graph::{BitMatrix, NodeId};
 use ldp_mechanisms::RandomizedResponse;
 
@@ -30,7 +30,7 @@ impl PerturbedView {
     /// # Panics
     /// Panics if the number of reports differs from the population size
     /// they claim, or if reports disagree on the population size.
-    pub fn from_reports(reports: &[UserReport], rr: RandomizedResponse) -> Self {
+    pub fn from_reports(reports: &[AdjacencyReport], rr: RandomizedResponse) -> Self {
         let mut agg = crate::ingest::StreamingAggregator::new(reports.len(), rr);
         agg.ingest_batch(reports);
         agg.finalize()
@@ -153,10 +153,10 @@ mod tests {
     /// explicitly (only lower-triangle bits count).
     fn view_from_rows(rows: Vec<Vec<usize>>, degrees: Vec<f64>) -> PerturbedView {
         let n = rows.len();
-        let reports: Vec<UserReport> = rows
+        let reports: Vec<AdjacencyReport> = rows
             .into_iter()
             .zip(degrees)
-            .map(|(ones, d)| UserReport::new(BitSet::from_indices(n, ones), d))
+            .map(|(ones, d)| AdjacencyReport::new(BitSet::from_indices(n, ones), d))
             .collect();
         PerturbedView::from_reports(&reports, rr09())
     }
@@ -213,9 +213,9 @@ mod tests {
     #[should_panic(expected = "spans")]
     fn population_mismatch_panics() {
         let reports = vec![
-            UserReport::new(BitSet::new(3), 0.0),
-            UserReport::new(BitSet::new(4), 0.0),
-            UserReport::new(BitSet::new(3), 0.0),
+            AdjacencyReport::new(BitSet::new(3), 0.0),
+            AdjacencyReport::new(BitSet::new(4), 0.0),
+            AdjacencyReport::new(BitSet::new(3), 0.0),
         ];
         PerturbedView::from_reports(&reports, rr09());
     }

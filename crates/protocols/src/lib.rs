@@ -17,6 +17,10 @@
 //!   LF-GDPR's server side: bounded batches folded in parallel into the
 //!   lower-triangle aggregate, finalized into a [`PerturbedView`]. The
 //!   one-shot `PerturbedView::from_reports` is a wrapper over this path.
+//! * [`protocol`] — the object-safe [`GraphLdpProtocol`] trait both
+//!   protocols implement, exchanging the protocol-agnostic [`UserReport`]
+//!   enum ([`report`]): the surface the scenario engine in `poison-core`
+//!   composes attacks, metrics, and defenses over.
 //!
 //! ## Edge-perturbation model
 //!
@@ -34,9 +38,14 @@
 pub mod ingest;
 pub mod ldpgen;
 pub mod lfgdpr;
+pub mod protocol;
 pub mod report;
 
 pub use ingest::StreamingAggregator;
 pub use ldpgen::LdpGen;
 pub use lfgdpr::{LfGdpr, PerturbedView};
-pub use report::UserReport;
+pub use protocol::{
+    CraftContext, FilterDecision, GraphLdpProtocol, Metric, ProtocolError, PublicParams,
+    ReportCrafter, ReportFilter, ServerView, WorldViews,
+};
+pub use report::{AdjacencyReport, DegreeVector, UserReport};

@@ -6,14 +6,14 @@
 use ldp_graph::{BitSet, Xoshiro256pp};
 use ldp_mechanisms::RandomizedResponse;
 use ldp_protocols::ingest::aggregate_stream;
-use ldp_protocols::{PerturbedView, StreamingAggregator, UserReport};
+use ldp_protocols::{AdjacencyReport, PerturbedView, StreamingAggregator};
 use proptest::prelude::*;
 use rand::Rng;
 
 /// Synthesizes `n` reports with word-level random bits at roughly the
 /// given density (upper-triangle and self bits included on purpose — the
 /// aggregator must ignore them identically on both paths).
-fn random_reports(n: usize, density_shift: u32, seed: u64) -> Vec<UserReport> {
+fn random_reports(n: usize, density_shift: u32, seed: u64) -> Vec<AdjacencyReport> {
     let mut rng = Xoshiro256pp::new(seed);
     (0..n)
         .map(|_| {
@@ -28,7 +28,7 @@ fn random_reports(n: usize, density_shift: u32, seed: u64) -> Vec<UserReport> {
             }
             bits.mask_tail();
             let degree = rng.gen_range(0.0..n.max(1) as f64);
-            UserReport::new(bits, degree)
+            AdjacencyReport::new(bits, degree)
         })
         .collect()
 }

@@ -31,15 +31,14 @@ fn main() {
     );
     let mut outcomes = Vec::new();
     for strategy in AttackStrategy::ALL {
-        let outcome = run_lfgdpr_attack(
-            &graph,
-            &protocol,
-            &threat,
-            strategy,
-            TargetMetric::ClusteringCoefficient,
-            MgaOptions::default(),
-            77,
-        );
+        let outcome = Scenario::on(protocol)
+            .attack(attack_for(strategy, MgaOptions::default()))
+            .metric(Metric::Clustering)
+            .threat(threat.clone())
+            .seed(77)
+            .run(&graph)
+            .expect("valid scenario")
+            .into_single_outcome();
         println!(
             "{:>8} {:>12.4} {:>14.4}",
             strategy.name(),
@@ -50,18 +49,17 @@ fn main() {
     }
 
     // Ablation (DESIGN.md §7): MGA without the fake-clique prioritization.
-    let no_priority = run_lfgdpr_attack(
-        &graph,
-        &protocol,
-        &threat,
-        AttackStrategy::Mga,
-        TargetMetric::ClusteringCoefficient,
-        MgaOptions {
+    let no_priority = Scenario::on(protocol)
+        .attack(Mga::new(MgaOptions {
             prioritize_fake_edges: false,
             ..Default::default()
-        },
-        77,
-    );
+        }))
+        .metric(Metric::Clustering)
+        .threat(threat.clone())
+        .seed(77)
+        .run(&graph)
+        .expect("valid scenario")
+        .into_single_outcome();
     println!(
         "{:>8} {:>12.4} {:>14.4}   (MGA ablation: no fake-fake clique)",
         "MGA*",

@@ -24,22 +24,21 @@ fn main() {
         "{:>8} {:>10} {:>10} {:>10} {:>12}",
         "epsilon", "RVA", "RNA", "MGA", "MGA-theory"
     );
-    let trials = 3;
+    let trials = 3u64;
     for epsilon in [1.0, 2.0, 4.0, 6.0, 8.0] {
         let protocol = LfGdpr::new(epsilon).expect("valid budget");
         let mut gains = Vec::new();
         for strategy in AttackStrategy::ALL {
-            let g = mean_gain(trials, 1_000 + (epsilon as u64) * 17, |seed| {
-                run_lfgdpr_attack(
-                    &graph,
-                    &protocol,
-                    &threat,
-                    strategy,
-                    TargetMetric::DegreeCentrality,
-                    MgaOptions::default(),
-                    seed,
-                )
-            });
+            let g = Scenario::on(protocol)
+                .attack(attack_for(strategy, MgaOptions::default()))
+                .metric(Metric::Degree)
+                .threat(threat.clone())
+                .exact()
+                .trials(trials)
+                .seed(1_000 + (epsilon as u64) * 17)
+                .run(&graph)
+                .expect("valid scenario")
+                .mean_gain();
             gains.push(g);
         }
         let theory = theorem1_degree_gain(
@@ -63,8 +62,15 @@ fn main() {
     let threat =
         ThreatModel::from_fractions(&big, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
     let protocol = LfGdpr::new(4.0).expect("valid budget");
-    let g = mean_gain(trials, 9_000, |seed| {
-        run_sampled_degree_attack(&big, &protocol, &threat, AttackStrategy::Mga, seed)
-    });
+    let g = Scenario::on(protocol)
+        .attack(Mga::default())
+        .metric(Metric::Degree)
+        .threat(threat)
+        .sampled()
+        .trials(trials)
+        .seed(9_000)
+        .run(&big)
+        .expect("valid scenario")
+        .mean_gain();
     println!("  MGA gain on n = 10,000: {g:.4}");
 }

@@ -19,24 +19,18 @@ fn main() {
     let seed = 101;
 
     // Undefended references.
-    let mga_raw = run_lfgdpr_attack(
-        &graph,
-        &protocol,
-        &threat,
-        AttackStrategy::Mga,
-        TargetMetric::DegreeCentrality,
-        opts,
-        seed,
-    );
-    let rva_raw = run_lfgdpr_attack(
-        &graph,
-        &protocol,
-        &threat,
-        AttackStrategy::Rva,
-        TargetMetric::DegreeCentrality,
-        opts,
-        seed,
-    );
+    let undefended = |strategy| {
+        Scenario::on(protocol)
+            .attack(attack_for(strategy, opts))
+            .metric(Metric::Degree)
+            .threat(threat.clone())
+            .seed(seed)
+            .run(&graph)
+            .expect("valid scenario")
+            .into_single_outcome()
+    };
+    let mga_raw = undefended(AttackStrategy::Mga);
+    let rva_raw = undefended(AttackStrategy::Rva);
     println!(
         "undefended gains: MGA {:.4}, RVA {:.4}\n",
         mga_raw.gain(),
@@ -47,25 +41,24 @@ fn main() {
         "{:<22} {:>8} {:>14} {:>10} {:>8}",
         "defense vs attack", "gain", "flagged (f/g)", "precision", "recall"
     );
-    let report = |label: &str, strategy: AttackStrategy, defense: &dyn GraphDefense| {
-        let out = run_defended_attack(
-            &graph,
-            &protocol,
-            &threat,
-            strategy,
-            TargetMetric::DegreeCentrality,
-            defense,
-            opts,
-            seed,
-        );
+    let report = |label: &str, strategy: AttackStrategy, defense: &dyn Defense| {
+        let out = Scenario::on(protocol)
+            .attack(attack_for(strategy, opts))
+            .metric(Metric::Degree)
+            .defend(defense)
+            .threat(threat.clone())
+            .seed(seed)
+            .run(&graph)
+            .expect("valid scenario");
+        let trial = &out.trials[0];
         println!(
             "{:<22} {:>8.4} {:>7}/{:<6} {:>10.2} {:>8.2}",
             label,
-            out.gain(),
-            out.flagged_fake,
-            out.flagged_genuine,
-            out.precision(),
-            out.recall(threat.m_fake)
+            trial.gain(),
+            trial.flagged_fake.unwrap_or(0),
+            trial.flagged_genuine.unwrap_or(0),
+            out.mean_precision().unwrap_or(0.0),
+            out.mean_recall().unwrap_or(0.0)
         );
     };
 

@@ -6,7 +6,6 @@
 //! cargo run --release --example ldpgen_synthesis
 //! ```
 
-use graph_ldp_poisoning::attack::ldpgen_attack::{run_ldpgen_attack, LdpGenMetric};
 use graph_ldp_poisoning::graph::community::label_propagation;
 use graph_ldp_poisoning::graph::metrics::{average_clustering_coefficient, modularity};
 use graph_ldp_poisoning::prelude::*;
@@ -58,24 +57,19 @@ fn main() {
         "attack", "clustering-coeff gain", "modularity gain"
     );
     for strategy in AttackStrategy::ALL {
-        let cc = run_ldpgen_attack(
-            &graph,
-            &protocol,
-            &threat,
-            strategy,
-            LdpGenMetric::ClusteringCoefficient,
-            None,
-            7,
-        );
-        let q = run_ldpgen_attack(
-            &graph,
-            &protocol,
-            &threat,
-            strategy,
-            LdpGenMetric::Modularity,
-            Some(&partition),
-            7,
-        );
+        let scenario = |metric| {
+            Scenario::on(protocol)
+                .attack(attack_for(strategy, MgaOptions::default()))
+                .metric(metric)
+                .threat(threat.clone())
+                .partition(&partition)
+                .seed(7)
+                .run(&graph)
+                .expect("valid scenario")
+                .into_single_outcome()
+        };
+        let cc = scenario(Metric::Clustering);
+        let q = scenario(Metric::Modularity);
         println!(
             "{:>8} {:>22.4} {:>18.4}",
             strategy.name(),

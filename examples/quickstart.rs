@@ -49,15 +49,14 @@ fn main() {
         threat.num_targets()
     );
 
-    let outcome = run_lfgdpr_attack(
-        &graph,
-        &protocol,
-        &threat,
-        AttackStrategy::Mga,
-        TargetMetric::DegreeCentrality,
-        MgaOptions::default(),
-        42,
-    );
+    let outcome = Scenario::on(protocol)
+        .attack(Mga::default())
+        .metric(Metric::Degree)
+        .threat(threat.clone())
+        .seed(42)
+        .run(&graph)
+        .expect("valid scenario")
+        .into_single_outcome();
 
     // 5. Damage report.
     println!("\nper-target degree centrality (first 5 targets):");

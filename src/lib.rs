@@ -10,15 +10,20 @@
 //!   generators, dataset stand-ins ([`ldp_graph`]).
 //! * [`mechanisms`] — LDP primitives: randomized response, Laplace,
 //!   samplers, frequency-estimation protocols ([`ldp_mechanisms`]).
-//! * [`protocols`] — LF-GDPR and LDPGen ([`ldp_protocols`]).
-//! * [`attack`] — the paper's contribution: RVA/RNA/MGA, gain, theory,
-//!   evaluation pipelines ([`poison_core`]).
-//! * [`defense`] — Detect1/Detect2 countermeasures and baselines
-//!   ([`poison_defense`]).
+//! * [`protocols`] — LF-GDPR and LDPGen behind the object-safe
+//!   `GraphLdpProtocol` trait ([`ldp_protocols`]).
+//! * [`attack`] — the paper's contribution: the `Attack` trait
+//!   (RVA/RNA/MGA), gain, theory, and the unified scenario engine
+//!   ([`poison_core`]).
+//! * [`defense`] — Detect1/Detect2 countermeasures and baselines behind
+//!   the `Defense` trait ([`poison_defense`]).
 //! * [`experiments`] — the harness regenerating every table and figure
 //!   ([`poison_experiments`]).
 //!
 //! ## Quickstart
+//!
+//! Every evaluation — any protocol, attack, metric, defense — is one
+//! [`Scenario`](poison_core::scenario::Scenario) run:
 //!
 //! ```
 //! use graph_ldp_poisoning::prelude::*;
@@ -26,19 +31,23 @@
 //! // A decentralized social graph of 300 genuine users.
 //! let graph = Dataset::Facebook.generate_with_nodes(300, 7);
 //!
-//! // The server deploys LF-GDPR with total budget ε = 4.
-//! let protocol = LfGdpr::new(4.0).unwrap();
-//!
 //! // An attacker controls 5% fake users and targets 5% of nodes.
 //! let mut rng = Xoshiro256pp::new(1);
 //! let threat = ThreatModel::from_fractions(
 //!     &graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
 //!
-//! // Maximal Gain Attack against degree centrality.
-//! let outcome = run_lfgdpr_attack(
-//!     &graph, &protocol, &threat, AttackStrategy::Mga,
-//!     TargetMetric::DegreeCentrality, MgaOptions::default(), 42);
-//! assert!(outcome.gain() > 0.0);
+//! // Maximal Gain Attack on LF-GDPR's degree-centrality estimates,
+//! // filtered by the degree-consistency countermeasure.
+//! let report = Scenario::on(LfGdpr::new(4.0).unwrap())
+//!     .attack(Mga::default())
+//!     .metric(Metric::Degree)
+//!     .defend(DegreeConsistencyDefense::default())
+//!     .threat(threat)
+//!     .trials(3)
+//!     .seed(42)
+//!     .run(&graph)
+//!     .unwrap();
+//! assert!(report.mean_gain() > 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -56,16 +65,27 @@ pub mod prelude {
     pub use ldp_graph::datasets::Dataset;
     pub use ldp_graph::{BitMatrix, BitSet, CsrGraph, GraphBuilder, Xoshiro256pp};
     pub use ldp_mechanisms::{LaplaceMechanism, PrivacyBudget, RandomizedResponse};
-    pub use ldp_protocols::{LdpGen, LfGdpr, PerturbedView, UserReport};
+    pub use ldp_protocols::{
+        AdjacencyReport, GraphLdpProtocol, LdpGen, LfGdpr, Metric, PerturbedView, ServerView,
+        UserReport,
+    };
+    pub use poison_core::scenario::{EvalMode, Scenario, ScenarioReport};
     pub use poison_core::{
-        mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
-        theorem1_degree_gain, theorem2_clustering_gain, AttackOutcome, AttackStrategy,
-        AttackerKnowledge, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
+        attack_for, theorem1_degree_gain, theorem2_clustering_gain, Attack, AttackOutcome,
+        AttackStrategy, AttackerKnowledge, Defense, Mga, MgaOptions, Rna, Rva, ScenarioError,
+        TargetMetric, TargetSelection, ThreatModel,
     };
     pub use poison_defense::{
-        run_defended_attack, DegreeConsistencyDefense, FrequentItemsetDefense, GraphDefense,
-        NaiveDegreeTails, NaiveTopDegree,
+        CombinedDefense, DegreeConsistencyDefense, FrequentItemsetDefense, NaiveDegreeTails,
+        NaiveTopDegree,
     };
+
+    #[allow(deprecated)]
+    pub use poison_core::{
+        mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
+    };
+    #[allow(deprecated)]
+    pub use poison_defense::{run_defended_attack, GraphDefense};
 }
 
 #[cfg(test)]

@@ -18,17 +18,24 @@ fn mean(
     protocol: &LfGdpr,
     threat: &ThreatModel,
     s: AttackStrategy,
-    m: TargetMetric,
+    m: Metric,
 ) -> f64 {
-    mean_gain(4, 300, |seed| {
-        run_lfgdpr_attack(graph, protocol, threat, s, m, MgaOptions::default(), seed)
-    })
+    Scenario::on(*protocol)
+        .attack(attack_for(s, MgaOptions::default()))
+        .metric(m)
+        .threat(threat.clone())
+        .exact()
+        .trials(4)
+        .seed(300)
+        .run(graph)
+        .unwrap()
+        .mean_gain()
 }
 
 #[test]
 fn mga_dominates_on_degree_centrality_facebook() {
     let (graph, protocol, threat) = setup(Dataset::Facebook, 500, 1);
-    let metric = TargetMetric::DegreeCentrality;
+    let metric = Metric::Degree;
     let mga = mean(&graph, &protocol, &threat, AttackStrategy::Mga, metric);
     let rva = mean(&graph, &protocol, &threat, AttackStrategy::Rva, metric);
     let rna = mean(&graph, &protocol, &threat, AttackStrategy::Rna, metric);
@@ -39,7 +46,7 @@ fn mga_dominates_on_degree_centrality_facebook() {
 #[test]
 fn mga_dominates_on_degree_centrality_enron() {
     let (graph, protocol, threat) = setup(Dataset::Enron, 500, 2);
-    let metric = TargetMetric::DegreeCentrality;
+    let metric = Metric::Degree;
     let mga = mean(&graph, &protocol, &threat, AttackStrategy::Mga, metric);
     let rva = mean(&graph, &protocol, &threat, AttackStrategy::Rva, metric);
     let rna = mean(&graph, &protocol, &threat, AttackStrategy::Rna, metric);
@@ -49,7 +56,7 @@ fn mga_dominates_on_degree_centrality_enron() {
 #[test]
 fn mga_dominates_on_clustering_coefficient() {
     let (graph, protocol, threat) = setup(Dataset::AstroPh, 500, 3);
-    let metric = TargetMetric::ClusteringCoefficient;
+    let metric = Metric::Clustering;
     let mga = mean(&graph, &protocol, &threat, AttackStrategy::Mga, metric);
     let rva = mean(&graph, &protocol, &threat, AttackStrategy::Rva, metric);
     let rna = mean(&graph, &protocol, &threat, AttackStrategy::Rna, metric);
@@ -60,19 +67,15 @@ fn mga_dominates_on_clustering_coefficient() {
 #[test]
 fn mga_inflates_rather_than_just_perturbs() {
     let (graph, protocol, threat) = setup(Dataset::Facebook, 400, 4);
-    for metric in [
-        TargetMetric::DegreeCentrality,
-        TargetMetric::ClusteringCoefficient,
-    ] {
-        let outcome = run_lfgdpr_attack(
-            &graph,
-            &protocol,
-            &threat,
-            AttackStrategy::Mga,
-            metric,
-            MgaOptions::default(),
-            99,
-        );
+    for metric in [Metric::Degree, Metric::Clustering] {
+        let outcome = Scenario::on(protocol)
+            .attack(Mga::default())
+            .metric(metric)
+            .threat(threat.clone())
+            .seed(99)
+            .run(&graph)
+            .unwrap()
+            .into_single_outcome();
         assert!(
             outcome.signed_gain() > 0.0,
             "MGA must raise the target metric ({metric:?})"
@@ -83,31 +86,21 @@ fn mga_inflates_rather_than_just_perturbs() {
 #[test]
 fn prioritized_allocation_beats_flat_mga_on_clustering() {
     let (graph, protocol, threat) = setup(Dataset::Facebook, 500, 5);
-    let metric = TargetMetric::ClusteringCoefficient;
-    let with = mean_gain(4, 700, |seed| {
-        run_lfgdpr_attack(
-            &graph,
-            &protocol,
-            &threat,
-            AttackStrategy::Mga,
-            metric,
-            MgaOptions::default(),
-            seed,
-        )
-    });
-    let without = mean_gain(4, 700, |seed| {
-        run_lfgdpr_attack(
-            &graph,
-            &protocol,
-            &threat,
-            AttackStrategy::Mga,
-            metric,
-            MgaOptions {
-                prioritize_fake_edges: false,
-                ..Default::default()
-            },
-            seed,
-        )
+    let gain_with = |options: MgaOptions| {
+        Scenario::on(protocol)
+            .attack(Mga::new(options))
+            .metric(Metric::Clustering)
+            .threat(threat.clone())
+            .trials(4)
+            .seed(700)
+            .run(&graph)
+            .unwrap()
+            .mean_gain()
+    };
+    let with = gain_with(MgaOptions::default());
+    let without = gain_with(MgaOptions {
+        prioritize_fake_edges: false,
+        ..Default::default()
     });
     assert!(
         with > without,
@@ -128,17 +121,16 @@ fn gain_scales_with_fake_fraction() {
             TargetSelection::UniformRandom,
             &mut rng,
         );
-        mean_gain(3, 800, |seed| {
-            run_lfgdpr_attack(
-                &graph,
-                &protocol,
-                &threat,
-                AttackStrategy::Mga,
-                TargetMetric::DegreeCentrality,
-                MgaOptions::default(),
-                seed,
-            )
-        })
+        Scenario::on(protocol)
+            .attack(Mga::default())
+            .metric(Metric::Degree)
+            .threat(threat)
+            .exact()
+            .trials(3)
+            .seed(800)
+            .run(&graph)
+            .unwrap()
+            .mean_gain()
     };
     let small = gain_at(0.01);
     let large = gain_at(0.10);

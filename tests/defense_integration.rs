@@ -19,22 +19,21 @@ fn mean_defended(
     protocol: &LfGdpr,
     threat: &ThreatModel,
     strategy: AttackStrategy,
-    defense: &dyn GraphDefense,
+    defense: &dyn Defense,
     trials: u64,
 ) -> f64 {
     (0..trials)
         .map(|t| {
-            run_defended_attack(
-                graph,
-                protocol,
-                threat,
-                strategy,
-                TargetMetric::DegreeCentrality,
-                defense,
-                MgaOptions::default(),
-                10_000 + t * 31,
-            )
-            .gain()
+            Scenario::on(*protocol)
+                .attack(attack_for(strategy, MgaOptions::default()))
+                .metric(Metric::Degree)
+                .defend(defense)
+                .threat(threat.clone())
+                .exact()
+                .seed(10_000 + t * 31)
+                .run(graph)
+                .unwrap()
+                .mean_gain()
         })
         .sum::<f64>()
         / trials as f64
@@ -47,17 +46,20 @@ fn mean_undefended(
     strategy: AttackStrategy,
     trials: u64,
 ) -> f64 {
-    mean_gain(trials, 10_000, |seed| {
-        run_lfgdpr_attack(
-            graph,
-            protocol,
-            threat,
-            strategy,
-            TargetMetric::DegreeCentrality,
-            MgaOptions::default(),
-            seed,
-        )
-    })
+    (0..trials)
+        .map(|t| {
+            Scenario::on(*protocol)
+                .attack(attack_for(strategy, MgaOptions::default()))
+                .metric(Metric::Degree)
+                .threat(threat.clone())
+                .exact()
+                .seed(10_000 + t)
+                .run(graph)
+                .unwrap()
+                .mean_gain()
+        })
+        .sum::<f64>()
+        / trials as f64
 }
 
 #[test]
@@ -121,21 +123,18 @@ fn detect1_threshold_u_shape_endpoints() {
 #[test]
 fn detect2_flags_are_precise_against_rva() {
     let (graph, protocol, threat) = setup(5);
-    let out = run_defended_attack(
-        &graph,
-        &protocol,
-        &threat,
-        AttackStrategy::Rva,
-        TargetMetric::DegreeCentrality,
-        &DegreeConsistencyDefense::default(),
-        MgaOptions::default(),
-        77,
-    );
-    if out.flagged_fake + out.flagged_genuine > 0 {
+    let report = Scenario::on(protocol)
+        .attack(Rva)
+        .metric(Metric::Degree)
+        .defend(DegreeConsistencyDefense::default())
+        .threat(threat.clone())
+        .seed(77)
+        .run(&graph)
+        .unwrap();
+    if let Some(precision) = report.mean_precision() {
         assert!(
-            out.precision() > 0.8,
-            "Detect2 flags should be mostly fakes (precision {})",
-            out.precision()
+            precision > 0.8,
+            "Detect2 flags should be mostly fakes (precision {precision})"
         );
     }
 }
@@ -149,10 +148,10 @@ fn defenses_do_not_mangle_honest_population() {
     let reports = protocol.collect_honest(&graph, &base);
     let view_clean = protocol.aggregate(&reports);
     for defense in [
-        &DegreeConsistencyDefense::default() as &dyn GraphDefense,
-        &FrequentItemsetDefense::new(10_000) as &dyn GraphDefense,
+        &DegreeConsistencyDefense::default() as &dyn Defense,
+        &FrequentItemsetDefense::new(10_000) as &dyn Defense,
     ] {
-        let app = defense.apply(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
+        let app = defense.filter_reports(&reports, &protocol, &mut Xoshiro256pp::new(0xD0));
         let view = protocol.aggregate(&app.repaired);
         let drift: f64 = (0..graph.num_nodes())
             .map(|u| (view.degree_centrality(u) - view_clean.degree_centrality(u)).abs())

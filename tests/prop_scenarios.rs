@@ -1,0 +1,116 @@
+//! Property test for the scenario engine: **any** (protocol, attack,
+//! metric) combination — the full matrix the paper evaluates — runs
+//! without panicking on small random graphs, returning finite estimates
+//! (or a typed error for the one documented hole: defenses on LDPGen).
+
+use graph_ldp_poisoning::prelude::*;
+use proptest::prelude::*;
+
+/// A random scenario configuration over small Erdős–Rényi-ish graphs.
+/// The fifth component selects the (protocol, attack) cell: `sel / 3`
+/// picks the protocol, `sel % 3` the attack.
+fn scenario_inputs() -> impl Strategy<Value = (usize, usize, usize, u64, u8, u64)> {
+    (
+        10usize..60, // n_genuine
+        1usize..8,   // m_fake
+        1usize..6,   // targets
+        0u64..1000,  // graph seed
+        0u8..6,      // (protocol, attack) cell selector
+        0u64..1000,  // scenario seed
+    )
+}
+
+fn build_graph(n: usize, seed: u64) -> CsrGraph {
+    // Dense enough to have structure, sparse enough to stay cheap.
+    graph_ldp_poisoning::graph::generate::erdos_renyi_gnp(n, 0.15, &mut Xoshiro256pp::new(seed))
+        .expect("valid G(n, p) parameters")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every (protocol × attack × metric) cell of the evaluation matrix
+    /// runs end to end on arbitrary small graphs.
+    #[test]
+    fn any_scenario_combination_runs(inputs in scenario_inputs()) {
+        let (n, m, r, gseed, cell, seed) = inputs;
+        let (proto_sel, attack_sel) = (cell / 3, cell % 3);
+        let graph = build_graph(n, gseed);
+        let targets: Vec<usize> = (0..r.min(n)).map(|i| (i * 7) % n).collect();
+        let threat = ThreatModel::explicit(n, m, targets);
+        let partition: Vec<usize> = (0..n).map(|u| u % 3).collect();
+        let attack = attack_for(
+            AttackStrategy::ALL[attack_sel as usize],
+            MgaOptions::default(),
+        );
+        for metric in [Metric::Degree, Metric::Clustering, Metric::Modularity] {
+            let run = |builder: ScenarioBuilderFor<'_>| {
+                builder
+                    .metric(metric)
+                    .threat(threat.clone())
+                    .partition(&partition)
+                    .seed(seed)
+                    .run(&graph)
+            };
+            let report = if proto_sel == 0 {
+                run(Scenario::on(LfGdpr::new(4.0).unwrap()).attack(&*attack))
+            } else {
+                run(Scenario::on(LdpGen::with_defaults(4.0).unwrap()).attack(&*attack))
+            };
+            let report = report.expect("every matrix cell must run");
+            prop_assert!(report.mean_gain().is_finite(), "{metric} gain not finite");
+            prop_assert_eq!(report.trials.len(), 1);
+        }
+    }
+
+    /// The sampled mode is available exactly where documented, and a
+    /// defended LDPGen scenario fails with the typed error, not a panic.
+    #[test]
+    fn unsupported_combinations_error_cleanly(inputs in scenario_inputs()) {
+        let (n, m, r, gseed, cell, seed) = inputs;
+        let attack_sel = cell % 3;
+        let graph = build_graph(n, gseed);
+        let targets: Vec<usize> = (0..r.min(n)).map(|i| (i * 5) % n).collect();
+        let threat = ThreatModel::explicit(n, m, targets);
+        let attack = attack_for(
+            AttackStrategy::ALL[attack_sel as usize],
+            MgaOptions::default(),
+        );
+        // LF-GDPR degree scenarios support forced sampling...
+        let sampled = Scenario::on(LfGdpr::new(4.0).unwrap())
+            .attack(&*attack)
+            .metric(Metric::Degree)
+            .threat(threat.clone())
+            .mode(EvalMode::Sampled)
+            .seed(seed)
+            .run(&graph)
+            .expect("sampled degree scenario must run");
+        prop_assert!(sampled.sampled);
+        prop_assert!(sampled.mean_gain().is_finite());
+        // ...LDPGen ones do not, and say so.
+        let err = Scenario::on(LdpGen::with_defaults(4.0).unwrap())
+            .attack(&*attack)
+            .metric(Metric::Degree)
+            .threat(threat.clone())
+            .mode(EvalMode::Sampled)
+            .seed(seed)
+            .run(&graph)
+            .unwrap_err();
+        let is_unavailable = matches!(err, ScenarioError::SampledModeUnavailable { reason: _ });
+        prop_assert!(is_unavailable, "expected SampledModeUnavailable, got {err}");
+        // A defense on LDPGen is a typed error, not a panic.
+        let err = Scenario::on(LdpGen::with_defaults(4.0).unwrap())
+            .attack(&*attack)
+            .defend(DegreeConsistencyDefense::default())
+            .metric(Metric::Clustering)
+            .threat(threat)
+            .seed(seed)
+            .run(&graph)
+            .unwrap_err();
+        let is_protocol_error = matches!(err, ScenarioError::Protocol(_));
+        prop_assert!(is_protocol_error, "expected a protocol error, got {err}");
+    }
+}
+
+/// Alias so the closure in the matrix test can name the builder type.
+type ScenarioBuilderFor<'a> = graph_ldp_poisoning::attack::scenario::ScenarioBuilder<'a>;

@@ -12,20 +12,20 @@ fn compare(strategy: AttackStrategy, seed_base: u64, tolerance: f64) {
     let threat =
         ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
     let trials = 40;
-    let exact = mean_gain(trials, seed_base, |seed| {
-        run_lfgdpr_attack(
-            &graph,
-            &protocol,
-            &threat,
-            strategy,
-            TargetMetric::DegreeCentrality,
-            MgaOptions::default(),
-            seed,
-        )
-    });
-    let sampled = mean_gain(trials, seed_base + 100_000, |seed| {
-        run_sampled_degree_attack(&graph, &protocol, &threat, strategy, seed)
-    });
+    let run_mode = |mode: EvalMode, seed: u64| {
+        Scenario::on(protocol)
+            .attack(attack_for(strategy, MgaOptions::default()))
+            .metric(Metric::Degree)
+            .threat(threat.clone())
+            .mode(mode)
+            .trials(trials)
+            .seed(seed)
+            .run(&graph)
+            .unwrap()
+            .mean_gain()
+    };
+    let exact = run_mode(EvalMode::Exact, seed_base);
+    let sampled = run_mode(EvalMode::Sampled, seed_base + 100_000);
     let rel = (exact - sampled).abs() / exact.max(1e-9);
     assert!(
         rel < tolerance,

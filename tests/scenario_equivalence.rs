@@ -1,0 +1,372 @@
+//! Equivalence suite: pins `ScenarioBuilder` output **bit for bit**
+//! against the legacy per-protocol entry points on fixed seeds.
+//!
+//! Two layers of protection:
+//!
+//! 1. **Golden values** — the `f64::to_bits` of gains produced by the
+//!    pre-refactor pipelines (captured from commit `23b047d`, before the
+//!    engine existed). If the engine ever drifts, these fail even though
+//!    the deprecated wrappers now delegate to the engine.
+//! 2. **Wrapper equality** — the deprecated free functions and the builder
+//!    express each run identically, so the documented migration map in
+//!    `poison_core::pipeline` is exact, not approximate.
+
+#![allow(deprecated)]
+
+use graph_ldp_poisoning::attack::ldpgen_attack::{run_ldpgen_attack, LdpGenMetric};
+use graph_ldp_poisoning::attack::scenario::Scenario;
+use graph_ldp_poisoning::attack::{
+    attack_for, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
+    AttackOutcome, AttackStrategy, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
+};
+use graph_ldp_poisoning::defense::{
+    run_defended_attack, CombinedDefense, Defense, DegreeConsistencyDefense,
+    FrequentItemsetDefense, NaiveDegreeTails, NaiveTopDegree,
+};
+use graph_ldp_poisoning::graph::datasets::Dataset;
+use graph_ldp_poisoning::graph::generate::caveman_graph;
+use graph_ldp_poisoning::graph::{CsrGraph, Xoshiro256pp};
+use graph_ldp_poisoning::protocols::{LdpGen, LfGdpr, Metric};
+
+fn small_world() -> (CsrGraph, LfGdpr, ThreatModel) {
+    let graph = Dataset::Facebook.generate_with_nodes(300, 42);
+    let protocol = LfGdpr::new(4.0).unwrap();
+    let mut rng = Xoshiro256pp::new(9);
+    let threat =
+        ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
+    (graph, protocol, threat)
+}
+
+fn assert_bits(label: &str, value: f64, golden: u64) {
+    assert_eq!(
+        value.to_bits(),
+        golden,
+        "{label}: {value} != {} (drift from the pre-refactor pipeline)",
+        f64::from_bits(golden)
+    );
+}
+
+fn assert_same_outcome(label: &str, a: &AttackOutcome, b: &AttackOutcome) {
+    assert_eq!(a.before, b.before, "{label}: before vectors differ");
+    assert_eq!(a.after, b.after, "{label}: after vectors differ");
+}
+
+/// Golden `(gain, signed_gain)` bits of `run_lfgdpr_attack` at seed 7 on
+/// the `small_world` setup, per (metric, strategy).
+const GOLDEN_LFGDPR_EXACT: [(TargetMetric, AttackStrategy, u64, u64); 6] = [
+    (
+        TargetMetric::DegreeCentrality,
+        AttackStrategy::Rva,
+        0x3fb461d59ae78a98,
+        0x3fb11efb1bb84138,
+    ),
+    (
+        TargetMetric::DegreeCentrality,
+        AttackStrategy::Rna,
+        0x3fb461d59ae78a9a,
+        0x3fa1efb1bb84138c,
+    ),
+    (
+        TargetMetric::DegreeCentrality,
+        AttackStrategy::Mga,
+        0x3fe3ab35cf15328b,
+        0x3fe3ab35cf15328b,
+    ),
+    (
+        TargetMetric::ClusteringCoefficient,
+        AttackStrategy::Rva,
+        0x3fc3be77ed29b7e1,
+        0x3fab0caa9e19d2e3,
+    ),
+    (
+        TargetMetric::ClusteringCoefficient,
+        AttackStrategy::Rna,
+        0x3fc209ad4546fc41,
+        0x3f62e8d6b989ff40,
+    ),
+    (
+        TargetMetric::ClusteringCoefficient,
+        AttackStrategy::Mga,
+        0x3fedac5bd989667d,
+        0x3fe6dbf1dce83f04,
+    ),
+];
+
+#[test]
+fn lfgdpr_exact_pins_golden_and_matches_wrapper() {
+    let (graph, protocol, threat) = small_world();
+    for (metric, strategy, gain_bits, signed_bits) in GOLDEN_LFGDPR_EXACT {
+        let label = format!("{metric:?}/{}", strategy.name());
+        let legacy = run_lfgdpr_attack(
+            &graph,
+            &protocol,
+            &threat,
+            strategy,
+            metric,
+            MgaOptions::default(),
+            7,
+        );
+        assert_bits(&label, legacy.gain(), gain_bits);
+        assert_bits(&label, legacy.signed_gain(), signed_bits);
+
+        let builder = Scenario::on(protocol)
+            .attack(attack_for(strategy, MgaOptions::default()))
+            .metric(metric.into())
+            .threat(threat.clone())
+            .exact()
+            .seed(7)
+            .run(&graph)
+            .unwrap()
+            .into_single_outcome();
+        assert_same_outcome(&label, &legacy, &builder);
+    }
+}
+
+/// Golden `(before, after)` bits of `run_lfgdpr_modularity_attack` at
+/// seed 3 on the caveman setup.
+const GOLDEN_LFGDPR_MODULARITY: [(AttackStrategy, u64, u64); 3] = [
+    (AttackStrategy::Rva, 0x3fea8e014b8432ae, 0x3fe62da81bddee5e),
+    (AttackStrategy::Rna, 0x3fea8e014b8432ae, 0x3fe937adfbce81cc),
+    (AttackStrategy::Mga, 0x3fea8e014b8432ae, 0x3febea37dada1f47),
+];
+
+#[test]
+fn lfgdpr_modularity_pins_golden_and_matches_wrapper() {
+    let graph = caveman_graph(8, 10);
+    let protocol = LfGdpr::new(4.0).unwrap();
+    let threat = ThreatModel::explicit(80, 8, vec![0, 10, 20, 30]);
+    let partition: Vec<usize> = (0..80).map(|u| u / 10).collect();
+    for (strategy, before_bits, after_bits) in GOLDEN_LFGDPR_MODULARITY {
+        let legacy = run_lfgdpr_modularity_attack(
+            &graph,
+            &protocol,
+            &threat,
+            strategy,
+            &partition,
+            MgaOptions::default(),
+            3,
+        );
+        assert_bits(strategy.name(), legacy.before[0], before_bits);
+        assert_bits(strategy.name(), legacy.after[0], after_bits);
+
+        let builder = Scenario::on(protocol)
+            .attack(attack_for(strategy, MgaOptions::default()))
+            .metric(Metric::Modularity)
+            .threat(threat.clone())
+            .partition(&partition)
+            .exact()
+            .seed(3)
+            .run(&graph)
+            .unwrap()
+            .into_single_outcome();
+        assert_same_outcome(strategy.name(), &legacy, &builder);
+    }
+}
+
+/// Golden `(gain, signed_gain)` bits of `run_sampled_degree_attack` at
+/// seed 11 on the `small_world` setup.
+const GOLDEN_SAMPLED: [(AttackStrategy, u64, u64); 3] = [
+    (AttackStrategy::Rva, 0x3fb9461d59ae78aa, 0x3fb461d59ae78a9a),
+    (AttackStrategy::Rna, 0x3fb60342da7f2f48, 0x3fabb8413911efb0),
+    (AttackStrategy::Mga, 0x3fe4b01a16d3f979, 0x3fe4b01a16d3f979),
+];
+
+#[test]
+fn sampled_degree_pins_golden_and_matches_wrapper() {
+    let (graph, protocol, threat) = small_world();
+    for (strategy, gain_bits, signed_bits) in GOLDEN_SAMPLED {
+        let legacy = run_sampled_degree_attack(&graph, &protocol, &threat, strategy, 11);
+        assert_bits(strategy.name(), legacy.gain(), gain_bits);
+        assert_bits(strategy.name(), legacy.signed_gain(), signed_bits);
+
+        let builder = Scenario::on(protocol)
+            .attack(attack_for(strategy, MgaOptions::default()))
+            .metric(Metric::Degree)
+            .threat(threat.clone())
+            .sampled()
+            .seed(11)
+            .run(&graph)
+            .unwrap();
+        assert!(builder.sampled, "sampled mode must actually run");
+        assert_same_outcome(strategy.name(), &legacy, &builder.into_single_outcome());
+    }
+}
+
+/// Golden bits of `run_ldpgen_attack` at seed 5 on the caveman setup:
+/// `(cc_gain, cc_signed, q_before, q_after)` per strategy.
+const GOLDEN_LDPGEN: [(AttackStrategy, u64, u64, u64, u64); 3] = [
+    (
+        AttackStrategy::Rva,
+        0x3fe279cfff9115d0,
+        0xbfd5de0d1baf8178,
+        0xbfaeb628e59d70b3,
+        0xbfab84fa9295869b,
+    ),
+    (
+        AttackStrategy::Rna,
+        0x3fdb62ebfd58cda2,
+        0xbfd96acc7b60ae20,
+        0xbfaeb628e59d70b3,
+        0xbfb0c69067587088,
+    ),
+    (
+        AttackStrategy::Mga,
+        0x3fe27ff34a7ff34a,
+        0xbfd913faa913faa8,
+        0xbfaeb628e59d70b3,
+        0xbfb5362fa28ee7ad,
+    ),
+];
+
+#[test]
+fn ldpgen_pins_golden_and_matches_wrapper() {
+    let graph = caveman_graph(10, 8);
+    let protocol = LdpGen::with_defaults(4.0).unwrap();
+    let threat = ThreatModel::explicit(80, 8, vec![0, 8, 16, 24]);
+    let partition: Vec<usize> = (0..80).map(|u| u / 8).collect();
+    for (strategy, cc_gain, cc_signed, q_before, q_after) in GOLDEN_LDPGEN {
+        let legacy_cc = run_ldpgen_attack(
+            &graph,
+            &protocol,
+            &threat,
+            strategy,
+            LdpGenMetric::ClusteringCoefficient,
+            None,
+            5,
+        );
+        assert_bits(strategy.name(), legacy_cc.gain(), cc_gain);
+        assert_bits(strategy.name(), legacy_cc.signed_gain(), cc_signed);
+        let legacy_q = run_ldpgen_attack(
+            &graph,
+            &protocol,
+            &threat,
+            strategy,
+            LdpGenMetric::Modularity,
+            Some(&partition),
+            5,
+        );
+        assert_bits(strategy.name(), legacy_q.before[0], q_before);
+        assert_bits(strategy.name(), legacy_q.after[0], q_after);
+
+        let builder_cc = Scenario::on(protocol)
+            .attack(attack_for(strategy, MgaOptions::default()))
+            .metric(Metric::Clustering)
+            .threat(threat.clone())
+            .seed(5)
+            .run(&graph)
+            .unwrap()
+            .into_single_outcome();
+        assert_same_outcome(strategy.name(), &legacy_cc, &builder_cc);
+        let builder_q = Scenario::on(protocol)
+            .attack(attack_for(strategy, MgaOptions::default()))
+            .metric(Metric::Modularity)
+            .threat(threat.clone())
+            .partition(&partition)
+            .seed(5)
+            .run(&graph)
+            .unwrap()
+            .into_single_outcome();
+        assert_same_outcome(strategy.name(), &legacy_q, &builder_q);
+    }
+}
+
+/// Golden bits of `run_defended_attack` at seed 11 on the 250-node
+/// Facebook stand-in (seed 77, threat rng 5): `(gain, flagged_fake,
+/// flagged_genuine)` per `(defense, strategy, metric)`.
+#[test]
+fn defended_runs_pin_golden_and_match_builder() {
+    let graph = Dataset::Facebook.generate_with_nodes(250, 77);
+    let protocol = LfGdpr::new(4.0).unwrap();
+    let mut rng = Xoshiro256pp::new(5);
+    let threat =
+        ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
+    type GoldenCell = (u64, usize, usize);
+    let defenses: Vec<(Box<dyn Defense>, [GoldenCell; 2])> = vec![
+        (
+            Box::new(FrequentItemsetDefense::new(20)),
+            [(0x3fd5168f33fc13a0, 12, 246), (0x3fe7514f45c24cd6, 11, 247)],
+        ),
+        (
+            Box::new(DegreeConsistencyDefense::default()),
+            [(0x3fdea6be48951690, 0, 0), (0x3fbf3faf05a3d63c, 4, 0)],
+        ),
+        (
+            Box::new(NaiveTopDegree::default()),
+            [(0x3fdee58469ee5848, 0, 8), (0x3fc8394acb10568b, 0, 8)],
+        ),
+        (
+            Box::new(NaiveDegreeTails::default()),
+            [(0x3fdc71c71c71c71d, 0, 16), (0x3fc8de193f987205, 6, 10)],
+        ),
+        (
+            Box::new(CombinedDefense::new(40)),
+            [(0x3fd74b86601f6311, 7, 218), (0x3fe64f5f11aba0a7, 10, 219)],
+        ),
+    ];
+    let cases = [
+        (AttackStrategy::Mga, TargetMetric::DegreeCentrality),
+        (AttackStrategy::Rva, TargetMetric::ClusteringCoefficient),
+    ];
+    for (defense, golden) in &defenses {
+        for ((strategy, metric), (gain_bits, ff, fg)) in cases.iter().zip(golden) {
+            let label = format!("{}/{}", defense.name(), strategy.name());
+            let legacy = run_defended_attack(
+                &graph,
+                &protocol,
+                &threat,
+                *strategy,
+                *metric,
+                defense,
+                MgaOptions::default(),
+                11,
+            );
+            assert_bits(&label, legacy.gain(), *gain_bits);
+            assert_eq!(legacy.flagged_fake, *ff, "{label} true positives");
+            assert_eq!(legacy.flagged_genuine, *fg, "{label} false positives");
+
+            let report = Scenario::on(protocol)
+                .attack(attack_for(*strategy, MgaOptions::default()))
+                .metric(Metric::from(*metric))
+                .defend(defense.as_ref() as &dyn Defense)
+                .threat(threat.clone())
+                .exact()
+                .seed(11)
+                .run(&graph)
+                .unwrap();
+            let trial = &report.trials[0];
+            assert_eq!(trial.flagged_fake, Some(*ff), "{label}");
+            assert_eq!(trial.flagged_genuine, Some(*fg), "{label}");
+            assert_same_outcome(&label, &legacy.outcome, &trial.outcome);
+        }
+    }
+}
+
+#[test]
+fn trials_fold_matches_the_runner_schedule() {
+    // `.trials(k)` must reproduce k wrapper calls with the experiment
+    // runner's seed schedule (base + i·0x9E37_79B9), gain for gain.
+    let (graph, protocol, threat) = small_world();
+    let report = Scenario::on(protocol)
+        .attack(attack_for(AttackStrategy::Mga, MgaOptions::default()))
+        .metric(Metric::Degree)
+        .threat(threat.clone())
+        .exact()
+        .trials(3)
+        .seed(500)
+        .run(&graph)
+        .unwrap();
+    for (i, trial) in report.trials.iter().enumerate() {
+        let seed = 500u64.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9));
+        let legacy = run_lfgdpr_attack(
+            &graph,
+            &protocol,
+            &threat,
+            AttackStrategy::Mga,
+            TargetMetric::DegreeCentrality,
+            MgaOptions::default(),
+            seed,
+        );
+        assert_eq!(trial.seed, seed);
+        assert_same_outcome("trial", &legacy, &trial.outcome);
+    }
+}

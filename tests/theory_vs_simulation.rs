@@ -16,17 +16,16 @@ fn theorem1_matches_simulated_mga_degree_gain() {
     let mut rng = Xoshiro256pp::new(17);
     let threat =
         ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
-    let simulated = mean_gain(8, 4_000, |seed| {
-        run_lfgdpr_attack(
-            &graph,
-            &protocol,
-            &threat,
-            AttackStrategy::Mga,
-            TargetMetric::DegreeCentrality,
-            MgaOptions::default(),
-            seed,
-        )
-    });
+    let simulated = Scenario::on(protocol)
+        .attack(Mga::default())
+        .metric(Metric::Degree)
+        .threat(threat.clone())
+        .exact()
+        .trials(8)
+        .seed(4_000)
+        .run(&graph)
+        .unwrap()
+        .mean_gain();
     let d_tilde = protocol.expected_perturbed_degree(threat.population(), graph.average_degree());
     let theory = theorem1_degree_gain(
         threat.m_fake,
@@ -48,9 +47,16 @@ fn theorem1_matches_sampled_mode_too() {
     let mut rng = Xoshiro256pp::new(19);
     let threat =
         ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
-    let simulated = mean_gain(8, 5_000, |seed| {
-        run_sampled_degree_attack(&graph, &protocol, &threat, AttackStrategy::Mga, seed)
-    });
+    let simulated = Scenario::on(protocol)
+        .attack(Mga::default())
+        .metric(Metric::Degree)
+        .threat(threat.clone())
+        .sampled()
+        .trials(8)
+        .seed(5_000)
+        .run(&graph)
+        .unwrap()
+        .mean_gain();
     let d_tilde = protocol.expected_perturbed_degree(threat.population(), graph.average_degree());
     let theory = theorem1_degree_gain(
         threat.m_fake,
@@ -78,17 +84,16 @@ fn theorem1_epsilon_trend_matches_simulation() {
         ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
     let at = |epsilon: f64| {
         let protocol = LfGdpr::new(epsilon).unwrap();
-        let sim = mean_gain(4, 6_000, |seed| {
-            run_lfgdpr_attack(
-                &graph,
-                &protocol,
-                &threat,
-                AttackStrategy::Mga,
-                TargetMetric::DegreeCentrality,
-                MgaOptions::default(),
-                seed,
-            )
-        });
+        let sim = Scenario::on(protocol)
+            .attack(Mga::default())
+            .metric(Metric::Degree)
+            .threat(threat.clone())
+            .exact()
+            .trials(4)
+            .seed(6_000)
+            .run(&graph)
+            .unwrap()
+            .mean_gain();
         let theory = theorem1_degree_gain(
             threat.m_fake,
             threat.num_targets(),
@@ -116,17 +121,15 @@ fn theorem2_is_a_lower_envelope_of_the_realized_attack() {
     let mut rng = Xoshiro256pp::new(29);
     let threat =
         ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
-    let simulated = mean_gain(4, 7_000, |seed| {
-        run_lfgdpr_attack(
-            &graph,
-            &protocol,
-            &threat,
-            AttackStrategy::Mga,
-            TargetMetric::ClusteringCoefficient,
-            MgaOptions::default(),
-            seed,
-        )
-    });
+    let simulated = Scenario::on(protocol)
+        .attack(Mga::default())
+        .metric(Metric::Clustering)
+        .threat(threat.clone())
+        .trials(4)
+        .seed(7_000)
+        .run(&graph)
+        .unwrap()
+        .mean_gain();
     let theory = theorem2_clustering_gain(
         threat.m_fake,
         threat.num_targets(),
