@@ -1,0 +1,172 @@
+//! Load generator for the collection daemon: replays honest +
+//! attack-crafted report streams (via the `Attack` trait) against a
+//! collector, at a configurable rate, and records throughput + peak RSS
+//! in `BENCH_collector.json`.
+//!
+//! ```text
+//! collector_loadgen [--channel degree-vector|adjacency]
+//!                   [--users N]      population per round
+//!                   [--groups K]     degree-vector groups (default 8)
+//!                   [--rounds R]     rounds to replay (default 1)
+//!                   [--attack mga|rva|rna|none]   crafted tail (default mga)
+//!                   [--beta F]       fake-user fraction (default 0.01)
+//!                   [--rate R]       reports/sec cap (default unlimited)
+//!                   [--addr HOST:PORT]  external daemon (default: spawn one)
+//!                   [--shards S]     shards of the spawned daemon (default 8)
+//!                   [--seed S]       stream seed (default 7)
+//! ```
+//!
+//! Defaults replay the headline workload: one degree-vector round of 2²⁰
+//! (≈1.05M) reports — the regime where the daemon's aggregate stays
+//! `O(shards·groups)` no matter the population. Adjacency rounds are
+//! bounded by the daemon's population cap (the dense aggregate is
+//! `O(N²/8)` bytes; see DESIGN.md).
+
+use ldp_collector::CollectorClient;
+use poison_bench::collector::{
+    peak_rss_bytes, run_adjacency_round, run_degree_vector_round, shutdown_daemon, spawn_daemon,
+    LoadAttack, ThroughputResult,
+};
+
+struct Args {
+    channel: String,
+    users: usize,
+    groups: usize,
+    rounds: u64,
+    attack: LoadAttack,
+    beta: f64,
+    rate: Option<u64>,
+    addr: Option<String>,
+    shards: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        channel: "degree-vector".into(),
+        users: 1 << 20,
+        groups: 8,
+        rounds: 1,
+        attack: LoadAttack::Mga,
+        beta: 0.01,
+        rate: None,
+        addr: None,
+        shards: 8,
+        seed: 7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--channel" => args.channel = value("--channel"),
+            "--users" => args.users = parse(&value("--users"), "--users"),
+            "--groups" => args.groups = parse(&value("--groups"), "--groups"),
+            "--rounds" => args.rounds = parse(&value("--rounds"), "--rounds"),
+            "--attack" => {
+                let v = value("--attack");
+                args.attack = LoadAttack::from_name(&v)
+                    .unwrap_or_else(|| die(&format!("unknown attack {v}")));
+            }
+            "--beta" => args.beta = parse(&value("--beta"), "--beta"),
+            "--rate" => args.rate = Some(parse(&value("--rate"), "--rate")),
+            "--addr" => args.addr = Some(value("--addr")),
+            "--shards" => args.shards = parse(&value("--shards"), "--shards"),
+            "--seed" => args.seed = parse(&value("--seed"), "--seed"),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.channel != "degree-vector" && args.channel != "adjacency" {
+        die(&format!("unknown channel {}", args.channel));
+    }
+    args
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value {s} for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("collector_loadgen: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let spawned = if args.addr.is_none() {
+        Some(spawn_daemon(args.shards).expect("spawn loopback daemon"))
+    } else {
+        None
+    };
+    let addr = match (&args.addr, &spawned) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some((addr, _))) => addr.to_string(),
+        _ => unreachable!(),
+    };
+    let mut client = CollectorClient::connect(&*addr).expect("connect to daemon");
+
+    let mut results: Vec<ThroughputResult> = Vec::new();
+    for round in 0..args.rounds {
+        let result = if args.channel == "degree-vector" {
+            run_degree_vector_round(
+                &mut client,
+                round + 1,
+                args.users,
+                args.groups,
+                args.attack,
+                args.beta,
+                args.rate,
+                args.seed + round,
+            )
+        } else {
+            run_adjacency_round(
+                &mut client,
+                round + 1,
+                args.users,
+                args.attack,
+                args.beta,
+                args.rate,
+                args.seed + round,
+            )
+        }
+        .expect("round replay");
+        eprintln!(
+            "round {}: {} reports ({} crafted) in {:.3}s = {:.0} reports/s",
+            round + 1,
+            result.reports,
+            result.crafted,
+            result.wall.as_secs_f64(),
+            result.reports_per_sec
+        );
+        results.push(result);
+    }
+    drop(client);
+    if let Some((addr, handle)) = spawned {
+        shutdown_daemon(addr, handle);
+    }
+
+    let reports: u64 = results.iter().map(|r| r.reports).sum();
+    let crafted: u64 = results.iter().map(|r| r.crafted).sum();
+    let wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
+    let json = format!(
+        "{{\n  \"bench\": \"collector_loadgen\",\n  \"channel\": \"{}\",\n  \
+         \"users_per_round\": {},\n  \"rounds\": {},\n  \"attack\": \"{:?}\",\n  \
+         \"reports\": {},\n  \"crafted_reports\": {},\n  \"wall_s\": {:.3},\n  \
+         \"reports_per_sec\": {:.0},\n  \"rate_cap\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
+        args.channel,
+        args.users,
+        args.rounds,
+        args.attack,
+        reports,
+        crafted,
+        wall,
+        reports as f64 / wall,
+        args.rate.map_or("null".into(), |r| r.to_string()),
+        peak_rss_bytes(),
+    );
+    std::fs::write("BENCH_collector.json", &json).expect("write BENCH_collector.json");
+    print!("{json}");
+}

@@ -1,0 +1,91 @@
+//! Collection-service smoke benchmark, run in CI after the unit suites:
+//!
+//! 1. **Equivalence** — a loopback round with 10k users: LF-GDPR + MGA +
+//!    Detect2 evaluated in process and with every fold over TCP, asserted
+//!    bit-for-bit identical (estimates, defense verdicts, gain bits).
+//! 2. **Round throughput** — one degree-vector round of 2²⁰ (≈1.05M)
+//!    reports, honest + MGA-crafted via the `Attack` trait, plus one
+//!    adjacency round at the Facebook stand-in's scale; reports/sec and
+//!    peak RSS recorded.
+//!
+//! Results land in `BENCH_collector.json` for the perf trajectory.
+
+use ldp_collector::CollectorClient;
+use poison_bench::collector::{
+    peak_rss_bytes, run_adjacency_round, run_degree_vector_round, run_equivalence_smoke,
+    shutdown_daemon, spawn_daemon, LoadAttack,
+};
+
+const EQUIVALENCE_USERS: usize = 10_000;
+const ROUND_USERS: usize = 1 << 20; // 1,048,576 reports in one round
+const ROUND_GROUPS: usize = 8;
+const ADJACENCY_USERS: usize = 4_039; // Facebook stand-in scale
+
+fn main() {
+    // 1. Wire == in-process, to the bit, at 10k users.
+    let eq = run_equivalence_smoke(EQUIVALENCE_USERS, 2024).expect("equivalence smoke");
+    eprintln!(
+        "equivalence: {} users, in-process {:.1} ms, wire {:.1} ms, gain {:.4}",
+        eq.users,
+        eq.in_process.as_secs_f64() * 1e3,
+        eq.wire.as_secs_f64() * 1e3,
+        eq.mean_gain
+    );
+
+    // 2. One ≥1M-report degree-vector round and one Facebook-scale
+    //    adjacency round, both honest + MGA-crafted.
+    let (addr, handle) = spawn_daemon(8).expect("daemon");
+    let mut client = CollectorClient::connect(addr).expect("connect");
+    let degvec = run_degree_vector_round(
+        &mut client,
+        1,
+        ROUND_USERS,
+        ROUND_GROUPS,
+        LoadAttack::Mga,
+        0.01,
+        None,
+        7,
+    )
+    .expect("degree-vector round");
+    assert!(
+        degvec.reports >= 1_000_000,
+        "the headline round must carry ≥1M reports"
+    );
+    let adjacency = run_adjacency_round(
+        &mut client,
+        2,
+        ADJACENCY_USERS,
+        LoadAttack::Mga,
+        0.05,
+        None,
+        7,
+    )
+    .expect("adjacency round");
+    drop(client);
+    shutdown_daemon(addr, handle);
+
+    let json = format!(
+        "{{\n  \"bench\": \"collector\",\n  \"equivalence\": {{\n    \"users\": {},\n    \
+         \"bit_identical\": true,\n    \"in_process_ms\": {:.1},\n    \"wire_ms\": {:.1}\n  }},\n  \
+         \"degree_vector_round\": {{\n    \"users\": {},\n    \"groups\": {},\n    \
+         \"crafted_reports\": {},\n    \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0}\n  }},\n  \
+         \"adjacency_round\": {{\n    \"users\": {},\n    \"crafted_reports\": {},\n    \
+         \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0}\n  }},\n  \
+         \"peak_rss_bytes\": {}\n}}\n",
+        eq.users,
+        eq.in_process.as_secs_f64() * 1e3,
+        eq.wire.as_secs_f64() * 1e3,
+        degvec.reports,
+        ROUND_GROUPS,
+        degvec.crafted,
+        degvec.wall.as_secs_f64(),
+        degvec.reports_per_sec,
+        adjacency.reports,
+        adjacency.crafted,
+        adjacency.wall.as_secs_f64(),
+        adjacency.reports_per_sec,
+        peak_rss_bytes(),
+    );
+    std::fs::write("BENCH_collector.json", &json).expect("write BENCH_collector.json");
+    print!("{json}");
+}

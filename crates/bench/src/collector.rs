@@ -1,0 +1,440 @@
+//! Shared harness of the collection-service benchmarks: loopback daemon
+//! setup, honest + attack-crafted report replay through the
+//! [`poison_core::Attack`] trait, throughput accounting, and the
+//! `BENCH_collector.json` record. Used by the `collector_smoke` (CI) and
+//! `collector_loadgen` (operator CLI) binaries.
+
+use ldp_collector::{
+    CollectorClient, CollectorConfig, CollectorError, CollectorServer, RoundChannel, ServeScenario,
+};
+use ldp_graph::datasets::Dataset;
+use ldp_graph::Xoshiro256pp;
+use ldp_protocols::{CraftContext, LfGdpr, Metric};
+use poison_core::scenario::{Scenario, ScenarioBuilder, ScenarioReport};
+use poison_core::{
+    Attack, AttackerKnowledge, Mga, Rna, Rva, TargetMetric, TargetSelection, ThreatModel,
+};
+use poison_defense::DegreeConsistencyDefense;
+use rand::{Rng, RngCore};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Attack used for the crafted share of a replayed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadAttack {
+    /// No fake tail: every report honest.
+    None,
+    /// Random value attack.
+    Rva,
+    /// Random neighbor attack.
+    Rna,
+    /// Maximal gain attack.
+    Mga,
+}
+
+impl LoadAttack {
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "none" => Some(LoadAttack::None),
+            "rva" => Some(LoadAttack::Rva),
+            "rna" => Some(LoadAttack::Rna),
+            "mga" => Some(LoadAttack::Mga),
+            _ => None,
+        }
+    }
+
+    fn as_attack(self) -> Option<Box<dyn Attack>> {
+        match self {
+            LoadAttack::None => None,
+            LoadAttack::Rva => Some(Box::new(Rva)),
+            LoadAttack::Rna => Some(Box::new(Rna)),
+            LoadAttack::Mga => Some(Box::new(Mga::default())),
+        }
+    }
+}
+
+/// Spawns a loopback daemon sized for the benchmarks.
+///
+/// # Errors
+/// Bind failures.
+pub fn spawn_daemon(
+    shards: usize,
+) -> Result<
+    (
+        SocketAddr,
+        std::thread::JoinHandle<Result<(), CollectorError>>,
+    ),
+    CollectorError,
+> {
+    CollectorServer::spawn(CollectorConfig {
+        shards,
+        flush_batch: 4096,
+        ..CollectorConfig::default()
+    })
+}
+
+/// Sends the daemon at `addr` a shutdown and joins its thread.
+pub fn shutdown_daemon(
+    addr: SocketAddr,
+    handle: std::thread::JoinHandle<Result<(), CollectorError>>,
+) {
+    if let Ok(mut client) = CollectorClient::connect(addr) {
+        let _ = client.shutdown();
+    }
+    let _ = handle.join();
+}
+
+/// Result of the 10k-user equivalence smoke.
+#[derive(Debug)]
+pub struct EquivalenceResult {
+    /// Users in the round.
+    pub users: usize,
+    /// Wall-clock of the in-process evaluation.
+    pub in_process: Duration,
+    /// Wall-clock of the same evaluation with every fold over TCP.
+    pub wire: Duration,
+    /// Mean gain (identical on both paths by assertion).
+    pub mean_gain: f64,
+}
+
+/// Runs LF-GDPR + MGA + Detect2 at `users` genuine users once in process
+/// and once over a loopback daemon, asserts the two `ScenarioReport`s are
+/// bit-identical, and returns the timings.
+///
+/// # Panics
+/// Panics if the two paths diverge in any per-target estimate, flag
+/// count, or gain bit — that is the assertion CI runs.
+///
+/// # Errors
+/// Daemon/bind/transport failures.
+pub fn run_equivalence_smoke(users: usize, seed: u64) -> Result<EquivalenceResult, CollectorError> {
+    let graph = Dataset::Facebook.generate_with_nodes(users, 42);
+    let protocol = LfGdpr::new(4.0).expect("valid budget");
+    let mut rng = Xoshiro256pp::new(9);
+    let threat =
+        ThreatModel::from_fractions(&graph, 0.05, 0.05, TargetSelection::UniformRandom, &mut rng);
+
+    fn build<'a>(b: ScenarioBuilder<'a>, threat: &ThreatModel, seed: u64) -> ScenarioBuilder<'a> {
+        b.attack(Mga::default())
+            .metric(Metric::Degree)
+            .defend(DegreeConsistencyDefense::default())
+            .threat(threat.clone())
+            .exact()
+            .seed(seed)
+    }
+
+    let start = Instant::now();
+    let in_process = build(Scenario::on(protocol), &threat, seed)
+        .run(&graph)
+        .expect("in-process run");
+    let in_process_wall = start.elapsed();
+
+    let (addr, handle) = spawn_daemon(8)?;
+    let start = Instant::now();
+    let wired = build(Scenario::on(protocol).serve(addr)?, &threat, seed)
+        .run(&graph)
+        .expect("wire run");
+    let wire_wall = start.elapsed();
+    shutdown_daemon(addr, handle);
+
+    assert_reports_bit_identical(&in_process, &wired);
+    Ok(EquivalenceResult {
+        users,
+        in_process: in_process_wall,
+        wire: wire_wall,
+        mean_gain: in_process.mean_gain(),
+    })
+}
+
+/// Panics unless the two reports agree to the bit on every estimate and
+/// verdict.
+pub fn assert_reports_bit_identical(a: &ScenarioReport, b: &ScenarioReport) {
+    assert_eq!(a.trials.len(), b.trials.len(), "trial counts differ");
+    for (x, y) in a.trials.iter().zip(&b.trials) {
+        assert_eq!(x.seed, y.seed);
+        assert_eq!(
+            x.outcome.before, y.outcome.before,
+            "before estimates differ"
+        );
+        assert_eq!(x.outcome.after, y.outcome.after, "after estimates differ");
+        assert_eq!(x.flagged_fake, y.flagged_fake, "defense verdicts differ");
+        assert_eq!(
+            x.flagged_genuine, y.flagged_genuine,
+            "defense verdicts differ"
+        );
+    }
+    assert_eq!(
+        a.mean_gain().to_bits(),
+        b.mean_gain().to_bits(),
+        "gains differ"
+    );
+}
+
+/// Result of one replayed round.
+#[derive(Debug)]
+pub struct ThroughputResult {
+    /// Reports streamed in the round (honest + crafted).
+    pub reports: u64,
+    /// Crafted (fake-tail) share of those reports.
+    pub crafted: u64,
+    /// Wall-clock from round open to finalize reply.
+    pub wall: Duration,
+    /// `reports / wall`.
+    pub reports_per_sec: f64,
+}
+
+/// Replays one **degree-vector round** of `users` reports — honest
+/// Laplace-style vectors plus a `beta` fake tail crafted through the
+/// [`Attack`] trait — at up to `rate` reports/sec (`None` = as fast as the
+/// wire takes them). This is the million-users-per-round regime: the
+/// daemon's aggregate stays `O(shards·groups)`.
+///
+/// # Errors
+/// Transport failures and daemon refusals.
+///
+/// # Panics
+/// Panics if the daemon's close summary shows any rejected report (the
+/// replay is well-formed by construction).
+#[allow(clippy::too_many_arguments)] // one knob per loadgen CLI flag
+pub fn run_degree_vector_round(
+    client: &mut CollectorClient,
+    round_id: u64,
+    users: usize,
+    groups: usize,
+    attack: LoadAttack,
+    beta: f64,
+    rate: Option<u64>,
+    seed: u64,
+) -> Result<ThroughputResult, CollectorError> {
+    // No attack ⇒ no fake tail: every report is honest.
+    let m_fake = if attack == LoadAttack::None {
+        0
+    } else {
+        ((users as f64 * beta) as usize).min(users / 2)
+    };
+    let n_genuine = users - m_fake;
+    let targets: Vec<usize> = (0..n_genuine.min(64)).step_by(4).collect();
+    let threat = ThreatModel::explicit(n_genuine, m_fake, targets);
+    // The server's grouping: user i in group i % groups.
+    let group_of: Vec<usize> = (0..users).map(|u| u % groups).collect();
+    let knowledge = AttackerKnowledge::derive(&LfGdpr::new(4.0).expect("valid budget"), users, 8.0);
+
+    let mut rng = Xoshiro256pp::new(seed);
+    let crafted: Vec<Vec<f64>> = match attack.as_attack() {
+        None => Vec::new(),
+        Some(attack) => {
+            let rng: &mut dyn RngCore = &mut rng;
+            attack
+                .craft(
+                    CraftContext::DegreeVectors {
+                        phase: 1,
+                        groups: &group_of,
+                        num_groups: groups,
+                        noise_scale: 0.5,
+                    },
+                    TargetMetric::DegreeCentrality,
+                    &threat,
+                    &knowledge,
+                    rng,
+                )
+                .into_iter()
+                .map(|r| r.into_degree_vector().expect("degree-vector channel"))
+                .collect()
+        }
+    };
+    let crafted_count = crafted.len() as u64;
+
+    let start = Instant::now();
+    client.open_round(
+        round_id,
+        RoundChannel::DegreeVector {
+            population: users,
+            groups,
+        },
+        None,
+    )?;
+    let mut pacer = Pacer::new(rate);
+    let mut vector = vec![0.0f64; groups];
+    for id in 0..n_genuine as u64 {
+        for x in &mut vector {
+            *x = rng.gen_range(0.0..4.0);
+        }
+        // Borrowed send: no clone per report on the hot path.
+        client.send_degree_vector(id, &vector)?;
+        pacer.tick(client)?;
+    }
+    for (offset, v) in crafted.iter().enumerate() {
+        client.send_degree_vector((n_genuine + offset) as u64, v)?;
+        pacer.tick(client)?;
+    }
+    let summary = client.close_round(round_id)?;
+    let out = client.finalize_degree_vector(round_id)?;
+    let wall = start.elapsed();
+    assert_eq!(
+        summary.counters.accepted, users as u64,
+        "replay must be fully accepted: {:?}",
+        summary.counters
+    );
+    assert_eq!(out.accepted, users as u64);
+    Ok(ThroughputResult {
+        reports: users as u64,
+        crafted: crafted_count,
+        wall,
+        reports_per_sec: users as f64 / wall.as_secs_f64(),
+    })
+}
+
+/// Replays one **adjacency round**: the honest reports of a real LF-GDPR
+/// collection over the dataset stand-in, with the fake tail's reports
+/// crafted through the [`Attack`] trait, streamed and finalized over the
+/// wire.
+///
+/// # Errors
+/// Transport failures and daemon refusals.
+///
+/// # Panics
+/// Panics if any replayed report is rejected.
+pub fn run_adjacency_round(
+    client: &mut CollectorClient,
+    round_id: u64,
+    users: usize,
+    attack: LoadAttack,
+    beta: f64,
+    rate: Option<u64>,
+    seed: u64,
+) -> Result<ThroughputResult, CollectorError> {
+    // No attack ⇒ no fake tail: every report is honest.
+    let m_fake = if attack == LoadAttack::None {
+        0
+    } else {
+        ((users as f64 * beta) as usize).min(users / 2).max(1)
+    };
+    let n_genuine = users - m_fake;
+    let graph = Dataset::Facebook
+        .generate_with_nodes(n_genuine, 42)
+        .with_isolated_nodes(m_fake);
+    let protocol = LfGdpr::new(4.0).expect("valid budget");
+    let base = Xoshiro256pp::new(seed);
+    let mut reports = protocol.collect_honest(&graph, &base);
+
+    let mut rng = base.derive(ldp_protocols::protocol::STREAM_ATTACK);
+    let crafted_count = match attack.as_attack() {
+        None => 0u64,
+        Some(attack) => {
+            let targets: Vec<usize> = (0..n_genuine.min(64)).step_by(4).collect();
+            let threat = ThreatModel::explicit(n_genuine, m_fake, targets);
+            let knowledge = AttackerKnowledge::derive(&protocol, users, graph.average_degree());
+            let rng: &mut dyn RngCore = &mut rng;
+            let crafted = attack.craft(
+                CraftContext::Adjacency {
+                    protocol: &protocol,
+                },
+                TargetMetric::DegreeCentrality,
+                &threat,
+                &knowledge,
+                rng,
+            );
+            let count = crafted.len() as u64;
+            for (offset, report) in crafted.into_iter().enumerate() {
+                reports[n_genuine + offset] = report.into_adjacency().expect("adjacency channel");
+            }
+            count
+        }
+    };
+
+    let start = Instant::now();
+    client.open_round(
+        round_id,
+        RoundChannel::Adjacency {
+            population: users,
+            p_keep: protocol.p_keep(),
+        },
+        None,
+    )?;
+    let mut pacer = Pacer::new(rate);
+    for (id, report) in reports.iter().enumerate() {
+        // Borrowed send: no BitSet clone per report on the hot path.
+        client.send_adjacency_report(id as u64, report)?;
+        pacer.tick(client)?;
+    }
+    let summary = client.close_round(round_id)?;
+    let view = client.finalize_adjacency(round_id)?;
+    let wall = start.elapsed();
+    assert_eq!(
+        summary.counters.accepted, users as u64,
+        "replay must be fully accepted: {:?}",
+        summary.counters
+    );
+    assert_eq!(view.num_users(), users);
+    Ok(ThroughputResult {
+        reports: users as u64,
+        crafted: crafted_count,
+        wall,
+        reports_per_sec: users as f64 / wall.as_secs_f64(),
+    })
+}
+
+/// Paces a replay to a reports/sec target by sleeping at batch
+/// boundaries (and flushing so the daemon sees a steady stream, not one
+/// burst at close).
+struct Pacer {
+    rate: Option<u64>,
+    sent: u64,
+    started: Instant,
+}
+
+impl Pacer {
+    const BATCH: u64 = 1024;
+
+    fn new(rate: Option<u64>) -> Self {
+        Pacer {
+            rate,
+            sent: 0,
+            started: Instant::now(),
+        }
+    }
+
+    fn tick(&mut self, client: &mut CollectorClient) -> Result<(), CollectorError> {
+        self.sent += 1;
+        if let Some(rate) = self.rate {
+            if self.sent.is_multiple_of(Self::BATCH) {
+                // Flush before sleeping so the daemon really receives a
+                // steady stream rather than one burst at close.
+                client.flush()?;
+                let due = Duration::from_secs_f64(self.sent as f64 / rate as f64);
+                let elapsed = self.started.elapsed();
+                if due > elapsed {
+                    std::thread::sleep(due - elapsed);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}

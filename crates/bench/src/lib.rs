@@ -14,9 +14,15 @@
 //! * `attacks` — report crafting and both evaluation pipelines;
 //! * `defenses` — Apriori mining and the two detectors;
 //! * `figures` — one bench per paper table/figure at smoke scale.
+//!
+//! The [`collector`] module carries the shared harness behind the
+//! `collector_smoke` and `collector_loadgen` binaries (loopback daemon
+//! setup, report replay, throughput accounting, `BENCH_collector.json`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod collector;
 
 use ldp_graph::{BitSet, Xoshiro256pp};
 use ldp_protocols::AdjacencyReport;

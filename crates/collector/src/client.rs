@@ -1,0 +1,322 @@
+//! The collection client: typed calls over the frame protocol.
+//!
+//! [`CollectorClient`] is what simulated users (the load generator), the
+//! scenario bridge, and operational tooling speak to a
+//! [`crate::server::CollectorServer`]. Reports are written through a
+//! buffered stream and are unacknowledged (see the server docs for why);
+//! control calls flush and wait for their reply frame, surfacing daemon
+//! refusals as typed [`CollectorError::Remote`] values.
+
+use crate::error::CollectorError;
+use crate::round::{RoundChannel, RoundCounters};
+use crate::server::{channel_tags, frames};
+use ldp_protocols::wire::{
+    self, get_f64, get_varint, put_f64, put_varint, read_frame, read_stream_header, write_frame,
+    write_stream_header,
+};
+use ldp_protocols::{AdjacencyReport, PerturbedView, UserReport};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// The close-time intake summary the daemon returns, plus how many users
+/// are still outstanding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Intake counters as the daemon saw them.
+    pub counters: RoundCounters,
+}
+
+/// A finalized degree-vector round as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeVectorSummary {
+    /// Per-group totals over all accepted vectors.
+    pub group_totals: Vec<f64>,
+    /// Vectors the daemon folded in.
+    pub accepted: u64,
+}
+
+/// A connection to the collection daemon.
+pub struct CollectorClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    payload: Vec<u8>,
+}
+
+impl CollectorClient {
+    /// Connects and performs the versioned handshake.
+    ///
+    /// # Errors
+    /// Connection failures, or a peer that is not a collector daemon
+    /// ([`ldp_protocols::WireError::BadMagic`] /
+    /// [`ldp_protocols::WireError::UnsupportedVersion`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, CollectorError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::with_capacity(1 << 16, stream.try_clone()?);
+        let mut reader = BufReader::with_capacity(1 << 16, stream);
+        write_stream_header(&mut writer)?;
+        writer.flush()?;
+        read_stream_header(&mut reader)?;
+        Ok(CollectorClient {
+            reader,
+            writer,
+            payload: Vec::new(),
+        })
+    }
+
+    /// Opens a round on the daemon. `quota: None` lets the daemon default
+    /// to the population size.
+    ///
+    /// # Errors
+    /// Daemon refusals (cap exceeded, round already open) as
+    /// [`CollectorError::Remote`]; transport failures otherwise.
+    pub fn open_round(
+        &mut self,
+        round_id: u64,
+        channel: RoundChannel,
+        quota: Option<u64>,
+    ) -> Result<(), CollectorError> {
+        let mut payload = Vec::new();
+        put_varint(round_id, &mut payload);
+        match channel {
+            RoundChannel::Adjacency { population, p_keep } => {
+                payload.push(channel_tags::ADJACENCY);
+                put_varint(population as u64, &mut payload);
+                put_f64(p_keep, &mut payload);
+            }
+            RoundChannel::DegreeVector { population, groups } => {
+                payload.push(channel_tags::DEGREE_VECTOR);
+                put_varint(population as u64, &mut payload);
+                put_varint(groups as u64, &mut payload);
+            }
+        }
+        put_varint(quota.unwrap_or(0), &mut payload);
+        write_frame(&mut self.writer, frames::OPEN, &payload)?;
+        self.expect(frames::ACK)?;
+        Ok(())
+    }
+
+    /// Streams one report (buffered, unacknowledged).
+    ///
+    /// # Errors
+    /// Transport failures only; rejects surface in the close summary.
+    pub fn send_report(&mut self, user_id: u64, report: &UserReport) -> Result<(), CollectorError> {
+        let mut payload = std::mem::take(&mut self.payload);
+        payload.clear();
+        wire::encode_report(user_id, report, &mut payload);
+        let result = write_frame(&mut self.writer, frames::REPORT, &payload);
+        self.payload = payload;
+        result?;
+        Ok(())
+    }
+
+    /// Streams one adjacency report from a borrow — no [`UserReport`]
+    /// wrapping, no clone, one reused buffer. The hot path of a
+    /// million-report round.
+    ///
+    /// # Errors
+    /// Transport failures only.
+    pub fn send_adjacency_report(
+        &mut self,
+        user_id: u64,
+        report: &AdjacencyReport,
+    ) -> Result<(), CollectorError> {
+        let mut payload = std::mem::take(&mut self.payload);
+        payload.clear();
+        wire::encode_adjacency_report(user_id, report, &mut payload);
+        let result = write_frame(&mut self.writer, frames::REPORT, &payload);
+        self.payload = payload;
+        result?;
+        Ok(())
+    }
+
+    /// Streams one degree-vector report from a borrowed slice — the
+    /// degree-vector twin of [`Self::send_adjacency_report`].
+    ///
+    /// # Errors
+    /// Transport failures only.
+    pub fn send_degree_vector(
+        &mut self,
+        user_id: u64,
+        vector: &[f64],
+    ) -> Result<(), CollectorError> {
+        let mut payload = std::mem::take(&mut self.payload);
+        payload.clear();
+        wire::encode_degree_vector_report(user_id, vector, &mut payload);
+        let result = write_frame(&mut self.writer, frames::REPORT, &payload);
+        self.payload = payload;
+        result?;
+        Ok(())
+    }
+
+    /// Flushes buffered report frames to the daemon (control calls flush
+    /// implicitly; rate-paced senders flush at batch boundaries so the
+    /// daemon sees a steady stream).
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn flush(&mut self) -> Result<(), CollectorError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Closes intake and returns the daemon's summary.
+    ///
+    /// # Errors
+    /// Daemon refusals and transport failures.
+    pub fn close_round(&mut self, round_id: u64) -> Result<RoundSummary, CollectorError> {
+        let mut payload = Vec::new();
+        put_varint(round_id, &mut payload);
+        write_frame(&mut self.writer, frames::CLOSE, &payload)?;
+        self.expect(frames::SUMMARY)?;
+        let mut buf = self.payload.as_slice();
+        let counters = RoundCounters {
+            accepted: get_varint(&mut buf)?,
+            rejected_duplicate: get_varint(&mut buf)?,
+            rejected_quota: get_varint(&mut buf)?,
+            rejected_invalid: get_varint(&mut buf)?,
+        };
+        wire::expect_end(buf)?;
+        Ok(RoundSummary { counters })
+    }
+
+    /// Finalizes an adjacency round into the server view — bit-identical
+    /// to aggregating the same reports in process.
+    ///
+    /// # Errors
+    /// [`CollectorError::Remote`] while reports are outstanding or on a
+    /// degree-vector round; transport failures otherwise.
+    pub fn finalize_adjacency(&mut self, round_id: u64) -> Result<PerturbedView, CollectorError> {
+        let mut payload = Vec::new();
+        put_varint(round_id, &mut payload);
+        write_frame(&mut self.writer, frames::FINALIZE, &payload)?;
+        match self.read_reply()? {
+            frames::VIEW => Ok(wire::decode_view(&self.payload)?),
+            frames::DEGREE_SUMMARY => Err(CollectorError::WrongChannel {
+                expected: "adjacency",
+            }),
+            kind => Err(CollectorError::UnexpectedFrame { kind }),
+        }
+    }
+
+    /// Finalizes a degree-vector round into its per-group totals.
+    ///
+    /// # Errors
+    /// As [`Self::finalize_adjacency`], with the channels swapped.
+    pub fn finalize_degree_vector(
+        &mut self,
+        round_id: u64,
+    ) -> Result<DegreeVectorSummary, CollectorError> {
+        let mut payload = Vec::new();
+        put_varint(round_id, &mut payload);
+        write_frame(&mut self.writer, frames::FINALIZE, &payload)?;
+        match self.read_reply()? {
+            frames::DEGREE_SUMMARY => {
+                let mut buf = self.payload.as_slice();
+                let accepted = get_varint(&mut buf)?;
+                let k = get_varint(&mut buf)? as usize;
+                if k > wire::MAX_WIRE_POPULATION {
+                    return Err(CollectorError::Wire(wire::WireError::OversizePopulation {
+                        claimed: k as u64,
+                    }));
+                }
+                let mut group_totals = Vec::with_capacity(k);
+                for _ in 0..k {
+                    group_totals.push(get_f64(&mut buf)?);
+                }
+                wire::expect_end(buf)?;
+                Ok(DegreeVectorSummary {
+                    group_totals,
+                    accepted,
+                })
+            }
+            frames::VIEW => Err(CollectorError::WrongChannel {
+                expected: "degree-vector",
+            }),
+            kind => Err(CollectorError::UnexpectedFrame { kind }),
+        }
+    }
+
+    /// Asks the daemon to snapshot the open round to its checkpoint path.
+    ///
+    /// # Errors
+    /// Daemon refusals (no path configured, no open round) and transport
+    /// failures.
+    pub fn checkpoint(&mut self) -> Result<(), CollectorError> {
+        write_frame(&mut self.writer, frames::CHECKPOINT, &[])?;
+        self.expect(frames::ACK)?;
+        Ok(())
+    }
+
+    /// Stops the daemon after this session.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<(), CollectorError> {
+        write_frame(&mut self.writer, frames::SHUTDOWN, &[])?;
+        self.expect(frames::ACK)?;
+        Ok(())
+    }
+
+    /// Convenience: runs one complete adjacency round — open, stream one
+    /// report per user (ids are the slice indices), close, finalize.
+    ///
+    /// # Errors
+    /// Any refusal or transport failure along the way; also
+    /// [`CollectorError::RoundIncomplete`]-style daemon refusals if the
+    /// daemon rejected reports (the summary is consulted first).
+    pub fn run_adjacency_round(
+        &mut self,
+        round_id: u64,
+        p_keep: f64,
+        reports: &[AdjacencyReport],
+    ) -> Result<PerturbedView, CollectorError> {
+        self.open_round(
+            round_id,
+            RoundChannel::Adjacency {
+                population: reports.len(),
+                p_keep,
+            },
+            None,
+        )?;
+        for (id, report) in reports.iter().enumerate() {
+            self.send_adjacency_report(id as u64, report)?;
+        }
+        self.close_round(round_id)?;
+        self.finalize_adjacency(round_id)
+    }
+
+    /// Flushes the report stream and reads the next reply frame into the
+    /// internal payload buffer.
+    fn read_reply(&mut self) -> Result<u8, CollectorError> {
+        self.writer.flush()?;
+        match read_frame(&mut self.reader, &mut self.payload)? {
+            Some(frames::ERR) => {
+                let mut buf = self.payload.as_slice();
+                let (&code, rest) = buf
+                    .split_first()
+                    .ok_or(CollectorError::Wire(wire::WireError::Truncated))?;
+                buf = rest;
+                let len = get_varint(&mut buf)? as usize;
+                if buf.len() != len {
+                    return Err(CollectorError::Wire(wire::WireError::Truncated));
+                }
+                let message = String::from_utf8_lossy(buf).into_owned();
+                Err(CollectorError::Remote { code, message })
+            }
+            Some(kind) => Ok(kind),
+            None => Err(CollectorError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the session mid-call",
+            ))),
+        }
+    }
+
+    fn expect(&mut self, kind: u8) -> Result<(), CollectorError> {
+        let got = self.read_reply()?;
+        if got != kind {
+            return Err(CollectorError::UnexpectedFrame { kind: got });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,181 @@
+//! Typed failures of the collection service (hand-rolled `thiserror`
+//! style, like the rest of the workspace — hermetic, no derive macros).
+
+use ldp_protocols::WireError;
+use std::fmt;
+
+/// Everything that can go wrong collecting a round — engine-side,
+/// transport-side, or reported back by the remote daemon.
+#[derive(Debug)]
+pub enum CollectorError {
+    /// A transport-level I/O failure.
+    Io(std::io::Error),
+    /// A wire codec failure (malformed frame, bad handshake, truncation).
+    Wire(WireError),
+    /// An adjacency round's population exceeds the configured cap: the
+    /// dense aggregate costs `O(N²/8)` bytes, so the collector refuses
+    /// up front instead of dying mid-round (Google+ at `N = 107,614`
+    /// would be ≈ 1.4 GiB).
+    PopulationCap {
+        /// Population the round declared.
+        requested: usize,
+        /// Configured cap ([`crate::CollectorConfig::max_population`]).
+        cap: usize,
+        /// Bytes the dense aggregate alone would occupy at `requested`.
+        matrix_bytes: u64,
+    },
+    /// A degree-vector round's group count exceeds the configured cap
+    /// (bounds the per-shard sum vectors and the finalize reply frame).
+    GroupCap {
+        /// Groups the round declared.
+        requested: usize,
+        /// Configured cap ([`crate::CollectorConfig::max_groups`]).
+        cap: usize,
+    },
+    /// A round is already open; close and finalize it first.
+    RoundAlreadyOpen {
+        /// Id of the round currently open.
+        round_id: u64,
+    },
+    /// The operation needs an open round and none is.
+    NoOpenRound,
+    /// The round id in a control frame does not match the open round.
+    RoundMismatch {
+        /// Round currently open.
+        expected: u64,
+        /// Round the frame named.
+        got: u64,
+    },
+    /// Reports are still outstanding: a round finalizes only once every
+    /// user has reported exactly once.
+    RoundIncomplete {
+        /// Reports the round needs (its population).
+        population: usize,
+        /// Reports accepted so far.
+        accepted: u64,
+    },
+    /// The finalize reply did not match the round's channel (e.g. asking
+    /// an adjacency view of a degree-vector round).
+    WrongChannel {
+        /// Channel the caller expected.
+        expected: &'static str,
+    },
+    /// The remote daemon refused the operation with an error frame.
+    Remote {
+        /// Stable error code (see `server::codes`).
+        code: u8,
+        /// Human-readable message from the daemon.
+        message: String,
+    },
+    /// The peer sent a frame kind this state does not accept.
+    UnexpectedFrame {
+        /// The offending kind byte.
+        kind: u8,
+    },
+    /// A checkpoint file is malformed or inconsistent with the engine's
+    /// configuration.
+    BadCheckpoint {
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// The collector configuration itself is invalid.
+    InvalidConfig {
+        /// What was wrong.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for CollectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectorError::Io(e) => write!(f, "i/o failure: {e}"),
+            CollectorError::Wire(e) => write!(f, "wire failure: {e}"),
+            CollectorError::PopulationCap {
+                requested,
+                cap,
+                matrix_bytes,
+            } => write!(
+                f,
+                "adjacency round of {requested} users refused: dense aggregate needs \
+                 {matrix_bytes} bytes (O(N²/8)); cap is {cap} users — raise \
+                 CollectorConfig::max_population only with the memory to back it"
+            ),
+            CollectorError::GroupCap { requested, cap } => {
+                write!(
+                    f,
+                    "degree-vector round with {requested} groups refused: cap is {cap}"
+                )
+            }
+            CollectorError::RoundAlreadyOpen { round_id } => {
+                write!(f, "round {round_id} is still open")
+            }
+            CollectorError::NoOpenRound => write!(f, "no round is open"),
+            CollectorError::RoundMismatch { expected, got } => {
+                write!(f, "frame names round {got}, open round is {expected}")
+            }
+            CollectorError::RoundIncomplete {
+                population,
+                accepted,
+            } => write!(
+                f,
+                "round incomplete: {accepted} of {population} reports accepted"
+            ),
+            CollectorError::WrongChannel { expected } => {
+                write!(f, "round is not on the {expected} channel")
+            }
+            CollectorError::Remote { code, message } => {
+                write!(f, "daemon refused (code {code}): {message}")
+            }
+            CollectorError::UnexpectedFrame { kind } => {
+                write!(f, "unexpected frame kind {kind:#04x}")
+            }
+            CollectorError::BadCheckpoint { detail } => {
+                write!(f, "bad checkpoint: {detail}")
+            }
+            CollectorError::InvalidConfig { detail } => {
+                write!(f, "invalid collector config: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectorError::Io(e) => Some(e),
+            CollectorError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CollectorError {
+    fn from(e: std::io::Error) -> Self {
+        CollectorError::Io(e)
+    }
+}
+
+impl From<WireError> for CollectorError {
+    fn from(e: WireError) -> Self {
+        CollectorError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_shape() {
+        let e = CollectorError::PopulationCap {
+            requested: 107_614,
+            cap: 32_768,
+            matrix_bytes: 1_447_816_500,
+        };
+        let s = e.to_string();
+        assert!(s.contains("107614") && s.contains("O(N²/8)"));
+        assert!(CollectorError::NoOpenRound.to_string().contains("no round"));
+        let e = CollectorError::from(WireError::Truncated);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

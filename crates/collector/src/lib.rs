@@ -1,0 +1,54 @@
+//! # ldp-collector
+//!
+//! The report-collection service: the paper's threat model made a real
+//! system. A collector gathers perturbed uploads from `N` users — honest
+//! reports and whatever crafted reports the fake tail injects travel the
+//! same bytes, which is exactly why the server cannot tell them apart a
+//! priori — and this crate runs that collection as a **sharded TCP daemon**
+//! instead of an in-process function call:
+//!
+//! * [`round`] — the transport-agnostic engine: the round lifecycle
+//!   (**open → ingest → close → finalize**), per-round quotas,
+//!   duplicate-id rejection, and the population memory cap
+//!   ([`CollectorError::PopulationCap`] instead of an OOM: the dense
+//!   adjacency aggregate is `O(N²/8)` bytes ≈ 1.4 GiB at Google+ scale).
+//! * `shard` (internal) — reports routed by `user_id % shards` into
+//!   disjoint per-shard state; the lower-triangle ownership rule of the
+//!   in-process ingestion engine extends to out-of-order arrival, so
+//!   shards fold concurrently with **no locks** and merge by row copy.
+//! * [`checkpoint`] — snapshot/resume of an in-flight round: a restart
+//!   mid-epoch resumes with the same duplicate set and finalizes
+//!   bit-identically to an uninterrupted run.
+//! * [`server`] / [`client`] — the TCP daemon over
+//!   [`std::net::TcpListener`] and its typed client, speaking the
+//!   [`ldp_protocols::wire`] frame codec (length-prefixed frames, varint
+//!   ids, bit-packed rows, versioned handshake).
+//! * [`bridge`] — [`ServeScenario::serve`] /
+//!   [`WireWorldRunner`]: the `poison-core` scenario engine evaluated
+//!   end-to-end **over the wire**, bit-identical to the in-process path at
+//!   the same seed.
+//!
+//! Two channels are served: **adjacency** rounds (LF-GDPR) finalize into a
+//! [`ldp_protocols::PerturbedView`]; **degree-vector** rounds
+//! (LDPGen-style) keep `O(shards·groups)` running totals, which is what
+//! lets a million-user round run in constant aggregate memory — the
+//! regime the `collector_loadgen` bench exercises.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bridge;
+pub mod checkpoint;
+pub mod client;
+pub mod error;
+pub mod round;
+pub mod server;
+pub(crate) mod shard;
+
+pub use bridge::{ServeScenario, WireWorldRunner};
+pub use client::{CollectorClient, DegreeVectorSummary, RoundSummary};
+pub use error::CollectorError;
+pub use round::{
+    CollectorConfig, IngestOutcome, RoundChannel, RoundCollector, RoundCounters, RoundOutcome,
+};
+pub use server::CollectorServer;

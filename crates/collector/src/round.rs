@@ -1,0 +1,823 @@
+//! The round engine: lifecycle, quotas, duplicate rejection, finalize.
+//!
+//! A **round** is one collection epoch: the server opens it for a declared
+//! population and channel, ingests exactly one report per user, closes the
+//! intake, and finalizes the aggregate. The lifecycle is
+//!
+//! ```text
+//! open ──ingest*──> close ──> finalize
+//!        │                        │
+//!        └── checkpoint ──────────┘   (resumable at any ingest point)
+//! ```
+//!
+//! The engine is transport-agnostic — the TCP daemon
+//! ([`crate::server::CollectorServer`]) drives it frame by frame, tests
+//! drive it directly. Ingestion buffers reports and folds them into the
+//! per-shard aggregates (the internal `shard` module) in batches on the shared
+//! runtime workers; rejected reports (duplicates, quota overruns, malformed
+//! or out-of-range uploads — exactly the attack surface the paper's
+//! Detect1/Detect2 score) are *counted*, never folded, and surfaced in the
+//! close summary.
+
+use crate::error::CollectorError;
+use crate::shard::{AdjacencyShards, DegreeVectorShards};
+use ldp_graph::runtime::default_threads;
+use ldp_mechanisms::RandomizedResponse;
+use ldp_protocols::ingest::finalize_lower;
+use ldp_protocols::{PerturbedView, UserReport};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Shard count: reports are routed by `user_id % shards` and folded
+    /// concurrently, one runtime worker per shard.
+    pub shards: usize,
+    /// Largest adjacency-round population the collector accepts. The
+    /// dense aggregate costs `O(N²/8)` bytes — ≈ 33.5 MB at the default
+    /// cap of 16,384 users and ≈ 1.4 GiB at Google+ scale (`N = 107,614`),
+    /// which is why oversize rounds are refused with a typed
+    /// [`CollectorError::PopulationCap`] instead of found out by the OOM
+    /// killer. Independently of this knob, a population whose finalized
+    /// view cannot fit one wire frame
+    /// ([`ldp_protocols::wire::MAX_FRAME_LEN`], `N ≈ 23,000`) is refused
+    /// at open — never discovered at finalize with the round already
+    /// consumed.
+    pub max_population: usize,
+    /// Largest degree-vector-round population. That channel's state is
+    /// only `O(N/8)` seen-bitmap bytes plus `O(shards·groups)` sums, so
+    /// the default admits the million-user regime with room to spare —
+    /// but a hostile `OPEN` frame claiming `2^50` users must still be a
+    /// typed refusal, not an aborting allocation.
+    pub max_degree_vector_population: usize,
+    /// Largest group count of a degree-vector round (bounds both the
+    /// per-shard sum vectors and the finalize reply frame).
+    pub max_groups: usize,
+    /// Worker cap for shard folds and finalization (further bounded by
+    /// the process-wide [`ldp_graph::runtime::set_thread_cap`]).
+    pub threads: usize,
+    /// Reports buffered before a shard fold is triggered.
+    pub flush_batch: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            shards: 8,
+            max_population: 16_384,
+            max_degree_vector_population: 1 << 24,
+            max_groups: 1 << 16,
+            threads: default_threads(),
+            flush_batch: 4096,
+        }
+    }
+}
+
+impl CollectorConfig {
+    fn validate(&self) -> Result<(), CollectorError> {
+        if self.shards == 0 {
+            return Err(CollectorError::InvalidConfig {
+                detail: "shards must be positive",
+            });
+        }
+        if self.flush_batch == 0 {
+            return Err(CollectorError::InvalidConfig {
+                detail: "flush_batch must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The channel a round collects on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoundChannel {
+    /// LF-GDPR adjacency reports; finalizes into a [`PerturbedView`]
+    /// calibrated for the given keep probability.
+    Adjacency {
+        /// Population `N` (one report per user).
+        population: usize,
+        /// Keep probability of the deployed randomized response.
+        p_keep: f64,
+    },
+    /// LDPGen-style degree vectors toward `groups` server-defined groups;
+    /// finalizes into per-group totals.
+    DegreeVector {
+        /// Population `N`.
+        population: usize,
+        /// Groups per vector.
+        groups: usize,
+    },
+}
+
+impl RoundChannel {
+    /// Population the round expects to hear from.
+    pub fn population(&self) -> usize {
+        match *self {
+            RoundChannel::Adjacency { population, .. }
+            | RoundChannel::DegreeVector { population, .. } => population,
+        }
+    }
+}
+
+/// Intake counters of one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundCounters {
+    /// Reports folded into the aggregate.
+    pub accepted: u64,
+    /// Reports rejected because their user already reported.
+    pub rejected_duplicate: u64,
+    /// Reports rejected by the round quota.
+    pub rejected_quota: u64,
+    /// Reports rejected as malformed: out-of-range id, wrong channel,
+    /// wrong population or group count.
+    pub rejected_invalid: u64,
+}
+
+/// What a report submission did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Queued for the next shard fold (duplicates are still detected at
+    /// fold time and land in the close summary).
+    Queued,
+    /// Dropped: the round quota is exhausted.
+    QuotaExceeded,
+    /// Dropped: malformed for this round (id, channel, population, or
+    /// group count).
+    Invalid,
+}
+
+/// A finalized round.
+#[derive(Debug)]
+pub enum RoundOutcome {
+    /// The adjacency channel's server view, bit-identical to the
+    /// in-process aggregation of the same reports.
+    Adjacency(PerturbedView),
+    /// The degree-vector channel's running aggregate.
+    DegreeVector {
+        /// Per-group totals over all accepted vectors.
+        group_totals: Vec<f64>,
+        /// Vectors folded in.
+        accepted: u64,
+    },
+}
+
+pub(crate) enum Store {
+    Adjacency {
+        shards: AdjacencyShards,
+        p_keep: f64,
+        pending: Vec<(u64, ldp_protocols::AdjacencyReport)>,
+    },
+    DegreeVector {
+        shards: DegreeVectorShards,
+        pending: Vec<(u64, Vec<f64>)>,
+    },
+}
+
+pub(crate) struct OpenRound {
+    pub(crate) round_id: u64,
+    pub(crate) channel: RoundChannel,
+    pub(crate) quota: u64,
+    /// Reports queued so far (accepted-to-queue, pre-duplicate-check);
+    /// what the quota is charged against.
+    pub(crate) submitted: u64,
+    pub(crate) rejected_quota: u64,
+    pub(crate) rejected_invalid: u64,
+    pub(crate) store: Store,
+    pub(crate) closed: bool,
+}
+
+/// The transport-agnostic collection engine. One round at a time; see the
+/// module docs for the lifecycle.
+pub struct RoundCollector {
+    config: CollectorConfig,
+    pub(crate) round: Option<OpenRound>,
+}
+
+impl RoundCollector {
+    /// Largest adjacency population whose finalized view — `N²/8` matrix
+    /// bytes plus ≤ 11 bytes of degree fields per user and a small
+    /// header — fits a single [`ldp_protocols::wire::MAX_FRAME_LEN`]
+    /// frame. Checked against the real encoding by a unit test.
+    const WIRE_VIEW_CAP: usize = 23_000;
+
+    /// Creates an engine with the given configuration.
+    ///
+    /// # Errors
+    /// [`CollectorError::InvalidConfig`] on a zero shard count or flush
+    /// batch.
+    pub fn new(config: CollectorConfig) -> Result<Self, CollectorError> {
+        config.validate()?;
+        Ok(RoundCollector {
+            config,
+            round: None,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CollectorConfig {
+        &self.config
+    }
+
+    /// Id of the currently open round, if any.
+    pub fn open_round_id(&self) -> Option<u64> {
+        self.round.as_ref().map(|r| r.round_id)
+    }
+
+    /// Opens a round. `quota` bounds how many reports the round will even
+    /// queue (`None` ⇒ exactly the population).
+    ///
+    /// # Errors
+    /// [`CollectorError::RoundAlreadyOpen`] if one is in flight;
+    /// [`CollectorError::PopulationCap`] if an adjacency round's dense
+    /// aggregate would exceed the configured memory cap.
+    pub fn open_round(
+        &mut self,
+        round_id: u64,
+        channel: RoundChannel,
+        quota: Option<u64>,
+    ) -> Result<(), CollectorError> {
+        if let Some(open) = &self.round {
+            return Err(CollectorError::RoundAlreadyOpen {
+                round_id: open.round_id,
+            });
+        }
+        let n = channel.population();
+        let store = match channel {
+            RoundChannel::Adjacency { population, p_keep } => {
+                // The configured memory cap, and — independently — the
+                // wire's frame bound: a finalized view must fit one
+                // FINALIZE reply, and that has to be refused *here*, not
+                // at finalize with the round already consumed.
+                let cap = self.config.max_population.min(Self::WIRE_VIEW_CAP);
+                if population > cap {
+                    return Err(CollectorError::PopulationCap {
+                        requested: population,
+                        cap,
+                        matrix_bytes: (population as u64).pow(2) / 8,
+                    });
+                }
+                // Validate up front so finalize cannot fail on it.
+                RandomizedResponse::from_keep_probability(p_keep).map_err(|_| {
+                    CollectorError::InvalidConfig {
+                        detail: "keep probability outside (0.5, 1)",
+                    }
+                })?;
+                Store::Adjacency {
+                    shards: AdjacencyShards::new(population, self.config.shards),
+                    p_keep,
+                    pending: Vec::new(),
+                }
+            }
+            RoundChannel::DegreeVector { population, groups } => {
+                // No dense aggregate here, but a hostile OPEN claiming
+                // 2^50 users (or groups) must be a typed refusal, not an
+                // aborting allocation of seen-bitmaps or sum vectors.
+                if population > self.config.max_degree_vector_population {
+                    return Err(CollectorError::PopulationCap {
+                        requested: population,
+                        cap: self.config.max_degree_vector_population,
+                        matrix_bytes: population as u64 / 8,
+                    });
+                }
+                if groups > self.config.max_groups {
+                    return Err(CollectorError::GroupCap {
+                        requested: groups,
+                        cap: self.config.max_groups,
+                    });
+                }
+                Store::DegreeVector {
+                    shards: DegreeVectorShards::new(population, groups, self.config.shards),
+                    pending: Vec::new(),
+                }
+            }
+        };
+        self.round = Some(OpenRound {
+            round_id,
+            channel,
+            quota: quota.unwrap_or(n as u64),
+            submitted: 0,
+            rejected_quota: 0,
+            rejected_invalid: 0,
+            store,
+            closed: false,
+        });
+        Ok(())
+    }
+
+    /// Submits one report to the open round.
+    ///
+    /// Malformed or over-quota reports are *counted and dropped* (the
+    /// stream goes on — one bad upload must not stall a million good
+    /// ones); only a missing round is a hard error.
+    ///
+    /// # Errors
+    /// [`CollectorError::NoOpenRound`] when no round is open or intake is
+    /// already closed.
+    pub fn ingest(
+        &mut self,
+        user_id: u64,
+        report: UserReport,
+    ) -> Result<IngestOutcome, CollectorError> {
+        let flush_batch = self.config.flush_batch;
+        let threads = self.config.threads;
+        let round = self.round.as_mut().ok_or(CollectorError::NoOpenRound)?;
+        if round.closed {
+            return Err(CollectorError::NoOpenRound);
+        }
+        let n = round.channel.population() as u64;
+        if round.submitted >= round.quota {
+            round.rejected_quota += 1;
+            return Ok(IngestOutcome::QuotaExceeded);
+        }
+        if user_id >= n {
+            round.rejected_invalid += 1;
+            return Ok(IngestOutcome::Invalid);
+        }
+        match (&mut round.store, report) {
+            (
+                Store::Adjacency {
+                    pending, shards, ..
+                },
+                UserReport::Adjacency(r),
+            ) => {
+                if r.population() != round.channel.population() {
+                    round.rejected_invalid += 1;
+                    return Ok(IngestOutcome::Invalid);
+                }
+                pending.push((user_id, r));
+                round.submitted += 1;
+                if pending.len() >= flush_batch {
+                    let batch = std::mem::take(pending);
+                    shards.fold_batch(&batch, threads);
+                }
+            }
+            (Store::DegreeVector { pending, shards }, UserReport::DegreeVector(v)) => {
+                if v.len() != shards.groups() {
+                    round.rejected_invalid += 1;
+                    return Ok(IngestOutcome::Invalid);
+                }
+                pending.push((user_id, v));
+                round.submitted += 1;
+                if pending.len() >= flush_batch {
+                    let batch = std::mem::take(pending);
+                    shards.fold_batch(&batch, threads);
+                }
+            }
+            _ => {
+                round.rejected_invalid += 1;
+                return Ok(IngestOutcome::Invalid);
+            }
+        }
+        Ok(IngestOutcome::Queued)
+    }
+
+    /// Counts a report that failed wire decoding against the open round
+    /// (the daemon calls this so malformed frames land in the summary).
+    pub fn note_invalid(&mut self) {
+        if let Some(round) = &mut self.round {
+            round.rejected_invalid += 1;
+        }
+    }
+
+    /// Folds everything still buffered.
+    pub(crate) fn flush(&mut self) {
+        let threads = self.config.threads;
+        if let Some(round) = &mut self.round {
+            match &mut round.store {
+                Store::Adjacency {
+                    pending, shards, ..
+                } => {
+                    if !pending.is_empty() {
+                        let batch = std::mem::take(pending);
+                        shards.fold_batch(&batch, threads);
+                    }
+                }
+                Store::DegreeVector { pending, shards } => {
+                    if !pending.is_empty() {
+                        let batch = std::mem::take(pending);
+                        shards.fold_batch(&batch, threads);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current intake counters (flushes buffered reports first so
+    /// duplicate counts are exact).
+    ///
+    /// # Errors
+    /// [`CollectorError::NoOpenRound`] when no round is open.
+    pub fn counters(&mut self) -> Result<RoundCounters, CollectorError> {
+        self.flush();
+        let round = self.round.as_ref().ok_or(CollectorError::NoOpenRound)?;
+        let (accepted, duplicates) = match &round.store {
+            Store::Adjacency { shards, .. } => (shards.accepted(), shards.duplicates()),
+            Store::DegreeVector { shards, .. } => (shards.accepted(), shards.duplicates()),
+        };
+        Ok(RoundCounters {
+            accepted,
+            rejected_duplicate: duplicates,
+            rejected_quota: round.rejected_quota,
+            rejected_invalid: round.rejected_invalid,
+        })
+    }
+
+    /// Closes intake on the open round and returns the final counters.
+    ///
+    /// # Errors
+    /// [`CollectorError::NoOpenRound`] / [`CollectorError::RoundMismatch`]
+    /// on lifecycle misuse.
+    pub fn close_round(&mut self, round_id: u64) -> Result<RoundCounters, CollectorError> {
+        self.check_round(round_id)?;
+        let counters = self.counters()?;
+        self.round.as_mut().expect("checked above").closed = true;
+        Ok(counters)
+    }
+
+    /// Finalizes the closed round into its aggregate, consuming the round
+    /// state. Requires every user to have reported exactly once.
+    ///
+    /// # Errors
+    /// [`CollectorError::RoundIncomplete`] while reports are outstanding,
+    /// plus the lifecycle errors of [`Self::close_round`].
+    pub fn finalize(&mut self, round_id: u64) -> Result<RoundOutcome, CollectorError> {
+        self.check_round(round_id)?;
+        self.flush();
+        let round = self.round.as_ref().expect("checked above");
+        let n = round.channel.population();
+        let accepted = match &round.store {
+            Store::Adjacency { shards, .. } => shards.accepted(),
+            Store::DegreeVector { shards, .. } => shards.accepted(),
+        };
+        if accepted != n as u64 {
+            return Err(CollectorError::RoundIncomplete {
+                population: n,
+                accepted,
+            });
+        }
+        let round = self.round.take().expect("checked above");
+        match round.store {
+            Store::Adjacency { shards, p_keep, .. } => {
+                let (matrix, degrees) = shards.merge();
+                let rr =
+                    RandomizedResponse::from_keep_probability(p_keep).expect("validated at open");
+                Ok(RoundOutcome::Adjacency(finalize_lower(
+                    matrix,
+                    degrees,
+                    rr,
+                    self.config.threads,
+                )))
+            }
+            Store::DegreeVector { shards, .. } => Ok(RoundOutcome::DegreeVector {
+                group_totals: shards.group_totals(),
+                accepted,
+            }),
+        }
+    }
+
+    fn check_round(&self, round_id: u64) -> Result<(), CollectorError> {
+        let round = self.round.as_ref().ok_or(CollectorError::NoOpenRound)?;
+        if round.round_id != round_id {
+            return Err(CollectorError::RoundMismatch {
+                expected: round.round_id,
+                got: round_id,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_graph::generate::caveman_graph;
+    use ldp_graph::Xoshiro256pp;
+    use ldp_protocols::{GraphLdpProtocol, LfGdpr, ServerView};
+
+    fn adjacency_channel(n: usize) -> RoundChannel {
+        RoundChannel::Adjacency {
+            population: n,
+            p_keep: 0.88,
+        }
+    }
+
+    /// Drives a full adjacency round from the honest reports of a real
+    /// protocol run and pins the outcome against the in-process aggregate.
+    #[test]
+    fn adjacency_round_matches_in_process_aggregation() {
+        let g = caveman_graph(6, 8);
+        let n = g.num_nodes();
+        let proto = LfGdpr::new(4.0).unwrap();
+        let base = Xoshiro256pp::new(11);
+        let reports = proto.collect_honest(&g, &base);
+
+        let mut engine = RoundCollector::new(CollectorConfig {
+            shards: 5,
+            flush_batch: 7,
+            ..CollectorConfig::default()
+        })
+        .unwrap();
+        engine
+            .open_round(
+                1,
+                RoundChannel::Adjacency {
+                    population: n,
+                    p_keep: proto.p_keep(),
+                },
+                None,
+            )
+            .unwrap();
+        // Arrival order scrambled: evens descending, then odds ascending.
+        let order: Vec<usize> = (0..n)
+            .rev()
+            .filter(|i| i % 2 == 0)
+            .chain((0..n).filter(|i| i % 2 == 1))
+            .collect();
+        for &i in &order {
+            let outcome = engine
+                .ingest(i as u64, UserReport::Adjacency(reports[i].clone()))
+                .unwrap();
+            assert_eq!(outcome, IngestOutcome::Queued);
+        }
+        let counters = engine.close_round(1).unwrap();
+        assert_eq!(counters.accepted, n as u64);
+        assert_eq!(counters.rejected_duplicate, 0);
+        let RoundOutcome::Adjacency(view) = engine.finalize(1).unwrap() else {
+            panic!("adjacency round must finalize into a view");
+        };
+
+        let trait_obj: &dyn GraphLdpProtocol = &proto;
+        let in_process = trait_obj
+            .aggregate(
+                &g,
+                &base,
+                reports.into_iter().map(UserReport::Adjacency).collect(),
+            )
+            .unwrap();
+        let ServerView::Perturbed(reference) = in_process else {
+            panic!("LF-GDPR aggregates into a perturbed view");
+        };
+        assert_eq!(view.matrix(), reference.matrix());
+        assert_eq!(view.reported_degrees(), reference.reported_degrees());
+        for u in 0..n {
+            assert_eq!(view.perturbed_degree(u), reference.perturbed_degree(u));
+        }
+    }
+
+    #[test]
+    fn lifecycle_misuse_is_typed() {
+        let mut engine = RoundCollector::new(CollectorConfig::default()).unwrap();
+        assert!(matches!(
+            engine.ingest(0, UserReport::DegreeVector(vec![])),
+            Err(CollectorError::NoOpenRound)
+        ));
+        engine.open_round(3, adjacency_channel(4), None).unwrap();
+        assert!(matches!(
+            engine.open_round(4, adjacency_channel(4), None),
+            Err(CollectorError::RoundAlreadyOpen { round_id: 3 })
+        ));
+        assert!(matches!(
+            engine.close_round(9),
+            Err(CollectorError::RoundMismatch {
+                expected: 3,
+                got: 9
+            })
+        ));
+        assert!(matches!(
+            engine.finalize(3),
+            Err(CollectorError::RoundIncomplete {
+                population: 4,
+                accepted: 0
+            })
+        ));
+        engine.close_round(3).unwrap();
+        // Intake refused after close.
+        assert!(matches!(
+            engine.ingest(0, UserReport::Adjacency(report(4, 0.0))),
+            Err(CollectorError::NoOpenRound)
+        ));
+    }
+
+    fn report(n: usize, degree: f64) -> ldp_protocols::AdjacencyReport {
+        ldp_protocols::AdjacencyReport::new(ldp_graph::BitSet::new(n), degree)
+    }
+
+    #[test]
+    fn quota_duplicates_and_invalids_are_counted_not_fatal() {
+        let mut engine = RoundCollector::new(CollectorConfig {
+            flush_batch: 2,
+            ..CollectorConfig::default()
+        })
+        .unwrap();
+        engine.open_round(1, adjacency_channel(3), Some(5)).unwrap();
+        // Out-of-range id.
+        assert_eq!(
+            engine
+                .ingest(99, UserReport::Adjacency(report(3, 0.0)))
+                .unwrap(),
+            IngestOutcome::Invalid
+        );
+        // Wrong channel.
+        assert_eq!(
+            engine
+                .ingest(0, UserReport::DegreeVector(vec![1.0]))
+                .unwrap(),
+            IngestOutcome::Invalid
+        );
+        // Wrong population.
+        assert_eq!(
+            engine
+                .ingest(0, UserReport::Adjacency(report(9, 0.0)))
+                .unwrap(),
+            IngestOutcome::Invalid
+        );
+        // Three good ones + a duplicate + one more duplicate = quota's 5.
+        for i in 0..3 {
+            engine
+                .ingest(i, UserReport::Adjacency(report(3, i as f64)))
+                .unwrap();
+        }
+        engine
+            .ingest(1, UserReport::Adjacency(report(3, 9.0)))
+            .unwrap();
+        engine
+            .ingest(2, UserReport::Adjacency(report(3, 9.0)))
+            .unwrap();
+        // Quota exhausted now.
+        assert_eq!(
+            engine
+                .ingest(0, UserReport::Adjacency(report(3, 0.0)))
+                .unwrap(),
+            IngestOutcome::QuotaExceeded
+        );
+        let counters = engine.close_round(1).unwrap();
+        assert_eq!(counters.accepted, 3);
+        assert_eq!(counters.rejected_duplicate, 2);
+        assert_eq!(counters.rejected_quota, 1);
+        assert_eq!(counters.rejected_invalid, 3);
+        // Still finalizes: every user reported once.
+        assert!(matches!(engine.finalize(1), Ok(RoundOutcome::Adjacency(_))));
+        // Round consumed.
+        assert!(engine.open_round_id().is_none());
+    }
+
+    #[test]
+    fn oversize_population_is_refused_with_the_memory_math() {
+        let mut engine = RoundCollector::new(CollectorConfig::default()).unwrap();
+        let err = engine
+            .open_round(
+                1,
+                RoundChannel::Adjacency {
+                    population: 107_614,
+                    p_keep: 0.9,
+                },
+                None,
+            )
+            .unwrap_err();
+        let CollectorError::PopulationCap {
+            requested,
+            cap,
+            matrix_bytes,
+        } = err
+        else {
+            panic!("expected PopulationCap, got {err}");
+        };
+        assert_eq!(requested, 107_614);
+        assert_eq!(cap, 16_384);
+        assert_eq!(matrix_bytes, 107_614u64 * 107_614 / 8);
+        // The engine stays usable.
+        assert!(engine.open_round(1, adjacency_channel(10), None).is_ok());
+    }
+
+    #[test]
+    fn raised_cap_is_still_bounded_by_the_wire_frame() {
+        // An operator raising max_population past what a finalize reply
+        // can carry must be refused at open, not stranded at finalize.
+        let mut engine = RoundCollector::new(CollectorConfig {
+            max_population: usize::MAX,
+            ..CollectorConfig::default()
+        })
+        .unwrap();
+        let err = engine
+            .open_round(
+                1,
+                RoundChannel::Adjacency {
+                    population: 40_000,
+                    p_keep: 0.9,
+                },
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CollectorError::PopulationCap {
+                cap: RoundCollector::WIRE_VIEW_CAP,
+                ..
+            }
+        ));
+        // The wire cap itself is honest: a view at that population fits
+        // one frame (N²/8 matrix bytes + ≤11 per-user degree bytes).
+        let n = RoundCollector::WIRE_VIEW_CAP as u64;
+        assert!(n * n / 8 + 11 * n + 32 <= ldp_protocols::wire::MAX_FRAME_LEN as u64);
+    }
+
+    #[test]
+    fn hostile_degree_vector_opens_are_refused_not_allocated() {
+        let mut engine = RoundCollector::new(CollectorConfig::default()).unwrap();
+        // 2^50 users: would be ~140 TB of seen-bitmaps if allocated.
+        assert!(matches!(
+            engine.open_round(
+                1,
+                RoundChannel::DegreeVector {
+                    population: 1 << 50,
+                    groups: 4,
+                },
+                None,
+            ),
+            Err(CollectorError::PopulationCap { .. })
+        ));
+        // 2^40 groups: would be ~8 TB of per-shard sums.
+        assert!(matches!(
+            engine.open_round(
+                1,
+                RoundChannel::DegreeVector {
+                    population: 100,
+                    groups: 1 << 40,
+                },
+                None,
+            ),
+            Err(CollectorError::GroupCap { .. })
+        ));
+        // Still usable at sane sizes.
+        assert!(engine
+            .open_round(
+                1,
+                RoundChannel::DegreeVector {
+                    population: 100,
+                    groups: 4,
+                },
+                None,
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn degree_vector_round_finalizes_totals() {
+        let mut engine = RoundCollector::new(CollectorConfig::default()).unwrap();
+        engine
+            .open_round(
+                7,
+                RoundChannel::DegreeVector {
+                    population: 5,
+                    groups: 2,
+                },
+                None,
+            )
+            .unwrap();
+        for i in 0..5u64 {
+            engine
+                .ingest(i, UserReport::DegreeVector(vec![1.0, i as f64]))
+                .unwrap();
+        }
+        engine.close_round(7).unwrap();
+        let RoundOutcome::DegreeVector {
+            group_totals,
+            accepted,
+        } = engine.finalize(7).unwrap()
+        else {
+            panic!("degree-vector round must finalize into totals");
+        };
+        assert_eq!(accepted, 5);
+        assert_eq!(group_totals, vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn invalid_configs_are_refused() {
+        assert!(matches!(
+            RoundCollector::new(CollectorConfig {
+                shards: 0,
+                ..CollectorConfig::default()
+            }),
+            Err(CollectorError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            RoundCollector::new(CollectorConfig {
+                flush_batch: 0,
+                ..CollectorConfig::default()
+            }),
+            Err(CollectorError::InvalidConfig { .. })
+        ));
+        let mut ok = RoundCollector::new(CollectorConfig::default()).unwrap();
+        assert!(matches!(
+            ok.open_round(
+                1,
+                RoundChannel::Adjacency {
+                    population: 4,
+                    p_keep: 0.2
+                },
+                None
+            ),
+            Err(CollectorError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,340 @@
+//! The collection daemon: a TCP front-end over the round engine.
+//!
+//! One [`CollectorServer`] owns a [`std::net::TcpListener`] and a
+//! [`RoundCollector`]; sessions are served sequentially (collection rounds
+//! are single-writer epochs — the parallelism that matters is *inside* the
+//! engine's shard folds, which run on the [`ldp_graph::runtime`] workers).
+//! Each session speaks the frame protocol below over the
+//! [`ldp_protocols::wire`] codec.
+//!
+//! ## Frame protocol
+//!
+//! | kind | direction | payload |
+//! |------|-----------|---------|
+//! | `OPEN` `0x01` | c→s | round id, channel tag + params, quota (varints/f64) |
+//! | `REPORT` `0x02` | c→s | one encoded [`UserReport`](ldp_protocols::UserReport) (no per-report ack) |
+//! | `CLOSE` `0x03` | c→s | round id |
+//! | `FINALIZE` `0x04` | c→s | round id |
+//! | `CHECKPOINT` `0x05` | c→s | empty (snapshots to the configured path) |
+//! | `SHUTDOWN` `0x06` | c→s | empty; stops the accept loop |
+//! | `ACK` `0x81` | s→c | empty |
+//! | `ERR` `0x82` | s→c | code byte + message |
+//! | `SUMMARY` `0x83` | s→c | intake counters + outstanding count |
+//! | `VIEW` `0x84` | s→c | a finalized [`PerturbedView`](ldp_protocols::PerturbedView) |
+//! | `DEGREE_SUMMARY` `0x85` | s→c | group totals + accepted count |
+//!
+//! `REPORT` frames are deliberately unacknowledged — per-report
+//! round-trips would cap throughput at the RTT; rejects (duplicates,
+//! quota, malformed) are counted and returned in the `CLOSE` summary,
+//! which is also where a poisoning analyst reads the attack surface.
+
+use crate::error::CollectorError;
+use crate::round::{CollectorConfig, RoundChannel, RoundCollector, RoundOutcome};
+use ldp_protocols::wire::{
+    self, get_f64, get_varint, put_f64, put_varint, read_frame, read_stream_header, write_frame,
+    write_stream_header,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+
+/// Frame kind bytes of the collection protocol.
+pub mod frames {
+    /// Client → server: open a round.
+    pub const OPEN: u8 = 0x01;
+    /// Client → server: one report (unacknowledged).
+    pub const REPORT: u8 = 0x02;
+    /// Client → server: close intake, reply with the summary.
+    pub const CLOSE: u8 = 0x03;
+    /// Client → server: finalize the closed round.
+    pub const FINALIZE: u8 = 0x04;
+    /// Client → server: snapshot the round to the checkpoint path.
+    pub const CHECKPOINT: u8 = 0x05;
+    /// Client → server: stop the daemon after this session.
+    pub const SHUTDOWN: u8 = 0x06;
+    /// Server → client: success, no payload.
+    pub const ACK: u8 = 0x81;
+    /// Server → client: refusal, code + message.
+    pub const ERR: u8 = 0x82;
+    /// Server → client: round intake summary.
+    pub const SUMMARY: u8 = 0x83;
+    /// Server → client: finalized adjacency view.
+    pub const VIEW: u8 = 0x84;
+    /// Server → client: finalized degree-vector totals.
+    pub const DEGREE_SUMMARY: u8 = 0x85;
+}
+
+/// Channel tag bytes inside `OPEN` frames.
+pub(crate) mod channel_tags {
+    pub(crate) const ADJACENCY: u8 = 0;
+    pub(crate) const DEGREE_VECTOR: u8 = 1;
+}
+
+/// Stable error codes carried by `ERR` frames.
+pub mod codes {
+    /// Population exceeds the configured memory cap.
+    pub const POPULATION_CAP: u8 = 1;
+    /// A round is already open.
+    pub const ROUND_ALREADY_OPEN: u8 = 2;
+    /// No round is open.
+    pub const NO_OPEN_ROUND: u8 = 3;
+    /// Frame names a different round than the open one.
+    pub const ROUND_MISMATCH: u8 = 4;
+    /// Finalize before every user reported.
+    pub const ROUND_INCOMPLETE: u8 = 5;
+    /// Malformed frame or parameter.
+    pub const BAD_FRAME: u8 = 6;
+    /// Checkpointing failed (no path configured, I/O failure).
+    pub const CHECKPOINT_FAILED: u8 = 7;
+    /// Anything else.
+    pub const INTERNAL: u8 = 8;
+}
+
+fn error_code(e: &CollectorError) -> u8 {
+    match e {
+        CollectorError::PopulationCap { .. } | CollectorError::GroupCap { .. } => {
+            codes::POPULATION_CAP
+        }
+        CollectorError::RoundAlreadyOpen { .. } => codes::ROUND_ALREADY_OPEN,
+        CollectorError::NoOpenRound => codes::NO_OPEN_ROUND,
+        CollectorError::RoundMismatch { .. } => codes::ROUND_MISMATCH,
+        CollectorError::RoundIncomplete { .. } => codes::ROUND_INCOMPLETE,
+        CollectorError::Wire(_) | CollectorError::UnexpectedFrame { .. } => codes::BAD_FRAME,
+        CollectorError::InvalidConfig { .. } => codes::BAD_FRAME,
+        CollectorError::BadCheckpoint { .. } => codes::CHECKPOINT_FAILED,
+        _ => codes::INTERNAL,
+    }
+}
+
+/// The TCP collection daemon.
+pub struct CollectorServer {
+    listener: TcpListener,
+    engine: RoundCollector,
+    checkpoint_path: Option<PathBuf>,
+}
+
+impl CollectorServer {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    /// Bind failures and invalid configurations.
+    pub fn bind(addr: impl ToSocketAddrs, config: CollectorConfig) -> Result<Self, CollectorError> {
+        Ok(CollectorServer {
+            listener: TcpListener::bind(addr)?,
+            engine: RoundCollector::new(config)?,
+            checkpoint_path: None,
+        })
+    }
+
+    /// Where mid-round snapshots land when a `CHECKPOINT` frame arrives.
+    pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// The bound address (read the ephemeral port here).
+    ///
+    /// # Errors
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> Result<SocketAddr, CollectorError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts and serves sessions until a client sends `SHUTDOWN`.
+    /// Session-level failures (a peer speaking garbage) end that session
+    /// and the daemon keeps accepting; only listener failures propagate.
+    ///
+    /// # Errors
+    /// Accept failures on the listener.
+    pub fn serve(&mut self) -> Result<(), CollectorError> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            match self.session(stream) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(_) => {
+                    // A poisoned session must not take the daemon down;
+                    // the engine state stays consistent (rejects are
+                    // already counted, lifecycle errors were refused).
+                }
+            }
+        }
+    }
+
+    /// Binds to a loopback ephemeral port and serves on a background
+    /// thread — the one-call setup tests, benches, and the load generator
+    /// use. Returns the address to connect to and the thread handle
+    /// (joins once a client sends `SHUTDOWN`).
+    ///
+    /// # Errors
+    /// As [`Self::bind`].
+    pub fn spawn(
+        config: CollectorConfig,
+    ) -> Result<
+        (
+            SocketAddr,
+            std::thread::JoinHandle<Result<(), CollectorError>>,
+        ),
+        CollectorError,
+    > {
+        Self::spawn_with(config, None)
+    }
+
+    /// [`Self::spawn`] with a checkpoint path.
+    ///
+    /// # Errors
+    /// As [`Self::bind`].
+    pub fn spawn_with(
+        config: CollectorConfig,
+        checkpoint_path: Option<PathBuf>,
+    ) -> Result<
+        (
+            SocketAddr,
+            std::thread::JoinHandle<Result<(), CollectorError>>,
+        ),
+        CollectorError,
+    > {
+        let mut server = CollectorServer::bind(("127.0.0.1", 0), config)?;
+        if let Some(path) = checkpoint_path {
+            server = server.with_checkpoint_path(path);
+        }
+        let addr = server.local_addr()?;
+        let handle = std::thread::spawn(move || server.serve());
+        Ok((addr, handle))
+    }
+
+    /// Serves one connection; `Ok(true)` means shutdown was requested.
+    fn session(&mut self, stream: TcpStream) -> Result<bool, CollectorError> {
+        stream.set_nodelay(true)?;
+        let mut reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
+        let mut writer = BufWriter::with_capacity(1 << 16, stream);
+        read_stream_header(&mut reader)?;
+        write_stream_header(&mut writer)?;
+        writer.flush()?;
+
+        let mut payload = Vec::new();
+        let mut reply = Vec::new();
+        loop {
+            let kind = match read_frame(&mut reader, &mut payload)? {
+                Some(kind) => kind,
+                None => return Ok(false), // clean disconnect
+            };
+            reply.clear();
+            let result: Result<u8, CollectorError> = match kind {
+                frames::OPEN => decode_open(&payload)
+                    .and_then(|(id, channel, quota)| self.engine.open_round(id, channel, quota))
+                    .map(|()| frames::ACK),
+                frames::REPORT => {
+                    match wire::decode_report(&payload) {
+                        Ok((user_id, report)) => {
+                            // Lifecycle errors (no open round) are silent
+                            // drops here by design: the client learns from
+                            // the close summary, and a flood of misdirected
+                            // reports cannot force a write per frame.
+                            if self.engine.ingest(user_id, report).is_err() {
+                                self.engine.note_invalid();
+                            }
+                        }
+                        Err(_) => self.engine.note_invalid(),
+                    }
+                    continue; // unacknowledged
+                }
+                frames::CLOSE => decode_round_id(&payload)
+                    .and_then(|id| self.engine.close_round(id))
+                    .map(|counters| {
+                        put_varint(counters.accepted, &mut reply);
+                        put_varint(counters.rejected_duplicate, &mut reply);
+                        put_varint(counters.rejected_quota, &mut reply);
+                        put_varint(counters.rejected_invalid, &mut reply);
+                        frames::SUMMARY
+                    }),
+                frames::FINALIZE => decode_round_id(&payload)
+                    .and_then(|id| self.engine.finalize(id))
+                    .map(|outcome| match outcome {
+                        RoundOutcome::Adjacency(view) => {
+                            wire::encode_view(&view, &mut reply);
+                            frames::VIEW
+                        }
+                        RoundOutcome::DegreeVector {
+                            group_totals,
+                            accepted,
+                        } => {
+                            put_varint(accepted, &mut reply);
+                            put_varint(group_totals.len() as u64, &mut reply);
+                            for &t in &group_totals {
+                                put_f64(t, &mut reply);
+                            }
+                            frames::DEGREE_SUMMARY
+                        }
+                    }),
+                frames::CHECKPOINT => self.checkpoint_to_path().map(|()| frames::ACK),
+                frames::SHUTDOWN => {
+                    write_frame(&mut writer, frames::ACK, &[])?;
+                    writer.flush()?;
+                    return Ok(true);
+                }
+                kind => Err(CollectorError::UnexpectedFrame { kind }),
+            };
+            match result {
+                Ok(reply_kind) => write_frame(&mut writer, reply_kind, &reply)?,
+                Err(e) => {
+                    reply.clear();
+                    reply.push(error_code(&e));
+                    let message = e.to_string();
+                    put_varint(message.len() as u64, &mut reply);
+                    reply.extend_from_slice(message.as_bytes());
+                    write_frame(&mut writer, frames::ERR, &reply)?;
+                }
+            }
+            writer.flush()?;
+        }
+    }
+
+    fn checkpoint_to_path(&mut self) -> Result<(), CollectorError> {
+        let path = self
+            .checkpoint_path
+            .as_ref()
+            .ok_or(CollectorError::BadCheckpoint {
+                detail: "daemon has no checkpoint path configured",
+            })?
+            .clone();
+        let mut file = std::fs::File::create(path)?;
+        self.engine.checkpoint(&mut file)
+    }
+}
+
+fn decode_open(payload: &[u8]) -> Result<(u64, RoundChannel, Option<u64>), CollectorError> {
+    let mut buf = payload;
+    let round_id = get_varint(&mut buf)?;
+    let (&tag, rest) = buf
+        .split_first()
+        .ok_or(CollectorError::Wire(wire::WireError::Truncated))?;
+    buf = rest;
+    let channel = match tag {
+        channel_tags::ADJACENCY => {
+            let population = get_varint(&mut buf)? as usize;
+            let p_keep = get_f64(&mut buf)?;
+            RoundChannel::Adjacency { population, p_keep }
+        }
+        channel_tags::DEGREE_VECTOR => {
+            let population = get_varint(&mut buf)? as usize;
+            let groups = get_varint(&mut buf)? as usize;
+            RoundChannel::DegreeVector { population, groups }
+        }
+        _ => {
+            return Err(CollectorError::Wire(wire::WireError::UnknownReportTag {
+                tag,
+            }))
+        }
+    };
+    let quota = get_varint(&mut buf)?;
+    wire::expect_end(buf)?;
+    Ok((round_id, channel, (quota != 0).then_some(quota)))
+}
+
+fn decode_round_id(payload: &[u8]) -> Result<u64, CollectorError> {
+    let mut buf = payload;
+    let id = get_varint(&mut buf)?;
+    wire::expect_end(buf)?;
+    Ok(id)
+}

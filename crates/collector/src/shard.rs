@@ -1,0 +1,489 @@
+//! Per-shard aggregation state: the lock-free heart of the collector.
+//!
+//! Reports arriving over the wire carry explicit user ids and arrive in
+//! *arbitrary* order — unlike the in-process
+//! [`StreamingAggregator`](ldp_protocols::StreamingAggregator), which
+//! requires id-ordered batches. The lower-triangle ownership rule still
+//! saves the day: report `i` writes only the owned words of row `i`, so
+//! partitioning rows by `user_id % shards` gives every shard an exclusive,
+//! disjoint slice of the aggregate. Shards fold concurrently on the
+//! [`ldp_graph::runtime`] workers with **no locks and no atomics**, and
+//! merging at finalize is a straight row copy — the shard states never
+//! overlap.
+//!
+//! Adjacency shards store their rows *triangularly packed*: row `i` is
+//! allotted exactly its `⌈i/64⌉` owned words, so the whole shard set costs
+//! one lower triangle (`≈ N²/16` bytes) on top of the final matrix instead
+//! of a second full matrix. Degree-vector shards keep running per-group
+//! sums — `O(groups)` per shard, which is what lets a million-user
+//! degree-vector round run in constant aggregate memory.
+//!
+//! Everything here is deterministic: a shard folds its reports in arrival
+//! order, shard merges walk shards in index order, and the bit pattern of
+//! an adjacency fold is arrival-order-independent by construction (OR into
+//! zeroed words, each row written by exactly one report).
+
+use ldp_graph::{BitMatrix, BitSet};
+use ldp_protocols::ingest::fold_lower_bits;
+use ldp_protocols::AdjacencyReport;
+
+/// Number of owned (lower-triangle) words of row `i`.
+#[inline]
+pub(crate) fn owned_words(i: usize) -> usize {
+    i / 64 + usize::from(!i.is_multiple_of(64))
+}
+
+/// Why a report bounced off a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardReject {
+    /// The user already reported this round.
+    Duplicate,
+}
+
+/// One shard of an adjacency round: rows `i ≡ shard (mod stride)`.
+#[derive(Debug)]
+pub(crate) struct AdjacencyShard {
+    shard: usize,
+    stride: usize,
+    /// Which of this shard's slots have reported.
+    seen: BitSet,
+    /// Reported (Laplace) degree per slot.
+    degrees: Vec<f64>,
+    /// Triangular row storage: slot `s` (row `shard + s·stride`) owns
+    /// `words[offsets[s]..offsets[s+1]]`.
+    words: Vec<u64>,
+    offsets: Vec<usize>,
+    accepted: u64,
+    duplicates: u64,
+}
+
+impl AdjacencyShard {
+    fn new(shard: usize, stride: usize, n: usize) -> Self {
+        let slots = if n > shard {
+            (n - shard).div_ceil(stride)
+        } else {
+            0
+        };
+        let mut offsets = Vec::with_capacity(slots + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for s in 0..slots {
+            total += owned_words(shard + s * stride);
+            offsets.push(total);
+        }
+        AdjacencyShard {
+            shard,
+            stride,
+            seen: BitSet::new(slots),
+            degrees: vec![0.0; slots],
+            words: vec![0; total],
+            offsets,
+            accepted: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Folds one report owned by this shard. The caller guarantees
+    /// `user_id % stride == shard` and `user_id < n`.
+    fn fold(&mut self, user_id: usize, report: &AdjacencyReport) -> Result<(), ShardReject> {
+        debug_assert_eq!(user_id % self.stride, self.shard);
+        let slot = user_id / self.stride;
+        if self.seen.get(slot) {
+            self.duplicates += 1;
+            return Err(ShardReject::Duplicate);
+        }
+        self.seen.set(slot);
+        let row = &mut self.words[self.offsets[slot]..self.offsets[slot + 1]];
+        fold_lower_bits(row, &report.bits, user_id);
+        self.degrees[slot] = report.degree;
+        self.accepted += 1;
+        Ok(())
+    }
+}
+
+/// The full shard set of an adjacency round.
+#[derive(Debug)]
+pub(crate) struct AdjacencyShards {
+    n: usize,
+    shards: Vec<AdjacencyShard>,
+}
+
+impl AdjacencyShards {
+    pub(crate) fn new(n: usize, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        AdjacencyShards {
+            n,
+            shards: (0..num_shards)
+                .map(|s| AdjacencyShard::new(s, num_shards, n))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn accepted(&self) -> u64 {
+        self.shards.iter().map(|s| s.accepted).sum()
+    }
+
+    pub(crate) fn duplicates(&self) -> u64 {
+        self.shards.iter().map(|s| s.duplicates).sum()
+    }
+
+    /// Folds a batch: reports are routed to their owning shard and every
+    /// shard folds its share on a runtime worker — shard states are
+    /// disjoint, so the fan-out needs no synchronization beyond the
+    /// scoped-thread join.
+    pub(crate) fn fold_batch(&mut self, batch: &[(u64, AdjacencyReport)], threads: usize) {
+        let stride = self.shards.len();
+        let mut per_shard: Vec<Vec<(usize, &AdjacencyReport)>> = vec![Vec::new(); stride];
+        for (id, report) in batch {
+            let id = *id as usize;
+            per_shard[id % stride].push((id, report));
+        }
+        // ~avg-row/64 words of fold work per report.
+        let work = batch.len() * (self.n / 128 + 1);
+        let threads = ldp_graph::runtime::threads_for_work(work, threads);
+        ldp_graph::runtime::parallel_chunks_mut(&mut self.shards, 1, threads, |idx, chunk| {
+            for &(id, report) in &per_shard[idx] {
+                let _ = chunk[0].fold(id, report);
+            }
+        });
+    }
+
+    /// Merges the shards into one lower-triangle matrix plus the
+    /// reported-degree vector (deterministic: a straight copy of disjoint
+    /// rows). The shard set is consumed; finalize the result with
+    /// [`ldp_protocols::ingest::finalize_lower`].
+    pub(crate) fn merge(self) -> (BitMatrix, Vec<f64>) {
+        let n = self.n;
+        let mut matrix = BitMatrix::new(n);
+        let wpr = matrix.words_per_row();
+        let mut degrees = vec![0.0f64; n];
+        let stride = self.shards.len();
+        {
+            let rows = matrix.rows_mut(0, n);
+            for (s, shard) in self.shards.iter().enumerate() {
+                let mut id = s;
+                let mut slot = 0;
+                while id < n {
+                    let owned = &shard.words[shard.offsets[slot]..shard.offsets[slot + 1]];
+                    rows[id * wpr..id * wpr + owned.len()].copy_from_slice(owned);
+                    degrees[id] = shard.degrees[slot];
+                    id += stride;
+                    slot += 1;
+                }
+            }
+        }
+        (matrix, degrees)
+    }
+
+    /// Raw pieces for checkpointing, per shard in index order:
+    /// `(accepted, duplicates, seen words, degrees, row words)`.
+    pub(crate) fn snapshot_shards(
+        &self,
+    ) -> impl Iterator<Item = (u64, u64, &[u64], &[f64], &[u64])> {
+        self.shards.iter().map(|s| {
+            (
+                s.accepted,
+                s.duplicates,
+                s.seen.words(),
+                &s.degrees[..],
+                &s.words[..],
+            )
+        })
+    }
+
+    /// Rebuilds one shard from checkpointed pieces; `Err` on any size that
+    /// does not match this population/shard geometry.
+    pub(crate) fn restore_shard(
+        &mut self,
+        shard_idx: usize,
+        accepted: u64,
+        duplicates: u64,
+        seen_words: Vec<u64>,
+        degrees: Vec<f64>,
+        words: Vec<u64>,
+    ) -> Result<(), &'static str> {
+        let shard = self
+            .shards
+            .get_mut(shard_idx)
+            .ok_or("shard index out of range")?;
+        if seen_words.len() != shard.seen.words().len() {
+            return Err("seen bitmap size mismatch");
+        }
+        if degrees.len() != shard.degrees.len() {
+            return Err("degree vector size mismatch");
+        }
+        if words.len() != shard.words.len() {
+            return Err("row storage size mismatch");
+        }
+        shard.seen.words_mut().copy_from_slice(&seen_words);
+        shard.seen.mask_tail();
+        shard.degrees = degrees;
+        shard.words = words;
+        shard.accepted = accepted;
+        shard.duplicates = duplicates;
+        Ok(())
+    }
+}
+
+/// The shard set of a degree-vector round: running per-group sums, one
+/// partial accumulator per shard.
+#[derive(Debug)]
+pub(crate) struct DegreeVectorShards {
+    groups: usize,
+    shards: Vec<DegreeVectorShard>,
+}
+
+#[derive(Debug)]
+pub(crate) struct DegreeVectorShard {
+    seen: BitSet,
+    sums: Vec<f64>,
+    accepted: u64,
+    duplicates: u64,
+}
+
+impl DegreeVectorShards {
+    pub(crate) fn new(n: usize, groups: usize, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        DegreeVectorShards {
+            groups,
+            shards: (0..num_shards)
+                .map(|s| {
+                    let slots = if n > s {
+                        (n - s).div_ceil(num_shards)
+                    } else {
+                        0
+                    };
+                    DegreeVectorShard {
+                        seen: BitSet::new(slots),
+                        sums: vec![0.0; groups],
+                        accepted: 0,
+                        duplicates: 0,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn groups(&self) -> usize {
+        self.groups
+    }
+
+    pub(crate) fn accepted(&self) -> u64 {
+        self.shards.iter().map(|s| s.accepted).sum()
+    }
+
+    pub(crate) fn duplicates(&self) -> u64 {
+        self.shards.iter().map(|s| s.duplicates).sum()
+    }
+
+    /// Folds a batch of `(user_id, vector)` pairs, sharded like the
+    /// adjacency path. Vectors are summed in arrival order within a shard.
+    pub(crate) fn fold_batch(&mut self, batch: &[(u64, Vec<f64>)], threads: usize) {
+        let stride = self.shards.len();
+        let mut per_shard: Vec<Vec<(usize, &[f64])>> = vec![Vec::new(); stride];
+        for (id, v) in batch {
+            let id = *id as usize;
+            per_shard[id % stride].push((id, v));
+        }
+        let work = batch.len() * self.groups;
+        let threads = ldp_graph::runtime::threads_for_work(work, threads);
+        ldp_graph::runtime::parallel_chunks_mut(&mut self.shards, 1, threads, |idx, chunk| {
+            let shard = &mut chunk[0];
+            for &(id, v) in &per_shard[idx] {
+                let slot = id / stride;
+                if shard.seen.get(slot) {
+                    shard.duplicates += 1;
+                    continue;
+                }
+                shard.seen.set(slot);
+                for (acc, x) in shard.sums.iter_mut().zip(v) {
+                    *acc += x;
+                }
+                shard.accepted += 1;
+            }
+        });
+    }
+
+    /// Per-group totals: shard partials summed in shard order
+    /// (deterministic for a fixed shard count and per-shard arrival order).
+    pub(crate) fn group_totals(&self) -> Vec<f64> {
+        let mut totals = vec![0.0f64; self.groups];
+        for shard in &self.shards {
+            for (t, s) in totals.iter_mut().zip(&shard.sums) {
+                *t += s;
+            }
+        }
+        totals
+    }
+
+    /// Raw pieces for checkpointing, per shard in index order.
+    pub(crate) fn snapshot_shards(
+        &self,
+    ) -> impl Iterator<Item = (u64, u64, &[u64], &[f64], &[u64])> {
+        self.shards.iter().map(|s| {
+            (
+                s.accepted,
+                s.duplicates,
+                s.seen.words(),
+                &s.sums[..],
+                &[][..],
+            )
+        })
+    }
+
+    /// Rebuilds one shard from checkpointed pieces.
+    pub(crate) fn restore_shard(
+        &mut self,
+        shard_idx: usize,
+        accepted: u64,
+        duplicates: u64,
+        seen_words: Vec<u64>,
+        sums: Vec<f64>,
+        words: Vec<u64>,
+    ) -> Result<(), &'static str> {
+        let shard = self
+            .shards
+            .get_mut(shard_idx)
+            .ok_or("shard index out of range")?;
+        if seen_words.len() != shard.seen.words().len() {
+            return Err("seen bitmap size mismatch");
+        }
+        if sums.len() != shard.sums.len() {
+            return Err("group sum size mismatch");
+        }
+        if !words.is_empty() {
+            return Err("degree-vector shards carry no row words");
+        }
+        shard.seen.words_mut().copy_from_slice(&seen_words);
+        shard.seen.mask_tail();
+        shard.sums = sums;
+        shard.accepted = accepted;
+        shard.duplicates = duplicates;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_graph::Xoshiro256pp;
+    use ldp_mechanisms::RandomizedResponse;
+    use ldp_protocols::ingest::finalize_lower;
+    use ldp_protocols::StreamingAggregator;
+    use rand::Rng;
+
+    fn synth_reports(n: usize, seed: u64) -> Vec<AdjacencyReport> {
+        let mut rng = Xoshiro256pp::new(seed);
+        (0..n)
+            .map(|_| {
+                let mut bits = BitSet::new(n);
+                for w in bits.words_mut() {
+                    *w = rng.gen::<u64>() & rng.gen::<u64>();
+                }
+                bits.mask_tail();
+                AdjacencyReport::new(bits, rng.gen_range(0.0..n as f64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn out_of_order_sharded_fold_matches_in_order_streaming() {
+        let n = 173;
+        let rr = RandomizedResponse::from_keep_probability(0.85).unwrap();
+        let reports = synth_reports(n, 0xC0FFEE);
+
+        let mut agg = StreamingAggregator::new(n, rr);
+        agg.ingest_batch(&reports);
+        let reference = agg.finalize();
+
+        for num_shards in [1, 3, 8, 64] {
+            let mut shards = AdjacencyShards::new(n, num_shards);
+            // Reverse arrival order, in two batches.
+            let mut batch: Vec<(u64, AdjacencyReport)> = reports
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i as u64, r.clone()))
+                .rev()
+                .collect();
+            let second = batch.split_off(n / 3);
+            shards.fold_batch(&batch, 4);
+            shards.fold_batch(&second, 4);
+            assert_eq!(shards.accepted(), n as u64);
+            let (matrix, degrees) = shards.merge();
+            let view = finalize_lower(matrix, degrees, rr, 4);
+            assert_eq!(view.matrix(), reference.matrix(), "{num_shards} shards");
+            assert_eq!(view.reported_degrees(), reference.reported_degrees());
+        }
+    }
+
+    #[test]
+    fn duplicates_are_rejected_not_refolded() {
+        let n = 40;
+        let reports = synth_reports(n, 7);
+        let mut shards = AdjacencyShards::new(n, 4);
+        let batch: Vec<(u64, AdjacencyReport)> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r.clone()))
+            .collect();
+        shards.fold_batch(&batch, 2);
+        // Replay half the population with different contents.
+        let replay: Vec<(u64, AdjacencyReport)> = synth_reports(n, 8)
+            .into_iter()
+            .enumerate()
+            .take(n / 2)
+            .map(|(i, r)| (i as u64, r))
+            .collect();
+        shards.fold_batch(&replay, 2);
+        assert_eq!(shards.accepted(), n as u64);
+        assert_eq!(shards.duplicates(), (n / 2) as u64);
+
+        // The merged matrix matches the first-arrival-only fold.
+        let rr = RandomizedResponse::from_keep_probability(0.9).unwrap();
+        let (matrix, degrees) = shards.merge();
+        let view = finalize_lower(matrix, degrees, rr, 1);
+        let mut agg = StreamingAggregator::new(n, rr);
+        agg.ingest_batch(&reports);
+        assert_eq!(view.matrix(), agg.finalize().matrix());
+    }
+
+    #[test]
+    fn degree_vector_totals_accumulate() {
+        let n = 10;
+        let k = 3;
+        let mut shards = DegreeVectorShards::new(n, k, 4);
+        let batch: Vec<(u64, Vec<f64>)> = (0..n as u64)
+            .map(|i| (i, vec![1.0, 2.0, i as f64]))
+            .collect();
+        shards.fold_batch(&batch, 2);
+        // A duplicate upload changes nothing.
+        shards.fold_batch(&[(3, vec![100.0, 100.0, 100.0])], 2);
+        assert_eq!(shards.accepted(), 10);
+        assert_eq!(shards.duplicates(), 1);
+        let totals = shards.group_totals();
+        assert_eq!(totals[0], 10.0);
+        assert_eq!(totals[1], 20.0);
+        assert_eq!(totals[2], 45.0);
+    }
+
+    #[test]
+    fn empty_and_tiny_populations() {
+        let shards = AdjacencyShards::new(0, 8);
+        assert_eq!(shards.accepted(), 0);
+        let (matrix, degrees) = shards.merge();
+        assert_eq!(matrix.num_nodes(), 0);
+        assert!(degrees.is_empty());
+
+        // More shards than users.
+        let n = 3;
+        let reports = synth_reports(n, 1);
+        let mut shards = AdjacencyShards::new(n, 16);
+        let batch: Vec<(u64, AdjacencyReport)> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r.clone()))
+            .collect();
+        shards.fold_batch(&batch, 8);
+        assert_eq!(shards.accepted(), 3);
+    }
+}

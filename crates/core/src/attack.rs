@@ -289,8 +289,8 @@ impl_attack!(Rva, AttackStrategy::Rva, |_s| MgaOptions::default());
 impl_attack!(Rna, AttackStrategy::Rna, |_s| MgaOptions::default());
 impl_attack!(Mga, AttackStrategy::Mga, |s| s.options);
 
-/// The trait object realizing a legacy `(strategy, options)` pair — the
-/// bridge the deprecated free functions and the sweep machinery use.
+/// The trait object realizing a `(strategy, options)` pair — the bridge
+/// the sweep machinery uses to iterate attacks as data.
 pub fn attack_for(strategy: AttackStrategy, options: MgaOptions) -> Box<dyn Attack> {
     match strategy {
         AttackStrategy::Rva => Box::new(Rva),

@@ -52,6 +52,12 @@ pub enum ScenarioError {
     },
     /// A failure surfaced by the protocol layer.
     Protocol(ProtocolError),
+    /// A world-runner transport failed (e.g. the wire bridge to a remote
+    /// collector lost its connection or was refused).
+    Transport {
+        /// Human-readable transport failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -86,6 +92,7 @@ impl fmt::Display for ScenarioError {
                 write!(f, "attack crafted {got} reports for {expected} fake users")
             }
             ScenarioError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ScenarioError::Transport { detail } => write!(f, "transport error: {detail}"),
         }
     }
 }

@@ -18,12 +18,8 @@
 //! on the synthetic graph of the honest world vs. the attacked world,
 //! common randomness everywhere else.
 
-use crate::attack::attack_for;
-use crate::gain::AttackOutcome;
-use crate::scenario::Scenario;
-use crate::strategy::{AttackStrategy, MgaOptions};
+use crate::strategy::AttackStrategy;
 use crate::threat::ThreatModel;
-use ldp_graph::CsrGraph;
 use ldp_mechanisms::sampling::sample_laplace_vec;
 use ldp_protocols::Metric;
 use rand::Rng;
@@ -101,45 +97,14 @@ impl From<LdpGenMetric> for Metric {
     }
 }
 
-/// Runs one attack against LDPGen end-to-end.
-///
-/// For [`LdpGenMetric::Modularity`] a partition of the genuine users must
-/// be supplied; fake users are appended round-robin.
-///
-/// # Panics
-/// Panics on population mismatches or a missing partition for modularity.
-#[deprecated(note = "use poison_core::scenario::Scenario: \
-            Scenario::on(*protocol).attack(attack_for(strategy, Default::default()))\
-            .metric(metric.into()).threat(threat.clone()).seed(seed).run(graph)")]
-pub fn run_ldpgen_attack(
-    graph: &CsrGraph,
-    protocol: &ldp_protocols::LdpGen,
-    threat: &ThreatModel,
-    strategy: AttackStrategy,
-    metric: LdpGenMetric,
-    partition: Option<&[usize]>,
-    seed: u64,
-) -> AttackOutcome {
-    let mut builder = Scenario::on(*protocol)
-        .attack(attack_for(strategy, MgaOptions::default()))
-        .metric(metric.into())
-        .threat(threat.clone())
-        .seed(seed);
-    if let Some(partition) = partition {
-        builder = builder.partition(partition);
-    }
-    builder
-        .run(graph)
-        .unwrap_or_else(|e| panic!("{e}"))
-        .into_single_outcome()
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::attack::attack_for;
+    use crate::scenario::Scenario;
+    use crate::strategy::MgaOptions;
     use ldp_graph::generate::caveman_graph;
-    use ldp_graph::Xoshiro256pp;
+    use ldp_graph::{CsrGraph, Xoshiro256pp};
     use ldp_protocols::LdpGen;
 
     fn setup() -> (CsrGraph, LdpGen, ThreatModel) {
@@ -184,15 +149,14 @@ mod tests {
     fn ldpgen_cc_attack_runs_and_is_finite() {
         let (graph, protocol, threat) = setup();
         for strategy in AttackStrategy::ALL {
-            let outcome = run_ldpgen_attack(
-                &graph,
-                &protocol,
-                &threat,
-                strategy,
-                LdpGenMetric::ClusteringCoefficient,
-                None,
-                5,
-            );
+            let outcome = Scenario::on(protocol)
+                .attack(attack_for(strategy, MgaOptions::default()))
+                .metric(LdpGenMetric::ClusteringCoefficient.into())
+                .threat(threat.clone())
+                .seed(5)
+                .run(&graph)
+                .unwrap()
+                .into_single_outcome();
             assert_eq!(outcome.num_targets(), 4);
             assert!(outcome.gain().is_finite());
         }
@@ -202,31 +166,32 @@ mod tests {
     fn ldpgen_modularity_attack_runs() {
         let (graph, protocol, threat) = setup();
         let partition: Vec<usize> = (0..80).map(|u| u / 8).collect();
-        let outcome = run_ldpgen_attack(
-            &graph,
-            &protocol,
-            &threat,
-            AttackStrategy::Mga,
-            LdpGenMetric::Modularity,
-            Some(&partition),
-            7,
-        );
+        let outcome = Scenario::on(protocol)
+            .attack(attack_for(AttackStrategy::Mga, MgaOptions::default()))
+            .metric(LdpGenMetric::Modularity.into())
+            .threat(threat.clone())
+            .partition(&partition)
+            .seed(7)
+            .run(&graph)
+            .unwrap()
+            .into_single_outcome();
         assert_eq!(outcome.num_targets(), 1);
         assert!(outcome.gain().is_finite());
     }
 
     #[test]
-    #[should_panic(expected = "needs a partition")]
-    fn modularity_without_partition_panics() {
+    fn modularity_without_partition_is_a_typed_error() {
         let (graph, protocol, threat) = setup();
-        run_ldpgen_attack(
-            &graph,
-            &protocol,
-            &threat,
-            AttackStrategy::Mga,
-            LdpGenMetric::Modularity,
-            None,
-            7,
-        );
+        let err = Scenario::on(protocol)
+            .attack(attack_for(AttackStrategy::Mga, MgaOptions::default()))
+            .metric(LdpGenMetric::Modularity.into())
+            .threat(threat)
+            .seed(7)
+            .run(&graph)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ScenarioError::MissingPartition { .. }
+        ));
     }
 }

@@ -28,8 +28,12 @@
 //!   (Theorems 1 and 2).
 //! * [`error`] — the typed [`error::ScenarioError`] the engine returns
 //!   instead of aborting.
-//! * [`pipeline`] — the deprecated per-protocol entry points, now thin
-//!   wrappers over the engine (see its docs for the migration map).
+//!
+//! The pre-engine per-protocol entry points (`run_lfgdpr_attack` and
+//! friends) were deprecated in the scenario-API PR and are gone; every
+//! run is a [`scenario::Scenario`] build. The engine's collection can be
+//! re-backed by [`scenario::WorldRunner`] — `ldp-collector` uses that to
+//! evaluate scenarios over a TCP collection daemon, bit for bit.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,7 +44,6 @@ pub mod error;
 pub mod gain;
 pub mod knowledge;
 pub mod ldpgen_attack;
-pub mod pipeline;
 pub mod scenario;
 pub mod strategy;
 pub mod theory;
@@ -52,12 +55,9 @@ pub use error::ScenarioError;
 pub use gain::AttackOutcome;
 pub use knowledge::AttackerKnowledge;
 pub use ldp_protocols::{GraphLdpProtocol, Metric, ServerView};
-pub use scenario::{EvalMode, Scenario, ScenarioBuilder, ScenarioReport, TrialOutcome};
+pub use scenario::{
+    EvalMode, InProcessRunner, Scenario, ScenarioBuilder, ScenarioReport, TrialOutcome, WorldRunner,
+};
 pub use strategy::{craft_reports, AttackStrategy, MgaOptions, TargetMetric};
 pub use theory::{theorem1_degree_gain, theorem2_clustering_gain};
 pub use threat::{TargetSelection, ThreatModel};
-
-#[allow(deprecated)]
-pub use pipeline::{
-    mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
-};

@@ -56,7 +56,7 @@ use crate::knowledge::AttackerKnowledge;
 use crate::strategy::TargetMetric;
 use crate::threat::ThreatModel;
 use ldp_graph::{CsrGraph, Xoshiro256pp};
-use ldp_protocols::protocol::STREAM_ATTACK;
+use ldp_protocols::protocol::{WorldViews, STREAM_ATTACK};
 use ldp_protocols::{
     AdjacencyReport, CraftContext, FilterDecision, GraphLdpProtocol, LfGdpr, Metric, ReportCrafter,
     ReportFilter, UserReport,
@@ -90,6 +90,69 @@ pub enum EvalMode {
     Sampled,
 }
 
+/// The collection/aggregation backend of an exact trial: given the
+/// protocol and the trial seed, build the honest and attacked world views.
+///
+/// The engine's default backend calls
+/// [`GraphLdpProtocol::run_worlds`] in process. Alternative backends —
+/// most notably `ldp-collector`'s wire bridge, which streams every upload
+/// through a TCP collection daemon — implement this trait and are
+/// installed with [`ScenarioBuilder::via`]; because the trait receives the
+/// trial seed (not an advanced RNG), a faithful backend reproduces the
+/// in-process randomness discipline exactly and its reports are
+/// bit-identical.
+///
+/// `&self` receivers keep the builder immutable across trials; backends
+/// with connection state use interior mutability.
+pub trait WorldRunner {
+    /// Backend display name (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Builds the honest and (when a crafter is given) attacked views for
+    /// one trial — the same contract as [`GraphLdpProtocol::run_worlds`],
+    /// with the trial's base RNG specified by seed.
+    ///
+    /// # Errors
+    /// Protocol failures map to [`ScenarioError::Protocol`]; backend
+    /// transport failures to [`ScenarioError::Transport`].
+    #[allow(clippy::too_many_arguments)] // mirrors the protocol-trait signature it backends
+    fn run_worlds(
+        &self,
+        protocol: &dyn GraphLdpProtocol,
+        graph: &CsrGraph,
+        trial_seed: u64,
+        m_fake: usize,
+        crafter: Option<&mut dyn ReportCrafter>,
+        filter: Option<&mut dyn ReportFilter>,
+        ingest_batch: Option<usize>,
+    ) -> Result<WorldViews, ScenarioError>;
+}
+
+/// The default in-process backend: delegates straight to
+/// [`GraphLdpProtocol::run_worlds`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProcessRunner;
+
+impl WorldRunner for InProcessRunner {
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn run_worlds(
+        &self,
+        protocol: &dyn GraphLdpProtocol,
+        graph: &CsrGraph,
+        trial_seed: u64,
+        m_fake: usize,
+        crafter: Option<&mut dyn ReportCrafter>,
+        filter: Option<&mut dyn ReportFilter>,
+        ingest_batch: Option<usize>,
+    ) -> Result<WorldViews, ScenarioError> {
+        let base = Xoshiro256pp::new(trial_seed);
+        Ok(protocol.run_worlds(graph, &base, m_fake, crafter, filter, ingest_batch)?)
+    }
+}
+
 /// Entry point of the builder: `Scenario::on(protocol)`.
 pub struct Scenario;
 
@@ -108,6 +171,7 @@ impl Scenario {
             seed: 0,
             mode: EvalMode::Auto,
             ingest_batch: None,
+            runner: None,
         }
     }
 }
@@ -125,6 +189,7 @@ pub struct ScenarioBuilder<'a> {
     seed: u64,
     mode: EvalMode,
     ingest_batch: Option<usize>,
+    runner: Option<Box<dyn WorldRunner + 'a>>,
 }
 
 impl<'a> ScenarioBuilder<'a> {
@@ -197,6 +262,17 @@ impl<'a> ScenarioBuilder<'a> {
     /// `O(batch·N)` bits (bit-identical results).
     pub fn ingest_batch(mut self, batch_size: usize) -> Self {
         self.ingest_batch = Some(batch_size.max(1));
+        self
+    }
+
+    /// Routes exact-mode collection/aggregation through an alternative
+    /// [`WorldRunner`] backend — e.g. `ldp-collector`'s wire bridge, which
+    /// streams every upload through a TCP collection daemon (its
+    /// `ServeScenario::serve(addr)` extension is sugar for this). A
+    /// faithful backend is bit-identical to the default in-process path;
+    /// sampled-mode trials never materialize reports and ignore it.
+    pub fn via(mut self, runner: impl WorldRunner + 'a) -> Self {
+        self.runner = Some(Box::new(runner));
         self
     }
 
@@ -322,7 +398,6 @@ impl<'a> ScenarioBuilder<'a> {
     ) -> Result<TrialOutcome, ScenarioError> {
         let start = Instant::now();
         let extended = graph.with_isolated_nodes(threat.m_fake);
-        let base = Xoshiro256pp::new(trial_seed);
 
         // Modularity reuses the clustering-coefficient crafting: the
         // triangle-dense fake/target pattern is also what shifts community
@@ -344,9 +419,14 @@ impl<'a> ScenarioBuilder<'a> {
         // The protocol validates that every crafting round covers the
         // declared fake tail exactly, so a miscounting attack fails with
         // a typed error before any genuine slot is overwritten.
-        let views = self.protocol.run_worlds(
+        let runner: &dyn WorldRunner = match &self.runner {
+            Some(r) => r.as_ref(),
+            None => &InProcessRunner,
+        };
+        let views = runner.run_worlds(
+            self.protocol.as_ref(),
             &extended,
-            &base,
+            trial_seed,
             threat.m_fake,
             crafter.as_mut().map(|c| c as &mut dyn ReportCrafter),
             filter.as_mut().map(|f| f as &mut dyn ReportFilter),
@@ -826,6 +906,62 @@ mod tests {
         assert_eq!(report.trials[1].seed, 50 + 0x9E37_79B9);
         assert_eq!(report.trials[2].seed, 50 + 2 * 0x9E37_79B9);
         assert!(report.wall >= report.trials[0].wall);
+    }
+
+    #[test]
+    fn explicit_in_process_runner_is_bit_identical() {
+        let (graph, protocol, threat) = small_world();
+        let run = |builder: ScenarioBuilder<'_>| {
+            builder
+                .attack(Mga::default())
+                .metric(Metric::Degree)
+                .threat(threat.clone())
+                .exact()
+                .seed(13)
+                .run(&graph)
+                .unwrap()
+                .into_single_outcome()
+        };
+        let implicit = run(Scenario::on(protocol));
+        let explicit = run(Scenario::on(protocol).via(InProcessRunner));
+        assert_eq!(implicit.before, explicit.before);
+        assert_eq!(implicit.after, explicit.after);
+    }
+
+    #[test]
+    fn custom_runner_is_dispatched_and_may_fail_typed() {
+        /// A backend standing in for a dead collector daemon.
+        struct DeadWire;
+        impl WorldRunner for DeadWire {
+            fn name(&self) -> &'static str {
+                "dead-wire"
+            }
+            fn run_worlds(
+                &self,
+                _protocol: &dyn GraphLdpProtocol,
+                _graph: &CsrGraph,
+                _trial_seed: u64,
+                _m_fake: usize,
+                _crafter: Option<&mut dyn ReportCrafter>,
+                _filter: Option<&mut dyn ReportFilter>,
+                _ingest_batch: Option<usize>,
+            ) -> Result<WorldViews, ScenarioError> {
+                Err(ScenarioError::Transport {
+                    detail: "connection refused".into(),
+                })
+            }
+        }
+        let (graph, protocol, threat) = small_world();
+        let err = Scenario::on(protocol)
+            .attack(Rva)
+            .metric(Metric::Degree)
+            .threat(threat)
+            .exact()
+            .via(DeadWire)
+            .run(&graph)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::Transport { .. }));
+        assert!(err.to_string().contains("connection refused"));
     }
 
     #[test]

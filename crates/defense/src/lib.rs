@@ -21,8 +21,11 @@
 //!   reported-degree distribution.
 //! * [`combined`] — Detect2 then Detect1, flags unioned (an extension
 //!   beyond the paper).
-//! * [`pipeline`] — the deprecated [`GraphDefense`] trait and
-//!   `run_defended_attack` wrapper, kept for one PR.
+//!
+//! The deprecated `GraphDefense` trait and `run_defended_attack` wrapper
+//! are gone; a defended run is `Scenario::on(protocol).attack(…)
+//! .defend(defense)` and its verdict counters live on the returned
+//! `ScenarioReport` trials.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,14 +35,9 @@ pub mod combined;
 pub mod detect1;
 pub mod detect2;
 pub mod naive;
-pub mod pipeline;
 
 pub use combined::CombinedDefense;
 pub use detect1::FrequentItemsetDefense;
 pub use detect2::DegreeConsistencyDefense;
 pub use naive::{NaiveDegreeTails, NaiveTopDegree};
-pub use pipeline::DefenseOutcome;
 pub use poison_core::{Defense, DefenseApplication};
-
-#[allow(deprecated)]
-pub use pipeline::{run_defended_attack, GraphDefense};

@@ -26,6 +26,16 @@ pub enum Dataset {
     /// arXiv Astro Physics collaboration network: 18,772 nodes, 198,110 edges.
     AstroPh,
     /// Google+ social circles: 107,614 nodes, 12,238,285 edges.
+    ///
+    /// **Memory footprint warning:** the LF-GDPR server view is a dense
+    /// [`crate::BitMatrix`], `O(N²/8)` bytes — at `N = 107,614` that is
+    /// `107,614² / 8 ≈ 1.45 GB` for the aggregate alone, before reports
+    /// and shard state. Exact-mode evaluation at this scale needs a
+    /// machine sized for it; the degree-centrality scenarios switch to the
+    /// analytic sampled mode automatically, and the collection service
+    /// (`ldp-collector`) *refuses* adjacency rounds above its configured
+    /// population cap with a typed `PopulationCap` error rather than
+    /// finding out from the OOM killer. See DESIGN.md §5.
     Gplus,
 }
 

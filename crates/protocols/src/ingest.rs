@@ -171,7 +171,7 @@ impl StreamingAggregator {
     ///
     /// # Panics
     /// Panics if fewer than `N` reports were ingested.
-    pub fn finalize(mut self) -> PerturbedView {
+    pub fn finalize(self) -> PerturbedView {
         let n = self.population();
         assert_eq!(
             self.ingested(),
@@ -179,23 +179,48 @@ impl StreamingAggregator {
             "only {} of {n} reports ingested before finalize",
             self.ingested()
         );
-        // Mirroring is a sequential Θ(n²/128) word scan plus one write per
-        // set bit (its scattered column writes cannot be partitioned
-        // without racing); the degree derivation that follows scans the
-        // full n·⌈n/64⌉ words, so that one is parallelized (read-only)
-        // whenever it outweighs spawn cost.
-        self.matrix.mirror_lower();
-        let scan_words = n * self.matrix.words_per_row();
-        let threads = threads_for_work(scan_words, self.threads);
-        let matrix = &self.matrix;
-        let perturbed_degrees = parallel_map((0..n).collect(), threads, |&u| matrix.degree(u));
-        PerturbedView::from_parts(
-            self.matrix,
-            self.reported_degrees,
-            perturbed_degrees,
-            self.rr,
-        )
+        finalize_lower(self.matrix, self.reported_degrees, self.rr, self.threads)
     }
+}
+
+/// Finalizes a lower-triangle aggregate into a [`PerturbedView`]: mirrors
+/// the accumulated lower triangle into a symmetric matrix, derives the
+/// per-node perturbed degrees, and assembles the view.
+///
+/// This is the single finalization path of the server side — used by
+/// [`StreamingAggregator::finalize`] and by the sharded collector service
+/// (`ldp-collector`), so however the lower triangle was accumulated
+/// (in-order batches, out-of-order shards), identical triangles finalize
+/// into bit-identical views.
+///
+/// Mirroring is a sequential Θ(n²/128) word scan plus one write per set
+/// bit (its scattered column writes cannot be partitioned without racing);
+/// the degree derivation that follows scans the full `n·⌈n/64⌉` words, so
+/// that one is parallelized (read-only) whenever it outweighs spawn cost.
+///
+/// # Panics
+/// Panics if `reported_degrees` does not cover the matrix population.
+pub fn finalize_lower(
+    mut matrix: BitMatrix,
+    reported_degrees: Vec<f64>,
+    rr: RandomizedResponse,
+    threads: usize,
+) -> PerturbedView {
+    let n = matrix.num_nodes();
+    assert_eq!(
+        reported_degrees.len(),
+        n,
+        "{} reported degrees for a population of {n}",
+        reported_degrees.len()
+    );
+    matrix.mirror_lower();
+    let scan_words = n * matrix.words_per_row();
+    let threads = threads_for_work(scan_words, threads.max(1));
+    let perturbed_degrees = {
+        let matrix = &matrix;
+        parallel_map((0..n).collect(), threads, |&u| matrix.degree(u))
+    };
+    PerturbedView::from_parts(matrix, reported_degrees, perturbed_degrees, rr)
 }
 
 /// Folds the lower-triangle bits of report `i` into its matrix row,
@@ -206,7 +231,17 @@ impl StreamingAggregator {
 /// popcount — the word-wise form of [`BitSet::iter_ones_below`]'s bound;
 /// bits at or above `i` (non-owned slots, including the self slot) are
 /// never even scanned, and cost is independent of report density.
-fn fold_lower_bits(row: &mut [u64], bits: &BitSet, i: usize) -> u64 {
+///
+/// `row` must hold at least the `⌈i/64⌉` owned words (a full matrix row
+/// works, and so does the sharded collector's triangular packing, which
+/// allots exactly that many). Public because the collector service folds
+/// out-of-order, shard-owned rows with this same kernel — one fold, one
+/// bit pattern, wherever the report arrives.
+///
+/// # Panics
+/// Panics if `row` is shorter than the owned word count or `bits` spans
+/// fewer than `i` slots.
+pub fn fold_lower_bits(row: &mut [u64], bits: &BitSet, i: usize) -> u64 {
     let src = bits.words();
     let full = i / 64;
     let mut folded = 0u64;

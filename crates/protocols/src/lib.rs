@@ -21,6 +21,10 @@
 //!   protocols implement, exchanging the protocol-agnostic [`UserReport`]
 //!   enum ([`report`]): the surface the scenario engine in `poison-core`
 //!   composes attacks, metrics, and defenses over.
+//! * [`wire`] — the binary wire codec (length-prefixed frames, varint ids,
+//!   bit-packed adjacency rows, versioned stream header) the collection
+//!   service `ldp-collector` moves reports and finalized views over, with
+//!   typed [`WireError`]s for every malformed frame.
 //!
 //! ## Edge-perturbation model
 //!
@@ -40,6 +44,7 @@ pub mod ldpgen;
 pub mod lfgdpr;
 pub mod protocol;
 pub mod report;
+pub mod wire;
 
 pub use ingest::StreamingAggregator;
 pub use ldpgen::LdpGen;
@@ -49,3 +54,4 @@ pub use protocol::{
     ReportCrafter, ReportFilter, ServerView, WorldViews,
 };
 pub use report::{AdjacencyReport, DegreeVector, UserReport};
+pub use wire::WireError;

@@ -441,6 +441,16 @@ pub trait GraphLdpProtocol {
     /// (paper §IV-A: the perturbation runs client-side, so its parameters
     /// are known).
     fn public_params(&self, population: usize, avg_true_degree: f64) -> PublicParams;
+
+    /// The concrete adjacency-channel protocol behind this trait object,
+    /// when there is one (LF-GDPR). Consumers that must speak the
+    /// adjacency channel specifically — report-filtering defenses, the
+    /// wire-collection bridge in `ldp-collector` — recover it here instead
+    /// of downcasting; protocols without an adjacency channel return
+    /// `None` and those consumers fall back to the generic path.
+    fn as_adjacency_protocol(&self) -> Option<&LfGdpr> {
+        None
+    }
 }
 
 /// Publicly known protocol parameters (see
@@ -628,6 +638,10 @@ impl GraphLdpProtocol for LfGdpr {
             degree_noise_scale: self.laplace().scale(),
             avg_perturbed_degree: self.expected_perturbed_degree(population, avg_true_degree),
         }
+    }
+
+    fn as_adjacency_protocol(&self) -> Option<&LfGdpr> {
+        Some(self)
     }
 }
 

@@ -1,0 +1,790 @@
+//! Binary wire codec for report collection.
+//!
+//! The collection service (`ldp-collector`) moves [`UserReport`]s between
+//! simulated users and the server over TCP. This module is the codec both
+//! sides share: compact, allocation-conscious, `std`-only (the workspace is
+//! hermetic), and **total** on the decode side — malformed input yields a
+//! typed [`WireError`], never a panic and never an unbounded allocation.
+//!
+//! ## Stream header
+//!
+//! A connection opens with a 6-byte versioned header exchanged by both
+//! sides: the magic `b"LDPC"`, a protocol [`VERSION`] byte, and a reserved
+//! flags byte (zero). Peers speaking another protocol or version fail fast
+//! with [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`].
+//!
+//! ## Frames
+//!
+//! Everything after the header travels in length-prefixed frames:
+//!
+//! | bytes | field |
+//! |-------|-------|
+//! | 4     | `len` — little-endian `u32`, length of kind + payload |
+//! | 1     | `kind` — frame discriminator (owned by the collector protocol) |
+//! | `len − 1` | payload |
+//!
+//! `len` is capped at [`MAX_FRAME_LEN`]; an oversize prefix is rejected
+//! *before* any allocation ([`WireError::OversizeFrame`]), so a hostile
+//! peer cannot OOM the collector with a 4 GiB length claim.
+//!
+//! ## Report payload
+//!
+//! [`encode_report`]/[`decode_report`] serialize one user upload:
+//!
+//! | field | encoding |
+//! |-------|----------|
+//! | user id | varint (LEB128) |
+//! | channel tag | `u8`: 0 = adjacency, 1 = degree vector |
+//! | adjacency: degree | `f64` bits, little-endian |
+//! | adjacency: population `N` | varint |
+//! | adjacency: word count `w` | varint (trailing zero words trimmed) |
+//! | adjacency: bit-packed row | `w` × `u64` little-endian |
+//! | degree vector: length `k` | varint |
+//! | degree vector: entries | `k` × `f64` bits, little-endian |
+//!
+//! The adjacency row is the report's packed [`BitSet`] words with trailing
+//! all-zero words elided — an RR-perturbed row at the paper's budgets is
+//! dense, but crafted rows (RNA: a single bit) compress well. Decoding
+//! restores the elided words and rejects rows that claim bits at or beyond
+//! `N` ([`WireError::BadPadding`]): decoded reports are always canonical.
+//!
+//! `encode ∘ decode == id` for every well-formed [`UserReport`] — pinned by
+//! `tests/proptest_wire.rs` along with the malformed-frame cases.
+
+use crate::lfgdpr::PerturbedView;
+use crate::report::{AdjacencyReport, UserReport};
+use ldp_graph::{BitMatrix, BitSet};
+use ldp_mechanisms::RandomizedResponse;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Magic bytes opening every collection stream.
+pub const MAGIC: [u8; 4] = *b"LDPC";
+
+/// Wire protocol version this codec speaks.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on one frame's `kind + payload` length (64 MiB). Large
+/// enough for a finalized view at the collector's population cap, small
+/// enough that a malicious length prefix cannot trigger an absurd
+/// allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Upper bound on a population size accepted by the decoder (2²⁷ users ⇒ a
+/// 16 MiB row). Collector configuration caps populations far lower; this
+/// bound only exists so a hostile varint cannot size a giant allocation.
+pub const MAX_WIRE_POPULATION: usize = 1 << 27;
+
+/// Typed decode/transport failures. Every malformed input maps to one of
+/// these — the codec never panics on untrusted bytes.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream header's magic bytes were not [`MAGIC`].
+    BadMagic {
+        /// The four bytes received instead.
+        got: [u8; 4],
+    },
+    /// The peer speaks a protocol version this codec does not.
+    UnsupportedVersion {
+        /// Version byte received.
+        got: u8,
+    },
+    /// A frame's length prefix exceeds [`MAX_FRAME_LEN`] (or is zero).
+    OversizeFrame {
+        /// Claimed kind + payload length.
+        len: usize,
+    },
+    /// The payload ended before the field being decoded.
+    Truncated,
+    /// A varint ran past 10 bytes or overflowed 64 bits.
+    VarintOverflow,
+    /// An unknown report channel tag.
+    UnknownReportTag {
+        /// Tag byte received.
+        tag: u8,
+    },
+    /// A population or vector length exceeds the codec's sanity bound.
+    OversizePopulation {
+        /// Claimed population / length.
+        claimed: u64,
+    },
+    /// An adjacency row carried more words than its population allows.
+    RowOverrun {
+        /// Words transmitted.
+        words: usize,
+        /// Words a population of this size occupies.
+        max_words: usize,
+    },
+    /// An adjacency row set bits at or beyond its population (non-canonical
+    /// padding).
+    BadPadding,
+    /// Bytes remained after the last field of a payload.
+    TrailingBytes {
+        /// Number of unread bytes.
+        extra: usize,
+    },
+    /// A field held a value its domain rejects (e.g. a keep probability
+    /// outside `(0.5, 1)`).
+    BadValue {
+        /// Which field was malformed.
+        field: &'static str,
+    },
+    /// An I/O failure underneath the codec.
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic { got } => write!(f, "bad stream magic {got:02x?}"),
+            WireError::UnsupportedVersion { got } => {
+                write!(f, "unsupported wire version {got} (speaking {VERSION})")
+            }
+            WireError::OversizeFrame { len } => {
+                write!(f, "frame length {len} outside 1..={MAX_FRAME_LEN}")
+            }
+            WireError::Truncated => write!(f, "payload truncated mid-field"),
+            WireError::VarintOverflow => write!(f, "varint overflows 64 bits"),
+            WireError::UnknownReportTag { tag } => write!(f, "unknown report channel tag {tag}"),
+            WireError::OversizePopulation { claimed } => {
+                write!(
+                    f,
+                    "population/length {claimed} exceeds wire bound {MAX_WIRE_POPULATION}"
+                )
+            }
+            WireError::RowOverrun { words, max_words } => {
+                write!(
+                    f,
+                    "adjacency row has {words} words, population allows {max_words}"
+                )
+            }
+            WireError::BadPadding => {
+                write!(f, "adjacency row sets bits at or beyond its population")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last field")
+            }
+            WireError::BadValue { field } => write!(f, "field {field} holds an invalid value"),
+            WireError::Io(kind) => write!(f, "i/o failure: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.kind())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+/// Appends a LEB128 varint.
+pub fn put_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `buf`.
+///
+/// # Errors
+/// [`WireError::Truncated`] on a short buffer, [`WireError::VarintOverflow`]
+/// past 64 bits.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let (&byte, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+        *buf = rest;
+        let low = u64::from(byte & 0x7f);
+        if shift == 63 && low > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(WireError::VarintOverflow)
+}
+
+/// Appends an `f64` as its little-endian bit pattern (bit-exact transport).
+pub fn put_f64(v: f64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Reads an `f64` bit pattern, advancing `buf`.
+///
+/// # Errors
+/// [`WireError::Truncated`] on a short buffer.
+pub fn get_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
+    let (bytes, rest) = buf.split_at_checked(8).ok_or(WireError::Truncated)?;
+    *buf = rest;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(bytes);
+    Ok(f64::from_bits(u64::from_le_bytes(b)))
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(v: u64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u64`, advancing `buf`.
+///
+/// # Errors
+/// [`WireError::Truncated`] on a short buffer.
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    let (bytes, rest) = buf.split_at_checked(8).ok_or(WireError::Truncated)?;
+    *buf = rest;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(bytes);
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Asserts a payload was fully consumed.
+///
+/// # Errors
+/// [`WireError::TrailingBytes`] if bytes remain.
+pub fn expect_end(buf: &[u8]) -> Result<(), WireError> {
+    if buf.is_empty() {
+        Ok(())
+    } else {
+        Err(WireError::TrailingBytes { extra: buf.len() })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream header and frames
+// ---------------------------------------------------------------------------
+
+/// Writes the 6-byte versioned stream header.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_stream_header(w: &mut impl Write) -> Result<(), WireError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&[VERSION, 0])?;
+    Ok(())
+}
+
+/// Reads and validates the peer's stream header.
+///
+/// # Errors
+/// [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`] on a foreign
+/// peer, I/O errors otherwise.
+pub fn read_stream_header(r: &mut impl Read) -> Result<(), WireError> {
+    let mut header = [0u8; 6];
+    r.read_exact(&mut header)?;
+    let got = [header[0], header[1], header[2], header[3]];
+    if got != MAGIC {
+        return Err(WireError::BadMagic { got });
+    }
+    if header[4] != VERSION {
+        return Err(WireError::UnsupportedVersion { got: header[4] });
+    }
+    Ok(())
+}
+
+/// Writes one `kind + payload` frame with its length prefix.
+///
+/// # Errors
+/// [`WireError::OversizeFrame`] if the payload exceeds [`MAX_FRAME_LEN`],
+/// I/O errors otherwise.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), WireError> {
+    let len = payload.len() + 1;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::OversizeFrame { len });
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame into `payload` (cleared and refilled), returning its
+/// kind byte. Returns `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+/// [`WireError::OversizeFrame`] on a hostile length prefix (checked before
+/// any allocation), [`WireError::Io`] on transport failures or EOF inside
+/// a frame.
+pub fn read_frame(r: &mut impl Read, payload: &mut Vec<u8>) -> Result<Option<u8>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_bytes)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WireError::OversizeFrame { len });
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    payload.clear();
+    payload.resize(len - 1, 0);
+    r.read_exact(payload)?;
+    Ok(Some(kind[0]))
+}
+
+/// Like `read_exact`, but distinguishes a clean EOF before the first byte
+/// (`Ok(false)`) from one mid-buffer (an error).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Report payloads
+// ---------------------------------------------------------------------------
+
+const TAG_ADJACENCY: u8 = 0;
+const TAG_DEGREE_VECTOR: u8 = 1;
+
+/// Encodes one user's upload (see the module docs for the layout).
+pub fn encode_report(user_id: u64, report: &UserReport, out: &mut Vec<u8>) {
+    match report {
+        UserReport::Adjacency(r) => encode_adjacency_report(user_id, r, out),
+        UserReport::DegreeVector(v) => encode_degree_vector_report(user_id, v, out),
+    }
+}
+
+/// The degree-vector arm of [`encode_report`], callable from a borrowed
+/// slice (the collection client's hot send path streams vectors without
+/// wrapping or cloning them).
+pub fn encode_degree_vector_report(user_id: u64, vector: &[f64], out: &mut Vec<u8>) {
+    put_varint(user_id, out);
+    out.push(TAG_DEGREE_VECTOR);
+    put_varint(vector.len() as u64, out);
+    for &x in vector {
+        put_f64(x, out);
+    }
+}
+
+/// The adjacency arm of [`encode_report`], callable without wrapping the
+/// report in a [`UserReport`] (the collection client's hot send path
+/// streams borrowed [`AdjacencyReport`]s).
+pub fn encode_adjacency_report(user_id: u64, report: &AdjacencyReport, out: &mut Vec<u8>) {
+    put_varint(user_id, out);
+    out.push(TAG_ADJACENCY);
+    put_f64(report.degree, out);
+    put_varint(report.population() as u64, out);
+    let words = report.bits.words();
+    let trimmed = words
+        .iter()
+        .rposition(|&w| w != 0)
+        .map_or(0, |last| last + 1);
+    put_varint(trimmed as u64, out);
+    for &w in &words[..trimmed] {
+        put_u64(w, out);
+    }
+}
+
+/// Decodes one report payload produced by [`encode_report`], returning the
+/// user id and the canonical report.
+///
+/// # Errors
+/// A typed [`WireError`] on any malformed input: truncation, unknown tags,
+/// oversize populations, row overruns, non-canonical padding, or trailing
+/// bytes. Never panics.
+pub fn decode_report(mut buf: &[u8]) -> Result<(u64, UserReport), WireError> {
+    let (user_id, report) = decode_report_prefix(&mut buf)?;
+    expect_end(buf)?;
+    Ok((user_id, report))
+}
+
+/// Like [`decode_report`], but reads one report off the front of `buf`
+/// (advancing it) instead of requiring the buffer to end with it.
+///
+/// # Errors
+/// As [`decode_report`], minus the trailing-bytes check.
+pub fn decode_report_prefix(buf: &mut &[u8]) -> Result<(u64, UserReport), WireError> {
+    let user_id = get_varint(buf)?;
+    let (&tag, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+    *buf = rest;
+    match tag {
+        TAG_ADJACENCY => {
+            let degree = get_f64(buf)?;
+            let n = checked_len(get_varint(buf)?)?;
+            let max_words = n.div_ceil(64);
+            let words = get_varint(buf)? as usize;
+            if words > max_words {
+                return Err(WireError::RowOverrun { words, max_words });
+            }
+            let mut bits = BitSet::new(n);
+            {
+                let dst = bits.words_mut();
+                for slot in dst.iter_mut().take(words) {
+                    *slot = get_u64(buf)?;
+                }
+            }
+            // Reject rows claiming slots the population does not have —
+            // decoded reports are canonical by construction.
+            let tail_start = bits.count_ones();
+            bits.mask_tail();
+            if bits.count_ones() != tail_start {
+                return Err(WireError::BadPadding);
+            }
+            Ok((
+                user_id,
+                UserReport::Adjacency(AdjacencyReport::new(bits, degree)),
+            ))
+        }
+        TAG_DEGREE_VECTOR => {
+            let k = checked_len(get_varint(buf)?)?;
+            if buf.len() < k.saturating_mul(8) {
+                return Err(WireError::Truncated);
+            }
+            let mut v = Vec::with_capacity(k);
+            for _ in 0..k {
+                v.push(get_f64(buf)?);
+            }
+            Ok((user_id, UserReport::DegreeVector(v)))
+        }
+        tag => Err(WireError::UnknownReportTag { tag }),
+    }
+}
+
+fn checked_len(claimed: u64) -> Result<usize, WireError> {
+    if claimed > MAX_WIRE_POPULATION as u64 {
+        return Err(WireError::OversizePopulation { claimed });
+    }
+    Ok(claimed as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Finalized-view payload
+// ---------------------------------------------------------------------------
+
+/// Encodes a finalized [`PerturbedView`] — the collector's reply to a round
+/// finalize on the adjacency channel. Layout: varint `N`, `f64` keep
+/// probability, `N` × `f64` reported degrees, `N` × varint perturbed
+/// degrees, `N·⌈N/64⌉` × `u64` matrix words.
+pub fn encode_view(view: &PerturbedView, out: &mut Vec<u8>) {
+    let n = view.num_users();
+    put_varint(n as u64, out);
+    put_f64(view.rr().p_keep(), out);
+    for &d in view.reported_degrees() {
+        put_f64(d, out);
+    }
+    for i in 0..n {
+        put_varint(view.perturbed_degree(i) as u64, out);
+    }
+    for i in 0..n {
+        for &w in view.matrix().row(i) {
+            put_u64(w, out);
+        }
+    }
+}
+
+/// Decodes a payload produced by [`encode_view`] back into the identical
+/// [`PerturbedView`] (bit-exact degrees, matrix, and mechanism).
+///
+/// # Errors
+/// A typed [`WireError`] on truncation, oversize populations, an invalid
+/// keep probability, out-of-range degrees, or trailing bytes.
+pub fn decode_view(mut buf: &[u8]) -> Result<PerturbedView, WireError> {
+    let n = checked_len(get_varint(&mut buf)?)?;
+    let p_keep = get_f64(&mut buf)?;
+    let rr = RandomizedResponse::from_keep_probability(p_keep)
+        .map_err(|_| WireError::BadValue { field: "p_keep" })?;
+    if buf.len() < n.saturating_mul(8) {
+        return Err(WireError::Truncated);
+    }
+    let mut reported = Vec::with_capacity(n);
+    for _ in 0..n {
+        reported.push(get_f64(&mut buf)?);
+    }
+    let mut perturbed = Vec::with_capacity(n);
+    for _ in 0..n {
+        let d = get_varint(&mut buf)? as usize;
+        if d >= n.max(1) {
+            return Err(WireError::BadValue {
+                field: "perturbed_degree",
+            });
+        }
+        perturbed.push(d);
+    }
+    // Prove the matrix words are actually present *before* allocating the
+    // O(N²/8) matrix: a hostile peer claiming a huge `n` with a short
+    // payload must fail here, not in the allocator.
+    let wpr = n.div_ceil(64);
+    if buf.len() < n.saturating_mul(wpr).saturating_mul(8) {
+        return Err(WireError::Truncated);
+    }
+    let mut matrix = BitMatrix::new(n);
+    {
+        let rows = matrix.rows_mut(0, n);
+        for slot in rows.iter_mut() {
+            *slot = get_u64(&mut buf)?;
+        }
+    }
+    expect_end(buf)?;
+    Ok(PerturbedView::from_parts(matrix, reported, perturbed, rr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::AdjacencyReport;
+
+    fn adj(n: usize, ones: &[usize], degree: f64) -> UserReport {
+        UserReport::Adjacency(AdjacencyReport::new(
+            BitSet::from_indices(n, ones.iter().copied()),
+            degree,
+        ))
+    }
+
+    #[test]
+    fn varint_roundtrip_and_bounds() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            out.clear();
+            put_varint(v, &mut out);
+            let mut buf = out.as_slice();
+            assert_eq!(get_varint(&mut buf).unwrap(), v);
+            assert!(buf.is_empty());
+        }
+        // 10 bytes of continuation overflow.
+        let mut buf: &[u8] = &[0xff; 11];
+        assert!(matches!(
+            get_varint(&mut buf),
+            Err(WireError::VarintOverflow)
+        ));
+        let mut buf: &[u8] = &[0x80];
+        assert!(matches!(get_varint(&mut buf), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn report_roundtrips_both_variants() {
+        for (id, report) in [
+            (0u64, adj(130, &[0, 63, 64, 129], 4.5)),
+            (77, adj(10, &[], 0.0)),
+            (5, UserReport::DegreeVector(vec![1.5, -0.25, 0.0])),
+            (u64::MAX, UserReport::DegreeVector(vec![])),
+        ] {
+            let mut out = Vec::new();
+            encode_report(id, &report, &mut out);
+            let (got_id, got) = decode_report(&out).unwrap();
+            assert_eq!(got_id, id);
+            match (&report, &got) {
+                (UserReport::Adjacency(a), UserReport::Adjacency(b)) => {
+                    assert_eq!(a.bits, b.bits);
+                    assert_eq!(a.degree.to_bits(), b.degree.to_bits());
+                }
+                (UserReport::DegreeVector(a), UserReport::DegreeVector(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                _ => panic!("variant flipped in transit"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_zero_words_are_trimmed() {
+        let mut sparse = Vec::new();
+        encode_report(3, &adj(100_000, &[1], 1.0), &mut sparse);
+        // 100k users = 1563 words; a single low bit must not ship them all.
+        assert!(
+            sparse.len() < 64,
+            "sparse row encoded {} bytes",
+            sparse.len()
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_yield_typed_errors() {
+        let mut good = Vec::new();
+        encode_report(9, &adj(70, &[0, 69], 2.0), &mut good);
+        // Truncations at every prefix length decode to an error, never panic.
+        for cut in 0..good.len() {
+            assert!(decode_report(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Unknown tag.
+        let mut bad_tag = good.clone();
+        bad_tag[1] = 9;
+        assert!(matches!(
+            decode_report(&bad_tag),
+            Err(WireError::UnknownReportTag { tag: 9 })
+        ));
+        // Trailing garbage.
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_report(&trailing),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversize_population_is_rejected_before_allocating() {
+        let mut out = Vec::new();
+        put_varint(4, &mut out); // user id
+        out.push(TAG_ADJACENCY);
+        put_f64(1.0, &mut out);
+        put_varint(u64::MAX, &mut out); // absurd population
+        assert!(matches!(
+            decode_report(&out),
+            Err(WireError::OversizePopulation { .. })
+        ));
+    }
+
+    #[test]
+    fn row_overrun_and_padding_are_rejected() {
+        // Claim population 10 (1 word max) but ship 2 words.
+        let mut out = Vec::new();
+        put_varint(0, &mut out);
+        out.push(TAG_ADJACENCY);
+        put_f64(0.0, &mut out);
+        put_varint(10, &mut out);
+        put_varint(2, &mut out);
+        put_u64(1, &mut out);
+        put_u64(1, &mut out);
+        assert!(matches!(
+            decode_report(&out),
+            Err(WireError::RowOverrun {
+                words: 2,
+                max_words: 1
+            })
+        ));
+        // Bit 10 set in a population of 10.
+        let mut out = Vec::new();
+        put_varint(0, &mut out);
+        out.push(TAG_ADJACENCY);
+        put_f64(0.0, &mut out);
+        put_varint(10, &mut out);
+        put_varint(1, &mut out);
+        put_u64(1 << 10, &mut out);
+        assert!(matches!(decode_report(&out), Err(WireError::BadPadding)));
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut stream = Vec::new();
+        write_stream_header(&mut stream).unwrap();
+        write_frame(&mut stream, 0x42, b"hello").unwrap();
+        write_frame(&mut stream, 0x01, b"").unwrap();
+
+        let mut r = stream.as_slice();
+        read_stream_header(&mut r).unwrap();
+        let mut payload = Vec::new();
+        assert_eq!(read_frame(&mut r, &mut payload).unwrap(), Some(0x42));
+        assert_eq!(payload, b"hello");
+        assert_eq!(read_frame(&mut r, &mut payload).unwrap(), Some(0x01));
+        assert!(payload.is_empty());
+        assert_eq!(read_frame(&mut r, &mut payload).unwrap(), None);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocating() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = stream.as_slice();
+        let mut payload = Vec::new();
+        assert!(matches!(
+            read_frame(&mut r, &mut payload),
+            Err(WireError::OversizeFrame { .. })
+        ));
+        assert!(payload.capacity() < MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn foreign_streams_fail_the_handshake() {
+        let mut r: &[u8] = b"HTTP/1";
+        assert!(matches!(
+            read_stream_header(&mut r),
+            Err(WireError::BadMagic { .. })
+        ));
+        let mut bad_version = Vec::new();
+        bad_version.extend_from_slice(&MAGIC);
+        bad_version.extend_from_slice(&[99, 0]);
+        let mut r = bad_version.as_slice();
+        assert!(matches!(
+            read_stream_header(&mut r),
+            Err(WireError::UnsupportedVersion { got: 99 })
+        ));
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_error_not_a_clean_end() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, 7, b"abcdef").unwrap();
+        stream.truncate(stream.len() - 2);
+        let mut r = stream.as_slice();
+        let mut payload = Vec::new();
+        assert!(matches!(
+            read_frame(&mut r, &mut payload),
+            Err(WireError::Io(std::io::ErrorKind::UnexpectedEof))
+        ));
+    }
+
+    #[test]
+    fn view_roundtrips_bit_for_bit() {
+        use ldp_graph::generate::caveman_graph;
+        use ldp_graph::Xoshiro256pp;
+
+        let g = caveman_graph(3, 5);
+        let proto = crate::LfGdpr::new(4.0).unwrap();
+        let reports = proto.collect_honest(&g, &Xoshiro256pp::new(8));
+        let view = proto.aggregate(&reports);
+        let mut out = Vec::new();
+        encode_view(&view, &mut out);
+        let got = decode_view(&out).unwrap();
+        assert_eq!(got.matrix(), view.matrix());
+        assert_eq!(got.reported_degrees(), view.reported_degrees());
+        for u in 0..view.num_users() {
+            assert_eq!(got.perturbed_degree(u), view.perturbed_degree(u));
+        }
+        assert_eq!(got.rr().p_keep().to_bits(), view.rr().p_keep().to_bits());
+    }
+
+    #[test]
+    fn view_decode_rejects_malformed_input() {
+        assert!(matches!(decode_view(&[]), Err(WireError::Truncated)));
+        let mut out = Vec::new();
+        put_varint(2, &mut out);
+        put_f64(0.3, &mut out); // invalid keep probability
+        assert!(matches!(
+            decode_view(&out),
+            Err(WireError::BadValue { field: "p_keep" })
+        ));
+    }
+
+    #[test]
+    fn view_decode_checks_matrix_bytes_before_allocating() {
+        // A hostile peer claims a huge population but ships only the
+        // degree fields; the O(N²/8) matrix must never be allocated.
+        let n: u64 = 4_000_000;
+        let mut out = Vec::new();
+        put_varint(n, &mut out);
+        put_f64(0.9, &mut out);
+        for _ in 0..n.min(100_000) {
+            put_f64(1.0, &mut out);
+        }
+        // Fails on truncation (reported degrees short), not in the
+        // allocator — and even with full degree arrays, the matrix-words
+        // length check fires before BitMatrix::new.
+        assert!(matches!(decode_view(&out), Err(WireError::Truncated)));
+    }
+}

@@ -17,6 +17,9 @@
 //!   ([`poison_core`]).
 //! * [`defense`] — Detect1/Detect2 countermeasures and baselines behind
 //!   the `Defense` trait ([`poison_defense`]).
+//! * [`collector`] — the sharded report-collection service: binary wire
+//!   codec, TCP daemon with a round lifecycle and checkpoint/resume, and
+//!   the bridge that evaluates scenarios over the wire ([`ldp_collector`]).
 //! * [`experiments`] — the harness regenerating every table and figure
 //!   ([`poison_experiments`]).
 //!
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use ldp_collector as collector;
 pub use ldp_graph as graph;
 pub use ldp_mechanisms as mechanisms;
 pub use ldp_protocols as protocols;
@@ -80,12 +84,9 @@ pub mod prelude {
         NaiveTopDegree,
     };
 
-    #[allow(deprecated)]
-    pub use poison_core::{
-        mean_gain, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
+    pub use ldp_collector::{
+        CollectorClient, CollectorConfig, CollectorServer, ServeScenario, WireWorldRunner,
     };
-    #[allow(deprecated)]
-    pub use poison_defense::{run_defended_attack, GraphDefense};
 }
 
 #[cfg(test)]

@@ -1,27 +1,21 @@
 //! Equivalence suite: pins `ScenarioBuilder` output **bit for bit**
-//! against the legacy per-protocol entry points on fixed seeds.
+//! against golden values captured from the pre-engine pipelines.
 //!
-//! Two layers of protection:
-//!
-//! 1. **Golden values** — the `f64::to_bits` of gains produced by the
-//!    pre-refactor pipelines (captured from commit `23b047d`, before the
-//!    engine existed). If the engine ever drifts, these fail even though
-//!    the deprecated wrappers now delegate to the engine.
-//! 2. **Wrapper equality** — the deprecated free functions and the builder
-//!    express each run identically, so the documented migration map in
-//!    `poison_core::pipeline` is exact, not approximate.
+//! The golden constants are `f64::to_bits` of gains produced by the
+//! original per-protocol entry points (captured from commit `23b047d`,
+//! before the engine existed). The deprecated wrappers that once
+//! cross-checked them are gone; these constants remain the ground truth —
+//! if the engine (or any backend refactor under it, like the
+//! `WorldRunner` seam) ever drifts, these fail.
 
-#![allow(deprecated)]
-
-use graph_ldp_poisoning::attack::ldpgen_attack::{run_ldpgen_attack, LdpGenMetric};
 use graph_ldp_poisoning::attack::scenario::Scenario;
 use graph_ldp_poisoning::attack::{
-    attack_for, run_lfgdpr_attack, run_lfgdpr_modularity_attack, run_sampled_degree_attack,
-    AttackOutcome, AttackStrategy, MgaOptions, TargetMetric, TargetSelection, ThreatModel,
+    attack_for, AttackOutcome, AttackStrategy, MgaOptions, TargetMetric, TargetSelection,
+    ThreatModel,
 };
 use graph_ldp_poisoning::defense::{
-    run_defended_attack, CombinedDefense, Defense, DegreeConsistencyDefense,
-    FrequentItemsetDefense, NaiveDegreeTails, NaiveTopDegree,
+    CombinedDefense, Defense, DegreeConsistencyDefense, FrequentItemsetDefense, NaiveDegreeTails,
+    NaiveTopDegree,
 };
 use graph_ldp_poisoning::graph::datasets::Dataset;
 use graph_ldp_poisoning::graph::generate::caveman_graph;
@@ -46,13 +40,8 @@ fn assert_bits(label: &str, value: f64, golden: u64) {
     );
 }
 
-fn assert_same_outcome(label: &str, a: &AttackOutcome, b: &AttackOutcome) {
-    assert_eq!(a.before, b.before, "{label}: before vectors differ");
-    assert_eq!(a.after, b.after, "{label}: after vectors differ");
-}
-
-/// Golden `(gain, signed_gain)` bits of `run_lfgdpr_attack` at seed 7 on
-/// the `small_world` setup, per (metric, strategy).
+/// Golden `(gain, signed_gain)` bits of the exact LF-GDPR pipeline at
+/// seed 7 on the `small_world` setup, per (metric, strategy).
 const GOLDEN_LFGDPR_EXACT: [(TargetMetric, AttackStrategy, u64, u64); 6] = [
     (
         TargetMetric::DegreeCentrality,
@@ -93,23 +82,11 @@ const GOLDEN_LFGDPR_EXACT: [(TargetMetric, AttackStrategy, u64, u64); 6] = [
 ];
 
 #[test]
-fn lfgdpr_exact_pins_golden_and_matches_wrapper() {
+fn lfgdpr_exact_pins_golden() {
     let (graph, protocol, threat) = small_world();
     for (metric, strategy, gain_bits, signed_bits) in GOLDEN_LFGDPR_EXACT {
         let label = format!("{metric:?}/{}", strategy.name());
-        let legacy = run_lfgdpr_attack(
-            &graph,
-            &protocol,
-            &threat,
-            strategy,
-            metric,
-            MgaOptions::default(),
-            7,
-        );
-        assert_bits(&label, legacy.gain(), gain_bits);
-        assert_bits(&label, legacy.signed_gain(), signed_bits);
-
-        let builder = Scenario::on(protocol)
+        let outcome: AttackOutcome = Scenario::on(protocol)
             .attack(attack_for(strategy, MgaOptions::default()))
             .metric(metric.into())
             .threat(threat.clone())
@@ -118,12 +95,13 @@ fn lfgdpr_exact_pins_golden_and_matches_wrapper() {
             .run(&graph)
             .unwrap()
             .into_single_outcome();
-        assert_same_outcome(&label, &legacy, &builder);
+        assert_bits(&label, outcome.gain(), gain_bits);
+        assert_bits(&label, outcome.signed_gain(), signed_bits);
     }
 }
 
-/// Golden `(before, after)` bits of `run_lfgdpr_modularity_attack` at
-/// seed 3 on the caveman setup.
+/// Golden `(before, after)` bits of the modularity pipeline at seed 3 on
+/// the caveman setup.
 const GOLDEN_LFGDPR_MODULARITY: [(AttackStrategy, u64, u64); 3] = [
     (AttackStrategy::Rva, 0x3fea8e014b8432ae, 0x3fe62da81bddee5e),
     (AttackStrategy::Rna, 0x3fea8e014b8432ae, 0x3fe937adfbce81cc),
@@ -131,25 +109,13 @@ const GOLDEN_LFGDPR_MODULARITY: [(AttackStrategy, u64, u64); 3] = [
 ];
 
 #[test]
-fn lfgdpr_modularity_pins_golden_and_matches_wrapper() {
+fn lfgdpr_modularity_pins_golden() {
     let graph = caveman_graph(8, 10);
     let protocol = LfGdpr::new(4.0).unwrap();
     let threat = ThreatModel::explicit(80, 8, vec![0, 10, 20, 30]);
     let partition: Vec<usize> = (0..80).map(|u| u / 10).collect();
     for (strategy, before_bits, after_bits) in GOLDEN_LFGDPR_MODULARITY {
-        let legacy = run_lfgdpr_modularity_attack(
-            &graph,
-            &protocol,
-            &threat,
-            strategy,
-            &partition,
-            MgaOptions::default(),
-            3,
-        );
-        assert_bits(strategy.name(), legacy.before[0], before_bits);
-        assert_bits(strategy.name(), legacy.after[0], after_bits);
-
-        let builder = Scenario::on(protocol)
+        let outcome = Scenario::on(protocol)
             .attack(attack_for(strategy, MgaOptions::default()))
             .metric(Metric::Modularity)
             .threat(threat.clone())
@@ -159,11 +125,12 @@ fn lfgdpr_modularity_pins_golden_and_matches_wrapper() {
             .run(&graph)
             .unwrap()
             .into_single_outcome();
-        assert_same_outcome(strategy.name(), &legacy, &builder);
+        assert_bits(strategy.name(), outcome.before[0], before_bits);
+        assert_bits(strategy.name(), outcome.after[0], after_bits);
     }
 }
 
-/// Golden `(gain, signed_gain)` bits of `run_sampled_degree_attack` at
+/// Golden `(gain, signed_gain)` bits of the analytic sampled pipeline at
 /// seed 11 on the `small_world` setup.
 const GOLDEN_SAMPLED: [(AttackStrategy, u64, u64); 3] = [
     (AttackStrategy::Rva, 0x3fb9461d59ae78aa, 0x3fb461d59ae78a9a),
@@ -172,14 +139,10 @@ const GOLDEN_SAMPLED: [(AttackStrategy, u64, u64); 3] = [
 ];
 
 #[test]
-fn sampled_degree_pins_golden_and_matches_wrapper() {
+fn sampled_degree_pins_golden() {
     let (graph, protocol, threat) = small_world();
     for (strategy, gain_bits, signed_bits) in GOLDEN_SAMPLED {
-        let legacy = run_sampled_degree_attack(&graph, &protocol, &threat, strategy, 11);
-        assert_bits(strategy.name(), legacy.gain(), gain_bits);
-        assert_bits(strategy.name(), legacy.signed_gain(), signed_bits);
-
-        let builder = Scenario::on(protocol)
+        let report = Scenario::on(protocol)
             .attack(attack_for(strategy, MgaOptions::default()))
             .metric(Metric::Degree)
             .threat(threat.clone())
@@ -187,12 +150,14 @@ fn sampled_degree_pins_golden_and_matches_wrapper() {
             .seed(11)
             .run(&graph)
             .unwrap();
-        assert!(builder.sampled, "sampled mode must actually run");
-        assert_same_outcome(strategy.name(), &legacy, &builder.into_single_outcome());
+        assert!(report.sampled, "sampled mode must actually run");
+        let outcome = report.into_single_outcome();
+        assert_bits(strategy.name(), outcome.gain(), gain_bits);
+        assert_bits(strategy.name(), outcome.signed_gain(), signed_bits);
     }
 }
 
-/// Golden bits of `run_ldpgen_attack` at seed 5 on the caveman setup:
+/// Golden bits of the LDPGen pipeline at seed 5 on the caveman setup:
 /// `(cc_gain, cc_signed, q_before, q_after)` per strategy.
 const GOLDEN_LDPGEN: [(AttackStrategy, u64, u64, u64, u64); 3] = [
     (
@@ -219,36 +184,13 @@ const GOLDEN_LDPGEN: [(AttackStrategy, u64, u64, u64, u64); 3] = [
 ];
 
 #[test]
-fn ldpgen_pins_golden_and_matches_wrapper() {
+fn ldpgen_pins_golden() {
     let graph = caveman_graph(10, 8);
     let protocol = LdpGen::with_defaults(4.0).unwrap();
     let threat = ThreatModel::explicit(80, 8, vec![0, 8, 16, 24]);
     let partition: Vec<usize> = (0..80).map(|u| u / 8).collect();
     for (strategy, cc_gain, cc_signed, q_before, q_after) in GOLDEN_LDPGEN {
-        let legacy_cc = run_ldpgen_attack(
-            &graph,
-            &protocol,
-            &threat,
-            strategy,
-            LdpGenMetric::ClusteringCoefficient,
-            None,
-            5,
-        );
-        assert_bits(strategy.name(), legacy_cc.gain(), cc_gain);
-        assert_bits(strategy.name(), legacy_cc.signed_gain(), cc_signed);
-        let legacy_q = run_ldpgen_attack(
-            &graph,
-            &protocol,
-            &threat,
-            strategy,
-            LdpGenMetric::Modularity,
-            Some(&partition),
-            5,
-        );
-        assert_bits(strategy.name(), legacy_q.before[0], q_before);
-        assert_bits(strategy.name(), legacy_q.after[0], q_after);
-
-        let builder_cc = Scenario::on(protocol)
+        let cc = Scenario::on(protocol)
             .attack(attack_for(strategy, MgaOptions::default()))
             .metric(Metric::Clustering)
             .threat(threat.clone())
@@ -256,8 +198,9 @@ fn ldpgen_pins_golden_and_matches_wrapper() {
             .run(&graph)
             .unwrap()
             .into_single_outcome();
-        assert_same_outcome(strategy.name(), &legacy_cc, &builder_cc);
-        let builder_q = Scenario::on(protocol)
+        assert_bits(strategy.name(), cc.gain(), cc_gain);
+        assert_bits(strategy.name(), cc.signed_gain(), cc_signed);
+        let q = Scenario::on(protocol)
             .attack(attack_for(strategy, MgaOptions::default()))
             .metric(Metric::Modularity)
             .threat(threat.clone())
@@ -266,15 +209,16 @@ fn ldpgen_pins_golden_and_matches_wrapper() {
             .run(&graph)
             .unwrap()
             .into_single_outcome();
-        assert_same_outcome(strategy.name(), &legacy_q, &builder_q);
+        assert_bits(strategy.name(), q.before[0], q_before);
+        assert_bits(strategy.name(), q.after[0], q_after);
     }
 }
 
-/// Golden bits of `run_defended_attack` at seed 11 on the 250-node
+/// Golden bits of the defended pipeline at seed 11 on the 250-node
 /// Facebook stand-in (seed 77, threat rng 5): `(gain, flagged_fake,
 /// flagged_genuine)` per `(defense, strategy, metric)`.
 #[test]
-fn defended_runs_pin_golden_and_match_builder() {
+fn defended_runs_pin_golden() {
     let graph = Dataset::Facebook.generate_with_nodes(250, 77);
     let protocol = LfGdpr::new(4.0).unwrap();
     let mut rng = Xoshiro256pp::new(5);
@@ -310,20 +254,6 @@ fn defended_runs_pin_golden_and_match_builder() {
     for (defense, golden) in &defenses {
         for ((strategy, metric), (gain_bits, ff, fg)) in cases.iter().zip(golden) {
             let label = format!("{}/{}", defense.name(), strategy.name());
-            let legacy = run_defended_attack(
-                &graph,
-                &protocol,
-                &threat,
-                *strategy,
-                *metric,
-                defense,
-                MgaOptions::default(),
-                11,
-            );
-            assert_bits(&label, legacy.gain(), *gain_bits);
-            assert_eq!(legacy.flagged_fake, *ff, "{label} true positives");
-            assert_eq!(legacy.flagged_genuine, *fg, "{label} false positives");
-
             let report = Scenario::on(protocol)
                 .attack(attack_for(*strategy, MgaOptions::default()))
                 .metric(Metric::from(*metric))
@@ -334,16 +264,16 @@ fn defended_runs_pin_golden_and_match_builder() {
                 .run(&graph)
                 .unwrap();
             let trial = &report.trials[0];
-            assert_eq!(trial.flagged_fake, Some(*ff), "{label}");
-            assert_eq!(trial.flagged_genuine, Some(*fg), "{label}");
-            assert_same_outcome(&label, &legacy.outcome, &trial.outcome);
+            assert_eq!(trial.flagged_fake, Some(*ff), "{label} true positives");
+            assert_eq!(trial.flagged_genuine, Some(*fg), "{label} false positives");
+            assert_bits(&label, trial.outcome.gain(), *gain_bits);
         }
     }
 }
 
 #[test]
 fn trials_fold_matches_the_runner_schedule() {
-    // `.trials(k)` must reproduce k wrapper calls with the experiment
+    // `.trials(k)` must reproduce k single-trial runs with the experiment
     // runner's seed schedule (base + i·0x9E37_79B9), gain for gain.
     let (graph, protocol, threat) = small_world();
     let report = Scenario::on(protocol)
@@ -357,16 +287,17 @@ fn trials_fold_matches_the_runner_schedule() {
         .unwrap();
     for (i, trial) in report.trials.iter().enumerate() {
         let seed = 500u64.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9));
-        let legacy = run_lfgdpr_attack(
-            &graph,
-            &protocol,
-            &threat,
-            AttackStrategy::Mga,
-            TargetMetric::DegreeCentrality,
-            MgaOptions::default(),
-            seed,
-        );
+        let single = Scenario::on(protocol)
+            .attack(attack_for(AttackStrategy::Mga, MgaOptions::default()))
+            .metric(Metric::Degree)
+            .threat(threat.clone())
+            .exact()
+            .seed(seed)
+            .run(&graph)
+            .unwrap()
+            .into_single_outcome();
         assert_eq!(trial.seed, seed);
-        assert_same_outcome("trial", &legacy, &trial.outcome);
+        assert_eq!(trial.outcome.before, single.before);
+        assert_eq!(trial.outcome.after, single.after);
     }
 }

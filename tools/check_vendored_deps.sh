@@ -1,0 +1,47 @@
+#!/bin/sh
+# Hermetic-build guard: every dependency of every workspace crate must be
+# an internal path crate or one of the vendored compat shims. A new name
+# in any [dependencies]/[dev-dependencies]/[build-dependencies] section
+# that is not on the allowlist fails CI — the container builds offline,
+# so a registry dependency would only be discovered at release time.
+#
+# Usage: tools/check_vendored_deps.sh   (from the repo root)
+
+set -eu
+
+ALLOWLIST="ldp-graph ldp-mechanisms ldp-protocols poison-core poison-defense ldp-collector poison-experiments poison-bench rand proptest criterion"
+
+status=0
+for manifest in Cargo.toml crates/*/Cargo.toml crates/compat/*/Cargo.toml; do
+    [ -f "$manifest" ] || continue
+    # Extract dependency names: lines of the form `name = ...` inside any
+    # *dependencies* section (stop at the next section header).
+    deps=$(awk '
+        /^\[.*dependencies[^]]*\]$/ { in_deps = 1; next }
+        /^\[/ { in_deps = 0 }
+        in_deps && /^[a-zA-Z0-9_-]+[ \t]*=/ {
+            split($0, parts, /[ \t=]/); print parts[1]
+        }
+    ' "$manifest")
+    for dep in $deps; do
+        ok=0
+        for allowed in $ALLOWLIST; do
+            if [ "$dep" = "$allowed" ]; then
+                ok=1
+                break
+            fi
+        done
+        if [ "$ok" -eq 0 ]; then
+            echo "ERROR: $manifest depends on '$dep', which is not on the vendored allowlist" >&2
+            echo "       (allowlist: $ALLOWLIST)" >&2
+            echo "       The workspace builds offline; add a vendored subset under crates/compat/" >&2
+            echo "       and extend the allowlist in tools/check_vendored_deps.sh deliberately." >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "vendored-deps check: OK (all dependencies on the allowlist)"
+fi
+exit "$status"
