@@ -11,6 +11,7 @@
 //!                   [--attack mga|rva|rna|none]   crafted tail (default mga)
 //!                   [--beta F]       fake-user fraction (default 0.01)
 //!                   [--rate R]       reports/sec cap (default unlimited)
+//!                   [--connections C]  concurrent uploader sessions (default 1)
 //!                   [--addr HOST:PORT]  external daemon (default: spawn one)
 //!                   [--shards S]     shards of the spawned daemon (default 8)
 //!                   [--seed S]       stream seed (default 7)
@@ -18,15 +19,20 @@
 //!
 //! Defaults replay the headline workload: one degree-vector round of 2²⁰
 //! (≈1.05M) reports — the regime where the daemon's aggregate stays
-//! `O(shards·groups)` no matter the population. Adjacency rounds are
-//! bounded by the daemon's population cap (the dense aggregate is
-//! `O(N²/8)` bytes; see DESIGN.md).
+//! `O(shards·groups)` no matter the population. `--connections C` drives
+//! the round through `C` concurrent uploader sessions (disjoint id
+//! slices, `SYNC` barriers, one coordinator closing the round) — the
+//! aggregate-ingest workload of the concurrent session plane. Adjacency
+//! rounds are bounded by the daemon's population cap (the dense
+//! aggregate is `O(N²/8)` bytes; see DESIGN.md).
 
 use ldp_collector::CollectorClient;
 use poison_bench::collector::{
-    peak_rss_bytes, run_adjacency_round, run_degree_vector_round, shutdown_daemon, spawn_daemon,
-    LoadAttack, ThroughputResult,
+    peak_rss_bytes, run_adjacency_round, run_adjacency_round_concurrent, run_degree_vector_round,
+    run_degree_vector_round_concurrent, shutdown_daemon, spawn_daemon, LoadAttack,
+    ThroughputResult,
 };
+use std::net::{SocketAddr, ToSocketAddrs};
 
 struct Args {
     channel: String,
@@ -36,6 +42,7 @@ struct Args {
     attack: LoadAttack,
     beta: f64,
     rate: Option<u64>,
+    connections: usize,
     addr: Option<String>,
     shards: usize,
     seed: u64,
@@ -50,6 +57,7 @@ fn parse_args() -> Args {
         attack: LoadAttack::Mga,
         beta: 0.01,
         rate: None,
+        connections: 1,
         addr: None,
         shards: 8,
         seed: 7,
@@ -72,6 +80,7 @@ fn parse_args() -> Args {
             }
             "--beta" => args.beta = parse(&value("--beta"), "--beta"),
             "--rate" => args.rate = Some(parse(&value("--rate"), "--rate")),
+            "--connections" => args.connections = parse(&value("--connections"), "--connections"),
             "--addr" => args.addr = Some(value("--addr")),
             "--shards" => args.shards = parse(&value("--shards"), "--shards"),
             "--seed" => args.seed = parse(&value("--seed"), "--seed"),
@@ -80,6 +89,9 @@ fn parse_args() -> Args {
     }
     if args.channel != "degree-vector" && args.channel != "adjacency" {
         die(&format!("unknown channel {}", args.channel));
+    }
+    if args.connections == 0 {
+        die("--connections must be positive");
     }
     args
 }
@@ -106,12 +118,17 @@ fn main() {
         (None, Some((addr, _))) => addr.to_string(),
         _ => unreachable!(),
     };
-    let mut client = CollectorClient::connect(&*addr).expect("connect to daemon");
+    let sock_addr: SocketAddr = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .unwrap_or_else(|| die(&format!("cannot resolve {addr}")));
+    let mut client = CollectorClient::connect(sock_addr).expect("connect to daemon");
 
     let mut results: Vec<ThroughputResult> = Vec::new();
     for round in 0..args.rounds {
-        let result = if args.channel == "degree-vector" {
-            run_degree_vector_round(
+        let result = match (args.channel.as_str(), args.connections) {
+            ("degree-vector", 1) => run_degree_vector_round(
                 &mut client,
                 round + 1,
                 args.users,
@@ -120,9 +137,19 @@ fn main() {
                 args.beta,
                 args.rate,
                 args.seed + round,
-            )
-        } else {
-            run_adjacency_round(
+            ),
+            ("degree-vector", c) => run_degree_vector_round_concurrent(
+                sock_addr,
+                round + 1,
+                args.users,
+                args.groups,
+                args.attack,
+                args.beta,
+                args.rate,
+                c,
+                args.seed + round,
+            ),
+            ("adjacency", 1) => run_adjacency_round(
                 &mut client,
                 round + 1,
                 args.users,
@@ -130,14 +157,26 @@ fn main() {
                 args.beta,
                 args.rate,
                 args.seed + round,
+            ),
+            ("adjacency", c) => run_adjacency_round_concurrent(
+                sock_addr,
+                round + 1,
+                args.users,
+                args.attack,
+                args.beta,
+                c,
+                args.seed + round,
             )
+            .map(|(result, _, _, _)| result),
+            _ => unreachable!("channel validated in parse_args"),
         }
         .expect("round replay");
         eprintln!(
-            "round {}: {} reports ({} crafted) in {:.3}s = {:.0} reports/s",
+            "round {}: {} reports ({} crafted) over {} connection(s) in {:.3}s = {:.0} reports/s",
             round + 1,
             result.reports,
             result.crafted,
+            args.connections,
             result.wall.as_secs_f64(),
             result.reports_per_sec
         );
@@ -154,12 +193,14 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"collector_loadgen\",\n  \"channel\": \"{}\",\n  \
          \"users_per_round\": {},\n  \"rounds\": {},\n  \"attack\": \"{:?}\",\n  \
+         \"connections\": {},\n  \
          \"reports\": {},\n  \"crafted_reports\": {},\n  \"wall_s\": {:.3},\n  \
          \"reports_per_sec\": {:.0},\n  \"rate_cap\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
         args.channel,
         args.users,
         args.rounds,
         args.attack,
+        args.connections,
         reports,
         crafted,
         wall,

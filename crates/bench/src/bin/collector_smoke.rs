@@ -1,18 +1,26 @@
 //! Collection-service smoke benchmark, run in CI after the unit suites:
 //!
 //! 1. **Equivalence** — a loopback round with 10k users: LF-GDPR + MGA +
-//!    Detect2 evaluated in process and with every fold over TCP, asserted
-//!    bit-for-bit identical (estimates, defense verdicts, gain bits).
-//! 2. **Round throughput** — one degree-vector round of 2²⁰ (≈1.05M)
-//!    reports, honest + MGA-crafted via the `Attack` trait, plus one
-//!    adjacency round at the Facebook stand-in's scale; reports/sec and
-//!    peak RSS recorded.
+//!    Detect2 evaluated in process and with every fold over TCP (batched
+//!    frames), asserted bit-for-bit identical (estimates, defense
+//!    verdicts, gain bits).
+//! 2. **Round throughput** — the 2²⁰ (≈1.05M)-report degree-vector round
+//!    at 1 and at 4 concurrent uploader sessions (aggregate reports/s of
+//!    the concurrent ingest plane), plus one adjacency round at the
+//!    Facebook stand-in's scale; reports/sec and peak RSS recorded.
+//! 3. **Concurrent bit-identity** — the Facebook-scale adjacency round
+//!    streamed by 4 racing sessions finalizes bit-identical to the
+//!    in-process aggregation of the same reports.
 //!
-//! Results land in `BENCH_collector.json` for the perf trajectory.
+//! Results land in `BENCH_collector.json` for the perf trajectory. The
+//! multi-connection assertion is a *loose floor* (CI boxes may have one
+//! core, where parallel sessions cannot beat the single-session CPU
+//! bound); the recorded ratio is the trajectory signal.
 
 use ldp_collector::CollectorClient;
 use poison_bench::collector::{
-    peak_rss_bytes, run_adjacency_round, run_degree_vector_round, run_equivalence_smoke,
+    assert_concurrent_adjacency_equivalence, peak_rss_bytes, run_adjacency_round,
+    run_degree_vector_round, run_degree_vector_round_concurrent, run_equivalence_smoke,
     shutdown_daemon, spawn_daemon, LoadAttack,
 };
 
@@ -20,20 +28,23 @@ const EQUIVALENCE_USERS: usize = 10_000;
 const ROUND_USERS: usize = 1 << 20; // 1,048,576 reports in one round
 const ROUND_GROUPS: usize = 8;
 const ADJACENCY_USERS: usize = 4_039; // Facebook stand-in scale
+const CONNECTIONS: usize = 4;
 
 fn main() {
     // 1. Wire == in-process, to the bit, at 10k users.
     let eq = run_equivalence_smoke(EQUIVALENCE_USERS, 2024).expect("equivalence smoke");
+    let wire_over_in_process = eq.wire.as_secs_f64() / eq.in_process.as_secs_f64();
     eprintln!(
-        "equivalence: {} users, in-process {:.1} ms, wire {:.1} ms, gain {:.4}",
+        "equivalence: {} users, in-process {:.1} ms, wire {:.1} ms ({:.2}x), gain {:.4}",
         eq.users,
         eq.in_process.as_secs_f64() * 1e3,
         eq.wire.as_secs_f64() * 1e3,
+        wire_over_in_process,
         eq.mean_gain
     );
 
-    // 2. One ≥1M-report degree-vector round and one Facebook-scale
-    //    adjacency round, both honest + MGA-crafted.
+    // 2. The ≥1M-report degree-vector round at 1 and 4 connections, and
+    //    one Facebook-scale adjacency round, all honest + MGA-crafted.
     let (addr, handle) = spawn_daemon(8).expect("daemon");
     let mut client = CollectorClient::connect(addr).expect("connect");
     let degvec = run_degree_vector_round(
@@ -51,9 +62,41 @@ fn main() {
         degvec.reports >= 1_000_000,
         "the headline round must carry ≥1M reports"
     );
+    let degvec_multi = run_degree_vector_round_concurrent(
+        addr,
+        2,
+        ROUND_USERS,
+        ROUND_GROUPS,
+        LoadAttack::Mga,
+        0.01,
+        None,
+        CONNECTIONS,
+        7,
+    )
+    .expect("concurrent degree-vector round");
+    let speedup = degvec_multi.reports_per_sec / degvec.reports_per_sec;
+    eprintln!(
+        "degree-vector: 1 conn {:.0} reports/s, {} conns {:.0} reports/s (x{:.2})",
+        degvec.reports_per_sec, CONNECTIONS, degvec_multi.reports_per_sec, speedup
+    );
+    // Loose floor: concurrency must never *halve* aggregate ingest (a
+    // single-core box caps the ratio near 1; multi-core should exceed 2).
+    assert!(
+        degvec_multi.reports_per_sec >= 0.5 * degvec.reports_per_sec,
+        "aggregate throughput collapsed under concurrent sessions: \
+         {:.0} vs {:.0} reports/s",
+        degvec_multi.reports_per_sec,
+        degvec.reports_per_sec
+    );
+    assert!(
+        degvec_multi.reports_per_sec >= 250_000.0,
+        "absolute aggregate floor: {:.0} reports/s",
+        degvec_multi.reports_per_sec
+    );
+
     let adjacency = run_adjacency_round(
         &mut client,
-        2,
+        3,
         ADJACENCY_USERS,
         LoadAttack::Mga,
         0.05,
@@ -61,29 +104,64 @@ fn main() {
         7,
     )
     .expect("adjacency round");
+
+    // 3. Concurrent sessions racing the same adjacency stream finalize
+    //    bit-identical to the in-process aggregation.
+    let adjacency_multi = assert_concurrent_adjacency_equivalence(
+        addr,
+        4,
+        ADJACENCY_USERS,
+        LoadAttack::Mga,
+        0.05,
+        CONNECTIONS,
+        7,
+    )
+    .expect("concurrent adjacency equivalence");
+    eprintln!(
+        "adjacency: 1 conn {:.0} reports/s, {} conns {:.0} reports/s, bit-identical",
+        adjacency.reports_per_sec, CONNECTIONS, adjacency_multi.reports_per_sec
+    );
     drop(client);
     shutdown_daemon(addr, handle);
 
     let json = format!(
         "{{\n  \"bench\": \"collector\",\n  \"equivalence\": {{\n    \"users\": {},\n    \
-         \"bit_identical\": true,\n    \"in_process_ms\": {:.1},\n    \"wire_ms\": {:.1}\n  }},\n  \
+         \"bit_identical\": true,\n    \"in_process_ms\": {:.1},\n    \"wire_ms\": {:.1},\n    \
+         \"wire_over_in_process\": {:.3}\n  }},\n  \
          \"degree_vector_round\": {{\n    \"users\": {},\n    \"groups\": {},\n    \
+         \"connections\": 1,\n    \"crafted_reports\": {},\n    \"wall_s\": {:.3},\n    \
+         \"reports_per_sec\": {:.0}\n  }},\n  \
+         \"degree_vector_round_concurrent\": {{\n    \"users\": {},\n    \"groups\": {},\n    \
+         \"connections\": {},\n    \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0},\n    \
+         \"speedup_vs_single\": {:.2}\n  }},\n  \
+         \"adjacency_round\": {{\n    \"users\": {},\n    \"connections\": 1,\n    \
          \"crafted_reports\": {},\n    \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0}\n  }},\n  \
-         \"adjacency_round\": {{\n    \"users\": {},\n    \"crafted_reports\": {},\n    \
-         \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0}\n  }},\n  \
+         \"adjacency_round_concurrent\": {{\n    \"users\": {},\n    \"connections\": {},\n    \
+         \"bit_identical\": true,\n    \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0}\n  }},\n  \
          \"peak_rss_bytes\": {}\n}}\n",
         eq.users,
         eq.in_process.as_secs_f64() * 1e3,
         eq.wire.as_secs_f64() * 1e3,
+        wire_over_in_process,
         degvec.reports,
         ROUND_GROUPS,
         degvec.crafted,
         degvec.wall.as_secs_f64(),
         degvec.reports_per_sec,
+        degvec_multi.reports,
+        ROUND_GROUPS,
+        CONNECTIONS,
+        degvec_multi.wall.as_secs_f64(),
+        degvec_multi.reports_per_sec,
+        speedup,
         adjacency.reports,
         adjacency.crafted,
         adjacency.wall.as_secs_f64(),
         adjacency.reports_per_sec,
+        adjacency_multi.reports,
+        CONNECTIONS,
+        adjacency_multi.wall.as_secs_f64(),
+        adjacency_multi.reports_per_sec,
         peak_rss_bytes(),
     );
     std::fs::write("BENCH_collector.json", &json).expect("write BENCH_collector.json");

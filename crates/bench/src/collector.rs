@@ -1,6 +1,7 @@
 //! Shared harness of the collection-service benchmarks: loopback daemon
 //! setup, honest + attack-crafted report replay through the
-//! [`poison_core::Attack`] trait, throughput accounting, and the
+//! [`poison_core::Attack`] trait — over one batched connection or over
+//! `C` concurrent sessions — throughput accounting, and the
 //! `BENCH_collector.json` record. Used by the `collector_smoke` (CI) and
 //! `collector_loadgen` (operator CLI) binaries.
 
@@ -9,7 +10,7 @@ use ldp_collector::{
 };
 use ldp_graph::datasets::Dataset;
 use ldp_graph::Xoshiro256pp;
-use ldp_protocols::{CraftContext, LfGdpr, Metric};
+use ldp_protocols::{AdjacencyReport, CraftContext, LfGdpr, Metric, PerturbedView};
 use poison_core::scenario::{Scenario, ScenarioBuilder, ScenarioReport};
 use poison_core::{
     Attack, AttackerKnowledge, Mga, Rna, Rva, TargetMetric, TargetSelection, ThreatModel,
@@ -69,7 +70,7 @@ pub fn spawn_daemon(
 > {
     CollectorServer::spawn(CollectorConfig {
         shards,
-        flush_batch: 4096,
+        max_sessions: 16,
         ..CollectorConfig::default()
     })
 }
@@ -184,29 +185,16 @@ pub struct ThroughputResult {
     pub reports_per_sec: f64,
 }
 
-/// Replays one **degree-vector round** of `users` reports — honest
-/// Laplace-style vectors plus a `beta` fake tail crafted through the
-/// [`Attack`] trait — at up to `rate` reports/sec (`None` = as fast as the
-/// wire takes them). This is the million-users-per-round regime: the
-/// daemon's aggregate stays `O(shards·groups)`.
-///
-/// # Errors
-/// Transport failures and daemon refusals.
-///
-/// # Panics
-/// Panics if the daemon's close summary shows any rejected report (the
-/// replay is well-formed by construction).
-#[allow(clippy::too_many_arguments)] // one knob per loadgen CLI flag
-pub fn run_degree_vector_round(
-    client: &mut CollectorClient,
-    round_id: u64,
+/// Crafts the fake tail of a degree-vector round through the [`Attack`]
+/// trait: returns the genuine population, the crafted vectors, and the
+/// RNG the honest stream continues from.
+fn craft_degree_vector_tail(
     users: usize,
     groups: usize,
     attack: LoadAttack,
     beta: f64,
-    rate: Option<u64>,
     seed: u64,
-) -> Result<ThroughputResult, CollectorError> {
+) -> (usize, Vec<Vec<f64>>, Xoshiro256pp) {
     // No attack ⇒ no fake tail: every report is honest.
     let m_fake = if attack == LoadAttack::None {
         0
@@ -243,6 +231,34 @@ pub fn run_degree_vector_round(
                 .collect()
         }
     };
+    (n_genuine, crafted, rng)
+}
+
+/// Replays one **degree-vector round** of `users` reports — honest
+/// Laplace-style vectors plus a `beta` fake tail crafted through the
+/// [`Attack`] trait — at up to `rate` reports/sec (`None` = as fast as the
+/// wire takes them), over the batched `REPORT_BATCH` send path. This is
+/// the million-users-per-round regime: the daemon's aggregate stays
+/// `O(shards·groups)`.
+///
+/// # Errors
+/// Transport failures and daemon refusals.
+///
+/// # Panics
+/// Panics if the daemon's close summary shows any rejected report (the
+/// replay is well-formed by construction).
+#[allow(clippy::too_many_arguments)] // one knob per loadgen CLI flag
+pub fn run_degree_vector_round(
+    client: &mut CollectorClient,
+    round_id: u64,
+    users: usize,
+    groups: usize,
+    attack: LoadAttack,
+    beta: f64,
+    rate: Option<u64>,
+    seed: u64,
+) -> Result<ThroughputResult, CollectorError> {
+    let (n_genuine, crafted, mut rng) = craft_degree_vector_tail(users, groups, attack, beta, seed);
     let crafted_count = crafted.len() as u64;
 
     let start = Instant::now();
@@ -260,12 +276,13 @@ pub fn run_degree_vector_round(
         for x in &mut vector {
             *x = rng.gen_range(0.0..4.0);
         }
-        // Borrowed send: no clone per report on the hot path.
-        client.send_degree_vector(id, &vector)?;
+        // Borrowed, batched send: no clone per report, one frame per
+        // DEFAULT_BATCH_REPORTS on the hot path.
+        client.queue_degree_vector(id, &vector)?;
         pacer.tick(client)?;
     }
     for (offset, v) in crafted.iter().enumerate() {
-        client.send_degree_vector((n_genuine + offset) as u64, v)?;
+        client.queue_degree_vector((n_genuine + offset) as u64, v)?;
         pacer.tick(client)?;
     }
     let summary = client.close_round(round_id)?;
@@ -285,25 +302,15 @@ pub fn run_degree_vector_round(
     })
 }
 
-/// Replays one **adjacency round**: the honest reports of a real LF-GDPR
-/// collection over the dataset stand-in, with the fake tail's reports
-/// crafted through the [`Attack`] trait, streamed and finalized over the
-/// wire.
-///
-/// # Errors
-/// Transport failures and daemon refusals.
-///
-/// # Panics
-/// Panics if any replayed report is rejected.
-pub fn run_adjacency_round(
-    client: &mut CollectorClient,
-    round_id: u64,
+/// Assembles the full report stream of an adjacency round — honest
+/// LF-GDPR reports with the fake tail spliced in through the [`Attack`]
+/// trait — shared by the single-connection and concurrent replays.
+pub fn prepare_adjacency_stream(
     users: usize,
     attack: LoadAttack,
     beta: f64,
-    rate: Option<u64>,
     seed: u64,
-) -> Result<ThroughputResult, CollectorError> {
+) -> (LfGdpr, Vec<AdjacencyReport>, u64) {
     // No attack ⇒ no fake tail: every report is honest.
     let m_fake = if attack == LoadAttack::None {
         0
@@ -342,6 +349,29 @@ pub fn run_adjacency_round(
             count
         }
     };
+    (protocol, reports, crafted_count)
+}
+
+/// Replays one **adjacency round**: the honest reports of a real LF-GDPR
+/// collection over the dataset stand-in, with the fake tail's reports
+/// crafted through the [`Attack`] trait, streamed (batched) and finalized
+/// over the wire.
+///
+/// # Errors
+/// Transport failures and daemon refusals.
+///
+/// # Panics
+/// Panics if any replayed report is rejected.
+pub fn run_adjacency_round(
+    client: &mut CollectorClient,
+    round_id: u64,
+    users: usize,
+    attack: LoadAttack,
+    beta: f64,
+    rate: Option<u64>,
+    seed: u64,
+) -> Result<ThroughputResult, CollectorError> {
+    let (protocol, reports, crafted_count) = prepare_adjacency_stream(users, attack, beta, seed);
 
     let start = Instant::now();
     client.open_round(
@@ -354,8 +384,9 @@ pub fn run_adjacency_round(
     )?;
     let mut pacer = Pacer::new(rate);
     for (id, report) in reports.iter().enumerate() {
-        // Borrowed send: no BitSet clone per report on the hot path.
-        client.send_adjacency_report(id as u64, report)?;
+        // Borrowed, batched send: no BitSet clone per report, one frame
+        // per DEFAULT_BATCH_REPORTS on the hot path.
+        client.queue_adjacency_report(id as u64, report)?;
         pacer.tick(client)?;
     }
     let summary = client.close_round(round_id)?;
@@ -373,6 +404,215 @@ pub fn run_adjacency_round(
         wall,
         reports_per_sec: users as f64 / wall.as_secs_f64(),
     })
+}
+
+/// Replays one degree-vector round over `connections` concurrent client
+/// sessions: a coordinator session opens the round, `C` uploader threads
+/// stream disjoint contiguous id slices through the batched send path
+/// and end with a `SYNC` barrier, then the coordinator closes and
+/// finalizes. `rate`, when set, is split evenly across the connections.
+/// The aggregate-throughput workload of the concurrent ingest plane.
+///
+/// # Errors
+/// Transport failures and daemon refusals.
+///
+/// # Panics
+/// Panics if the daemon's close summary shows any rejected report, or if
+/// an uploader thread fails.
+#[allow(clippy::too_many_arguments)] // one knob per loadgen CLI flag
+pub fn run_degree_vector_round_concurrent(
+    addr: SocketAddr,
+    round_id: u64,
+    users: usize,
+    groups: usize,
+    attack: LoadAttack,
+    beta: f64,
+    rate: Option<u64>,
+    connections: usize,
+    seed: u64,
+) -> Result<ThroughputResult, CollectorError> {
+    let connections = connections.max(1);
+    let (n_genuine, crafted, _) = craft_degree_vector_tail(users, groups, attack, beta, seed);
+    let crafted_count = crafted.len() as u64;
+
+    let mut coordinator = CollectorClient::connect(addr)?;
+    let start = Instant::now();
+    coordinator.open_round(
+        round_id,
+        RoundChannel::DegreeVector {
+            population: users,
+            groups,
+        },
+        None,
+    )?;
+    let worker_rate = rate.map(|r| (r / connections as u64).max(1));
+    std::thread::scope(|scope| -> Result<(), CollectorError> {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let crafted = &crafted;
+                scope.spawn(move || -> Result<(), CollectorError> {
+                    let mut client = CollectorClient::connect(addr)?;
+                    // Per-connection honest stream (throughput workload;
+                    // totals are not compared across connection counts).
+                    let mut rng = Xoshiro256pp::new(seed).derive(0xC0_u64 + c as u64);
+                    let lo = users * c / connections;
+                    let hi = users * (c + 1) / connections;
+                    let mut pacer = Pacer::new(worker_rate);
+                    let mut vector = vec![0.0f64; groups];
+                    for id in lo..hi {
+                        if id < n_genuine {
+                            for x in &mut vector {
+                                *x = rng.gen_range(0.0..4.0);
+                            }
+                            client.queue_degree_vector(id as u64, &vector)?;
+                        } else {
+                            client.queue_degree_vector(id as u64, &crafted[id - n_genuine])?;
+                        }
+                        pacer.tick(&mut client)?;
+                    }
+                    // Barrier: the ACK proves this session's reports are
+                    // folded before the coordinator closes.
+                    client.sync()
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("uploader thread")?;
+        }
+        Ok(())
+    })?;
+    let summary = coordinator.close_round(round_id)?;
+    let out = coordinator.finalize_degree_vector(round_id)?;
+    let wall = start.elapsed();
+    assert_eq!(
+        summary.counters.accepted, users as u64,
+        "replay must be fully accepted: {:?}",
+        summary.counters
+    );
+    assert_eq!(out.accepted, users as u64);
+    Ok(ThroughputResult {
+        reports: users as u64,
+        crafted: crafted_count,
+        wall,
+        reports_per_sec: users as f64 / wall.as_secs_f64(),
+    })
+}
+
+/// Replays one adjacency round over `connections` concurrent sessions —
+/// the **same** report stream as the single-connection replay at this
+/// seed — and returns the finalized view alongside the timings so the
+/// caller can pin it bit-identical against the in-process aggregation
+/// ([`assert_concurrent_adjacency_equivalence`] does exactly that).
+///
+/// # Errors
+/// Transport failures and daemon refusals.
+///
+/// # Panics
+/// Panics if any replayed report is rejected or an uploader fails.
+pub fn run_adjacency_round_concurrent(
+    addr: SocketAddr,
+    round_id: u64,
+    users: usize,
+    attack: LoadAttack,
+    beta: f64,
+    connections: usize,
+    seed: u64,
+) -> Result<
+    (
+        ThroughputResult,
+        PerturbedView,
+        Vec<AdjacencyReport>,
+        LfGdpr,
+    ),
+    CollectorError,
+> {
+    let connections = connections.max(1);
+    let (protocol, reports, crafted_count) = prepare_adjacency_stream(users, attack, beta, seed);
+
+    let mut coordinator = CollectorClient::connect(addr)?;
+    let start = Instant::now();
+    coordinator.open_round(
+        round_id,
+        RoundChannel::Adjacency {
+            population: users,
+            p_keep: protocol.p_keep(),
+        },
+        None,
+    )?;
+    std::thread::scope(|scope| -> Result<(), CollectorError> {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let reports = &reports;
+                scope.spawn(move || -> Result<(), CollectorError> {
+                    let mut client = CollectorClient::connect(addr)?;
+                    let lo = users * c / connections;
+                    let hi = users * (c + 1) / connections;
+                    for (id, report) in reports.iter().enumerate().take(hi).skip(lo) {
+                        client.queue_adjacency_report(id as u64, report)?;
+                    }
+                    client.sync()
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("uploader thread")?;
+        }
+        Ok(())
+    })?;
+    let summary = coordinator.close_round(round_id)?;
+    let view = coordinator.finalize_adjacency(round_id)?;
+    let wall = start.elapsed();
+    assert_eq!(
+        summary.counters.accepted, users as u64,
+        "replay must be fully accepted: {:?}",
+        summary.counters
+    );
+    Ok((
+        ThroughputResult {
+            reports: users as u64,
+            crafted: crafted_count,
+            wall,
+            reports_per_sec: users as f64 / wall.as_secs_f64(),
+        },
+        view,
+        reports,
+        protocol,
+    ))
+}
+
+/// Runs [`run_adjacency_round_concurrent`] and asserts the view the
+/// daemon finalized from `connections` racing sessions is **bit
+/// identical** to aggregating the same reports in process — the
+/// concurrent-ingest acceptance check CI runs.
+///
+/// # Errors
+/// Transport failures and daemon refusals.
+///
+/// # Panics
+/// Panics if any matrix word, reported-degree bit, or perturbed degree
+/// differs between the two paths.
+pub fn assert_concurrent_adjacency_equivalence(
+    addr: SocketAddr,
+    round_id: u64,
+    users: usize,
+    attack: LoadAttack,
+    beta: f64,
+    connections: usize,
+    seed: u64,
+) -> Result<ThroughputResult, CollectorError> {
+    let (result, view, reports, protocol) =
+        run_adjacency_round_concurrent(addr, round_id, users, attack, beta, connections, seed)?;
+    let reference = protocol.aggregate(&reports);
+    assert_eq!(
+        view.matrix(),
+        reference.matrix(),
+        "concurrent wire matrix diverged from in-process"
+    );
+    assert_eq!(view.reported_degrees(), reference.reported_degrees());
+    for u in 0..users {
+        assert_eq!(view.perturbed_degree(u), reference.perturbed_degree(u));
+    }
+    Ok(result)
 }
 
 /// Paces a replay to a reports/sec target by sleeping at batch

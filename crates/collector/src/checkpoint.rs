@@ -1,13 +1,18 @@
 //! Checkpoint/resume: snapshotting an in-flight round to disk.
 //!
 //! A round at a million users is minutes of intake; a collector restart
-//! must not cost the epoch. [`RoundCollector::checkpoint`] flushes the
-//! pending buffer and writes the complete round state — lifecycle
-//! metadata, counters, and every shard's seen-bitmap, degrees/sums, and
-//! packed rows — to a writer; [`RoundCollector::resume`] reconstructs a
-//! collector mid-round from it. Resumed intake continues exactly where it
+//! must not cost the epoch. [`RoundCollector::checkpoint`] writes the
+//! complete round state — lifecycle metadata, counters, and every shard's
+//! seen-bitmap, degrees/sums, and packed rows — to a writer;
+//! [`RoundCollector::resume`] reconstructs a collector mid-round from it.
+//! Under the concurrent ingest plane, checkpointing takes the engine's
+//! *write* lock: every in-flight ingest (each holds the read lock for the
+//! duration of one fold) drains first, so the snapshot always sits on a
+//! frame boundary — a report is either fully folded into it or not in it
+//! at all, never half-written. Resumed intake continues exactly where it
 //! stopped: the same duplicate set, the same quota charge, and a finalize
-//! bit-identical to an uninterrupted run (pinned by the tests below).
+//! bit-identical to an uninterrupted run (pinned by the tests below and
+//! by `tests/concurrent.rs` with sessions racing the snapshot).
 //!
 //! The format reuses the wire codec's primitives (varints, `f64`/`u64`
 //! bit patterns) under its own magic `LDPK`, so a checkpoint is as
@@ -19,6 +24,7 @@ use crate::error::CollectorError;
 use crate::round::{CollectorConfig, RoundChannel, RoundCollector, Store};
 use ldp_protocols::wire::{get_f64, get_u64, get_varint, put_f64, put_u64, put_varint, WireError};
 use std::io::{Read, Write};
+use std::sync::atomic::Ordering;
 
 /// Magic bytes opening a checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"LDPK";
@@ -34,14 +40,18 @@ const CHANNEL_DEGREE_VECTOR: u8 = 1;
 type ShardSnapshot<'a> = (u64, u64, &'a [u64], &'a [f64], &'a [u64]);
 
 impl RoundCollector {
-    /// Snapshots the open round (pending reports flushed first) to `w`.
+    /// Snapshots the open round to `w`. Quiesces concurrent sessions at a
+    /// frame boundary first (see the module docs).
     ///
     /// # Errors
     /// [`CollectorError::NoOpenRound`] without a round; I/O errors from
     /// the writer.
-    pub fn checkpoint(&mut self, w: &mut impl Write) -> Result<(), CollectorError> {
-        self.flush();
-        let round = self.round.as_ref().ok_or(CollectorError::NoOpenRound)?;
+    pub fn checkpoint(&self, w: &mut impl Write) -> Result<(), CollectorError> {
+        let mut guard = self
+            .round
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let round = guard.as_mut().ok_or(CollectorError::NoOpenRound)?;
         let mut buf = Vec::new();
         buf.extend_from_slice(&CHECKPOINT_MAGIC);
         buf.push(CHECKPOINT_VERSION);
@@ -59,12 +69,12 @@ impl RoundCollector {
             }
         }
         put_varint(round.quota, &mut buf);
-        put_varint(round.submitted, &mut buf);
-        put_varint(round.rejected_quota, &mut buf);
-        put_varint(round.rejected_invalid, &mut buf);
-        buf.push(u8::from(round.closed));
+        put_varint(round.submitted.load(Ordering::Acquire), &mut buf);
+        put_varint(round.rejected_quota.load(Ordering::Acquire), &mut buf);
+        put_varint(round.rejected_invalid.load(Ordering::Acquire), &mut buf);
+        buf.push(u8::from(round.closed.load(Ordering::Acquire)));
 
-        let snapshot: Vec<ShardSnapshot<'_>> = match &round.store {
+        let snapshot: Vec<ShardSnapshot<'_>> = match &mut round.store {
             Store::Adjacency { shards, .. } => shards.snapshot_shards().collect(),
             Store::DegreeVector { shards, .. } => shards.snapshot_shards().collect(),
         };
@@ -92,7 +102,7 @@ impl RoundCollector {
 
     /// Reconstructs a mid-round collector from a checkpoint produced by
     /// [`Self::checkpoint`]. `config` supplies the runtime knobs
-    /// (threads, flush batch, population cap); the round geometry —
+    /// (threads, session cap, population cap); the round geometry —
     /// channel, population, shard count — comes from the file, so a
     /// checkpoint resumes correctly under a different thread budget.
     ///
@@ -148,7 +158,7 @@ impl RoundCollector {
 
         // Rebuild an empty engine with the file's shard geometry, then
         // restore each shard's state over it.
-        let mut engine = RoundCollector::new(CollectorConfig {
+        let engine = RoundCollector::new(CollectorConfig {
             shards: num_shards,
             // The round was admitted once; the caps re-apply to *new*
             // rounds, not to resuming this one.
@@ -163,33 +173,41 @@ impl RoundCollector {
             ..config
         })?;
         engine.open_round(round_id, channel, Some(quota))?;
-        for shard_idx in 0..num_shards {
-            let accepted = get_varint(&mut buf).map_err(bad("shard accepted"))?;
-            let duplicates = get_varint(&mut buf).map_err(bad("shard duplicates"))?;
-            let seen = read_u64s(&mut buf)?;
-            let floats = read_f64s(&mut buf)?;
-            let words = read_u64s(&mut buf)?;
-            let round = engine.round.as_mut().expect("round just opened");
-            let restored = match &mut round.store {
-                Store::Adjacency { shards, .. } => {
-                    shards.restore_shard(shard_idx, accepted, duplicates, seen, floats, words)
-                }
-                Store::DegreeVector { shards, .. } => {
-                    shards.restore_shard(shard_idx, accepted, duplicates, seen, floats, words)
-                }
-            };
-            restored.map_err(|detail| CollectorError::BadCheckpoint { detail })?;
+        {
+            let mut guard = engine
+                .round
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let round = guard.as_mut().expect("round just opened");
+            for shard_idx in 0..num_shards {
+                let accepted = get_varint(&mut buf).map_err(bad("shard accepted"))?;
+                let duplicates = get_varint(&mut buf).map_err(bad("shard duplicates"))?;
+                let seen = read_u64s(&mut buf)?;
+                let floats = read_f64s(&mut buf)?;
+                let words = read_u64s(&mut buf)?;
+                let restored =
+                    match &mut round.store {
+                        Store::Adjacency { shards, .. } => shards
+                            .restore_shard(shard_idx, accepted, duplicates, seen, floats, words),
+                        Store::DegreeVector { shards, .. } => shards
+                            .restore_shard(shard_idx, accepted, duplicates, seen, floats, words),
+                    };
+                restored.map_err(|detail| CollectorError::BadCheckpoint { detail })?;
+            }
+            if !buf.is_empty() {
+                return Err(CollectorError::BadCheckpoint {
+                    detail: "trailing bytes",
+                });
+            }
+            round.submitted.store(submitted, Ordering::Release);
+            round
+                .rejected_quota
+                .store(rejected_quota, Ordering::Release);
+            round
+                .rejected_invalid
+                .store(rejected_invalid, Ordering::Release);
+            round.closed.store(closed, Ordering::Release);
         }
-        if !buf.is_empty() {
-            return Err(CollectorError::BadCheckpoint {
-                detail: "trailing bytes",
-            });
-        }
-        let round = engine.round.as_mut().expect("round just opened");
-        round.submitted = submitted;
-        round.rejected_quota = rejected_quota;
-        round.rejected_invalid = rejected_invalid;
-        round.closed = closed;
         Ok(engine)
     }
 }
@@ -263,7 +281,6 @@ mod tests {
     fn config() -> CollectorConfig {
         CollectorConfig {
             shards: 4,
-            flush_batch: 5,
             ..CollectorConfig::default()
         }
     }
@@ -276,7 +293,7 @@ mod tests {
         // Uninterrupted reference. Quota above n: the interrupted run will
         // also replay one duplicate, which charges the quota (flood
         // protection counts queued reports, not unique users).
-        let mut reference = RoundCollector::new(config()).unwrap();
+        let reference = RoundCollector::new(config()).unwrap();
         reference
             .open_round(
                 5,
@@ -298,7 +315,7 @@ mod tests {
         };
 
         // Interrupted run: ingest 40, checkpoint, drop, resume, finish.
-        let mut first = RoundCollector::new(config()).unwrap();
+        let first = RoundCollector::new(config()).unwrap();
         first
             .open_round(
                 5,
@@ -318,14 +335,15 @@ mod tests {
         first.checkpoint(&mut snapshot).unwrap();
         drop(first);
 
-        let mut resumed = RoundCollector::resume(config(), &mut snapshot.as_slice()).unwrap();
+        let resumed = RoundCollector::resume(config(), &mut snapshot.as_slice()).unwrap();
         assert_eq!(resumed.open_round_id(), Some(5));
-        // A duplicate of an already-checkpointed id is still rejected.
+        // A duplicate of an already-checkpointed id is still rejected
+        // (and, like any queued upload, still charges the quota).
         assert_eq!(
             resumed
                 .ingest(3, UserReport::Adjacency(reports[3].clone()))
                 .unwrap(),
-            IngestOutcome::Queued
+            IngestOutcome::Duplicate
         );
         for (i, r) in reports.iter().enumerate().skip(40) {
             resumed
@@ -347,7 +365,7 @@ mod tests {
 
     #[test]
     fn degree_vector_rounds_checkpoint_too() {
-        let mut engine = RoundCollector::new(config()).unwrap();
+        let engine = RoundCollector::new(config()).unwrap();
         engine
             .open_round(
                 2,
@@ -365,7 +383,7 @@ mod tests {
         }
         let mut snapshot = Vec::new();
         engine.checkpoint(&mut snapshot).unwrap();
-        let mut resumed = RoundCollector::resume(config(), &mut snapshot.as_slice()).unwrap();
+        let resumed = RoundCollector::resume(config(), &mut snapshot.as_slice()).unwrap();
         for i in 6..9u64 {
             resumed
                 .ingest(i, UserReport::DegreeVector(vec![1.0, i as f64]))
@@ -397,7 +415,7 @@ mod tests {
             ));
         }
         // A valid checkpoint with the tail chopped off.
-        let mut engine = RoundCollector::new(config()).unwrap();
+        let engine = RoundCollector::new(config()).unwrap();
         engine
             .open_round(
                 1,

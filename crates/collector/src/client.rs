@@ -6,6 +6,22 @@
 //! buffered stream and are unacknowledged (see the server docs for why);
 //! control calls flush and wait for their reply frame, surfacing daemon
 //! refusals as typed [`CollectorError::Remote`] values.
+//!
+//! ## The batched send path
+//!
+//! The hot path of a million-report round is
+//! [`CollectorClient::queue_adjacency_report`] /
+//! [`CollectorClient::queue_degree_vector`]: each call appends one
+//! length-prefixed entry to an in-memory batch, and every
+//! [`CollectorClient::batch_size`] entries the batch leaves as **one**
+//! `REPORT_BATCH` frame — one length prefix, one frame dispatch, and one
+//! engine round-trip on the daemon per *batch* instead of per report.
+//! [`CollectorClient::send_batch`] flushes a partial batch explicitly;
+//! every control call does so implicitly, so reports can never be
+//! reordered around a close. Concurrent uploaders end their stream with
+//! [`CollectorClient::sync`] — an acknowledged barrier proving the
+//! daemon folded everything this session sent — before the coordinating
+//! session closes the round.
 
 use crate::error::CollectorError;
 use crate::round::{RoundChannel, RoundCounters};
@@ -17,6 +33,11 @@ use ldp_protocols::wire::{
 use ldp_protocols::{AdjacencyReport, PerturbedView, UserReport};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Entries a queued batch accumulates before it leaves as one
+/// `REPORT_BATCH` frame (overridable per client with
+/// [`CollectorClient::with_batch_size`]).
+pub const DEFAULT_BATCH_REPORTS: usize = 256;
 
 /// The close-time intake summary the daemon returns, plus how many users
 /// are still outstanding.
@@ -40,6 +61,11 @@ pub struct CollectorClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     payload: Vec<u8>,
+    /// Accumulated length-prefixed batch entries awaiting one
+    /// `REPORT_BATCH` frame.
+    batch: Vec<u8>,
+    batch_count: usize,
+    batch_cap: usize,
 }
 
 impl CollectorClient {
@@ -61,7 +87,23 @@ impl CollectorClient {
             reader,
             writer,
             payload: Vec::new(),
+            batch: Vec::new(),
+            batch_count: 0,
+            batch_cap: DEFAULT_BATCH_REPORTS,
         })
+    }
+
+    /// Sets how many queued reports accumulate before a `REPORT_BATCH`
+    /// frame is emitted (clamped to
+    /// `1..=`[`wire::MAX_REPORTS_PER_BATCH`]).
+    pub fn with_batch_size(mut self, reports: usize) -> Self {
+        self.batch_cap = reports.clamp(1, wire::MAX_REPORTS_PER_BATCH);
+        self
+    }
+
+    /// The batch size in force.
+    pub fn batch_size(&self) -> usize {
+        self.batch_cap
     }
 
     /// Opens a round on the daemon. `quota: None` lets the daemon default
@@ -76,6 +118,7 @@ impl CollectorClient {
         channel: RoundChannel,
         quota: Option<u64>,
     ) -> Result<(), CollectorError> {
+        self.send_batch()?;
         let mut payload = Vec::new();
         put_varint(round_id, &mut payload);
         match channel {
@@ -96,11 +139,14 @@ impl CollectorClient {
         Ok(())
     }
 
-    /// Streams one report (buffered, unacknowledged).
+    /// Streams one report as its own `REPORT` frame (buffered,
+    /// unacknowledged). Any queued batch is emitted first so the daemon
+    /// sees reports in submission order.
     ///
     /// # Errors
     /// Transport failures only; rejects surface in the close summary.
     pub fn send_report(&mut self, user_id: u64, report: &UserReport) -> Result<(), CollectorError> {
+        self.send_batch()?;
         let mut payload = std::mem::take(&mut self.payload);
         payload.clear();
         wire::encode_report(user_id, report, &mut payload);
@@ -111,8 +157,7 @@ impl CollectorClient {
     }
 
     /// Streams one adjacency report from a borrow — no [`UserReport`]
-    /// wrapping, no clone, one reused buffer. The hot path of a
-    /// million-report round.
+    /// wrapping, no clone, one reused buffer.
     ///
     /// # Errors
     /// Transport failures only.
@@ -121,6 +166,7 @@ impl CollectorClient {
         user_id: u64,
         report: &AdjacencyReport,
     ) -> Result<(), CollectorError> {
+        self.send_batch()?;
         let mut payload = std::mem::take(&mut self.payload);
         payload.clear();
         wire::encode_adjacency_report(user_id, report, &mut payload);
@@ -140,6 +186,7 @@ impl CollectorClient {
         user_id: u64,
         vector: &[f64],
     ) -> Result<(), CollectorError> {
+        self.send_batch()?;
         let mut payload = std::mem::take(&mut self.payload);
         payload.clear();
         wire::encode_degree_vector_report(user_id, vector, &mut payload);
@@ -149,14 +196,122 @@ impl CollectorClient {
         Ok(())
     }
 
-    /// Flushes buffered report frames to the daemon (control calls flush
-    /// implicitly; rate-paced senders flush at batch boundaries so the
-    /// daemon sees a steady stream).
+    /// Queues one report for the batched send path; a full batch leaves
+    /// as one `REPORT_BATCH` frame. The hot path of a million-report
+    /// round.
+    ///
+    /// # Errors
+    /// Transport failures (only when a full batch is emitted).
+    pub fn queue_report(
+        &mut self,
+        user_id: u64,
+        report: &UserReport,
+    ) -> Result<(), CollectorError> {
+        let mut scratch = std::mem::take(&mut self.payload);
+        scratch.clear();
+        wire::encode_report(user_id, report, &mut scratch);
+        self.payload = scratch;
+        self.push_batch_entry()
+    }
+
+    /// [`Self::queue_report`] from a borrowed adjacency report — no
+    /// wrapping, no clone.
+    ///
+    /// # Errors
+    /// As [`Self::queue_report`].
+    pub fn queue_adjacency_report(
+        &mut self,
+        user_id: u64,
+        report: &AdjacencyReport,
+    ) -> Result<(), CollectorError> {
+        let mut scratch = std::mem::take(&mut self.payload);
+        scratch.clear();
+        wire::encode_adjacency_report(user_id, report, &mut scratch);
+        self.payload = scratch;
+        self.push_batch_entry()
+    }
+
+    /// [`Self::queue_report`] from a borrowed degree vector.
+    ///
+    /// # Errors
+    /// As [`Self::queue_report`].
+    pub fn queue_degree_vector(
+        &mut self,
+        user_id: u64,
+        vector: &[f64],
+    ) -> Result<(), CollectorError> {
+        let mut scratch = std::mem::take(&mut self.payload);
+        scratch.clear();
+        wire::encode_degree_vector_report(user_id, vector, &mut scratch);
+        self.payload = scratch;
+        self.push_batch_entry()
+    }
+
+    /// Appends the entry staged in `self.payload` to the batch — the one
+    /// place the entry framing (varint length + bytes) lives on the
+    /// client — and emits the batch once it reaches the configured count
+    /// or [`Self::BATCH_FLUSH_BYTES`]: the byte bound keeps a legal
+    /// round's batch frame far below [`wire::MAX_FRAME_LEN`] whatever
+    /// the per-entry size (a 2¹⁶-group degree vector is ~512 KiB alone).
+    fn push_batch_entry(&mut self) -> Result<(), CollectorError> {
+        put_varint(self.payload.len() as u64, &mut self.batch);
+        let payload = std::mem::take(&mut self.payload);
+        self.batch.extend_from_slice(&payload);
+        self.payload = payload;
+        self.batch_count += 1;
+        if self.batch_count >= self.batch_cap || self.batch.len() >= Self::BATCH_FLUSH_BYTES {
+            self.send_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Byte threshold past which a queued batch is emitted regardless of
+    /// entry count (1 MiB — 64× under the frame cap, so even the largest
+    /// legal single entry appended on top cannot overflow a frame).
+    pub const BATCH_FLUSH_BYTES: usize = 1 << 20;
+
+    /// Emits any queued reports as one `REPORT_BATCH` frame (buffered,
+    /// unacknowledged). A no-op when nothing is queued; control calls
+    /// invoke this implicitly.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn send_batch(&mut self) -> Result<(), CollectorError> {
+        if self.batch_count == 0 {
+            return Ok(());
+        }
+        let mut head = Vec::with_capacity(10);
+        put_varint(self.batch_count as u64, &mut head);
+        wire::write_frame_split(&mut self.writer, frames::REPORT_BATCH, &head, &self.batch)?;
+        self.batch.clear();
+        self.batch_count = 0;
+        Ok(())
+    }
+
+    /// Flushes queued and buffered report frames to the daemon (control
+    /// calls flush implicitly; rate-paced senders flush at batch
+    /// boundaries so the daemon sees a steady stream).
     ///
     /// # Errors
     /// Transport failures.
     pub fn flush(&mut self) -> Result<(), CollectorError> {
+        self.send_batch()?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Acknowledged barrier: returns once the daemon has ingested every
+    /// report this session sent so far. Concurrent uploaders call this
+    /// before the coordinating session closes the round — the daemon
+    /// processes a session's frames in order, so the `ACK` proves the
+    /// close summary will include everything sent here.
+    ///
+    /// # Errors
+    /// Daemon refusals and transport failures.
+    pub fn sync(&mut self) -> Result<(), CollectorError> {
+        self.send_batch()?;
+        write_frame(&mut self.writer, frames::SYNC, &[])?;
+        self.expect(frames::ACK)?;
         Ok(())
     }
 
@@ -165,6 +320,7 @@ impl CollectorClient {
     /// # Errors
     /// Daemon refusals and transport failures.
     pub fn close_round(&mut self, round_id: u64) -> Result<RoundSummary, CollectorError> {
+        self.send_batch()?;
         let mut payload = Vec::new();
         put_varint(round_id, &mut payload);
         write_frame(&mut self.writer, frames::CLOSE, &payload)?;
@@ -187,6 +343,7 @@ impl CollectorClient {
     /// [`CollectorError::Remote`] while reports are outstanding or on a
     /// degree-vector round; transport failures otherwise.
     pub fn finalize_adjacency(&mut self, round_id: u64) -> Result<PerturbedView, CollectorError> {
+        self.send_batch()?;
         let mut payload = Vec::new();
         put_varint(round_id, &mut payload);
         write_frame(&mut self.writer, frames::FINALIZE, &payload)?;
@@ -207,6 +364,7 @@ impl CollectorClient {
         &mut self,
         round_id: u64,
     ) -> Result<DegreeVectorSummary, CollectorError> {
+        self.send_batch()?;
         let mut payload = Vec::new();
         put_varint(round_id, &mut payload);
         write_frame(&mut self.writer, frames::FINALIZE, &payload)?;
@@ -243,6 +401,7 @@ impl CollectorClient {
     /// Daemon refusals (no path configured, no open round) and transport
     /// failures.
     pub fn checkpoint(&mut self) -> Result<(), CollectorError> {
+        self.send_batch()?;
         write_frame(&mut self.writer, frames::CHECKPOINT, &[])?;
         self.expect(frames::ACK)?;
         Ok(())
@@ -253,13 +412,15 @@ impl CollectorClient {
     /// # Errors
     /// Transport failures.
     pub fn shutdown(&mut self) -> Result<(), CollectorError> {
+        self.send_batch()?;
         write_frame(&mut self.writer, frames::SHUTDOWN, &[])?;
         self.expect(frames::ACK)?;
         Ok(())
     }
 
     /// Convenience: runs one complete adjacency round — open, stream one
-    /// report per user (ids are the slice indices), close, finalize.
+    /// report per user (ids are the slice indices) over the batched
+    /// path, close, finalize.
     ///
     /// # Errors
     /// Any refusal or transport failure along the way; also
@@ -280,7 +441,7 @@ impl CollectorClient {
             None,
         )?;
         for (id, report) in reports.iter().enumerate() {
-            self.send_adjacency_report(id as u64, report)?;
+            self.queue_adjacency_report(id as u64, report)?;
         }
         self.close_round(round_id)?;
         self.finalize_adjacency(round_id)
@@ -318,5 +479,17 @@ impl CollectorClient {
             return Err(CollectorError::UnexpectedFrame { kind: got });
         }
         Ok(())
+    }
+}
+
+/// A partially filled batch is best-effort flushed on drop, matching the
+/// unbatched send path (whose bytes sat in the `BufWriter` and left on
+/// *its* drop). Errors are discarded — an uploader that needs delivery
+/// *proof* must end with [`CollectorClient::sync`]; this only ensures
+/// queued reports are not silently discarded on a clean early return.
+impl Drop for CollectorClient {
+    fn drop(&mut self) {
+        let _ = self.send_batch();
+        let _ = self.writer.flush();
     }
 }

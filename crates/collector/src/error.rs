@@ -78,7 +78,9 @@ pub enum CollectorError {
         /// What was wrong.
         detail: &'static str,
     },
-    /// The collector configuration itself is invalid.
+    /// The collector configuration itself is invalid (zero shards, a
+    /// zero session cap, a keep probability outside the invertible
+    /// range).
     InvalidConfig {
         /// What was wrong.
         detail: &'static str,

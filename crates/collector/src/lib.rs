@@ -12,17 +12,26 @@
 //!   duplicate-id rejection, and the population memory cap
 //!   ([`CollectorError::PopulationCap`] instead of an OOM: the dense
 //!   adjacency aggregate is `O(N²/8)` bytes ≈ 1.4 GiB at Google+ scale).
+//!   The engine is `Sync`: lifecycle transitions serialize behind a
+//!   write lock while any number of threads ingest concurrently under a
+//!   read lock.
 //! * `shard` (internal) — reports routed by `user_id % shards` into
-//!   disjoint per-shard state; the lower-triangle ownership rule of the
-//!   in-process ingestion engine extends to out-of-order arrival, so
-//!   shards fold concurrently with **no locks** and merge by row copy.
-//! * [`checkpoint`] — snapshot/resume of an in-flight round: a restart
-//!   mid-epoch resumes with the same duplicate set and finalizes
+//!   disjoint per-shard state behind per-shard locks; the lower-triangle
+//!   ownership rule of the in-process ingestion engine extends to
+//!   out-of-order, multi-session arrival (OR-folds into exclusively
+//!   owned rows commute), so concurrent folds merge by row copy into a
+//!   finalize that is bit-identical however sessions interleave.
+//! * [`checkpoint`] — snapshot/resume of an in-flight round: the
+//!   snapshot quiesces concurrent sessions at a frame boundary, and a
+//!   restart mid-epoch resumes with the same duplicate set and finalizes
 //!   bit-identically to an uninterrupted run.
 //! * [`server`] / [`client`] — the TCP daemon over
 //!   [`std::net::TcpListener`] and its typed client, speaking the
 //!   [`ldp_protocols::wire`] frame codec (length-prefixed frames, varint
-//!   ids, bit-packed rows, versioned handshake).
+//!   ids, bit-packed rows, versioned handshake). The daemon serves up to
+//!   [`CollectorConfig::max_sessions`] connections on parallel session
+//!   threads; the client batches uploads into `REPORT_BATCH` frames and
+//!   offers a `SYNC` barrier for coordinated concurrent uploaders.
 //! * [`bridge`] — [`ServeScenario::serve`] /
 //!   [`WireWorldRunner`]: the `poison-core` scenario engine evaluated
 //!   end-to-end **over the wire**, bit-identical to the in-process path at
@@ -46,7 +55,7 @@ pub mod server;
 pub(crate) mod shard;
 
 pub use bridge::{ServeScenario, WireWorldRunner};
-pub use client::{CollectorClient, DegreeVectorSummary, RoundSummary};
+pub use client::{CollectorClient, DegreeVectorSummary, RoundSummary, DEFAULT_BATCH_REPORTS};
 pub use error::CollectorError;
 pub use round::{
     CollectorConfig, IngestOutcome, RoundChannel, RoundCollector, RoundCounters, RoundOutcome,

@@ -12,12 +12,19 @@
 //!
 //! The engine is transport-agnostic — the TCP daemon
 //! ([`crate::server::CollectorServer`]) drives it frame by frame, tests
-//! drive it directly. Ingestion buffers reports and folds them into the
-//! per-shard aggregates (the internal `shard` module) in batches on the shared
-//! runtime workers; rejected reports (duplicates, quota overruns, malformed
-//! or out-of-range uploads — exactly the attack surface the paper's
-//! Detect1/Detect2 score) are *counted*, never folded, and surfaced in the
-//! close summary.
+//! drive it directly — and, since the ingest plane went concurrent, it is
+//! **`Sync`**: every method takes `&self`. Lifecycle transitions (open,
+//! close, finalize, checkpoint) serialize behind a write lock; report
+//! ingestion takes only a read lock plus the owning shard's mutex, so any
+//! number of session threads fold concurrently. Duplicate-id rejection
+//! lives in the id-sharded seen-bitmaps (race-free by shard ownership),
+//! quota and malformed-upload counters are atomics, and the adjacency
+//! fold is a commutative OR into exclusively-owned words — which is what
+//! makes the finalized view bit-identical regardless of how sessions
+//! interleave. Rejected reports (duplicates, quota overruns, malformed or
+//! out-of-range uploads — exactly the attack surface the paper's
+//! Detect1/Detect2 score) are *counted*, never folded, and surfaced in
+//! the close summary.
 
 use crate::error::CollectorError;
 use crate::shard::{AdjacencyShards, DegreeVectorShards};
@@ -25,12 +32,15 @@ use ldp_graph::runtime::default_threads;
 use ldp_mechanisms::RandomizedResponse;
 use ldp_protocols::ingest::finalize_lower;
 use ldp_protocols::{PerturbedView, UserReport};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct CollectorConfig {
-    /// Shard count: reports are routed by `user_id % shards` and folded
-    /// concurrently, one runtime worker per shard.
+    /// Shard count: reports are routed by `user_id % shards` into
+    /// per-shard state behind per-shard locks, so concurrent sessions
+    /// folding different shards never contend.
     pub shards: usize,
     /// Largest adjacency-round population the collector accepts. The
     /// dense aggregate costs `O(N²/8)` bytes — ≈ 33.5 MB at the default
@@ -52,11 +62,17 @@ pub struct CollectorConfig {
     /// Largest group count of a degree-vector round (bounds both the
     /// per-shard sum vectors and the finalize reply frame).
     pub max_groups: usize,
-    /// Worker cap for shard folds and finalization (further bounded by
-    /// the process-wide [`ldp_graph::runtime::set_thread_cap`]).
+    /// Worker cap for finalization (further bounded by the process-wide
+    /// [`ldp_graph::runtime::set_thread_cap`]).
     pub threads: usize,
-    /// Reports buffered before a shard fold is triggered.
-    pub flush_batch: usize,
+    /// Most TCP sessions the daemon serves concurrently; further accepts
+    /// wait for a slot. Defaults to the runtime worker count, floored at
+    /// 8 so small machines still serve a coordinator plus a handful of
+    /// uploaders at once. Beware setting it below the number of
+    /// *interdependent* concurrent clients (e.g. a coordinator that holds
+    /// its session open while workers stream): the workers would wait for
+    /// a slot the coordinator never frees.
+    pub max_sessions: usize,
 }
 
 impl Default for CollectorConfig {
@@ -67,7 +83,7 @@ impl Default for CollectorConfig {
             max_degree_vector_population: 1 << 24,
             max_groups: 1 << 16,
             threads: default_threads(),
-            flush_batch: 4096,
+            max_sessions: default_threads().max(8),
         }
     }
 }
@@ -79,9 +95,9 @@ impl CollectorConfig {
                 detail: "shards must be positive",
             });
         }
-        if self.flush_batch == 0 {
+        if self.max_sessions == 0 {
             return Err(CollectorError::InvalidConfig {
-                detail: "flush_batch must be positive",
+                detail: "max_sessions must be positive",
             });
         }
         Ok(())
@@ -136,9 +152,11 @@ pub struct RoundCounters {
 /// What a report submission did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestOutcome {
-    /// Queued for the next shard fold (duplicates are still detected at
-    /// fold time and land in the close summary).
+    /// Folded into the owning shard's aggregate.
     Queued,
+    /// Dropped: the user already reported this round (counted in the
+    /// close summary; charges the quota like any queued upload).
+    Duplicate,
     /// Dropped: the round quota is exhausted.
     QuotaExceeded,
     /// Dropped: malformed for this round (id, channel, population, or
@@ -165,11 +183,9 @@ pub(crate) enum Store {
     Adjacency {
         shards: AdjacencyShards,
         p_keep: f64,
-        pending: Vec<(u64, ldp_protocols::AdjacencyReport)>,
     },
     DegreeVector {
         shards: DegreeVectorShards,
-        pending: Vec<(u64, Vec<f64>)>,
     },
 }
 
@@ -177,20 +193,51 @@ pub(crate) struct OpenRound {
     pub(crate) round_id: u64,
     pub(crate) channel: RoundChannel,
     pub(crate) quota: u64,
-    /// Reports queued so far (accepted-to-queue, pre-duplicate-check);
-    /// what the quota is charged against.
-    pub(crate) submitted: u64,
-    pub(crate) rejected_quota: u64,
-    pub(crate) rejected_invalid: u64,
+    /// Reports submitted so far (accepted + duplicates — duplicates are
+    /// charged like any queued upload; invalid reports are refunded);
+    /// what the quota is checked against, atomically so concurrent
+    /// sessions cannot oversubscribe it.
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected_quota: AtomicU64,
+    pub(crate) rejected_invalid: AtomicU64,
+    /// Written only under the engine's write lock; read under the read
+    /// lock, so a close is a quiesce point for every in-flight ingest.
+    pub(crate) closed: AtomicBool,
     pub(crate) store: Store,
-    pub(crate) closed: bool,
 }
 
-/// The transport-agnostic collection engine. One round at a time; see the
-/// module docs for the lifecycle.
+impl OpenRound {
+    fn counters(&self) -> RoundCounters {
+        let (accepted, rejected_duplicate) = match &self.store {
+            Store::Adjacency { shards, .. } => (shards.accepted(), shards.duplicates()),
+            Store::DegreeVector { shards } => (shards.accepted(), shards.duplicates()),
+        };
+        RoundCounters {
+            accepted,
+            rejected_duplicate,
+            rejected_quota: self.rejected_quota.load(Ordering::Acquire),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// The transport-agnostic collection engine. One round at a time, any
+/// number of ingesting threads; see the module docs for the lifecycle
+/// and the locking discipline.
 pub struct RoundCollector {
     config: CollectorConfig,
-    pub(crate) round: Option<OpenRound>,
+    pub(crate) round: RwLock<Option<OpenRound>>,
+}
+
+/// Shard folds never panic on the validated inputs the engine hands
+/// them, so a poisoned engine lock (a panicking session thread) is
+/// recovered rather than cascaded.
+fn read_round(lock: &RwLock<Option<OpenRound>>) -> RwLockReadGuard<'_, Option<OpenRound>> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_round(lock: &RwLock<Option<OpenRound>>) -> RwLockWriteGuard<'_, Option<OpenRound>> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl RoundCollector {
@@ -203,13 +250,13 @@ impl RoundCollector {
     /// Creates an engine with the given configuration.
     ///
     /// # Errors
-    /// [`CollectorError::InvalidConfig`] on a zero shard count or flush
-    /// batch.
+    /// [`CollectorError::InvalidConfig`] on a zero shard count or session
+    /// cap.
     pub fn new(config: CollectorConfig) -> Result<Self, CollectorError> {
         config.validate()?;
         Ok(RoundCollector {
             config,
-            round: None,
+            round: RwLock::new(None),
         })
     }
 
@@ -220,7 +267,7 @@ impl RoundCollector {
 
     /// Id of the currently open round, if any.
     pub fn open_round_id(&self) -> Option<u64> {
-        self.round.as_ref().map(|r| r.round_id)
+        read_round(&self.round).as_ref().map(|r| r.round_id)
     }
 
     /// Opens a round. `quota` bounds how many reports the round will even
@@ -231,12 +278,13 @@ impl RoundCollector {
     /// [`CollectorError::PopulationCap`] if an adjacency round's dense
     /// aggregate would exceed the configured memory cap.
     pub fn open_round(
-        &mut self,
+        &self,
         round_id: u64,
         channel: RoundChannel,
         quota: Option<u64>,
     ) -> Result<(), CollectorError> {
-        if let Some(open) = &self.round {
+        let mut guard = write_round(&self.round);
+        if let Some(open) = guard.as_ref() {
             return Err(CollectorError::RoundAlreadyOpen {
                 round_id: open.round_id,
             });
@@ -265,7 +313,6 @@ impl RoundCollector {
                 Store::Adjacency {
                     shards: AdjacencyShards::new(population, self.config.shards),
                     p_keep,
-                    pending: Vec::new(),
                 }
             }
             RoundChannel::DegreeVector { population, groups } => {
@@ -287,151 +334,139 @@ impl RoundCollector {
                 }
                 Store::DegreeVector {
                     shards: DegreeVectorShards::new(population, groups, self.config.shards),
-                    pending: Vec::new(),
                 }
             }
         };
-        self.round = Some(OpenRound {
+        *guard = Some(OpenRound {
             round_id,
             channel,
             quota: quota.unwrap_or(n as u64),
-            submitted: 0,
-            rejected_quota: 0,
-            rejected_invalid: 0,
+            submitted: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
             store,
-            closed: false,
         });
         Ok(())
     }
 
-    /// Submits one report to the open round.
+    /// Submits one report to the open round, folding it into the owning
+    /// shard immediately. Safe to call from any number of threads at
+    /// once: the engine lock is only read-held, and the fold serializes
+    /// on the one shard that owns the id.
     ///
-    /// Malformed or over-quota reports are *counted and dropped* (the
-    /// stream goes on — one bad upload must not stall a million good
-    /// ones); only a missing round is a hard error.
+    /// Malformed, duplicate, or over-quota reports are *counted and
+    /// dropped* (the stream goes on — one bad upload must not stall a
+    /// million good ones); only a missing round is a hard error.
     ///
     /// # Errors
     /// [`CollectorError::NoOpenRound`] when no round is open or intake is
     /// already closed.
     pub fn ingest(
-        &mut self,
+        &self,
         user_id: u64,
         report: UserReport,
     ) -> Result<IngestOutcome, CollectorError> {
-        let flush_batch = self.config.flush_batch;
-        let threads = self.config.threads;
-        let round = self.round.as_mut().ok_or(CollectorError::NoOpenRound)?;
-        if round.closed {
+        self.ingest_ref(user_id, &report)
+    }
+
+    /// [`Self::ingest`] from a borrow — the fold copies out of the
+    /// report, so the daemon's decode buffer can be reused frame over
+    /// frame.
+    ///
+    /// # Errors
+    /// As [`Self::ingest`].
+    pub fn ingest_ref(
+        &self,
+        user_id: u64,
+        report: &UserReport,
+    ) -> Result<IngestOutcome, CollectorError> {
+        let guard = read_round(&self.round);
+        let round = guard.as_ref().ok_or(CollectorError::NoOpenRound)?;
+        if round.closed.load(Ordering::Acquire) {
             return Err(CollectorError::NoOpenRound);
         }
-        let n = round.channel.population() as u64;
-        if round.submitted >= round.quota {
-            round.rejected_quota += 1;
+        // Charge one queued slot atomically; refund if the report turns
+        // out malformed (invalid uploads never consume quota, matching
+        // the sequential engine's check order).
+        if round
+            .submitted
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| {
+                (s < round.quota).then_some(s + 1)
+            })
+            .is_err()
+        {
+            round.rejected_quota.fetch_add(1, Ordering::AcqRel);
             return Ok(IngestOutcome::QuotaExceeded);
         }
-        if user_id >= n {
-            round.rejected_invalid += 1;
-            return Ok(IngestOutcome::Invalid);
+        let refund_invalid = || {
+            round.submitted.fetch_sub(1, Ordering::AcqRel);
+            round.rejected_invalid.fetch_add(1, Ordering::AcqRel);
+            Ok(IngestOutcome::Invalid)
+        };
+        let n = round.channel.population();
+        if user_id >= n as u64 {
+            return refund_invalid();
         }
-        match (&mut round.store, report) {
-            (
-                Store::Adjacency {
-                    pending, shards, ..
-                },
-                UserReport::Adjacency(r),
-            ) => {
-                if r.population() != round.channel.population() {
-                    round.rejected_invalid += 1;
-                    return Ok(IngestOutcome::Invalid);
+        let folded = match (&round.store, report) {
+            (Store::Adjacency { shards, .. }, UserReport::Adjacency(r)) => {
+                if r.population() != n {
+                    return refund_invalid();
                 }
-                pending.push((user_id, r));
-                round.submitted += 1;
-                if pending.len() >= flush_batch {
-                    let batch = std::mem::take(pending);
-                    shards.fold_batch(&batch, threads);
-                }
+                shards.fold_one(user_id as usize, r)
             }
-            (Store::DegreeVector { pending, shards }, UserReport::DegreeVector(v)) => {
+            (Store::DegreeVector { shards }, UserReport::DegreeVector(v)) => {
                 if v.len() != shards.groups() {
-                    round.rejected_invalid += 1;
-                    return Ok(IngestOutcome::Invalid);
+                    return refund_invalid();
                 }
-                pending.push((user_id, v));
-                round.submitted += 1;
-                if pending.len() >= flush_batch {
-                    let batch = std::mem::take(pending);
-                    shards.fold_batch(&batch, threads);
-                }
+                shards.fold_one(user_id as usize, v)
             }
-            _ => {
-                round.rejected_invalid += 1;
-                return Ok(IngestOutcome::Invalid);
-            }
-        }
-        Ok(IngestOutcome::Queued)
+            _ => return refund_invalid(),
+        };
+        Ok(match folded {
+            Ok(()) => IngestOutcome::Queued,
+            Err(_) => IngestOutcome::Duplicate,
+        })
     }
 
     /// Counts a report that failed wire decoding against the open round
     /// (the daemon calls this so malformed frames land in the summary).
-    pub fn note_invalid(&mut self) {
-        if let Some(round) = &mut self.round {
-            round.rejected_invalid += 1;
+    pub fn note_invalid(&self) {
+        if let Some(round) = read_round(&self.round).as_ref() {
+            round.rejected_invalid.fetch_add(1, Ordering::AcqRel);
         }
     }
 
-    /// Folds everything still buffered.
-    pub(crate) fn flush(&mut self) {
-        let threads = self.config.threads;
-        if let Some(round) = &mut self.round {
-            match &mut round.store {
-                Store::Adjacency {
-                    pending, shards, ..
-                } => {
-                    if !pending.is_empty() {
-                        let batch = std::mem::take(pending);
-                        shards.fold_batch(&batch, threads);
-                    }
-                }
-                Store::DegreeVector { pending, shards } => {
-                    if !pending.is_empty() {
-                        let batch = std::mem::take(pending);
-                        shards.fold_batch(&batch, threads);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Current intake counters (flushes buffered reports first so
-    /// duplicate counts are exact).
+    /// Current intake counters. Exact at any moment — ingestion folds
+    /// directly, so there is no buffered tail to flush.
     ///
     /// # Errors
     /// [`CollectorError::NoOpenRound`] when no round is open.
-    pub fn counters(&mut self) -> Result<RoundCounters, CollectorError> {
-        self.flush();
-        let round = self.round.as_ref().ok_or(CollectorError::NoOpenRound)?;
-        let (accepted, duplicates) = match &round.store {
-            Store::Adjacency { shards, .. } => (shards.accepted(), shards.duplicates()),
-            Store::DegreeVector { shards, .. } => (shards.accepted(), shards.duplicates()),
-        };
-        Ok(RoundCounters {
-            accepted,
-            rejected_duplicate: duplicates,
-            rejected_quota: round.rejected_quota,
-            rejected_invalid: round.rejected_invalid,
-        })
+    pub fn counters(&self) -> Result<RoundCounters, CollectorError> {
+        let guard = read_round(&self.round);
+        let round = guard.as_ref().ok_or(CollectorError::NoOpenRound)?;
+        Ok(round.counters())
     }
 
     /// Closes intake on the open round and returns the final counters.
+    /// Takes the engine write lock, so every in-flight ingest completes
+    /// or is refused before the summary is computed — the summary can
+    /// never miss a concurrently folding report.
     ///
     /// # Errors
     /// [`CollectorError::NoOpenRound`] / [`CollectorError::RoundMismatch`]
     /// on lifecycle misuse.
-    pub fn close_round(&mut self, round_id: u64) -> Result<RoundCounters, CollectorError> {
-        self.check_round(round_id)?;
-        let counters = self.counters()?;
-        self.round.as_mut().expect("checked above").closed = true;
-        Ok(counters)
+    pub fn close_round(&self, round_id: u64) -> Result<RoundCounters, CollectorError> {
+        let mut guard = write_round(&self.round);
+        let round = guard.as_mut().ok_or(CollectorError::NoOpenRound)?;
+        if round.round_id != round_id {
+            return Err(CollectorError::RoundMismatch {
+                expected: round.round_id,
+                got: round_id,
+            });
+        }
+        round.closed.store(true, Ordering::Release);
+        Ok(round.counters())
     }
 
     /// Finalizes the closed round into its aggregate, consuming the round
@@ -440,14 +475,19 @@ impl RoundCollector {
     /// # Errors
     /// [`CollectorError::RoundIncomplete`] while reports are outstanding,
     /// plus the lifecycle errors of [`Self::close_round`].
-    pub fn finalize(&mut self, round_id: u64) -> Result<RoundOutcome, CollectorError> {
-        self.check_round(round_id)?;
-        self.flush();
-        let round = self.round.as_ref().expect("checked above");
+    pub fn finalize(&self, round_id: u64) -> Result<RoundOutcome, CollectorError> {
+        let mut guard = write_round(&self.round);
+        let round = guard.as_ref().ok_or(CollectorError::NoOpenRound)?;
+        if round.round_id != round_id {
+            return Err(CollectorError::RoundMismatch {
+                expected: round.round_id,
+                got: round_id,
+            });
+        }
         let n = round.channel.population();
         let accepted = match &round.store {
             Store::Adjacency { shards, .. } => shards.accepted(),
-            Store::DegreeVector { shards, .. } => shards.accepted(),
+            Store::DegreeVector { shards } => shards.accepted(),
         };
         if accepted != n as u64 {
             return Err(CollectorError::RoundIncomplete {
@@ -455,9 +495,9 @@ impl RoundCollector {
                 accepted,
             });
         }
-        let round = self.round.take().expect("checked above");
+        let round = guard.take().expect("checked above");
         match round.store {
-            Store::Adjacency { shards, p_keep, .. } => {
+            Store::Adjacency { shards, p_keep } => {
                 let (matrix, degrees) = shards.merge();
                 let rr =
                     RandomizedResponse::from_keep_probability(p_keep).expect("validated at open");
@@ -468,22 +508,11 @@ impl RoundCollector {
                     self.config.threads,
                 )))
             }
-            Store::DegreeVector { shards, .. } => Ok(RoundOutcome::DegreeVector {
+            Store::DegreeVector { shards } => Ok(RoundOutcome::DegreeVector {
                 group_totals: shards.group_totals(),
                 accepted,
             }),
         }
-    }
-
-    fn check_round(&self, round_id: u64) -> Result<(), CollectorError> {
-        let round = self.round.as_ref().ok_or(CollectorError::NoOpenRound)?;
-        if round.round_id != round_id {
-            return Err(CollectorError::RoundMismatch {
-                expected: round.round_id,
-                got: round_id,
-            });
-        }
-        Ok(())
     }
 }
 
@@ -511,9 +540,8 @@ mod tests {
         let base = Xoshiro256pp::new(11);
         let reports = proto.collect_honest(&g, &base);
 
-        let mut engine = RoundCollector::new(CollectorConfig {
+        let engine = RoundCollector::new(CollectorConfig {
             shards: 5,
-            flush_batch: 7,
             ..CollectorConfig::default()
         })
         .unwrap();
@@ -564,9 +592,79 @@ mod tests {
         }
     }
 
+    /// The tentpole pin at the engine tier: four threads ingesting
+    /// interleaved id slices — with one slice replayed by every thread,
+    /// so duplicate races are live — finalize bit-identical to one
+    /// thread ingesting sequentially.
+    #[test]
+    fn concurrent_ingest_finalizes_bit_identical_to_sequential() {
+        let g = caveman_graph(7, 9);
+        let n = g.num_nodes();
+        let proto = LfGdpr::new(4.0).unwrap();
+        let reports = proto.collect_honest(&g, &Xoshiro256pp::new(23));
+
+        let run = |threads: usize| {
+            let engine = RoundCollector::new(CollectorConfig {
+                shards: 8,
+                ..CollectorConfig::default()
+            })
+            .unwrap();
+            engine
+                .open_round(
+                    9,
+                    RoundChannel::Adjacency {
+                        population: n,
+                        p_keep: proto.p_keep(),
+                    },
+                    // Room for the duplicate replays (dups charge quota).
+                    Some(4 * n as u64),
+                )
+                .unwrap();
+            if threads <= 1 {
+                for (i, r) in reports.iter().enumerate() {
+                    engine
+                        .ingest(i as u64, UserReport::Adjacency(r.clone()))
+                        .unwrap();
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let engine = &engine;
+                        let reports = &reports;
+                        scope.spawn(move || {
+                            for (i, r) in reports.iter().enumerate() {
+                                // Own slice, plus everyone replays slice 0.
+                                if i % threads == t || i % threads == 0 {
+                                    engine
+                                        .ingest(i as u64, UserReport::Adjacency(r.clone()))
+                                        .unwrap();
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+            let counters = engine.close_round(9).unwrap();
+            assert_eq!(counters.accepted, n as u64);
+            let RoundOutcome::Adjacency(view) = engine.finalize(9).unwrap() else {
+                panic!("adjacency round expected");
+            };
+            (counters, view)
+        };
+
+        let (_, reference) = run(1);
+        let (counters, view) = run(4);
+        assert_eq!(counters.rejected_duplicate, 3 * (n as u64).div_ceil(4));
+        assert_eq!(view.matrix(), reference.matrix());
+        assert_eq!(view.reported_degrees(), reference.reported_degrees());
+        for u in 0..n {
+            assert_eq!(view.perturbed_degree(u), reference.perturbed_degree(u));
+        }
+    }
+
     #[test]
     fn lifecycle_misuse_is_typed() {
-        let mut engine = RoundCollector::new(CollectorConfig::default()).unwrap();
+        let engine = RoundCollector::new(CollectorConfig::default()).unwrap();
         assert!(matches!(
             engine.ingest(0, UserReport::DegreeVector(vec![])),
             Err(CollectorError::NoOpenRound)
@@ -604,11 +702,7 @@ mod tests {
 
     #[test]
     fn quota_duplicates_and_invalids_are_counted_not_fatal() {
-        let mut engine = RoundCollector::new(CollectorConfig {
-            flush_batch: 2,
-            ..CollectorConfig::default()
-        })
-        .unwrap();
+        let engine = RoundCollector::new(CollectorConfig::default()).unwrap();
         engine.open_round(1, adjacency_channel(3), Some(5)).unwrap();
         // Out-of-range id.
         assert_eq!(
@@ -637,12 +731,18 @@ mod tests {
                 .ingest(i, UserReport::Adjacency(report(3, i as f64)))
                 .unwrap();
         }
-        engine
-            .ingest(1, UserReport::Adjacency(report(3, 9.0)))
-            .unwrap();
-        engine
-            .ingest(2, UserReport::Adjacency(report(3, 9.0)))
-            .unwrap();
+        assert_eq!(
+            engine
+                .ingest(1, UserReport::Adjacency(report(3, 9.0)))
+                .unwrap(),
+            IngestOutcome::Duplicate
+        );
+        assert_eq!(
+            engine
+                .ingest(2, UserReport::Adjacency(report(3, 9.0)))
+                .unwrap(),
+            IngestOutcome::Duplicate
+        );
         // Quota exhausted now.
         assert_eq!(
             engine
@@ -663,7 +763,7 @@ mod tests {
 
     #[test]
     fn oversize_population_is_refused_with_the_memory_math() {
-        let mut engine = RoundCollector::new(CollectorConfig::default()).unwrap();
+        let engine = RoundCollector::new(CollectorConfig::default()).unwrap();
         let err = engine
             .open_round(
                 1,
@@ -693,7 +793,7 @@ mod tests {
     fn raised_cap_is_still_bounded_by_the_wire_frame() {
         // An operator raising max_population past what a finalize reply
         // can carry must be refused at open, not stranded at finalize.
-        let mut engine = RoundCollector::new(CollectorConfig {
+        let engine = RoundCollector::new(CollectorConfig {
             max_population: usize::MAX,
             ..CollectorConfig::default()
         })
@@ -723,7 +823,7 @@ mod tests {
 
     #[test]
     fn hostile_degree_vector_opens_are_refused_not_allocated() {
-        let mut engine = RoundCollector::new(CollectorConfig::default()).unwrap();
+        let engine = RoundCollector::new(CollectorConfig::default()).unwrap();
         // 2^50 users: would be ~140 TB of seen-bitmaps if allocated.
         assert!(matches!(
             engine.open_round(
@@ -763,7 +863,7 @@ mod tests {
 
     #[test]
     fn degree_vector_round_finalizes_totals() {
-        let mut engine = RoundCollector::new(CollectorConfig::default()).unwrap();
+        let engine = RoundCollector::new(CollectorConfig::default()).unwrap();
         engine
             .open_round(
                 7,
@@ -802,12 +902,12 @@ mod tests {
         ));
         assert!(matches!(
             RoundCollector::new(CollectorConfig {
-                flush_batch: 0,
+                max_sessions: 0,
                 ..CollectorConfig::default()
             }),
             Err(CollectorError::InvalidConfig { .. })
         ));
-        let mut ok = RoundCollector::new(CollectorConfig::default()).unwrap();
+        let ok = RoundCollector::new(CollectorConfig::default()).unwrap();
         assert!(matches!(
             ok.open_round(
                 1,

@@ -1,11 +1,18 @@
 //! The collection daemon: a TCP front-end over the round engine.
 //!
 //! One [`CollectorServer`] owns a [`std::net::TcpListener`] and a
-//! [`RoundCollector`]; sessions are served sequentially (collection rounds
-//! are single-writer epochs — the parallelism that matters is *inside* the
-//! engine's shard folds, which run on the [`ldp_graph::runtime`] workers).
-//! Each session speaks the frame protocol below over the
-//! [`ldp_protocols::wire`] codec.
+//! [`RoundCollector`]; each accepted connection is served on its **own
+//! session thread**, bounded by
+//! [`CollectorConfig::max_sessions`](crate::CollectorConfig::max_sessions)
+//! — the concurrent ingest plane. Round lifecycle transitions (`OPEN`,
+//! `CLOSE`, `FINALIZE`, `CHECKPOINT`) serialize behind the engine's write
+//! lock; `REPORT`/`REPORT_BATCH` ingestion from any number of sessions
+//! folds concurrently into id-sharded state, and the finalized view is
+//! bit-identical however the sessions interleave (OR-folds into
+//! exclusively-owned rows commute). Each session speaks the frame
+//! protocol below over the [`ldp_protocols::wire`] codec, with
+//! `TCP_NODELAY` and a buffered reply writer on both ends of the socket
+//! so control-frame round-trips never pay Nagle delays.
 //!
 //! ## Frame protocol
 //!
@@ -17,16 +24,22 @@
 //! | `FINALIZE` `0x04` | c→s | round id |
 //! | `CHECKPOINT` `0x05` | c→s | empty (snapshots to the configured path) |
 //! | `SHUTDOWN` `0x06` | c→s | empty; stops the accept loop |
+//! | `REPORT_BATCH` `0x07` | c→s | varint count + length-prefixed reports (no ack) |
+//! | `SYNC` `0x08` | c→s | empty; acked once every prior frame of this session is ingested |
 //! | `ACK` `0x81` | s→c | empty |
 //! | `ERR` `0x82` | s→c | code byte + message |
 //! | `SUMMARY` `0x83` | s→c | intake counters + outstanding count |
 //! | `VIEW` `0x84` | s→c | a finalized [`PerturbedView`](ldp_protocols::PerturbedView) |
 //! | `DEGREE_SUMMARY` `0x85` | s→c | group totals + accepted count |
 //!
-//! `REPORT` frames are deliberately unacknowledged — per-report
-//! round-trips would cap throughput at the RTT; rejects (duplicates,
-//! quota, malformed) are counted and returned in the `CLOSE` summary,
-//! which is also where a poisoning analyst reads the attack surface.
+//! `REPORT` and `REPORT_BATCH` frames are deliberately unacknowledged —
+//! per-report round-trips would cap throughput at the RTT; rejects
+//! (duplicates, quota, malformed) are counted and returned in the `CLOSE`
+//! summary, which is also where a poisoning analyst reads the attack
+//! surface. `SYNC` is the barrier concurrent uploaders use: a session's
+//! frames are processed in order, so its `ACK` proves every report this
+//! session sent is folded — the coordinator can then `CLOSE` without
+//! racing the uploaders' socket buffers.
 
 use crate::error::CollectorError;
 use crate::round::{CollectorConfig, RoundChannel, RoundCollector, RoundOutcome};
@@ -36,7 +49,9 @@ use ldp_protocols::wire::{
 };
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Frame kind bytes of the collection protocol.
 pub mod frames {
@@ -52,6 +67,12 @@ pub mod frames {
     pub const CHECKPOINT: u8 = 0x05;
     /// Client → server: stop the daemon after this session.
     pub const SHUTDOWN: u8 = 0x06;
+    /// Client → server: a batch of length-prefixed reports
+    /// (unacknowledged).
+    pub const REPORT_BATCH: u8 = 0x07;
+    /// Client → server: barrier — acked once every prior frame of this
+    /// session has been ingested.
+    pub const SYNC: u8 = 0x08;
     /// Server → client: success, no payload.
     pub const ACK: u8 = 0x81;
     /// Server → client: refusal, code + message.
@@ -106,6 +127,58 @@ fn error_code(e: &CollectorError) -> u8 {
     }
 }
 
+/// Counting gate bounding the number of live session threads.
+struct SessionGate {
+    max: usize,
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl SessionGate {
+    fn new(max: usize) -> Self {
+        SessionGate {
+            max: max.max(1),
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a session slot is free, then claims it.
+    fn acquire(&self) {
+        let mut active = self
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *active >= self.max {
+            active = self
+                .freed
+                .wait(active)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *active += 1;
+    }
+
+    fn release(&self) {
+        let mut active = self
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *active -= 1;
+        drop(active);
+        self.freed.notify_one();
+    }
+}
+
+/// Releases the session slot when the session thread ends, however it
+/// ends.
+struct SessionSlot<'a>(&'a SessionGate);
+
+impl Drop for SessionSlot<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
 /// The TCP collection daemon.
 pub struct CollectorServer {
     listener: TcpListener,
@@ -140,25 +213,54 @@ impl CollectorServer {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Accepts and serves sessions until a client sends `SHUTDOWN`.
-    /// Session-level failures (a peer speaking garbage) end that session
-    /// and the daemon keeps accepting; only listener failures propagate.
+    /// Accepts sessions until a client sends `SHUTDOWN`, serving each on
+    /// its own thread — up to
+    /// [`CollectorConfig::max_sessions`](crate::CollectorConfig::max_sessions)
+    /// at once; further accepts wait for a slot. Session-level failures
+    /// (a peer speaking garbage) end that session and the daemon keeps
+    /// accepting; only listener failures propagate. Returns once the
+    /// shutdown is observed **and** every in-flight session has finished.
     ///
     /// # Errors
     /// Accept failures on the listener.
     pub fn serve(&mut self) -> Result<(), CollectorError> {
-        loop {
-            let (stream, _) = self.listener.accept()?;
-            match self.session(stream) {
-                Ok(true) => return Ok(()),
-                Ok(false) => {}
-                Err(_) => {
-                    // A poisoned session must not take the daemon down;
-                    // the engine state stays consistent (rejects are
-                    // already counted, lifecycle errors were refused).
-                }
-            }
+        let engine = &self.engine;
+        let checkpoint_path = self.checkpoint_path.as_deref();
+        let listener = &self.listener;
+        // The shutdown wake-up connects to ourselves; a wildcard bind
+        // (0.0.0.0 / ::) is not connectable on every platform, so aim
+        // the wake at loopback on the bound port instead.
+        let mut wake_addr = self.local_addr()?;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
         }
+        let gate = SessionGate::new(engine.config().max_sessions);
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|scope| -> Result<(), CollectorError> {
+            loop {
+                let (stream, _) = listener.accept()?;
+                if shutdown.load(Ordering::Acquire) {
+                    // Woken (or raced) by a shutting-down session; the
+                    // scope joins the in-flight sessions on the way out.
+                    return Ok(());
+                }
+                gate.acquire();
+                let gate = &gate;
+                let shutdown = &shutdown;
+                scope.spawn(move || {
+                    let _slot = SessionSlot(gate);
+                    if let Ok(true) = session(stream, engine, checkpoint_path) {
+                        shutdown.store(true, Ordering::Release);
+                        // Unblock the accept loop so it can observe the
+                        // flag; the throwaway connection is dropped there.
+                        let _ = TcpStream::connect(wake_addr);
+                    }
+                });
+            }
+        })
     }
 
     /// Binds to a loopback ephemeral port and serves on a background
@@ -202,105 +304,139 @@ impl CollectorServer {
         let handle = std::thread::spawn(move || server.serve());
         Ok((addr, handle))
     }
+}
 
-    /// Serves one connection; `Ok(true)` means shutdown was requested.
-    fn session(&mut self, stream: TcpStream) -> Result<bool, CollectorError> {
-        stream.set_nodelay(true)?;
-        let mut reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
-        let mut writer = BufWriter::with_capacity(1 << 16, stream);
-        read_stream_header(&mut reader)?;
-        write_stream_header(&mut writer)?;
-        writer.flush()?;
+/// Serves one connection; `Ok(true)` means shutdown was requested.
+fn session(
+    stream: TcpStream,
+    engine: &RoundCollector,
+    checkpoint_path: Option<&Path>,
+) -> Result<bool, CollectorError> {
+    // Socket tuning symmetric with the client: no Nagle delay on control
+    // replies, and a buffered writer so multi-field replies leave as one
+    // segment.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
+    let mut writer = BufWriter::with_capacity(1 << 16, stream);
+    read_stream_header(&mut reader)?;
+    write_stream_header(&mut writer)?;
+    writer.flush()?;
 
-        let mut payload = Vec::new();
-        let mut reply = Vec::new();
-        loop {
-            let kind = match read_frame(&mut reader, &mut payload)? {
-                Some(kind) => kind,
-                None => return Ok(false), // clean disconnect
-            };
-            reply.clear();
-            let result: Result<u8, CollectorError> = match kind {
-                frames::OPEN => decode_open(&payload)
-                    .and_then(|(id, channel, quota)| self.engine.open_round(id, channel, quota))
-                    .map(|()| frames::ACK),
-                frames::REPORT => {
-                    match wire::decode_report(&payload) {
-                        Ok((user_id, report)) => {
-                            // Lifecycle errors (no open round) are silent
-                            // drops here by design: the client learns from
-                            // the close summary, and a flood of misdirected
-                            // reports cannot force a write per frame.
-                            if self.engine.ingest(user_id, report).is_err() {
-                                self.engine.note_invalid();
-                            }
+    let mut payload = Vec::new();
+    let mut reply = Vec::new();
+    loop {
+        let kind = match read_frame(&mut reader, &mut payload)? {
+            Some(kind) => kind,
+            None => return Ok(false), // clean disconnect
+        };
+        reply.clear();
+        let result: Result<u8, CollectorError> = match kind {
+            frames::OPEN => decode_open(&payload)
+                .and_then(|(id, channel, quota)| engine.open_round(id, channel, quota))
+                .map(|()| frames::ACK),
+            frames::REPORT => {
+                match wire::decode_report(&payload) {
+                    Ok((user_id, report)) => {
+                        // Lifecycle errors (no open round) are silent
+                        // drops here by design: the client learns from
+                        // the close summary, and a flood of misdirected
+                        // reports cannot force a write per frame.
+                        if engine.ingest_ref(user_id, &report).is_err() {
+                            engine.note_invalid();
                         }
-                        Err(_) => self.engine.note_invalid(),
                     }
-                    continue; // unacknowledged
+                    Err(_) => engine.note_invalid(),
                 }
-                frames::CLOSE => decode_round_id(&payload)
-                    .and_then(|id| self.engine.close_round(id))
-                    .map(|counters| {
-                        put_varint(counters.accepted, &mut reply);
-                        put_varint(counters.rejected_duplicate, &mut reply);
-                        put_varint(counters.rejected_quota, &mut reply);
-                        put_varint(counters.rejected_invalid, &mut reply);
-                        frames::SUMMARY
-                    }),
-                frames::FINALIZE => decode_round_id(&payload)
-                    .and_then(|id| self.engine.finalize(id))
-                    .map(|outcome| match outcome {
-                        RoundOutcome::Adjacency(view) => {
-                            wire::encode_view(&view, &mut reply);
-                            frames::VIEW
-                        }
-                        RoundOutcome::DegreeVector {
-                            group_totals,
-                            accepted,
-                        } => {
-                            put_varint(accepted, &mut reply);
-                            put_varint(group_totals.len() as u64, &mut reply);
-                            for &t in &group_totals {
-                                put_f64(t, &mut reply);
-                            }
-                            frames::DEGREE_SUMMARY
-                        }
-                    }),
-                frames::CHECKPOINT => self.checkpoint_to_path().map(|()| frames::ACK),
-                frames::SHUTDOWN => {
-                    write_frame(&mut writer, frames::ACK, &[])?;
-                    writer.flush()?;
-                    return Ok(true);
-                }
-                kind => Err(CollectorError::UnexpectedFrame { kind }),
-            };
-            match result {
-                Ok(reply_kind) => write_frame(&mut writer, reply_kind, &reply)?,
-                Err(e) => {
-                    reply.clear();
-                    reply.push(error_code(&e));
-                    let message = e.to_string();
-                    put_varint(message.len() as u64, &mut reply);
-                    reply.extend_from_slice(message.as_bytes());
-                    write_frame(&mut writer, frames::ERR, &reply)?;
-                }
+                continue; // unacknowledged
             }
-            writer.flush()?;
+            frames::REPORT_BATCH => {
+                match wire::read_report_batch(&payload) {
+                    Ok(mut batch) => {
+                        while let Some(entry) = batch.next_entry() {
+                            match entry {
+                                Ok((user_id, report)) => {
+                                    if engine.ingest_ref(user_id, &report).is_err() {
+                                        engine.note_invalid();
+                                    }
+                                }
+                                // A malformed entry is isolated by its
+                                // length prefix; the rest of the batch
+                                // still folds.
+                                Err(_) => engine.note_invalid(),
+                            }
+                        }
+                        if batch.finish().is_err() {
+                            engine.note_invalid();
+                        }
+                    }
+                    Err(_) => engine.note_invalid(),
+                }
+                continue; // unacknowledged
+            }
+            frames::SYNC => {
+                // Frames are processed in order, so reaching here proves
+                // every prior report of this session is folded.
+                wire::expect_end(&payload)
+                    .map(|()| frames::ACK)
+                    .map_err(CollectorError::Wire)
+            }
+            frames::CLOSE => decode_round_id(&payload)
+                .and_then(|id| engine.close_round(id))
+                .map(|counters| {
+                    put_varint(counters.accepted, &mut reply);
+                    put_varint(counters.rejected_duplicate, &mut reply);
+                    put_varint(counters.rejected_quota, &mut reply);
+                    put_varint(counters.rejected_invalid, &mut reply);
+                    frames::SUMMARY
+                }),
+            frames::FINALIZE => decode_round_id(&payload)
+                .and_then(|id| engine.finalize(id))
+                .map(|outcome| match outcome {
+                    RoundOutcome::Adjacency(view) => {
+                        wire::encode_view(&view, &mut reply);
+                        frames::VIEW
+                    }
+                    RoundOutcome::DegreeVector {
+                        group_totals,
+                        accepted,
+                    } => {
+                        put_varint(accepted, &mut reply);
+                        put_varint(group_totals.len() as u64, &mut reply);
+                        for &t in &group_totals {
+                            put_f64(t, &mut reply);
+                        }
+                        frames::DEGREE_SUMMARY
+                    }
+                }),
+            frames::CHECKPOINT => checkpoint_to_path(engine, checkpoint_path).map(|()| frames::ACK),
+            frames::SHUTDOWN => {
+                write_frame(&mut writer, frames::ACK, &[])?;
+                writer.flush()?;
+                return Ok(true);
+            }
+            kind => Err(CollectorError::UnexpectedFrame { kind }),
+        };
+        match result {
+            Ok(reply_kind) => write_frame(&mut writer, reply_kind, &reply)?,
+            Err(e) => {
+                reply.clear();
+                reply.push(error_code(&e));
+                let message = e.to_string();
+                put_varint(message.len() as u64, &mut reply);
+                reply.extend_from_slice(message.as_bytes());
+                write_frame(&mut writer, frames::ERR, &reply)?;
+            }
         }
+        writer.flush()?;
     }
+}
 
-    fn checkpoint_to_path(&mut self) -> Result<(), CollectorError> {
-        let path = self
-            .checkpoint_path
-            .as_ref()
-            .ok_or(CollectorError::BadCheckpoint {
-                detail: "daemon has no checkpoint path configured",
-            })?
-            .clone();
-        let mut file = std::fs::File::create(path)?;
-        self.engine.checkpoint(&mut file)
-    }
+fn checkpoint_to_path(engine: &RoundCollector, path: Option<&Path>) -> Result<(), CollectorError> {
+    let path = path.ok_or(CollectorError::BadCheckpoint {
+        detail: "daemon has no checkpoint path configured",
+    })?;
+    let mut file = std::fs::File::create(path)?;
+    engine.checkpoint(&mut file)
 }
 
 fn decode_open(payload: &[u8]) -> Result<(u64, RoundChannel, Option<u64>), CollectorError> {

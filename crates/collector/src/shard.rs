@@ -1,15 +1,16 @@
-//! Per-shard aggregation state: the lock-free heart of the collector.
+//! Per-shard aggregation state: the id-sharded heart of the collector.
 //!
 //! Reports arriving over the wire carry explicit user ids and arrive in
-//! *arbitrary* order — unlike the in-process
-//! [`StreamingAggregator`](ldp_protocols::StreamingAggregator), which
-//! requires id-ordered batches. The lower-triangle ownership rule still
-//! saves the day: report `i` writes only the owned words of row `i`, so
-//! partitioning rows by `user_id % shards` gives every shard an exclusive,
-//! disjoint slice of the aggregate. Shards fold concurrently on the
-//! [`ldp_graph::runtime`] workers with **no locks and no atomics**, and
-//! merging at finalize is a straight row copy — the shard states never
-//! overlap.
+//! *arbitrary* order — and, since the ingest plane went concurrent, from
+//! *multiple session threads at once*. The lower-triangle ownership rule
+//! still saves the day: report `i` writes only the owned words of row `i`,
+//! so partitioning rows by `user_id % shards` gives every shard an
+//! exclusive, disjoint slice of the aggregate. Each shard sits behind its
+//! own mutex; a session folds a report by locking exactly the one shard
+//! that owns the id, so sessions touching different shards never contend
+//! and the duplicate-id check (the shard's seen-bitmap) is race-free by
+//! ownership. Merging at finalize is a straight row copy — the shard
+//! states never overlap.
 //!
 //! Adjacency shards store their rows *triangularly packed*: row `i` is
 //! allotted exactly its `⌈i/64⌉` owned words, so the whole shard set costs
@@ -18,19 +19,39 @@
 //! sums — `O(groups)` per shard, which is what lets a million-user
 //! degree-vector round run in constant aggregate memory.
 //!
-//! Everything here is deterministic: a shard folds its reports in arrival
-//! order, shard merges walk shards in index order, and the bit pattern of
-//! an adjacency fold is arrival-order-independent by construction (OR into
-//! zeroed words, each row written by exactly one report).
+//! Determinism under concurrency: an adjacency fold ORs a report's owned
+//! words into zeroed, exclusively-owned storage — a commutative,
+//! first-write-wins operation — so the merged bit pattern is independent
+//! of arrival order and of how sessions interleave. Degree-vector sums
+//! accumulate within a shard in arrival order; totals are exact (hence
+//! order-independent) whenever the additions are, and each shard's
+//! partial is summed in shard-index order at finalize.
 
 use ldp_graph::{BitMatrix, BitSet};
 use ldp_protocols::ingest::fold_lower_bits;
 use ldp_protocols::AdjacencyReport;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Number of owned (lower-triangle) words of row `i`.
 #[inline]
 pub(crate) fn owned_words(i: usize) -> usize {
     i / 64 + usize::from(!i.is_multiple_of(64))
+}
+
+/// Locks one shard. Fold closures are panic-free on the documented
+/// preconditions, and the shard invariants (OR into owned words, counter
+/// increments) hold at every await-free point, so a poisoned lock is
+/// recovered rather than cascading panics across session threads.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn inner<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn inner_mut<T>(m: &mut Mutex<T>) -> &mut T {
+    m.get_mut().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Why a report bounced off a shard.
@@ -101,11 +122,12 @@ impl AdjacencyShard {
     }
 }
 
-/// The full shard set of an adjacency round.
+/// The full shard set of an adjacency round. Each shard sits behind its
+/// own mutex so concurrent sessions fold without a global lock.
 #[derive(Debug)]
 pub(crate) struct AdjacencyShards {
     n: usize,
-    shards: Vec<AdjacencyShard>,
+    shards: Vec<Mutex<AdjacencyShard>>,
 }
 
 impl AdjacencyShards {
@@ -114,38 +136,29 @@ impl AdjacencyShards {
         AdjacencyShards {
             n,
             shards: (0..num_shards)
-                .map(|s| AdjacencyShard::new(s, num_shards, n))
+                .map(|s| Mutex::new(AdjacencyShard::new(s, num_shards, n)))
                 .collect(),
         }
     }
 
     pub(crate) fn accepted(&self) -> u64 {
-        self.shards.iter().map(|s| s.accepted).sum()
+        self.shards.iter().map(|s| lock(s).accepted).sum()
     }
 
     pub(crate) fn duplicates(&self) -> u64 {
-        self.shards.iter().map(|s| s.duplicates).sum()
+        self.shards.iter().map(|s| lock(s).duplicates).sum()
     }
 
-    /// Folds a batch: reports are routed to their owning shard and every
-    /// shard folds its share on a runtime worker — shard states are
-    /// disjoint, so the fan-out needs no synchronization beyond the
-    /// scoped-thread join.
-    pub(crate) fn fold_batch(&mut self, batch: &[(u64, AdjacencyReport)], threads: usize) {
+    /// Folds one report under its owning shard's lock. The caller
+    /// guarantees `user_id < n`; duplicate ids are counted in the shard
+    /// and rejected.
+    pub(crate) fn fold_one(
+        &self,
+        user_id: usize,
+        report: &AdjacencyReport,
+    ) -> Result<(), ShardReject> {
         let stride = self.shards.len();
-        let mut per_shard: Vec<Vec<(usize, &AdjacencyReport)>> = vec![Vec::new(); stride];
-        for (id, report) in batch {
-            let id = *id as usize;
-            per_shard[id % stride].push((id, report));
-        }
-        // ~avg-row/64 words of fold work per report.
-        let work = batch.len() * (self.n / 128 + 1);
-        let threads = ldp_graph::runtime::threads_for_work(work, threads);
-        ldp_graph::runtime::parallel_chunks_mut(&mut self.shards, 1, threads, |idx, chunk| {
-            for &(id, report) in &per_shard[idx] {
-                let _ = chunk[0].fold(id, report);
-            }
-        });
+        lock(&self.shards[user_id % stride]).fold(user_id, report)
     }
 
     /// Merges the shards into one lower-triangle matrix plus the
@@ -160,7 +173,7 @@ impl AdjacencyShards {
         let stride = self.shards.len();
         {
             let rows = matrix.rows_mut(0, n);
-            for (s, shard) in self.shards.iter().enumerate() {
+            for (s, shard) in self.shards.into_iter().map(inner).enumerate() {
                 let mut id = s;
                 let mut slot = 0;
                 while id < n {
@@ -176,11 +189,14 @@ impl AdjacencyShards {
     }
 
     /// Raw pieces for checkpointing, per shard in index order:
-    /// `(accepted, duplicates, seen words, degrees, row words)`.
+    /// `(accepted, duplicates, seen words, degrees, row words)`. Takes
+    /// `&mut self` — the checkpointing caller holds the engine's write
+    /// lock, so shard access is exclusive and lock-free here.
     pub(crate) fn snapshot_shards(
-        &self,
+        &mut self,
     ) -> impl Iterator<Item = (u64, u64, &[u64], &[f64], &[u64])> {
-        self.shards.iter().map(|s| {
+        self.shards.iter_mut().map(|m| {
+            let s = inner_mut(m);
             (
                 s.accepted,
                 s.duplicates,
@@ -205,6 +221,7 @@ impl AdjacencyShards {
         let shard = self
             .shards
             .get_mut(shard_idx)
+            .map(inner_mut)
             .ok_or("shard index out of range")?;
         if seen_words.len() != shard.seen.words().len() {
             return Err("seen bitmap size mismatch");
@@ -226,11 +243,11 @@ impl AdjacencyShards {
 }
 
 /// The shard set of a degree-vector round: running per-group sums, one
-/// partial accumulator per shard.
+/// partial accumulator per shard, each behind its own mutex.
 #[derive(Debug)]
 pub(crate) struct DegreeVectorShards {
     groups: usize,
-    shards: Vec<DegreeVectorShard>,
+    shards: Vec<Mutex<DegreeVectorShard>>,
 }
 
 #[derive(Debug)]
@@ -239,6 +256,22 @@ pub(crate) struct DegreeVectorShard {
     sums: Vec<f64>,
     accepted: u64,
     duplicates: u64,
+}
+
+impl DegreeVectorShard {
+    /// Folds one vector owned by this shard (`slot` = `user_id / stride`).
+    fn fold(&mut self, slot: usize, vector: &[f64]) -> Result<(), ShardReject> {
+        if self.seen.get(slot) {
+            self.duplicates += 1;
+            return Err(ShardReject::Duplicate);
+        }
+        self.seen.set(slot);
+        for (acc, x) in self.sums.iter_mut().zip(vector) {
+            *acc += x;
+        }
+        self.accepted += 1;
+        Ok(())
+    }
 }
 
 impl DegreeVectorShards {
@@ -253,12 +286,12 @@ impl DegreeVectorShards {
                     } else {
                         0
                     };
-                    DegreeVectorShard {
+                    Mutex::new(DegreeVectorShard {
                         seen: BitSet::new(slots),
                         sums: vec![0.0; groups],
                         accepted: 0,
                         duplicates: 0,
-                    }
+                    })
                 })
                 .collect(),
         }
@@ -269,39 +302,18 @@ impl DegreeVectorShards {
     }
 
     pub(crate) fn accepted(&self) -> u64 {
-        self.shards.iter().map(|s| s.accepted).sum()
+        self.shards.iter().map(|s| lock(s).accepted).sum()
     }
 
     pub(crate) fn duplicates(&self) -> u64 {
-        self.shards.iter().map(|s| s.duplicates).sum()
+        self.shards.iter().map(|s| lock(s).duplicates).sum()
     }
 
-    /// Folds a batch of `(user_id, vector)` pairs, sharded like the
-    /// adjacency path. Vectors are summed in arrival order within a shard.
-    pub(crate) fn fold_batch(&mut self, batch: &[(u64, Vec<f64>)], threads: usize) {
+    /// Folds one vector under its owning shard's lock. The caller
+    /// guarantees `user_id < n` and `vector.len() == groups`.
+    pub(crate) fn fold_one(&self, user_id: usize, vector: &[f64]) -> Result<(), ShardReject> {
         let stride = self.shards.len();
-        let mut per_shard: Vec<Vec<(usize, &[f64])>> = vec![Vec::new(); stride];
-        for (id, v) in batch {
-            let id = *id as usize;
-            per_shard[id % stride].push((id, v));
-        }
-        let work = batch.len() * self.groups;
-        let threads = ldp_graph::runtime::threads_for_work(work, threads);
-        ldp_graph::runtime::parallel_chunks_mut(&mut self.shards, 1, threads, |idx, chunk| {
-            let shard = &mut chunk[0];
-            for &(id, v) in &per_shard[idx] {
-                let slot = id / stride;
-                if shard.seen.get(slot) {
-                    shard.duplicates += 1;
-                    continue;
-                }
-                shard.seen.set(slot);
-                for (acc, x) in shard.sums.iter_mut().zip(v) {
-                    *acc += x;
-                }
-                shard.accepted += 1;
-            }
-        });
+        lock(&self.shards[user_id % stride]).fold(user_id / stride, vector)
     }
 
     /// Per-group totals: shard partials summed in shard order
@@ -309,6 +321,7 @@ impl DegreeVectorShards {
     pub(crate) fn group_totals(&self) -> Vec<f64> {
         let mut totals = vec![0.0f64; self.groups];
         for shard in &self.shards {
+            let shard = lock(shard);
             for (t, s) in totals.iter_mut().zip(&shard.sums) {
                 *t += s;
             }
@@ -316,11 +329,13 @@ impl DegreeVectorShards {
         totals
     }
 
-    /// Raw pieces for checkpointing, per shard in index order.
+    /// Raw pieces for checkpointing, per shard in index order. `&mut
+    /// self` for the same exclusivity argument as the adjacency twin.
     pub(crate) fn snapshot_shards(
-        &self,
+        &mut self,
     ) -> impl Iterator<Item = (u64, u64, &[u64], &[f64], &[u64])> {
-        self.shards.iter().map(|s| {
+        self.shards.iter_mut().map(|m| {
+            let s = inner_mut(m);
             (
                 s.accepted,
                 s.duplicates,
@@ -344,6 +359,7 @@ impl DegreeVectorShards {
         let shard = self
             .shards
             .get_mut(shard_idx)
+            .map(inner_mut)
             .ok_or("shard index out of range")?;
         if seen_words.len() != shard.seen.words().len() {
             return Err("seen bitmap size mismatch");
@@ -386,6 +402,12 @@ mod tests {
             .collect()
     }
 
+    fn fold_all(shards: &AdjacencyShards, batch: &[(u64, AdjacencyReport)]) {
+        for (id, report) in batch {
+            let _ = shards.fold_one(*id as usize, report);
+        }
+    }
+
     #[test]
     fn out_of_order_sharded_fold_matches_in_order_streaming() {
         let n = 173;
@@ -397,7 +419,7 @@ mod tests {
         let reference = agg.finalize();
 
         for num_shards in [1, 3, 8, 64] {
-            let mut shards = AdjacencyShards::new(n, num_shards);
+            let shards = AdjacencyShards::new(n, num_shards);
             // Reverse arrival order, in two batches.
             let mut batch: Vec<(u64, AdjacencyReport)> = reports
                 .iter()
@@ -406,8 +428,8 @@ mod tests {
                 .rev()
                 .collect();
             let second = batch.split_off(n / 3);
-            shards.fold_batch(&batch, 4);
-            shards.fold_batch(&second, 4);
+            fold_all(&shards, &batch);
+            fold_all(&shards, &second);
             assert_eq!(shards.accepted(), n as u64);
             let (matrix, degrees) = shards.merge();
             let view = finalize_lower(matrix, degrees, rr, 4);
@@ -417,24 +439,56 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_folds_match_sequential() {
+        let n = 211;
+        let rr = RandomizedResponse::from_keep_probability(0.9).unwrap();
+        let reports = synth_reports(n, 0xFEED);
+
+        let sequential = AdjacencyShards::new(n, 8);
+        for (i, r) in reports.iter().enumerate() {
+            sequential.fold_one(i, r).unwrap();
+        }
+        let (matrix, degrees) = sequential.merge();
+        let reference = finalize_lower(matrix, degrees, rr, 1);
+
+        // Four threads racing interleaved id slices (i % 4 == t) into the
+        // same shard set — plus every thread replaying thread 0's slice,
+        // so duplicate races hit the seen-bitmaps from all sides.
+        let concurrent = AdjacencyShards::new(n, 8);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let shards = &concurrent;
+                let reports = &reports;
+                scope.spawn(move || {
+                    for (i, r) in reports.iter().enumerate() {
+                        if i % 4 == t || i % 4 == 0 {
+                            let _ = shards.fold_one(i, r);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(concurrent.accepted(), n as u64);
+        // Thread 0's slice was replayed by the other three threads.
+        assert_eq!(concurrent.duplicates(), 3 * (n as u64).div_ceil(4));
+        let (matrix, degrees) = concurrent.merge();
+        let view = finalize_lower(matrix, degrees, rr, 1);
+        assert_eq!(view.matrix(), reference.matrix());
+        assert_eq!(view.reported_degrees(), reference.reported_degrees());
+    }
+
+    #[test]
     fn duplicates_are_rejected_not_refolded() {
         let n = 40;
         let reports = synth_reports(n, 7);
-        let mut shards = AdjacencyShards::new(n, 4);
-        let batch: Vec<(u64, AdjacencyReport)> = reports
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i as u64, r.clone()))
-            .collect();
-        shards.fold_batch(&batch, 2);
+        let shards = AdjacencyShards::new(n, 4);
+        for (i, r) in reports.iter().enumerate() {
+            shards.fold_one(i, r).unwrap();
+        }
         // Replay half the population with different contents.
-        let replay: Vec<(u64, AdjacencyReport)> = synth_reports(n, 8)
-            .into_iter()
-            .enumerate()
-            .take(n / 2)
-            .map(|(i, r)| (i as u64, r))
-            .collect();
-        shards.fold_batch(&replay, 2);
+        for (i, r) in synth_reports(n, 8).iter().enumerate().take(n / 2) {
+            assert_eq!(shards.fold_one(i, r), Err(ShardReject::Duplicate));
+        }
         assert_eq!(shards.accepted(), n as u64);
         assert_eq!(shards.duplicates(), (n / 2) as u64);
 
@@ -451,13 +505,15 @@ mod tests {
     fn degree_vector_totals_accumulate() {
         let n = 10;
         let k = 3;
-        let mut shards = DegreeVectorShards::new(n, k, 4);
-        let batch: Vec<(u64, Vec<f64>)> = (0..n as u64)
-            .map(|i| (i, vec![1.0, 2.0, i as f64]))
-            .collect();
-        shards.fold_batch(&batch, 2);
+        let shards = DegreeVectorShards::new(n, k, 4);
+        for i in 0..n as u64 {
+            shards.fold_one(i as usize, &[1.0, 2.0, i as f64]).unwrap();
+        }
         // A duplicate upload changes nothing.
-        shards.fold_batch(&[(3, vec![100.0, 100.0, 100.0])], 2);
+        assert_eq!(
+            shards.fold_one(3, &[100.0, 100.0, 100.0]),
+            Err(ShardReject::Duplicate)
+        );
         assert_eq!(shards.accepted(), 10);
         assert_eq!(shards.duplicates(), 1);
         let totals = shards.group_totals();
@@ -477,13 +533,10 @@ mod tests {
         // More shards than users.
         let n = 3;
         let reports = synth_reports(n, 1);
-        let mut shards = AdjacencyShards::new(n, 16);
-        let batch: Vec<(u64, AdjacencyReport)> = reports
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i as u64, r.clone()))
-            .collect();
-        shards.fold_batch(&batch, 8);
+        let shards = AdjacencyShards::new(n, 16);
+        for (i, r) in reports.iter().enumerate() {
+            shards.fold_one(i, r).unwrap();
+        }
         assert_eq!(shards.accepted(), 3);
     }
 }

@@ -21,7 +21,6 @@ fn spawn_daemon() -> (
 ) {
     CollectorServer::spawn(CollectorConfig {
         shards: 4,
-        flush_batch: 64,
         ..CollectorConfig::default()
     })
     .expect("bind loopback daemon")

@@ -221,12 +221,33 @@ impl BitMatrix {
 
     /// Number of triangles incident to node `u`:
     /// `τ_u = ½ Σ_{v ∈ N(u)} |N(u) ∩ N(v)|`.
+    ///
+    /// Computed without the double count: for each neighbor `v` of `u`,
+    /// only the word-prefix of row `v` *below* `v` is intersected with
+    /// row `u` (the word-wise form of [`BitSet::iter_ones_below`]'s
+    /// bound), so the triangle `{u, v, w}` with `w < v` is found exactly
+    /// once — half the word traffic of intersecting full rows and
+    /// halving at the end. Results are identical on the symmetric,
+    /// zero-diagonal matrices this type maintains.
     pub fn triangles_at(&self, u: usize) -> u64 {
-        let mut twice: u64 = 0;
-        for v in self.row_indices(u) {
-            twice += self.common_neighbors(u, v) as u64;
+        let row_u = self.row(u);
+        let mut count: u64 = 0;
+        for (wi, &word) in row_u.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let v = wi * WORD_BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let row_v = self.row(v);
+                let full = v / WORD_BITS;
+                for k in 0..full {
+                    count += u64::from((row_u[k] & row_v[k]).count_ones());
+                }
+                // Bits strictly below v in v's own word.
+                let mask = (1u64 << (v % WORD_BITS)) - 1;
+                count += u64::from((row_u[full] & row_v[full] & mask).count_ones());
+            }
         }
-        twice / 2
+        count
     }
 
     /// Per-node triangle counts for the whole matrix.
@@ -306,6 +327,36 @@ mod tests {
             m.set_edge(u, u + 1);
         }
         assert_eq!(m.triangles_per_node(), vec![0; 5]);
+    }
+
+    #[test]
+    fn prefix_triangle_kernel_matches_naive_double_count() {
+        // A deterministic pseudo-random symmetric matrix spanning several
+        // words, including edges at word boundaries (63/64/65).
+        let n = 150;
+        let mut m = BitMatrix::new(n);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state >> 61 == 0 {
+                    m.set_edge(u, v);
+                }
+            }
+        }
+        for b in [63, 64, 65] {
+            m.set_edge(10, b);
+            m.set_edge(10, b + 5);
+            m.set_edge(b, b + 5);
+        }
+        for u in 0..n {
+            let twice: u64 = m
+                .row_indices(u)
+                .iter()
+                .map(|&v| m.common_neighbors(u, v) as u64)
+                .sum();
+            assert_eq!(m.triangles_at(u), twice / 2, "node {u}");
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub struct PerturbedView {
     matrix: BitMatrix,
     reported_degrees: Vec<f64>,
     perturbed_degrees: Vec<usize>,
+    /// `Σd̃_i`, cached at construction so [`Self::edge_density`] and
+    /// [`Self::average_perturbed_degree`] — called per estimate and per
+    /// `calibration_threads` sizing — are O(1) instead of an O(N) sum.
+    sum_perturbed_degrees: u64,
     rr: RandomizedResponse,
 }
 
@@ -47,10 +51,12 @@ impl PerturbedView {
     ) -> Self {
         debug_assert_eq!(matrix.num_nodes(), reported_degrees.len());
         debug_assert_eq!(matrix.num_nodes(), perturbed_degrees.len());
+        let sum_perturbed_degrees = perturbed_degrees.iter().map(|&d| d as u64).sum();
         PerturbedView {
             matrix,
             reported_degrees,
             perturbed_degrees,
+            sum_perturbed_degrees,
             rr,
         }
     }
@@ -85,15 +91,17 @@ impl PerturbedView {
         &self.reported_degrees
     }
 
-    /// Average perturbed degree `d̃` over all users.
+    /// Average perturbed degree `d̃` over all users. O(1): the degree sum
+    /// is cached at construction.
     pub fn average_perturbed_degree(&self) -> f64 {
         if self.num_users() == 0 {
             return 0.0;
         }
-        self.perturbed_degrees.iter().sum::<usize>() as f64 / self.num_users() as f64
+        self.sum_perturbed_degrees as f64 / self.num_users() as f64
     }
 
-    /// Edge density `θ̃` of the perturbed graph: `Σd̃_i / (N(N−1))`.
+    /// Edge density `θ̃` of the perturbed graph: `Σd̃_i / (N(N−1))`. O(1):
+    /// the degree sum is cached at construction.
     ///
     /// (Paper Eq. 17 writes the numerator with τ̃; the quantity it names —
     /// "edge density of the perturbed graph" — is this one. See DESIGN.md.)
@@ -102,7 +110,7 @@ impl PerturbedView {
         if n < 2.0 {
             return 0.0;
         }
-        self.perturbed_degrees.iter().sum::<usize>() as f64 / (n * (n - 1.0))
+        self.sum_perturbed_degrees as f64 / (n * (n - 1.0))
     }
 
     /// The degree-centrality estimate the paper's degree attacks target:

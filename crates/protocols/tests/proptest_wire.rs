@@ -105,6 +105,87 @@ proptest! {
         let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u64>() as u8).collect();
         let _ = decode_report(&bytes);
     }
+
+    /// REPORT_BATCH round-trip identity: an arbitrary mix of both report
+    /// variants survives batch encode → decode bit for bit, ids and all.
+    #[test]
+    fn batch_encode_decode_is_identity(
+        count in 0usize..12,
+        n in 0usize..150,
+        seed in 0u64..u64::MAX,
+    ) {
+        let entries: Vec<(u64, UserReport)> = (0..count)
+            .map(|k| {
+                let report = synth_report(k % 2 == 0, n, 1, seed ^ k as u64);
+                (seed.wrapping_add(k as u64), report)
+            })
+            .collect();
+        let mut out = Vec::new();
+        wire::encode_report_batch(&entries, &mut out);
+        let mut batch = wire::read_report_batch(&out).expect("well-formed batch");
+        prop_assert_eq!(batch.remaining(), count);
+        for (want_id, want) in &entries {
+            let (id, got) = batch.next_entry()
+                .expect("entry present")
+                .expect("entry decodes");
+            prop_assert_eq!(id, *want_id);
+            if let Err(msg) = assert_identical(want, &got) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+        prop_assert!(batch.next_entry().is_none());
+        prop_assert!(batch.finish().is_ok());
+    }
+
+    /// Every truncation of a valid batch payload surfaces a typed error
+    /// (from the count, an entry frame, or an entry body) or decodes
+    /// fewer entries — never a panic, never an entry that was not sent.
+    #[test]
+    fn batch_truncations_never_panic(
+        count in 1usize..6,
+        n in 1usize..100,
+        seed in 0u64..u64::MAX,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let entries: Vec<(u64, UserReport)> = (0..count)
+            .map(|k| (k as u64, synth_report(k % 2 == 0, n, 1, seed ^ k as u64)))
+            .collect();
+        let mut out = Vec::new();
+        wire::encode_report_batch(&entries, &mut out);
+        let cut = ((out.len() as f64) * cut_frac) as usize;
+        match wire::read_report_batch(&out[..cut.min(out.len() - 1)]) {
+            Err(_) => {}
+            Ok(mut batch) => {
+                let mut decoded = 0usize;
+                let mut errored = false;
+                while let Some(entry) = batch.next_entry() {
+                    match entry {
+                        Ok(_) => decoded += 1,
+                        Err(_) => errored = true,
+                    }
+                }
+                // A strict prefix can never yield the whole batch clean.
+                prop_assert!(decoded < count || errored || batch.finish().is_err());
+            }
+        }
+    }
+
+    /// Random byte soup through the batch decoder is total: typed errors
+    /// or valid entries, never a panic, and never more entries than the
+    /// (capped) count claims.
+    #[test]
+    fn batch_random_bytes_never_panic(len in 0usize..128, seed in 0u64..u64::MAX) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u64>() as u8).collect();
+        if let Ok(mut batch) = wire::read_report_batch(&bytes) {
+            prop_assert!(batch.remaining() <= wire::MAX_REPORTS_PER_BATCH);
+            let mut yielded = 0usize;
+            while batch.next_entry().is_some() {
+                yielded += 1;
+            }
+            prop_assert!(yielded <= wire::MAX_REPORTS_PER_BATCH);
+        }
+    }
 }
 
 #[test]
