@@ -7,11 +7,12 @@
 //! collector_loadgen [--channel degree-vector|adjacency]
 //!                   [--users N]      population per round
 //!                   [--groups K]     degree-vector groups (default 8)
-//!                   [--rounds R]     rounds to replay (default 1)
+//!                   [--rounds R]     simultaneous rounds (default 1)
+//!                   [--sequential]   replay --rounds back-to-back instead
 //!                   [--attack mga|rva|rna|none]   crafted tail (default mga)
 //!                   [--beta F]       fake-user fraction (default 0.01)
-//!                   [--rate R]       reports/sec cap (default unlimited)
-//!                   [--connections C]  concurrent uploader sessions (default 1)
+//!                   [--rate R]       reports/sec cap per round (default unlimited)
+//!                   [--connections C]  uploader sessions per round (default 1)
 //!                   [--addr HOST:PORT]  external daemon (default: spawn one)
 //!                   [--shards S]     shards of the spawned daemon (default 8)
 //!                   [--seed S]       stream seed (default 7)
@@ -19,26 +20,32 @@
 //!
 //! Defaults replay the headline workload: one degree-vector round of 2²⁰
 //! (≈1.05M) reports — the regime where the daemon's aggregate stays
-//! `O(shards·groups)` no matter the population. `--connections C` drives
-//! the round through `C` concurrent uploader sessions (disjoint id
-//! slices, `SYNC` barriers, one coordinator closing the round) — the
-//! aggregate-ingest workload of the concurrent session plane. Adjacency
-//! rounds are bounded by the daemon's population cap (the dense
-//! aggregate is `O(N²/8)` bytes; see DESIGN.md).
+//! `O(shards·groups)` no matter the population. `--rounds R` opens `R`
+//! rounds **simultaneously** — one tenant per round, every round's
+//! uploaders racing at once, so the daemon multiplexes `R` live
+//! aggregates; the recorded reports/s is the aggregate across rounds
+//! (`--sequential` restores the old back-to-back replay). `--connections
+//! C` drives each round through `C` concurrent uploader sessions
+//! (disjoint id slices, `SYNC` barriers, one coordinator closing the
+//! round) — the aggregate-ingest workload of the concurrent session
+//! plane. Adjacency rounds are bounded by the daemon's population cap
+//! (the dense aggregate is `O(N²/8)` bytes; see DESIGN.md).
 
-use ldp_collector::CollectorClient;
+use ldp_collector::{CollectorClient, CollectorError};
 use poison_bench::collector::{
     peak_rss_bytes, run_adjacency_round, run_adjacency_round_concurrent, run_degree_vector_round,
     run_degree_vector_round_concurrent, shutdown_daemon, spawn_daemon, LoadAttack,
     ThroughputResult,
 };
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Instant;
 
 struct Args {
     channel: String,
     users: usize,
     groups: usize,
     rounds: u64,
+    sequential: bool,
     attack: LoadAttack,
     beta: f64,
     rate: Option<u64>,
@@ -54,6 +61,7 @@ fn parse_args() -> Args {
         users: 1 << 20,
         groups: 8,
         rounds: 1,
+        sequential: false,
         attack: LoadAttack::Mga,
         beta: 0.01,
         rate: None,
@@ -73,6 +81,7 @@ fn parse_args() -> Args {
             "--users" => args.users = parse(&value("--users"), "--users"),
             "--groups" => args.groups = parse(&value("--groups"), "--groups"),
             "--rounds" => args.rounds = parse(&value("--rounds"), "--rounds"),
+            "--sequential" => args.sequential = true,
             "--attack" => {
                 let v = value("--attack");
                 args.attack = LoadAttack::from_name(&v)
@@ -123,21 +132,24 @@ fn main() {
         .ok()
         .and_then(|mut addrs| addrs.next())
         .unwrap_or_else(|| die(&format!("cannot resolve {addr}")));
-    let mut client = CollectorClient::connect(sock_addr).expect("connect to daemon");
 
-    let mut results: Vec<ThroughputResult> = Vec::new();
-    for round in 0..args.rounds {
-        let result = match (args.channel.as_str(), args.connections) {
-            ("degree-vector", 1) => run_degree_vector_round(
-                &mut client,
-                round + 1,
-                args.users,
-                args.groups,
-                args.attack,
-                args.beta,
-                args.rate,
-                args.seed + round,
-            ),
+    // One round's replay; `round` doubles as the tenant so simultaneous
+    // rounds never contend on one tenant's quota.
+    let replay = |round: u64| -> Result<ThroughputResult, CollectorError> {
+        match (args.channel.as_str(), args.connections) {
+            ("degree-vector", 1) => {
+                let mut client = CollectorClient::connect(sock_addr)?.with_tenant(round);
+                run_degree_vector_round(
+                    &mut client,
+                    round + 1,
+                    args.users,
+                    args.groups,
+                    args.attack,
+                    args.beta,
+                    args.rate,
+                    args.seed + round,
+                )
+            }
             ("degree-vector", c) => run_degree_vector_round_concurrent(
                 sock_addr,
                 round + 1,
@@ -149,15 +161,18 @@ fn main() {
                 c,
                 args.seed + round,
             ),
-            ("adjacency", 1) => run_adjacency_round(
-                &mut client,
-                round + 1,
-                args.users,
-                args.attack,
-                args.beta,
-                args.rate,
-                args.seed + round,
-            ),
+            ("adjacency", 1) => {
+                let mut client = CollectorClient::connect(sock_addr)?.with_tenant(round);
+                run_adjacency_round(
+                    &mut client,
+                    round + 1,
+                    args.users,
+                    args.attack,
+                    args.beta,
+                    args.rate,
+                    args.seed + round,
+                )
+            }
             ("adjacency", c) => run_adjacency_round_concurrent(
                 sock_addr,
                 round + 1,
@@ -170,35 +185,88 @@ fn main() {
             .map(|(result, _, _, _)| result),
             _ => unreachable!("channel validated in parse_args"),
         }
-        .expect("round replay");
-        eprintln!(
-            "round {}: {} reports ({} crafted) over {} connection(s) in {:.3}s = {:.0} reports/s",
-            round + 1,
-            result.reports,
-            result.crafted,
-            args.connections,
-            result.wall.as_secs_f64(),
-            result.reports_per_sec
-        );
-        results.push(result);
-    }
-    drop(client);
+    };
+
+    let started = Instant::now();
+    let results: Vec<ThroughputResult> = if args.sequential || args.rounds == 1 {
+        (0..args.rounds)
+            .map(|round| {
+                let result = replay(round).expect("round replay");
+                eprintln!(
+                    "round {}: {} reports ({} crafted) over {} connection(s) in {:.3}s = {:.0} reports/s",
+                    round + 1,
+                    result.reports,
+                    result.crafted,
+                    args.connections,
+                    result.wall.as_secs_f64(),
+                    result.reports_per_sec
+                );
+                result
+            })
+            .collect()
+    } else {
+        // Simultaneous rounds: every round's uploaders race at once and
+        // the daemon multiplexes R live aggregates.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.rounds)
+                .map(|round| {
+                    let replay = &replay;
+                    scope.spawn(move || (round, replay(round).expect("round replay")))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let (round, result) = h.join().expect("round thread");
+                    eprintln!(
+                        "round {} (simultaneous): {} reports ({} crafted) over {} connection(s) \
+                         in {:.3}s = {:.0} reports/s",
+                        round + 1,
+                        result.reports,
+                        result.crafted,
+                        args.connections,
+                        result.wall.as_secs_f64(),
+                        result.reports_per_sec
+                    );
+                    result
+                })
+                .collect()
+        })
+    };
+    let simultaneous = !(args.sequential || args.rounds == 1);
     if let Some((addr, handle)) = spawned {
         shutdown_daemon(addr, handle);
     }
 
     let reports: u64 = results.iter().map(|r| r.reports).sum();
     let crafted: u64 = results.iter().map(|r| r.crafted).sum();
-    let wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
+    // Sequential rounds sum their walls (excluding setup between them);
+    // simultaneous rounds share one wall clock.
+    let wall: f64 = if simultaneous {
+        started.elapsed().as_secs_f64()
+    } else {
+        results.iter().map(|r| r.wall.as_secs_f64()).sum()
+    };
+    eprintln!(
+        "aggregate: {} rounds ({}) = {:.0} reports/s",
+        args.rounds,
+        if simultaneous {
+            "simultaneous"
+        } else {
+            "sequential"
+        },
+        reports as f64 / wall,
+    );
     let json = format!(
         "{{\n  \"bench\": \"collector_loadgen\",\n  \"channel\": \"{}\",\n  \
-         \"users_per_round\": {},\n  \"rounds\": {},\n  \"attack\": \"{:?}\",\n  \
-         \"connections\": {},\n  \
+         \"users_per_round\": {},\n  \"rounds\": {},\n  \"simultaneous\": {},\n  \
+         \"attack\": \"{:?}\",\n  \"connections\": {},\n  \
          \"reports\": {},\n  \"crafted_reports\": {},\n  \"wall_s\": {:.3},\n  \
          \"reports_per_sec\": {:.0},\n  \"rate_cap\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
         args.channel,
         args.users,
         args.rounds,
+        simultaneous,
         args.attack,
         args.connections,
         reports,

@@ -11,6 +11,11 @@
 //! 3. **Concurrent bit-identity** — the Facebook-scale adjacency round
 //!    streamed by 4 racing sessions finalizes bit-identical to the
 //!    in-process aggregation of the same reports.
+//! 4. **Multi-round sweep** — R ∈ {1, 4, 16} *simultaneous* rounds (one
+//!    tenant/session per round, all streaming at once) with the
+//!    aggregate reports/s across rounds recorded, plus 4 simultaneous
+//!    adjacency rounds each asserted bit-identical to its single-round
+//!    in-process reference.
 //!
 //! Results land in `BENCH_collector.json` for the perf trajectory. The
 //! multi-connection assertion is a *loose floor* (CI boxes may have one
@@ -19,9 +24,10 @@
 
 use ldp_collector::CollectorClient;
 use poison_bench::collector::{
-    assert_concurrent_adjacency_equivalence, peak_rss_bytes, run_adjacency_round,
-    run_degree_vector_round, run_degree_vector_round_concurrent, run_equivalence_smoke,
-    shutdown_daemon, spawn_daemon, LoadAttack,
+    assert_concurrent_adjacency_equivalence, assert_simultaneous_adjacency_equivalence,
+    peak_rss_bytes, run_adjacency_round, run_degree_vector_round,
+    run_degree_vector_round_concurrent, run_equivalence_smoke,
+    run_simultaneous_degree_vector_rounds, shutdown_daemon, spawn_daemon, LoadAttack,
 };
 
 const EQUIVALENCE_USERS: usize = 10_000;
@@ -29,6 +35,8 @@ const ROUND_USERS: usize = 1 << 20; // 1,048,576 reports in one round
 const ROUND_GROUPS: usize = 8;
 const ADJACENCY_USERS: usize = 4_039; // Facebook stand-in scale
 const CONNECTIONS: usize = 4;
+const MULTI_ROUND_USERS: usize = 1 << 16; // 65,536 reports per simultaneous round
+const ROUND_SWEEP: [usize; 3] = [1, 4, 16];
 
 fn main() {
     // 1. Wire == in-process, to the bit, at 10k users.
@@ -124,6 +132,56 @@ fn main() {
     drop(client);
     shutdown_daemon(addr, handle);
 
+    // 4. R simultaneous rounds on a fresh daemon: the aggregate ingest
+    //    of the round registry, then the R=4 adjacency bit-identity pin.
+    let (addr, handle) = spawn_daemon(8).expect("multi-round daemon");
+    let mut sweep = Vec::new();
+    for rounds in ROUND_SWEEP {
+        let result =
+            run_simultaneous_degree_vector_rounds(addr, rounds, MULTI_ROUND_USERS, ROUND_GROUPS, 7)
+                .expect("simultaneous degree-vector rounds");
+        eprintln!(
+            "multi-round: {} simultaneous rounds x {} users in {:.3}s = {:.0} reports/s aggregate",
+            result.rounds,
+            result.users_per_round,
+            result.wall.as_secs_f64(),
+            result.reports_per_sec
+        );
+        sweep.push(result);
+    }
+    // Loose floor, like the multi-connection one: multiplexing rounds
+    // must never halve aggregate ingest relative to one round at a time.
+    assert!(
+        sweep
+            .iter()
+            .all(|r| r.reports_per_sec >= 0.5 * sweep[0].reports_per_sec),
+        "aggregate throughput collapsed under simultaneous rounds: {:?}",
+        sweep
+            .iter()
+            .map(|r| (r.rounds, r.reports_per_sec as u64))
+            .collect::<Vec<_>>()
+    );
+    let multi_adjacency = assert_simultaneous_adjacency_equivalence(addr, 4, ADJACENCY_USERS, 7)
+        .expect("simultaneous adjacency equivalence");
+    eprintln!(
+        "multi-round adjacency: {} simultaneous rounds, each bit-identical, {:.0} reports/s aggregate",
+        multi_adjacency.rounds, multi_adjacency.reports_per_sec
+    );
+    shutdown_daemon(addr, handle);
+
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"rounds\": {}, \"users_per_round\": {}, \"wall_s\": {:.3}, \
+                 \"reports_per_sec\": {:.0} }}",
+                r.rounds,
+                r.users_per_round,
+                r.wall.as_secs_f64(),
+                r.reports_per_sec
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"collector\",\n  \"equivalence\": {{\n    \"users\": {},\n    \
          \"bit_identical\": true,\n    \"in_process_ms\": {:.1},\n    \"wire_ms\": {:.1},\n    \
@@ -137,6 +195,9 @@ fn main() {
          \"adjacency_round\": {{\n    \"users\": {},\n    \"connections\": 1,\n    \
          \"crafted_reports\": {},\n    \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0}\n  }},\n  \
          \"adjacency_round_concurrent\": {{\n    \"users\": {},\n    \"connections\": {},\n    \
+         \"bit_identical\": true,\n    \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0}\n  }},\n  \
+         \"multi_round\": [\n{}\n  ],\n  \
+         \"multi_round_adjacency\": {{\n    \"rounds\": {},\n    \"users_per_round\": {},\n    \
          \"bit_identical\": true,\n    \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0}\n  }},\n  \
          \"peak_rss_bytes\": {}\n}}\n",
         eq.users,
@@ -162,6 +223,11 @@ fn main() {
         CONNECTIONS,
         adjacency_multi.wall.as_secs_f64(),
         adjacency_multi.reports_per_sec,
+        sweep_json.join(",\n"),
+        multi_adjacency.rounds,
+        multi_adjacency.users_per_round,
+        multi_adjacency.wall.as_secs_f64(),
+        multi_adjacency.reports_per_sec,
         peak_rss_bytes(),
     );
     std::fs::write("BENCH_collector.json", &json).expect("write BENCH_collector.json");

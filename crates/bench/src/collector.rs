@@ -68,9 +68,13 @@ pub fn spawn_daemon(
     ),
     CollectorError,
 > {
+    // Sized for R-round sweeps (16 simultaneous rounds, each with its
+    // own sessions): admission limits themselves are exercised by the
+    // collector's multitenant/chaos suites, not the bench harness.
     CollectorServer::spawn(CollectorConfig {
         shards,
-        max_sessions: 16,
+        max_sessions: 64,
+        max_rounds_per_tenant: 64,
         ..CollectorConfig::default()
     })
 }
@@ -452,6 +456,7 @@ pub fn run_degree_vector_round_concurrent(
                 let crafted = &crafted;
                 scope.spawn(move || -> Result<(), CollectorError> {
                     let mut client = CollectorClient::connect(addr)?;
+                    client.set_round(round_id)?;
                     // Per-connection honest stream (throughput workload;
                     // totals are not compared across connection counts).
                     let mut rng = Xoshiro256pp::new(seed).derive(0xC0_u64 + c as u64);
@@ -545,6 +550,7 @@ pub fn run_adjacency_round_concurrent(
                 let reports = &reports;
                 scope.spawn(move || -> Result<(), CollectorError> {
                     let mut client = CollectorClient::connect(addr)?;
+                    client.set_round(round_id)?;
                     let lo = users * c / connections;
                     let hi = users * (c + 1) / connections;
                     for (id, report) in reports.iter().enumerate().take(hi).skip(lo) {
@@ -613,6 +619,166 @@ pub fn assert_concurrent_adjacency_equivalence(
         assert_eq!(view.perturbed_degree(u), reference.perturbed_degree(u));
     }
     Ok(result)
+}
+
+/// Result of replaying `R` simultaneous rounds.
+#[derive(Debug)]
+pub struct MultiRoundResult {
+    /// Rounds multiplexed at once.
+    pub rounds: usize,
+    /// Reports per round.
+    pub users_per_round: usize,
+    /// Total reports across all rounds.
+    pub reports: u64,
+    /// Wall-clock from the first open to the last finalize.
+    pub wall: Duration,
+    /// **Aggregate** reports/sec across all simultaneous rounds.
+    pub reports_per_sec: f64,
+}
+
+/// Replays `rounds` **simultaneous degree-vector rounds** — one session
+/// per round, each opened as its own tenant, all streaming at once so
+/// the daemon multiplexes `R` live aggregates — and returns the
+/// aggregate throughput. The headline workload of the round registry:
+/// sessions on different rounds share no lock.
+///
+/// # Errors
+/// Transport failures and daemon refusals.
+///
+/// # Panics
+/// Panics if any round's close summary shows a rejected report.
+pub fn run_simultaneous_degree_vector_rounds(
+    addr: SocketAddr,
+    rounds: usize,
+    users_per_round: usize,
+    groups: usize,
+    seed: u64,
+) -> Result<MultiRoundResult, CollectorError> {
+    let rounds = rounds.max(1);
+    let start = Instant::now();
+    std::thread::scope(|scope| -> Result<(), CollectorError> {
+        let handles: Vec<_> = (0..rounds)
+            .map(|r| {
+                scope.spawn(move || -> Result<(), CollectorError> {
+                    let round_id = r as u64 + 1;
+                    let mut client = CollectorClient::connect(addr)?.with_tenant(r as u64);
+                    client.open_round(
+                        round_id,
+                        RoundChannel::DegreeVector {
+                            population: users_per_round,
+                            groups,
+                        },
+                        None,
+                    )?;
+                    let mut rng = Xoshiro256pp::new(seed).derive(round_id);
+                    let mut vector = vec![0.0f64; groups];
+                    for id in 0..users_per_round as u64 {
+                        for x in &mut vector {
+                            *x = rng.gen_range(0.0..4.0);
+                        }
+                        client.queue_degree_vector(id, &vector)?;
+                    }
+                    let summary = client.close_round(round_id)?;
+                    assert_eq!(
+                        summary.counters.accepted, users_per_round as u64,
+                        "round {round_id} replay must be fully accepted: {:?}",
+                        summary.counters
+                    );
+                    let out = client.finalize_degree_vector(round_id)?;
+                    assert_eq!(out.accepted, users_per_round as u64);
+                    Ok(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("round thread")?;
+        }
+        Ok(())
+    })?;
+    let wall = start.elapsed();
+    let reports = (rounds * users_per_round) as u64;
+    Ok(MultiRoundResult {
+        rounds,
+        users_per_round,
+        reports,
+        wall,
+        reports_per_sec: reports as f64 / wall.as_secs_f64(),
+    })
+}
+
+/// Replays `rounds` simultaneous **adjacency rounds** — distinct report
+/// streams, one session per round, racing on one daemon — and asserts
+/// every finalized view is **bit-identical** to aggregating that round's
+/// reports in process (equivalently: to running the rounds sequentially,
+/// since the sequential daemon path is itself pinned bit-identical to
+/// the in-process fold). The multi-round acceptance check CI runs.
+///
+/// # Errors
+/// Transport failures and daemon refusals.
+///
+/// # Panics
+/// Panics if any round's view differs from its in-process reference in
+/// any matrix word or degree.
+pub fn assert_simultaneous_adjacency_equivalence(
+    addr: SocketAddr,
+    rounds: usize,
+    users_per_round: usize,
+    seed: u64,
+) -> Result<MultiRoundResult, CollectorError> {
+    let rounds = rounds.max(1);
+    let start = Instant::now();
+    std::thread::scope(|scope| -> Result<(), CollectorError> {
+        let handles: Vec<_> = (0..rounds)
+            .map(|r| {
+                scope.spawn(move || -> Result<(), CollectorError> {
+                    let round_id = r as u64 + 1;
+                    // A per-round stream: different seed, different noise.
+                    let (protocol, reports, _) = prepare_adjacency_stream(
+                        users_per_round,
+                        LoadAttack::None,
+                        0.0,
+                        seed + r as u64,
+                    );
+                    let mut client = CollectorClient::connect(addr)?.with_tenant(r as u64);
+                    client.open_round(
+                        round_id,
+                        RoundChannel::Adjacency {
+                            population: users_per_round,
+                            p_keep: protocol.p_keep(),
+                        },
+                        None,
+                    )?;
+                    for (id, report) in reports.iter().enumerate() {
+                        client.queue_adjacency_report(id as u64, report)?;
+                    }
+                    let summary = client.close_round(round_id)?;
+                    assert_eq!(summary.counters.accepted, users_per_round as u64);
+                    let view = client.finalize_adjacency(round_id)?;
+                    let reference = protocol.aggregate(&reports);
+                    assert_eq!(
+                        view.matrix(),
+                        reference.matrix(),
+                        "round {round_id} diverged under multiplexing"
+                    );
+                    assert_eq!(view.reported_degrees(), reference.reported_degrees());
+                    Ok(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("round thread")?;
+        }
+        Ok(())
+    })?;
+    let wall = start.elapsed();
+    let reports = (rounds * users_per_round) as u64;
+    Ok(MultiRoundResult {
+        rounds,
+        users_per_round,
+        reports,
+        wall,
+        reports_per_sec: reports as f64 / wall.as_secs_f64(),
+    })
 }
 
 /// Paces a replay to a reports/sec target by sleeping at batch

@@ -1,16 +1,18 @@
 //! Checkpoint/resume: snapshotting an in-flight round to disk.
 //!
 //! A round at a million users is minutes of intake; a collector restart
-//! must not cost the epoch. [`RoundCollector::checkpoint`] writes the
-//! complete round state — lifecycle metadata, counters, and every shard's
-//! seen-bitmap, degrees/sums, and packed rows — to a writer;
-//! [`RoundCollector::resume`] reconstructs a collector mid-round from it.
-//! Under the concurrent ingest plane, checkpointing takes the engine's
-//! *write* lock: every in-flight ingest (each holds the read lock for the
-//! duration of one fold) drains first, so the snapshot always sits on a
-//! frame boundary — a report is either fully folded into it or not in it
-//! at all, never half-written. Resumed intake continues exactly where it
-//! stopped: the same duplicate set, the same quota charge, and a finalize
+//! must not cost the epoch. [`RoundCollector::checkpoint`] writes one
+//! named round's complete state — lifecycle metadata, owning tenant,
+//! counters, and every shard's seen-bitmap, degrees/sums, and packed
+//! rows — to a writer; [`RoundCollector::resume`] reconstructs a
+//! collector mid-round from it. Under the concurrent ingest plane,
+//! checkpointing takes that round's *slot write* lock: every in-flight
+//! ingest of the round (each holds the slot read lock for the duration
+//! of one fold) drains first, so the snapshot always sits on a frame
+//! boundary — a report is either fully folded into it or not in it at
+//! all, never half-written. Other rounds in the registry keep ingesting,
+//! untouched. Resumed intake continues exactly where it stopped: the
+//! same duplicate set, the same quota charge, and a finalize
 //! bit-identical to an uninterrupted run (pinned by the tests below and
 //! by `tests/concurrent.rs` with sessions racing the snapshot).
 //!
@@ -18,10 +20,12 @@
 //! bit patterns) under its own magic `LDPK`, so a checkpoint is as
 //! versioned and as type-checked on load as a network frame: every
 //! malformed or geometry-mismatched file is a typed
-//! [`CollectorError::BadCheckpoint`].
+//! [`CollectorError::BadCheckpoint`]. Version 2 added the owning tenant
+//! after the round id; version-1 files are refused with a typed error
+//! rather than silently assigned to tenant 0.
 
 use crate::error::CollectorError;
-use crate::round::{CollectorConfig, RoundChannel, RoundCollector, Store};
+use crate::round::{write_lock, CollectorConfig, RoundChannel, RoundCollector, Store};
 use ldp_protocols::wire::{get_f64, get_u64, get_varint, put_f64, put_u64, put_varint, WireError};
 use std::io::{Read, Write};
 use std::sync::atomic::Ordering;
@@ -29,8 +33,8 @@ use std::sync::atomic::Ordering;
 /// Magic bytes opening a checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"LDPK";
 
-/// Checkpoint format version.
-pub const CHECKPOINT_VERSION: u8 = 1;
+/// Checkpoint format version (2: the owning tenant follows the round id).
+pub const CHECKPOINT_VERSION: u8 = 2;
 
 const CHANNEL_ADJACENCY: u8 = 0;
 const CHANNEL_DEGREE_VECTOR: u8 = 1;
@@ -40,22 +44,24 @@ const CHANNEL_DEGREE_VECTOR: u8 = 1;
 type ShardSnapshot<'a> = (u64, u64, &'a [u64], &'a [f64], &'a [u64]);
 
 impl RoundCollector {
-    /// Snapshots the open round to `w`. Quiesces concurrent sessions at a
-    /// frame boundary first (see the module docs).
+    /// Snapshots the named round to `w`. Quiesces that round's concurrent
+    /// sessions at a frame boundary first (see the module docs); every
+    /// other round keeps ingesting.
     ///
     /// # Errors
-    /// [`CollectorError::NoOpenRound`] without a round; I/O errors from
-    /// the writer.
-    pub fn checkpoint(&self, w: &mut impl Write) -> Result<(), CollectorError> {
-        let mut guard = self
-            .round
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let round = guard.as_mut().ok_or(CollectorError::NoOpenRound)?;
+    /// [`CollectorError::UnknownRound`] when no round has this id; I/O
+    /// errors from the writer.
+    pub fn checkpoint(&self, round_id: u64, w: &mut impl Write) -> Result<(), CollectorError> {
+        let slot = self.slot(round_id)?;
+        let mut guard = write_lock(&slot.inner);
+        let round = guard
+            .as_mut()
+            .ok_or(CollectorError::UnknownRound { round_id })?;
         let mut buf = Vec::new();
         buf.extend_from_slice(&CHECKPOINT_MAGIC);
         buf.push(CHECKPOINT_VERSION);
         put_varint(round.round_id, &mut buf);
+        put_varint(slot.tenant, &mut buf);
         match round.channel {
             RoundChannel::Adjacency { population, p_keep } => {
                 buf.push(CHANNEL_ADJACENCY);
@@ -126,6 +132,7 @@ impl RoundCollector {
             });
         }
         let round_id = get_varint(&mut buf).map_err(bad("round id"))?;
+        let tenant = get_varint(&mut buf).map_err(bad("tenant"))?;
         let channel_tag = take(&mut buf, 1)?[0];
         let channel = match channel_tag {
             CHANNEL_ADJACENCY => {
@@ -170,14 +177,13 @@ impl RoundCollector {
                 RoundChannel::DegreeVector { groups, .. } => config.max_groups.max(groups),
                 RoundChannel::Adjacency { .. } => config.max_groups,
             },
+            memory_budget: config.memory_budget.max(channel.memory_cost(num_shards)),
             ..config
         })?;
-        engine.open_round(round_id, channel, Some(quota))?;
+        engine.open_round_as(tenant, round_id, channel, Some(quota))?;
         {
-            let mut guard = engine
-                .round
-                .write()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let slot = engine.slot(round_id)?;
+            let mut guard = write_lock(&slot.inner);
             let round = guard.as_mut().expect("round just opened");
             for shard_idx in 0..num_shards {
                 let accepted = get_varint(&mut buf).map_err(bad("shard accepted"))?;
@@ -306,7 +312,7 @@ mod tests {
             .unwrap();
         for (i, r) in reports.iter().enumerate() {
             reference
-                .ingest(i as u64, UserReport::Adjacency(r.clone()))
+                .ingest(5, i as u64, UserReport::Adjacency(r.clone()))
                 .unwrap();
         }
         reference.close_round(5).unwrap();
@@ -315,9 +321,11 @@ mod tests {
         };
 
         // Interrupted run: ingest 40, checkpoint, drop, resume, finish.
+        // Opened as tenant 9 to pin that resume restores ownership.
         let first = RoundCollector::new(config()).unwrap();
         first
-            .open_round(
+            .open_round_as(
+                9,
                 5,
                 RoundChannel::Adjacency {
                     population: n,
@@ -328,26 +336,27 @@ mod tests {
             .unwrap();
         for (i, r) in reports.iter().enumerate().take(40) {
             first
-                .ingest(i as u64, UserReport::Adjacency(r.clone()))
+                .ingest(5, i as u64, UserReport::Adjacency(r.clone()))
                 .unwrap();
         }
         let mut snapshot = Vec::new();
-        first.checkpoint(&mut snapshot).unwrap();
+        first.checkpoint(5, &mut snapshot).unwrap();
         drop(first);
 
         let resumed = RoundCollector::resume(config(), &mut snapshot.as_slice()).unwrap();
-        assert_eq!(resumed.open_round_id(), Some(5));
+        assert_eq!(resumed.open_round_ids(), vec![5]);
+        assert_eq!(resumed.round_tenant(5).unwrap(), 9);
         // A duplicate of an already-checkpointed id is still rejected
         // (and, like any queued upload, still charges the quota).
         assert_eq!(
             resumed
-                .ingest(3, UserReport::Adjacency(reports[3].clone()))
+                .ingest(5, 3, UserReport::Adjacency(reports[3].clone()))
                 .unwrap(),
             IngestOutcome::Duplicate
         );
         for (i, r) in reports.iter().enumerate().skip(40) {
             resumed
-                .ingest(i as u64, UserReport::Adjacency(r.clone()))
+                .ingest(5, i as u64, UserReport::Adjacency(r.clone()))
                 .unwrap();
         }
         let counters = resumed.close_round(5).unwrap();
@@ -378,15 +387,15 @@ mod tests {
             .unwrap();
         for i in 0..6u64 {
             engine
-                .ingest(i, UserReport::DegreeVector(vec![1.0, i as f64]))
+                .ingest(2, i, UserReport::DegreeVector(vec![1.0, i as f64]))
                 .unwrap();
         }
         let mut snapshot = Vec::new();
-        engine.checkpoint(&mut snapshot).unwrap();
+        engine.checkpoint(2, &mut snapshot).unwrap();
         let resumed = RoundCollector::resume(config(), &mut snapshot.as_slice()).unwrap();
         for i in 6..9u64 {
             resumed
-                .ingest(i, UserReport::DegreeVector(vec![1.0, i as f64]))
+                .ingest(2, i, UserReport::DegreeVector(vec![1.0, i as f64]))
                 .unwrap();
         }
         resumed.close_round(2).unwrap();
@@ -427,7 +436,7 @@ mod tests {
             )
             .unwrap();
         let mut snapshot = Vec::new();
-        engine.checkpoint(&mut snapshot).unwrap();
+        engine.checkpoint(1, &mut snapshot).unwrap();
         snapshot.truncate(snapshot.len() - 3);
         assert!(matches!(
             RoundCollector::resume(config(), &mut snapshot.as_slice()),

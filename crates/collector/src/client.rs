@@ -22,6 +22,18 @@
 //! [`CollectorClient::sync`] — an acknowledged barrier proving the
 //! daemon folded everything this session sent — before the coordinating
 //! session closes the round.
+//!
+//! ## Round routing
+//!
+//! The daemon multiplexes concurrent rounds, so every report frame names
+//! its round. The client tracks a **current round** — set by
+//! [`CollectorClient::open_round`] or explicitly with
+//! [`CollectorClient::set_round`] (uploader sessions that never open
+//! anything use the latter) — and stamps it into each `REPORT` /
+//! `REPORT_BATCH` frame. Switching rounds flushes the queued batch
+//! first, so a batch frame is always homogeneous in its round. Rounds
+//! are owned by a tenant ([`CollectorClient::with_tenant`], default 0)
+//! for the daemon's per-tenant admission quotas.
 
 use crate::error::CollectorError;
 use crate::round::{RoundChannel, RoundCounters};
@@ -66,6 +78,10 @@ pub struct CollectorClient {
     batch: Vec<u8>,
     batch_count: usize,
     batch_cap: usize,
+    /// The round id stamped into outgoing report frames.
+    round: u64,
+    /// Tenant stamped into `OPEN` frames (admission quotas key on it).
+    tenant: u64,
 }
 
 impl CollectorClient {
@@ -90,7 +106,37 @@ impl CollectorClient {
             batch: Vec::new(),
             batch_count: 0,
             batch_cap: DEFAULT_BATCH_REPORTS,
+            round: 0,
+            tenant: 0,
         })
+    }
+
+    /// Sets the tenant this session opens rounds as (default 0). The
+    /// daemon's per-tenant round quotas key on it.
+    pub fn with_tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// The round id currently stamped into outgoing report frames.
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Points subsequent report frames at `round_id` — how an uploader
+    /// session that never opens a round picks its target, and how one
+    /// session interleaves uploads across several rounds. Flushes any
+    /// queued batch first so a `REPORT_BATCH` frame is always homogeneous
+    /// in its round.
+    ///
+    /// # Errors
+    /// Transport failures from the batch flush.
+    pub fn set_round(&mut self, round_id: u64) -> Result<(), CollectorError> {
+        if self.round != round_id {
+            self.send_batch()?;
+            self.round = round_id;
+        }
+        Ok(())
     }
 
     /// Sets how many queued reports accumulate before a `REPORT_BATCH`
@@ -106,12 +152,13 @@ impl CollectorClient {
         self.batch_cap
     }
 
-    /// Opens a round on the daemon. `quota: None` lets the daemon default
-    /// to the population size.
+    /// Opens a round on the daemon (as this session's tenant) and makes
+    /// it the current round for subsequent reports. `quota: None` lets
+    /// the daemon default to the population size.
     ///
     /// # Errors
-    /// Daemon refusals (cap exceeded, round already open) as
-    /// [`CollectorError::Remote`]; transport failures otherwise.
+    /// Daemon refusals (cap or admission quota exceeded, duplicate round
+    /// id) as [`CollectorError::Remote`]; transport failures otherwise.
     pub fn open_round(
         &mut self,
         round_id: u64,
@@ -121,6 +168,7 @@ impl CollectorClient {
         self.send_batch()?;
         let mut payload = Vec::new();
         put_varint(round_id, &mut payload);
+        put_varint(self.tenant, &mut payload);
         match channel {
             RoundChannel::Adjacency { population, p_keep } => {
                 payload.push(channel_tags::ADJACENCY);
@@ -136,12 +184,13 @@ impl CollectorClient {
         put_varint(quota.unwrap_or(0), &mut payload);
         write_frame(&mut self.writer, frames::OPEN, &payload)?;
         self.expect(frames::ACK)?;
+        self.round = round_id;
         Ok(())
     }
 
     /// Streams one report as its own `REPORT` frame (buffered,
-    /// unacknowledged). Any queued batch is emitted first so the daemon
-    /// sees reports in submission order.
+    /// unacknowledged), routed to the current round. Any queued batch is
+    /// emitted first so the daemon sees reports in submission order.
     ///
     /// # Errors
     /// Transport failures only; rejects surface in the close summary.
@@ -149,7 +198,7 @@ impl CollectorClient {
         self.send_batch()?;
         let mut payload = std::mem::take(&mut self.payload);
         payload.clear();
-        wire::encode_report(user_id, report, &mut payload);
+        wire::encode_routed_report(self.round, user_id, report, &mut payload);
         let result = write_frame(&mut self.writer, frames::REPORT, &payload);
         self.payload = payload;
         result?;
@@ -169,6 +218,7 @@ impl CollectorClient {
         self.send_batch()?;
         let mut payload = std::mem::take(&mut self.payload);
         payload.clear();
+        put_varint(self.round, &mut payload);
         wire::encode_adjacency_report(user_id, report, &mut payload);
         let result = write_frame(&mut self.writer, frames::REPORT, &payload);
         self.payload = payload;
@@ -189,6 +239,7 @@ impl CollectorClient {
         self.send_batch()?;
         let mut payload = std::mem::take(&mut self.payload);
         payload.clear();
+        put_varint(self.round, &mut payload);
         wire::encode_degree_vector_report(user_id, vector, &mut payload);
         let result = write_frame(&mut self.writer, frames::REPORT, &payload);
         self.payload = payload;
@@ -198,7 +249,9 @@ impl CollectorClient {
 
     /// Queues one report for the batched send path; a full batch leaves
     /// as one `REPORT_BATCH` frame. The hot path of a million-report
-    /// round.
+    /// round. Entries themselves are unrouted — the batch frame's head
+    /// carries the round id, stamped when the batch is emitted (see
+    /// [`Self::set_round`] for why a batch is homogeneous).
     ///
     /// # Errors
     /// Transport failures (only when a full batch is emitted).
@@ -280,7 +333,8 @@ impl CollectorClient {
         if self.batch_count == 0 {
             return Ok(());
         }
-        let mut head = Vec::with_capacity(10);
+        let mut head = Vec::with_capacity(20);
+        put_varint(self.round, &mut head);
         put_varint(self.batch_count as u64, &mut head);
         wire::write_frame_split(&mut self.writer, frames::REPORT_BATCH, &head, &self.batch)?;
         self.batch.clear();
@@ -306,13 +360,34 @@ impl CollectorClient {
     /// processes a session's frames in order, so the `ACK` proves the
     /// close summary will include everything sent here.
     ///
+    /// This is also where *asynchronous* typed errors land: reports are
+    /// unacknowledged, so a misdirected frame (unknown or closed round)
+    /// is answered with an `ERR` that arrives ahead of the barrier's
+    /// `ACK`. The barrier reads through to its own `ACK` and surfaces
+    /// the first such error — the reply stream stays aligned for the
+    /// next control call even on the error path.
+    ///
     /// # Errors
-    /// Daemon refusals and transport failures.
+    /// Daemon refusals — including deferred refusals of earlier report
+    /// frames — and transport failures.
     pub fn sync(&mut self) -> Result<(), CollectorError> {
         self.send_batch()?;
         write_frame(&mut self.writer, frames::SYNC, &[])?;
-        self.expect(frames::ACK)?;
-        Ok(())
+        let mut first_err = None;
+        loop {
+            match self.read_reply() {
+                Ok(kind) if kind == frames::ACK => break,
+                Ok(kind) => return Err(CollectorError::UnexpectedFrame { kind }),
+                Err(e @ CollectorError::Remote { .. }) => first_err = first_err.or(Some(e)),
+                // Transport death (e.g. the daemon dropped a refused
+                // session): report the typed refusal if one arrived.
+                Err(e) => return Err(first_err.unwrap_or(e)),
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Closes intake and returns the daemon's summary.
@@ -395,14 +470,16 @@ impl CollectorClient {
         }
     }
 
-    /// Asks the daemon to snapshot the open round to its checkpoint path.
+    /// Asks the daemon to snapshot `round_id` to its checkpoint path.
     ///
     /// # Errors
-    /// Daemon refusals (no path configured, no open round) and transport
+    /// Daemon refusals (no path configured, unknown round) and transport
     /// failures.
-    pub fn checkpoint(&mut self) -> Result<(), CollectorError> {
+    pub fn checkpoint(&mut self, round_id: u64) -> Result<(), CollectorError> {
         self.send_batch()?;
-        write_frame(&mut self.writer, frames::CHECKPOINT, &[])?;
+        let mut payload = Vec::new();
+        put_varint(round_id, &mut payload);
+        write_frame(&mut self.writer, frames::CHECKPOINT, &payload)?;
         self.expect(frames::ACK)?;
         Ok(())
     }

@@ -32,19 +32,55 @@ pub enum CollectorError {
         /// Configured cap ([`crate::CollectorConfig::max_groups`]).
         cap: usize,
     },
-    /// A round is already open; close and finalize it first.
+    /// A round with this id is already open; close and finalize it first
+    /// (or pick a fresh id — the registry multiplexes any number of
+    /// concurrent rounds).
     RoundAlreadyOpen {
-        /// Id of the round currently open.
+        /// Id of the round already in the registry.
         round_id: u64,
     },
     /// The operation needs an open round and none is.
     NoOpenRound,
-    /// The round id in a control frame does not match the open round.
-    RoundMismatch {
-        /// Round currently open.
-        expected: u64,
+    /// The frame names a round id the registry does not hold — never
+    /// opened, or already finalized.
+    UnknownRound {
         /// Round the frame named.
-        got: u64,
+        round_id: u64,
+    },
+    /// The frame names a round whose intake is already closed.
+    RoundClosed {
+        /// Round the frame named.
+        round_id: u64,
+    },
+    /// The tenant already holds its quota of concurrently open rounds —
+    /// admission control refuses the open before any allocation.
+    TenantQuota {
+        /// Tenant that asked.
+        tenant: u64,
+        /// Rounds the tenant holds open.
+        open: usize,
+        /// Configured cap
+        /// ([`crate::CollectorConfig::max_rounds_per_tenant`]).
+        cap: usize,
+    },
+    /// Admitting the round would exceed the collector's global memory
+    /// budget (each open round is priced by the same `O(N²/8)` /
+    /// `O(N/8 + shards·groups)` math as the population caps) — a typed
+    /// backpressure refusal, never an aborting allocation.
+    MemoryBudget {
+        /// Bytes this round would charge.
+        requested_bytes: u64,
+        /// Bytes already charged by open rounds.
+        used_bytes: u64,
+        /// Configured budget ([`crate::CollectorConfig::memory_budget`]).
+        budget_bytes: u64,
+    },
+    /// The daemon is at its connection cap; the connect was refused with
+    /// a typed error instead of queueing behind slots that may never
+    /// free (see `CollectorConfig::max_sessions`).
+    SessionCap {
+        /// Configured cap ([`crate::CollectorConfig::max_sessions`]).
+        cap: usize,
     },
     /// Reports are still outstanding: a round finalizes only once every
     /// user has reported exactly once.
@@ -112,8 +148,29 @@ impl fmt::Display for CollectorError {
                 write!(f, "round {round_id} is still open")
             }
             CollectorError::NoOpenRound => write!(f, "no round is open"),
-            CollectorError::RoundMismatch { expected, got } => {
-                write!(f, "frame names round {got}, open round is {expected}")
+            CollectorError::UnknownRound { round_id } => {
+                write!(f, "no open round has id {round_id}")
+            }
+            CollectorError::RoundClosed { round_id } => {
+                write!(f, "round {round_id} has closed intake")
+            }
+            CollectorError::TenantQuota { tenant, open, cap } => {
+                write!(
+                    f,
+                    "tenant {tenant} already holds {open} open rounds (cap {cap})"
+                )
+            }
+            CollectorError::MemoryBudget {
+                requested_bytes,
+                used_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "round refused by the memory budget: needs {requested_bytes} bytes, \
+                 {used_bytes} of {budget_bytes} already charged by open rounds"
+            ),
+            CollectorError::SessionCap { cap } => {
+                write!(f, "daemon at its session cap of {cap} connections")
             }
             CollectorError::RoundIncomplete {
                 population,
@@ -179,5 +236,24 @@ mod tests {
         assert!(CollectorError::NoOpenRound.to_string().contains("no round"));
         let e = CollectorError::from(WireError::Truncated);
         assert!(std::error::Error::source(&e).is_some());
+        let e = CollectorError::TenantQuota {
+            tenant: 3,
+            open: 8,
+            cap: 8,
+        };
+        assert!(e.to_string().contains("tenant 3"));
+        let e = CollectorError::MemoryBudget {
+            requested_bytes: 512,
+            used_bytes: 900,
+            budget_bytes: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("512") && s.contains("1024"));
+        assert!(CollectorError::SessionCap { cap: 4 }
+            .to_string()
+            .contains("cap of 4"));
+        assert!(CollectorError::UnknownRound { round_id: 7 }
+            .to_string()
+            .contains('7'));
     }
 }

@@ -7,14 +7,19 @@
 //! priori — and this crate runs that collection as a **sharded TCP daemon**
 //! instead of an in-process function call:
 //!
-//! * [`round`] — the transport-agnostic engine: the round lifecycle
+//! * [`round`] — the transport-agnostic engine: a **registry of
+//!   concurrent rounds** keyed by round id, each with the lifecycle
 //!   (**open → ingest → close → finalize**), per-round quotas,
 //!   duplicate-id rejection, and the population memory cap
 //!   ([`CollectorError::PopulationCap`] instead of an OOM: the dense
 //!   adjacency aggregate is `O(N²/8)` bytes ≈ 1.4 GiB at Google+ scale).
-//!   The engine is `Sync`: lifecycle transitions serialize behind a
-//!   write lock while any number of threads ingest concurrently under a
-//!   read lock.
+//!   Admission control prices every open against a global
+//!   [`CollectorConfig::memory_budget`] and per-tenant round quotas, and
+//!   refuses with typed backpressure ([`CollectorError::MemoryBudget`],
+//!   [`CollectorError::TenantQuota`]) instead of allocating. The engine
+//!   is `Sync`: sessions on different rounds never share a lock, and any
+//!   number of threads ingest one round concurrently under its read
+//!   lock.
 //! * `shard` (internal) — reports routed by `user_id % shards` into
 //!   disjoint per-shard state behind per-shard locks; the lower-triangle
 //!   ownership rule of the in-process ingestion engine extends to
@@ -28,10 +33,14 @@
 //! * [`server`] / [`client`] — the TCP daemon over
 //!   [`std::net::TcpListener`] and its typed client, speaking the
 //!   [`ldp_protocols::wire`] frame codec (length-prefixed frames, varint
-//!   ids, bit-packed rows, versioned handshake). The daemon serves up to
-//!   [`CollectorConfig::max_sessions`] connections on parallel session
-//!   threads; the client batches uploads into `REPORT_BATCH` frames and
-//!   offers a `SYNC` barrier for coordinated concurrent uploaders.
+//!   ids, bit-packed rows, versioned handshake — **wire v2** routes every
+//!   report frame by round id). The daemon serves up to
+//!   [`CollectorConfig::max_sessions`] connections on a bounded pool of
+//!   [`CollectorConfig::worker_threads`] workers (no thread per session),
+//!   refusing past-cap connects with a typed `SESSION_CAP` error instead
+//!   of queueing them behind slots that may never free; the client
+//!   batches uploads into `REPORT_BATCH` frames and offers a `SYNC`
+//!   barrier for coordinated concurrent uploaders.
 //! * [`bridge`] — [`ServeScenario::serve`] /
 //!   [`WireWorldRunner`]: the `poison-core` scenario engine evaluated
 //!   end-to-end **over the wire**, bit-identical to the in-process path at

@@ -1,8 +1,9 @@
-//! The round engine: lifecycle, quotas, duplicate rejection, finalize.
+//! The round engine: a registry of concurrent rounds, admission control,
+//! quotas, duplicate rejection, finalize.
 //!
-//! A **round** is one collection epoch: the server opens it for a declared
-//! population and channel, ingests exactly one report per user, closes the
-//! intake, and finalizes the aggregate. The lifecycle is
+//! A **round** is one collection epoch: a tenant opens it for a declared
+//! population and channel, sessions ingest exactly one report per user,
+//! intake closes, and the aggregate finalizes. The lifecycle is
 //!
 //! ```text
 //! open ──ingest*──> close ──> finalize
@@ -10,21 +11,48 @@
 //!        └── checkpoint ──────────┘   (resumable at any ingest point)
 //! ```
 //!
-//! The engine is transport-agnostic — the TCP daemon
-//! ([`crate::server::CollectorServer`]) drives it frame by frame, tests
-//! drive it directly — and, since the ingest plane went concurrent, it is
-//! **`Sync`**: every method takes `&self`. Lifecycle transitions (open,
-//! close, finalize, checkpoint) serialize behind a write lock; report
-//! ingestion takes only a read lock plus the owning shard's mutex, so any
-//! number of session threads fold concurrently. Duplicate-id rejection
-//! lives in the id-sharded seen-bitmaps (race-free by shard ownership),
-//! quota and malformed-upload counters are atomics, and the adjacency
-//! fold is a commutative OR into exclusively-owned words — which is what
-//! makes the finalized view bit-identical regardless of how sessions
-//! interleave. Rejected reports (duplicates, quota overruns, malformed or
-//! out-of-range uploads — exactly the attack surface the paper's
-//! Detect1/Detect2 score) are *counted*, never folded, and surfaced in
-//! the close summary.
+//! and the engine **multiplexes any number of rounds at once**: rounds
+//! live in a registry keyed by round id, every operation names its round
+//! explicitly, and sessions working different rounds never share a lock
+//! beyond a brief read of the registry map.
+//!
+//! ## Locking discipline
+//!
+//! Two lock tiers, always taken registry-before-round:
+//!
+//! 1. the **registry** (`RwLock<HashMap<id, Arc<RoundSlot>>>`) — read to
+//!    look a round up, written only by open (insert) and finalize
+//!    (remove);
+//! 2. each round's **slot lock** — the per-round twin of the old
+//!    single-round engine lock: ingestion takes it read (plus the owning
+//!    shard's mutex), lifecycle transitions (close, finalize,
+//!    checkpoint) take it write, so a close still quiesces every
+//!    in-flight ingest *of that round* and no other.
+//!
+//! Finalize drops the slot's write guard before re-taking the registry
+//! writer to remove the entry, so no thread ever waits on the registry
+//! while holding a slot — the ordering is acyclic and deadlock-free.
+//! Within one round everything works exactly as it did single-round:
+//! duplicate-id rejection lives in the id-sharded seen-bitmaps, quota
+//! and malformed-upload counters are atomics, and the adjacency fold is
+//! a commutative OR into exclusively-owned words — which is what keeps
+//! each round's finalized view bit-identical to a single-round run no
+//! matter how sessions and *other rounds* interleave. Rejected reports
+//! (duplicates, quota overruns, malformed or out-of-range uploads —
+//! exactly the attack surface the paper's Detect1/Detect2 score) are
+//! *counted*, never folded, and surfaced in the close summary.
+//!
+//! ## Admission control
+//!
+//! Opens are refused — typed, before any allocation — when the tenant
+//! already holds [`CollectorConfig::max_rounds_per_tenant`] open rounds
+//! ([`CollectorError::TenantQuota`]) or when the round's priced memory
+//! ([`RoundChannel::memory_cost`], the same `O(N²/8)` / `O(N/8 +
+//! shards·groups)` math as the population caps) would push the engine
+//! past [`CollectorConfig::memory_budget`]
+//! ([`CollectorError::MemoryBudget`]). Finalize refunds the charge. A
+//! hostile tenant can therefore exhaust *its* quota, never the
+//! collector.
 
 use crate::error::CollectorError;
 use crate::shard::{AdjacencyShards, DegreeVectorShards};
@@ -32,8 +60,9 @@ use ldp_graph::runtime::default_threads;
 use ldp_mechanisms::RandomizedResponse;
 use ldp_protocols::ingest::finalize_lower;
 use ldp_protocols::{PerturbedView, UserReport};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -65,14 +94,28 @@ pub struct CollectorConfig {
     /// Worker cap for finalization (further bounded by the process-wide
     /// [`ldp_graph::runtime::set_thread_cap`]).
     pub threads: usize,
-    /// Most TCP sessions the daemon serves concurrently; further accepts
-    /// wait for a slot. Defaults to the runtime worker count, floored at
-    /// 8 so small machines still serve a coordinator plus a handful of
-    /// uploaders at once. Beware setting it below the number of
-    /// *interdependent* concurrent clients (e.g. a coordinator that holds
-    /// its session open while workers stream): the workers would wait for
-    /// a slot the coordinator never frees.
+    /// Most TCP connections the daemon holds at once. Connections are
+    /// cheap — a bounded worker pool multiplexes them, so an idle
+    /// connection costs a small buffer, not a thread — hence the high
+    /// default. A connect past the cap is **refused with a typed error**
+    /// (`ERR` code `SESSION_CAP`) after a short bounded wait for a slot,
+    /// never queued indefinitely: a cap below the number of
+    /// interdependent clients surfaces as a clean
+    /// [`CollectorError::SessionCap`] on the latecomer instead of a
+    /// starvation deadlock.
     pub max_sessions: usize,
+    /// Session worker threads: how many connections make progress
+    /// *simultaneously* (each worker drains one connection's burst, then
+    /// rotates to the next ready one).
+    pub worker_threads: usize,
+    /// Most rounds one tenant may hold open concurrently; the admission
+    /// check behind [`CollectorError::TenantQuota`].
+    pub max_rounds_per_tenant: usize,
+    /// Global budget, in bytes, for the priced memory of all open rounds
+    /// together (see [`RoundChannel::memory_cost`]); the admission check
+    /// behind [`CollectorError::MemoryBudget`]. The default (1 GiB)
+    /// admits ~30 adjacency rounds at the default population cap.
+    pub memory_budget: u64,
 }
 
 impl Default for CollectorConfig {
@@ -83,7 +126,10 @@ impl Default for CollectorConfig {
             max_degree_vector_population: 1 << 24,
             max_groups: 1 << 16,
             threads: default_threads(),
-            max_sessions: default_threads().max(8),
+            max_sessions: 1024,
+            worker_threads: default_threads().max(4),
+            max_rounds_per_tenant: 8,
+            memory_budget: 1 << 30,
         }
     }
 }
@@ -98,6 +144,21 @@ impl CollectorConfig {
         if self.max_sessions == 0 {
             return Err(CollectorError::InvalidConfig {
                 detail: "max_sessions must be positive",
+            });
+        }
+        if self.worker_threads == 0 {
+            return Err(CollectorError::InvalidConfig {
+                detail: "worker_threads must be positive",
+            });
+        }
+        if self.max_rounds_per_tenant == 0 {
+            return Err(CollectorError::InvalidConfig {
+                detail: "max_rounds_per_tenant must be positive",
+            });
+        }
+        if self.memory_budget == 0 {
+            return Err(CollectorError::InvalidConfig {
+                detail: "memory_budget must be positive",
             });
         }
         Ok(())
@@ -131,6 +192,25 @@ impl RoundChannel {
         match *self {
             RoundChannel::Adjacency { population, .. }
             | RoundChannel::DegreeVector { population, .. } => population,
+        }
+    }
+
+    /// Bytes a round on this channel charges against
+    /// [`CollectorConfig::memory_budget`] while open — the same math the
+    /// population caps price refusals with: the dense `O(N²/8)` aggregate
+    /// for adjacency rounds, the `O(N/8)` seen-bitmaps plus
+    /// `O(shards·groups)` sums for degree-vector rounds. The price is
+    /// computed (and the admission decision made) *before* anything is
+    /// allocated.
+    pub fn memory_cost(&self, shards: usize) -> u64 {
+        match *self {
+            RoundChannel::Adjacency { population, .. } => {
+                let n = population as u64;
+                n * n / 8
+            }
+            RoundChannel::DegreeVector { population, groups } => {
+                population as u64 / 8 + (shards.max(1) as u64) * groups as u64 * 8
+            }
         }
     }
 }
@@ -221,22 +301,35 @@ impl OpenRound {
     }
 }
 
-/// The transport-agnostic collection engine. One round at a time, any
-/// number of ingesting threads; see the module docs for the lifecycle
-/// and the locking discipline.
+/// One registry entry: a round's tenant, its priced memory charge, and
+/// the per-round state lock (the multi-round twin of the old engine-wide
+/// round lock — `None` once finalized).
+pub(crate) struct RoundSlot {
+    pub(crate) tenant: u64,
+    pub(crate) cost: u64,
+    pub(crate) inner: RwLock<Option<OpenRound>>,
+}
+
+/// The transport-agnostic collection engine. Any number of concurrent
+/// rounds, any number of ingesting threads; see the module docs for the
+/// lifecycle, the locking discipline, and admission control.
 pub struct RoundCollector {
     config: CollectorConfig,
-    pub(crate) round: RwLock<Option<OpenRound>>,
+    pub(crate) rounds: RwLock<HashMap<u64, Arc<RoundSlot>>>,
+    /// Sum of the open rounds' priced charges. Mutated only under the
+    /// registry write lock, so the check-then-charge at open is
+    /// race-free.
+    memory_used: AtomicU64,
 }
 
 /// Shard folds never panic on the validated inputs the engine hands
 /// them, so a poisoned engine lock (a panicking session thread) is
 /// recovered rather than cascaded.
-fn read_round(lock: &RwLock<Option<OpenRound>>) -> RwLockReadGuard<'_, Option<OpenRound>> {
+pub(crate) fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     lock.read().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn write_round(lock: &RwLock<Option<OpenRound>>) -> RwLockWriteGuard<'_, Option<OpenRound>> {
+pub(crate) fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -250,13 +343,14 @@ impl RoundCollector {
     /// Creates an engine with the given configuration.
     ///
     /// # Errors
-    /// [`CollectorError::InvalidConfig`] on a zero shard count or session
-    /// cap.
+    /// [`CollectorError::InvalidConfig`] on a zero shard count, session
+    /// cap, worker count, tenant quota, or memory budget.
     pub fn new(config: CollectorConfig) -> Result<Self, CollectorError> {
         config.validate()?;
         Ok(RoundCollector {
             config,
-            round: RwLock::new(None),
+            rounds: RwLock::new(HashMap::new()),
+            memory_used: AtomicU64::new(0),
         })
     }
 
@@ -265,36 +359,135 @@ impl RoundCollector {
         &self.config
     }
 
-    /// Id of the currently open round, if any.
-    pub fn open_round_id(&self) -> Option<u64> {
-        read_round(&self.round).as_ref().map(|r| r.round_id)
+    /// Ids of the rounds currently open, ascending.
+    pub fn open_round_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = read_lock(&self.rounds).keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
-    /// Opens a round. `quota` bounds how many reports the round will even
-    /// queue (`None` ⇒ exactly the population).
+    /// Bytes the open rounds currently charge against
+    /// [`CollectorConfig::memory_budget`].
+    pub fn memory_used(&self) -> u64 {
+        self.memory_used.load(Ordering::Acquire)
+    }
+
+    /// The tenant owning the named round.
     ///
     /// # Errors
-    /// [`CollectorError::RoundAlreadyOpen`] if one is in flight;
-    /// [`CollectorError::PopulationCap`] if an adjacency round's dense
-    /// aggregate would exceed the configured memory cap.
+    /// [`CollectorError::UnknownRound`] when no round has this id.
+    pub fn round_tenant(&self, round_id: u64) -> Result<u64, CollectorError> {
+        Ok(self.slot(round_id)?.tenant)
+    }
+
+    /// Looks a round's slot up in the registry.
+    pub(crate) fn slot(&self, round_id: u64) -> Result<Arc<RoundSlot>, CollectorError> {
+        read_lock(&self.rounds)
+            .get(&round_id)
+            .cloned()
+            .ok_or(CollectorError::UnknownRound { round_id })
+    }
+
+    /// Opens a round as tenant 0 — the single-tenant convenience over
+    /// [`Self::open_round_as`].
+    ///
+    /// # Errors
+    /// As [`Self::open_round_as`].
     pub fn open_round(
         &self,
         round_id: u64,
         channel: RoundChannel,
         quota: Option<u64>,
     ) -> Result<(), CollectorError> {
-        let mut guard = write_round(&self.round);
-        if let Some(open) = guard.as_ref() {
-            return Err(CollectorError::RoundAlreadyOpen {
-                round_id: open.round_id,
-            });
+        self.open_round_as(0, round_id, channel, quota)
+    }
+
+    /// Opens a round for `tenant`. `quota` bounds how many reports the
+    /// round will even queue (`None` ⇒ exactly the population). Any
+    /// number of rounds may be open at once; ids are the routing key, so
+    /// an id can only be reused after its round finalizes.
+    ///
+    /// # Errors
+    /// [`CollectorError::RoundAlreadyOpen`] if this id is in flight;
+    /// [`CollectorError::PopulationCap`] / [`CollectorError::GroupCap`]
+    /// if the round exceeds a per-round cap;
+    /// [`CollectorError::TenantQuota`] /
+    /// [`CollectorError::MemoryBudget`] if admission control refuses it.
+    pub fn open_round_as(
+        &self,
+        tenant: u64,
+        round_id: u64,
+        channel: RoundChannel,
+        quota: Option<u64>,
+    ) -> Result<(), CollectorError> {
+        let mut rounds = write_lock(&self.rounds);
+        if rounds.contains_key(&round_id) {
+            return Err(CollectorError::RoundAlreadyOpen { round_id });
         }
         let n = channel.population();
+        // Per-round caps and parameter validation come first (those
+        // refusals predate multi-tenancy and keep their error types),
+        // then the admission checks — all of it before any allocation.
+        self.validate_channel(&channel)?;
+        let open = rounds.values().filter(|s| s.tenant == tenant).count();
+        if open >= self.config.max_rounds_per_tenant {
+            return Err(CollectorError::TenantQuota {
+                tenant,
+                open,
+                cap: self.config.max_rounds_per_tenant,
+            });
+        }
+        let cost = channel.memory_cost(self.config.shards);
+        let used = self.memory_used.load(Ordering::Acquire);
+        if used.saturating_add(cost) > self.config.memory_budget {
+            return Err(CollectorError::MemoryBudget {
+                requested_bytes: cost,
+                used_bytes: used,
+                budget_bytes: self.config.memory_budget,
+            });
+        }
+        // Admitted. Allocation happens under the registry writer — open
+        // is rare and the size is already budget-checked, so holding the
+        // map for the bounded allocation keeps check-then-charge atomic
+        // without a reservation protocol.
         let store = match channel {
+            RoundChannel::Adjacency { population, p_keep } => Store::Adjacency {
+                shards: AdjacencyShards::new(population, self.config.shards),
+                p_keep,
+            },
+            RoundChannel::DegreeVector { population, groups } => Store::DegreeVector {
+                shards: DegreeVectorShards::new(population, groups, self.config.shards),
+            },
+        };
+        rounds.insert(
+            round_id,
+            Arc::new(RoundSlot {
+                tenant,
+                cost,
+                inner: RwLock::new(Some(OpenRound {
+                    round_id,
+                    channel,
+                    quota: quota.unwrap_or(n as u64),
+                    submitted: AtomicU64::new(0),
+                    rejected_quota: AtomicU64::new(0),
+                    rejected_invalid: AtomicU64::new(0),
+                    closed: AtomicBool::new(false),
+                    store,
+                })),
+            }),
+        );
+        self.memory_used.fetch_add(cost, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// The per-round caps and parameter checks, priced exactly as the
+    /// refusal messages claim. Nothing is allocated before this passes.
+    fn validate_channel(&self, channel: &RoundChannel) -> Result<(), CollectorError> {
+        match *channel {
             RoundChannel::Adjacency { population, p_keep } => {
                 // The configured memory cap, and — independently — the
                 // wire's frame bound: a finalized view must fit one
-                // FINALIZE reply, and that has to be refused *here*, not
+                // FINALIZE reply, and that has to be refused at open, not
                 // at finalize with the round already consumed.
                 let cap = self.config.max_population.min(Self::WIRE_VIEW_CAP);
                 if population > cap {
@@ -310,10 +503,6 @@ impl RoundCollector {
                         detail: "keep probability outside (0.5, 1)",
                     }
                 })?;
-                Store::Adjacency {
-                    shards: AdjacencyShards::new(population, self.config.shards),
-                    p_keep,
-                }
             }
             RoundChannel::DegreeVector { population, groups } => {
                 // No dense aggregate here, but a hostile OPEN claiming
@@ -332,42 +521,32 @@ impl RoundCollector {
                         cap: self.config.max_groups,
                     });
                 }
-                Store::DegreeVector {
-                    shards: DegreeVectorShards::new(population, groups, self.config.shards),
-                }
             }
-        };
-        *guard = Some(OpenRound {
-            round_id,
-            channel,
-            quota: quota.unwrap_or(n as u64),
-            submitted: AtomicU64::new(0),
-            rejected_quota: AtomicU64::new(0),
-            rejected_invalid: AtomicU64::new(0),
-            closed: AtomicBool::new(false),
-            store,
-        });
+        }
         Ok(())
     }
 
-    /// Submits one report to the open round, folding it into the owning
+    /// Submits one report to the named round, folding it into the owning
     /// shard immediately. Safe to call from any number of threads at
-    /// once: the engine lock is only read-held, and the fold serializes
-    /// on the one shard that owns the id.
+    /// once: the registry and slot locks are only read-held, and the
+    /// fold serializes on the one shard that owns the id — sessions on
+    /// different rounds share no lock at all.
     ///
     /// Malformed, duplicate, or over-quota reports are *counted and
     /// dropped* (the stream goes on — one bad upload must not stall a
-    /// million good ones); only a missing round is a hard error.
+    /// million good ones); only a missing or closed round is a hard
+    /// error.
     ///
     /// # Errors
-    /// [`CollectorError::NoOpenRound`] when no round is open or intake is
-    /// already closed.
+    /// [`CollectorError::UnknownRound`] when no round has this id;
+    /// [`CollectorError::RoundClosed`] when its intake already closed.
     pub fn ingest(
         &self,
+        round_id: u64,
         user_id: u64,
         report: UserReport,
     ) -> Result<IngestOutcome, CollectorError> {
-        self.ingest_ref(user_id, &report)
+        self.ingest_ref(round_id, user_id, &report)
     }
 
     /// [`Self::ingest`] from a borrow — the fold copies out of the
@@ -378,13 +557,30 @@ impl RoundCollector {
     /// As [`Self::ingest`].
     pub fn ingest_ref(
         &self,
+        round_id: u64,
         user_id: u64,
         report: &UserReport,
     ) -> Result<IngestOutcome, CollectorError> {
-        let guard = read_round(&self.round);
-        let round = guard.as_ref().ok_or(CollectorError::NoOpenRound)?;
+        let slot = self.slot(round_id)?;
+        self.ingest_in_slot(&slot, round_id, user_id, report)
+    }
+
+    /// [`Self::ingest_ref`] against an already-resolved slot — the
+    /// daemon looks a batch frame's round up once and folds every entry
+    /// through this, keeping the registry lock off the per-report path.
+    pub(crate) fn ingest_in_slot(
+        &self,
+        slot: &RoundSlot,
+        round_id: u64,
+        user_id: u64,
+        report: &UserReport,
+    ) -> Result<IngestOutcome, CollectorError> {
+        let guard = read_lock(&slot.inner);
+        let round = guard
+            .as_ref()
+            .ok_or(CollectorError::UnknownRound { round_id })?;
         if round.closed.load(Ordering::Acquire) {
-            return Err(CollectorError::NoOpenRound);
+            return Err(CollectorError::RoundClosed { round_id });
         }
         // Charge one queued slot atomically; refund if the report turns
         // out malformed (invalid uploads never consume quota, matching
@@ -429,73 +625,87 @@ impl RoundCollector {
         })
     }
 
-    /// Counts a report that failed wire decoding against the open round
+    /// Counts a report that failed wire decoding against the named round
     /// (the daemon calls this so malformed frames land in the summary).
-    pub fn note_invalid(&self) {
-        if let Some(round) = read_round(&self.round).as_ref() {
-            round.rejected_invalid.fetch_add(1, Ordering::AcqRel);
+    /// Counts into a closed-but-unfinalized round too — late garbage is
+    /// still part of that round's story; a no-op for unknown ids.
+    pub fn note_invalid(&self, round_id: u64) {
+        if let Ok(slot) = self.slot(round_id) {
+            if let Some(round) = read_lock(&slot.inner).as_ref() {
+                round.rejected_invalid.fetch_add(1, Ordering::AcqRel);
+            }
         }
     }
 
-    /// Current intake counters. Exact at any moment — ingestion folds
-    /// directly, so there is no buffered tail to flush.
+    /// Current intake counters of the named round. Exact at any moment —
+    /// ingestion folds directly, so there is no buffered tail to flush.
     ///
     /// # Errors
-    /// [`CollectorError::NoOpenRound`] when no round is open.
-    pub fn counters(&self) -> Result<RoundCounters, CollectorError> {
-        let guard = read_round(&self.round);
-        let round = guard.as_ref().ok_or(CollectorError::NoOpenRound)?;
+    /// [`CollectorError::UnknownRound`] when no round has this id.
+    pub fn counters(&self, round_id: u64) -> Result<RoundCounters, CollectorError> {
+        let slot = self.slot(round_id)?;
+        let guard = read_lock(&slot.inner);
+        let round = guard
+            .as_ref()
+            .ok_or(CollectorError::UnknownRound { round_id })?;
         Ok(round.counters())
     }
 
-    /// Closes intake on the open round and returns the final counters.
-    /// Takes the engine write lock, so every in-flight ingest completes
-    /// or is refused before the summary is computed — the summary can
-    /// never miss a concurrently folding report.
+    /// Closes intake on the named round and returns the final counters.
+    /// Takes the round's slot write lock, so every in-flight ingest *of
+    /// this round* completes or is refused before the summary is
+    /// computed — the summary can never miss a concurrently folding
+    /// report, and other rounds never stall. Idempotent.
     ///
     /// # Errors
-    /// [`CollectorError::NoOpenRound`] / [`CollectorError::RoundMismatch`]
-    /// on lifecycle misuse.
+    /// [`CollectorError::UnknownRound`] when no round has this id.
     pub fn close_round(&self, round_id: u64) -> Result<RoundCounters, CollectorError> {
-        let mut guard = write_round(&self.round);
-        let round = guard.as_mut().ok_or(CollectorError::NoOpenRound)?;
-        if round.round_id != round_id {
-            return Err(CollectorError::RoundMismatch {
-                expected: round.round_id,
-                got: round_id,
-            });
-        }
+        let slot = self.slot(round_id)?;
+        let guard = write_lock(&slot.inner);
+        let round = guard
+            .as_ref()
+            .ok_or(CollectorError::UnknownRound { round_id })?;
         round.closed.store(true, Ordering::Release);
         Ok(round.counters())
     }
 
-    /// Finalizes the closed round into its aggregate, consuming the round
-    /// state. Requires every user to have reported exactly once.
+    /// Finalizes the named round into its aggregate, consuming the round
+    /// state, removing it from the registry, and refunding its memory
+    /// charge. Requires every user to have reported exactly once. The
+    /// merge itself runs outside every lock, so other rounds keep
+    /// ingesting and finalizing meanwhile.
     ///
     /// # Errors
-    /// [`CollectorError::RoundIncomplete`] while reports are outstanding,
-    /// plus the lifecycle errors of [`Self::close_round`].
+    /// [`CollectorError::RoundIncomplete`] while reports are outstanding;
+    /// [`CollectorError::UnknownRound`] when no round has this id.
     pub fn finalize(&self, round_id: u64) -> Result<RoundOutcome, CollectorError> {
-        let mut guard = write_round(&self.round);
-        let round = guard.as_ref().ok_or(CollectorError::NoOpenRound)?;
-        if round.round_id != round_id {
-            return Err(CollectorError::RoundMismatch {
-                expected: round.round_id,
-                got: round_id,
-            });
-        }
-        let n = round.channel.population();
-        let accepted = match &round.store {
-            Store::Adjacency { shards, .. } => shards.accepted(),
-            Store::DegreeVector { shards } => shards.accepted(),
+        let slot = self.slot(round_id)?;
+        let (round, accepted) = {
+            let mut guard = write_lock(&slot.inner);
+            let round = guard
+                .as_ref()
+                .ok_or(CollectorError::UnknownRound { round_id })?;
+            let n = round.channel.population();
+            let accepted = match &round.store {
+                Store::Adjacency { shards, .. } => shards.accepted(),
+                Store::DegreeVector { shards } => shards.accepted(),
+            };
+            if accepted != n as u64 {
+                return Err(CollectorError::RoundIncomplete {
+                    population: n,
+                    accepted,
+                });
+            }
+            (guard.take().expect("checked above"), accepted)
         };
-        if accepted != n as u64 {
-            return Err(CollectorError::RoundIncomplete {
-                population: n,
-                accepted,
-            });
+        // Slot guard dropped before the registry writer — the lock order
+        // is strictly registry-then-slot everywhere else, so no thread
+        // can wait on the registry while holding this slot.
+        {
+            let mut rounds = write_lock(&self.rounds);
+            rounds.remove(&round_id);
+            self.memory_used.fetch_sub(slot.cost, Ordering::AcqRel);
         }
-        let round = guard.take().expect("checked above");
         match round.store {
             Store::Adjacency { shards, p_keep } => {
                 let (matrix, degrees) = shards.merge();
@@ -563,7 +773,7 @@ mod tests {
             .collect();
         for &i in &order {
             let outcome = engine
-                .ingest(i as u64, UserReport::Adjacency(reports[i].clone()))
+                .ingest(1, i as u64, UserReport::Adjacency(reports[i].clone()))
                 .unwrap();
             assert_eq!(outcome, IngestOutcome::Queued);
         }
@@ -623,7 +833,7 @@ mod tests {
             if threads <= 1 {
                 for (i, r) in reports.iter().enumerate() {
                     engine
-                        .ingest(i as u64, UserReport::Adjacency(r.clone()))
+                        .ingest(9, i as u64, UserReport::Adjacency(r.clone()))
                         .unwrap();
                 }
             } else {
@@ -636,7 +846,7 @@ mod tests {
                                 // Own slice, plus everyone replays slice 0.
                                 if i % threads == t || i % threads == 0 {
                                     engine
-                                        .ingest(i as u64, UserReport::Adjacency(r.clone()))
+                                        .ingest(9, i as u64, UserReport::Adjacency(r.clone()))
                                         .unwrap();
                                 }
                             }
@@ -666,20 +876,21 @@ mod tests {
     fn lifecycle_misuse_is_typed() {
         let engine = RoundCollector::new(CollectorConfig::default()).unwrap();
         assert!(matches!(
-            engine.ingest(0, UserReport::DegreeVector(vec![])),
-            Err(CollectorError::NoOpenRound)
+            engine.ingest(3, 0, UserReport::DegreeVector(vec![])),
+            Err(CollectorError::UnknownRound { round_id: 3 })
         ));
         engine.open_round(3, adjacency_channel(4), None).unwrap();
+        // A second round on a *fresh* id is fine — that's the point of
+        // the registry; the same id is a typed duplicate.
+        engine.open_round(4, adjacency_channel(4), None).unwrap();
         assert!(matches!(
-            engine.open_round(4, adjacency_channel(4), None),
+            engine.open_round(3, adjacency_channel(4), None),
             Err(CollectorError::RoundAlreadyOpen { round_id: 3 })
         ));
+        assert_eq!(engine.open_round_ids(), vec![3, 4]);
         assert!(matches!(
             engine.close_round(9),
-            Err(CollectorError::RoundMismatch {
-                expected: 3,
-                got: 9
-            })
+            Err(CollectorError::UnknownRound { round_id: 9 })
         ));
         assert!(matches!(
             engine.finalize(3),
@@ -689,11 +900,17 @@ mod tests {
             })
         ));
         engine.close_round(3).unwrap();
-        // Intake refused after close.
+        // Intake refused after close — on round 3 only.
         assert!(matches!(
-            engine.ingest(0, UserReport::Adjacency(report(4, 0.0))),
-            Err(CollectorError::NoOpenRound)
+            engine.ingest(3, 0, UserReport::Adjacency(report(4, 0.0))),
+            Err(CollectorError::RoundClosed { round_id: 3 })
         ));
+        assert_eq!(
+            engine
+                .ingest(4, 0, UserReport::Adjacency(report(4, 0.0)))
+                .unwrap(),
+            IngestOutcome::Queued
+        );
     }
 
     fn report(n: usize, degree: f64) -> ldp_protocols::AdjacencyReport {
@@ -707,46 +924,46 @@ mod tests {
         // Out-of-range id.
         assert_eq!(
             engine
-                .ingest(99, UserReport::Adjacency(report(3, 0.0)))
+                .ingest(1, 99, UserReport::Adjacency(report(3, 0.0)))
                 .unwrap(),
             IngestOutcome::Invalid
         );
         // Wrong channel.
         assert_eq!(
             engine
-                .ingest(0, UserReport::DegreeVector(vec![1.0]))
+                .ingest(1, 0, UserReport::DegreeVector(vec![1.0]))
                 .unwrap(),
             IngestOutcome::Invalid
         );
         // Wrong population.
         assert_eq!(
             engine
-                .ingest(0, UserReport::Adjacency(report(9, 0.0)))
+                .ingest(1, 0, UserReport::Adjacency(report(9, 0.0)))
                 .unwrap(),
             IngestOutcome::Invalid
         );
         // Three good ones + a duplicate + one more duplicate = quota's 5.
         for i in 0..3 {
             engine
-                .ingest(i, UserReport::Adjacency(report(3, i as f64)))
+                .ingest(1, i, UserReport::Adjacency(report(3, i as f64)))
                 .unwrap();
         }
         assert_eq!(
             engine
-                .ingest(1, UserReport::Adjacency(report(3, 9.0)))
+                .ingest(1, 1, UserReport::Adjacency(report(3, 9.0)))
                 .unwrap(),
             IngestOutcome::Duplicate
         );
         assert_eq!(
             engine
-                .ingest(2, UserReport::Adjacency(report(3, 9.0)))
+                .ingest(1, 2, UserReport::Adjacency(report(3, 9.0)))
                 .unwrap(),
             IngestOutcome::Duplicate
         );
         // Quota exhausted now.
         assert_eq!(
             engine
-                .ingest(0, UserReport::Adjacency(report(3, 0.0)))
+                .ingest(1, 0, UserReport::Adjacency(report(3, 0.0)))
                 .unwrap(),
             IngestOutcome::QuotaExceeded
         );
@@ -757,8 +974,9 @@ mod tests {
         assert_eq!(counters.rejected_invalid, 3);
         // Still finalizes: every user reported once.
         assert!(matches!(engine.finalize(1), Ok(RoundOutcome::Adjacency(_))));
-        // Round consumed.
-        assert!(engine.open_round_id().is_none());
+        // Round consumed, registry empty, charge refunded.
+        assert!(engine.open_round_ids().is_empty());
+        assert_eq!(engine.memory_used(), 0);
     }
 
     #[test]
@@ -876,7 +1094,7 @@ mod tests {
             .unwrap();
         for i in 0..5u64 {
             engine
-                .ingest(i, UserReport::DegreeVector(vec![1.0, i as f64]))
+                .ingest(7, i, UserReport::DegreeVector(vec![1.0, i as f64]))
                 .unwrap();
         }
         engine.close_round(7).unwrap();
@@ -919,5 +1137,107 @@ mod tests {
             ),
             Err(CollectorError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn tenant_quota_is_per_tenant() {
+        let engine = RoundCollector::new(CollectorConfig {
+            max_rounds_per_tenant: 2,
+            ..CollectorConfig::default()
+        })
+        .unwrap();
+        engine
+            .open_round_as(7, 1, adjacency_channel(4), None)
+            .unwrap();
+        engine
+            .open_round_as(7, 2, adjacency_channel(4), None)
+            .unwrap();
+        assert!(matches!(
+            engine.open_round_as(7, 3, adjacency_channel(4), None),
+            Err(CollectorError::TenantQuota {
+                tenant: 7,
+                open: 2,
+                cap: 2
+            })
+        ));
+        // A different tenant is unaffected by tenant 7's exhaustion.
+        engine
+            .open_round_as(8, 3, adjacency_channel(4), None)
+            .unwrap();
+    }
+
+    #[test]
+    fn memory_budget_charges_and_refunds() {
+        // Adjacency pricing is N²/8: population 8 → 8 bytes per round.
+        let engine = RoundCollector::new(CollectorConfig {
+            memory_budget: 20,
+            ..CollectorConfig::default()
+        })
+        .unwrap();
+        engine
+            .open_round_as(7, 1, adjacency_channel(8), None)
+            .unwrap();
+        engine
+            .open_round_as(8, 2, adjacency_channel(8), None)
+            .unwrap();
+        assert_eq!(engine.memory_used(), 16);
+        // A third 8-byte round would hit 24 > 20: typed refusal carrying
+        // the exact budget math, nothing allocated.
+        assert!(matches!(
+            engine.open_round_as(9, 3, adjacency_channel(8), None),
+            Err(CollectorError::MemoryBudget {
+                requested_bytes: 8,
+                used_bytes: 16,
+                budget_bytes: 20,
+            })
+        ));
+        // Finalizing a round refunds its charge and readmits the open.
+        for i in 0..8 {
+            engine
+                .ingest(1, i, UserReport::Adjacency(report(8, i as f64)))
+                .unwrap();
+        }
+        engine.close_round(1).unwrap();
+        engine.finalize(1).unwrap();
+        assert_eq!(engine.memory_used(), 8);
+        engine
+            .open_round_as(9, 3, adjacency_channel(8), None)
+            .unwrap();
+    }
+
+    #[test]
+    fn interleaved_rounds_do_not_cross_contaminate() {
+        let engine = RoundCollector::new(CollectorConfig::default()).unwrap();
+        let channel = |_| RoundChannel::DegreeVector {
+            population: 4,
+            groups: 1,
+        };
+        engine.open_round(1, channel(()), None).unwrap();
+        engine.open_round(2, channel(()), None).unwrap();
+        // Report-by-report interleaving across the two rounds.
+        for i in 0..4u64 {
+            engine
+                .ingest(1, i, UserReport::DegreeVector(vec![1.0]))
+                .unwrap();
+            engine
+                .ingest(2, i, UserReport::DegreeVector(vec![10.0]))
+                .unwrap();
+        }
+        engine.close_round(1).unwrap();
+        engine.close_round(2).unwrap();
+        let RoundOutcome::DegreeVector {
+            group_totals: a, ..
+        } = engine.finalize(1).unwrap()
+        else {
+            panic!("degree-vector round expected");
+        };
+        let RoundOutcome::DegreeVector {
+            group_totals: b, ..
+        } = engine.finalize(2).unwrap()
+        else {
+            panic!("degree-vector round expected");
+        };
+        assert_eq!(a, vec![4.0]);
+        assert_eq!(b, vec![40.0]);
     }
 }

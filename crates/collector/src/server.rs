@@ -1,30 +1,42 @@
 //! The collection daemon: a TCP front-end over the round engine.
 //!
 //! One [`CollectorServer`] owns a [`std::net::TcpListener`] and a
-//! [`RoundCollector`]; each accepted connection is served on its **own
-//! session thread**, bounded by
+//! [`RoundCollector`]. Accepted connections are **not** threads: they are
+//! small state machines (a socket, an assembly buffer, a warn-once set)
+//! multiplexed over a bounded pool of
+//! [`CollectorConfig::worker_threads`](crate::CollectorConfig::worker_threads)
+//! workers, so an idle connection costs a buffer, not a stack — the
+//! daemon holds up to
 //! [`CollectorConfig::max_sessions`](crate::CollectorConfig::max_sessions)
-//! — the concurrent ingest plane. Round lifecycle transitions (`OPEN`,
-//! `CLOSE`, `FINALIZE`, `CHECKPOINT`) serialize behind the engine's write
-//! lock; `REPORT`/`REPORT_BATCH` ingestion from any number of sessions
-//! folds concurrently into id-sharded state, and the finalized view is
-//! bit-identical however the sessions interleave (OR-folds into
-//! exclusively-owned rows commute). Each session speaks the frame
-//! protocol below over the [`ldp_protocols::wire`] codec, with
-//! `TCP_NODELAY` and a buffered reply writer on both ends of the socket
-//! so control-frame round-trips never pay Nagle delays.
+//! of them, and a connect past that cap is refused with a typed
+//! `ERR`/`SESSION_CAP` after a short bounded wait, never queued
+//! indefinitely. Each worker pops a connection, drains whatever bytes the
+//! socket holds, processes up to a burst of complete frames, stages the
+//! replies, and rotates to the next connection; a connection stuck
+//! mid-frame past the stall timeout (half-written batch, wedged peer) is
+//! dropped rather than allowed to pin its buffer forever.
 //!
-//! ## Frame protocol
+//! Every report-bearing frame names its round: the engine multiplexes
+//! any number of concurrent rounds (see [`crate::RoundCollector`]), and
+//! sessions working different rounds share no lock. Reports naming an
+//! unknown or closed round are counted and answered with **one** typed
+//! `ERR` per (connection, round) — a misdirected client learns its
+//! mistake; a hostile flood cannot turn the daemon into a reply
+//! amplifier. The finalized view of every round is bit-identical however
+//! sessions and other rounds interleave (OR-folds into
+//! exclusively-owned rows commute).
+//!
+//! ## Frame protocol (wire version 2)
 //!
 //! | kind | direction | payload |
 //! |------|-----------|---------|
-//! | `OPEN` `0x01` | c→s | round id, channel tag + params, quota (varints/f64) |
-//! | `REPORT` `0x02` | c→s | one encoded [`UserReport`](ldp_protocols::UserReport) (no per-report ack) |
+//! | `OPEN` `0x01` | c→s | round id, tenant, channel tag + params, quota (varints/f64) |
+//! | `REPORT` `0x02` | c→s | round id + one encoded [`UserReport`](ldp_protocols::UserReport) (no per-report ack) |
 //! | `CLOSE` `0x03` | c→s | round id |
 //! | `FINALIZE` `0x04` | c→s | round id |
-//! | `CHECKPOINT` `0x05` | c→s | empty (snapshots to the configured path) |
+//! | `CHECKPOINT` `0x05` | c→s | round id (snapshots that round to the configured path) |
 //! | `SHUTDOWN` `0x06` | c→s | empty; stops the accept loop |
-//! | `REPORT_BATCH` `0x07` | c→s | varint count + length-prefixed reports (no ack) |
+//! | `REPORT_BATCH` `0x07` | c→s | round id + varint count + length-prefixed reports (no ack) |
 //! | `SYNC` `0x08` | c→s | empty; acked once every prior frame of this session is ingested |
 //! | `ACK` `0x81` | s→c | empty |
 //! | `ERR` `0x82` | s→c | code byte + message |
@@ -44,30 +56,31 @@
 use crate::error::CollectorError;
 use crate::round::{CollectorConfig, RoundChannel, RoundCollector, RoundOutcome};
 use ldp_protocols::wire::{
-    self, get_f64, get_varint, put_f64, put_varint, read_frame, read_stream_header, write_frame,
-    write_stream_header,
+    self, get_f64, get_varint, put_f64, put_varint, write_frame, write_stream_header, MAX_FRAME_LEN,
 };
-use std::io::{BufReader, BufWriter, Write};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Frame kind bytes of the collection protocol.
 pub mod frames {
-    /// Client → server: open a round.
+    /// Client → server: open a round (round id, tenant, channel, quota).
     pub const OPEN: u8 = 0x01;
-    /// Client → server: one report (unacknowledged).
+    /// Client → server: one routed report (unacknowledged).
     pub const REPORT: u8 = 0x02;
-    /// Client → server: close intake, reply with the summary.
+    /// Client → server: close the named round, reply with the summary.
     pub const CLOSE: u8 = 0x03;
-    /// Client → server: finalize the closed round.
+    /// Client → server: finalize the named closed round.
     pub const FINALIZE: u8 = 0x04;
-    /// Client → server: snapshot the round to the checkpoint path.
+    /// Client → server: snapshot the named round to the checkpoint path.
     pub const CHECKPOINT: u8 = 0x05;
     /// Client → server: stop the daemon after this session.
     pub const SHUTDOWN: u8 = 0x06;
-    /// Client → server: a batch of length-prefixed reports
+    /// Client → server: a routed batch of length-prefixed reports
     /// (unacknowledged).
     pub const REPORT_BATCH: u8 = 0x07;
     /// Client → server: barrier — acked once every prior frame of this
@@ -95,11 +108,13 @@ pub(crate) mod channel_tags {
 pub mod codes {
     /// Population exceeds the configured memory cap.
     pub const POPULATION_CAP: u8 = 1;
-    /// A round is already open.
+    /// A round with this id is already open.
     pub const ROUND_ALREADY_OPEN: u8 = 2;
-    /// No round is open.
+    /// No round has the named id (never opened, or already finalized).
     pub const NO_OPEN_ROUND: u8 = 3;
-    /// Frame names a different round than the open one.
+    /// Historical (wire v1): frame named a round other than the single
+    /// open one. Unused since the registry multiplexes rounds; the value
+    /// is reserved so old captures stay readable.
     pub const ROUND_MISMATCH: u8 = 4;
     /// Finalize before every user reported.
     pub const ROUND_INCOMPLETE: u8 = 5;
@@ -109,6 +124,14 @@ pub mod codes {
     pub const CHECKPOINT_FAILED: u8 = 7;
     /// Anything else.
     pub const INTERNAL: u8 = 8;
+    /// The daemon is at its connection cap.
+    pub const SESSION_CAP: u8 = 9;
+    /// The tenant is at its open-round quota.
+    pub const TENANT_QUOTA: u8 = 10;
+    /// Admitting the round would exceed the global memory budget.
+    pub const MEMORY_BUDGET: u8 = 11;
+    /// The named round's intake is already closed.
+    pub const ROUND_CLOSED: u8 = 12;
 }
 
 fn error_code(e: &CollectorError) -> u8 {
@@ -117,8 +140,11 @@ fn error_code(e: &CollectorError) -> u8 {
             codes::POPULATION_CAP
         }
         CollectorError::RoundAlreadyOpen { .. } => codes::ROUND_ALREADY_OPEN,
-        CollectorError::NoOpenRound => codes::NO_OPEN_ROUND,
-        CollectorError::RoundMismatch { .. } => codes::ROUND_MISMATCH,
+        CollectorError::NoOpenRound | CollectorError::UnknownRound { .. } => codes::NO_OPEN_ROUND,
+        CollectorError::RoundClosed { .. } => codes::ROUND_CLOSED,
+        CollectorError::TenantQuota { .. } => codes::TENANT_QUOTA,
+        CollectorError::MemoryBudget { .. } => codes::MEMORY_BUDGET,
+        CollectorError::SessionCap { .. } => codes::SESSION_CAP,
         CollectorError::RoundIncomplete { .. } => codes::ROUND_INCOMPLETE,
         CollectorError::Wire(_) | CollectorError::UnexpectedFrame { .. } => codes::BAD_FRAME,
         CollectorError::InvalidConfig { .. } => codes::BAD_FRAME,
@@ -127,63 +153,36 @@ fn error_code(e: &CollectorError) -> u8 {
     }
 }
 
-/// Counting gate bounding the number of live session threads.
-struct SessionGate {
-    max: usize,
-    active: Mutex<usize>,
-    freed: Condvar,
-}
+/// Bytes one pump reads from a socket before handing the cursor on.
+const READ_CHUNK: usize = 64 << 10;
+/// Complete frames one pump processes before rotating to the next
+/// connection, so one fast uploader cannot starve the rest of the pool.
+const BURST_FRAMES: usize = 256;
+/// Cap on the warn-once set of misdirected round ids per connection.
+const WARN_CAP: usize = 32;
+/// How long a staged reply write may block before the connection is
+/// declared wedged and dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Longest the acceptor waits for a session slot before refusing with a
+/// typed `SESSION_CAP` error (polled; disconnects free slots within a
+/// worker rotation, so sequential clients reuse slots well inside this).
+const ADMIT_WAIT: Duration = Duration::from_secs(1);
+const ADMIT_POLL: Duration = Duration::from_millis(10);
+/// Longest an idle connection's holding worker blocks on its socket when
+/// every live connection is worker-held (the event-driven regime); also
+/// bounds how stale a parked worker's view of the shutdown flag can get.
+const IDLE_PARK: Duration = Duration::from_millis(10);
 
-impl SessionGate {
-    fn new(max: usize) -> Self {
-        SessionGate {
-            max: max.max(1),
-            active: Mutex::new(0),
-            freed: Condvar::new(),
-        }
-    }
-
-    /// Blocks until a session slot is free, then claims it.
-    fn acquire(&self) {
-        let mut active = self
-            .active
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        while *active >= self.max {
-            active = self
-                .freed
-                .wait(active)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-        *active += 1;
-    }
-
-    fn release(&self) {
-        let mut active = self
-            .active
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        *active -= 1;
-        drop(active);
-        self.freed.notify_one();
-    }
-}
-
-/// Releases the session slot when the session thread ends, however it
-/// ends.
-struct SessionSlot<'a>(&'a SessionGate);
-
-impl Drop for SessionSlot<'_> {
-    fn drop(&mut self) {
-        self.0.release();
-    }
-}
+/// Default mid-frame stall timeout: how long a connection may hold a
+/// partial frame without new bytes before the daemon drops it.
+pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// The TCP collection daemon.
 pub struct CollectorServer {
     listener: TcpListener,
     engine: RoundCollector,
     checkpoint_path: Option<PathBuf>,
+    stall_timeout: Duration,
 }
 
 impl CollectorServer {
@@ -196,12 +195,21 @@ impl CollectorServer {
             listener: TcpListener::bind(addr)?,
             engine: RoundCollector::new(config)?,
             checkpoint_path: None,
+            stall_timeout: DEFAULT_STALL_TIMEOUT,
         })
     }
 
     /// Where mid-round snapshots land when a `CHECKPOINT` frame arrives.
     pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// How long a connection may sit mid-frame (half-written batch,
+    /// stalled peer) before the daemon drops it. Defaults to
+    /// [`DEFAULT_STALL_TIMEOUT`]; fault-injection tests lower it.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
         self
     }
 
@@ -213,13 +221,12 @@ impl CollectorServer {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Accepts sessions until a client sends `SHUTDOWN`, serving each on
-    /// its own thread — up to
-    /// [`CollectorConfig::max_sessions`](crate::CollectorConfig::max_sessions)
-    /// at once; further accepts wait for a slot. Session-level failures
-    /// (a peer speaking garbage) end that session and the daemon keeps
-    /// accepting; only listener failures propagate. Returns once the
-    /// shutdown is observed **and** every in-flight session has finished.
+    /// Accepts and serves sessions until a client sends `SHUTDOWN`.
+    /// Connections are multiplexed over the bounded worker pool (see the
+    /// module docs); session-level failures (a peer speaking garbage, a
+    /// stalled frame) end that connection and the daemon keeps serving;
+    /// only listener failures propagate. Returns once the shutdown is
+    /// observed **and** every worker has drained.
     ///
     /// # Errors
     /// Accept failures on the listener.
@@ -227,6 +234,7 @@ impl CollectorServer {
         let engine = &self.engine;
         let checkpoint_path = self.checkpoint_path.as_deref();
         let listener = &self.listener;
+        let stall = self.stall_timeout;
         // The shutdown wake-up connects to ourselves; a wildcard bind
         // (0.0.0.0 / ::) is not connectable on every platform, so aim
         // the wake at loopback on the bound port instead.
@@ -237,29 +245,34 @@ impl CollectorServer {
                 SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
             });
         }
-        let gate = SessionGate::new(engine.config().max_sessions);
-        let shutdown = AtomicBool::new(false);
+        let shared = Shared {
+            queue: ConnQueue::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            wake_addr,
+        };
         std::thread::scope(|scope| -> Result<(), CollectorError> {
-            loop {
-                let (stream, _) = listener.accept()?;
-                if shutdown.load(Ordering::Acquire) {
-                    // Woken (or raced) by a shutting-down session; the
-                    // scope joins the in-flight sessions on the way out.
-                    return Ok(());
-                }
-                gate.acquire();
-                let gate = &gate;
-                let shutdown = &shutdown;
-                scope.spawn(move || {
-                    let _slot = SessionSlot(gate);
-                    if let Ok(true) = session(stream, engine, checkpoint_path) {
-                        shutdown.store(true, Ordering::Release);
-                        // Unblock the accept loop so it can observe the
-                        // flag; the throwaway connection is dropped there.
-                        let _ = TcpStream::connect(wake_addr);
-                    }
-                });
+            let workers = engine.config().worker_threads;
+            for _ in 0..workers {
+                let shared = &shared;
+                scope.spawn(move || worker(shared, engine, checkpoint_path, stall, workers));
             }
+            let result = (|| -> Result<(), CollectorError> {
+                loop {
+                    let (stream, _) = listener.accept()?;
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        // Woken (or raced) by a shutting-down session; the
+                        // throwaway connection is dropped here.
+                        return Ok(());
+                    }
+                    admit(stream, engine.config().max_sessions, &shared);
+                }
+            })();
+            // Every exit path — clean shutdown or listener failure — must
+            // release the workers, or the scope join would hang.
+            shared.shutdown.store(true, Ordering::Release);
+            shared.queue.notify_all();
+            result
         })
     }
 
@@ -306,142 +319,631 @@ impl CollectorServer {
     }
 }
 
-/// Serves one connection; `Ok(true)` means shutdown was requested.
-fn session(
-    stream: TcpStream,
-    engine: &RoundCollector,
-    checkpoint_path: Option<&Path>,
-) -> Result<bool, CollectorError> {
-    // Socket tuning symmetric with the client: no Nagle delay on control
-    // replies, and a buffered writer so multi-field replies leave as one
-    // segment.
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
-    let mut writer = BufWriter::with_capacity(1 << 16, stream);
-    read_stream_header(&mut reader)?;
-    write_stream_header(&mut writer)?;
-    writer.flush()?;
+/// State shared between the acceptor and the worker pool.
+struct Shared {
+    queue: ConnQueue,
+    shutdown: AtomicBool,
+    /// Live connections (owned by the queue or a worker). Incremented by
+    /// the single-threaded acceptor, decremented by whichever worker
+    /// retires the connection — so the acceptor's check-then-increment
+    /// cannot race another incrementer.
+    active: AtomicUsize,
+    wake_addr: SocketAddr,
+}
 
-    let mut payload = Vec::new();
-    let mut reply = Vec::new();
-    loop {
-        let kind = match read_frame(&mut reader, &mut payload)? {
-            Some(kind) => kind,
-            None => return Ok(false), // clean disconnect
-        };
-        reply.clear();
-        let result: Result<u8, CollectorError> = match kind {
-            frames::OPEN => decode_open(&payload)
-                .and_then(|(id, channel, quota)| engine.open_round(id, channel, quota))
-                .map(|()| frames::ACK),
-            frames::REPORT => {
-                match wire::decode_report(&payload) {
-                    Ok((user_id, report)) => {
-                        // Lifecycle errors (no open round) are silent
-                        // drops here by design: the client learns from
-                        // the close summary, and a flood of misdirected
-                        // reports cannot force a write per frame.
-                        if engine.ingest_ref(user_id, &report).is_err() {
-                            engine.note_invalid();
-                        }
-                    }
-                    Err(_) => engine.note_invalid(),
-                }
-                continue; // unacknowledged
-            }
-            frames::REPORT_BATCH => {
-                match wire::read_report_batch(&payload) {
-                    Ok(mut batch) => {
-                        while let Some(entry) = batch.next_entry() {
-                            match entry {
-                                Ok((user_id, report)) => {
-                                    if engine.ingest_ref(user_id, &report).is_err() {
-                                        engine.note_invalid();
-                                    }
-                                }
-                                // A malformed entry is isolated by its
-                                // length prefix; the rest of the batch
-                                // still folds.
-                                Err(_) => engine.note_invalid(),
-                            }
-                        }
-                        if batch.finish().is_err() {
-                            engine.note_invalid();
-                        }
-                    }
-                    Err(_) => engine.note_invalid(),
-                }
-                continue; // unacknowledged
-            }
-            frames::SYNC => {
-                // Frames are processed in order, so reaching here proves
-                // every prior report of this session is folded.
-                wire::expect_end(&payload)
-                    .map(|()| frames::ACK)
-                    .map_err(CollectorError::Wire)
-            }
-            frames::CLOSE => decode_round_id(&payload)
-                .and_then(|id| engine.close_round(id))
-                .map(|counters| {
-                    put_varint(counters.accepted, &mut reply);
-                    put_varint(counters.rejected_duplicate, &mut reply);
-                    put_varint(counters.rejected_quota, &mut reply);
-                    put_varint(counters.rejected_invalid, &mut reply);
-                    frames::SUMMARY
-                }),
-            frames::FINALIZE => decode_round_id(&payload)
-                .and_then(|id| engine.finalize(id))
-                .map(|outcome| match outcome {
-                    RoundOutcome::Adjacency(view) => {
-                        wire::encode_view(&view, &mut reply);
-                        frames::VIEW
-                    }
-                    RoundOutcome::DegreeVector {
-                        group_totals,
-                        accepted,
-                    } => {
-                        put_varint(accepted, &mut reply);
-                        put_varint(group_totals.len() as u64, &mut reply);
-                        for &t in &group_totals {
-                            put_f64(t, &mut reply);
-                        }
-                        frames::DEGREE_SUMMARY
-                    }
-                }),
-            frames::CHECKPOINT => checkpoint_to_path(engine, checkpoint_path).map(|()| frames::ACK),
-            frames::SHUTDOWN => {
-                write_frame(&mut writer, frames::ACK, &[])?;
-                writer.flush()?;
-                return Ok(true);
-            }
-            kind => Err(CollectorError::UnexpectedFrame { kind }),
-        };
-        match result {
-            Ok(reply_kind) => write_frame(&mut writer, reply_kind, &reply)?,
-            Err(e) => {
-                reply.clear();
-                reply.push(error_code(&e));
-                let message = e.to_string();
-                put_varint(message.len() as u64, &mut reply);
-                reply.extend_from_slice(message.as_bytes());
-                write_frame(&mut writer, frames::ERR, &reply)?;
-            }
+/// The rotation queue: connections waiting for a worker.
+struct ConnQueue {
+    inner: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
         }
-        writer.flush()?;
+    }
+
+    fn push(&self, conn: Conn) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(conn);
+        self.ready.notify_one();
+    }
+
+    /// Pops the next connection, blocking while the queue is empty.
+    /// Returns `None` once shutdown is flagged and nothing is queued.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Conn> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            // Timed wait: a shutdown flagged between the check and the
+            // wait cannot strand a worker past one tick.
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+
+    fn notify_all(&self) {
+        self.ready.notify_all();
     }
 }
 
-fn checkpoint_to_path(engine: &RoundCollector, path: Option<&Path>) -> Result<(), CollectorError> {
+/// Admits one accepted socket into the pool, or refuses it with a typed
+/// `SESSION_CAP` error after a bounded wait for a slot.
+fn admit(stream: TcpStream, cap: usize, shared: &Shared) {
+    let mut waited = Duration::ZERO;
+    while shared.active.load(Ordering::Acquire) >= cap {
+        if waited >= ADMIT_WAIT {
+            refuse_session_cap(&stream, cap);
+            return;
+        }
+        std::thread::sleep(ADMIT_POLL);
+        waited += ADMIT_POLL;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+    shared.active.fetch_add(1, Ordering::AcqRel);
+    match Conn::new(stream) {
+        Ok(conn) => shared.queue.push(conn),
+        Err(_) => {
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// The typed connect refusal: a valid stream header followed by one
+/// `ERR`/`SESSION_CAP` frame, so the latecomer's first reply read is a
+/// clean [`CollectorError::Remote`] instead of a hang or a reset.
+fn refuse_session_cap(stream: &TcpStream, cap: usize) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut out = Vec::new();
+    if write_stream_header(&mut out).is_ok() {
+        let mut reply = Vec::new();
+        encode_error(&CollectorError::SessionCap { cap }, &mut reply);
+        let _ = write_frame(&mut out, frames::ERR, &reply);
+        if (&*stream).write_all(&out).is_err() {
+            return;
+        }
+    }
+    // Half-close and absorb whatever the peer already sent (its
+    // handshake, typically a first frame too) before dropping the
+    // socket: closing with unread bytes queued turns the close into an
+    // RST, and an RST discards the refusal from the peer's receive
+    // queue before it can be read. FIN keeps the typed error readable.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(ADMIT_WAIT));
+    let mut sink = [0u8; 512];
+    while matches!((&*stream).read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn encode_error(e: &CollectorError, reply: &mut Vec<u8>) {
+    reply.push(error_code(e));
+    let message = e.to_string();
+    put_varint(message.len() as u64, reply);
+    reply.extend_from_slice(message.as_bytes());
+}
+
+/// What one pump of a connection concluded.
+enum Pump {
+    /// Socket had nothing new and nothing completed.
+    Idle,
+    /// Bytes were read or frames were processed.
+    Progress,
+    /// The connection is finished (clean EOF, error, or refusal).
+    Closed,
+    /// The peer requested daemon shutdown (already acked).
+    Shutdown,
+}
+
+/// One multiplexed connection: a nonblocking socket plus the incremental
+/// frame-assembly state a worker needs to continue it from any byte
+/// boundary.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed inbound bytes (handshake, then length-prefixed frames).
+    buf: Vec<u8>,
+    /// Staged outbound replies, flushed at the end of each burst.
+    out: Vec<u8>,
+    handshaken: bool,
+    /// Misdirected round ids already answered with a typed ERR — one
+    /// warning per (connection, round), so a flood of unknown-round
+    /// reports cannot turn the daemon into a reply amplifier.
+    warned: Vec<u64>,
+    /// Last moment bytes arrived; drives the mid-frame stall timeout.
+    last_progress: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        // The server's header goes out immediately (6 bytes always fit
+        // the fresh socket buffer); everything after is nonblocking.
+        write_stream_header(&mut &stream).map_err(|_| std::io::ErrorKind::BrokenPipe)?;
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            handshaken: false,
+            warned: Vec::new(),
+            last_progress: Instant::now(),
+        })
+    }
+
+    /// True while the buffer holds a partial unit (header or frame) —
+    /// the state the stall timeout applies to.
+    fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Blocks on this connection's socket until bytes are readable, the
+    /// peer hangs up, or `timeout` passes — then restores nonblocking
+    /// mode. A failed mode flip degrades to a plain nap so the worker
+    /// loop's pacing still holds.
+    fn park(&mut self, timeout: Duration) {
+        let mut probe = [0u8; 1];
+        if self.stream.set_nonblocking(false).is_err()
+            || self.stream.set_read_timeout(Some(timeout)).is_err()
+        {
+            std::thread::sleep(timeout);
+        } else {
+            let _ = self.stream.peek(&mut probe);
+        }
+        let _ = self.stream.set_nonblocking(true);
+    }
+
+    /// Drains available socket bytes, processes up to [`BURST_FRAMES`]
+    /// complete frames, and flushes staged replies.
+    fn pump(
+        &mut self,
+        engine: &RoundCollector,
+        checkpoint_path: Option<&Path>,
+        payload_scratch: &mut Vec<u8>,
+    ) -> Pump {
+        let (read_bytes, eof) = match self.fill() {
+            Ok(pair) => pair,
+            Err(_) => return Pump::Closed,
+        };
+        let mut progressed = read_bytes > 0;
+        if progressed {
+            self.last_progress = Instant::now();
+        }
+
+        if !self.handshaken {
+            if self.buf.len() < 6 {
+                return if eof {
+                    Pump::Closed
+                } else if progressed {
+                    Pump::Progress
+                } else {
+                    Pump::Idle
+                };
+            }
+            if wire::read_stream_header(&mut &self.buf[..6]).is_err() {
+                // A foreign or downgraded peer: nothing it sends can be
+                // routed; drop it (the peer reads our valid header and
+                // types the mismatch on its own side).
+                return Pump::Closed;
+            }
+            self.buf.drain(..6);
+            self.handshaken = true;
+            progressed = true;
+        }
+
+        let mut outcome = None;
+        for _ in 0..BURST_FRAMES {
+            let (kind, frame_len) = match self.peek_frame() {
+                Head::Incomplete => break,
+                Head::Bad(len) => {
+                    // Hostile or corrupt length prefix: answer typed, drop.
+                    let mut reply = Vec::new();
+                    encode_error(
+                        &CollectorError::Wire(wire::WireError::OversizeFrame { len }),
+                        &mut reply,
+                    );
+                    let _ = write_frame(&mut self.out, frames::ERR, &reply);
+                    outcome = Some(Pump::Closed);
+                    break;
+                }
+                Head::Frame(kind, len) => (kind, len),
+            };
+            payload_scratch.clear();
+            payload_scratch.extend_from_slice(&self.buf[5..4 + frame_len]);
+            self.buf.drain(..4 + frame_len);
+            progressed = true;
+            match process_frame(self, engine, checkpoint_path, kind, payload_scratch) {
+                Frame::Continue => {}
+                Frame::Shutdown => {
+                    outcome = Some(Pump::Shutdown);
+                    break;
+                }
+                Frame::Fatal => {
+                    outcome = Some(Pump::Closed);
+                    break;
+                }
+            }
+        }
+
+        if self.flush_replies().is_err() {
+            return Pump::Closed;
+        }
+        if let Some(outcome) = outcome {
+            return outcome;
+        }
+        if eof {
+            // A closed peer may still have complete frames buffered past
+            // this burst (it wrote and hung up; TCP delivered the lot) —
+            // keep the connection rotating until they are all processed.
+            // Then: clean close at a frame boundary; a mid-frame EOF is a
+            // peer that died half-write — either way the connection ends
+            // and the partial frame is never half-ingested.
+            return if matches!(self.peek_frame(), Head::Frame(..)) {
+                Pump::Progress
+            } else {
+                Pump::Closed
+            };
+        }
+        if progressed {
+            Pump::Progress
+        } else {
+            Pump::Idle
+        }
+    }
+
+    /// Reads whatever the socket holds, up to ~1 MiB per pump so one
+    /// firehose connection cannot monopolize its worker's rotation.
+    /// Returns `(bytes_read, saw_eof)`.
+    fn fill(&mut self) -> std::io::Result<(usize, bool)> {
+        let mut total = 0;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok((total, true)),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    total += n;
+                    if n < chunk.len() || total >= 1 << 20 {
+                        return Ok((total, false));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok((total, false)),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => Err(e)?,
+            }
+        }
+    }
+
+    /// Inspects the head of the buffer for a complete frame: its kind and
+    /// total `kind+payload` length, an incomplete prefix, or a hostile
+    /// length claim (refused before any buffering toward it).
+    fn peek_frame(&self) -> Head {
+        if self.buf.len() < 4 {
+            return Head::Incomplete;
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Head::Bad(len);
+        }
+        if self.buf.len() < 4 + len {
+            return Head::Incomplete;
+        }
+        Head::Frame(self.buf[4], len)
+    }
+
+    /// Writes the staged replies in temporary blocking mode (with a write
+    /// timeout), so a slow reader surfaces as a typed I/O failure on this
+    /// connection instead of a busy-loop or an unbounded stall.
+    fn flush_replies(&mut self) -> std::io::Result<()> {
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        self.stream.set_nonblocking(false)?;
+        self.stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        let result = self.stream.write_all(&self.out);
+        self.out.clear();
+        self.stream.set_nonblocking(true)?;
+        result
+    }
+
+    /// Warn-once bookkeeping for misdirected (unknown/closed) rounds.
+    /// Returns true the first time this connection trips over the id.
+    fn should_warn(&mut self, round_id: u64) -> bool {
+        if self.warned.contains(&round_id) {
+            return false;
+        }
+        if self.warned.len() >= WARN_CAP {
+            return false;
+        }
+        self.warned.push(round_id);
+        true
+    }
+}
+
+/// Head-of-buffer parse state (see [`Conn::peek_frame`]).
+enum Head {
+    /// Not enough bytes for a length prefix or the frame it claims.
+    Incomplete,
+    /// A zero or oversize length claim — the protocol is broken.
+    Bad(usize),
+    /// A complete frame: kind byte and `kind+payload` length.
+    Frame(u8, usize),
+}
+
+enum Frame {
+    Continue,
+    Shutdown,
+    Fatal,
+}
+
+/// Processes one complete frame, staging any reply into `conn.out`.
+fn process_frame(
+    conn: &mut Conn,
+    engine: &RoundCollector,
+    checkpoint_path: Option<&Path>,
+    kind: u8,
+    payload: &[u8],
+) -> Frame {
+    let mut reply = Vec::new();
+    let result: Result<u8, CollectorError> = match kind {
+        frames::OPEN => decode_open(payload)
+            .and_then(|(tenant, id, channel, quota)| {
+                engine.open_round_as(tenant, id, channel, quota)
+            })
+            .map(|()| frames::ACK),
+        frames::REPORT => {
+            match wire::decode_routed_report(payload) {
+                Ok((round_id, user_id, report)) => {
+                    ingest_routed(conn, engine, round_id, user_id, &report)
+                }
+                Err(_) => {
+                    // Charge the garbage to its round if the id at least
+                    // parses; otherwise the frame is simply dropped (its
+                    // length prefix isolated it from the stream).
+                    let mut head = payload;
+                    if let Ok(round_id) = get_varint(&mut head) {
+                        engine.note_invalid(round_id);
+                    }
+                }
+            }
+            return Frame::Continue; // unacknowledged
+        }
+        frames::REPORT_BATCH => {
+            match wire::read_routed_batch(payload) {
+                // One registry lookup per batch frame, not per report:
+                // the hot path folds straight against the round's slot.
+                // An unknown round id refuses the whole frame (warn-once
+                // typed ERR; counting against nothing is a no-op, same
+                // as the per-report path).
+                Ok((round_id, mut batch)) => match engine.slot(round_id) {
+                    Ok(slot) => {
+                        while let Some(entry) = batch.next_entry() {
+                            match entry {
+                                Ok((user_id, report)) => {
+                                    ingest_routed_slot(
+                                        conn, engine, &slot, round_id, user_id, &report,
+                                    );
+                                }
+                                // A malformed entry is isolated by its length
+                                // prefix; the rest of the batch still folds.
+                                Err(_) => engine.note_invalid(round_id),
+                            }
+                        }
+                        if batch.finish().is_err() {
+                            engine.note_invalid(round_id);
+                        }
+                    }
+                    Err(e) => {
+                        if conn.should_warn(round_id) {
+                            let mut err = Vec::new();
+                            encode_error(&e, &mut err);
+                            let _ = write_frame(&mut conn.out, frames::ERR, &err);
+                        }
+                    }
+                },
+                Err(_) => {
+                    let mut head = payload;
+                    if let Ok(round_id) = get_varint(&mut head) {
+                        engine.note_invalid(round_id);
+                    }
+                }
+            }
+            return Frame::Continue; // unacknowledged
+        }
+        frames::SYNC => {
+            // Frames are processed in order, so reaching here proves
+            // every prior report of this session is folded.
+            wire::expect_end(payload)
+                .map(|()| frames::ACK)
+                .map_err(CollectorError::Wire)
+        }
+        frames::CLOSE => decode_round_id(payload)
+            .and_then(|id| engine.close_round(id))
+            .map(|counters| {
+                put_varint(counters.accepted, &mut reply);
+                put_varint(counters.rejected_duplicate, &mut reply);
+                put_varint(counters.rejected_quota, &mut reply);
+                put_varint(counters.rejected_invalid, &mut reply);
+                frames::SUMMARY
+            }),
+        frames::FINALIZE => decode_round_id(payload)
+            .and_then(|id| engine.finalize(id))
+            .map(|outcome| match outcome {
+                RoundOutcome::Adjacency(view) => {
+                    wire::encode_view(&view, &mut reply);
+                    frames::VIEW
+                }
+                RoundOutcome::DegreeVector {
+                    group_totals,
+                    accepted,
+                } => {
+                    put_varint(accepted, &mut reply);
+                    put_varint(group_totals.len() as u64, &mut reply);
+                    for &t in &group_totals {
+                        put_f64(t, &mut reply);
+                    }
+                    frames::DEGREE_SUMMARY
+                }
+            }),
+        frames::CHECKPOINT => decode_round_id(payload)
+            .and_then(|id| checkpoint_to_path(engine, id, checkpoint_path))
+            .map(|()| frames::ACK),
+        frames::SHUTDOWN => {
+            let _ = write_frame(&mut conn.out, frames::ACK, &[]);
+            return Frame::Shutdown;
+        }
+        kind => Err(CollectorError::UnexpectedFrame { kind }),
+    };
+    match result {
+        Ok(reply_kind) => {
+            if write_frame(&mut conn.out, reply_kind, &reply).is_err() {
+                return Frame::Fatal;
+            }
+        }
+        Err(e) => {
+            reply.clear();
+            encode_error(&e, &mut reply);
+            let _ = write_frame(&mut conn.out, frames::ERR, &reply);
+        }
+    }
+    Frame::Continue
+}
+
+/// Routes one report into its round. Engine refusals that prove the
+/// *frame* was misdirected (unknown/closed round) get a warn-once typed
+/// ERR; per-report outcomes (duplicate, quota, invalid) are counted by
+/// the engine and read from the close summary, as ever.
+fn ingest_routed(
+    conn: &mut Conn,
+    engine: &RoundCollector,
+    round_id: u64,
+    user_id: u64,
+    report: &ldp_protocols::UserReport,
+) {
+    if let Err(e) = engine.ingest_ref(round_id, user_id, report) {
+        engine.note_invalid(round_id);
+        if conn.should_warn(round_id) {
+            let mut reply = Vec::new();
+            encode_error(&e, &mut reply);
+            let _ = write_frame(&mut conn.out, frames::ERR, &reply);
+        }
+    }
+}
+
+/// [`ingest_routed`] with the round's slot already resolved (the
+/// per-batch fast path).
+fn ingest_routed_slot(
+    conn: &mut Conn,
+    engine: &RoundCollector,
+    slot: &crate::round::RoundSlot,
+    round_id: u64,
+    user_id: u64,
+    report: &ldp_protocols::UserReport,
+) {
+    if let Err(e) = engine.ingest_in_slot(slot, round_id, user_id, report) {
+        engine.note_invalid(round_id);
+        if conn.should_warn(round_id) {
+            let mut reply = Vec::new();
+            encode_error(&e, &mut reply);
+            let _ = write_frame(&mut conn.out, frames::ERR, &reply);
+        }
+    }
+}
+
+/// One pool worker: pop a connection, pump it, requeue or retire it.
+fn worker(
+    shared: &Shared,
+    engine: &RoundCollector,
+    checkpoint_path: Option<&Path>,
+    stall: Duration,
+    workers: usize,
+) {
+    let mut payload_scratch = Vec::new();
+    // Backoff bookkeeping: after a full rotation of nothing-but-idle
+    // connections, nap briefly — bounded CPU when 10k connections sit
+    // quiet, sub-millisecond pickup when one wakes.
+    let mut idle_pops = 0usize;
+    while let Some(mut conn) = shared.queue.pop(&shared.shutdown) {
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Drain mode: surviving connections are dropped, not pumped —
+            // otherwise idle ones would be requeued forever and the pool
+            // could never join.
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        match conn.pump(engine, checkpoint_path, &mut payload_scratch) {
+            Pump::Idle => {
+                if conn.mid_frame() && conn.last_progress.elapsed() > stall {
+                    // Wedged mid-frame past the timeout: drop it. The
+                    // partial frame was never ingested, so every round's
+                    // aggregate is exactly as if the bytes never arrived.
+                    shared.active.fetch_sub(1, Ordering::AcqRel);
+                    continue;
+                }
+                if shared.active.load(Ordering::Relaxed) <= workers {
+                    // Every live connection is held by some worker, so
+                    // nobody is waiting on the queue for this one: park
+                    // on *its* socket instead of napping blind. Wakes
+                    // the instant bytes arrive — request/response
+                    // traffic stays event-driven, not poll-paced.
+                    conn.park(IDLE_PARK);
+                    shared.queue.push(conn);
+                    idle_pops = 0;
+                } else {
+                    shared.queue.push(conn);
+                    idle_pops += 1;
+                    if idle_pops >= shared.active.load(Ordering::Relaxed).max(1) {
+                        idle_pops = 0;
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                }
+            }
+            Pump::Progress => {
+                shared.queue.push(conn);
+                idle_pops = 0;
+            }
+            Pump::Closed => {
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+            }
+            Pump::Shutdown => {
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+                shared.shutdown.store(true, Ordering::Release);
+                shared.queue.notify_all();
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect_timeout(&shared.wake_addr, WRITE_TIMEOUT);
+            }
+        }
+    }
+}
+
+fn checkpoint_to_path(
+    engine: &RoundCollector,
+    round_id: u64,
+    path: Option<&Path>,
+) -> Result<(), CollectorError> {
     let path = path.ok_or(CollectorError::BadCheckpoint {
         detail: "daemon has no checkpoint path configured",
     })?;
     let mut file = std::fs::File::create(path)?;
-    engine.checkpoint(&mut file)
+    engine.checkpoint(round_id, &mut file)
 }
 
-fn decode_open(payload: &[u8]) -> Result<(u64, RoundChannel, Option<u64>), CollectorError> {
+fn decode_open(payload: &[u8]) -> Result<(u64, u64, RoundChannel, Option<u64>), CollectorError> {
     let mut buf = payload;
     let round_id = get_varint(&mut buf)?;
+    let tenant = get_varint(&mut buf)?;
     let (&tag, rest) = buf
         .split_first()
         .ok_or(CollectorError::Wire(wire::WireError::Truncated))?;
@@ -465,7 +967,7 @@ fn decode_open(payload: &[u8]) -> Result<(u64, RoundChannel, Option<u64>), Colle
     };
     let quota = get_varint(&mut buf)?;
     wire::expect_end(buf)?;
-    Ok((round_id, channel, (quota != 0).then_some(quota)))
+    Ok((tenant, round_id, channel, (quota != 0).then_some(quota)))
 }
 
 fn decode_round_id(payload: &[u8]) -> Result<u64, CollectorError> {

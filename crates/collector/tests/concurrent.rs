@@ -78,6 +78,7 @@ fn disjoint_concurrent_clients_match_in_process() {
                 let mut client = CollectorClient::connect(addr)
                     .expect("worker connect")
                     .with_batch_size(7);
+                client.set_round(1).expect("set round");
                 let lo = n * c / connections;
                 let hi = n * (c + 1) / connections;
                 for (id, report) in reports.iter().enumerate().take(hi).skip(lo) {
@@ -135,6 +136,7 @@ fn overlapping_duplicate_races_match_sequential_client() {
                 let mut client = CollectorClient::connect(addr)
                     .expect("worker connect")
                     .with_batch_size(16);
+                client.set_round(2).expect("set round");
                 for (id, report) in reports.iter().enumerate() {
                     client.queue_adjacency_report(id as u64, report).unwrap();
                 }
@@ -181,6 +183,7 @@ fn concurrent_degree_vector_round_totals_exactly_once() {
                 let mut client = CollectorClient::connect(addr)
                     .expect("worker connect")
                     .with_batch_size(32);
+                client.set_round(5).expect("set round");
                 for id in 0..n {
                     let v = [1.0, 2.0, (id % 7) as f64, (id / 3) as f64];
                     client.queue_degree_vector(id as u64, &v).unwrap();
@@ -287,6 +290,7 @@ fn checkpoint_races_concurrent_sessions_and_resumes_bit_identical() {
                 let mut client = CollectorClient::connect(addr)
                     .expect("worker connect")
                     .with_batch_size(5);
+                client.set_round(3).expect("set round");
                 for (id, report) in reports.iter().enumerate() {
                     if id % 2 == c {
                         client.queue_adjacency_report(id as u64, report).unwrap();
@@ -298,7 +302,7 @@ fn checkpoint_races_concurrent_sessions_and_resumes_bit_identical() {
         // Race a snapshot against the streams.
         let coordinator = &mut coordinator;
         scope.spawn(move || {
-            coordinator.checkpoint().expect("checkpoint");
+            coordinator.checkpoint(3).expect("checkpoint");
         });
     });
 
@@ -322,7 +326,7 @@ fn checkpoint_races_concurrent_sessions_and_resumes_bit_identical() {
     .expect("resume snapshot");
     for (id, report) in reports.iter().enumerate() {
         let outcome = resumed
-            .ingest(id as u64, UserReport::Adjacency(report.clone()))
+            .ingest(3, id as u64, UserReport::Adjacency(report.clone()))
             .unwrap();
         assert!(
             matches!(outcome, IngestOutcome::Queued | IngestOutcome::Duplicate),
@@ -337,11 +341,16 @@ fn checkpoint_races_concurrent_sessions_and_resumes_bit_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// A session cap of 1 still serves clients back to back (the gate frees
-/// the slot when a session disconnects), and the daemon shuts down
-/// cleanly under the cap.
+/// A session cap of 1 still serves clients back to back (the worker
+/// frees the slot when a session disconnects) — and when the cap is
+/// genuinely held, a newcomer is *refused with a typed error* after a
+/// bounded wait instead of parked forever behind a slot that may never
+/// free. Regression for the session-gate starvation caveat: a client
+/// fleet larger than the cap whose members depend on each other used to
+/// deadlock in the accept queue; now the surplus connect fails fast with
+/// `SESSION_CAP` and the caller can retry or rebalance.
 #[test]
-fn session_cap_of_one_serves_sequentially() {
+fn session_cap_refuses_typed_instead_of_starving() {
     let n = 40;
     let (proto, reports) = honest_reports(n, 2);
     let (addr, handle) = spawn_daemon(1);
@@ -354,5 +363,33 @@ fn session_cap_of_one_serves_sequentially() {
         // Session must fully end before the next connect is served.
         drop(client);
     }
+
+    // Hold the only slot, then connect again: the daemon answers the
+    // newcomer with a stream header plus a typed refusal, so its first
+    // call errors instead of hanging on a slot the holder never frees.
+    let holder = CollectorClient::connect(addr).unwrap();
+    let mut refused = CollectorClient::connect(addr).unwrap();
+    let err = refused
+        .open_round(
+            9,
+            RoundChannel::Adjacency {
+                population: 4,
+                p_keep: 0.9,
+            },
+            None,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CollectorError::Remote {
+                code: ldp_collector::server::codes::SESSION_CAP,
+                ..
+            }
+        ),
+        "expected a SESSION_CAP refusal, got {err}"
+    );
+    drop(refused);
+    drop(holder);
     shutdown(addr, handle);
 }

@@ -10,8 +10,13 @@
 //!
 //! A connection opens with a 6-byte versioned header exchanged by both
 //! sides: the magic `b"LDPC"`, a protocol [`VERSION`] byte, and a reserved
-//! flags byte (zero). Peers speaking another protocol or version fail fast
-//! with [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`].
+//! flags byte (zero). Peers speaking another protocol fail fast with
+//! [`WireError::BadMagic`]; a peer on an *older* protocol version (v1 had
+//! no round routing — its report frames name no round) is a typed
+//! [`WireError::VersionDowngrade`], a *newer* one a
+//! [`WireError::UnsupportedVersion`]. The split matters operationally: a
+//! downgrade names the exact remediation (upgrade the peer), while an
+//! upgrade means this side is the stale one.
 //!
 //! ## Frames
 //!
@@ -61,8 +66,12 @@ use std::io::{Read, Write};
 /// Magic bytes opening every collection stream.
 pub const MAGIC: [u8; 4] = *b"LDPC";
 
-/// Wire protocol version this codec speaks.
-pub const VERSION: u8 = 1;
+/// Wire protocol version this codec speaks. Version 2 routes every
+/// report-bearing frame by an explicit round id (see
+/// [`encode_routed_report`] / [`encode_routed_batch`]) so one daemon can
+/// multiplex many concurrent rounds; version 1 frames carried none and
+/// are refused at the handshake with [`WireError::VersionDowngrade`].
+pub const VERSION: u8 = 2;
 
 /// Upper bound on one frame's `kind + payload` length (64 MiB). Large
 /// enough for a finalized view at the collector's population cap, small
@@ -89,8 +98,15 @@ pub enum WireError {
         /// The four bytes received instead.
         got: [u8; 4],
     },
-    /// The peer speaks a protocol version this codec does not.
+    /// The peer speaks a protocol version *newer* than this codec.
     UnsupportedVersion {
+        /// Version byte received.
+        got: u8,
+    },
+    /// The peer speaks a protocol version *older* than this codec — its
+    /// report frames would carry no round id, so multiplexed rounds
+    /// cannot be served to it. The peer needs upgrading.
+    VersionDowngrade {
         /// Version byte received.
         got: u8,
     },
@@ -149,6 +165,13 @@ impl fmt::Display for WireError {
             WireError::BadMagic { got } => write!(f, "bad stream magic {got:02x?}"),
             WireError::UnsupportedVersion { got } => {
                 write!(f, "unsupported wire version {got} (speaking {VERSION})")
+            }
+            WireError::VersionDowngrade { got } => {
+                write!(
+                    f,
+                    "peer speaks wire version {got}, older than {VERSION}: its report \
+                     frames carry no round id — upgrade the peer"
+                )
             }
             WireError::OversizeFrame { len } => {
                 write!(f, "frame length {len} outside 1..={MAX_FRAME_LEN}")
@@ -336,7 +359,10 @@ pub fn read_stream_header(r: &mut impl Read) -> Result<(), WireError> {
     if got != MAGIC {
         return Err(WireError::BadMagic { got });
     }
-    if header[4] != VERSION {
+    if header[4] < VERSION {
+        return Err(WireError::VersionDowngrade { got: header[4] });
+    }
+    if header[4] > VERSION {
         return Err(WireError::UnsupportedVersion { got: header[4] });
     }
     Ok(())
@@ -641,6 +667,50 @@ pub fn read_report_batch(payload: &[u8]) -> Result<ReportBatch<'_>, WireError> {
         remaining: claimed as usize,
         poisoned: false,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Round-routed payloads (wire v2)
+// ---------------------------------------------------------------------------
+
+/// Encodes a round-routed `REPORT` payload: `varint round_id` followed by
+/// the [`encode_report`] bytes. Since wire v2 every report-bearing frame
+/// names its round explicitly, so a daemon multiplexing concurrent rounds
+/// can route each frame without per-session round state.
+pub fn encode_routed_report(round_id: u64, user_id: u64, report: &UserReport, out: &mut Vec<u8>) {
+    put_varint(round_id, out);
+    encode_report(user_id, report, out);
+}
+
+/// Decodes a payload produced by [`encode_routed_report`], returning the
+/// round id, user id, and canonical report.
+///
+/// # Errors
+/// As [`decode_report`], plus varint failures on the round id.
+pub fn decode_routed_report(mut buf: &[u8]) -> Result<(u64, u64, UserReport), WireError> {
+    let round_id = get_varint(&mut buf)?;
+    let (user_id, report) = decode_report_prefix(&mut buf)?;
+    expect_end(buf)?;
+    Ok((round_id, user_id, report))
+}
+
+/// Encodes a round-routed `REPORT_BATCH` payload: `varint round_id`,
+/// `varint K`, then `K` length-prefixed [`encode_report`] entries — the
+/// v2 framing of [`encode_report_batch`].
+pub fn encode_routed_batch(round_id: u64, entries: &[(u64, UserReport)], out: &mut Vec<u8>) {
+    put_varint(round_id, out);
+    encode_report_batch(entries, out);
+}
+
+/// Opens a payload produced by [`encode_routed_batch`], returning the
+/// round id every entry belongs to and the incremental entry decoder.
+///
+/// # Errors
+/// As [`read_report_batch`], plus varint failures on the round id.
+pub fn read_routed_batch(payload: &[u8]) -> Result<(u64, ReportBatch<'_>), WireError> {
+    let mut buf = payload;
+    let round_id = get_varint(&mut buf)?;
+    Ok((round_id, read_report_batch(buf)?))
 }
 
 // ---------------------------------------------------------------------------
@@ -971,6 +1041,55 @@ mod tests {
             read_stream_header(&mut r),
             Err(WireError::UnsupportedVersion { got: 99 })
         ));
+        // A v1 peer (no round routing) is a typed *downgrade*, not a
+        // generic version failure — the error names the remediation.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC);
+        v1.extend_from_slice(&[1, 0]);
+        let mut r = v1.as_slice();
+        assert!(matches!(
+            read_stream_header(&mut r),
+            Err(WireError::VersionDowngrade { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn routed_report_roundtrips_and_types_failures() {
+        let report = adj(70, &[0, 69], 2.0);
+        let mut out = Vec::new();
+        encode_routed_report(913, 42, &report, &mut out);
+        let (round_id, user_id, got) = decode_routed_report(&out).unwrap();
+        assert_eq!(round_id, 913);
+        assert_eq!(user_id, 42);
+        let UserReport::Adjacency(got) = got else {
+            panic!("variant flipped");
+        };
+        let UserReport::Adjacency(want) = &report else {
+            unreachable!()
+        };
+        assert_eq!(got.bits, want.bits);
+        // Truncations stay typed through the round-id prefix.
+        for cut in 0..out.len() {
+            assert!(decode_routed_report(&out[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn routed_batch_carries_its_round_id() {
+        let entries = vec![
+            (0u64, adj(20, &[3], 1.0)),
+            (7, UserReport::DegreeVector(vec![0.5])),
+        ];
+        let mut out = Vec::new();
+        encode_routed_batch(u64::MAX, &entries, &mut out);
+        let (round_id, mut batch) = read_routed_batch(&out).unwrap();
+        assert_eq!(round_id, u64::MAX);
+        assert_eq!(batch.remaining(), 2);
+        for (want_id, _) in &entries {
+            assert_eq!(batch.next_entry().unwrap().unwrap().0, *want_id);
+        }
+        batch.finish().unwrap();
+        assert!(matches!(read_routed_batch(&[]), Err(WireError::Truncated)));
     }
 
     #[test]

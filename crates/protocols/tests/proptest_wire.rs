@@ -186,6 +186,97 @@ proptest! {
             prop_assert!(yielded <= wire::MAX_REPORTS_PER_BATCH);
         }
     }
+
+    /// Routed (wire v2) round-trip identity: the round id survives next
+    /// to arbitrary ids and reports of both variants.
+    #[test]
+    fn routed_encode_decode_is_identity(
+        variant in 0usize..2,
+        n in 0usize..200,
+        seed in 0u64..u64::MAX,
+        round_id in 0u64..u64::MAX,
+        user_id in 0u64..u64::MAX,
+    ) {
+        let report = synth_report(variant == 0, n, 1, seed);
+        let mut out = Vec::new();
+        wire::encode_routed_report(round_id, user_id, &report, &mut out);
+        let (got_round, got_id, got) =
+            wire::decode_routed_report(&out).expect("well-formed frame must decode");
+        prop_assert_eq!(got_round, round_id);
+        prop_assert_eq!(got_id, user_id);
+        if let Err(msg) = assert_identical(&report, &got) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    /// An interleaved stream of routed frames from random (round, user)
+    /// pairs lands every payload with exactly the round id it was
+    /// stamped with — routing is a pure function of the frame, never of
+    /// decode order or of neighboring frames.
+    #[test]
+    fn interleaved_routed_frames_decode_to_their_own_round(
+        frames in 1usize..24,
+        rounds in 1u64..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let stream: Vec<(u64, u64, UserReport)> = (0..frames)
+            .map(|k| {
+                let round = rng.gen_range(0..rounds);
+                let report = synth_report(k % 2 == 0, 1 + (k % 40), 1, seed ^ k as u64);
+                (round, k as u64, report)
+            })
+            .collect();
+        let encoded: Vec<Vec<u8>> = stream
+            .iter()
+            .map(|(round, id, report)| {
+                let mut out = Vec::new();
+                wire::encode_routed_report(*round, *id, report, &mut out);
+                out
+            })
+            .collect();
+        for ((round, id, report), bytes) in stream.iter().zip(&encoded) {
+            let (got_round, got_id, got) =
+                wire::decode_routed_report(bytes).expect("decodes");
+            prop_assert_eq!(got_round, *round);
+            prop_assert_eq!(got_id, *id);
+            if let Err(msg) = assert_identical(report, &got) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+
+    /// Routed batch round-trip: the round id rides the batch head, every
+    /// entry decodes bit-identically, and truncating the head yields a
+    /// typed error, never a batch assigned to a garbage round.
+    #[test]
+    fn routed_batch_round_trips_and_truncations_are_typed(
+        count in 0usize..10,
+        n in 0usize..120,
+        seed in 0u64..u64::MAX,
+        round_id in 0u64..u64::MAX,
+    ) {
+        let entries: Vec<(u64, UserReport)> = (0..count)
+            .map(|k| (k as u64, synth_report(k % 2 == 0, n, 1, seed ^ k as u64)))
+            .collect();
+        let mut out = Vec::new();
+        wire::encode_routed_batch(round_id, &entries, &mut out);
+        let (got_round, mut batch) = wire::read_routed_batch(&out).expect("well-formed batch");
+        prop_assert_eq!(got_round, round_id);
+        prop_assert_eq!(batch.remaining(), count);
+        for (want_id, want) in &entries {
+            let (id, got) = batch.next_entry()
+                .expect("entry present")
+                .expect("entry decodes");
+            prop_assert_eq!(id, *want_id);
+            if let Err(msg) = assert_identical(want, &got) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+        prop_assert!(batch.finish().is_ok());
+        // Cut inside the routing varint: typed, not misrouted.
+        prop_assert!(wire::read_routed_batch(&[]).is_err());
+    }
 }
 
 #[test]
@@ -208,6 +299,37 @@ fn bad_version_is_typed() {
         wire::read_stream_header(&mut r),
         Err(WireError::UnsupportedVersion { .. })
     ));
+}
+
+#[test]
+fn version_downgrade_is_typed_distinctly() {
+    // A v1 peer has no round routing — its report frames would all land
+    // on a garbage round. The handshake refuses it with a *downgrade*
+    // error, distinct from the too-new case, carrying the offered
+    // version.
+    for old in 0..wire::VERSION {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&wire::MAGIC);
+        stream.extend_from_slice(&[old, 0]);
+        let mut r = stream.as_slice();
+        match wire::read_stream_header(&mut r) {
+            Err(WireError::VersionDowngrade { got }) => assert_eq!(got, old),
+            other => panic!("version {old} accepted or mistyped: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn routed_report_truncations_are_typed() {
+    let report = synth_report(true, 33, 1, 4);
+    let mut out = Vec::new();
+    wire::encode_routed_report(712, 9, &report, &mut out);
+    for cut in 0..out.len() {
+        assert!(
+            wire::decode_routed_report(&out[..cut]).is_err(),
+            "cut at {cut} decoded"
+        );
+    }
 }
 
 #[test]
