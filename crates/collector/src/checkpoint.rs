@@ -184,7 +184,12 @@ impl RoundCollector {
         {
             let slot = engine.slot(round_id)?;
             let mut guard = write_lock(&slot.inner);
-            let round = guard.as_mut().expect("round just opened");
+            // The round was opened three lines up, so this is always
+            // `Some` — but resume is a decode path, and decode paths
+            // return typed errors rather than panic (ldp-lint no-unwrap).
+            let round = guard.as_mut().ok_or(CollectorError::BadCheckpoint {
+                detail: "round vanished while restoring shards",
+            })?;
             for shard_idx in 0..num_shards {
                 let accepted = get_varint(&mut buf).map_err(bad("shard accepted"))?;
                 let duplicates = get_varint(&mut buf).map_err(bad("shard duplicates"))?;

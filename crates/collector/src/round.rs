@@ -60,7 +60,7 @@ use ldp_graph::runtime::default_threads;
 use ldp_mechanisms::RandomizedResponse;
 use ldp_protocols::ingest::finalize_lower;
 use ldp_protocols::{PerturbedView, UserReport};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -262,7 +262,9 @@ pub enum RoundOutcome {
 pub(crate) enum Store {
     Adjacency {
         shards: AdjacencyShards,
-        p_keep: f64,
+        /// The flip mechanism, validated and constructed at open so
+        /// finalize is infallible on it (no re-parse, no panic path).
+        rr: RandomizedResponse,
     },
     DegreeVector {
         shards: DegreeVectorShards,
@@ -315,7 +317,11 @@ pub(crate) struct RoundSlot {
 /// lifecycle, the locking discipline, and admission control.
 pub struct RoundCollector {
     config: CollectorConfig,
-    pub(crate) rounds: RwLock<HashMap<u64, Arc<RoundSlot>>>,
+    /// Keyed by round id. A `BTreeMap` on purpose: registry iteration
+    /// feeds close summaries and multi-round checkpoint sweeps, and those
+    /// must see rounds in a schedule-independent order (the `ldp-lint`
+    /// `unordered-iter` rule bans unordered maps on such paths).
+    pub(crate) rounds: RwLock<BTreeMap<u64, Arc<RoundSlot>>>,
     /// Sum of the open rounds' priced charges. Mutated only under the
     /// registry write lock, so the check-then-charge at open is
     /// race-free.
@@ -349,7 +355,7 @@ impl RoundCollector {
         config.validate()?;
         Ok(RoundCollector {
             config,
-            rounds: RwLock::new(HashMap::new()),
+            rounds: RwLock::new(BTreeMap::new()),
             memory_used: AtomicU64::new(0),
         })
     }
@@ -359,11 +365,10 @@ impl RoundCollector {
         &self.config
     }
 
-    /// Ids of the rounds currently open, ascending.
+    /// Ids of the rounds currently open, ascending (the registry is an
+    /// ordered map, so no sort is needed).
     pub fn open_round_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = read_lock(&self.rounds).keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        read_lock(&self.rounds).keys().copied().collect()
     }
 
     /// Bytes the open rounds currently charge against
@@ -452,8 +457,14 @@ impl RoundCollector {
         // without a reservation protocol.
         let store = match channel {
             RoundChannel::Adjacency { population, p_keep } => Store::Adjacency {
+                // Construct (and thereby validate) the flip mechanism
+                // before the shard allocation; finalize reuses it as-is.
+                rr: RandomizedResponse::from_keep_probability(p_keep).map_err(|_| {
+                    CollectorError::InvalidConfig {
+                        detail: "keep probability outside (0.5, 1)",
+                    }
+                })?,
                 shards: AdjacencyShards::new(population, self.config.shards),
-                p_keep,
             },
             RoundChannel::DegreeVector { population, groups } => Store::DegreeVector {
                 shards: DegreeVectorShards::new(population, groups, self.config.shards),
@@ -484,7 +495,12 @@ impl RoundCollector {
     /// refusal messages claim. Nothing is allocated before this passes.
     fn validate_channel(&self, channel: &RoundChannel) -> Result<(), CollectorError> {
         match *channel {
-            RoundChannel::Adjacency { population, p_keep } => {
+            // The keep probability is validated where the store's
+            // RandomizedResponse is constructed, before any allocation.
+            RoundChannel::Adjacency {
+                population,
+                p_keep: _,
+            } => {
                 // The configured memory cap, and — independently — the
                 // wire's frame bound: a finalized view must fit one
                 // FINALIZE reply, and that has to be refused at open, not
@@ -497,12 +513,6 @@ impl RoundCollector {
                         matrix_bytes: (population as u64).pow(2) / 8,
                     });
                 }
-                // Validate up front so finalize cannot fail on it.
-                RandomizedResponse::from_keep_probability(p_keep).map_err(|_| {
-                    CollectorError::InvalidConfig {
-                        detail: "keep probability outside (0.5, 1)",
-                    }
-                })?;
             }
             RoundChannel::DegreeVector { population, groups } => {
                 // No dense aggregate here, but a hostile OPEN claiming
@@ -683,7 +693,7 @@ impl RoundCollector {
         let (round, accepted) = {
             let mut guard = write_lock(&slot.inner);
             let round = guard
-                .as_ref()
+                .take()
                 .ok_or(CollectorError::UnknownRound { round_id })?;
             let n = round.channel.population();
             let accepted = match &round.store {
@@ -691,12 +701,15 @@ impl RoundCollector {
                 Store::DegreeVector { shards } => shards.accepted(),
             };
             if accepted != n as u64 {
+                // Not complete yet: put the state back so intake (and a
+                // later finalize) can continue as if untouched.
+                *guard = Some(round);
                 return Err(CollectorError::RoundIncomplete {
                     population: n,
                     accepted,
                 });
             }
-            (guard.take().expect("checked above"), accepted)
+            (round, accepted)
         };
         // Slot guard dropped before the registry writer — the lock order
         // is strictly registry-then-slot everywhere else, so no thread
@@ -707,10 +720,8 @@ impl RoundCollector {
             self.memory_used.fetch_sub(slot.cost, Ordering::AcqRel);
         }
         match round.store {
-            Store::Adjacency { shards, p_keep } => {
+            Store::Adjacency { shards, rr } => {
                 let (matrix, degrees) = shards.merge();
-                let rr =
-                    RandomizedResponse::from_keep_probability(p_keep).expect("validated at open");
                 Ok(RoundOutcome::Adjacency(finalize_lower(
                     matrix,
                     degrees,

@@ -66,37 +66,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-/// Frame kind bytes of the collection protocol.
-pub mod frames {
-    /// Client → server: open a round (round id, tenant, channel, quota).
-    pub const OPEN: u8 = 0x01;
-    /// Client → server: one routed report (unacknowledged).
-    pub const REPORT: u8 = 0x02;
-    /// Client → server: close the named round, reply with the summary.
-    pub const CLOSE: u8 = 0x03;
-    /// Client → server: finalize the named closed round.
-    pub const FINALIZE: u8 = 0x04;
-    /// Client → server: snapshot the named round to the checkpoint path.
-    pub const CHECKPOINT: u8 = 0x05;
-    /// Client → server: stop the daemon after this session.
-    pub const SHUTDOWN: u8 = 0x06;
-    /// Client → server: a routed batch of length-prefixed reports
-    /// (unacknowledged).
-    pub const REPORT_BATCH: u8 = 0x07;
-    /// Client → server: barrier — acked once every prior frame of this
-    /// session has been ingested.
-    pub const SYNC: u8 = 0x08;
-    /// Server → client: success, no payload.
-    pub const ACK: u8 = 0x81;
-    /// Server → client: refusal, code + message.
-    pub const ERR: u8 = 0x82;
-    /// Server → client: round intake summary.
-    pub const SUMMARY: u8 = 0x83;
-    /// Server → client: finalized adjacency view.
-    pub const VIEW: u8 = 0x84;
-    /// Server → client: finalized degree-vector totals.
-    pub const DEGREE_SUMMARY: u8 = 0x85;
-}
+/// Frame kind bytes of the collection protocol. The constants moved next
+/// to the codec in [`ldp_protocols::wire::frames`]; this re-export keeps
+/// the daemon-side spelling (`frames::OPEN`, …) stable.
+pub use ldp_protocols::wire::frames;
 
 /// Channel tag bytes inside `OPEN` frames.
 pub(crate) mod channel_tags {

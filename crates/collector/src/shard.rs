@@ -106,6 +106,9 @@ impl AdjacencyShard {
 
     /// Folds one report owned by this shard. The caller guarantees
     /// `user_id % stride == shard` and `user_id < n`.
+    // ldp-lint: hot-path(begin) -- runs under this shard's mutex on every
+    // accepted report; acquiring any further lock here would serialize the
+    // whole ingest plane (or deadlock against the checkpoint quiesce)
     fn fold(&mut self, user_id: usize, report: &AdjacencyReport) -> Result<(), ShardReject> {
         debug_assert_eq!(user_id % self.stride, self.shard);
         let slot = user_id / self.stride;
@@ -120,6 +123,7 @@ impl AdjacencyShard {
         self.accepted += 1;
         Ok(())
     }
+    // ldp-lint: hot-path(end)
 }
 
 /// The full shard set of an adjacency round. Each shard sits behind its
@@ -260,6 +264,8 @@ pub(crate) struct DegreeVectorShard {
 
 impl DegreeVectorShard {
     /// Folds one vector owned by this shard (`slot` = `user_id / stride`).
+    // ldp-lint: hot-path(begin) -- runs under this shard's mutex on every
+    // accepted vector; no further lock may be acquired here
     fn fold(&mut self, slot: usize, vector: &[f64]) -> Result<(), ShardReject> {
         if self.seen.get(slot) {
             self.duplicates += 1;
@@ -272,6 +278,7 @@ impl DegreeVectorShard {
         self.accepted += 1;
         Ok(())
     }
+    // ldp-lint: hot-path(end)
 }
 
 impl DegreeVectorShards {

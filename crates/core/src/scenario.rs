@@ -284,6 +284,8 @@ impl<'a> ScenarioBuilder<'a> {
     /// forced sampled mode the scenario cannot satisfy), or protocol-layer
     /// failures — instead of aborting mid-sweep.
     pub fn run(&self, graph: &CsrGraph) -> Result<ScenarioReport, ScenarioError> {
+        // ldp-lint: allow(wall-clock) -- observational timing for the report's
+        // elapsed field only; never feeds an estimate, a seed, or a verdict
         let start = Instant::now();
         let threat = self.threat.as_ref().ok_or(ScenarioError::MissingThreat)?;
         if graph.num_nodes() != threat.n_genuine {
@@ -396,6 +398,8 @@ impl<'a> ScenarioBuilder<'a> {
         full_partition: Option<&[usize]>,
         trial_seed: u64,
     ) -> Result<TrialOutcome, ScenarioError> {
+        // ldp-lint: allow(wall-clock) -- observational timing for the report's
+        // elapsed field only; never feeds an estimate, a seed, or a verdict
         let start = Instant::now();
         let extended = graph.with_isolated_nodes(threat.m_fake);
 
@@ -469,6 +473,8 @@ impl<'a> ScenarioBuilder<'a> {
         knowledge: &AttackerKnowledge,
         trial_seed: u64,
     ) -> Result<TrialOutcome, ScenarioError> {
+        // ldp-lint: allow(wall-clock) -- observational timing for the report's
+        // elapsed field only; never feeds an estimate, a seed, or a verdict
         let start = Instant::now();
         let base = Xoshiro256pp::new(trial_seed);
         let mut rng = base.derive(STREAM_ATTACK);

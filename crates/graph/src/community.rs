@@ -43,6 +43,9 @@ pub fn label_propagation<R: Rng>(g: &CsrGraph, max_sweeps: usize, rng: &mut R) -
             // Most frequent neighbor label, smallest label on ties.
             let mut best = labels[u];
             let mut best_count = 0;
+            // ldp-lint: allow(unordered-iter) -- max-count/min-label argmax
+            // is a pure selection: the winner is the same whatever order
+            // the (label, count) pairs are visited in
             for (&label, &count) in counts.iter() {
                 if count > best_count || (count == best_count && label < best) {
                     best = label;

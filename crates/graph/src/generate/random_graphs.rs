@@ -100,6 +100,8 @@ pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Result<CsrGra
             }
         }
     } else {
+        // ldp-lint: allow(unordered-iter) -- CsrGraph::from_edges sorts and
+        // dedups each row, so edge insertion order cannot reach the output
         for &idx in &chosen {
             let (u, v) = pair_from_index(n, idx);
             b.add_edge(u, v);
@@ -146,6 +148,8 @@ pub fn watts_strogatz<R: Rng>(
     }
     // Rewire: visit ring edges deterministically (sorted, since HashSet
     // iteration order would leak platform randomness into the output).
+    // ldp-lint: allow(unordered-iter) -- collected into a Vec and sorted on
+    // the next line; only the sorted order is consumed
     let mut ring_edges: Vec<(usize, usize)> = edge_set.iter().copied().collect();
     ring_edges.sort_unstable();
     for (u, v) in ring_edges {
@@ -164,6 +168,8 @@ pub fn watts_strogatz<R: Rng>(
         }
     }
     let mut b = GraphBuilder::with_capacity(n, edge_set.len());
+    // ldp-lint: allow(unordered-iter) -- CsrGraph::from_edges sorts and
+    // dedups each row, so edge insertion order cannot reach the output
     for (u, v) in edge_set {
         b.add_edge(u, v);
     }

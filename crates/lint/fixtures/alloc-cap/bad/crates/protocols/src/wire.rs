@@ -1,0 +1,8 @@
+//! Seeded violation: a decoded length reaches an allocation with no cap
+//! check in sight.
+pub fn decode_reports(buf: &[u8]) -> Result<Vec<u8>, ()> {
+    let n = usize::from(*buf.first().ok_or(())?);
+    let mut out = Vec::with_capacity(n);
+    out.extend(buf.iter().skip(1).take(n));
+    Ok(out)
+}

@@ -1,0 +1,19 @@
+//! Negative: every decode-path allocation sits behind a cap proof.
+pub const MAX_REPORTS: usize = 1 << 16;
+
+pub fn decode_reports(buf: &[u8]) -> Result<Vec<u8>, ()> {
+    let n = usize::from(*buf.first().ok_or(())?);
+    if n > MAX_REPORTS {
+        return Err(());
+    }
+    let mut out = Vec::with_capacity(n);
+    out.extend(buf.iter().skip(1).take(n));
+    Ok(out)
+}
+
+pub fn build_frame(payload: &[u8]) -> Vec<u8> {
+    // Encode side: not a decode/read/parse fn, so allocation is free.
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(payload);
+    out
+}

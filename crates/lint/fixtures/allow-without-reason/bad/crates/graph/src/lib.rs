@@ -1,0 +1,6 @@
+//! Seeded violation: a reasonless allow. It suppresses nothing, so both
+//! the meta finding and the underlying wall-clock finding fire.
+// ldp-lint: allow(wall-clock)
+pub fn stamped() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Negative: the same site with a justified allow.
+pub fn stamped() -> std::time::Instant {
+    // ldp-lint: allow(wall-clock) -- observational timing only; never
+    // feeds an estimate or a seed
+    std::time::Instant::now()
+}

@@ -1,0 +1,13 @@
+//! Seeded violations: unknown rule, unknown directive, end without begin,
+//! and a begin that never closes.
+// ldp-lint: allow(bogus-rule) -- no such rule exists
+pub fn a() {}
+
+// ldp-lint: deny(wall-clock) -- unknown directive
+pub fn b() {}
+
+// ldp-lint: hot-path(end)
+pub fn c() {}
+
+// ldp-lint: hot-path(begin) -- never closed
+pub fn d() {}

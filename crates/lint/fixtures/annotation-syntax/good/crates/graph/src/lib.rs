@@ -1,0 +1,11 @@
+//! Negative: well-formed annotations only.
+pub fn stamped() -> std::time::Instant {
+    // ldp-lint: allow(wall-clock) -- observational timing only
+    std::time::Instant::now()
+}
+
+// ldp-lint: hot-path(begin) -- pure fold
+pub fn fold(acc: &mut u64, w: u64) {
+    *acc |= w;
+}
+// ldp-lint: hot-path(end)

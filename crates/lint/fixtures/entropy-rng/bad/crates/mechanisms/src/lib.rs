@@ -1,0 +1,6 @@
+//! Seeded violation: entropy-seeded RNG in a deterministic crate.
+pub fn flip() -> bool {
+    let mut rng = rand::thread_rng();
+    let _ = rand::rngs::OsRng;
+    rand::random()
+}

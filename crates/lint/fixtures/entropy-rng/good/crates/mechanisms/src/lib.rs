@@ -1,0 +1,13 @@
+//! Negative: seed-derived streams are the sanctioned pattern.
+pub fn flip(seed: u64) -> bool {
+    let mut rng = Xoshiro256pp::new(seed);
+    rng.gen::<u64>() & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_in_tests_is_fine() {
+        let _ = rand::thread_rng();
+    }
+}

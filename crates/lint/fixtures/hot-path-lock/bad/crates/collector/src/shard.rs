@@ -1,0 +1,16 @@
+//! Seeded violation: a lock acquired inside a marked shard-fold hot path.
+use std::sync::Mutex;
+
+pub struct Shard {
+    stats: Mutex<u64>,
+}
+
+impl Shard {
+    // ldp-lint: hot-path(begin) -- per-report fold under the shard mutex
+    pub fn fold(&self, word: u64) -> u64 {
+        let mut stats = self.stats.lock().unwrap();
+        *stats |= word;
+        *stats
+    }
+    // ldp-lint: hot-path(end)
+}

@@ -1,0 +1,21 @@
+//! Negative: the hot path is pure bit-fold; locking happens outside the
+//! marked region.
+use std::sync::Mutex;
+
+pub struct Shard {
+    stats: Mutex<u64>,
+}
+
+impl Shard {
+    // ldp-lint: hot-path(begin) -- per-report fold under the shard mutex
+    pub fn fold(acc: &mut u64, word: u64) -> u64 {
+        *acc |= word;
+        *acc
+    }
+    // ldp-lint: hot-path(end)
+
+    pub fn publish(&self, acc: u64) {
+        let mut stats = self.stats.lock().unwrap();
+        *stats |= acc;
+    }
+}

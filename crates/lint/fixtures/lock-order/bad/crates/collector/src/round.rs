@@ -1,0 +1,28 @@
+//! Seeded violation: registry lock acquired while a slot guard is live
+//! (inverts the sanctioned registry -> slot order).
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub struct Slot {
+    pub inner: RwLock<u64>,
+}
+
+pub struct Registry {
+    pub rounds: RwLock<BTreeMap<u64, Arc<Slot>>>,
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    pub fn inverted(&self, slot: &Slot) -> usize {
+        let state = read_lock(&slot.inner);
+        let rounds = read_lock(&self.rounds);
+        rounds.len() + *state as usize
+    }
+}

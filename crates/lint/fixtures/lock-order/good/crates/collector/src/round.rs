@@ -1,0 +1,39 @@
+//! Negative: sanctioned registry -> slot order, plus a slot guard that is
+//! dropped before the registry is touched.
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub struct Slot {
+    pub inner: RwLock<u64>,
+}
+
+pub struct Registry {
+    pub rounds: RwLock<BTreeMap<u64, Arc<Slot>>>,
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    pub fn sanctioned(&self, id: u64) -> u64 {
+        let rounds = read_lock(&self.rounds);
+        let Some(slot) = rounds.get(&id) else {
+            return 0;
+        };
+        let state = read_lock(&slot.inner);
+        *state
+    }
+
+    pub fn dropped_before(&self, slot: &Slot) -> usize {
+        let state = read_lock(&slot.inner);
+        let snapshot = *state;
+        drop(state);
+        let rounds = read_lock(&self.rounds);
+        rounds.len() + snapshot as usize
+    }
+}

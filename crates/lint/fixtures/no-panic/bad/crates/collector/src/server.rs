@@ -1,0 +1,8 @@
+//! Seeded violation: panicking macros in the daemon's frame path.
+pub fn process_frame(kind: u8) -> u8 {
+    match kind {
+        1 => kind,
+        2 => unreachable!("no v1 peers"),
+        _ => panic!("unknown frame"),
+    }
+}

@@ -1,0 +1,19 @@
+//! Negative: typed refusals in the daemon; asserts confined to tests.
+pub fn process_frame(kind: u8) -> Result<u8, u8> {
+    match kind {
+        1 => Ok(kind),
+        other => Err(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_in_tests_are_fine() {
+        assert_eq!(super::process_frame(9), Err(9));
+        assert!(super::process_frame(1).is_ok());
+        if false {
+            panic!("test-only panic");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: unwrap/expect on the codec path.
+pub fn decode_header(buf: &[u8]) -> u64 {
+    let first = buf.first().unwrap();
+    let rest = buf.get(1..9).expect("eight more bytes");
+    u64::from(*first) + rest.len() as u64
+}

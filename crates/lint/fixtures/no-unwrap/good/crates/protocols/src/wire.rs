@@ -1,0 +1,15 @@
+//! Negative: typed errors on the codec path; unwraps confined to tests.
+pub fn decode_header(buf: &[u8]) -> Result<u64, ()> {
+    let first = buf.first().ok_or(())?;
+    // unwrap_or is fine: it cannot panic.
+    let len = buf.get(1..9).map(<[u8]>::len).unwrap_or(0);
+    Ok(u64::from(*first) + len as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::decode_header(&[1]).unwrap_err(), ());
+    }
+}

@@ -1,0 +1,8 @@
+//! Decodes OPEN but has no arm for ORPHANED.
+pub fn process_frame(kind: u8) -> Result<(), u8> {
+    if kind == OPEN {
+        return Ok(());
+    }
+    Err(kind)
+}
+const OPEN: u8 = 0x01;

@@ -1,0 +1,6 @@
+//! Seeded violation: an opcode const with no collector decode arm and no
+//! proptest coverage.
+pub mod frames {
+    pub const OPEN: u8 = 0x01;
+    pub const ORPHANED: u8 = 0x7F;
+}

@@ -1,0 +1,7 @@
+//! Round-trips OPEN only; ORPHANED is absent.
+#[test]
+fn open_round_trips() {
+    let op = OPEN;
+    assert_eq!(op, 0x01);
+}
+const OPEN: u8 = 0x01;

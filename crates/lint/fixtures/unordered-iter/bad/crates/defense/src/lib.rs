@@ -1,0 +1,14 @@
+//! Seeded violation: HashMap/HashSet iteration on a verdict path.
+use std::collections::{HashMap, HashSet};
+
+pub fn fold_scores(scores: HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, s) in scores.iter() {
+        total += s;
+    }
+    let flagged: HashSet<u64> = HashSet::new();
+    for id in &flagged {
+        total += *id as f64;
+    }
+    total
+}

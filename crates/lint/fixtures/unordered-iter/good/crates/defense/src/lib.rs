@@ -1,0 +1,16 @@
+//! Negative: ordered maps, sorted collects, and annotated sites.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn fold_scores(scores: BTreeMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, s) in scores.iter() {
+        total += s;
+    }
+    total
+}
+
+pub fn fold_unsorted(raw: HashMap<u64, f64>) -> f64 {
+    // ldp-lint: allow(unordered-iter) -- summation is commutative, the
+    // fold result is order-independent
+    raw.values().sum()
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: a justified allow above code that triggers nothing.
+// ldp-lint: allow(wall-clock) -- stale justification left behind by a
+// refactor
+pub fn pure(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -1,0 +1,9 @@
+//! Seeded violation: wall-clock reads in a deterministic crate.
+use std::time::{Instant, SystemTime};
+
+pub fn jittered_seed() -> u64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+//! Negative: the collector is not a deterministic crate; wall-clock
+//! reads (stall timeouts, bench clocks) are allowed here.
+pub fn stall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}

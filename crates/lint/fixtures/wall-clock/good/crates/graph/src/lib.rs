@@ -1,0 +1,22 @@
+//! Negative: annotated, test-only, and string/comment mentions are fine.
+use std::time::Instant;
+
+pub fn timed_probe() -> u64 {
+    // ldp-lint: allow(wall-clock) -- observational timing only; the value
+    // never feeds an estimate or a seed
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn red_herrings() -> &'static str {
+    // A comment saying Instant::now() must not trip the rule.
+    "neither does Instant::now() in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,410 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! `ldp-lint` is std-only (the workspace vendors no registry crates, so no
+//! `syn`), and its rules only need a token stream that is *comment-, string-,
+//! char- and raw-string-correct*: an `unwrap` inside a string literal or a
+//! doc comment must not trigger the panic-freedom rule, and an
+//! `// ldp-lint: allow(..)` annotation must be recognized as a comment token
+//! rather than code. Beyond that the lexer is deliberately coarse: multi-char
+//! operators come out as single-char `Punct` runs (`::` is `:`,`:`) and
+//! numeric literals are kept as raw text.
+
+/// What kind of token this is. Rules mostly match on `Ident`, `Punct` and
+/// `Comment`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime,
+    /// Numeric literal, raw text preserved (`0x81`, `1_000`, `2.5e-3`).
+    Num,
+    /// String-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`. Text dropped.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`. Text dropped.
+    Char,
+    /// Line or block comment; full text preserved (including `//` / `/*`).
+    Comment,
+    /// Any other single character (`{`, `.`, `(`, `&`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this is an identifier with exactly the given text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token vector. Never fails: unterminated literals simply
+/// swallow the rest of the file, which is the useful behavior for a linter
+/// (rustc will reject the file anyway).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                toks.push(tok(TokKind::Comment, &src[start..cur.pos], line));
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                toks.push(tok(TokKind::Comment, &src[start..cur.pos], line));
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&cur) => {
+                lex_prefixed_literal(&mut cur, &mut toks, line);
+            }
+            b'"' => {
+                cur.bump();
+                lex_quoted(&mut cur, b'"');
+                toks.push(tok(TokKind::Str, "", line));
+            }
+            b'\'' => {
+                lex_quote(&mut cur, src, &mut toks, line);
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                toks.push(tok(TokKind::Ident, &src[start..cur.pos], line));
+            }
+            _ if b.is_ascii_digit() => {
+                let start = cur.pos;
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                // Float part: `.` followed by a digit (not `..` ranges, not
+                // method calls like `1.max(..)` which need an ident after).
+                if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                    cur.bump();
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                }
+                // Exponent sign: `1e-3`, `2.5E+7`.
+                if matches!(cur.peek(0), Some(b'+') | Some(b'-'))
+                    && src[start..cur.pos].ends_with(['e', 'E'])
+                {
+                    cur.bump();
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                }
+                toks.push(tok(TokKind::Num, &src[start..cur.pos], line));
+            }
+            _ => {
+                cur.bump();
+                toks.push(tok(TokKind::Punct, &src[cur.pos - 1..cur.pos], line));
+            }
+        }
+    }
+    toks
+}
+
+fn tok(kind: TokKind, text: &str, line: u32) -> Tok {
+    Tok {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+/// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br"`, `br#` — i.e. a
+/// prefixed literal rather than an ident starting with `r`/`b`?
+fn starts_raw_or_byte_literal(cur: &Cursor<'_>) -> bool {
+    matches!(
+        (cur.peek(0), cur.peek(1), cur.peek(2)),
+        (Some(b'r'), Some(b'"' | b'#'), _)
+            | (Some(b'b'), Some(b'"' | b'\''), _)
+            | (Some(b'b'), Some(b'r'), Some(b'"' | b'#'))
+    )
+}
+
+fn lex_prefixed_literal(cur: &mut Cursor<'_>, toks: &mut Vec<Tok>, line: u32) {
+    let first = cur.bump().unwrap_or(0);
+    if first == b'b' && cur.peek(0) == Some(b'\'') {
+        cur.bump();
+        lex_quoted(cur, b'\'');
+        toks.push(tok(TokKind::Char, "", line));
+        return;
+    }
+    if first == b'b' && cur.peek(0) == Some(b'r') {
+        cur.bump();
+    }
+    // Now at `#`* `"` (raw string) or `"` (byte string), unless this was a
+    // raw identifier `r#ident`.
+    let mut hashes = 0usize;
+    while cur.peek(hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    match cur.peek(hashes) {
+        Some(b'"') => {
+            for _ in 0..=hashes {
+                cur.bump();
+            }
+            if hashes == 0 && first == b'r' {
+                // `r"…"` has no hash guard but also no escapes.
+                while let Some(c) = cur.bump() {
+                    if c == b'"' {
+                        break;
+                    }
+                }
+            } else if hashes == 0 {
+                // `b"…"` supports escapes.
+                lex_quoted(cur, b'"');
+            } else {
+                // Raw: scan for `"` followed by `hashes` hashes.
+                'scan: while let Some(c) = cur.bump() {
+                    if c == b'"' {
+                        for i in 0..hashes {
+                            if cur.peek(i) != Some(b'#') {
+                                continue 'scan;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                }
+            }
+            toks.push(tok(TokKind::Str, "", line));
+        }
+        _ if first == b'r' && hashes == 1 && cur.peek(1).is_some_and(is_ident_start) => {
+            // Raw identifier `r#type`.
+            cur.bump(); // '#'
+            let start = cur.pos;
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let text = std::str::from_utf8(&cur.src[start..cur.pos])
+                .unwrap_or("")
+                .to_string();
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+        }
+        _ => {
+            // Plain ident that happened to start with `r`/`b` — re-lex the
+            // rest of the ident and splice the already-consumed prefix back.
+            let start = cur.pos - 1;
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let text = std::str::from_utf8(&cur.src[start..cur.pos])
+                .unwrap_or("")
+                .to_string();
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+        }
+    }
+}
+
+/// Consume a quoted body up to an unescaped `close`. The opening quote must
+/// already be consumed.
+fn lex_quoted(cur: &mut Cursor<'_>, close: u8) {
+    while let Some(c) = cur.bump() {
+        if c == b'\\' {
+            cur.bump();
+        } else if c == close {
+            break;
+        }
+    }
+}
+
+/// `'` is ambiguous: char literal or lifetime. Heuristic (same one rustc's
+/// lexer uses): `'X'` where the char after the first payload char is `'` is a
+/// char literal; `'ident` otherwise is a lifetime; `'\…'` is always a char.
+fn lex_quote(cur: &mut Cursor<'_>, src: &str, toks: &mut Vec<Tok>, line: u32) {
+    cur.bump(); // opening '
+    match cur.peek(0) {
+        Some(b'\\') => {
+            cur.bump();
+            lex_quoted(cur, b'\'');
+            toks.push(tok(TokKind::Char, "", line));
+        }
+        Some(c) if is_ident_start(c) && cur.peek(1) != Some(b'\'') => {
+            let start = cur.pos;
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            toks.push(tok(TokKind::Lifetime, &src[start..cur.pos], line));
+        }
+        Some(_) => {
+            cur.bump();
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+            toks.push(tok(TokKind::Char, "", line));
+        }
+        None => toks.push(tok(TokKind::Punct, "'", line)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_hide_code() {
+        let toks = kinds("// unwrap()\nfn f() {}\n/* panic! /* nested */ still */");
+        assert_eq!(toks[0], (TokKind::Comment, "// unwrap()".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+        assert!(matches!(toks.last(), Some((TokKind::Comment, t)) if t.ends_with("still */")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        for src in [
+            r#"let s = "unwrap()";"#,
+            r##"let s = r#"unwrap() " quote"#;"##,
+            r#"let s = b"unwrap()";"#,
+            r#"let s = "esc \" unwrap()";"#,
+        ] {
+            let toks = kinds(src);
+            assert!(
+                !toks
+                    .iter()
+                    .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"),
+                "leaked ident out of literal in {src:?}"
+            );
+            assert!(
+                toks.iter().any(|(k, _)| *k == TokKind::Str),
+                "no Str in {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c: char = 'x'; fn f<'a>(v: &'a str) -> &'static str { v }");
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "static"));
+        // Escaped char with a quote payload.
+        let toks = kinds(r"let q = '\'';");
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn raw_idents_and_numbers() {
+        let toks = kinds("let r#type = 0x81; let x = 1_000.5e-3; for i in 0..10 {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "type"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0x81"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "1_000.5e-3"));
+        // `0..10` must stay two numbers, not one float.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "10"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,129 @@
+//! `ldp-lint` — a workspace static-analysis pass that mechanically enforces
+//! the repo's determinism, panic-freedom, locking, and wire-totality
+//! invariants.
+//!
+//! The tool is std-only (the workspace is hermetic: no registry access, so no
+//! `syn`). It lexes every `.rs` file with a hand-rolled comment/string-correct
+//! lexer ([`lexer`]) and runs a fixed set of named rules ([`rules::RULES`])
+//! over the token streams. Justified exceptions are annotated in source:
+//!
+//! ```text
+//! // ldp-lint: allow(rule-name) -- why this site is safe
+//! ```
+//!
+//! An `allow` suppresses findings of that rule on the same line or the line
+//! below. An `allow` without a `-- reason` is itself an error
+//! (`allow-without-reason`), and an `allow` that suppresses nothing is an
+//! error (`unused-allow`) so suppressions cannot rot. Shard-fold hot paths
+//! are delimited with region markers that *add* a rule (no lock acquisition
+//! inside):
+//!
+//! ```text
+//! // ldp-lint: hot-path(begin) -- held shard mutex: no further locks
+//! ...
+//! // ldp-lint: hot-path(end)
+//! ```
+//!
+//! See DESIGN.md §9 for the rule catalog and rationale.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name, one of [`rules::RULES`].
+    pub rule: &'static str,
+    /// Path relative to the linted root, `/`-separated.
+    pub rel: String,
+    /// 1-based source line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.rel, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A lexed workspace file, ready for rule passes.
+pub(crate) struct FileLex {
+    pub rel: String,
+    pub toks: Vec<lexer::Tok>,
+    /// Per-token flag: true if the token is inside a `#[cfg(test)]` /
+    /// `#[test]` item (including the attribute itself).
+    pub test_mask: Vec<bool>,
+}
+
+/// Lint every `.rs` file under `root`. Findings come back sorted by
+/// `(rel, line, rule)` so output is deterministic.
+///
+/// Skipped subtrees: `target/`, `.git/`, `crates/compat/` (vendored
+/// third-party subsets — not ours to hold to these invariants), and
+/// `crates/lint/fixtures/` (seeded violations used by the lint's own tests).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut lexed = Vec::with_capacity(files.len());
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let toks = lexer::lex(&src);
+        let test_mask = rules::test_mask(&toks);
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        lexed.push(FileLex {
+            rel,
+            toks,
+            test_mask,
+        });
+    }
+
+    let mut findings = rules::run(&lexed);
+    findings
+        .sort_by(|a, b| (a.rel.as_str(), a.line, a.rule).cmp(&(b.rel.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            let rel_str: String = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            if rel_str == "crates/compat" || rel_str == "crates/lint/fixtures" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! `ldp-lint` CLI.
+//!
+//! ```text
+//! ldp-lint --workspace            # lint the enclosing cargo workspace
+//! ldp-lint --root PATH            # lint an explicit tree (fixtures, CI)
+//! ldp-lint --list-rules           # print the rule catalog
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when findings exist, 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => match workspace_root() {
+                Some(dir) => root = Some(dir),
+                None => {
+                    eprintln!("ldp-lint: no enclosing cargo workspace found");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ldp-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for (name, summary) in ldp_lint::rules::RULES {
+                    println!("{name:22} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ldp-lint: unknown argument `{other}`");
+                eprintln!("usage: ldp-lint [--workspace | --root PATH | --list-rules]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root else {
+        eprintln!("usage: ldp-lint [--workspace | --root PATH | --list-rules]");
+        return ExitCode::from(2);
+    };
+
+    match ldp_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "ldp-lint: clean ({} rules enforced)",
+                ldp_lint::rules::RULES.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("ldp-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ldp-lint: {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Ascend from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

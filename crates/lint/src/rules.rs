@@ -1,0 +1,1036 @@
+//! The rule engine: ~a dozen named invariants checked over lexed token
+//! streams, plus the `// ldp-lint: …` annotation grammar.
+//!
+//! Rules are heuristic by design — this is a lexer-level tool, not a type
+//! checker — but every heuristic errs toward *reporting*, and the annotation
+//! grammar exists precisely so a human can discharge a finding with a written
+//! reason that the `unused-allow` rule then keeps honest.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{FileLex, Finding};
+
+/// The rule catalog: `(name, summary)`. DESIGN.md §9 carries the rationale.
+pub const RULES: &[(&str, &str)] = &[
+    ("wall-clock", "no SystemTime::now / Instant::now / thread::sleep in deterministic crates"),
+    ("entropy-rng", "no entropy-seeded RNG (thread_rng, from_entropy, OsRng, …) in deterministic crates"),
+    ("unordered-iter", "no HashMap/HashSet iteration in deterministic or collector code unless annotated"),
+    ("no-unwrap", "no unwrap/expect outside #[cfg(test)] in wire.rs and collector server/round/checkpoint"),
+    ("no-panic", "no panic!/unreachable!/assert! outside #[cfg(test)] in wire.rs and collector server/round/checkpoint"),
+    ("hot-path-lock", "no lock acquisition inside ldp-lint: hot-path(begin/end) regions"),
+    ("lock-order", "registry lock must never be acquired while a round-slot guard is live"),
+    ("opcode-arm", "every wire frame opcode must be referenced by collector non-test code"),
+    ("opcode-proptest", "every wire frame opcode must be exercised by a proptest file"),
+    ("alloc-cap", "every allocation in a decode/read path must follow a length cap or proof"),
+    ("allow-without-reason", "allow annotations must carry `-- reason`"),
+    ("unused-allow", "allow annotations that suppress nothing are errors"),
+    ("annotation-syntax", "malformed ldp-lint annotations and unbalanced hot-path regions"),
+];
+
+/// Crates whose `src/` trees must be bit-deterministic: estimators, attacks,
+/// defenses and scenario replay all promise identical output for identical
+/// seeds.
+const DETERMINISTIC_PREFIXES: &[&str] = &[
+    "crates/graph/src/",
+    "crates/mechanisms/src/",
+    "crates/protocols/src/",
+    "crates/core/src/",
+    "crates/defense/src/",
+];
+
+/// Files where panicking is banned outright: the total wire codec and the
+/// collector daemon's frame/round/checkpoint paths (a panic here kills the
+/// service or poisons a lock an adversary can then exploit).
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/protocols/src/wire.rs",
+    "crates/collector/src/server.rs",
+    "crates/collector/src/round.rs",
+    "crates/collector/src/checkpoint.rs",
+];
+
+/// Files holding length-prefixed decoders that must cap before allocating.
+const ALLOC_CAP_FILES: &[&str] = &[
+    "crates/protocols/src/wire.rs",
+    "crates/collector/src/checkpoint.rs",
+];
+
+const WIRE_FILE: &str = "crates/protocols/src/wire.rs";
+
+fn is_deterministic(rel: &str) -> bool {
+    DETERMINISTIC_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+fn is_collector_src(rel: &str) -> bool {
+    rel.starts_with("crates/collector/src/")
+}
+
+fn is_proptest_file(rel: &str) -> bool {
+    rel.contains("/tests/")
+        && rel
+            .rsplit('/')
+            .next()
+            .is_some_and(|f| f.starts_with("proptest"))
+}
+
+fn rule_exists(name: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == name)
+}
+
+/// A finding before suppression: carries only what the allow-matcher needs.
+struct Raw {
+    rule: &'static str,
+    line: u32,
+    message: String,
+}
+
+struct Allow {
+    rule: String,
+    /// Line of the annotation comment itself (reported on misuse).
+    line: u32,
+    /// Line the annotation governs: the next non-comment code line, so an
+    /// annotation may span several comment lines of justification.
+    applies: u32,
+    has_reason: bool,
+    used: bool,
+}
+
+#[derive(Default)]
+struct Annotations {
+    allows: Vec<Allow>,
+    /// Inclusive line ranges of `hot-path(begin)` … `hot-path(end)`.
+    regions: Vec<(u32, u32)>,
+    /// `annotation-syntax` / `allow-without-reason` findings (not
+    /// suppressible — an allow cannot excuse a malformed allow).
+    meta: Vec<Raw>,
+}
+
+/// Run every rule over the lexed workspace.
+pub(crate) fn run(files: &[FileLex]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Cross-file reference sets for the wire-totality rules.
+    let mut collector_idents: Vec<&str> = Vec::new();
+    let mut proptest_idents: Vec<&str> = Vec::new();
+    for f in files {
+        if is_collector_src(&f.rel) {
+            for (i, t) in f.toks.iter().enumerate() {
+                if t.kind == TokKind::Ident && !f.test_mask[i] {
+                    collector_idents.push(&t.text);
+                }
+            }
+        }
+        if is_proptest_file(&f.rel) {
+            for t in &f.toks {
+                if t.kind == TokKind::Ident {
+                    proptest_idents.push(&t.text);
+                }
+            }
+        }
+    }
+
+    for f in files {
+        let mut ann = parse_annotations(f);
+        let mut raws: Vec<Raw> = Vec::new();
+
+        if is_deterministic(&f.rel) {
+            wall_clock(f, &mut raws);
+            entropy_rng(f, &mut raws);
+        }
+        if is_deterministic(&f.rel) || is_collector_src(&f.rel) {
+            unordered_iter(f, &mut raws);
+        }
+        if PANIC_FREE_FILES.contains(&f.rel.as_str()) {
+            panic_freedom(f, &mut raws);
+        }
+        if is_collector_src(&f.rel) {
+            lock_order(f, &mut raws);
+        }
+        if ALLOC_CAP_FILES.contains(&f.rel.as_str()) {
+            alloc_cap(f, &mut raws);
+        }
+        hot_path_lock(f, &ann.regions, &mut raws);
+        if f.rel == WIRE_FILE {
+            opcode_totality(f, &collector_idents, &proptest_idents, &mut raws);
+        }
+
+        // Suppression: an allow with a reason discharges findings of its rule
+        // on its own line or the line directly below.
+        raws.retain(|raw| {
+            for a in ann.allows.iter_mut() {
+                if a.has_reason
+                    && a.rule == raw.rule
+                    && (a.line == raw.line || a.applies == raw.line)
+                {
+                    a.used = true;
+                    return false;
+                }
+            }
+            true
+        });
+
+        for a in &ann.allows {
+            if a.has_reason && !a.used {
+                ann.meta.push(Raw {
+                    rule: "unused-allow",
+                    line: a.line,
+                    message: format!("allow({}) suppresses nothing; remove it", a.rule),
+                });
+            }
+        }
+
+        for raw in raws.into_iter().chain(ann.meta) {
+            findings.push(Finding {
+                rule: raw.rule,
+                rel: f.rel.clone(),
+                line: raw.line,
+                message: raw.message,
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Annotation grammar
+// ---------------------------------------------------------------------------
+
+fn parse_annotations(f: &FileLex) -> Annotations {
+    let mut ann = Annotations::default();
+    let mut open_region: Option<u32> = None;
+    for (idx, t) in f.toks.iter().enumerate() {
+        if t.kind != TokKind::Comment || !t.text.starts_with("//") {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(directive) = body.strip_prefix("ldp-lint:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        let (head, reason) = match directive.split_once("--") {
+            Some((h, r)) => (h.trim(), Some(r.trim())),
+            None => (directive, None),
+        };
+        match head {
+            _ if head.starts_with("allow(") && head.ends_with(')') => {
+                let rule = head["allow(".len()..head.len() - 1].trim().to_string();
+                if !rule_exists(&rule) {
+                    ann.meta.push(Raw {
+                        rule: "annotation-syntax",
+                        line: t.line,
+                        message: format!("allow names unknown rule `{rule}`"),
+                    });
+                    continue;
+                }
+                let has_reason = reason.is_some_and(|r| !r.is_empty());
+                if !has_reason {
+                    ann.meta.push(Raw {
+                        rule: "allow-without-reason",
+                        line: t.line,
+                        message: format!("allow({rule}) is missing `-- reason`"),
+                    });
+                }
+                // The annotation governs the next non-comment line, so the
+                // justification may continue over further comment lines.
+                let applies = f.toks[idx + 1..]
+                    .iter()
+                    .find(|n| n.kind != TokKind::Comment)
+                    .map_or(t.line + 1, |n| n.line);
+                // A reasonless allow is recorded but suppresses nothing.
+                ann.allows.push(Allow {
+                    rule,
+                    line: t.line,
+                    applies,
+                    has_reason,
+                    used: false,
+                });
+            }
+            "hot-path(begin)" => {
+                if let Some(start) = open_region {
+                    ann.meta.push(Raw {
+                        rule: "annotation-syntax",
+                        line: t.line,
+                        message: format!(
+                            "hot-path(begin) while region from line {start} is still open"
+                        ),
+                    });
+                }
+                open_region = Some(t.line);
+            }
+            "hot-path(end)" => match open_region.take() {
+                Some(start) => ann.regions.push((start, t.line)),
+                None => ann.meta.push(Raw {
+                    rule: "annotation-syntax",
+                    line: t.line,
+                    message: "hot-path(end) without a matching begin".to_string(),
+                }),
+            },
+            _ => ann.meta.push(Raw {
+                rule: "annotation-syntax",
+                line: t.line,
+                message: format!("unknown ldp-lint directive `{directive}`"),
+            }),
+        }
+    }
+    if let Some(start) = open_region {
+        ann.meta.push(Raw {
+            rule: "annotation-syntax",
+            line: start,
+            message: "hot-path(begin) is never closed".to_string(),
+        });
+    }
+    ann
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] masking
+// ---------------------------------------------------------------------------
+
+/// Mark every token belonging to a `#[cfg(test)]` or `#[test]` item
+/// (attribute included). The item is the next `;`-terminated statement or
+/// balanced `{…}` block after the attribute stack.
+pub(crate) fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let (end, is_test) = scan_attr(toks, i);
+            if is_test {
+                let start = i;
+                let mut j = end;
+                // Skip any further attributes on the same item.
+                while j < toks.len()
+                    && toks[j].is_punct('#')
+                    && j + 1 < toks.len()
+                    && toks[j + 1].is_punct('[')
+                {
+                    j = scan_attr(toks, j).0;
+                }
+                // Consume the item: to the first `;` at depth 0, or to the
+                // `}` closing the first brace block.
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    } else if t.is_punct(';') && depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                for m in mask.iter_mut().take(j).skip(start) {
+                    *m = true;
+                }
+                i = j;
+                continue;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scan an attribute starting at `#`; return (index past `]`, is-test-attr).
+fn scan_attr(toks: &[Tok], start: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut is_test = false;
+    let mut saw_cfg = false;
+    let mut j = start + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            if t.text == "cfg" {
+                saw_cfg = true;
+            }
+            if t.text == "test" && (saw_cfg || j == start + 2) {
+                // `#[cfg(test)]`, `#[cfg(any(test, …))]`, or bare `#[test]`.
+                is_test = true;
+            }
+        }
+        j += 1;
+    }
+    (j, is_test)
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------------
+
+fn wall_clock(f: &FileLex, out: &mut Vec<Raw>) {
+    for (i, t) in f.toks.iter().enumerate() {
+        if f.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "now" => path_prefix_is(&f.toks, i, &["Instant", "SystemTime"]),
+            "sleep" => path_prefix_is(&f.toks, i, &["thread"]),
+            "elapsed" => false,
+            _ => false,
+        };
+        if flagged {
+            let root = path_root(&f.toks, i);
+            out.push(Raw {
+                rule: "wall-clock",
+                line: t.line,
+                message: format!(
+                    "wall-clock call `{root}::{}` in a deterministic crate",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn entropy_rng(f: &FileLex, out: &mut Vec<Raw>) {
+    const ENTROPY: &[&str] = &[
+        "thread_rng",
+        "from_entropy",
+        "OsRng",
+        "getrandom",
+        "ThreadRng",
+    ];
+    for (i, t) in f.toks.iter().enumerate() {
+        if f.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = ENTROPY.contains(&t.text.as_str())
+            || (t.text == "random" && path_prefix_is(&f.toks, i, &["rand"]));
+        if flagged {
+            out.push(Raw {
+                rule: "entropy-rng",
+                line: t.line,
+                message: format!(
+                    "entropy-seeded RNG `{}` in a deterministic crate; derive from the scenario seed",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Is token `i` preceded by `Root ::` with `Root` in `roots`?
+fn path_prefix_is(toks: &[Tok], i: usize, roots: &[&str]) -> bool {
+    i >= 3
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && toks[i - 3].kind == TokKind::Ident
+        && roots.contains(&toks[i - 3].text.as_str())
+}
+
+fn path_root(toks: &[Tok], i: usize) -> &str {
+    if i >= 3 {
+        &toks[i - 3].text
+    } else {
+        ""
+    }
+}
+
+/// Methods whose iteration order on HashMap/HashSet is unordered.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+fn unordered_iter(f: &FileLex, out: &mut Vec<Raw>) {
+    let known = unordered_bindings(f);
+    if known.is_empty() {
+        return;
+    }
+    let toks = &f.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name.iter()` / `read_lock(&self.map).keys()` — walk the postfix
+        // chain backwards and see if any receiver ident is a known
+        // HashMap/HashSet binding.
+        if ITER_METHODS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+        {
+            if let Some(name) = chain_hit(toks, i - 1, &known) {
+                out.push(Raw {
+                    rule: "unordered-iter",
+                    line: t.line,
+                    message: format!(
+                        "iteration over HashMap/HashSet `{name}` has nondeterministic order; \
+                         use BTreeMap/BTreeSet, sort first, or annotate with a reason"
+                    ),
+                });
+            }
+        }
+        // `for x in &name {` / `for x in name {` — a by-value or by-ref move
+        // iteration with no method call to anchor on.
+        if t.is_ident("for") {
+            if let Some((name, line)) = for_in_known(toks, i, &known) {
+                out.push(Raw {
+                    rule: "unordered-iter",
+                    line,
+                    message: format!(
+                        "`for … in {name}` iterates a HashMap/HashSet in nondeterministic order; \
+                         use BTreeMap/BTreeSet, sort first, or annotate with a reason"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Names bound to HashMap/HashSet in this file: `let` bindings whose
+/// initializer/type mentions the type, plus `name: …HashMap…` field and
+/// parameter declarations.
+fn unordered_bindings(f: &FileLex) -> Vec<String> {
+    let toks = &f.toks;
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Field / parameter form: walk back to the nearest `,` `{` `(` `;`
+        // boundary; the declaration starts `name :` (single colon).
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            if p.is_punct(',')
+                || p.is_punct('{')
+                || p.is_punct('(')
+                || p.is_punct(')')
+                || p.is_punct(';')
+                || p.is_punct('}')
+            {
+                break;
+            }
+            j -= 1;
+        }
+        if toks[j].kind == TokKind::Ident
+            && toks.get(j + 1).is_some_and(|c| c.is_punct(':'))
+            && !toks.get(j + 2).is_some_and(|c| c.is_punct(':'))
+        {
+            push_unique(&mut names, &toks[j].text);
+        }
+    }
+    // `let [mut] name … = … HashMap/HashSet …;` — scan each let-statement.
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("let") {
+            let mut k = i + 1;
+            if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            if let Some(name_tok) = toks.get(k).filter(|t| t.kind == TokKind::Ident) {
+                let mut depth = 0i32;
+                let mut j = k + 1;
+                let mut mentions = false;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('{') || t.is_punct('(') {
+                        depth += 1;
+                    } else if t.is_punct('}') || t.is_punct(')') {
+                        depth -= 1;
+                    } else if t.is_punct(';') && depth <= 0 {
+                        break;
+                    } else if t.kind == TokKind::Ident
+                        && (t.text == "HashMap" || t.text == "HashSet")
+                    {
+                        mentions = true;
+                    }
+                    j += 1;
+                }
+                if mentions {
+                    push_unique(&mut names, &name_tok.text);
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: &str) {
+    if !names.iter().any(|n| n == name) {
+        names.push(name.to_string());
+    }
+}
+
+/// Walk a postfix receiver chain backwards from the `.` before a method call
+/// and return the first known binding mentioned in it.
+fn chain_hit(toks: &[Tok], dot: usize, known: &[String]) -> Option<String> {
+    let mut j = dot;
+    let mut steps = 0;
+    while j > 0 && steps < 24 {
+        let t = &toks[j - 1];
+        let chained = t.kind == TokKind::Ident
+            || t.is_punct('.')
+            || t.is_punct('(')
+            || t.is_punct(')')
+            || t.is_punct('&')
+            || t.is_punct(':')
+            || t.is_punct('?')
+            || t.is_punct('[')
+            || t.is_punct(']');
+        if !chained {
+            break;
+        }
+        if t.kind == TokKind::Ident && known.iter().any(|n| n == &t.text) {
+            return Some(t.text.clone());
+        }
+        j -= 1;
+        steps += 1;
+    }
+    None
+}
+
+/// Match `for … in [& [mut]] name {` with `name` a known unordered binding.
+fn for_in_known(toks: &[Tok], for_idx: usize, known: &[String]) -> Option<(String, u32)> {
+    let mut depth = 0i32;
+    let mut j = for_idx + 1;
+    while j < toks.len() && j - for_idx < 48 {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("in") {
+            let mut k = j + 1;
+            while toks
+                .get(k)
+                .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+            {
+                k += 1;
+            }
+            let name = toks.get(k).filter(|t| t.kind == TokKind::Ident)?;
+            if toks.get(k + 1).is_some_and(|t| t.is_punct('{'))
+                && known.iter().any(|n| n == &name.text)
+            {
+                return Some((name.text.clone(), name.line));
+            }
+            return None;
+        } else if t.is_punct('{') {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Panic-freedom
+// ---------------------------------------------------------------------------
+
+fn panic_freedom(f: &FileLex, out: &mut Vec<Raw>) {
+    const UNWRAPS: &[&str] = &["unwrap", "expect", "unwrap_unchecked"];
+    const PANICS: &[&str] = &[
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+    ];
+    let toks = &f.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if UNWRAPS.contains(&t.text.as_str())
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Raw {
+                rule: "no-unwrap",
+                line: t.line,
+                message: format!(
+                    "`.{}()` outside #[cfg(test)]; return a typed WireError/CollectorError instead",
+                    t.text
+                ),
+            });
+        }
+        if PANICS.contains(&t.text.as_str()) && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            out.push(Raw {
+                rule: "no-panic",
+                line: t.line,
+                message: format!(
+                    "`{}!` outside #[cfg(test)]; return a typed WireError/CollectorError instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Locking discipline
+// ---------------------------------------------------------------------------
+
+/// Lock-acquiring call names recognized inside hot-path regions and by the
+/// lock-order tracker.
+const LOCK_CALLS: &[&str] = &[
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "try_read",
+    "try_write",
+    "read_lock",
+    "write_lock",
+];
+
+fn hot_path_lock(f: &FileLex, regions: &[(u32, u32)], out: &mut Vec<Raw>) {
+    if regions.is_empty() {
+        return;
+    }
+    let toks = &f.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if f.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if LOCK_CALLS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && regions.iter().any(|&(a, b)| t.line > a && t.line < b)
+        {
+            out.push(Raw {
+                rule: "hot-path-lock",
+                line: t.line,
+                message: format!(
+                    "lock acquisition `{}(` inside a hot-path region; folds must run lock-free \
+                     under the already-held shard lock",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum LockKind {
+    Registry,
+    Slot,
+    Other,
+}
+
+/// Detect registry-after-slot lock order inversions. The sanctioned order in
+/// the collector is registry (`rounds`) → slot (`inner`); acquiring the
+/// registry lock while a slot guard is live can deadlock against the
+/// checkpoint path, which holds the registry lock and then quiesces slots.
+fn lock_order(f: &FileLex, out: &mut Vec<Raw>) {
+    let toks = &f.toks;
+    let mut depth = 0i32;
+    // Live let-bound slot guards: (name, block depth). Temporaries die at the
+    // next `;`.
+    let mut guards: Vec<(String, i32)> = Vec::new();
+    let mut temp_guard = false;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|&(_, d)| d <= depth);
+            continue;
+        }
+        if t.is_punct(';') {
+            temp_guard = false;
+            continue;
+        }
+        if f.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `drop(guard)` releases early.
+        if t.text == "drop"
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let name = &toks[i + 2].text;
+            guards.retain(|(g, _)| g != name);
+            continue;
+        }
+        if !LOCK_CALLS.contains(&t.text.as_str())
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        let kind = classify_lock(toks, i);
+        match kind {
+            LockKind::Registry => {
+                if !guards.is_empty() || temp_guard {
+                    let holder = guards
+                        .last()
+                        .map(|(g, _)| g.clone())
+                        .unwrap_or_else(|| "a temporary".to_string());
+                    out.push(Raw {
+                        rule: "lock-order",
+                        line: t.line,
+                        message: format!(
+                            "registry (`rounds`) lock acquired while slot guard `{holder}` is \
+                             live; the sanctioned order is registry → slot"
+                        ),
+                    });
+                }
+            }
+            LockKind::Slot => {
+                if let Some(name) = let_binding_before(toks, i) {
+                    guards.push((name, depth));
+                } else {
+                    temp_guard = true;
+                }
+            }
+            LockKind::Other => {}
+        }
+    }
+}
+
+/// Classify a lock call by what it locks: helper style `read_lock(&self.X)`
+/// inspects the argument list; method style `self.X.read()` inspects the
+/// receiver chain.
+fn classify_lock(toks: &[Tok], call: usize) -> LockKind {
+    let mut names: Vec<&str> = Vec::new();
+    // Arguments up to the matching `)`.
+    let mut depth = 0i32;
+    let mut j = call + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            names.push(&t.text);
+        }
+        j += 1;
+    }
+    // Receiver chain (method style).
+    if call > 0 && toks[call - 1].is_punct('.') {
+        let mut k = call - 1;
+        let mut steps = 0;
+        while k > 0 && steps < 12 {
+            let t = &toks[k - 1];
+            if t.kind == TokKind::Ident {
+                names.push(&t.text);
+            } else if !(t.is_punct('.') || t.is_punct('&') || t.is_punct(')') || t.is_punct('(')) {
+                break;
+            }
+            k -= 1;
+            steps += 1;
+        }
+    }
+    if names.contains(&"rounds") {
+        LockKind::Registry
+    } else if names.iter().any(|n| *n == "inner" || *n == "slot") {
+        LockKind::Slot
+    } else {
+        LockKind::Other
+    }
+}
+
+/// If the call at `i` is the initializer of `let [mut] name = …`, return the
+/// binding name.
+fn let_binding_before(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i;
+    let mut steps = 0;
+    while j > 0 && steps < 6 {
+        if toks[j - 1].is_punct('=') {
+            let name = toks.get(j.checked_sub(2)?)?;
+            if name.kind == TokKind::Ident && name.text != "=" {
+                return Some(name.text.clone());
+            }
+            return None;
+        }
+        let t = &toks[j - 1];
+        if !(t.kind == TokKind::Ident || t.is_punct('&') || t.is_punct('.') || t.is_punct(':')) {
+            return None;
+        }
+        j -= 1;
+        steps += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Wire totality
+// ---------------------------------------------------------------------------
+
+/// Every `const NAME: u8 = 0x..;` inside `mod frames { … }` of wire.rs must
+/// be referenced by collector non-test code (a decode arm) and exercised by a
+/// proptest file.
+fn opcode_totality(f: &FileLex, collector: &[&str], proptest: &[&str], out: &mut Vec<Raw>) {
+    for (name, line) in frame_consts(&f.toks) {
+        if !collector.iter().any(|i| *i == name) {
+            out.push(Raw {
+                rule: "opcode-arm",
+                line,
+                message: format!(
+                    "opcode `{name}` is not referenced by collector non-test code; \
+                     every frame kind needs a decode arm"
+                ),
+            });
+        }
+        if !proptest.iter().any(|i| *i == name) {
+            out.push(Raw {
+                rule: "opcode-proptest",
+                line,
+                message: format!("opcode `{name}` is not exercised by any proptest file"),
+            });
+        }
+    }
+}
+
+fn frame_consts(toks: &[Tok]) -> Vec<(String, u32)> {
+    let mut consts = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("mod") && toks.get(i + 1).is_some_and(|t| t.is_ident("frames")) {
+            // Find the module body and scan it.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("const") {
+                    if let Some(name) = toks.get(j + 1).filter(|t| t.kind == TokKind::Ident) {
+                        // Only opcode consts (hex literal initializer).
+                        let hex = toks[j..toks.len().min(j + 10)]
+                            .iter()
+                            .take_while(|t| !t.is_punct(';'))
+                            .any(|t| t.kind == TokKind::Num && t.text.starts_with("0x"));
+                        if hex {
+                            consts.push((name.text.clone(), name.line));
+                        }
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    consts
+}
+
+// ---------------------------------------------------------------------------
+// Allocation caps in decode paths
+// ---------------------------------------------------------------------------
+
+/// Function-name prefixes that mark untrusted-input decode paths.
+const DECODE_FN_PREFIXES: &[&str] = &["decode", "read", "get", "resume", "parse"];
+
+/// Allocation calls that must be preceded (in the same function) by a length
+/// proof: a `MAX_*` constant, `checked_len`, `split_at_checked`, or a
+/// `len()` comparison.
+fn alloc_cap(f: &FileLex, out: &mut Vec<Raw>) {
+    const ALLOCS: &[&str] = &["with_capacity", "resize", "reserve"];
+    let toks = &f.toks;
+    // Track enclosing named functions via a (name, depth) stack.
+    let mut stack: Vec<(String, i32, bool)> = Vec::new(); // (name, open depth, has proof)
+    let mut pending_fn: Option<String> = None;
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+            if let Some(name) = pending_fn.take() {
+                stack.push((name, depth, false));
+            }
+            continue;
+        }
+        if t.is_punct('}') {
+            if let Some(&(_, d, _)) = stack.last() {
+                if d == depth {
+                    stack.pop();
+                }
+            }
+            depth -= 1;
+            continue;
+        }
+        if t.is_punct(';') && pending_fn.is_some() && depth == 0 {
+            pending_fn = None; // trait method declaration without body
+            continue;
+        }
+        if f.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "fn" {
+            if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                pending_fn = Some(name.text.clone());
+            }
+            continue;
+        }
+        let in_decode_fn = stack
+            .last()
+            .map(|(name, _, _)| DECODE_FN_PREFIXES.iter().any(|p| name.starts_with(p)))
+            .unwrap_or(false);
+        // Record proofs on every enclosing frame.
+        let is_proof = t.text.starts_with("MAX_")
+            || t.text == "checked_len"
+            || t.text == "split_at_checked"
+            || (t.text == "len"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+                && toks.get(i + 3).is_some_and(|n| {
+                    n.is_punct('<') || n.is_punct('>') || n.is_punct('=') || n.is_punct('!')
+                }));
+        if is_proof {
+            if let Some(top) = stack.last_mut() {
+                top.2 = true;
+            }
+            continue;
+        }
+        if !in_decode_fn {
+            continue;
+        }
+        let proved = stack.last().map(|&(_, _, p)| p).unwrap_or(false);
+        let is_alloc = (ALLOCS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('(')))
+            || (t.text == "vec" && toks.get(i + 1).is_some_and(|n| n.is_punct('!')));
+        if is_alloc && !proved {
+            out.push(Raw {
+                rule: "alloc-cap",
+                line: t.line,
+                message: format!(
+                    "allocation `{}` in decode path `{}` before any length cap \
+                     (MAX_* bound, checked_len, or len() comparison)",
+                    t.text,
+                    stack.last().map(|(n, _, _)| n.as_str()).unwrap_or("?")
+                ),
+            });
+        }
+    }
+}

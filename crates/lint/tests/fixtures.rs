@@ -1,0 +1,193 @@
+//! Every rule is pinned by a fixture pair: a `bad/` tree whose seeded
+//! violation the rule must flag, and a `good/` tree (the compliant twin,
+//! annotated or restructured) that must lint clean. The trees mimic the
+//! real workspace layout (`crates/protocols/src/wire.rs`, …) so the
+//! path-scoped rules activate.
+
+use ldp_lint::lint_workspace;
+use std::path::{Path, PathBuf};
+
+fn fixture(tree: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(tree)
+}
+
+/// Lints `fixtures/<tree>` and returns the findings.
+fn lint(tree: &str) -> Vec<ldp_lint::Finding> {
+    let root = fixture(tree);
+    lint_workspace(&root).unwrap_or_else(|e| panic!("linting fixture {tree} failed: {e}"))
+}
+
+/// Asserts the `bad` tree fires `rule` (at least once) and the `good`
+/// twin is completely clean — not merely free of `rule`, free of
+/// *everything*, so fixtures can't accumulate incidental noise.
+fn assert_rule_pinned(dir: &str, rule: &str) {
+    let bad = lint(&format!("{dir}/bad"));
+    assert!(
+        bad.iter().any(|f| f.rule == rule),
+        "{dir}/bad: expected a `{rule}` finding, got: {bad:#?}"
+    );
+    let good = lint(&format!("{dir}/good"));
+    assert!(
+        good.is_empty(),
+        "{dir}/good: expected a clean run, got: {good:#?}"
+    );
+}
+
+#[test]
+fn wall_clock_is_pinned() {
+    assert_rule_pinned("wall-clock", "wall-clock");
+    // All three wall-clock reads in the bad tree are caught: the two
+    // `now()` calls and the sleep.
+    let bad = lint("wall-clock/bad");
+    assert!(
+        bad.iter().filter(|f| f.rule == "wall-clock").count() >= 3,
+        "{bad:#?}"
+    );
+}
+
+#[test]
+fn entropy_rng_is_pinned() {
+    assert_rule_pinned("entropy-rng", "entropy-rng");
+}
+
+#[test]
+fn unordered_iter_is_pinned() {
+    assert_rule_pinned("unordered-iter", "unordered-iter");
+    // Both the HashMap and the HashSet iteration are flagged.
+    let bad = lint("unordered-iter/bad");
+    assert!(
+        bad.iter().filter(|f| f.rule == "unordered-iter").count() >= 2,
+        "{bad:#?}"
+    );
+}
+
+#[test]
+fn no_unwrap_is_pinned() {
+    assert_rule_pinned("no-unwrap", "no-unwrap");
+    let bad = lint("no-unwrap/bad");
+    // `.unwrap()` and `.expect(..)` are two separate findings.
+    assert!(
+        bad.iter().filter(|f| f.rule == "no-unwrap").count() >= 2,
+        "{bad:#?}"
+    );
+}
+
+#[test]
+fn no_panic_is_pinned() {
+    assert_rule_pinned("no-panic", "no-panic");
+    let bad = lint("no-panic/bad");
+    // Both `unreachable!` and `panic!` fire.
+    assert!(
+        bad.iter().filter(|f| f.rule == "no-panic").count() >= 2,
+        "{bad:#?}"
+    );
+}
+
+#[test]
+fn hot_path_lock_is_pinned() {
+    assert_rule_pinned("hot-path-lock", "hot-path-lock");
+}
+
+#[test]
+fn lock_order_is_pinned() {
+    assert_rule_pinned("lock-order", "lock-order");
+}
+
+#[test]
+fn opcode_arm_is_pinned() {
+    assert_rule_pinned("opcode", "opcode-arm");
+    // The orphaned opcode is reported at its const declaration in wire.rs.
+    let bad = lint("opcode/bad");
+    let arm = bad.iter().find(|f| f.rule == "opcode-arm").unwrap();
+    assert_eq!(arm.rel, "crates/protocols/src/wire.rs");
+    assert!(arm.message.contains("ORPHANED"), "{arm}");
+}
+
+#[test]
+fn opcode_proptest_is_pinned() {
+    let bad = lint("opcode/bad");
+    let pt = bad
+        .iter()
+        .find(|f| f.rule == "opcode-proptest")
+        .unwrap_or_else(|| panic!("expected opcode-proptest in {bad:#?}"));
+    assert!(pt.message.contains("ORPHANED"), "{pt}");
+    // OPEN is wired on both ends, so only the orphan is flagged.
+    assert!(!bad.iter().any(|f| f.message.contains("OPEN")), "{bad:#?}");
+}
+
+#[test]
+fn alloc_cap_is_pinned() {
+    assert_rule_pinned("alloc-cap", "alloc-cap");
+}
+
+#[test]
+fn allow_without_reason_is_pinned() {
+    assert_rule_pinned("allow-without-reason", "allow-without-reason");
+    // A reasonless allow suppresses nothing: the underlying wall-clock
+    // finding fires alongside the meta finding.
+    let bad = lint("allow-without-reason/bad");
+    assert!(bad.iter().any(|f| f.rule == "wall-clock"), "{bad:#?}");
+    // And it is *not* additionally reported as unused — one defect, one
+    // actionable message.
+    assert!(!bad.iter().any(|f| f.rule == "unused-allow"), "{bad:#?}");
+}
+
+#[test]
+fn unused_allow_is_pinned() {
+    assert_rule_pinned("unused-allow", "unused-allow");
+}
+
+#[test]
+fn annotation_syntax_is_pinned() {
+    assert_rule_pinned("annotation-syntax", "annotation-syntax");
+    let bad = lint("annotation-syntax/bad");
+    // Unknown rule, unknown directive, stray end, unclosed begin: four
+    // distinct syntax findings.
+    assert!(
+        bad.iter().filter(|f| f.rule == "annotation-syntax").count() >= 4,
+        "{bad:#?}"
+    );
+}
+
+/// The full catalog: every rule named in `RULES` has a fixture test in
+/// this file, and every rule exercised here is in the catalog.
+#[test]
+fn rule_catalog_is_complete() {
+    let pinned = [
+        "wall-clock",
+        "entropy-rng",
+        "unordered-iter",
+        "no-unwrap",
+        "no-panic",
+        "hot-path-lock",
+        "lock-order",
+        "opcode-arm",
+        "opcode-proptest",
+        "alloc-cap",
+        "allow-without-reason",
+        "unused-allow",
+        "annotation-syntax",
+    ];
+    let catalog: Vec<&str> = ldp_lint::rules::RULES
+        .iter()
+        .map(|&(name, _)| name)
+        .collect();
+    for rule in pinned {
+        assert!(
+            catalog.contains(&rule),
+            "fixture-pinned rule `{rule}` missing from RULES"
+        );
+    }
+    for rule in &catalog {
+        assert!(
+            pinned.contains(rule),
+            "catalog rule `{rule}` has no fixture pin"
+        );
+    }
+    assert!(
+        catalog.len() >= 10,
+        "issue floor: at least 10 distinct rules"
+    );
+}

@@ -1,0 +1,76 @@
+//! The meta-test: the real workspace lints clean. This is the same check
+//! CI runs as the named `ldp-lint` step; keeping it in `cargo test` means
+//! a violation fails the ordinary test suite too, with the findings
+//! printed for whoever introduced them.
+
+use ldp_lint::lint_workspace;
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace two levels up")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let findings = lint_workspace(workspace_root()).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The binary agrees with the library and speaks in exit codes: 0 on the
+/// clean workspace, nonzero on a tree with seeded violations.
+#[test]
+fn binary_exit_codes_match() {
+    let clean = Command::new(env!("CARGO_BIN_EXE_ldp-lint"))
+        .args(["--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run ldp-lint");
+    assert!(
+        clean.status.success(),
+        "expected exit 0 on the workspace:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("clean"));
+
+    let bad_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/wall-clock/bad");
+    let dirty = Command::new(env!("CARGO_BIN_EXE_ldp-lint"))
+        .args(["--root"])
+        .arg(&bad_root)
+        .output()
+        .expect("run ldp-lint");
+    assert_eq!(
+        dirty.status.code(),
+        Some(1),
+        "expected exit 1 on seeded violations:\n{}",
+        String::from_utf8_lossy(&dirty.stdout)
+    );
+    let out = String::from_utf8_lossy(&dirty.stdout);
+    assert!(out.contains("[wall-clock]"), "findings printed: {out}");
+}
+
+/// `--list-rules` names every rule; useful for grepping an allow target.
+#[test]
+fn list_rules_prints_the_catalog() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ldp-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("run ldp-lint");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for (name, _) in ldp_lint::rules::RULES {
+        assert!(text.contains(name), "--list-rules missing `{name}`");
+    }
+}

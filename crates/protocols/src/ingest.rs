@@ -241,6 +241,8 @@ pub fn finalize_lower(
 /// # Panics
 /// Panics if `row` is shorter than the owned word count or `bits` spans
 /// fewer than `i` slots.
+// ldp-lint: hot-path(begin) -- the per-report OR-fold kernel; the collector
+// calls it under a shard mutex, so it must stay lock-free
 pub fn fold_lower_bits(row: &mut [u64], bits: &BitSet, i: usize) -> u64 {
     let src = bits.words();
     let full = i / 64;
@@ -257,6 +259,7 @@ pub fn fold_lower_bits(row: &mut [u64], bits: &BitSet, i: usize) -> u64 {
     }
     folded
 }
+// ldp-lint: hot-path(end)
 
 /// Aggregates a report stream into a [`PerturbedView`] while holding at
 /// most `batch_size` reports in memory: the convenience driver for callers

@@ -89,6 +89,44 @@ pub const MAX_WIRE_POPULATION: usize = 1 << 27;
 /// per-entry work: a hostile count is a typed refusal, not a loop bound.
 pub const MAX_REPORTS_PER_BATCH: usize = 1 << 16;
 
+/// Frame kind bytes of the collection protocol (wire version 2).
+///
+/// These live here, next to the codec, rather than in the collector
+/// daemon: the `ldp-lint` wire-totality rules (`opcode-arm`,
+/// `opcode-proptest`) require every constant in this module to be
+/// referenced by a collector decode arm and exercised by a proptest, so
+/// adding an opcode without wiring it end-to-end fails CI.
+pub mod frames {
+    /// Client → server: open a round (round id, tenant, channel, quota).
+    pub const OPEN: u8 = 0x01;
+    /// Client → server: one routed report (unacknowledged).
+    pub const REPORT: u8 = 0x02;
+    /// Client → server: close the named round, reply with the summary.
+    pub const CLOSE: u8 = 0x03;
+    /// Client → server: finalize the named closed round.
+    pub const FINALIZE: u8 = 0x04;
+    /// Client → server: snapshot the named round to the checkpoint path.
+    pub const CHECKPOINT: u8 = 0x05;
+    /// Client → server: stop the daemon after this session.
+    pub const SHUTDOWN: u8 = 0x06;
+    /// Client → server: a routed batch of length-prefixed reports
+    /// (unacknowledged).
+    pub const REPORT_BATCH: u8 = 0x07;
+    /// Client → server: barrier — acked once every prior frame of this
+    /// session has been ingested.
+    pub const SYNC: u8 = 0x08;
+    /// Server → client: success, no payload.
+    pub const ACK: u8 = 0x81;
+    /// Server → client: refusal, code + message.
+    pub const ERR: u8 = 0x82;
+    /// Server → client: round intake summary.
+    pub const SUMMARY: u8 = 0x83;
+    /// Server → client: finalized adjacency view.
+    pub const VIEW: u8 = 0x84;
+    /// Server → client: finalized degree-vector totals.
+    pub const DEGREE_SUMMARY: u8 = 0x85;
+}
+
 /// Typed decode/transport failures. Every malformed input maps to one of
 /// these — the codec never panics on untrusted bytes.
 #[derive(Debug)]

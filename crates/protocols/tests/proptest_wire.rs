@@ -279,6 +279,55 @@ proptest! {
     }
 }
 
+/// Every opcode in [`wire::frames`] — request and reply — survives a
+/// `write_frame` → `read_frame` round trip with an arbitrary payload, and
+/// the kind bytes are pairwise distinct so no frame can masquerade as
+/// another. This table is the proptest mention the `ldp-lint`
+/// `opcode-proptest` rule demands for each constant: extending the
+/// protocol without extending this test fails CI.
+#[test]
+fn every_frame_opcode_round_trips_and_is_distinct() {
+    use wire::frames::{
+        ACK, CHECKPOINT, CLOSE, DEGREE_SUMMARY, ERR, FINALIZE, OPEN, REPORT, REPORT_BATCH,
+        SHUTDOWN, SUMMARY, SYNC, VIEW,
+    };
+    let opcodes = [
+        OPEN,
+        REPORT,
+        CLOSE,
+        FINALIZE,
+        CHECKPOINT,
+        SHUTDOWN,
+        REPORT_BATCH,
+        SYNC,
+        ACK,
+        ERR,
+        SUMMARY,
+        VIEW,
+        DEGREE_SUMMARY,
+    ];
+    for (i, &a) in opcodes.iter().enumerate() {
+        for &b in &opcodes[i + 1..] {
+            assert_ne!(a, b, "duplicate opcode byte {a:#04x}");
+        }
+    }
+    let mut rng = Xoshiro256pp::new(0xF4A3);
+    for &kind in &opcodes {
+        let payload: Vec<u8> = (0..rng.gen_range(0..64usize))
+            .map(|_| rng.gen::<u64>() as u8)
+            .collect();
+        let mut stream = Vec::new();
+        wire::write_frame(&mut stream, kind, &payload).expect("frame fits");
+        let mut r = stream.as_slice();
+        let mut got = Vec::new();
+        let got_kind = wire::read_frame(&mut r, &mut got)
+            .expect("well-formed frame")
+            .expect("not eof");
+        assert_eq!(got_kind, kind);
+        assert_eq!(got, payload);
+    }
+}
+
 #[test]
 fn truncated_header_is_typed() {
     // A stream that dies inside the 6-byte header.

@@ -5,9 +5,31 @@
 # that is not on the allowlist fails CI — the container builds offline,
 # so a registry dependency would only be discovered at release time.
 #
-# Usage: tools/check_vendored_deps.sh   (from the repo root)
+# The script also pins the vendored sources themselves: every file under
+# crates/compat/ must hash to the entry recorded in
+# tools/vendored_deps.sha256, so a silent edit to a "third-party" shim is
+# as loud as a new dependency. After a deliberate change, regenerate the
+# manifest with:
+#
+#   tools/check_vendored_deps.sh --update
+#
+# Usage: tools/check_vendored_deps.sh [--update]   (from the repo root)
 
 set -eu
+
+MANIFEST="tools/vendored_deps.sha256"
+
+hash_compat() {
+    # Stable order + stable tool: sha256sum over every file under
+    # crates/compat/, paths sorted bytewise.
+    find crates/compat -type f | LC_ALL=C sort | xargs sha256sum
+}
+
+if [ "${1:-}" = "--update" ]; then
+    hash_compat > "$MANIFEST"
+    echo "vendored-deps manifest: rewrote $MANIFEST ($(wc -l < "$MANIFEST") files)"
+    exit 0
+fi
 
 ALLOWLIST="ldp-graph ldp-mechanisms ldp-protocols poison-core poison-defense ldp-collector poison-experiments poison-bench rand proptest criterion"
 
@@ -41,7 +63,18 @@ for manifest in Cargo.toml crates/*/Cargo.toml crates/compat/*/Cargo.toml; do
     done
 done
 
+if [ ! -f "$MANIFEST" ]; then
+    echo "ERROR: $MANIFEST is missing; run tools/check_vendored_deps.sh --update" >&2
+    status=1
+elif ! hash_compat | diff -u "$MANIFEST" - >/dev/null 2>&1; then
+    echo "ERROR: crates/compat/ does not match $MANIFEST:" >&2
+    hash_compat | diff -u "$MANIFEST" - >&2 || true
+    echo "       Vendored sources are pinned; if the change is deliberate," >&2
+    echo "       regenerate with tools/check_vendored_deps.sh --update." >&2
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
-    echo "vendored-deps check: OK (all dependencies on the allowlist)"
+    echo "vendored-deps check: OK (all dependencies on the allowlist; compat sources match $MANIFEST)"
 fi
 exit "$status"
