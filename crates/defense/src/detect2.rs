@@ -79,8 +79,8 @@ impl Defense for DegreeConsistencyDefense {
         // row is re-drawn as an RR pass over an empty neighborhood so the
         // slots still carry the mechanism noise calibration assumes.
         let mut repaired: Vec<AdjacencyReport> = reports.to_vec();
-        for (f, report) in repaired.iter_mut().enumerate() {
-            if flagged[f] {
+        for (f, (report, &is_flagged)) in repaired.iter_mut().zip(&flagged).enumerate() {
+            if is_flagged {
                 let n = report.population();
                 let empty = BitSet::new(n);
                 report.bits = protocol.rr().perturb_bitset(&empty, Some(f), &mut rng);

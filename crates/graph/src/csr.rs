@@ -107,6 +107,7 @@ impl CsrGraph {
     /// Panics if `u` is out of range.
     #[inline]
     pub fn degree(&self, u: usize) -> usize {
+        assert!(u < self.num_nodes(), "node {u} out of range");
         self.offsets[u + 1] - self.offsets[u]
     }
 
@@ -116,6 +117,7 @@ impl CsrGraph {
     /// Panics if `u` is out of range.
     #[inline]
     pub fn neighbors(&self, u: usize) -> &[u32] {
+        assert!(u < self.num_nodes(), "node {u} out of range");
         &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
     }
 

@@ -111,8 +111,12 @@ impl BitMatrix {
     }
 
     /// Raw words of row `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
     #[inline]
     pub fn row(&self, u: usize) -> &[u64] {
+        assert!(u < self.n, "row {u} out of range for {} nodes", self.n);
         &self.bits[u * self.words_per_row..(u + 1) * self.words_per_row]
     }
 

@@ -1,4 +1,7 @@
-//! Seeded violation: a lock acquired inside a marked shard-fold hot path.
+//! Seeded violations: a lock acquired inside a marked shard-fold hot
+//! path — once literally on the marked lines, and once *through a call*
+//! (`fold_indirect` calls `publish`, which locks). The second finding
+//! must carry the witness path `fold_indirect → publish`.
 use std::sync::Mutex;
 
 pub struct Shard {
@@ -13,4 +16,16 @@ impl Shard {
         *stats
     }
     // ldp-lint: hot-path(end)
+
+    // ldp-lint: hot-path(begin) -- fold must stay lock-free through helpers too
+    pub fn fold_indirect(&self, word: u64) -> u64 {
+        self.publish(word);
+        word
+    }
+    // ldp-lint: hot-path(end)
+
+    pub fn publish(&self, acc: u64) {
+        let mut stats = self.stats.lock().unwrap();
+        *stats |= acc;
+    }
 }

@@ -1,5 +1,8 @@
-//! Seeded violation: registry lock acquired while a slot guard is live
-//! (inverts the sanctioned registry -> slot order).
+//! Seeded violations: the registry lock acquired while a slot guard is
+//! live — once directly in a single body, and once *across a call*
+//! (`inverted_across_calls` holds the slot guard and calls `census`,
+//! which takes the registry lock). The second finding must carry the
+//! witness path `inverted_across_calls → census`.
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -24,5 +27,15 @@ impl Registry {
         let state = read_lock(&slot.inner);
         let rounds = read_lock(&self.rounds);
         rounds.len() + *state as usize
+    }
+
+    pub fn inverted_across_calls(&self, slot: &Slot) -> u64 {
+        let state = read_lock(&slot.inner);
+        self.census() + *state
+    }
+
+    fn census(&self) -> u64 {
+        let rounds = read_lock(&self.rounds);
+        rounds.len() as u64
     }
 }

@@ -1,5 +1,7 @@
-//! Negative: sanctioned registry -> slot order, plus a slot guard that is
-//! dropped before the registry is touched.
+//! Negative: sanctioned registry -> slot order, a slot guard dropped
+//! before the registry is touched, and a registry guard held across a
+//! call into a slot-locking helper — the *forward* direction, which the
+//! global analysis must not confuse with an inversion.
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -19,6 +21,11 @@ fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+fn slot_state(slot: &Slot) -> u64 {
+    let state = read_lock(&slot.inner);
+    *state
+}
+
 impl Registry {
     pub fn sanctioned(&self, id: u64) -> u64 {
         let rounds = read_lock(&self.rounds);
@@ -35,5 +42,13 @@ impl Registry {
         drop(state);
         let rounds = read_lock(&self.rounds);
         rounds.len() + snapshot as usize
+    }
+
+    pub fn forward_across_calls(&self, id: u64) -> u64 {
+        let rounds = read_lock(&self.rounds);
+        match rounds.get(&id) {
+            Some(slot) => slot_state(slot),
+            None => 0,
+        }
     }
 }

@@ -1,0 +1,9 @@
+//! Seeded violation: the entry point calls through a trait object. The
+//! resolver cannot see which impl is behind `&dyn Estimator`, so it
+//! over-approximates to every impl of `estimate` — including the one
+//! that panics.
+use crate::estimators::Estimator;
+
+pub fn process_frame(kind: u8, est: &dyn Estimator) -> f64 {
+    est.estimate(kind)
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: an allow on the last line of the file (with no
+//! trailing newline) suppresses nothing and must still be reported.
+pub fn f() -> u32 {
+    1
+}
+// ldp-lint: allow(wall-clock) -- nothing below to suppress

@@ -1,0 +1,4 @@
+//! Negative: an allow whose governed line is the very last line of the
+//! file (no trailing newline) still suppresses the finding there.
+// ldp-lint: allow(wall-clock) -- replay clock boundary, pinned by this fixture
+pub fn epoch() -> std::time::Instant { std::time::Instant::now() }

@@ -5,7 +5,13 @@
 //! The tool is std-only (the workspace is hermetic: no registry access, so no
 //! `syn`). It lexes every `.rs` file with a hand-rolled comment/string-correct
 //! lexer ([`lexer`]) and runs a fixed set of named rules ([`rules::RULES`])
-//! over the token streams. Justified exceptions are annotated in source:
+//! over the token streams. Since PR 8 the engine is *interprocedural*: a
+//! symbol table (`symbols`) and call graph (`callgraph`) over all workspace
+//! crates feed reachability passes (`reach`) — panic paths from the daemon
+//! entry points, global lock ordering, and transitive hot-path lock
+//! detection — whose findings carry full witness call paths.
+//!
+//! Justified exceptions are annotated in source:
 //!
 //! ```text
 //! // ldp-lint: allow(rule-name) -- why this site is safe
@@ -16,7 +22,7 @@
 //! (`allow-without-reason`), and an `allow` that suppresses nothing is an
 //! error (`unused-allow`) so suppressions cannot rot. Shard-fold hot paths
 //! are delimited with region markers that *add* a rule (no lock acquisition
-//! inside):
+//! inside, even transitively through calls):
 //!
 //! ```text
 //! // ldp-lint: hot-path(begin) -- held shard mutex: no further locks
@@ -24,15 +30,33 @@
 //! // ldp-lint: hot-path(end)
 //! ```
 //!
-//! See DESIGN.md §9 for the rule catalog and rationale.
+//! See DESIGN.md §9 for the rule catalog and the call-graph construction
+//! rules.
 
 pub mod lexer;
 pub mod rules;
+
+pub(crate) mod callgraph;
+pub(crate) mod reach;
+pub(crate) mod symbols;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One hop of an interprocedural witness path: a function, its file, and the
+/// line where it calls the next hop (for the last hop, the offending site).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// `Type::method` or bare function name.
+    pub func: String,
+    /// Path relative to the linted root, `/`-separated.
+    pub rel: String,
+    /// 1-based source line.
+    pub line: u32,
+}
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +68,10 @@ pub struct Finding {
     /// 1-based source line.
     pub line: u32,
     pub message: String,
+    /// For interprocedural rules, the witness call path from the entry point
+    /// (or lock-holding caller) down to the offending site. Empty for
+    /// token-level rules. Rendered by `--explain` and `--format json`.
+    pub call_path: Vec<Hop>,
 }
 
 impl fmt::Display for Finding {
@@ -54,6 +82,39 @@ impl fmt::Display for Finding {
             self.rel, self.line, self.rule, self.message
         )
     }
+}
+
+impl Finding {
+    /// Multi-line rendering with the witness call path, one `file:line` per
+    /// hop (`--explain`).
+    pub fn explain(&self) -> String {
+        let mut s = self.to_string();
+        if !self.call_path.is_empty() {
+            let arrows = self
+                .call_path
+                .iter()
+                .map(|h| h.func.as_str())
+                .collect::<Vec<_>>()
+                .join(" → ");
+            s.push_str(&format!("\n    path: {arrows}"));
+            for h in &self.call_path {
+                s.push_str(&format!("\n      {}:{} {}", h.rel, h.line, h.func));
+            }
+        }
+        s
+    }
+}
+
+/// Phase wall-clock breakdown for `--timing`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timing {
+    /// Files lexed.
+    pub files: usize,
+    /// Walking + reading + lexing (parallel across files).
+    pub lex: Duration,
+    /// Rule passes including the interprocedural analyses (single-threaded,
+    /// deterministic).
+    pub analyze: Duration,
 }
 
 /// A lexed workspace file, ready for rule passes.
@@ -72,33 +133,84 @@ pub(crate) struct FileLex {
 /// third-party subsets — not ours to hold to these invariants), and
 /// `crates/lint/fixtures/` (seeded violations used by the lint's own tests).
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    lint_workspace_timed(root).map(|(findings, _)| findings)
+}
+
+/// [`lint_workspace`] plus the per-phase [`Timing`] breakdown.
+///
+/// Lexing is fanned out over scoped threads (file-parallel, results land in
+/// path order, so output is identical at any thread count); analysis is
+/// single-threaded by design — the interprocedural passes are cheap and
+/// determinism matters more than the last millisecond.
+pub fn lint_workspace_timed(root: &Path) -> io::Result<(Vec<Finding>, Timing)> {
+    let t0 = std::time::Instant::now();
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-
-    let mut lexed = Vec::with_capacity(files.len());
-    for path in &files {
-        let src = fs::read_to_string(path)?;
-        let toks = lexer::lex(&src);
-        let test_mask = rules::test_mask(&toks);
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        lexed.push(FileLex {
-            rel,
-            toks,
-            test_mask,
-        });
-    }
+    let lexed = lex_files(root, &files)?;
+    let t1 = std::time::Instant::now();
 
     let mut findings = rules::run(&lexed);
     findings
         .sort_by(|a, b| (a.rel.as_str(), a.line, a.rule).cmp(&(b.rel.as_str(), b.line, b.rule)));
-    Ok(findings)
+    findings.dedup();
+    let t2 = std::time::Instant::now();
+    Ok((
+        findings,
+        Timing {
+            files: files.len(),
+            lex: t1.duration_since(t0),
+            analyze: t2.duration_since(t1),
+        },
+    ))
+}
+
+/// Read and lex `files` on scoped worker threads, one contiguous chunk per
+/// worker. Slots are pre-addressed by index, so the result order is the
+/// sorted path order regardless of thread interleaving.
+fn lex_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<FileLex>> {
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(8)
+        .min(files.len().max(1));
+    let mut slots: Vec<io::Result<Option<FileLex>>> = Vec::with_capacity(files.len());
+    slots.resize_with(files.len(), || Ok(None));
+    let chunk_len = files.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (file_chunk, slot_chunk) in files.chunks(chunk_len).zip(slots.chunks_mut(chunk_len)) {
+            scope.spawn(move || {
+                for (path, slot) in file_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = lex_one(root, path).map(Some);
+                }
+            });
+        }
+    });
+    let mut lexed = Vec::with_capacity(files.len());
+    for slot in slots {
+        match slot? {
+            Some(fl) => lexed.push(fl),
+            None => unreachable!("every slot is written by exactly one worker"),
+        }
+    }
+    Ok(lexed)
+}
+
+fn lex_one(root: &Path, path: &Path) -> io::Result<FileLex> {
+    let src = fs::read_to_string(path)?;
+    let toks = lexer::lex(&src);
+    let test_mask = rules::test_mask(&toks);
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    Ok(FileLex {
+        rel,
+        toks,
+        test_mask,
+    })
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -126,4 +238,66 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Resu
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// JSON output (hand-rolled: the workspace is serde-free)
+// ---------------------------------------------------------------------------
+
+/// Encode findings as JSON with a stable schema:
+///
+/// ```json
+/// {"findings":[{"rule":"…","path":"…","line":1,"message":"…",
+///   "call_path":[{"func":"…","path":"…","line":1}]}],"count":1}
+/// ```
+///
+/// Keys are emitted in exactly this order; `call_path` is always present
+/// (empty for token-level rules), so consumers never need schema probing.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"rule\":");
+        json_str(&mut s, f.rule);
+        s.push_str(",\"path\":");
+        json_str(&mut s, &f.rel);
+        s.push_str(&format!(",\"line\":{}", f.line));
+        s.push_str(",\"message\":");
+        json_str(&mut s, &f.message);
+        s.push_str(",\"call_path\":[");
+        for (j, h) in f.call_path.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"func\":");
+            json_str(&mut s, &h.func);
+            s.push_str(",\"path\":");
+            json_str(&mut s, &h.rel);
+            s.push_str(&format!(",\"line\":{}}}", h.line));
+        }
+        s.push_str("]}");
+    }
+    s.push_str(&format!("],\"count\":{}}}", findings.len()));
+    s.push('\n');
+    s
+}
+
+/// Append `v` as a JSON string literal: `"`, `\`, and control characters
+/// escaped per RFC 8259.
+fn json_str(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }

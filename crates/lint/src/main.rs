@@ -4,6 +4,9 @@
 //! ldp-lint --workspace            # lint the enclosing cargo workspace
 //! ldp-lint --root PATH            # lint an explicit tree (fixtures, CI)
 //! ldp-lint --list-rules           # print the rule catalog
+//! ldp-lint --workspace --explain  # render witness call paths per finding
+//! ldp-lint --workspace --format json   # machine-readable output
+//! ldp-lint --workspace --timing   # per-phase wall-clock to stderr
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when findings exist, 2 on usage/IO errors.
@@ -11,8 +14,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: ldp-lint [--workspace | --root PATH | --list-rules] [--explain] [--format json] [--timing]";
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut explain = false;
+    let mut json = false;
+    let mut timing = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,32 +45,61 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => explain = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some(other) => {
+                    eprintln!("ldp-lint: unknown format `{other}` (supported: json)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("ldp-lint: --format requires a value (supported: json)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--timing" => timing = true,
             other => {
                 eprintln!("ldp-lint: unknown argument `{other}`");
-                eprintln!("usage: ldp-lint [--workspace | --root PATH | --list-rules]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
     let Some(root) = root else {
-        eprintln!("usage: ldp-lint [--workspace | --root PATH | --list-rules]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
 
-    match ldp_lint::lint_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!(
-                "ldp-lint: clean ({} rules enforced)",
-                ldp_lint::rules::RULES.len()
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+    match ldp_lint::lint_workspace_timed(&root) {
+        Ok((findings, t)) => {
+            if timing {
+                eprintln!(
+                    "ldp-lint: timing: {} files, lex {:.1?} (parallel), analyze {:.1?}",
+                    t.files, t.lex, t.analyze
+                );
             }
-            println!("ldp-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if json {
+                print!("{}", ldp_lint::to_json(&findings));
+            } else if findings.is_empty() {
+                println!(
+                    "ldp-lint: clean ({} rules enforced)",
+                    ldp_lint::rules::RULES.len()
+                );
+            } else {
+                for f in &findings {
+                    if explain {
+                        println!("{}", f.explain());
+                    } else {
+                        println!("{f}");
+                    }
+                }
+                println!("ldp-lint: {} finding(s)", findings.len());
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("ldp-lint: {}: {e}", root.display());

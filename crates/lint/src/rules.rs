@@ -14,10 +14,9 @@ pub const RULES: &[(&str, &str)] = &[
     ("wall-clock", "no SystemTime::now / Instant::now / thread::sleep in deterministic crates"),
     ("entropy-rng", "no entropy-seeded RNG (thread_rng, from_entropy, OsRng, …) in deterministic crates"),
     ("unordered-iter", "no HashMap/HashSet iteration in deterministic or collector code unless annotated"),
-    ("no-unwrap", "no unwrap/expect outside #[cfg(test)] in wire.rs and collector server/round/checkpoint"),
-    ("no-panic", "no panic!/unreachable!/assert! outside #[cfg(test)] in wire.rs and collector server/round/checkpoint"),
-    ("hot-path-lock", "no lock acquisition inside ldp-lint: hot-path(begin/end) regions"),
-    ("lock-order", "registry lock must never be acquired while a round-slot guard is live"),
+    ("panic-path", "no panic site (unwrap/expect/panic!/unchecked indexing) reachable from a daemon entry point"),
+    ("hot-path-lock", "no lock acquisition inside or called from ldp-lint: hot-path(begin/end) regions"),
+    ("lock-order", "no acquisition against the global registry → slot → shard lock order, across calls"),
     ("opcode-arm", "every wire frame opcode must be referenced by collector non-test code"),
     ("opcode-proptest", "every wire frame opcode must be exercised by a proptest file"),
     ("alloc-cap", "every allocation in a decode/read path must follow a length cap or proof"),
@@ -35,16 +34,6 @@ const DETERMINISTIC_PREFIXES: &[&str] = &[
     "crates/protocols/src/",
     "crates/core/src/",
     "crates/defense/src/",
-];
-
-/// Files where panicking is banned outright: the total wire codec and the
-/// collector daemon's frame/round/checkpoint paths (a panic here kills the
-/// service or poisons a lock an adversary can then exploit).
-const PANIC_FREE_FILES: &[&str] = &[
-    "crates/protocols/src/wire.rs",
-    "crates/collector/src/server.rs",
-    "crates/collector/src/round.rs",
-    "crates/collector/src/checkpoint.rs",
 ];
 
 /// Files holding length-prefixed decoders that must cap before allocating.
@@ -75,11 +64,13 @@ fn rule_exists(name: &str) -> bool {
     RULES.iter().any(|(r, _)| *r == name)
 }
 
-/// A finding before suppression: carries only what the allow-matcher needs.
-struct Raw {
-    rule: &'static str,
-    line: u32,
-    message: String,
+/// A finding before suppression: carries what the allow-matcher needs plus
+/// the interprocedural witness path (empty for token-level rules).
+pub(crate) struct Raw {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+    pub call_path: Vec<crate::Hop>,
 }
 
 struct Allow {
@@ -103,10 +94,10 @@ struct Annotations {
     meta: Vec<Raw>,
 }
 
-/// Run every rule over the lexed workspace.
+/// Run every rule over the lexed workspace: per-file token rules first, then
+/// the interprocedural passes over the symbol table and call graph, then
+/// allow-suppression per file.
 pub(crate) fn run(files: &[FileLex]) -> Vec<Finding> {
-    let mut findings = Vec::new();
-
     // Cross-file reference sets for the wire-totality rules.
     let mut collector_idents: Vec<&str> = Vec::new();
     let mut proptest_idents: Vec<&str> = Vec::new();
@@ -127,34 +118,55 @@ pub(crate) fn run(files: &[FileLex]) -> Vec<Finding> {
         }
     }
 
-    for f in files {
-        let mut ann = parse_annotations(f);
-        let mut raws: Vec<Raw> = Vec::new();
+    let mut anns: Vec<Annotations> = files.iter().map(parse_annotations).collect();
 
-        if is_deterministic(&f.rel) {
-            wall_clock(f, &mut raws);
-            entropy_rng(f, &mut raws);
-        }
-        if is_deterministic(&f.rel) || is_collector_src(&f.rel) {
-            unordered_iter(f, &mut raws);
-        }
-        if PANIC_FREE_FILES.contains(&f.rel.as_str()) {
-            panic_freedom(f, &mut raws);
-        }
-        if is_collector_src(&f.rel) {
-            lock_order(f, &mut raws);
-        }
-        if ALLOC_CAP_FILES.contains(&f.rel.as_str()) {
-            alloc_cap(f, &mut raws);
-        }
-        hot_path_lock(f, &ann.regions, &mut raws);
-        if f.rel == WIRE_FILE {
-            opcode_totality(f, &collector_idents, &proptest_idents, &mut raws);
-        }
+    // Per-file token rules.
+    let mut raws: Vec<Vec<Raw>> = files
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            let mut out: Vec<Raw> = Vec::new();
+            if is_deterministic(&f.rel) {
+                wall_clock(f, &mut out);
+                entropy_rng(f, &mut out);
+            }
+            if is_deterministic(&f.rel) || is_collector_src(&f.rel) {
+                unordered_iter(f, &mut out);
+            }
+            if ALLOC_CAP_FILES.contains(&f.rel.as_str()) {
+                alloc_cap(f, &mut out);
+            }
+            hot_path_lock(f, &anns[fi].regions, &mut out);
+            if f.rel == WIRE_FILE {
+                opcode_totality(f, &collector_idents, &proptest_idents, &mut out);
+            }
+            out
+        })
+        .collect();
 
-        // Suppression: an allow with a reason discharges findings of its rule
-        // on its own line or the line directly below.
-        raws.retain(|raw| {
+    // Interprocedural passes: symbol table → call graph → reachability.
+    let sym = crate::symbols::build(files);
+    let graph = crate::callgraph::build(files, &sym);
+    let locks = crate::reach::lock_closures(files, &sym, &graph);
+    let regions: Vec<Vec<(u32, u32)>> = anns.iter().map(|a| a.regions.clone()).collect();
+    let inter = crate::reach::panic_paths(files, &sym, &graph)
+        .into_iter()
+        .chain(crate::reach::lock_order_global(files, &sym, &graph, &locks))
+        .chain(crate::reach::hot_path_transitive(
+            files, &sym, &graph, &locks, &regions,
+        ));
+    for (fi, raw) in inter {
+        raws[fi].push(raw);
+    }
+
+    // Suppression: an allow with a reason discharges findings of its rule
+    // on its own line or the line directly below (for interprocedural rules,
+    // the line of the offending *site*).
+    let mut findings = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        let ann = &mut anns[fi];
+        let mut file_raws = std::mem::take(&mut raws[fi]);
+        file_raws.retain(|raw| {
             for a in ann.allows.iter_mut() {
                 if a.has_reason
                     && a.rule == raw.rule
@@ -173,16 +185,18 @@ pub(crate) fn run(files: &[FileLex]) -> Vec<Finding> {
                     rule: "unused-allow",
                     line: a.line,
                     message: format!("allow({}) suppresses nothing; remove it", a.rule),
+                    call_path: Vec::new(),
                 });
             }
         }
 
-        for raw in raws.into_iter().chain(ann.meta) {
+        for raw in file_raws.into_iter().chain(ann.meta.drain(..)) {
             findings.push(Finding {
                 rule: raw.rule,
                 rel: f.rel.clone(),
                 line: raw.line,
                 message: raw.message,
+                call_path: raw.call_path,
             });
         }
     }
@@ -214,6 +228,7 @@ fn parse_annotations(f: &FileLex) -> Annotations {
                 let rule = head["allow(".len()..head.len() - 1].trim().to_string();
                 if !rule_exists(&rule) {
                     ann.meta.push(Raw {
+                        call_path: Vec::new(),
                         rule: "annotation-syntax",
                         line: t.line,
                         message: format!("allow names unknown rule `{rule}`"),
@@ -223,6 +238,7 @@ fn parse_annotations(f: &FileLex) -> Annotations {
                 let has_reason = reason.is_some_and(|r| !r.is_empty());
                 if !has_reason {
                     ann.meta.push(Raw {
+                        call_path: Vec::new(),
                         rule: "allow-without-reason",
                         line: t.line,
                         message: format!("allow({rule}) is missing `-- reason`"),
@@ -246,6 +262,7 @@ fn parse_annotations(f: &FileLex) -> Annotations {
             "hot-path(begin)" => {
                 if let Some(start) = open_region {
                     ann.meta.push(Raw {
+                        call_path: Vec::new(),
                         rule: "annotation-syntax",
                         line: t.line,
                         message: format!(
@@ -258,12 +275,14 @@ fn parse_annotations(f: &FileLex) -> Annotations {
             "hot-path(end)" => match open_region.take() {
                 Some(start) => ann.regions.push((start, t.line)),
                 None => ann.meta.push(Raw {
+                    call_path: Vec::new(),
                     rule: "annotation-syntax",
                     line: t.line,
                     message: "hot-path(end) without a matching begin".to_string(),
                 }),
             },
             _ => ann.meta.push(Raw {
+                call_path: Vec::new(),
                 rule: "annotation-syntax",
                 line: t.line,
                 message: format!("unknown ldp-lint directive `{directive}`"),
@@ -272,6 +291,7 @@ fn parse_annotations(f: &FileLex) -> Annotations {
     }
     if let Some(start) = open_region {
         ann.meta.push(Raw {
+            call_path: Vec::new(),
             rule: "annotation-syntax",
             line: start,
             message: "hot-path(begin) is never closed".to_string(),
@@ -385,6 +405,7 @@ fn wall_clock(f: &FileLex, out: &mut Vec<Raw>) {
         if flagged {
             let root = path_root(&f.toks, i);
             out.push(Raw {
+                call_path: Vec::new(),
                 rule: "wall-clock",
                 line: t.line,
                 message: format!(
@@ -412,6 +433,7 @@ fn entropy_rng(f: &FileLex, out: &mut Vec<Raw>) {
             || (t.text == "random" && path_prefix_is(&f.toks, i, &["rand"]));
         if flagged {
             out.push(Raw {
+                call_path: Vec::new(),
                 rule: "entropy-rng",
                 line: t.line,
                 message: format!(
@@ -473,6 +495,7 @@ fn unordered_iter(f: &FileLex, out: &mut Vec<Raw>) {
         {
             if let Some(name) = chain_hit(toks, i - 1, &known) {
                 out.push(Raw {
+                    call_path: Vec::new(),
                     rule: "unordered-iter",
                     line: t.line,
                     message: format!(
@@ -487,6 +510,7 @@ fn unordered_iter(f: &FileLex, out: &mut Vec<Raw>) {
         if t.is_ident("for") {
             if let Some((name, line)) = for_in_known(toks, i, &known) {
                 out.push(Raw {
+                    call_path: Vec::new(),
                     rule: "unordered-iter",
                     line,
                     message: format!(
@@ -639,59 +663,12 @@ fn for_in_known(toks: &[Tok], for_idx: usize, known: &[String]) -> Option<(Strin
 }
 
 // ---------------------------------------------------------------------------
-// Panic-freedom
-// ---------------------------------------------------------------------------
-
-fn panic_freedom(f: &FileLex, out: &mut Vec<Raw>) {
-    const UNWRAPS: &[&str] = &["unwrap", "expect", "unwrap_unchecked"];
-    const PANICS: &[&str] = &[
-        "panic",
-        "unreachable",
-        "todo",
-        "unimplemented",
-        "assert",
-        "assert_eq",
-        "assert_ne",
-    ];
-    let toks = &f.toks;
-    for (i, t) in toks.iter().enumerate() {
-        if f.test_mask[i] || t.kind != TokKind::Ident {
-            continue;
-        }
-        if UNWRAPS.contains(&t.text.as_str())
-            && i > 0
-            && toks[i - 1].is_punct('.')
-            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
-        {
-            out.push(Raw {
-                rule: "no-unwrap",
-                line: t.line,
-                message: format!(
-                    "`.{}()` outside #[cfg(test)]; return a typed WireError/CollectorError instead",
-                    t.text
-                ),
-            });
-        }
-        if PANICS.contains(&t.text.as_str()) && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
-            out.push(Raw {
-                rule: "no-panic",
-                line: t.line,
-                message: format!(
-                    "`{}!` outside #[cfg(test)]; return a typed WireError/CollectorError instead",
-                    t.text
-                ),
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Locking discipline
 // ---------------------------------------------------------------------------
 
 /// Lock-acquiring call names recognized inside hot-path regions and by the
-/// lock-order tracker.
-const LOCK_CALLS: &[&str] = &[
+/// interprocedural lock passes ([`crate::reach`]).
+pub(crate) const LOCK_CALLS: &[&str] = &[
     "lock",
     "try_lock",
     "read",
@@ -716,6 +693,7 @@ fn hot_path_lock(f: &FileLex, regions: &[(u32, u32)], out: &mut Vec<Raw>) {
             && regions.iter().any(|&(a, b)| t.line > a && t.line < b)
         {
             out.push(Raw {
+                call_path: Vec::new(),
                 rule: "hot-path-lock",
                 line: t.line,
                 message: format!(
@@ -726,154 +704,6 @@ fn hot_path_lock(f: &FileLex, regions: &[(u32, u32)], out: &mut Vec<Raw>) {
             });
         }
     }
-}
-
-#[derive(PartialEq)]
-enum LockKind {
-    Registry,
-    Slot,
-    Other,
-}
-
-/// Detect registry-after-slot lock order inversions. The sanctioned order in
-/// the collector is registry (`rounds`) → slot (`inner`); acquiring the
-/// registry lock while a slot guard is live can deadlock against the
-/// checkpoint path, which holds the registry lock and then quiesces slots.
-fn lock_order(f: &FileLex, out: &mut Vec<Raw>) {
-    let toks = &f.toks;
-    let mut depth = 0i32;
-    // Live let-bound slot guards: (name, block depth). Temporaries die at the
-    // next `;`.
-    let mut guards: Vec<(String, i32)> = Vec::new();
-    let mut temp_guard = false;
-    for (i, t) in toks.iter().enumerate() {
-        if t.is_punct('{') {
-            depth += 1;
-            continue;
-        }
-        if t.is_punct('}') {
-            depth -= 1;
-            guards.retain(|&(_, d)| d <= depth);
-            continue;
-        }
-        if t.is_punct(';') {
-            temp_guard = false;
-            continue;
-        }
-        if f.test_mask[i] || t.kind != TokKind::Ident {
-            continue;
-        }
-        // `drop(guard)` releases early.
-        if t.text == "drop"
-            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
-            && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
-        {
-            let name = &toks[i + 2].text;
-            guards.retain(|(g, _)| g != name);
-            continue;
-        }
-        if !LOCK_CALLS.contains(&t.text.as_str())
-            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
-        {
-            continue;
-        }
-        let kind = classify_lock(toks, i);
-        match kind {
-            LockKind::Registry => {
-                if !guards.is_empty() || temp_guard {
-                    let holder = guards
-                        .last()
-                        .map(|(g, _)| g.clone())
-                        .unwrap_or_else(|| "a temporary".to_string());
-                    out.push(Raw {
-                        rule: "lock-order",
-                        line: t.line,
-                        message: format!(
-                            "registry (`rounds`) lock acquired while slot guard `{holder}` is \
-                             live; the sanctioned order is registry → slot"
-                        ),
-                    });
-                }
-            }
-            LockKind::Slot => {
-                if let Some(name) = let_binding_before(toks, i) {
-                    guards.push((name, depth));
-                } else {
-                    temp_guard = true;
-                }
-            }
-            LockKind::Other => {}
-        }
-    }
-}
-
-/// Classify a lock call by what it locks: helper style `read_lock(&self.X)`
-/// inspects the argument list; method style `self.X.read()` inspects the
-/// receiver chain.
-fn classify_lock(toks: &[Tok], call: usize) -> LockKind {
-    let mut names: Vec<&str> = Vec::new();
-    // Arguments up to the matching `)`.
-    let mut depth = 0i32;
-    let mut j = call + 1;
-    while j < toks.len() {
-        let t = &toks[j];
-        if t.is_punct('(') {
-            depth += 1;
-        } else if t.is_punct(')') {
-            depth -= 1;
-            if depth == 0 {
-                break;
-            }
-        } else if t.kind == TokKind::Ident {
-            names.push(&t.text);
-        }
-        j += 1;
-    }
-    // Receiver chain (method style).
-    if call > 0 && toks[call - 1].is_punct('.') {
-        let mut k = call - 1;
-        let mut steps = 0;
-        while k > 0 && steps < 12 {
-            let t = &toks[k - 1];
-            if t.kind == TokKind::Ident {
-                names.push(&t.text);
-            } else if !(t.is_punct('.') || t.is_punct('&') || t.is_punct(')') || t.is_punct('(')) {
-                break;
-            }
-            k -= 1;
-            steps += 1;
-        }
-    }
-    if names.contains(&"rounds") {
-        LockKind::Registry
-    } else if names.iter().any(|n| *n == "inner" || *n == "slot") {
-        LockKind::Slot
-    } else {
-        LockKind::Other
-    }
-}
-
-/// If the call at `i` is the initializer of `let [mut] name = …`, return the
-/// binding name.
-fn let_binding_before(toks: &[Tok], i: usize) -> Option<String> {
-    let mut j = i;
-    let mut steps = 0;
-    while j > 0 && steps < 6 {
-        if toks[j - 1].is_punct('=') {
-            let name = toks.get(j.checked_sub(2)?)?;
-            if name.kind == TokKind::Ident && name.text != "=" {
-                return Some(name.text.clone());
-            }
-            return None;
-        }
-        let t = &toks[j - 1];
-        if !(t.kind == TokKind::Ident || t.is_punct('&') || t.is_punct('.') || t.is_punct(':')) {
-            return None;
-        }
-        j -= 1;
-        steps += 1;
-    }
-    None
 }
 
 // ---------------------------------------------------------------------------
@@ -887,6 +717,7 @@ fn opcode_totality(f: &FileLex, collector: &[&str], proptest: &[&str], out: &mut
     for (name, line) in frame_consts(&f.toks) {
         if !collector.iter().any(|i| *i == name) {
             out.push(Raw {
+                call_path: Vec::new(),
                 rule: "opcode-arm",
                 line,
                 message: format!(
@@ -897,6 +728,7 @@ fn opcode_totality(f: &FileLex, collector: &[&str], proptest: &[&str], out: &mut
         }
         if !proptest.iter().any(|i| *i == name) {
             out.push(Raw {
+                call_path: Vec::new(),
                 rule: "opcode-proptest",
                 line,
                 message: format!("opcode `{name}` is not exercised by any proptest file"),
@@ -1022,6 +854,7 @@ fn alloc_cap(f: &FileLex, out: &mut Vec<Raw>) {
             || (t.text == "vec" && toks.get(i + 1).is_some_and(|n| n.is_punct('!')));
         if is_alloc && !proved {
             out.push(Raw {
+                call_path: Vec::new(),
                 rule: "alloc-cap",
                 line: t.line,
                 message: format!(

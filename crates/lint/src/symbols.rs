@@ -1,0 +1,230 @@
+//! Symbol table over the lexed workspace: every `fn` definition in the
+//! `src/` trees, with its enclosing `impl` target (if any), its body token
+//! range, and the set of workspace-defined type and trait names.
+//!
+//! Only `src/` files contribute definitions — integration tests, benches and
+//! examples are deliberately outside the analysis domain so the call graph
+//! never resolves a daemon-path call into a test helper that happens to share
+//! a name. (Test-masked functions inside `src/` files are recorded but marked
+//! `is_test`, and the resolver never returns them as candidates.)
+
+use crate::lexer::{Tok, TokKind};
+use crate::FileLex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Index into [`Symbols::fns`].
+pub(crate) type FnId = usize;
+
+/// One `fn` definition.
+pub(crate) struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// `Foo` for a method defined in `impl Foo` / `impl Trait for Foo`;
+    /// `None` for free functions (and trait-declaration default bodies).
+    pub owner: Option<String>,
+    /// Index into the lexed file list.
+    pub file: usize,
+    /// Token index range of the body *interior* (between the braces).
+    /// Empty for bodyless trait-method declarations.
+    pub body: Range<usize>,
+    /// True when the definition sits under `#[cfg(test)]` / `#[test]`.
+    pub is_test: bool,
+}
+
+impl FnDef {
+    /// `Type::name` for methods, bare `name` for free functions.
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace symbol table.
+pub(crate) struct Symbols {
+    pub fns: Vec<FnDef>,
+    /// Bare name → every definition carrying it.
+    pub by_name: BTreeMap<String, Vec<FnId>>,
+    /// Workspace-defined nominal types: `struct`/`enum`/`union` declarations
+    /// plus every `impl` target.
+    pub types: BTreeSet<String>,
+    /// Workspace-declared trait names (`trait Foo { … }`).
+    pub traits: BTreeSet<String>,
+}
+
+/// True for files that contribute definitions to the call graph: anything
+/// under a `src/` directory.
+pub(crate) fn in_analysis_domain(rel: &str) -> bool {
+    rel.starts_with("src/") || rel.contains("/src/")
+}
+
+/// Build the symbol table over every analysis-domain file.
+pub(crate) fn build(files: &[FileLex]) -> Symbols {
+    let mut sym = Symbols {
+        fns: Vec::new(),
+        by_name: BTreeMap::new(),
+        types: BTreeSet::new(),
+        traits: BTreeSet::new(),
+    };
+    for (fi, f) in files.iter().enumerate() {
+        if !in_analysis_domain(&f.rel) {
+            continue;
+        }
+        scan_file(fi, f, &mut sym);
+    }
+    for (id, def) in sym.fns.iter().enumerate() {
+        sym.by_name.entry(def.name.clone()).or_default().push(id);
+    }
+    sym
+}
+
+fn scan_file(fi: usize, f: &FileLex, sym: &mut Symbols) {
+    let toks = &f.toks;
+    let mut depth = 0i32;
+    // (owner type, brace depth of the impl body interior).
+    let mut impl_stack: Vec<(Option<String>, i32)> = Vec::new();
+    let mut pending_impl: Option<Option<String>> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            if let Some(owner) = pending_impl.take() {
+                impl_stack.push((owner, depth));
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            if impl_stack.last().is_some_and(|&(_, d)| d == depth) {
+                impl_stack.pop();
+            }
+            depth -= 1;
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "struct" | "enum" | "union" => {
+                if let Some(n) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    sym.types.insert(n.text.clone());
+                }
+            }
+            "trait" => {
+                if let Some(n) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    sym.traits.insert(n.text.clone());
+                }
+            }
+            "impl" => {
+                pending_impl = Some(impl_target(toks, i, sym));
+            }
+            "fn" => {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    let owner = impl_stack.last().and_then(|(o, _)| o.clone());
+                    let body = fn_body_range(toks, i + 2);
+                    sym.fns.push(FnDef {
+                        name: name.text.clone(),
+                        owner,
+                        file: fi,
+                        body,
+                        is_test: f.test_mask[i],
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Parse the target type of an `impl` header starting at the `impl` keyword:
+/// `impl<G> Foo<G>` → `Foo`, `impl Trait for Foo` → `Foo`. Generic parameter
+/// lists are skipped by angle-bracket depth. Returns `None` for targets the
+/// lexer can't name (references, slices, `impl Trait for &T`, …).
+fn impl_target(toks: &[Tok], impl_idx: usize, sym: &mut Symbols) -> Option<String> {
+    let mut angle = 0i32;
+    let mut first: Option<&str> = None;
+    let mut after_for: Option<&str> = None;
+    let mut saw_for = false;
+    for t in &toks[impl_idx + 1..] {
+        if t.is_punct('{') || t.is_punct(';') {
+            break;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+            continue;
+        }
+        if t.is_punct('>') {
+            angle -= 1;
+            continue;
+        }
+        if angle != 0 {
+            continue;
+        }
+        if t.is_ident("for") {
+            saw_for = true;
+            continue;
+        }
+        if t.is_ident("where") {
+            break;
+        }
+        if t.kind == TokKind::Ident && t.text != "dyn" && t.text != "mut" {
+            if saw_for {
+                if after_for.is_none() {
+                    after_for = Some(&t.text);
+                }
+            } else if first.is_none() {
+                first = Some(&t.text);
+            }
+        }
+    }
+    let target = if saw_for { after_for } else { first };
+    let target = target.map(str::to_string);
+    if let Some(t) = &target {
+        sym.types.insert(t.clone());
+    }
+    target
+}
+
+/// From just after the fn name, find the body interior token range: scan to
+/// the first `{` at paren depth 0 (a `;` first means a bodyless trait
+/// declaration), then to its matching `}`.
+fn fn_body_range(toks: &[Tok], from: usize) -> Range<usize> {
+    let mut paren = 0i32;
+    let mut j = from;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if paren == 0 {
+            if t.is_punct(';') {
+                return 0..0;
+            }
+            if t.is_punct('{') {
+                let mut depth = 0i32;
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        depth += 1;
+                    } else if toks[k].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            return j + 1..k;
+                        }
+                    }
+                    k += 1;
+                }
+                return j + 1..toks.len();
+            }
+        }
+        j += 1;
+    }
+    0..0
+}

@@ -64,35 +64,72 @@ fn unordered_iter_is_pinned() {
 }
 
 #[test]
-fn no_unwrap_is_pinned() {
-    assert_rule_pinned("no-unwrap", "no-unwrap");
-    let bad = lint("no-unwrap/bad");
-    // `.unwrap()` and `.expect(..)` are two separate findings.
-    assert!(
-        bad.iter().filter(|f| f.rule == "no-unwrap").count() >= 2,
-        "{bad:#?}"
-    );
+fn panic_path_is_pinned() {
+    assert_rule_pinned("panic-path", "panic-path");
+    let bad = lint("panic-path/bad");
+    let findings: Vec<_> = bad.iter().filter(|f| f.rule == "panic-path").collect();
+    // The unchecked index and the unwrap are two separate findings, both
+    // in the helper two calls away from the entry point.
+    assert_eq!(findings.len(), 2, "{bad:#?}");
+    for f in &findings {
+        assert_eq!(f.rel, "crates/collector/src/shard.rs", "{f}");
+        // Cross-file, multi-hop witness: process_frame → route → fold_report.
+        assert!(f.call_path.len() >= 3, "want a multi-hop path: {f:#?}");
+        assert_eq!(f.call_path[0].func, "process_frame");
+        assert_eq!(f.call_path[0].rel, "crates/collector/src/server.rs");
+        assert_eq!(f.call_path.last().unwrap().func, "fold_report");
+        // The last hop anchors on the offending site itself.
+        assert_eq!(f.call_path.last().unwrap().line, f.line);
+        assert!(f.message.contains("process_frame"), "{f}");
+    }
 }
 
 #[test]
-fn no_panic_is_pinned() {
-    assert_rule_pinned("no-panic", "no-panic");
-    let bad = lint("no-panic/bad");
-    // Both `unreachable!` and `panic!` fire.
-    assert!(
-        bad.iter().filter(|f| f.rule == "no-panic").count() >= 2,
-        "{bad:#?}"
-    );
+fn panic_path_dyn_over_approximation_is_pinned() {
+    assert_rule_pinned("panic-path-dyn", "panic-path");
+    let bad = lint("panic-path-dyn/bad");
+    let f = bad
+        .iter()
+        .find(|f| f.rule == "panic-path")
+        .unwrap_or_else(|| panic!("expected panic-path in {bad:#?}"));
+    // The dyn call resolves to *every* impl of `estimate`; the panicking
+    // impl is charged even though the concrete receiver is unknown.
+    assert_eq!(f.rel, "crates/collector/src/estimators.rs", "{f}");
+    assert!(f.call_path.len() >= 2, "{f:#?}");
+    assert_eq!(f.call_path.last().unwrap().func, "Partial::estimate");
 }
 
 #[test]
 fn hot_path_lock_is_pinned() {
     assert_rule_pinned("hot-path-lock", "hot-path-lock");
+    let bad = lint("hot-path-lock/bad");
+    // Both the literal acquisition inside the region and the transitive one
+    // (region → `publish` → lock) fire; the transitive finding carries the
+    // witness path.
+    let findings: Vec<_> = bad.iter().filter(|f| f.rule == "hot-path-lock").collect();
+    assert_eq!(findings.len(), 2, "{bad:#?}");
+    let transitive = findings
+        .iter()
+        .find(|f| !f.call_path.is_empty())
+        .unwrap_or_else(|| panic!("expected a transitive finding in {bad:#?}"));
+    assert!(transitive.call_path.len() >= 2, "{transitive:#?}");
+    assert_eq!(transitive.call_path[0].func, "Shard::fold_indirect");
+    assert_eq!(transitive.call_path.last().unwrap().func, "Shard::publish");
 }
 
 #[test]
 fn lock_order_is_pinned() {
     assert_rule_pinned("lock-order", "lock-order");
+    let bad = lint("lock-order/bad");
+    let findings: Vec<_> = bad.iter().filter(|f| f.rule == "lock-order").collect();
+    // One direct inversion, one across a call.
+    assert_eq!(findings.len(), 2, "{bad:#?}");
+    let cross = findings
+        .iter()
+        .find(|f| f.call_path.len() >= 2)
+        .unwrap_or_else(|| panic!("expected a cross-call inversion in {bad:#?}"));
+    assert_eq!(cross.call_path[0].func, "Registry::inverted_across_calls");
+    assert_eq!(cross.call_path.last().unwrap().func, "Registry::census");
 }
 
 #[test]
@@ -139,6 +176,18 @@ fn unused_allow_is_pinned() {
     assert_rule_pinned("unused-allow", "unused-allow");
 }
 
+/// Regression pin for the EOF edge: an allow on the last line of a file —
+/// with no trailing newline, so there is no token after it — must still be
+/// reported when unused (bad), and an allow whose governed line is the
+/// final line must still suppress (good).
+#[test]
+fn unused_allow_at_eof_is_pinned() {
+    assert_rule_pinned("unused-allow-eof", "unused-allow");
+    let bad = lint("unused-allow-eof/bad");
+    let f = bad.iter().find(|f| f.rule == "unused-allow").unwrap();
+    assert_eq!(f.line, 6, "reported at the trailing allow itself: {f}");
+}
+
 #[test]
 fn annotation_syntax_is_pinned() {
     assert_rule_pinned("annotation-syntax", "annotation-syntax");
@@ -159,8 +208,7 @@ fn rule_catalog_is_complete() {
         "wall-clock",
         "entropy-rng",
         "unordered-iter",
-        "no-unwrap",
-        "no-panic",
+        "panic-path",
         "hot-path-lock",
         "lock-order",
         "opcode-arm",

@@ -1,0 +1,49 @@
+//! The `--format json` schema is a contract: CI parses it, the problem
+//! matcher anchors on the text format, and downstream tooling may pin
+//! field order. A golden file holds the exact bytes for a fixture tree
+//! with interprocedural findings, so any schema drift is a visible diff.
+
+use ldp_lint::{lint_workspace, to_json, Finding, Hop};
+use std::path::Path;
+
+#[test]
+fn json_matches_golden_file() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = lint_workspace(&manifest.join("fixtures/panic-path/bad")).expect("lint");
+    let golden = std::fs::read_to_string(manifest.join("tests/golden/panic-path-bad.json"))
+        .expect("golden file");
+    assert_eq!(
+        to_json(&findings),
+        golden,
+        "JSON schema drifted from tests/golden/panic-path-bad.json; \
+         if the change is intentional, regenerate the golden file with \
+         `cargo run -p ldp-lint -- --root crates/lint/fixtures/panic-path/bad --format json`"
+    );
+}
+
+#[test]
+fn json_escapes_specials() {
+    let findings = vec![Finding {
+        rule: "panic-path",
+        rel: "a\\b.rs".to_string(),
+        line: 3,
+        message: "say \"no\"\nto\tpanics\u{1}".to_string(),
+        call_path: vec![Hop {
+            func: "Type::method".to_string(),
+            rel: "c.rs".to_string(),
+            line: 9,
+        }],
+    }];
+    assert_eq!(
+        to_json(&findings),
+        "{\"findings\":[{\"rule\":\"panic-path\",\"path\":\"a\\\\b.rs\",\"line\":3,\
+         \"message\":\"say \\\"no\\\"\\nto\\tpanics\\u0001\",\
+         \"call_path\":[{\"func\":\"Type::method\",\"path\":\"c.rs\",\"line\":9}]}],\
+         \"count\":1}\n"
+    );
+}
+
+#[test]
+fn json_empty_findings() {
+    assert_eq!(to_json(&[]), "{\"findings\":[],\"count\":0}\n");
+}

@@ -77,12 +77,20 @@ impl PerturbedView {
     }
 
     /// Node `i`'s degree in the perturbed graph (row popcount) — `d̃_i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
     pub fn perturbed_degree(&self, i: NodeId) -> usize {
+        assert!(i < self.num_users(), "node {i} out of range");
         self.perturbed_degrees[i]
     }
 
     /// Node `i`'s self-reported (Laplace) degree.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
     pub fn reported_degree(&self, i: NodeId) -> f64 {
+        assert!(i < self.num_users(), "node {i} out of range");
         self.reported_degrees[i]
     }
 
