@@ -16,6 +16,8 @@
 //!                   [--addr HOST:PORT]  external daemon (default: spawn one)
 //!                   [--shards S]     shards of the spawned daemon (default 8)
 //!                   [--seed S]       stream seed (default 7)
+//!                   [--watch]        live stats table (STATS scrape every 250ms)
+//!                   [--dump-metrics] Prometheus-style text dump after the run
 //! ```
 //!
 //! Defaults replay the headline workload: one degree-vector round of 2²⁰
@@ -30,15 +32,26 @@
 //! round) — the aggregate-ingest workload of the concurrent session
 //! plane. Adjacency rounds are bounded by the daemon's population cap
 //! (the dense aggregate is `O(N²/8)` bytes; see DESIGN.md).
+//!
+//! `--watch` opens one extra session that scrapes the daemon's `STATS`
+//! frame every 250ms and prints a live table — folded reports, ingest
+//! rate, worker-queue depth, active sessions, admission refusals, stall
+//! reaps — while the uploaders stream. `--dump-metrics` prints the full
+//! registry as Prometheus-style text after the last round. Either way
+//! the final summary and JSON record the stall-reap and session-cap
+//! refusal counters scraped after the run.
 
 use ldp_collector::{CollectorClient, CollectorError};
+use ldp_protocols::wire;
 use poison_bench::collector::{
-    peak_rss_bytes, run_adjacency_round, run_adjacency_round_concurrent, run_degree_vector_round,
-    run_degree_vector_round_concurrent, shutdown_daemon, spawn_daemon, LoadAttack,
-    ThroughputResult,
+    folded_total, peak_rss_bytes, run_adjacency_round, run_adjacency_round_concurrent,
+    run_degree_vector_round, run_degree_vector_round_concurrent, samples_from_wire,
+    shutdown_daemon, spawn_daemon, stat_counter, stat_gauge, LoadAttack, ThroughputResult,
 };
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Args {
     channel: String,
@@ -53,6 +66,8 @@ struct Args {
     addr: Option<String>,
     shards: usize,
     seed: u64,
+    watch: bool,
+    dump_metrics: bool,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +84,8 @@ fn parse_args() -> Args {
         addr: None,
         shards: 8,
         seed: 7,
+        watch: false,
+        dump_metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -93,6 +110,8 @@ fn parse_args() -> Args {
             "--addr" => args.addr = Some(value("--addr")),
             "--shards" => args.shards = parse(&value("--shards"), "--shards"),
             "--seed" => args.seed = parse(&value("--seed"), "--seed"),
+            "--watch" => args.watch = true,
+            "--dump-metrics" => args.dump_metrics = true,
             other => die(&format!("unknown flag {other}")),
         }
     }
@@ -132,6 +151,49 @@ fn main() {
         .ok()
         .and_then(|mut addrs| addrs.next())
         .unwrap_or_else(|| die(&format!("cannot resolve {addr}")));
+
+    // --watch: one extra session scraping the registry every 250ms while
+    // the uploaders stream. Best-effort — a daemon with its registry
+    // disabled just shows zeros.
+    let watching = Arc::new(AtomicBool::new(true));
+    let watcher = args.watch.then(|| {
+        let watching = Arc::clone(&watching);
+        std::thread::spawn(move || {
+            let Ok(mut scraper) = CollectorClient::connect(sock_addr) else {
+                eprintln!("watch: cannot connect a scrape session");
+                return;
+            };
+            let started = Instant::now();
+            let mut last_folded = 0u64;
+            let mut last_at = 0.0f64;
+            eprintln!(
+                "{:>8}  {:>12}  {:>12}  {:>6}  {:>8}  {:>8}  {:>6}",
+                "t(s)", "folded", "reports/s", "queue", "sessions", "refused", "reaps"
+            );
+            while watching.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(250));
+                let Ok(entries) = scraper.stats() else {
+                    eprintln!("watch: scrape session lost");
+                    return;
+                };
+                let now = started.elapsed().as_secs_f64();
+                let folded = folded_total(&entries);
+                let rate = folded.saturating_sub(last_folded) as f64 / (now - last_at);
+                eprintln!(
+                    "{:>8.1}  {:>12}  {:>12.0}  {:>6}  {:>8}  {:>8}  {:>6}",
+                    now,
+                    folded,
+                    rate,
+                    stat_gauge(&entries, "worker_queue_depth"),
+                    stat_gauge(&entries, "sessions_active"),
+                    stat_counter(&entries, "sessions_refused_cap"),
+                    stat_counter(&entries, "stall_reaps"),
+                );
+                last_folded = folded;
+                last_at = now;
+            }
+        })
+    });
 
     // One round's replay; `round` doubles as the tenant so simultaneous
     // rounds never contend on one tenant's quota.
@@ -234,6 +296,29 @@ fn main() {
         })
     };
     let simultaneous = !(args.sequential || args.rounds == 1);
+    watching.store(false, Ordering::Relaxed);
+    if let Some(watcher) = watcher {
+        let _ = watcher.join();
+    }
+
+    // Final registry scrape before the spawned daemon goes away: the
+    // stall-reap and admission-refusal counters for the summary, plus
+    // the optional full text dump.
+    let final_scrape: Option<Vec<wire::StatsEntry>> = CollectorClient::connect(sock_addr)
+        .ok()
+        .and_then(|mut scraper| scraper.stats().ok());
+    let (stall_reaps, refusals) = final_scrape.as_deref().map_or((0, 0), |entries| {
+        (
+            stat_counter(entries, "stall_reaps"),
+            stat_counter(entries, "sessions_refused_cap"),
+        )
+    });
+    if args.dump_metrics {
+        match &final_scrape {
+            Some(entries) => print!("{}", ldp_obs::render_samples(&samples_from_wire(entries))),
+            None => eprintln!("dump-metrics: no scrape (daemon unreachable)"),
+        }
+    }
     if let Some((addr, handle)) = spawned {
         shutdown_daemon(addr, handle);
     }
@@ -257,12 +342,14 @@ fn main() {
         },
         reports as f64 / wall,
     );
+    eprintln!("observability: {stall_reaps} stall reap(s), {refusals} session-cap refusal(s)");
     let json = format!(
         "{{\n  \"bench\": \"collector_loadgen\",\n  \"channel\": \"{}\",\n  \
          \"users_per_round\": {},\n  \"rounds\": {},\n  \"simultaneous\": {},\n  \
          \"attack\": \"{:?}\",\n  \"connections\": {},\n  \
          \"reports\": {},\n  \"crafted_reports\": {},\n  \"wall_s\": {:.3},\n  \
-         \"reports_per_sec\": {:.0},\n  \"rate_cap\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
+         \"reports_per_sec\": {:.0},\n  \"rate_cap\": {},\n  \
+         \"stall_reaps\": {},\n  \"session_cap_refusals\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
         args.channel,
         args.users,
         args.rounds,
@@ -274,6 +361,8 @@ fn main() {
         wall,
         reports as f64 / wall,
         args.rate.map_or("null".into(), |r| r.to_string()),
+        stall_reaps,
+        refusals,
         peak_rss_bytes(),
     );
     std::fs::write("BENCH_collector.json", &json).expect("write BENCH_collector.json");

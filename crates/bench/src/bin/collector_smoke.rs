@@ -16,6 +16,12 @@
 //!    aggregate reports/s across rounds recorded, plus 4 simultaneous
 //!    adjacency rounds each asserted bit-identical to its single-round
 //!    in-process reference.
+//! 5. **Observability** — the same 2²⁰-report round replayed on an
+//!    instrumented daemon and on a `metrics: false` daemon (interleaved
+//!    A/B pairs, best wall each): the `metrics_overhead` ratio is
+//!    recorded and asserted ≤ 1.03. Then one live 2²⁰-report round is
+//!    scraped over `STATS` while streaming, and the registry is
+//!    asserted to reconcile exactly with the round's close `SUMMARY`.
 //!
 //! Results land in `BENCH_collector.json` for the perf trajectory. The
 //! multi-connection assertion is a *loose floor* (CI boxes may have one
@@ -24,10 +30,11 @@
 
 use ldp_collector::CollectorClient;
 use poison_bench::collector::{
-    assert_concurrent_adjacency_equivalence, assert_simultaneous_adjacency_equivalence,
-    peak_rss_bytes, run_adjacency_round, run_degree_vector_round,
-    run_degree_vector_round_concurrent, run_equivalence_smoke,
-    run_simultaneous_degree_vector_rounds, shutdown_daemon, spawn_daemon, LoadAttack,
+    assert_concurrent_adjacency_equivalence, assert_live_scrape_reconciles,
+    assert_simultaneous_adjacency_equivalence, peak_rss_bytes, run_adjacency_round,
+    run_degree_vector_round, run_degree_vector_round_concurrent, run_equivalence_smoke,
+    run_metrics_overhead, run_simultaneous_degree_vector_rounds, shutdown_daemon, spawn_daemon,
+    LoadAttack,
 };
 
 const EQUIVALENCE_USERS: usize = 10_000;
@@ -37,6 +44,8 @@ const ADJACENCY_USERS: usize = 4_039; // Facebook stand-in scale
 const CONNECTIONS: usize = 4;
 const MULTI_ROUND_USERS: usize = 1 << 16; // 65,536 reports per simultaneous round
 const ROUND_SWEEP: [usize; 3] = [1, 4, 16];
+const OVERHEAD_RUNS: usize = 8; // max A/B pairs; stops once within budget
+const OVERHEAD_BUDGET: f64 = 1.03; // instrumented / baseline, hard ceiling
 
 fn main() {
     // 1. Wire == in-process, to the bit, at 10k users.
@@ -169,6 +178,31 @@ fn main() {
     );
     shutdown_daemon(addr, handle);
 
+    // 5. Observability: the registry's per-report ticks stay inside the
+    //    3% budget, and scraping a live 2²⁰-report round reconciles
+    //    exactly with its close summary.
+    let overhead =
+        run_metrics_overhead(ROUND_USERS, ROUND_GROUPS, OVERHEAD_RUNS, OVERHEAD_BUDGET, 7)
+            .expect("metrics overhead measurement");
+    eprintln!(
+        "metrics overhead: instrumented {:.3}s vs baseline {:.3}s (best of {}) = x{:.3}",
+        overhead.instrumented_wall.as_secs_f64(),
+        overhead.baseline_wall.as_secs_f64(),
+        overhead.runs,
+        overhead.ratio
+    );
+    assert!(
+        overhead.ratio <= OVERHEAD_BUDGET,
+        "metrics overhead x{:.3} blew the x{OVERHEAD_BUDGET} budget",
+        overhead.ratio
+    );
+    let scrape = assert_live_scrape_reconciles(ROUND_USERS, ROUND_GROUPS, 7)
+        .expect("live scrape reconciliation");
+    eprintln!(
+        "live scrape: {} mid-round scrapes, final fold counters == accepted == {}",
+        scrape.mid_scrapes, scrape.folded_total
+    );
+
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|r| {
@@ -199,6 +233,12 @@ fn main() {
          \"multi_round\": [\n{}\n  ],\n  \
          \"multi_round_adjacency\": {{\n    \"rounds\": {},\n    \"users_per_round\": {},\n    \
          \"bit_identical\": true,\n    \"wall_s\": {:.3},\n    \"reports_per_sec\": {:.0}\n  }},\n  \
+         \"metrics_overhead\": {:.3},\n  \
+         \"metrics_overhead_detail\": {{\n    \"users\": {},\n    \"ab_pairs\": {},\n    \
+         \"instrumented_wall_s\": {:.3},\n    \"baseline_wall_s\": {:.3},\n    \
+         \"budget\": {:.2}\n  }},\n  \
+         \"live_scrape\": {{\n    \"users\": {},\n    \"mid_round_scrapes\": {},\n    \
+         \"folded_total\": {},\n    \"reconciles_with_summary\": true\n  }},\n  \
          \"peak_rss_bytes\": {}\n}}\n",
         eq.users,
         eq.in_process.as_secs_f64() * 1e3,
@@ -228,6 +268,15 @@ fn main() {
         multi_adjacency.users_per_round,
         multi_adjacency.wall.as_secs_f64(),
         multi_adjacency.reports_per_sec,
+        overhead.ratio,
+        overhead.users,
+        overhead.runs,
+        overhead.instrumented_wall.as_secs_f64(),
+        overhead.baseline_wall.as_secs_f64(),
+        OVERHEAD_BUDGET,
+        scrape.throughput.reports,
+        scrape.mid_scrapes,
+        scrape.folded_total,
         peak_rss_bytes(),
     );
     std::fs::write("BENCH_collector.json", &json).expect("write BENCH_collector.json");

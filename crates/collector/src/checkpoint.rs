@@ -22,19 +22,28 @@
 //! malformed or geometry-mismatched file is a typed
 //! [`CollectorError::BadCheckpoint`]. Version 2 added the owning tenant
 //! after the round id; version-1 files are refused with a typed error
-//! rather than silently assigned to tenant 0.
+//! rather than silently assigned to tenant 0. Version 3 added the
+//! `rejected_malformed` counter after `rejected_invalid`; version-2
+//! files still resume (the counter restores as zero — those rejects
+//! predate the split and were counted as invalid).
 
 use crate::error::CollectorError;
 use crate::round::{write_lock, CollectorConfig, RoundChannel, RoundCollector, Store};
+use ldp_obs::TraceEvent;
 use ldp_protocols::wire::{get_f64, get_u64, get_varint, put_f64, put_u64, put_varint, WireError};
 use std::io::{Read, Write};
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 /// Magic bytes opening a checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"LDPK";
 
-/// Checkpoint format version (2: the owning tenant follows the round id).
-pub const CHECKPOINT_VERSION: u8 = 2;
+/// Checkpoint format version (3: the `rejected_malformed` counter
+/// follows `rejected_invalid`; 2 added the owning tenant).
+pub const CHECKPOINT_VERSION: u8 = 3;
+
+/// Oldest version [`RoundCollector::resume`] still accepts.
+const CHECKPOINT_MIN_VERSION: u8 = 2;
 
 const CHANNEL_ADJACENCY: u8 = 0;
 const CHANNEL_DEGREE_VECTOR: u8 = 1;
@@ -52,6 +61,9 @@ impl RoundCollector {
     /// [`CollectorError::UnknownRound`] when no round has this id; I/O
     /// errors from the writer.
     pub fn checkpoint(&self, round_id: u64, w: &mut impl Write) -> Result<(), CollectorError> {
+        let checkpoint_begin = self.metrics().active().then(Instant::now);
+        self.metrics()
+            .emit(TraceEvent::QuiesceBegin { round: round_id });
         let slot = self.slot(round_id)?;
         let mut guard = write_lock(&slot.inner);
         let round = guard
@@ -78,6 +90,7 @@ impl RoundCollector {
         put_varint(round.submitted.load(Ordering::Acquire), &mut buf);
         put_varint(round.rejected_quota.load(Ordering::Acquire), &mut buf);
         put_varint(round.rejected_invalid.load(Ordering::Acquire), &mut buf);
+        put_varint(round.rejected_malformed.load(Ordering::Acquire), &mut buf);
         buf.push(u8::from(round.closed.load(Ordering::Acquire)));
 
         let snapshot: Vec<ShardSnapshot<'_>> = match &mut round.store {
@@ -103,6 +116,13 @@ impl RoundCollector {
         }
         w.write_all(&buf)?;
         w.flush()?;
+        self.metrics()
+            .emit(TraceEvent::QuiesceEnd { round: round_id });
+        if let Some(begin) = checkpoint_begin {
+            self.metrics()
+                .checkpoint_nanos
+                .observe(begin.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
@@ -126,7 +146,8 @@ impl RoundCollector {
                 detail: "bad magic",
             });
         }
-        if header[4] != CHECKPOINT_VERSION {
+        let version = header[4];
+        if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
             return Err(CollectorError::BadCheckpoint {
                 detail: "unsupported checkpoint version",
             });
@@ -155,6 +176,11 @@ impl RoundCollector {
         let submitted = get_varint(&mut buf).map_err(bad("submitted"))?;
         let rejected_quota = get_varint(&mut buf).map_err(bad("rejected_quota"))?;
         let rejected_invalid = get_varint(&mut buf).map_err(bad("rejected_invalid"))?;
+        let rejected_malformed = if version >= 3 {
+            get_varint(&mut buf).map_err(bad("rejected_malformed"))?
+        } else {
+            0
+        };
         let closed = take(&mut buf, 1)?[0] != 0;
         let num_shards = get_varint(&mut buf).map_err(bad("shard count"))? as usize;
         if num_shards == 0 || num_shards > 1 << 16 {
@@ -217,6 +243,9 @@ impl RoundCollector {
             round
                 .rejected_invalid
                 .store(rejected_invalid, Ordering::Release);
+            round
+                .rejected_malformed
+                .store(rejected_malformed, Ordering::Release);
             round.closed.store(closed, Ordering::Release);
         }
         Ok(engine)
@@ -413,6 +442,53 @@ mod tests {
         };
         assert_eq!(accepted, 9);
         assert_eq!(group_totals, vec![9.0, 36.0]);
+    }
+
+    /// Version pin for the counter block: a version-2 file — no
+    /// `rejected_malformed` varint — still resumes, restoring that
+    /// counter as zero, and intake continues as if uninterrupted.
+    /// (Versions outside the accepted range are covered by
+    /// `malformed_checkpoints_are_typed`.)
+    #[test]
+    fn version_2_checkpoints_still_resume() {
+        let engine = RoundCollector::new(config()).unwrap();
+        engine
+            .open_round(
+                2,
+                RoundChannel::DegreeVector {
+                    population: 9,
+                    groups: 2,
+                },
+                None,
+            )
+            .unwrap();
+        for i in 0..6u64 {
+            engine
+                .ingest(2, i, UserReport::DegreeVector(vec![1.0, i as f64]))
+                .unwrap();
+        }
+        let mut snapshot = Vec::new();
+        engine.checkpoint(2, &mut snapshot).unwrap();
+        // Rewrite v3 → v2 by hand. With this round's small values every
+        // leading field is a single byte, so `rejected_malformed` sits
+        // exactly at offset 14 (magic ×4, version, round id, tenant,
+        // channel tag, population, groups, quota, submitted,
+        // rejected_quota, rejected_invalid precede it).
+        const MALFORMED_OFFSET: usize = 14;
+        assert_eq!(snapshot[MALFORMED_OFFSET], 0, "layout drifted");
+        snapshot.remove(MALFORMED_OFFSET);
+        snapshot[4] = 2;
+
+        let resumed = RoundCollector::resume(config(), &mut snapshot.as_slice()).unwrap();
+        for i in 6..9u64 {
+            resumed
+                .ingest(2, i, UserReport::DegreeVector(vec![1.0, i as f64]))
+                .unwrap();
+        }
+        let counters = resumed.close_round(2).unwrap();
+        assert_eq!(counters.accepted, 9);
+        assert_eq!(counters.rejected_malformed, 0);
+        assert!(counters.finalized_at_close);
     }
 
     #[test]

@@ -401,14 +401,40 @@ impl CollectorClient {
         write_frame(&mut self.writer, frames::CLOSE, &payload)?;
         self.expect(frames::SUMMARY)?;
         let mut buf = self.payload.as_slice();
+        let accepted = get_varint(&mut buf)?;
+        let rejected_duplicate = get_varint(&mut buf)?;
+        let rejected_quota = get_varint(&mut buf)?;
+        let rejected_invalid = get_varint(&mut buf)?;
+        let rejected_malformed = get_varint(&mut buf)?;
+        let (&finalized, rest) = buf
+            .split_first()
+            .ok_or(CollectorError::Wire(wire::WireError::Truncated))?;
+        wire::expect_end(rest)?;
         let counters = RoundCounters {
-            accepted: get_varint(&mut buf)?,
-            rejected_duplicate: get_varint(&mut buf)?,
-            rejected_quota: get_varint(&mut buf)?,
-            rejected_invalid: get_varint(&mut buf)?,
+            accepted,
+            rejected_duplicate,
+            rejected_quota,
+            rejected_invalid,
+            rejected_malformed,
+            finalized_at_close: finalized != 0,
         };
-        wire::expect_end(buf)?;
         Ok(RoundSummary { counters })
+    }
+
+    /// Scrapes the daemon's metrics registry: every counter, gauge, and
+    /// histogram as typed entries (see
+    /// [`CollectorMetrics`](crate::CollectorMetrics) for the name set).
+    /// Safe to call mid-round from any session — the snapshot is relaxed
+    /// and never blocks ingest. With metrics disabled on the daemon the
+    /// scrape still succeeds and reads zeros.
+    ///
+    /// # Errors
+    /// Daemon refusals and transport failures.
+    pub fn stats(&mut self) -> Result<Vec<wire::StatsEntry>, CollectorError> {
+        self.send_batch()?;
+        write_frame(&mut self.writer, frames::STATS, &[])?;
+        self.expect(frames::STATS_REPLY)?;
+        Ok(wire::decode_stats_reply(&self.payload)?)
     }
 
     /// Finalizes an adjacency round into the server view — bit-identical

@@ -30,6 +30,13 @@
 //!   snapshot quiesces concurrent sessions at a frame boundary, and a
 //!   restart mid-epoch resumes with the same duplicate set and finalizes
 //!   bit-identically to an uninterrupted run.
+//! * [`metrics`] — the observability plane: pre-registered relaxed-atomic
+//!   counters/gauges/histograms over [`ldp_obs`] plus a lock-free
+//!   structured trace ring, scraped over the wire with a `STATS` frame
+//!   (`CollectorClient::stats`) or rendered as Prometheus-style text.
+//!   Hot paths tick pre-resolved handles — no allocation, no locks — and
+//!   the whole plane compiles down to one branch when
+//!   [`CollectorConfig::metrics`] is off.
 //! * [`server`] / [`client`] — the TCP daemon over
 //!   [`std::net::TcpListener`] and its typed client, speaking the
 //!   [`ldp_protocols::wire`] frame codec (length-prefixed frames, varint
@@ -59,6 +66,7 @@ pub mod bridge;
 pub mod checkpoint;
 pub mod client;
 pub mod error;
+pub mod metrics;
 pub mod round;
 pub mod server;
 pub(crate) mod shard;
@@ -66,6 +74,7 @@ pub(crate) mod shard;
 pub use bridge::{ServeScenario, WireWorldRunner};
 pub use client::{CollectorClient, DegreeVectorSummary, RoundSummary, DEFAULT_BATCH_REPORTS};
 pub use error::CollectorError;
+pub use metrics::CollectorMetrics;
 pub use round::{
     CollectorConfig, IngestOutcome, RoundChannel, RoundCollector, RoundCounters, RoundOutcome,
 };

@@ -55,14 +55,17 @@
 //! collector.
 
 use crate::error::CollectorError;
+use crate::metrics::CollectorMetrics;
 use crate::shard::{AdjacencyShards, DegreeVectorShards};
 use ldp_graph::runtime::default_threads;
 use ldp_mechanisms::RandomizedResponse;
+use ldp_obs::TraceEvent;
 use ldp_protocols::ingest::finalize_lower;
 use ldp_protocols::{PerturbedView, UserReport};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -116,6 +119,13 @@ pub struct CollectorConfig {
     /// behind [`CollectorError::MemoryBudget`]. The default (1 GiB)
     /// admits ~30 adjacency rounds at the default population cap.
     pub memory_budget: u64,
+    /// Whether the observability plane records (default `true`). Off, every
+    /// hot-path instrumentation site reduces to one predictable branch —
+    /// the baseline the `collector_smoke` bench measures its
+    /// `metrics_overhead` ratio against. The scrape surface (`STATS`
+    /// frames, [`crate::CollectorMetrics::render_text`]) stays structurally
+    /// valid either way, reading zeros while off.
+    pub metrics: bool,
 }
 
 impl Default for CollectorConfig {
@@ -130,6 +140,7 @@ impl Default for CollectorConfig {
             worker_threads: default_threads().max(4),
             max_rounds_per_tenant: 8,
             memory_budget: 1 << 30,
+            metrics: true,
         }
     }
 }
@@ -224,9 +235,20 @@ pub struct RoundCounters {
     pub rejected_duplicate: u64,
     /// Reports rejected by the round quota.
     pub rejected_quota: u64,
-    /// Reports rejected as malformed: out-of-range id, wrong channel,
-    /// wrong population or group count.
+    /// Reports rejected as domain-invalid: out-of-range id, wrong
+    /// channel, wrong population or group count.
     pub rejected_invalid: u64,
+    /// Uploads that never reached a validated fold: wire-decode garbage
+    /// and frames misdirected at a closed round. Kept apart from
+    /// [`Self::rejected_invalid`] — a poisoning analyst reads
+    /// domain-invalid reports as attack surface, while malformed bytes
+    /// are transport noise.
+    pub rejected_malformed: u64,
+    /// True when intake closed with every user's report folded — the
+    /// round is finalizable as it stands, no outstanding population.
+    /// Derived at read time (`closed && accepted == population`), never
+    /// stored.
+    pub finalized_at_close: bool,
 }
 
 /// What a report submission did.
@@ -282,6 +304,7 @@ pub(crate) struct OpenRound {
     pub(crate) submitted: AtomicU64,
     pub(crate) rejected_quota: AtomicU64,
     pub(crate) rejected_invalid: AtomicU64,
+    pub(crate) rejected_malformed: AtomicU64,
     /// Written only under the engine's write lock; read under the read
     /// lock, so a close is a quiesce point for every in-flight ingest.
     pub(crate) closed: AtomicBool,
@@ -299,6 +322,9 @@ impl OpenRound {
             rejected_duplicate,
             rejected_quota: self.rejected_quota.load(Ordering::Acquire),
             rejected_invalid: self.rejected_invalid.load(Ordering::Acquire),
+            rejected_malformed: self.rejected_malformed.load(Ordering::Acquire),
+            finalized_at_close: self.closed.load(Ordering::Acquire)
+                && accepted == self.channel.population() as u64,
         }
     }
 }
@@ -326,6 +352,9 @@ pub struct RoundCollector {
     /// registry write lock, so the check-then-charge at open is
     /// race-free.
     memory_used: AtomicU64,
+    /// The observability plane: every metric pre-registered here, at
+    /// construction, so the ingest path ticks pre-resolved handles.
+    metrics: Arc<CollectorMetrics>,
 }
 
 /// Shard folds never panic on the validated inputs the engine hands
@@ -353,16 +382,23 @@ impl RoundCollector {
     /// cap, worker count, tenant quota, or memory budget.
     pub fn new(config: CollectorConfig) -> Result<Self, CollectorError> {
         config.validate()?;
+        let metrics = Arc::new(CollectorMetrics::new(config.shards, config.metrics));
         Ok(RoundCollector {
             config,
             rounds: RwLock::new(BTreeMap::new()),
             memory_used: AtomicU64::new(0),
+            metrics,
         })
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &CollectorConfig {
         &self.config
+    }
+
+    /// The engine's observability plane (scrape surface, trace ring).
+    pub fn metrics(&self) -> &CollectorMetrics {
+        &self.metrics
     }
 
     /// Ids of the rounds currently open, ascending (the registry is an
@@ -425,6 +461,7 @@ impl RoundCollector {
         channel: RoundChannel,
         quota: Option<u64>,
     ) -> Result<(), CollectorError> {
+        let open_begin = self.metrics.active().then(Instant::now);
         let mut rounds = write_lock(&self.rounds);
         if rounds.contains_key(&round_id) {
             return Err(CollectorError::RoundAlreadyOpen { round_id });
@@ -482,12 +519,24 @@ impl RoundCollector {
                     submitted: AtomicU64::new(0),
                     rejected_quota: AtomicU64::new(0),
                     rejected_invalid: AtomicU64::new(0),
+                    rejected_malformed: AtomicU64::new(0),
                     closed: AtomicBool::new(false),
                     store,
                 })),
             }),
         );
-        self.memory_used.fetch_add(cost, Ordering::AcqRel);
+        let used = self.memory_used.fetch_add(cost, Ordering::AcqRel) + cost;
+        if let Some(begin) = open_begin {
+            self.metrics
+                .open_nanos
+                .observe(begin.elapsed().as_nanos() as u64);
+            self.metrics.memory_used_bytes.set(used);
+            self.metrics.rounds_open.add(1);
+            self.metrics.emit(TraceEvent::RoundOpened {
+                round: round_id,
+                tenant,
+            });
+        }
         Ok(())
     }
 
@@ -585,6 +634,55 @@ impl RoundCollector {
         user_id: u64,
         report: &UserReport,
     ) -> Result<IngestOutcome, CollectorError> {
+        let m = &*self.metrics;
+        let shard = user_id as usize % m.shard_folds.len();
+        let outcome =
+            self.ingest_in_slot_sampled(slot, round_id, user_id, report, m.sample_fold(shard))?;
+        if matches!(outcome, IngestOutcome::Queued) && m.active() {
+            // Per-shard fold counters use the same routing key as the
+            // shards themselves, so their sum reconciles exactly with
+            // the round's accepted count.
+            if let Some(c) = m.shard_folds.get(shard) {
+                c.incr();
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// [`ingest_in_slot`](Self::ingest_in_slot) for the `REPORT_BATCH`
+    /// loop: a fold success lands in the caller's plain-memory
+    /// [`FoldScratch`](crate::metrics::FoldScratch) (settled into the
+    /// registry once per frame) and the latency-sampling decision is
+    /// made by the caller, so the per-report path touches no atomic
+    /// beyond the round's own admission counters.
+    pub(crate) fn ingest_in_slot_batched(
+        &self,
+        slot: &RoundSlot,
+        round_id: u64,
+        user_id: u64,
+        report: &UserReport,
+        sampled: bool,
+        scratch: &mut crate::metrics::FoldScratch,
+    ) -> Result<IngestOutcome, CollectorError> {
+        let outcome = self.ingest_in_slot_sampled(slot, round_id, user_id, report, sampled)?;
+        if matches!(outcome, IngestOutcome::Queued) {
+            scratch.count(user_id as usize % self.metrics.shard_folds.len());
+        }
+        Ok(outcome)
+    }
+
+    /// The admission + fold core shared by the singleton and batch
+    /// paths. `sampled` routes this fold through the timed variant
+    /// (fold latency + shard-lock wait histograms); fold-count
+    /// accounting is the caller's job.
+    fn ingest_in_slot_sampled(
+        &self,
+        slot: &RoundSlot,
+        round_id: u64,
+        user_id: u64,
+        report: &UserReport,
+        sampled: bool,
+    ) -> Result<IngestOutcome, CollectorError> {
         let guard = read_lock(&slot.inner);
         let round = guard
             .as_ref()
@@ -614,35 +712,57 @@ impl RoundCollector {
         if user_id >= n as u64 {
             return refund_invalid();
         }
+        // Roughly 1-in-64 reports get their fold latency and shard-lock
+        // wait timed; the untimed rest pay only the `sampled` branch.
+        let m = &*self.metrics;
+        let fold_begin = sampled.then(Instant::now);
         let folded = match (&round.store, report) {
             (Store::Adjacency { shards, .. }, UserReport::Adjacency(r)) => {
                 if r.population() != n {
                     return refund_invalid();
                 }
-                shards.fold_one(user_id as usize, r)
+                if sampled {
+                    let (folded, wait_nanos) = shards.fold_one_timed(user_id as usize, r);
+                    m.shard_lock_wait_nanos.observe(wait_nanos);
+                    folded
+                } else {
+                    shards.fold_one(user_id as usize, r)
+                }
             }
             (Store::DegreeVector { shards }, UserReport::DegreeVector(v)) => {
                 if v.len() != shards.groups() {
                     return refund_invalid();
                 }
-                shards.fold_one(user_id as usize, v)
+                if sampled {
+                    let (folded, wait_nanos) = shards.fold_one_timed(user_id as usize, v);
+                    m.shard_lock_wait_nanos.observe(wait_nanos);
+                    folded
+                } else {
+                    shards.fold_one(user_id as usize, v)
+                }
             }
             _ => return refund_invalid(),
         };
+        if let Some(begin) = fold_begin {
+            m.fold_nanos.observe(begin.elapsed().as_nanos() as u64);
+        }
         Ok(match folded {
             Ok(()) => IngestOutcome::Queued,
             Err(_) => IngestOutcome::Duplicate,
         })
     }
 
-    /// Counts a report that failed wire decoding against the named round
-    /// (the daemon calls this so malformed frames land in the summary).
-    /// Counts into a closed-but-unfinalized round too — late garbage is
-    /// still part of that round's story; a no-op for unknown ids.
+    /// Counts a report that failed wire decoding (or was misdirected at a
+    /// closed round) against the named round — the daemon calls this so
+    /// malformed frames land in the summary, under their own
+    /// [`RoundCounters::rejected_malformed`] counter rather than mixed
+    /// into the domain-invalid count. Counts into a
+    /// closed-but-unfinalized round too — late garbage is still part of
+    /// that round's story; a no-op for unknown ids.
     pub fn note_invalid(&self, round_id: u64) {
         if let Ok(slot) = self.slot(round_id) {
             if let Some(round) = read_lock(&slot.inner).as_ref() {
-                round.rejected_invalid.fetch_add(1, Ordering::AcqRel);
+                round.rejected_malformed.fetch_add(1, Ordering::AcqRel);
             }
         }
     }
@@ -673,6 +793,7 @@ impl RoundCollector {
     /// # Errors
     /// [`CollectorError::UnknownRound`] when no round has this id.
     pub fn close_round(&self, round_id: u64) -> Result<RoundCounters, CollectorError> {
+        let close_begin = self.metrics.active().then(Instant::now);
         let slot = self.slot(round_id)?;
         let guard = write_lock(&slot.inner);
         let round = guard
@@ -681,7 +802,17 @@ impl RoundCollector {
         round.closed.store(true, Ordering::Release);
         // ldp-lint: allow(lock-order) -- same `OpenRound::counters` name
         // collision as in `counters` above; no lock is taken here.
-        Ok(round.counters())
+        let counters = round.counters();
+        if let Some(begin) = close_begin {
+            self.metrics
+                .close_nanos
+                .observe(begin.elapsed().as_nanos() as u64);
+            self.metrics.emit(TraceEvent::RoundClosed {
+                round: round_id,
+                accepted: counters.accepted,
+            });
+        }
+        Ok(counters)
     }
 
     /// Finalizes the named round into its aggregate, consuming the round
@@ -694,6 +825,7 @@ impl RoundCollector {
     /// [`CollectorError::RoundIncomplete`] while reports are outstanding;
     /// [`CollectorError::UnknownRound`] when no round has this id.
     pub fn finalize(&self, round_id: u64) -> Result<RoundOutcome, CollectorError> {
+        let finalize_begin = self.metrics.active().then(Instant::now);
         let slot = self.slot(round_id)?;
         let (round, accepted) = {
             let mut guard = write_lock(&slot.inner);
@@ -722,23 +854,30 @@ impl RoundCollector {
         {
             let mut rounds = write_lock(&self.rounds);
             rounds.remove(&round_id);
-            self.memory_used.fetch_sub(slot.cost, Ordering::AcqRel);
+            let used = self.memory_used.fetch_sub(slot.cost, Ordering::AcqRel) - slot.cost;
+            if self.metrics.active() {
+                self.metrics.memory_used_bytes.set(used);
+                self.metrics.rounds_open.sub(1);
+            }
         }
-        match round.store {
+        let outcome = match round.store {
             Store::Adjacency { shards, rr } => {
                 let (matrix, degrees) = shards.merge();
-                Ok(RoundOutcome::Adjacency(finalize_lower(
-                    matrix,
-                    degrees,
-                    rr,
-                    self.config.threads,
-                )))
+                RoundOutcome::Adjacency(finalize_lower(matrix, degrees, rr, self.config.threads))
             }
-            Store::DegreeVector { shards } => Ok(RoundOutcome::DegreeVector {
+            Store::DegreeVector { shards } => RoundOutcome::DegreeVector {
                 group_totals: shards.group_totals(),
                 accepted,
-            }),
+            },
+        };
+        if let Some(begin) = finalize_begin {
+            self.metrics
+                .finalize_nanos
+                .observe(begin.elapsed().as_nanos() as u64);
+            self.metrics
+                .emit(TraceEvent::RoundFinalized { round: round_id });
         }
+        Ok(outcome)
     }
 }
 

@@ -38,11 +38,13 @@
 //! | `SHUTDOWN` `0x06` | c→s | empty; stops the accept loop |
 //! | `REPORT_BATCH` `0x07` | c→s | round id + varint count + length-prefixed reports (no ack) |
 //! | `SYNC` `0x08` | c→s | empty; acked once every prior frame of this session is ingested |
+//! | `STATS` `0x09` | c→s | empty; scrapes the daemon's metrics registry |
 //! | `ACK` `0x81` | s→c | empty |
 //! | `ERR` `0x82` | s→c | code byte + message |
-//! | `SUMMARY` `0x83` | s→c | intake counters + outstanding count |
+//! | `SUMMARY` `0x83` | s→c | intake counters + finalized-at-close flag |
 //! | `VIEW` `0x84` | s→c | a finalized [`PerturbedView`](ldp_protocols::PerturbedView) |
 //! | `DEGREE_SUMMARY` `0x85` | s→c | group totals + accepted count |
+//! | `STATS_REPLY` `0x86` | s→c | typed metric samples (see [`wire::decode_stats_reply`]) |
 //!
 //! `REPORT` and `REPORT_BATCH` frames are deliberately unacknowledged —
 //! per-report round-trips would cap throughput at the RTT; rejects
@@ -54,7 +56,9 @@
 //! racing the uploaders' socket buffers.
 
 use crate::error::CollectorError;
+use crate::metrics::CollectorMetrics;
 use crate::round::{CollectorConfig, RoundChannel, RoundCollector, RoundOutcome};
+use ldp_obs::{Gauge, TraceEvent};
 use ldp_protocols::wire::{
     self, get_f64, get_varint, put_f64, put_varint, write_frame, write_stream_header, MAX_FRAME_LEN,
 };
@@ -63,7 +67,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Frame kind bytes of the collection protocol. The constants moved next
@@ -219,7 +223,7 @@ impl CollectorServer {
             });
         }
         let shared = Shared {
-            queue: ConnQueue::new(),
+            queue: ConnQueue::new(engine.metrics().queue_depth.clone()),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             wake_addr,
@@ -238,7 +242,12 @@ impl CollectorServer {
                         // throwaway connection is dropped here.
                         return Ok(());
                     }
-                    admit(stream, engine.config().max_sessions, &shared);
+                    admit(
+                        stream,
+                        engine.config().max_sessions,
+                        &shared,
+                        engine.metrics(),
+                    );
                 }
             })();
             // Every exit path — clean shutdown or listener failure — must
@@ -308,13 +317,18 @@ struct Shared {
 struct ConnQueue {
     inner: Mutex<VecDeque<Conn>>,
     ready: Condvar,
+    /// Scrape-surface mirror of the queue length (`worker_queue_depth`);
+    /// push and successful pop keep it balanced, so the gauge reads how
+    /// many connections are waiting for a worker right now.
+    depth: Arc<Gauge>,
 }
 
 impl ConnQueue {
-    fn new() -> Self {
+    fn new(depth: Arc<Gauge>) -> Self {
         ConnQueue {
             inner: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            depth,
         }
     }
 
@@ -323,6 +337,7 @@ impl ConnQueue {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push_back(conn);
+        self.depth.add(1);
         self.ready.notify_one();
     }
 
@@ -332,6 +347,7 @@ impl ConnQueue {
         let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(conn) = q.pop_front() {
+                self.depth.sub(1);
                 return Some(conn);
             }
             if shutdown.load(Ordering::Acquire) {
@@ -354,11 +370,11 @@ impl ConnQueue {
 
 /// Admits one accepted socket into the pool, or refuses it with a typed
 /// `SESSION_CAP` error after a bounded wait for a slot.
-fn admit(stream: TcpStream, cap: usize, shared: &Shared) {
+fn admit(stream: TcpStream, cap: usize, shared: &Shared, metrics: &CollectorMetrics) {
     let mut waited = Duration::ZERO;
     while shared.active.load(Ordering::Acquire) >= cap {
         if waited >= ADMIT_WAIT {
-            refuse_session_cap(&stream, cap);
+            refuse_session_cap(&stream, cap, metrics, shared.active.load(Ordering::Relaxed));
             return;
         }
         std::thread::sleep(ADMIT_POLL);
@@ -367,9 +383,17 @@ fn admit(stream: TcpStream, cap: usize, shared: &Shared) {
             return;
         }
     }
-    shared.active.fetch_add(1, Ordering::AcqRel);
+    let active = shared.active.fetch_add(1, Ordering::AcqRel) + 1;
     match Conn::new(stream) {
-        Ok(conn) => shared.queue.push(conn),
+        Ok(conn) => {
+            if metrics.active() {
+                metrics.sessions_active.add(1);
+                metrics.emit(TraceEvent::SessionAccepted {
+                    active: active as u64,
+                });
+            }
+            shared.queue.push(conn);
+        }
         Err(_) => {
             shared.active.fetch_sub(1, Ordering::AcqRel);
         }
@@ -379,7 +403,14 @@ fn admit(stream: TcpStream, cap: usize, shared: &Shared) {
 /// The typed connect refusal: a valid stream header followed by one
 /// `ERR`/`SESSION_CAP` frame, so the latecomer's first reply read is a
 /// clean [`CollectorError::Remote`] instead of a hang or a reset.
-fn refuse_session_cap(stream: &TcpStream, cap: usize) {
+fn refuse_session_cap(stream: &TcpStream, cap: usize, metrics: &CollectorMetrics, active: usize) {
+    if metrics.active() {
+        metrics.sessions_refused_cap.incr();
+        metrics.emit(TraceEvent::SessionRefused {
+            active: active as u64,
+        });
+    }
+    metrics.on_err(codes::SESSION_CAP);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut out = Vec::new();
@@ -437,6 +468,11 @@ struct Conn {
     warned: Vec<u64>,
     /// Last moment bytes arrived; drives the mid-frame stall timeout.
     last_progress: Instant,
+    /// Plain count of reports this connection has pushed through the
+    /// batch path — the latency-sampling key (every
+    /// `1 << FOLD_SAMPLE_SHIFT`-th report gets timed), kept out of the
+    /// registry so the decision costs no atomic.
+    folds_seen: u64,
 }
 
 impl Conn {
@@ -453,6 +489,7 @@ impl Conn {
             handshaken: false,
             warned: Vec::new(),
             last_progress: Instant::now(),
+            folds_seen: 0,
         })
     }
 
@@ -493,6 +530,9 @@ impl Conn {
         let mut progressed = read_bytes > 0;
         if progressed {
             self.last_progress = Instant::now();
+            if engine.metrics().active() {
+                engine.metrics().bytes_read.add(read_bytes as u64);
+            }
         }
 
         if !self.handshaken {
@@ -528,6 +568,7 @@ impl Conn {
                         &mut reply,
                     );
                     let _ = write_frame(&mut self.out, frames::ERR, &reply);
+                    engine.metrics().on_err(codes::BAD_FRAME);
                     outcome = Some(Pump::Closed);
                     break;
                 }
@@ -669,6 +710,14 @@ fn process_frame(
     kind: u8,
     payload: &[u8],
 ) -> Frame {
+    let metrics = engine.metrics();
+    if metrics.active() {
+        metrics.frames_decoded.incr();
+        metrics.emit(TraceEvent::FrameDecoded {
+            kind,
+            len: payload.len() as u64,
+        });
+    }
     let mut reply = Vec::new();
     let result: Result<u8, CollectorError> = match kind {
         frames::OPEN => decode_open(payload)
@@ -694,6 +743,7 @@ fn process_frame(
             return Frame::Continue; // unacknowledged
         }
         frames::REPORT_BATCH => {
+            let batch_begin = metrics.active().then(Instant::now);
             match wire::read_routed_batch(payload) {
                 // One registry lookup per batch frame, not per report:
                 // the hot path folds straight against the round's slot.
@@ -702,11 +752,28 @@ fn process_frame(
                 // as the per-report path).
                 Ok((round_id, mut batch)) => match engine.slot(round_id) {
                     Ok(slot) => {
+                        // Fold successes accumulate in plain memory and
+                        // settle into the registry once per frame (at
+                        // most one `fetch_add` per shard), so the
+                        // per-report loop touches no metric atomics.
+                        let mut scratch = metrics.fold_scratch();
                         while let Some(entry) = batch.next_entry() {
                             match entry {
                                 Ok((user_id, report)) => {
-                                    ingest_routed_slot(
-                                        conn, engine, &slot, round_id, user_id, &report,
+                                    let sampled = metrics.active()
+                                        && conn.folds_seen
+                                            & ((1 << crate::metrics::FOLD_SAMPLE_SHIFT) - 1)
+                                            == 0;
+                                    conn.folds_seen = conn.folds_seen.wrapping_add(1);
+                                    ingest_routed_batched(
+                                        conn,
+                                        engine,
+                                        &slot,
+                                        round_id,
+                                        user_id,
+                                        &report,
+                                        sampled,
+                                        &mut scratch,
                                     );
                                 }
                                 // A malformed entry is isolated by its length
@@ -714,6 +781,7 @@ fn process_frame(
                                 Err(_) => engine.note_invalid(round_id),
                             }
                         }
+                        metrics.flush_folds(&mut scratch);
                         if batch.finish().is_err() {
                             engine.note_invalid(round_id);
                         }
@@ -723,6 +791,7 @@ fn process_frame(
                             let mut err = Vec::new();
                             encode_error(&e, &mut err);
                             let _ = write_frame(&mut conn.out, frames::ERR, &err);
+                            metrics.on_err(error_code(&e));
                         }
                     }
                 },
@@ -732,6 +801,12 @@ fn process_frame(
                         engine.note_invalid(round_id);
                     }
                 }
+            }
+            if let Some(begin) = batch_begin {
+                metrics.batches_decoded.incr();
+                metrics
+                    .batch_nanos
+                    .observe(begin.elapsed().as_nanos() as u64);
             }
             return Frame::Continue; // unacknowledged
         }
@@ -749,7 +824,15 @@ fn process_frame(
                 put_varint(counters.rejected_duplicate, &mut reply);
                 put_varint(counters.rejected_quota, &mut reply);
                 put_varint(counters.rejected_invalid, &mut reply);
+                put_varint(counters.rejected_malformed, &mut reply);
+                reply.push(u8::from(counters.finalized_at_close));
                 frames::SUMMARY
+            }),
+        frames::STATS => wire::expect_end(payload)
+            .map_err(CollectorError::Wire)
+            .map(|()| {
+                wire::encode_stats_reply(&metrics.wire_entries(), &mut reply);
+                frames::STATS_REPLY
             }),
         frames::FINALIZE => decode_round_id(payload)
             .and_then(|id| engine.finalize(id))
@@ -789,6 +872,7 @@ fn process_frame(
             reply.clear();
             encode_error(&e, &mut reply);
             let _ = write_frame(&mut conn.out, frames::ERR, &reply);
+            metrics.on_err(error_code(&e));
         }
     }
     Frame::Continue
@@ -811,26 +895,32 @@ fn ingest_routed(
             let mut reply = Vec::new();
             encode_error(&e, &mut reply);
             let _ = write_frame(&mut conn.out, frames::ERR, &reply);
+            engine.metrics().on_err(error_code(&e));
         }
     }
 }
 
-/// [`ingest_routed`] with the round's slot already resolved (the
-/// per-batch fast path).
-fn ingest_routed_slot(
+/// [`ingest_routed`] with the round's slot already resolved and fold
+/// accounting batch-amortized (the `REPORT_BATCH` fast path).
+#[allow(clippy::too_many_arguments)]
+fn ingest_routed_batched(
     conn: &mut Conn,
     engine: &RoundCollector,
     slot: &crate::round::RoundSlot,
     round_id: u64,
     user_id: u64,
     report: &ldp_protocols::UserReport,
+    sampled: bool,
+    scratch: &mut crate::metrics::FoldScratch,
 ) {
-    if let Err(e) = engine.ingest_in_slot(slot, round_id, user_id, report) {
+    if let Err(e) = engine.ingest_in_slot_batched(slot, round_id, user_id, report, sampled, scratch)
+    {
         engine.note_invalid(round_id);
         if conn.should_warn(round_id) {
             let mut reply = Vec::new();
             encode_error(&e, &mut reply);
             let _ = write_frame(&mut conn.out, frames::ERR, &reply);
+            engine.metrics().on_err(error_code(&e));
         }
     }
 }
@@ -843,6 +933,7 @@ fn worker(
     stall: Duration,
     workers: usize,
 ) {
+    let metrics = engine.metrics();
     let mut payload_scratch = Vec::new();
     // Backoff bookkeeping: after a full rotation of nothing-but-idle
     // connections, nap briefly — bounded CPU when 10k connections sit
@@ -853,7 +944,7 @@ fn worker(
             // Drain mode: surviving connections are dropped, not pumped —
             // otherwise idle ones would be requeued forever and the pool
             // could never join.
-            shared.active.fetch_sub(1, Ordering::AcqRel);
+            retire(shared, metrics);
             continue;
         }
         match conn.pump(engine, checkpoint_path, &mut payload_scratch) {
@@ -862,7 +953,13 @@ fn worker(
                     // Wedged mid-frame past the timeout: drop it. The
                     // partial frame was never ingested, so every round's
                     // aggregate is exactly as if the bytes never arrived.
-                    shared.active.fetch_sub(1, Ordering::AcqRel);
+                    let remaining = retire(shared, metrics);
+                    if metrics.active() {
+                        metrics.stall_reaps.incr();
+                        metrics.emit(TraceEvent::StallReaped {
+                            active: remaining as u64,
+                        });
+                    }
                     continue;
                 }
                 if shared.active.load(Ordering::Relaxed) <= workers {
@@ -888,10 +985,10 @@ fn worker(
                 idle_pops = 0;
             }
             Pump::Closed => {
-                shared.active.fetch_sub(1, Ordering::AcqRel);
+                retire(shared, metrics);
             }
             Pump::Shutdown => {
-                shared.active.fetch_sub(1, Ordering::AcqRel);
+                retire(shared, metrics);
                 shared.shutdown.store(true, Ordering::Release);
                 shared.queue.notify_all();
                 // Unblock the accept loop so it observes the flag.
@@ -899,6 +996,16 @@ fn worker(
             }
         }
     }
+}
+
+/// Retires one connection: the pool's count and its gauge mirror move
+/// together. Returns the remaining live-session count.
+fn retire(shared: &Shared, metrics: &CollectorMetrics) -> usize {
+    let remaining = shared.active.fetch_sub(1, Ordering::AcqRel) - 1;
+    if metrics.active() {
+        metrics.sessions_active.sub(1);
+    }
+    remaining
 }
 
 fn checkpoint_to_path(

@@ -165,6 +165,21 @@ impl AdjacencyShards {
         lock(&self.shards[user_id % stride]).fold(user_id, report)
     }
 
+    /// [`Self::fold_one`] with the shard-lock acquisition timed — the
+    /// sampled probe behind the `ingest_shard_lock_wait_nanos` metric.
+    /// Returns `(fold result, nanoseconds spent waiting for the mutex)`.
+    pub(crate) fn fold_one_timed(
+        &self,
+        user_id: usize,
+        report: &AdjacencyReport,
+    ) -> (Result<(), ShardReject>, u64) {
+        let stride = self.shards.len();
+        let begin = std::time::Instant::now();
+        let mut shard = lock(&self.shards[user_id % stride]);
+        let wait_nanos = begin.elapsed().as_nanos() as u64;
+        (shard.fold(user_id, report), wait_nanos)
+    }
+
     /// Merges the shards into one lower-triangle matrix plus the
     /// reported-degree vector (deterministic: a straight copy of disjoint
     /// rows). The shard set is consumed; finalize the result with
@@ -321,6 +336,20 @@ impl DegreeVectorShards {
     pub(crate) fn fold_one(&self, user_id: usize, vector: &[f64]) -> Result<(), ShardReject> {
         let stride = self.shards.len();
         lock(&self.shards[user_id % stride]).fold(user_id / stride, vector)
+    }
+
+    /// [`Self::fold_one`] with the shard-lock acquisition timed (see the
+    /// adjacency twin).
+    pub(crate) fn fold_one_timed(
+        &self,
+        user_id: usize,
+        vector: &[f64],
+    ) -> (Result<(), ShardReject>, u64) {
+        let stride = self.shards.len();
+        let begin = std::time::Instant::now();
+        let mut shard = lock(&self.shards[user_id % stride]);
+        let wait_nanos = begin.elapsed().as_nanos() as u64;
+        (shard.fold(user_id / stride, vector), wait_nanos)
     }
 
     /// Per-group totals: shard partials summed in shard order

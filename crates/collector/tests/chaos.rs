@@ -425,3 +425,174 @@ fn random_drop_storm_leaves_honest_rounds_bit_identical() {
     drop(coordinator);
     shutdown(addr, handle);
 }
+
+/// The named counter's value in a `STATS` scrape (counters only).
+fn stat_counter(entries: &[wire::StatsEntry], name: &str) -> u64 {
+    entries
+        .iter()
+        .find_map(|e| match e.value {
+            wire::StatsValue::Counter(v) if e.name == name => Some(v),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("scrape has no counter named {name}"))
+}
+
+/// Sum of the per-shard fold counters — the registry-side twin of the
+/// accepted count across every round the daemon ever served.
+fn folded_total(entries: &[wire::StatsEntry]) -> u64 {
+    entries
+        .iter()
+        .filter(|e| e.name.starts_with("ingest_reports_folded_shard_"))
+        .map(|e| match e.value {
+            wire::StatsValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// The observability pin under chaos: whatever the adversarial schedule
+/// — truncated writers, reaped stallers, late frames at a closed round —
+/// the scraped counters reconcile **exactly** with the round's close
+/// summary. Sum of per-shard fold counters == accepted; the stall-reap
+/// counter == the number of injected stallers; a late report's typed
+/// refusal shows up both as an `err_round_closed` tick and in the
+/// re-close's malformed tally. A mid-intake scrape never overcounts.
+#[test]
+fn stats_reconcile_exactly_with_summaries_under_chaos() {
+    let victims = 4u64;
+    let per_victim = 25u64;
+    let population = victims * per_victim;
+    let stall = Duration::from_millis(200);
+    let (addr, handle) = spawn_chaos_daemon(
+        CollectorConfig {
+            shards: 2,
+            ..CollectorConfig::default()
+        },
+        stall,
+    );
+    let mut coordinator = CollectorClient::connect(addr).unwrap();
+    coordinator
+        .open_round(
+            2,
+            RoundChannel::DegreeVector {
+                population: population as usize,
+                groups: 2,
+            },
+            None,
+        )
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        // Truncated writers: complete frames fold, the cut tail must not.
+        for v in 0..victims {
+            scope.spawn(move || {
+                let mut rng = Xoshiro256pp::new(77_000 + v);
+                let mut chaos = ChaosClient::connect(addr).expect("chaos connect");
+                for k in 0..per_victim {
+                    let id = v * per_victim + k;
+                    let frame = ChaosClient::report_frame(2, id, &[1.0, id as f64]);
+                    chaos.write_all(&frame).expect("complete frame");
+                }
+                let doomed = ChaosClient::report_frame(2, 10_000 + v, &[7.0, 7.0]);
+                let cut = rng.gen_range(1..doomed.len());
+                chaos.write_truncated(&doomed, cut).expect("cut frame");
+            });
+        }
+        // A scrape racing the fleet is relaxed but never invents folds.
+        let mid = coordinator.stats().expect("mid-intake scrape");
+        assert!(
+            folded_total(&mid) <= population,
+            "mid-intake scrape overcounts folds"
+        );
+    });
+
+    // Stallers for the reap counter: half a batch, then silence.
+    let entries: Vec<(u64, UserReport)> = (0..8u64)
+        .map(|id| (id, UserReport::DegreeVector(vec![1.0, 0.0])))
+        .collect();
+    let frame = ChaosClient::batch_frame(2, &entries);
+    let mut stallers = Vec::new();
+    for _ in 0..2 {
+        let mut staller = ChaosClient::connect(addr).expect("staller connect");
+        staller
+            .write_truncated(&frame, frame.len() / 2)
+            .expect("half batch");
+        stallers.push(staller);
+    }
+    std::thread::sleep(stall + Duration::from_millis(400));
+
+    let summary = coordinator.close_round(2).unwrap();
+    assert_eq!(summary.counters.accepted, population);
+    assert!(summary.counters.finalized_at_close);
+    let scrape = coordinator.stats().unwrap();
+    assert_eq!(
+        folded_total(&scrape),
+        summary.counters.accepted,
+        "per-shard fold counters must reconcile exactly with the summary"
+    );
+    assert_eq!(
+        stat_counter(&scrape, "stall_reaps"),
+        stallers.len() as u64,
+        "every injected staller reaps exactly once"
+    );
+
+    // One late report at the closed round: typed warn-once ERR, counted
+    // by code in the registry and as malformed in the re-close summary.
+    coordinator.send_degree_vector(0, &[9.0, 9.0]).unwrap();
+    let err = coordinator.sync().unwrap_err();
+    assert!(matches!(
+        err,
+        CollectorError::Remote {
+            code: ldp_collector::server::codes::ROUND_CLOSED,
+            ..
+        }
+    ));
+    let scrape = coordinator.stats().unwrap();
+    assert_eq!(stat_counter(&scrape, "err_round_closed"), 1);
+    let reclosed = coordinator.close_round(2).unwrap();
+    assert_eq!(reclosed.counters.rejected_malformed, 1);
+    assert_eq!(folded_total(&scrape), reclosed.counters.accepted);
+
+    drop(stallers);
+    drop(coordinator);
+    shutdown(addr, handle);
+}
+
+/// A connect refused at the session cap ticks `sessions_refused_cap`
+/// exactly once per refusal, and the scrape surface stays reachable the
+/// moment a slot frees.
+#[test]
+fn session_cap_refusals_are_counted_exactly() {
+    let (addr, handle) = spawn_chaos_daemon(
+        CollectorConfig {
+            shards: 1,
+            max_sessions: 1,
+            ..CollectorConfig::default()
+        },
+        Duration::from_secs(60),
+    );
+    let holder = CollectorClient::connect(addr).unwrap();
+    // The cap is held, so this connect is refused after the bounded
+    // admit wait; the refusal surfaces on the session's first call.
+    let mut refused = CollectorClient::connect(addr).unwrap();
+    let err = refused.sync().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CollectorError::Remote {
+                code: ldp_collector::server::codes::SESSION_CAP,
+                ..
+            }
+        ),
+        "expected a SESSION_CAP refusal, got {err}"
+    );
+    drop(refused);
+    drop(holder);
+
+    let mut client = CollectorClient::connect(addr).unwrap();
+    let scrape = client.stats().unwrap();
+    assert_eq!(stat_counter(&scrape, "sessions_refused_cap"), 1);
+    assert_eq!(stat_counter(&scrape, "err_session_cap"), 1);
+    drop(client);
+    shutdown(addr, handle);
+}

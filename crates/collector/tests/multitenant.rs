@@ -185,7 +185,7 @@ fn misdirected_reports_yield_typed_errors_once() {
     client.sync().expect("no second warning for round 99");
 
     // Closed round: late reports are typed ROUND_CLOSED and counted into
-    // the closed round's invalid tally (visible to a re-close).
+    // the closed round's malformed tally (visible to a re-close).
     client
         .open_round(
             7,
@@ -214,7 +214,11 @@ fn misdirected_reports_yield_typed_errors_once() {
     );
     let reclosed = client.close_round(7).unwrap();
     assert_eq!(reclosed.counters.accepted, 2);
-    assert_eq!(reclosed.counters.rejected_invalid, 1);
+    assert_eq!(reclosed.counters.rejected_malformed, 1);
+    assert_eq!(reclosed.counters.rejected_invalid, 0);
+    // Every user reported before the close, so the close itself sealed
+    // a complete round.
+    assert!(reclosed.counters.finalized_at_close);
     // The late garbage never reached the totals.
     let out = client.finalize_degree_vector(7).unwrap();
     assert_eq!(out.group_totals, vec![1.0, 1.0]);

@@ -1,0 +1,19 @@
+//! Seeded violations: strongly-ordered atomic ticks inside a marked
+//! shard-fold hot path — a SeqCst counter bump and an Acquire read.
+//! Per-report metric ticks must be Relaxed; the fences buy nothing.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Shard {
+    folds: AtomicU64,
+}
+
+impl Shard {
+    // ldp-lint: hot-path(begin) -- per-report fold under the shard mutex
+    pub fn fold(&self, acc: &mut u64, word: u64) -> u64 {
+        self.folds.fetch_add(1, Ordering::SeqCst);
+        let _ = self.folds.load(Ordering::Acquire);
+        *acc |= word;
+        *acc
+    }
+    // ldp-lint: hot-path(end)
+}

@@ -1,0 +1,37 @@
+//! Negative: relaxed metric ticks inside the region are the sanctioned
+//! pattern, and strongly-ordered lifecycle atomics are fine *outside*
+//! the marked region (or inside tests).
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Shard {
+    folds: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl Shard {
+    // ldp-lint: hot-path(begin) -- per-report fold under the shard mutex
+    pub fn fold(&self, acc: &mut u64, word: u64) -> u64 {
+        self.folds.fetch_add(1, Ordering::Relaxed);
+        *acc |= word;
+        *acc
+    }
+    // ldp-lint: hot-path(end)
+
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqcst_in_tests_is_fine() {
+        let s = Shard {
+            folds: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        };
+        let _ = s.folds.load(Ordering::SeqCst);
+    }
+}

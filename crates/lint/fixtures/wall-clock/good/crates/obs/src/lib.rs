@@ -1,0 +1,9 @@
+//! Negative: the observability crate is the documented wall-clock
+//! carve-out (DESIGN.md §10) — trace-ring timestamps and latency
+//! histograms read real time and never feed a modelled value, so the
+//! rule does not apply under `crates/obs/`.
+use std::time::{Instant, SystemTime};
+
+pub fn trace_timestamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

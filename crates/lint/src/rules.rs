@@ -16,6 +16,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("unordered-iter", "no HashMap/HashSet iteration in deterministic or collector code unless annotated"),
     ("panic-path", "no panic site (unwrap/expect/panic!/unchecked indexing) reachable from a daemon entry point"),
     ("hot-path-lock", "no lock acquisition inside or called from ldp-lint: hot-path(begin/end) regions"),
+    ("hot-path-ordering", "no non-Relaxed atomic ordering (SeqCst/Acquire/Release/AcqRel) inside hot-path regions"),
     ("lock-order", "no acquisition against the global registry → slot → shard lock order, across calls"),
     ("opcode-arm", "every wire frame opcode must be referenced by collector non-test code"),
     ("opcode-proptest", "every wire frame opcode must be exercised by a proptest file"),
@@ -27,7 +28,10 @@ pub const RULES: &[(&str, &str)] = &[
 
 /// Crates whose `src/` trees must be bit-deterministic: estimators, attacks,
 /// defenses and scenario replay all promise identical output for identical
-/// seeds.
+/// seeds. `crates/collector` and `crates/obs` are deliberately absent —
+/// the scoped carve-out of DESIGN.md §10: stall timeouts, latency
+/// histograms, and trace-ring timestamps are *observational* wall-clock
+/// reads that never feed a modelled value.
 const DETERMINISTIC_PREFIXES: &[&str] = &[
     "crates/graph/src/",
     "crates/mechanisms/src/",
@@ -137,6 +141,7 @@ pub(crate) fn run(files: &[FileLex]) -> Vec<Finding> {
                 alloc_cap(f, &mut out);
             }
             hot_path_lock(f, &anns[fi].regions, &mut out);
+            hot_path_ordering(f, &anns[fi].regions, &mut out);
             if f.rel == WIRE_FILE {
                 opcode_totality(f, &collector_idents, &proptest_idents, &mut out);
             }
@@ -699,6 +704,37 @@ fn hot_path_lock(f: &FileLex, regions: &[(u32, u32)], out: &mut Vec<Raw>) {
                 message: format!(
                     "lock acquisition `{}(` inside a hot-path region; folds must run lock-free \
                      under the already-held shard lock",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Atomic orderings whose fences have no place on a per-report path: a
+/// metric tick inside a hot-path region must be `Ordering::Relaxed` —
+/// the counters are monotone sums reconciled at a `SYNC`/`CLOSE`
+/// barrier, so the stronger orderings buy nothing but pipeline stalls.
+const STRONG_ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
+
+fn hot_path_ordering(f: &FileLex, regions: &[(u32, u32)], out: &mut Vec<Raw>) {
+    if regions.is_empty() {
+        return;
+    }
+    for (i, t) in f.toks.iter().enumerate() {
+        if f.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if STRONG_ORDERINGS.contains(&t.text.as_str())
+            && regions.iter().any(|&(a, b)| t.line > a && t.line < b)
+        {
+            out.push(Raw {
+                call_path: Vec::new(),
+                rule: "hot-path-ordering",
+                line: t.line,
+                message: format!(
+                    "atomic ordering `{}` inside a hot-path region; per-report metric \
+                     ticks must be Ordering::Relaxed",
                     t.text
                 ),
             });

@@ -118,6 +118,31 @@ fn hot_path_lock_is_pinned() {
 }
 
 #[test]
+fn hot_path_ordering_is_pinned() {
+    assert_rule_pinned("hot-path-ordering", "hot-path-ordering");
+    let bad = lint("hot-path-ordering/bad");
+    // Both the SeqCst tick and the Acquire read inside the region fire;
+    // the good twin's Relaxed tick and out-of-region Release are clean.
+    assert_eq!(
+        bad.iter().filter(|f| f.rule == "hot-path-ordering").count(),
+        2,
+        "{bad:#?}"
+    );
+}
+
+/// The observability carve-out: `crates/obs/` reads wall clocks freely
+/// (trace timestamps, latency probes) while the same tokens in a
+/// deterministic crate fire — scoping is by path, not annotation.
+#[test]
+fn wall_clock_carve_out_for_obs_is_pinned() {
+    let good = lint("wall-clock/good");
+    assert!(
+        good.is_empty(),
+        "obs wall-clock reads must lint clean: {good:#?}"
+    );
+}
+
+#[test]
 fn lock_order_is_pinned() {
     assert_rule_pinned("lock-order", "lock-order");
     let bad = lint("lock-order/bad");
@@ -210,6 +235,7 @@ fn rule_catalog_is_complete() {
         "unordered-iter",
         "panic-path",
         "hot-path-lock",
+        "hot-path-ordering",
         "lock-order",
         "opcode-arm",
         "opcode-proptest",

@@ -1,0 +1,365 @@
+//! A fixed-capacity, lock-free ring of typed trace events.
+//!
+//! The daemon's lifecycle plane emits structured events — sessions
+//! accepted and refused, frames decoded, round state transitions,
+//! checkpoint quiescence, typed refusals — into a [`TraceRing`]:
+//! writers claim a monotonic sequence number with one relaxed
+//! `fetch_add` and publish into the slot it addresses under a per-slot
+//! seqlock (an odd/even version counter), so recording never blocks and
+//! never allocates. The ring keeps the **latest** `capacity` events;
+//! older ones are overwritten, and [`TraceRing::recorded`] says how
+//! many were ever emitted.
+//!
+//! Events carry real timestamps (microseconds since ring construction,
+//! from a monotonic [`Instant`]) — this module is the documented
+//! wall-clock carve-out of DESIGN.md §10: trace output observes the
+//! schedule, it never feeds a modelled value.
+//!
+//! Readers ([`TraceRing::snapshot`]) validate each slot's version
+//! before and after copying it and drop slots a writer raced; a torn
+//! event is discarded, never misreported. The one residual window —
+//! two writers a full `capacity` apart finishing interleaved on the
+//! same slot — is accepted for a diagnostic ring.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A typed lifecycle event. The variants are the collector's trace
+/// vocabulary; payload fields are deliberately small fixed words so an
+/// event encodes into three `u64` cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A connection passed admission and entered the worker pool.
+    SessionAccepted {
+        /// Sessions active after this accept.
+        active: u64,
+    },
+    /// A connection was refused at the session cap (typed `SESSION_CAP`).
+    SessionRefused {
+        /// Sessions active at refusal time.
+        active: u64,
+    },
+    /// A complete frame was decoded off a session.
+    FrameDecoded {
+        /// Wire frame kind byte.
+        kind: u8,
+        /// Payload length in bytes.
+        len: u64,
+    },
+    /// A round was opened.
+    RoundOpened {
+        /// Round id.
+        round: u64,
+        /// Owning tenant.
+        tenant: u64,
+    },
+    /// A round's intake was closed.
+    RoundClosed {
+        /// Round id.
+        round: u64,
+        /// Reports accepted at close.
+        accepted: u64,
+    },
+    /// A round was finalized and left the registry.
+    RoundFinalized {
+        /// Round id.
+        round: u64,
+    },
+    /// A checkpoint began quiescing the round (write lock taken).
+    QuiesceBegin {
+        /// Round id.
+        round: u64,
+    },
+    /// The checkpoint snapshot finished and ingest resumed.
+    QuiesceEnd {
+        /// Round id.
+        round: u64,
+    },
+    /// A typed `ERR` frame was emitted to some session.
+    ErrEmitted {
+        /// The `server::codes` refusal code.
+        code: u8,
+    },
+    /// A stalled session (no progress mid-frame) was reaped.
+    StallReaped {
+        /// Sessions active after the reap.
+        active: u64,
+    },
+}
+
+const KIND_SESSION_ACCEPTED: u64 = 1;
+const KIND_SESSION_REFUSED: u64 = 2;
+const KIND_FRAME_DECODED: u64 = 3;
+const KIND_ROUND_OPENED: u64 = 4;
+const KIND_ROUND_CLOSED: u64 = 5;
+const KIND_ROUND_FINALIZED: u64 = 6;
+const KIND_QUIESCE_BEGIN: u64 = 7;
+const KIND_QUIESCE_END: u64 = 8;
+const KIND_ERR_EMITTED: u64 = 9;
+const KIND_STALL_REAPED: u64 = 10;
+
+impl TraceEvent {
+    /// Packs the event into `(kind, a, b)` cells.
+    fn encode(self) -> (u64, u64, u64) {
+        match self {
+            TraceEvent::SessionAccepted { active } => (KIND_SESSION_ACCEPTED, active, 0),
+            TraceEvent::SessionRefused { active } => (KIND_SESSION_REFUSED, active, 0),
+            TraceEvent::FrameDecoded { kind, len } => (KIND_FRAME_DECODED, u64::from(kind), len),
+            TraceEvent::RoundOpened { round, tenant } => (KIND_ROUND_OPENED, round, tenant),
+            TraceEvent::RoundClosed { round, accepted } => (KIND_ROUND_CLOSED, round, accepted),
+            TraceEvent::RoundFinalized { round } => (KIND_ROUND_FINALIZED, round, 0),
+            TraceEvent::QuiesceBegin { round } => (KIND_QUIESCE_BEGIN, round, 0),
+            TraceEvent::QuiesceEnd { round } => (KIND_QUIESCE_END, round, 0),
+            TraceEvent::ErrEmitted { code } => (KIND_ERR_EMITTED, u64::from(code), 0),
+            TraceEvent::StallReaped { active } => (KIND_STALL_REAPED, active, 0),
+        }
+    }
+
+    /// Unpacks `(kind, a, b)` cells; `None` for an unknown kind (a slot
+    /// never published, or a vocabulary from a newer build).
+    fn decode(kind: u64, a: u64, b: u64) -> Option<TraceEvent> {
+        Some(match kind {
+            KIND_SESSION_ACCEPTED => TraceEvent::SessionAccepted { active: a },
+            KIND_SESSION_REFUSED => TraceEvent::SessionRefused { active: a },
+            KIND_FRAME_DECODED => TraceEvent::FrameDecoded {
+                kind: (a & 0xff) as u8,
+                len: b,
+            },
+            KIND_ROUND_OPENED => TraceEvent::RoundOpened {
+                round: a,
+                tenant: b,
+            },
+            KIND_ROUND_CLOSED => TraceEvent::RoundClosed {
+                round: a,
+                accepted: b,
+            },
+            KIND_ROUND_FINALIZED => TraceEvent::RoundFinalized { round: a },
+            KIND_QUIESCE_BEGIN => TraceEvent::QuiesceBegin { round: a },
+            KIND_QUIESCE_END => TraceEvent::QuiesceEnd { round: a },
+            KIND_ERR_EMITTED => TraceEvent::ErrEmitted {
+                code: (a & 0xff) as u8,
+            },
+            KIND_STALL_REAPED => TraceEvent::StallReaped { active: a },
+            _ => return None,
+        })
+    }
+}
+
+/// One event read back out of the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotonic sequence number (allocation order across all writers).
+    pub seq: u64,
+    /// Microseconds since ring construction (monotonic clock).
+    pub at_micros: u64,
+    /// The decoded event.
+    pub event: TraceEvent,
+}
+
+/// One ring slot: an odd/even seqlock version plus the event cells.
+#[derive(Debug)]
+struct Slot {
+    /// Odd while a writer is mid-publish, even when stable; 0 = never
+    /// written.
+    version: AtomicU64,
+    seq: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    at_micros: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            version: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            at_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The fixed-capacity, lock-free trace ring. See the module docs for
+/// the publish/read protocol.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    next: AtomicU64,
+    epoch: Instant,
+}
+
+impl TraceRing {
+    /// A ring holding the latest `capacity` events (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            next: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Slots the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events ever recorded (including those since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Records one event: claims the next sequence number and publishes
+    /// into its slot. Lock-free, allocation-free; only the version
+    /// counter uses non-relaxed ordering (the seqlock publish edge).
+    pub fn record(&self, event: TraceEvent) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let idx = (seq % self.slots.len() as u64) as usize;
+        let Some(slot) = self.slots.get(idx) else {
+            return;
+        };
+        let (kind, a, b) = event.encode();
+        let at = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        slot.version.fetch_add(1, Ordering::AcqRel); // odd: in progress
+        slot.seq.store(seq, Ordering::Relaxed);
+        slot.kind.store(kind, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.at_micros.store(at, Ordering::Relaxed);
+        slot.version.fetch_add(1, Ordering::Release); // even: published
+    }
+
+    /// Copies out every stable slot, sorted by sequence number. Slots a
+    /// writer is racing are retried a few times and then dropped — a
+    /// snapshot under fire returns the events it could read
+    /// consistently rather than blocking the writers.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            for _attempt in 0..4 {
+                let v1 = slot.version.load(Ordering::Acquire);
+                if v1 == 0 {
+                    break; // never written
+                }
+                if v1 % 2 == 1 {
+                    continue; // mid-publish, retry
+                }
+                let seq = slot.seq.load(Ordering::Relaxed);
+                let kind = slot.kind.load(Ordering::Relaxed);
+                let a = slot.a.load(Ordering::Relaxed);
+                let b = slot.b.load(Ordering::Relaxed);
+                let at_micros = slot.at_micros.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                if slot.version.load(Ordering::Relaxed) != v1 {
+                    continue; // raced a writer, retry
+                }
+                if let Some(event) = TraceEvent::decode(kind, a, b) {
+                    out.push(TraceRecord {
+                        seq,
+                        at_micros,
+                        event,
+                    });
+                }
+                break;
+            }
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_roundtrips_through_the_cells() {
+        let events = [
+            TraceEvent::SessionAccepted { active: 3 },
+            TraceEvent::SessionRefused { active: 64 },
+            TraceEvent::FrameDecoded {
+                kind: 0x07,
+                len: 1 << 20,
+            },
+            TraceEvent::RoundOpened {
+                round: 9,
+                tenant: 2,
+            },
+            TraceEvent::RoundClosed {
+                round: 9,
+                accepted: 1 << 20,
+            },
+            TraceEvent::RoundFinalized { round: 9 },
+            TraceEvent::QuiesceBegin { round: 9 },
+            TraceEvent::QuiesceEnd { round: 9 },
+            TraceEvent::ErrEmitted { code: 11 },
+            TraceEvent::StallReaped { active: 1 },
+        ];
+        for ev in events {
+            let (k, a, b) = ev.encode();
+            assert_eq!(TraceEvent::decode(k, a, b), Some(ev));
+        }
+        assert_eq!(TraceEvent::decode(999, 0, 0), None);
+    }
+
+    #[test]
+    fn ring_keeps_the_latest_events_in_seq_order() {
+        let ring = TraceRing::new(8);
+        for i in 0..20 {
+            ring.record(TraceEvent::RoundOpened {
+                round: i,
+                tenant: 0,
+            });
+        }
+        assert_eq!(ring.recorded(), 20);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 8);
+        let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+        for r in &snap {
+            assert_eq!(
+                r.event,
+                TraceEvent::RoundOpened {
+                    round: r.seq,
+                    tenant: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_or_duplicate_seqs() {
+        let ring = TraceRing::new(256);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..2_000 {
+                        ring.record(TraceEvent::FrameDecoded {
+                            kind: t as u8,
+                            len: i,
+                        });
+                    }
+                });
+            }
+            // Snapshot while writers are live: whatever comes back must
+            // be internally consistent.
+            for _ in 0..50 {
+                let snap = ring.snapshot();
+                assert!(snap.len() <= 256);
+                for w in snap.windows(2) {
+                    assert!(w[0].seq < w[1].seq, "duplicate or unsorted seq");
+                }
+            }
+        });
+        assert_eq!(ring.recorded(), 16_000);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 256);
+        // The final snapshot holds exactly the last 256 sequence numbers.
+        assert_eq!(snap.first().map(|r| r.seq), Some(16_000 - 256));
+        assert_eq!(snap.last().map(|r| r.seq), Some(15_999));
+    }
+}

@@ -115,6 +115,9 @@ pub mod frames {
     /// Client → server: barrier — acked once every prior frame of this
     /// session has been ingested.
     pub const SYNC: u8 = 0x08;
+    /// Client → server: scrape the daemon's metrics registry (empty
+    /// payload), answered with `STATS_REPLY`.
+    pub const STATS: u8 = 0x09;
     /// Server → client: success, no payload.
     pub const ACK: u8 = 0x81;
     /// Server → client: refusal, code + message.
@@ -125,6 +128,9 @@ pub mod frames {
     pub const VIEW: u8 = 0x84;
     /// Server → client: finalized degree-vector totals.
     pub const DEGREE_SUMMARY: u8 = 0x85;
+    /// Server → client: a metrics-registry snapshot (see
+    /// [`super::encode_stats_reply`]).
+    pub const STATS_REPLY: u8 = 0x86;
 }
 
 /// Typed decode/transport failures. Every malformed input maps to one of
@@ -752,6 +758,137 @@ pub fn read_routed_batch(payload: &[u8]) -> Result<(u64, ReportBatch<'_>), WireE
 }
 
 // ---------------------------------------------------------------------------
+// Stats-snapshot payload (STATS_REPLY)
+// ---------------------------------------------------------------------------
+
+/// Upper bound on the metric entries one `STATS_REPLY` may claim —
+/// proved before any per-entry allocation, like every other length
+/// claim in this codec.
+pub const MAX_STATS_ENTRIES: usize = 4096;
+
+/// Upper bound on a metric name's byte length.
+pub const MAX_STATS_NAME_LEN: usize = 128;
+
+/// Upper bound on a histogram's bucket count (a log₂-bucketed `u64`
+/// histogram needs 65; the cap leaves headroom without letting a
+/// hostile claim size an allocation).
+pub const MAX_STATS_BUCKETS: usize = 128;
+
+const STATS_TAG_COUNTER: u8 = 0;
+const STATS_TAG_GAUGE: u8 = 1;
+const STATS_TAG_HISTOGRAM: u8 = 2;
+
+/// One scraped metric's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Instantaneous gauge.
+    Gauge(u64),
+    /// Log₂-bucketed histogram: sum of observations plus per-bucket
+    /// counts (bucket `i` = values of bit length `i`, trailing zeros
+    /// trimmed by the encoder).
+    Histogram {
+        /// Sum of every observed value.
+        sum: u64,
+        /// Per-bucket observation counts.
+        buckets: Vec<u64>,
+    },
+}
+
+/// One named metric in a `STATS_REPLY` snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsEntry {
+    /// Registered metric name (UTF-8, at most [`MAX_STATS_NAME_LEN`]
+    /// bytes).
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: StatsValue,
+}
+
+/// Encodes a `STATS_REPLY` payload: `varint K`, then `K` entries of
+/// `varint name_len + name bytes + tag u8 + value` (counter/gauge: one
+/// varint; histogram: `varint sum`, `varint B`, `B` varints).
+pub fn encode_stats_reply(entries: &[StatsEntry], out: &mut Vec<u8>) {
+    put_varint(entries.len() as u64, out);
+    for e in entries {
+        put_varint(e.name.len() as u64, out);
+        out.extend_from_slice(e.name.as_bytes());
+        match &e.value {
+            StatsValue::Counter(v) => {
+                out.push(STATS_TAG_COUNTER);
+                put_varint(*v, out);
+            }
+            StatsValue::Gauge(v) => {
+                out.push(STATS_TAG_GAUGE);
+                put_varint(*v, out);
+            }
+            StatsValue::Histogram { sum, buckets } => {
+                out.push(STATS_TAG_HISTOGRAM);
+                put_varint(*sum, out);
+                put_varint(buckets.len() as u64, out);
+                for &b in buckets {
+                    put_varint(b, out);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a payload produced by [`encode_stats_reply`]. Total: every
+/// length claim (entry count, name length, bucket count) is proved
+/// against its `MAX_*` cap before the matching allocation, names must
+/// be valid UTF-8, tags must be known, and trailing bytes are refused.
+///
+/// # Errors
+/// A typed [`WireError`] on truncation, oversize claims, a non-UTF-8
+/// name, an unknown value tag, or trailing bytes. Never panics.
+pub fn decode_stats_reply(mut buf: &[u8]) -> Result<Vec<StatsEntry>, WireError> {
+    let claimed = get_varint(&mut buf)?;
+    if claimed > MAX_STATS_ENTRIES as u64 {
+        return Err(WireError::OversizePopulation { claimed });
+    }
+    let mut entries = Vec::with_capacity(claimed as usize);
+    for _ in 0..claimed {
+        let name_len = get_varint(&mut buf)?;
+        if name_len > MAX_STATS_NAME_LEN as u64 {
+            return Err(WireError::OversizePopulation { claimed: name_len });
+        }
+        let (name_bytes, rest) = buf
+            .split_at_checked(name_len as usize)
+            .ok_or(WireError::Truncated)?;
+        buf = rest;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| WireError::BadValue {
+                field: "stats name",
+            })?
+            .to_string();
+        let (&tag, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+        buf = rest;
+        let value = match tag {
+            STATS_TAG_COUNTER => StatsValue::Counter(get_varint(&mut buf)?),
+            STATS_TAG_GAUGE => StatsValue::Gauge(get_varint(&mut buf)?),
+            STATS_TAG_HISTOGRAM => {
+                let sum = get_varint(&mut buf)?;
+                let nbuckets = get_varint(&mut buf)?;
+                if nbuckets > MAX_STATS_BUCKETS as u64 {
+                    return Err(WireError::OversizePopulation { claimed: nbuckets });
+                }
+                let mut buckets = Vec::with_capacity(nbuckets as usize);
+                for _ in 0..nbuckets {
+                    buckets.push(get_varint(&mut buf)?);
+                }
+                StatsValue::Histogram { sum, buckets }
+            }
+            tag => return Err(WireError::UnknownReportTag { tag }),
+        };
+        entries.push(StatsEntry { name, value });
+    }
+    expect_end(buf)?;
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------------
 // Finalized-view payload
 // ---------------------------------------------------------------------------
 
@@ -1128,6 +1265,73 @@ mod tests {
         }
         batch.finish().unwrap();
         assert!(matches!(read_routed_batch(&[]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn stats_reply_roundtrips_and_rejects_hostile_claims() {
+        let entries = vec![
+            StatsEntry {
+                name: "ingest_reports_folded_shard_0".to_string(),
+                value: StatsValue::Counter(u64::MAX),
+            },
+            StatsEntry {
+                name: "worker_queue_depth".to_string(),
+                value: StatsValue::Gauge(7),
+            },
+            StatsEntry {
+                name: "fold_nanos".to_string(),
+                value: StatsValue::Histogram {
+                    sum: 12_345,
+                    buckets: vec![0, 1, 0, 9],
+                },
+            },
+        ];
+        let mut out = Vec::new();
+        encode_stats_reply(&entries, &mut out);
+        assert_eq!(decode_stats_reply(&out).unwrap(), entries);
+        // Empty snapshot roundtrips too.
+        let mut empty = Vec::new();
+        encode_stats_reply(&[], &mut empty);
+        assert_eq!(decode_stats_reply(&empty).unwrap(), Vec::new());
+        // Every truncation is a typed error, never a panic.
+        for cut in 0..out.len() {
+            assert!(decode_stats_reply(&out[..cut]).is_err(), "cut at {cut}");
+        }
+        // Hostile entry count is refused before any per-entry work.
+        let mut hostile = Vec::new();
+        put_varint(MAX_STATS_ENTRIES as u64 + 1, &mut hostile);
+        assert!(matches!(
+            decode_stats_reply(&hostile),
+            Err(WireError::OversizePopulation { .. })
+        ));
+        // Hostile bucket count is refused before allocation.
+        let mut hostile = Vec::new();
+        put_varint(1, &mut hostile);
+        put_varint(1, &mut hostile);
+        hostile.push(b'x');
+        hostile.push(2); // histogram tag
+        put_varint(0, &mut hostile); // sum
+        put_varint(u64::MAX, &mut hostile); // absurd bucket count
+        assert!(matches!(
+            decode_stats_reply(&hostile),
+            Err(WireError::OversizePopulation { .. })
+        ));
+        // Unknown value tag and trailing bytes are typed.
+        let mut bad_tag = Vec::new();
+        put_varint(1, &mut bad_tag);
+        put_varint(1, &mut bad_tag);
+        bad_tag.push(b'x');
+        bad_tag.push(9);
+        assert!(matches!(
+            decode_stats_reply(&bad_tag),
+            Err(WireError::UnknownReportTag { tag: 9 })
+        ));
+        let mut trailing = out.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_stats_reply(&trailing),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
     }
 
     #[test]

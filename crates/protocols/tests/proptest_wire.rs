@@ -277,6 +277,48 @@ proptest! {
         // Cut inside the routing varint: typed, not misrouted.
         prop_assert!(wire::read_routed_batch(&[]).is_err());
     }
+
+    /// STATS_REPLY round-trip identity over arbitrary registries — every
+    /// value kind (counter, gauge, histogram), arbitrary names and bucket
+    /// shapes — and totality under truncation: every cut of a valid
+    /// payload is a typed error, never a panic or a bogus success.
+    #[test]
+    fn stats_reply_round_trips_and_rejects_truncation(
+        count in 0usize..10,
+        buckets in 0usize..9,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let entries: Vec<wire::StatsEntry> = (0..count)
+            .map(|k| {
+                let name: String = (0..rng.gen_range(1..24usize))
+                    .map(|_| char::from(b'a' + (rng.gen::<u64>() % 26) as u8))
+                    .collect();
+                let value = match k % 3 {
+                    0 => wire::StatsValue::Counter(rng.gen::<u64>()),
+                    1 => wire::StatsValue::Gauge(rng.gen::<u64>()),
+                    _ => wire::StatsValue::Histogram {
+                        sum: rng.gen::<u64>(),
+                        buckets: (0..buckets).map(|_| rng.gen::<u64>()).collect(),
+                    },
+                };
+                wire::StatsEntry { name, value }
+            })
+            .collect();
+        let mut out = Vec::new();
+        wire::encode_stats_reply(&entries, &mut out);
+        prop_assert_eq!(
+            wire::decode_stats_reply(&out).expect("well-formed reply decodes"),
+            entries
+        );
+        for cut in 0..out.len() {
+            prop_assert!(
+                wire::decode_stats_reply(&out[..cut]).is_err(),
+                "cut at {} decoded",
+                cut
+            );
+        }
+    }
 }
 
 /// Every opcode in [`wire::frames`] — request and reply — survives a
@@ -289,7 +331,7 @@ proptest! {
 fn every_frame_opcode_round_trips_and_is_distinct() {
     use wire::frames::{
         ACK, CHECKPOINT, CLOSE, DEGREE_SUMMARY, ERR, FINALIZE, OPEN, REPORT, REPORT_BATCH,
-        SHUTDOWN, SUMMARY, SYNC, VIEW,
+        SHUTDOWN, STATS, STATS_REPLY, SUMMARY, SYNC, VIEW,
     };
     let opcodes = [
         OPEN,
@@ -300,11 +342,13 @@ fn every_frame_opcode_round_trips_and_is_distinct() {
         SHUTDOWN,
         REPORT_BATCH,
         SYNC,
+        STATS,
         ACK,
         ERR,
         SUMMARY,
         VIEW,
         DEGREE_SUMMARY,
+        STATS_REPLY,
     ];
     for (i, &a) in opcodes.iter().enumerate() {
         for &b in &opcodes[i + 1..] {
