@@ -32,9 +32,9 @@ use ldp_collector::CollectorClient;
 use poison_bench::collector::{
     assert_concurrent_adjacency_equivalence, assert_live_scrape_reconciles,
     assert_simultaneous_adjacency_equivalence, peak_rss_bytes, run_adjacency_round,
-    run_degree_vector_round, run_degree_vector_round_concurrent, run_equivalence_smoke,
-    run_metrics_overhead, run_simultaneous_degree_vector_rounds, shutdown_daemon, spawn_daemon,
-    LoadAttack,
+    run_degree_vector_round, run_degree_vector_round_concurrent, run_durability_tax,
+    run_equivalence_smoke, run_metrics_overhead, run_simultaneous_degree_vector_rounds,
+    shutdown_daemon, spawn_daemon, LoadAttack,
 };
 
 const EQUIVALENCE_USERS: usize = 10_000;
@@ -46,6 +46,7 @@ const MULTI_ROUND_USERS: usize = 1 << 16; // 65,536 reports per simultaneous rou
 const ROUND_SWEEP: [usize; 3] = [1, 4, 16];
 const OVERHEAD_RUNS: usize = 8; // max A/B pairs; stops once within budget
 const OVERHEAD_BUDGET: f64 = 1.03; // instrumented / baseline, hard ceiling
+const DURABILITY_USERS: usize = 1 << 18; // 262,144 reports per fsync-policy leg
 
 fn main() {
     // 1. Wire == in-process, to the bit, at 10k users.
@@ -203,6 +204,41 @@ fn main() {
         scrape.mid_scrapes, scrape.folded_total
     );
 
+    // 6. Durability: the write-ahead journal's ingest tax per fsync
+    //    policy, against a journal-less baseline on the same round.
+    let (wal_baseline, taxes) =
+        run_durability_tax(DURABILITY_USERS, ROUND_GROUPS, 7).expect("durability tax");
+    for tax in &taxes {
+        eprintln!(
+            "durability: fsync={} {:.0} reports/s (x{:.3} of no-journal {:.0})",
+            tax.policy,
+            tax.throughput.reports_per_sec,
+            tax.ratio_vs_baseline,
+            wal_baseline.reports_per_sec
+        );
+    }
+    // Loose floor (CI boxes have wildly varying fsync latency): the
+    // journal with fsync *off* must never halve ingest. The recorded
+    // ratios are the trajectory signal.
+    assert!(
+        taxes[0].ratio_vs_baseline >= 0.5,
+        "fsync=off journaling halved ingest: x{:.3}",
+        taxes[0].ratio_vs_baseline
+    );
+
+    let durability_json: Vec<String> = taxes
+        .iter()
+        .map(|tax| {
+            format!(
+                "    {{ \"fsync\": \"{}\", \"wall_s\": {:.3}, \"reports_per_sec\": {:.0}, \
+                 \"ratio_vs_no_journal\": {:.3} }}",
+                tax.policy,
+                tax.throughput.wall.as_secs_f64(),
+                tax.throughput.reports_per_sec,
+                tax.ratio_vs_baseline
+            )
+        })
+        .collect();
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|r| {
@@ -239,6 +275,8 @@ fn main() {
          \"budget\": {:.2}\n  }},\n  \
          \"live_scrape\": {{\n    \"users\": {},\n    \"mid_round_scrapes\": {},\n    \
          \"folded_total\": {},\n    \"reconciles_with_summary\": true\n  }},\n  \
+         \"durability\": {{\n    \"users\": {},\n    \"no_journal_reports_per_sec\": {:.0},\n    \
+         \"policies\": [\n{}\n    ]\n  }},\n  \
          \"peak_rss_bytes\": {}\n}}\n",
         eq.users,
         eq.in_process.as_secs_f64() * 1e3,
@@ -277,6 +315,9 @@ fn main() {
         scrape.throughput.reports,
         scrape.mid_scrapes,
         scrape.folded_total,
+        DURABILITY_USERS,
+        wal_baseline.reports_per_sec,
+        durability_json.join(",\n"),
         peak_rss_bytes(),
     );
     std::fs::write("BENCH_collector.json", &json).expect("write BENCH_collector.json");

@@ -6,7 +6,8 @@
 //! `collector_loadgen` (operator CLI) binaries.
 
 use ldp_collector::{
-    CollectorClient, CollectorConfig, CollectorError, CollectorServer, RoundChannel, ServeScenario,
+    CollectorClient, CollectorConfig, CollectorError, CollectorServer, FsyncPolicy, RoundChannel,
+    ServeScenario,
 };
 use ldp_graph::datasets::Dataset;
 use ldp_graph::Xoshiro256pp;
@@ -1058,6 +1059,107 @@ pub fn assert_live_scrape_reconciles(
         mid_scrapes,
         folded_total: folded,
     })
+}
+
+/// One fsync policy's leg of the durability-tax sweep.
+#[derive(Debug)]
+pub struct DurabilityTax {
+    /// Operator spelling of the policy (`off`, `every:<bytes>`, `always`).
+    pub policy: &'static str,
+    /// The measured round.
+    pub throughput: ThroughputResult,
+    /// `reports_per_sec` relative to the journal-less baseline (1.0 =
+    /// free, lower = the tax).
+    pub ratio_vs_baseline: f64,
+}
+
+/// How many times [`run_durability_tax`] replays each leg, keeping the
+/// fastest: single ~100 ms rounds swing ±25% on a shared VM, which would
+/// drown the journal tax in scheduler noise.
+const DURABILITY_REPS: usize = 3;
+
+/// Measures the write-ahead journal's ingest tax: one honest
+/// degree-vector round replayed over a single batched connection against
+/// a journal-less daemon (the baseline) and against durable daemons at
+/// each fsync policy, best of `DURABILITY_REPS` (3) runs per leg, journals
+/// on a scratch directory that is removed afterwards. Every rep gets a
+/// fresh daemon and a fresh journal directory, so no leg pays for a
+/// predecessor's dirty pages.
+///
+/// # Errors
+/// Daemon/bind/transport failures.
+///
+/// # Panics
+/// Panics if any leg's close summary shows a rejected report (the replay
+/// is well-formed by construction) or the scratch directory cannot be
+/// created.
+pub fn run_durability_tax(
+    users: usize,
+    groups: usize,
+    seed: u64,
+) -> Result<(ThroughputResult, Vec<DurabilityTax>), CollectorError> {
+    let best_of =
+        |policy: Option<FsyncPolicy>, tag: &str| -> Result<ThroughputResult, CollectorError> {
+            let mut best: Option<ThroughputResult> = None;
+            for rep in 0..DURABILITY_REPS {
+                let dir = std::env::temp_dir()
+                    .join(format!("ldp-bench-wal-{}-{tag}-{rep}", std::process::id()));
+                let (addr, handle) = match policy {
+                    None => spawn_daemon(8)?,
+                    Some(policy) => {
+                        let _ = std::fs::remove_dir_all(&dir);
+                        CollectorServer::spawn_durable(
+                            CollectorConfig {
+                                shards: 8,
+                                max_sessions: 64,
+                                max_rounds_per_tenant: 64,
+                                ..CollectorConfig::default()
+                            },
+                            &dir,
+                            policy,
+                        )?
+                    }
+                };
+                let mut client = CollectorClient::connect(addr)?;
+                let throughput = run_degree_vector_round(
+                    &mut client,
+                    90,
+                    users,
+                    groups,
+                    LoadAttack::None,
+                    0.0,
+                    None,
+                    seed,
+                )?;
+                drop(client);
+                shutdown_daemon(addr, handle);
+                let _ = std::fs::remove_dir_all(&dir);
+                if best
+                    .as_ref()
+                    .is_none_or(|b| throughput.reports_per_sec > b.reports_per_sec)
+                {
+                    best = Some(throughput);
+                }
+            }
+            Ok(best.expect("DURABILITY_REPS > 0"))
+        };
+
+    let baseline = best_of(None, "none")?;
+    let policies: [(&'static str, FsyncPolicy); 3] = [
+        ("off", FsyncPolicy::Off),
+        ("every:1048576", FsyncPolicy::EveryBytes(1 << 20)),
+        ("always", FsyncPolicy::Always),
+    ];
+    let mut taxes = Vec::new();
+    for (name, policy) in policies {
+        let throughput = best_of(Some(policy), &name.replace(':', "-"))?;
+        taxes.push(DurabilityTax {
+            policy: name,
+            ratio_vs_baseline: throughput.reports_per_sec / baseline.reports_per_sec,
+            throughput,
+        });
+    }
+    Ok((baseline, taxes))
 }
 
 /// Peak resident set size of this process in bytes (`VmHWM` from

@@ -138,57 +138,8 @@ impl RoundCollector {
     pub fn resume(config: CollectorConfig, r: &mut impl Read) -> Result<Self, CollectorError> {
         let mut bytes = Vec::new();
         r.read_to_end(&mut bytes)?;
-        let mut buf = bytes.as_slice();
-
-        let header = take(&mut buf, 5)?;
-        if header[..4] != CHECKPOINT_MAGIC {
-            return Err(CollectorError::BadCheckpoint {
-                detail: "bad magic",
-            });
-        }
-        let version = header[4];
-        if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
-            return Err(CollectorError::BadCheckpoint {
-                detail: "unsupported checkpoint version",
-            });
-        }
-        let round_id = get_varint(&mut buf).map_err(bad("round id"))?;
-        let tenant = get_varint(&mut buf).map_err(bad("tenant"))?;
-        let channel_tag = take(&mut buf, 1)?[0];
-        let channel = match channel_tag {
-            CHANNEL_ADJACENCY => {
-                let population = get_varint(&mut buf).map_err(bad("population"))? as usize;
-                let p_keep = get_f64(&mut buf).map_err(bad("p_keep"))?;
-                RoundChannel::Adjacency { population, p_keep }
-            }
-            CHANNEL_DEGREE_VECTOR => {
-                let population = get_varint(&mut buf).map_err(bad("population"))? as usize;
-                let groups = get_varint(&mut buf).map_err(bad("groups"))? as usize;
-                RoundChannel::DegreeVector { population, groups }
-            }
-            _ => {
-                return Err(CollectorError::BadCheckpoint {
-                    detail: "unknown channel tag",
-                })
-            }
-        };
-        let quota = get_varint(&mut buf).map_err(bad("quota"))?;
-        let submitted = get_varint(&mut buf).map_err(bad("submitted"))?;
-        let rejected_quota = get_varint(&mut buf).map_err(bad("rejected_quota"))?;
-        let rejected_invalid = get_varint(&mut buf).map_err(bad("rejected_invalid"))?;
-        let rejected_malformed = if version >= 3 {
-            get_varint(&mut buf).map_err(bad("rejected_malformed"))?
-        } else {
-            0
-        };
-        let closed = take(&mut buf, 1)?[0] != 0;
-        let num_shards = get_varint(&mut buf).map_err(bad("shard count"))? as usize;
-        if num_shards == 0 || num_shards > 1 << 16 {
-            return Err(CollectorError::BadCheckpoint {
-                detail: "implausible shard count",
-            });
-        }
-
+        let head = parse_head(&mut bytes.as_slice())?;
+        let (channel, num_shards) = (head.channel, head.num_shards);
         // Rebuild an empty engine with the file's shard geometry, then
         // restore each shard's state over it.
         let engine = RoundCollector::new(CollectorConfig {
@@ -206,50 +157,174 @@ impl RoundCollector {
             memory_budget: config.memory_budget.max(channel.memory_cost(num_shards)),
             ..config
         })?;
-        engine.open_round_as(tenant, round_id, channel, Some(quota))?;
-        {
-            let slot = engine.slot(round_id)?;
-            let mut guard = write_lock(&slot.inner);
-            // The round was opened three lines up, so this is always
-            // `Some` — but resume is a decode path, and decode paths
-            // return typed errors rather than panic (ldp-lint no-unwrap).
-            let round = guard.as_mut().ok_or(CollectorError::BadCheckpoint {
-                detail: "round vanished while restoring shards",
-            })?;
-            for shard_idx in 0..num_shards {
-                let accepted = get_varint(&mut buf).map_err(bad("shard accepted"))?;
-                let duplicates = get_varint(&mut buf).map_err(bad("shard duplicates"))?;
-                let seen = read_u64s(&mut buf)?;
-                let floats = read_f64s(&mut buf)?;
-                let words = read_u64s(&mut buf)?;
-                let restored =
-                    match &mut round.store {
-                        Store::Adjacency { shards, .. } => shards
-                            .restore_shard(shard_idx, accepted, duplicates, seen, floats, words),
-                        Store::DegreeVector { shards, .. } => shards
-                            .restore_shard(shard_idx, accepted, duplicates, seen, floats, words),
-                    };
-                restored.map_err(|detail| CollectorError::BadCheckpoint { detail })?;
-            }
-            if !buf.is_empty() {
-                return Err(CollectorError::BadCheckpoint {
-                    detail: "trailing bytes",
-                });
-            }
-            round.submitted.store(submitted, Ordering::Release);
-            round
-                .rejected_quota
-                .store(rejected_quota, Ordering::Release);
-            round
-                .rejected_invalid
-                .store(rejected_invalid, Ordering::Release);
-            round
-                .rejected_malformed
-                .store(rejected_malformed, Ordering::Release);
-            round.closed.store(closed, Ordering::Release);
-        }
+        restore_round(&engine, &bytes)?;
         Ok(engine)
     }
+
+    /// Restores one checkpointed round **into this engine** alongside
+    /// whatever rounds it already holds — the write-ahead-journal
+    /// recovery path, where one engine rebuilds every open round from a
+    /// data directory. Unlike [`Self::resume`], the shard geometry must
+    /// match this engine's configuration exactly: the daemon's own
+    /// journal-coordinated checkpoints are written by the same engine, so
+    /// a mismatch means the file belongs to a differently-configured
+    /// daemon and is refused rather than re-sharded.
+    ///
+    /// # Errors
+    /// [`CollectorError::BadCheckpoint`] on malformed bytes or a shard
+    /// count differing from `config.shards`; admission refusals if the
+    /// round no longer fits this engine's caps.
+    pub fn resume_round_into(&self, r: &mut impl Read) -> Result<u64, CollectorError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        restore_round(self, &bytes)
+    }
+}
+
+/// Everything before the per-shard payload of a checkpoint file.
+struct CheckpointHead {
+    round_id: u64,
+    tenant: u64,
+    channel: RoundChannel,
+    quota: u64,
+    submitted: u64,
+    rejected_quota: u64,
+    rejected_invalid: u64,
+    rejected_malformed: u64,
+    closed: bool,
+    num_shards: usize,
+}
+
+fn parse_head(buf: &mut &[u8]) -> Result<CheckpointHead, CollectorError> {
+    let header = take(buf, 5)?;
+    if !header.starts_with(&CHECKPOINT_MAGIC) {
+        return Err(CollectorError::BadCheckpoint {
+            detail: "bad magic",
+        });
+    }
+    let version = header[4];
+    if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
+        return Err(CollectorError::BadCheckpoint {
+            detail: "unsupported checkpoint version",
+        });
+    }
+    let round_id = get_varint(buf).map_err(bad("round id"))?;
+    let tenant = get_varint(buf).map_err(bad("tenant"))?;
+    let channel_tag = take(buf, 1)?[0];
+    let channel = match channel_tag {
+        CHANNEL_ADJACENCY => {
+            let population = get_varint(buf).map_err(bad("population"))? as usize;
+            let p_keep = get_f64(buf).map_err(bad("p_keep"))?;
+            RoundChannel::Adjacency { population, p_keep }
+        }
+        CHANNEL_DEGREE_VECTOR => {
+            let population = get_varint(buf).map_err(bad("population"))? as usize;
+            let groups = get_varint(buf).map_err(bad("groups"))? as usize;
+            RoundChannel::DegreeVector { population, groups }
+        }
+        _ => {
+            return Err(CollectorError::BadCheckpoint {
+                detail: "unknown channel tag",
+            })
+        }
+    };
+    let quota = get_varint(buf).map_err(bad("quota"))?;
+    let submitted = get_varint(buf).map_err(bad("submitted"))?;
+    let rejected_quota = get_varint(buf).map_err(bad("rejected_quota"))?;
+    let rejected_invalid = get_varint(buf).map_err(bad("rejected_invalid"))?;
+    let rejected_malformed = if version >= 3 {
+        get_varint(buf).map_err(bad("rejected_malformed"))?
+    } else {
+        0
+    };
+    let closed = take(buf, 1)?[0] != 0;
+    let num_shards = get_varint(buf).map_err(bad("shard count"))? as usize;
+    if num_shards == 0 || num_shards > 1 << 16 {
+        return Err(CollectorError::BadCheckpoint {
+            detail: "implausible shard count",
+        });
+    }
+    Ok(CheckpointHead {
+        round_id,
+        tenant,
+        channel,
+        quota,
+        submitted,
+        rejected_quota,
+        rejected_invalid,
+        rejected_malformed,
+        closed,
+        num_shards,
+    })
+}
+
+/// Opens the checkpointed round on `engine` and restores its counters and
+/// per-shard state. The shard count recorded in the file must equal the
+/// engine's — see [`RoundCollector::resume_round_into`].
+fn restore_round(engine: &RoundCollector, bytes: &[u8]) -> Result<u64, CollectorError> {
+    let mut buf = bytes;
+    let head = parse_head(&mut buf)?;
+    let CheckpointHead {
+        round_id,
+        tenant,
+        channel,
+        quota,
+        submitted,
+        rejected_quota,
+        rejected_invalid,
+        rejected_malformed,
+        closed,
+        num_shards,
+    } = head;
+    if num_shards != engine.config().shards {
+        return Err(CollectorError::BadCheckpoint {
+            detail: "shard geometry differs from the engine's configuration",
+        });
+    }
+    engine.open_round_as(tenant, round_id, channel, Some(quota))?;
+    {
+        let slot = engine.slot(round_id)?;
+        let mut guard = write_lock(&slot.inner);
+        // The round was opened three lines up, so this is always
+        // `Some` — but resume is a decode path, and decode paths
+        // return typed errors rather than panic (ldp-lint no-unwrap).
+        let round = guard.as_mut().ok_or(CollectorError::BadCheckpoint {
+            detail: "round vanished while restoring shards",
+        })?;
+        for shard_idx in 0..num_shards {
+            let accepted = get_varint(&mut buf).map_err(bad("shard accepted"))?;
+            let duplicates = get_varint(&mut buf).map_err(bad("shard duplicates"))?;
+            let seen = read_u64s(&mut buf)?;
+            let floats = read_f64s(&mut buf)?;
+            let words = read_u64s(&mut buf)?;
+            let restored = match &mut round.store {
+                Store::Adjacency { shards, .. } => {
+                    shards.restore_shard(shard_idx, accepted, duplicates, seen, floats, words)
+                }
+                Store::DegreeVector { shards, .. } => {
+                    shards.restore_shard(shard_idx, accepted, duplicates, seen, floats, words)
+                }
+            };
+            restored.map_err(|detail| CollectorError::BadCheckpoint { detail })?;
+        }
+        if !buf.is_empty() {
+            return Err(CollectorError::BadCheckpoint {
+                detail: "trailing bytes",
+            });
+        }
+        round.submitted.store(submitted, Ordering::Release);
+        round
+            .rejected_quota
+            .store(rejected_quota, Ordering::Release);
+        round
+            .rejected_invalid
+            .store(rejected_invalid, Ordering::Release);
+        round
+            .rejected_malformed
+            .store(rejected_malformed, Ordering::Release);
+        round.closed.store(closed, Ordering::Release);
+    }
+    Ok(round_id)
 }
 
 fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CollectorError> {

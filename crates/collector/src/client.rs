@@ -37,14 +37,22 @@
 
 use crate::error::CollectorError;
 use crate::round::{RoundChannel, RoundCounters};
-use crate::server::{channel_tags, frames};
+use crate::server::{channel_tags, codes, frames};
 use ldp_protocols::wire::{
     self, get_f64, get_varint, put_f64, put_varint, read_frame, read_stream_header, write_frame,
-    write_stream_header,
+    write_stream_header, WireError,
 };
 use ldp_protocols::{AdjacencyReport, PerturbedView, UserReport};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Process-wide count of batches a dropped client failed to flush (see
+/// the [`Drop`] impl): the destructor cannot return an error, so the
+/// swallow is *counted* instead of silent, readable via
+/// [`CollectorClient::pending_flush_failed`].
+static PENDING_FLUSH_FAILURES: AtomicU64 = AtomicU64::new(0);
 
 /// Entries a queued batch accumulates before it leaves as one
 /// `REPORT_BATCH` frame (overridable per client with
@@ -85,14 +93,51 @@ pub struct CollectorClient {
 }
 
 impl CollectorClient {
-    /// Connects and performs the versioned handshake.
+    /// Connects and performs the versioned handshake. A socket-level
+    /// failure surfaces as [`CollectorError::Transport`] carrying the
+    /// address (every resolved candidate is tried), so an operator — or a
+    /// retry policy — reads *which* collector was unreachable instead of
+    /// a bare I/O error.
     ///
     /// # Errors
-    /// Connection failures, or a peer that is not a collector daemon
+    /// [`CollectorError::Transport`] on connect failures, or a peer that
+    /// is not a collector daemon
     /// ([`ldp_protocols::WireError::BadMagic`] /
     /// [`ldp_protocols::WireError::UnsupportedVersion`]).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, CollectorError> {
-        let stream = TcpStream::connect(addr)?;
+        let candidates = addr
+            .to_socket_addrs()
+            .map_err(|error| CollectorError::Transport {
+                target: "<address resolution>".to_string(),
+                error,
+            })?;
+        let mut tried = Vec::new();
+        let mut last: Option<std::io::Error> = None;
+        for candidate in candidates {
+            match TcpStream::connect(candidate) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(error) => {
+                    tried.push(candidate.to_string());
+                    last = Some(error);
+                }
+            }
+        }
+        Err(CollectorError::Transport {
+            target: if tried.is_empty() {
+                "<no addresses resolved>".to_string()
+            } else {
+                tried.join(", ")
+            },
+            error: last.unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    "the address resolved to nothing",
+                )
+            }),
+        })
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self, CollectorError> {
         stream.set_nodelay(true)?;
         let mut writer = BufWriter::with_capacity(1 << 16, stream.try_clone()?);
         let mut reader = BufReader::with_capacity(1 << 16, stream);
@@ -109,6 +154,26 @@ impl CollectorClient {
             round: 0,
             tenant: 0,
         })
+    }
+
+    /// Bounds how long any single control call may block on the socket
+    /// (read and write side): past the deadline the call fails with a
+    /// transport-class error instead of hanging on a daemon that died
+    /// mid-reply. `None` restores blocking calls.
+    ///
+    /// # Errors
+    /// Socket option failures.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) -> Result<(), CollectorError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.writer.get_ref().set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// How many dropped clients (process-wide) failed their implicit
+    /// batch flush — the destructor's swallowed errors, counted instead
+    /// of silent.
+    pub fn pending_flush_failed() -> u64 {
+        PENDING_FLUSH_FAILURES.load(Ordering::Relaxed)
     }
 
     /// Sets the tenant this session opens rounds as (default 0). The
@@ -296,6 +361,21 @@ impl CollectorClient {
         let mut scratch = std::mem::take(&mut self.payload);
         scratch.clear();
         wire::encode_degree_vector_report(user_id, vector, &mut scratch);
+        self.payload = scratch;
+        self.push_batch_entry()
+    }
+
+    /// [`Self::queue_report`] from an entry already encoded with
+    /// [`wire::encode_report`] — how [`RetryingClient`] replays its
+    /// resend window without re-encoding (and without knowing which
+    /// channel each entry was).
+    ///
+    /// # Errors
+    /// As [`Self::queue_report`].
+    pub fn queue_encoded_entry(&mut self, entry: &[u8]) -> Result<(), CollectorError> {
+        let mut scratch = std::mem::take(&mut self.payload);
+        scratch.clear();
+        scratch.extend_from_slice(entry);
         self.payload = scratch;
         self.push_batch_entry()
     }
@@ -583,16 +663,392 @@ impl CollectorClient {
         }
         Ok(())
     }
+
+    /// Flushes the queued batch and stream buffer, swallowing (but
+    /// counting — see [`Self::pending_flush_failed`]) any failure.
+    /// Returns whether the flush reached the socket.
+    fn flush_lossy(&mut self) -> bool {
+        let flushed = self
+            .send_batch()
+            .and_then(|()| Ok(self.writer.flush()?))
+            .is_ok();
+        if !flushed {
+            PENDING_FLUSH_FAILURES.fetch_add(1, Ordering::Relaxed);
+        }
+        flushed
+    }
 }
 
 /// A partially filled batch is best-effort flushed on drop, matching the
 /// unbatched send path (whose bytes sat in the `BufWriter` and left on
-/// *its* drop). Errors are discarded — an uploader that needs delivery
-/// *proof* must end with [`CollectorClient::sync`]; this only ensures
-/// queued reports are not silently discarded on a clean early return.
+/// *its* drop). A failed flush cannot surface from a destructor, so it
+/// is **counted** (process-wide, readable via
+/// [`CollectorClient::pending_flush_failed`]) rather than silently
+/// discarded — an uploader that needs delivery *proof* must still end
+/// with [`CollectorClient::sync`].
 impl Drop for CollectorClient {
     fn drop(&mut self) {
-        let _ = self.send_batch();
-        let _ = self.writer.flush();
+        let _ = self.flush_lossy();
+    }
+}
+
+/// How a [`RetryingClient`] paces and bounds its reconnects.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per operation before the last transport error surfaces
+    /// (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic backoff jitter — same seed, same
+    /// schedule, so fault-injection tests replay identically.
+    pub seed: u64,
+    /// Per-operation socket deadline applied to every (re)connection
+    /// (see [`CollectorClient::set_op_timeout`]); `None` blocks forever.
+    pub op_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            seed: 0x1d9_c011,
+            op_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// True for failures a reconnect can cure: socket-level errors and a
+/// stream that died mid-frame. Typed daemon refusals and codec errors
+/// are *not* retried — resending a refused frame re-refuses it.
+fn is_transport(e: &CollectorError) -> bool {
+    matches!(
+        e,
+        CollectorError::Io(_)
+            | CollectorError::Transport { .. }
+            | CollectorError::Wire(WireError::Io(_))
+    )
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`CollectorClient`] that survives daemon crashes: transport
+/// failures trigger reconnection with bounded exponential backoff
+/// (deterministically jittered by [`RetryPolicy::seed`]), and reports
+/// queued since the last acknowledged [`Self::barrier`] live in a
+/// **resend window** that is replayed down every fresh connection.
+///
+/// ## Exactly-once ingest
+///
+/// The window makes delivery *at-least-once*: a report in flight when
+/// the daemon died is resent even though it may already have been
+/// folded. The daemon's per-round duplicate-id rejection (which survives
+/// crashes — the seen-bitmaps are rebuilt from the write-ahead journal)
+/// discards the second copy, so the *fold* happens exactly once and the
+/// finalized output is bit-identical to a fault-free run. Resent
+/// duplicates do tick the round's `rejected_duplicate` counter — that is
+/// the visible (and reconcilable) cost of the retry, not a correctness
+/// leak.
+///
+/// Control calls are retried under the same policy. [`Self::open_round`]
+/// is idempotent: a `ROUND_ALREADY_OPEN` refusal — the round survived
+/// (or was recovered by) the daemon we reconnected to — counts as
+/// success.
+pub struct RetryingClient {
+    target: String,
+    policy: RetryPolicy,
+    tenant: u64,
+    batch_size: usize,
+    inner: Option<CollectorClient>,
+    round: u64,
+    /// Entries ([`wire::encode_report`] bytes) sent since the last
+    /// acknowledged barrier — the at-least-once resend set.
+    window: Vec<Vec<u8>>,
+    /// Window length that forces an implicit [`Self::barrier`], bounding
+    /// both client memory and the resend burst after a crash.
+    window_cap: usize,
+    jitter_state: u64,
+    connects: u64,
+}
+
+impl RetryingClient {
+    /// Default resend-window capacity (see [`Self::with_resend_window`]).
+    pub const DEFAULT_WINDOW: usize = 1024;
+
+    /// Creates the client (connection is established lazily, with
+    /// retries, by the first operation). `target` must be a resolvable
+    /// `host:port` string — it is re-resolved on every reconnect.
+    pub fn new(target: impl Into<String>, policy: RetryPolicy) -> Self {
+        RetryingClient {
+            target: target.into(),
+            jitter_state: policy.seed,
+            policy,
+            tenant: 0,
+            batch_size: DEFAULT_BATCH_REPORTS,
+            inner: None,
+            round: 0,
+            window: Vec::new(),
+            window_cap: Self::DEFAULT_WINDOW,
+            connects: 0,
+        }
+    }
+
+    /// Tenant stamped into `OPEN` frames (see
+    /// [`CollectorClient::with_tenant`]).
+    pub fn with_tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Batch size of the underlying client (see
+    /// [`CollectorClient::with_batch_size`]).
+    pub fn with_batch_size(mut self, reports: usize) -> Self {
+        self.batch_size = reports.clamp(1, wire::MAX_REPORTS_PER_BATCH);
+        self
+    }
+
+    /// Reports the resend window may hold before an implicit
+    /// [`Self::barrier`] (clamped to at least 1).
+    pub fn with_resend_window(mut self, reports: usize) -> Self {
+        self.window_cap = reports.max(1);
+        self
+    }
+
+    /// Reconnections performed so far (the first connect is not one).
+    pub fn reconnects(&self) -> u64 {
+        self.connects.saturating_sub(1)
+    }
+
+    /// Severs the current connection without telling the daemon — the
+    /// fault-injection hook crash tests use to exercise the reconnect
+    /// and resend path deterministically.
+    #[doc(hidden)]
+    pub fn fault_disconnect(&mut self) {
+        if let Some(client) = &self.inner {
+            let _ = client.reader.get_ref().shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Opens `round_id` (idempotently — see the type docs) and routes
+    /// subsequent reports at it.
+    ///
+    /// # Errors
+    /// Non-transport daemon refusals; [`CollectorError::Transport`] once
+    /// the retry budget is exhausted.
+    pub fn open_round(
+        &mut self,
+        round_id: u64,
+        channel: RoundChannel,
+        quota: Option<u64>,
+    ) -> Result<(), CollectorError> {
+        self.round = round_id;
+        match self.with_retry(|c| c.open_round(round_id, channel, quota)) {
+            Err(CollectorError::Remote { code, .. }) if code == codes::ROUND_ALREADY_OPEN => {
+                // The round survived (or was recovered by) the daemon —
+                // the open already happened; aim reports at it.
+                if let Some(client) = self.inner.as_mut() {
+                    client.set_round(round_id)?;
+                }
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
+    /// Queues one report toward the current round, retrying delivery
+    /// across crashes. May trigger an implicit [`Self::barrier`] when
+    /// the resend window fills.
+    ///
+    /// # Errors
+    /// As [`Self::open_round`].
+    pub fn queue_report(
+        &mut self,
+        user_id: u64,
+        report: &UserReport,
+    ) -> Result<(), CollectorError> {
+        let mut entry = Vec::new();
+        wire::encode_report(user_id, report, &mut entry);
+        self.queue_entry(entry)
+    }
+
+    /// [`Self::queue_report`] from a borrowed degree vector.
+    ///
+    /// # Errors
+    /// As [`Self::open_round`].
+    pub fn queue_degree_vector(
+        &mut self,
+        user_id: u64,
+        vector: &[f64],
+    ) -> Result<(), CollectorError> {
+        let mut entry = Vec::new();
+        wire::encode_degree_vector_report(user_id, vector, &mut entry);
+        self.queue_entry(entry)
+    }
+
+    /// [`Self::queue_report`] from a borrowed adjacency report.
+    ///
+    /// # Errors
+    /// As [`Self::open_round`].
+    pub fn queue_adjacency_report(
+        &mut self,
+        user_id: u64,
+        report: &AdjacencyReport,
+    ) -> Result<(), CollectorError> {
+        let mut entry = Vec::new();
+        wire::encode_adjacency_report(user_id, report, &mut entry);
+        self.queue_entry(entry)
+    }
+
+    fn queue_entry(&mut self, entry: Vec<u8>) -> Result<(), CollectorError> {
+        self.with_retry(|c| c.queue_encoded_entry(&entry))?;
+        self.window.push(entry);
+        if self.window.len() >= self.window_cap {
+            self.barrier()?;
+        }
+        Ok(())
+    }
+
+    /// Acknowledged barrier (see [`CollectorClient::sync`]): once it
+    /// returns, every report queued so far is folded *and durable on the
+    /// daemon's terms*, and the resend window is released — a crash
+    /// after this point resends nothing.
+    ///
+    /// # Errors
+    /// As [`Self::open_round`]; the window is retained on failure.
+    pub fn barrier(&mut self) -> Result<(), CollectorError> {
+        self.with_retry(|c| c.sync())?;
+        self.window.clear();
+        Ok(())
+    }
+
+    /// Closes intake on `round_id` (retried; closing an already-closed
+    /// round is a daemon-level no-op, so a replayed close is safe).
+    ///
+    /// # Errors
+    /// As [`Self::open_round`].
+    pub fn close_round(&mut self, round_id: u64) -> Result<RoundSummary, CollectorError> {
+        self.barrier()?;
+        self.with_retry(|c| c.close_round(round_id))
+    }
+
+    /// Finalizes a degree-vector round (retried on transport failures
+    /// *before* the daemon consumed the round; see the crate docs on the
+    /// finalize durability gap).
+    ///
+    /// # Errors
+    /// As [`Self::open_round`].
+    pub fn finalize_degree_vector(
+        &mut self,
+        round_id: u64,
+    ) -> Result<DegreeVectorSummary, CollectorError> {
+        self.with_retry(|c| c.finalize_degree_vector(round_id))
+    }
+
+    /// Finalizes an adjacency round (same caveats as
+    /// [`Self::finalize_degree_vector`]).
+    ///
+    /// # Errors
+    /// As [`Self::open_round`].
+    pub fn finalize_adjacency(&mut self, round_id: u64) -> Result<PerturbedView, CollectorError> {
+        self.with_retry(|c| c.finalize_adjacency(round_id))
+    }
+
+    /// Scrapes the daemon's metrics (retried).
+    ///
+    /// # Errors
+    /// As [`Self::open_round`].
+    pub fn stats(&mut self) -> Result<Vec<wire::StatsEntry>, CollectorError> {
+        self.with_retry(|c| c.stats())
+    }
+
+    /// Stops the daemon after this session (not retried past the first
+    /// delivered frame — a dead daemon is already stopped).
+    ///
+    /// # Errors
+    /// As [`Self::open_round`].
+    pub fn shutdown(&mut self) -> Result<(), CollectorError> {
+        self.with_retry(|c| c.shutdown())
+    }
+
+    /// Connects if disconnected: fresh handshake, session settings,
+    /// current round, then the resend window replayed down the new
+    /// connection (its duplicates are the daemon's to reject).
+    fn ensure_connected(&mut self) -> Result<(), CollectorError> {
+        if self.inner.is_some() {
+            return Ok(());
+        }
+        let mut client = CollectorClient::connect(self.target.as_str())?
+            .with_tenant(self.tenant)
+            .with_batch_size(self.batch_size);
+        client.set_op_timeout(self.policy.op_timeout)?;
+        client.set_round(self.round)?;
+        for entry in &self.window {
+            client.queue_encoded_entry(entry)?;
+        }
+        self.connects += 1;
+        self.inner = Some(client);
+        Ok(())
+    }
+
+    /// Runs `op` against a live connection, reconnecting (with backoff
+    /// and window resend) on transport-class failures, up to the
+    /// policy's attempt budget.
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut CollectorClient) -> Result<T, CollectorError>,
+    ) -> Result<T, CollectorError> {
+        let budget = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let result = self.ensure_connected().and_then(|()| {
+                match self.inner.as_mut() {
+                    Some(client) => op(client),
+                    // Unreachable after ensure_connected, typed anyway.
+                    None => Err(CollectorError::Transport {
+                        target: self.target.clone(),
+                        error: std::io::Error::new(
+                            std::io::ErrorKind::NotConnected,
+                            "no live connection",
+                        ),
+                    }),
+                }
+            });
+            match result {
+                Ok(value) => return Ok(value),
+                Err(e) if is_transport(&e) => {
+                    self.inner = None;
+                    attempt += 1;
+                    if attempt >= budget {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.backoff(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Exponential backoff before retry `attempt` (1-based), jittered
+    /// deterministically into `[cap/2, cap)` so a fleet of clients with
+    /// different seeds does not reconnect in lockstep.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let cap = self
+            .policy
+            .base_backoff
+            .saturating_mul(1 << doublings)
+            .min(self.policy.max_backoff);
+        let frac = (splitmix64(&mut self.jitter_state) >> 40) as f64 / (1u64 << 24) as f64;
+        cap.mul_f64(0.5 + 0.5 * frac)
     }
 }

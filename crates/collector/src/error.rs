@@ -108,9 +108,26 @@ pub enum CollectorError {
         /// The offending kind byte.
         kind: u8,
     },
+    /// A connect (or reconnect) to the daemon failed at the transport
+    /// layer — the one failure a client retry policy exists for. Carries
+    /// the target address so an operator reading the error knows *which*
+    /// collector was unreachable.
+    Transport {
+        /// The address the client tried to reach.
+        target: String,
+        /// The underlying socket failure.
+        error: std::io::Error,
+    },
     /// A checkpoint file is malformed or inconsistent with the engine's
     /// configuration.
     BadCheckpoint {
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// A write-ahead journal segment is malformed in a way truncation
+    /// cannot explain (bad magic mid-directory, a torn record followed by
+    /// more segments) — recovery refuses with this rather than guess.
+    BadJournal {
         /// What was wrong.
         detail: &'static str,
     },
@@ -188,8 +205,14 @@ impl fmt::Display for CollectorError {
             CollectorError::UnexpectedFrame { kind } => {
                 write!(f, "unexpected frame kind {kind:#04x}")
             }
+            CollectorError::Transport { target, error } => {
+                write!(f, "cannot reach collector at {target}: {error}")
+            }
             CollectorError::BadCheckpoint { detail } => {
                 write!(f, "bad checkpoint: {detail}")
+            }
+            CollectorError::BadJournal { detail } => {
+                write!(f, "bad journal: {detail}")
             }
             CollectorError::InvalidConfig { detail } => {
                 write!(f, "invalid collector config: {detail}")
@@ -203,6 +226,7 @@ impl std::error::Error for CollectorError {
         match self {
             CollectorError::Io(e) => Some(e),
             CollectorError::Wire(e) => Some(e),
+            CollectorError::Transport { error, .. } => Some(error),
             _ => None,
         }
     }
@@ -255,5 +279,16 @@ mod tests {
         assert!(CollectorError::UnknownRound { round_id: 7 }
             .to_string()
             .contains('7'));
+        let e = CollectorError::Transport {
+            target: "127.0.0.1:7171".to_string(),
+            error: std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused"),
+        };
+        assert!(e.to_string().contains("127.0.0.1:7171"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CollectorError::BadJournal {
+            detail: "torn mid-directory"
+        }
+        .to_string()
+        .contains("bad journal"));
     }
 }

@@ -48,6 +48,15 @@
 //!   of queueing them behind slots that may never free; the client
 //!   batches uploads into `REPORT_BATCH` frames and offers a `SYNC`
 //!   barrier for coordinated concurrent uploaders.
+//! * [`wal`] — the crash-durability plane: a daemon given a data
+//!   directory write-ahead-journals every state-changing frame (report
+//!   payloads verbatim, *before* the fold) under a configurable
+//!   [`FsyncPolicy`], coordinates checkpoint snapshots with the journal
+//!   through epoch-named markers, and on restart recovers every open
+//!   round bit-identically — a torn final record reads as a clean end of
+//!   log. Paired with the client's [`RetryPolicy`] resend window and the
+//!   engine's duplicate-id rejection, at-least-once retry becomes
+//!   exactly-once ingest.
 //! * [`bridge`] — [`ServeScenario::serve`] /
 //!   [`WireWorldRunner`]: the `poison-core` scenario engine evaluated
 //!   end-to-end **over the wire**, bit-identical to the in-process path at
@@ -70,12 +79,17 @@ pub mod metrics;
 pub mod round;
 pub mod server;
 pub(crate) mod shard;
+pub mod wal;
 
 pub use bridge::{ServeScenario, WireWorldRunner};
-pub use client::{CollectorClient, DegreeVectorSummary, RoundSummary, DEFAULT_BATCH_REPORTS};
+pub use client::{
+    CollectorClient, DegreeVectorSummary, RetryPolicy, RetryingClient, RoundSummary,
+    DEFAULT_BATCH_REPORTS,
+};
 pub use error::CollectorError;
 pub use metrics::CollectorMetrics;
 pub use round::{
     CollectorConfig, IngestOutcome, RoundChannel, RoundCollector, RoundCounters, RoundOutcome,
 };
 pub use server::CollectorServer;
+pub use wal::{FsyncPolicy, Recovery};

@@ -106,6 +106,17 @@ pub struct CollectorMetrics {
     pub(crate) memory_used_bytes: Arc<Gauge>,
     /// Rounds currently in the registry.
     pub(crate) rounds_open: Arc<Gauge>,
+    // --- durability plane ---
+    /// Rounds rebuilt from the data dir at startup (checkpoint + journal
+    /// tail replay).
+    pub(crate) recovered_rounds: Arc<Counter>,
+    /// Journal records re-applied during recovery.
+    pub(crate) wal_replayed_frames: Arc<Counter>,
+    /// Bytes appended to the write-ahead journal.
+    pub(crate) wal_appended_bytes: Arc<Counter>,
+    /// Duration of journal fsync barriers, nanoseconds (empty under
+    /// `FsyncPolicy::Off`).
+    pub(crate) wal_fsync_nanos: Arc<Histogram>,
 }
 
 impl CollectorMetrics {
@@ -138,6 +149,10 @@ impl CollectorMetrics {
         let checkpoint_nanos = reg.histogram("round_checkpoint_nanos");
         let memory_used_bytes = reg.gauge("memory_budget_used_bytes");
         let rounds_open = reg.gauge("rounds_open");
+        let recovered_rounds = reg.counter("recovered_rounds");
+        let wal_replayed_frames = reg.counter("wal_replayed_frames");
+        let wal_appended_bytes = reg.counter("wal_appended_bytes");
+        let wal_fsync_nanos = reg.histogram("wal_fsync_nanos");
         CollectorMetrics {
             active,
             registry: reg,
@@ -160,6 +175,10 @@ impl CollectorMetrics {
             checkpoint_nanos,
             memory_used_bytes,
             rounds_open,
+            recovered_rounds,
+            wal_replayed_frames,
+            wal_appended_bytes,
+            wal_fsync_nanos,
         }
     }
 

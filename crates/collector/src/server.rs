@@ -58,9 +58,11 @@
 use crate::error::CollectorError;
 use crate::metrics::CollectorMetrics;
 use crate::round::{CollectorConfig, RoundChannel, RoundCollector, RoundOutcome};
+use crate::wal::{DurableLog, FsyncPolicy, Recovery};
 use ldp_obs::{Gauge, TraceEvent};
 use ldp_protocols::wire::{
-    self, get_f64, get_varint, put_f64, put_varint, write_frame, write_stream_header, MAX_FRAME_LEN,
+    self, get_f64, get_varint, journal, put_f64, put_varint, write_frame, write_stream_header,
+    MAX_FRAME_LEN,
 };
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -125,7 +127,9 @@ fn error_code(e: &CollectorError) -> u8 {
         CollectorError::RoundIncomplete { .. } => codes::ROUND_INCOMPLETE,
         CollectorError::Wire(_) | CollectorError::UnexpectedFrame { .. } => codes::BAD_FRAME,
         CollectorError::InvalidConfig { .. } => codes::BAD_FRAME,
-        CollectorError::BadCheckpoint { .. } => codes::CHECKPOINT_FAILED,
+        CollectorError::BadCheckpoint { .. } | CollectorError::BadJournal { .. } => {
+            codes::CHECKPOINT_FAILED
+        }
         _ => codes::INTERNAL,
     }
 }
@@ -160,6 +164,8 @@ pub struct CollectorServer {
     engine: RoundCollector,
     checkpoint_path: Option<PathBuf>,
     stall_timeout: Duration,
+    durable: Option<DurableLog>,
+    recovery: Option<Recovery>,
 }
 
 impl CollectorServer {
@@ -173,12 +179,55 @@ impl CollectorServer {
             engine: RoundCollector::new(config)?,
             checkpoint_path: None,
             stall_timeout: DEFAULT_STALL_TIMEOUT,
+            durable: None,
+            recovery: None,
         })
     }
 
     /// Where mid-round snapshots land when a `CHECKPOINT` frame arrives.
+    /// Ignored once [`Self::with_data_dir`] is set — a durable daemon
+    /// checkpoints into its data directory under the journal's epoch
+    /// protocol instead.
     pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Turns on the crash-durability plane: every state-changing frame is
+    /// write-ahead-journaled into `dir` under `policy` before it is acted
+    /// on, and this call **recovers** whatever rounds a previous
+    /// incarnation left there — checkpoint snapshots first, then the
+    /// journal tail, rebuilding each open round bit-identically (see
+    /// [`crate::wal`]). Read what was rebuilt via [`Self::recovery`].
+    ///
+    /// # Errors
+    /// I/O failures on `dir`, and [`CollectorError::BadJournal`] /
+    /// [`CollectorError::BadCheckpoint`] when the directory holds
+    /// corruption that truncation cannot explain.
+    pub fn with_data_dir(
+        mut self,
+        dir: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+    ) -> Result<Self, CollectorError> {
+        let (log, recovery) = DurableLog::open(&dir.into(), policy, &self.engine)?;
+        self.durable = Some(log);
+        self.recovery = Some(recovery);
+        Ok(self)
+    }
+
+    /// What [`Self::with_data_dir`] rebuilt, when it ran.
+    pub fn recovery(&self) -> Option<&Recovery> {
+        self.recovery.as_ref()
+    }
+
+    /// Arms the journal's torn-write fault hook: the process aborts
+    /// mid-append once the journal has written this many bytes. Crash
+    /// harness only.
+    #[doc(hidden)]
+    pub fn with_wal_kill_after_bytes(self, bytes: u64) -> Self {
+        if let Some(durable) = &self.durable {
+            durable.lock().set_kill_after_bytes(bytes);
+        }
         self
     }
 
@@ -210,6 +259,7 @@ impl CollectorServer {
     pub fn serve(&mut self) -> Result<(), CollectorError> {
         let engine = &self.engine;
         let checkpoint_path = self.checkpoint_path.as_deref();
+        let durable = self.durable.as_ref();
         let listener = &self.listener;
         let stall = self.stall_timeout;
         // The shutdown wake-up connects to ourselves; a wildcard bind
@@ -232,7 +282,9 @@ impl CollectorServer {
             let workers = engine.config().worker_threads;
             for _ in 0..workers {
                 let shared = &shared;
-                scope.spawn(move || worker(shared, engine, checkpoint_path, stall, workers));
+                scope.spawn(move || {
+                    worker(shared, engine, checkpoint_path, durable, stall, workers)
+                });
             }
             let result = (|| -> Result<(), CollectorError> {
                 loop {
@@ -295,6 +347,30 @@ impl CollectorServer {
         if let Some(path) = checkpoint_path {
             server = server.with_checkpoint_path(path);
         }
+        let addr = server.local_addr()?;
+        let handle = std::thread::spawn(move || server.serve());
+        Ok((addr, handle))
+    }
+
+    /// [`Self::spawn`] with the crash-durability plane on: recovers
+    /// whatever `dir` holds, then serves with every state-changing frame
+    /// write-ahead-journaled under `policy`.
+    ///
+    /// # Errors
+    /// As [`Self::bind`] and [`Self::with_data_dir`].
+    pub fn spawn_durable(
+        config: CollectorConfig,
+        dir: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+    ) -> Result<
+        (
+            SocketAddr,
+            std::thread::JoinHandle<Result<(), CollectorError>>,
+        ),
+        CollectorError,
+    > {
+        let mut server =
+            CollectorServer::bind(("127.0.0.1", 0), config)?.with_data_dir(dir, policy)?;
         let addr = server.local_addr()?;
         let handle = std::thread::spawn(move || server.serve());
         Ok((addr, handle))
@@ -521,6 +597,7 @@ impl Conn {
         &mut self,
         engine: &RoundCollector,
         checkpoint_path: Option<&Path>,
+        durable: Option<&DurableLog>,
         payload_scratch: &mut Vec<u8>,
     ) -> Pump {
         let (read_bytes, eof) = match self.fill() {
@@ -578,7 +655,14 @@ impl Conn {
             payload_scratch.extend_from_slice(&self.buf[5..4 + frame_len]);
             self.buf.drain(..4 + frame_len);
             progressed = true;
-            match process_frame(self, engine, checkpoint_path, kind, payload_scratch) {
+            match process_frame(
+                self,
+                engine,
+                checkpoint_path,
+                durable,
+                kind,
+                payload_scratch,
+            ) {
                 Frame::Continue => {}
                 Frame::Shutdown => {
                     outcome = Some(Pump::Shutdown);
@@ -702,11 +786,100 @@ enum Frame {
     Fatal,
 }
 
+/// Decodes and folds one `REPORT` payload — shared verbatim by the live
+/// path and the durable path (which journals the payload first), so a
+/// journal replay of the same bytes makes the same accept/reject moves.
+fn fold_report(conn: &mut Conn, engine: &RoundCollector, payload: &[u8]) {
+    match wire::decode_routed_report(payload) {
+        Ok((round_id, user_id, report)) => ingest_routed(conn, engine, round_id, user_id, &report),
+        Err(_) => {
+            // Charge the garbage to its round if the id at least
+            // parses; otherwise the frame is simply dropped (its
+            // length prefix isolated it from the stream).
+            let mut head = payload;
+            if let Ok(round_id) = get_varint(&mut head) {
+                engine.note_invalid(round_id);
+            }
+        }
+    }
+}
+
+/// Decodes and folds one `REPORT_BATCH` payload (see [`fold_report`] for
+/// why both ingest paths share it).
+fn fold_batch(conn: &mut Conn, engine: &RoundCollector, payload: &[u8]) {
+    let metrics = engine.metrics();
+    let batch_begin = metrics.active().then(Instant::now);
+    match wire::read_routed_batch(payload) {
+        // One registry lookup per batch frame, not per report:
+        // the hot path folds straight against the round's slot.
+        // An unknown round id refuses the whole frame (warn-once
+        // typed ERR; counting against nothing is a no-op, same
+        // as the per-report path).
+        Ok((round_id, mut batch)) => match engine.slot(round_id) {
+            Ok(slot) => {
+                // Fold successes accumulate in plain memory and
+                // settle into the registry once per frame (at
+                // most one `fetch_add` per shard), so the
+                // per-report loop touches no metric atomics.
+                let mut scratch = metrics.fold_scratch();
+                while let Some(entry) = batch.next_entry() {
+                    match entry {
+                        Ok((user_id, report)) => {
+                            let sampled = metrics.active()
+                                && conn.folds_seen & ((1 << crate::metrics::FOLD_SAMPLE_SHIFT) - 1)
+                                    == 0;
+                            conn.folds_seen = conn.folds_seen.wrapping_add(1);
+                            ingest_routed_batched(
+                                conn,
+                                engine,
+                                &slot,
+                                round_id,
+                                user_id,
+                                &report,
+                                sampled,
+                                &mut scratch,
+                            );
+                        }
+                        // A malformed entry is isolated by its length
+                        // prefix; the rest of the batch still folds.
+                        Err(_) => engine.note_invalid(round_id),
+                    }
+                }
+                metrics.flush_folds(&mut scratch);
+                if batch.finish().is_err() {
+                    engine.note_invalid(round_id);
+                }
+            }
+            Err(e) => {
+                if conn.should_warn(round_id) {
+                    let mut err = Vec::new();
+                    encode_error(&e, &mut err);
+                    let _ = write_frame(&mut conn.out, frames::ERR, &err);
+                    metrics.on_err(error_code(&e));
+                }
+            }
+        },
+        Err(_) => {
+            let mut head = payload;
+            if let Ok(round_id) = get_varint(&mut head) {
+                engine.note_invalid(round_id);
+            }
+        }
+    }
+    if let Some(begin) = batch_begin {
+        metrics.batches_decoded.incr();
+        metrics
+            .batch_nanos
+            .observe(begin.elapsed().as_nanos() as u64);
+    }
+}
+
 /// Processes one complete frame, staging any reply into `conn.out`.
 fn process_frame(
     conn: &mut Conn,
     engine: &RoundCollector,
     checkpoint_path: Option<&Path>,
+    durable: Option<&DurableLog>,
     kind: u8,
     payload: &[u8],
 ) -> Frame {
@@ -718,6 +891,21 @@ fn process_frame(
             len: payload.len() as u64,
         });
     }
+    if let Some(durable) = durable {
+        // State-changing frames detour through the write-ahead journal;
+        // read-only traffic (SYNC, STATS, SHUTDOWN) stays on this path.
+        if matches!(
+            kind,
+            frames::OPEN
+                | frames::REPORT
+                | frames::REPORT_BATCH
+                | frames::CLOSE
+                | frames::FINALIZE
+                | frames::CHECKPOINT
+        ) {
+            return process_frame_durable(conn, engine, durable, kind, payload);
+        }
+    }
     let mut reply = Vec::new();
     let result: Result<u8, CollectorError> = match kind {
         frames::OPEN => decode_open(payload)
@@ -726,88 +914,11 @@ fn process_frame(
             })
             .map(|()| frames::ACK),
         frames::REPORT => {
-            match wire::decode_routed_report(payload) {
-                Ok((round_id, user_id, report)) => {
-                    ingest_routed(conn, engine, round_id, user_id, &report)
-                }
-                Err(_) => {
-                    // Charge the garbage to its round if the id at least
-                    // parses; otherwise the frame is simply dropped (its
-                    // length prefix isolated it from the stream).
-                    let mut head = payload;
-                    if let Ok(round_id) = get_varint(&mut head) {
-                        engine.note_invalid(round_id);
-                    }
-                }
-            }
+            fold_report(conn, engine, payload);
             return Frame::Continue; // unacknowledged
         }
         frames::REPORT_BATCH => {
-            let batch_begin = metrics.active().then(Instant::now);
-            match wire::read_routed_batch(payload) {
-                // One registry lookup per batch frame, not per report:
-                // the hot path folds straight against the round's slot.
-                // An unknown round id refuses the whole frame (warn-once
-                // typed ERR; counting against nothing is a no-op, same
-                // as the per-report path).
-                Ok((round_id, mut batch)) => match engine.slot(round_id) {
-                    Ok(slot) => {
-                        // Fold successes accumulate in plain memory and
-                        // settle into the registry once per frame (at
-                        // most one `fetch_add` per shard), so the
-                        // per-report loop touches no metric atomics.
-                        let mut scratch = metrics.fold_scratch();
-                        while let Some(entry) = batch.next_entry() {
-                            match entry {
-                                Ok((user_id, report)) => {
-                                    let sampled = metrics.active()
-                                        && conn.folds_seen
-                                            & ((1 << crate::metrics::FOLD_SAMPLE_SHIFT) - 1)
-                                            == 0;
-                                    conn.folds_seen = conn.folds_seen.wrapping_add(1);
-                                    ingest_routed_batched(
-                                        conn,
-                                        engine,
-                                        &slot,
-                                        round_id,
-                                        user_id,
-                                        &report,
-                                        sampled,
-                                        &mut scratch,
-                                    );
-                                }
-                                // A malformed entry is isolated by its length
-                                // prefix; the rest of the batch still folds.
-                                Err(_) => engine.note_invalid(round_id),
-                            }
-                        }
-                        metrics.flush_folds(&mut scratch);
-                        if batch.finish().is_err() {
-                            engine.note_invalid(round_id);
-                        }
-                    }
-                    Err(e) => {
-                        if conn.should_warn(round_id) {
-                            let mut err = Vec::new();
-                            encode_error(&e, &mut err);
-                            let _ = write_frame(&mut conn.out, frames::ERR, &err);
-                            metrics.on_err(error_code(&e));
-                        }
-                    }
-                },
-                Err(_) => {
-                    let mut head = payload;
-                    if let Ok(round_id) = get_varint(&mut head) {
-                        engine.note_invalid(round_id);
-                    }
-                }
-            }
-            if let Some(begin) = batch_begin {
-                metrics.batches_decoded.incr();
-                metrics
-                    .batch_nanos
-                    .observe(begin.elapsed().as_nanos() as u64);
-            }
+            fold_batch(conn, engine, payload);
             return Frame::Continue; // unacknowledged
         }
         frames::SYNC => {
@@ -862,6 +973,17 @@ fn process_frame(
         }
         kind => Err(CollectorError::UnexpectedFrame { kind }),
     };
+    stage_reply(conn, metrics, result, reply)
+}
+
+/// Stages the outcome of a request/response frame: the typed reply on
+/// success, a typed `ERR` otherwise.
+fn stage_reply(
+    conn: &mut Conn,
+    metrics: &CollectorMetrics,
+    result: Result<u8, CollectorError>,
+    mut reply: Vec<u8>,
+) -> Frame {
     match result {
         Ok(reply_kind) => {
             if write_frame(&mut conn.out, reply_kind, &reply).is_err() {
@@ -876,6 +998,104 @@ fn process_frame(
         }
     }
     Frame::Continue
+}
+
+/// [`process_frame`] for state-changing frames of a durable daemon: the
+/// journal append happens **before** the engine mutation and before any
+/// `ACK`/`SUMMARY` is staged, under the journal guard, so a crash at any
+/// instant leaves the journal covering at least everything a client was
+/// told happened. Report payloads are journaled verbatim ahead of the
+/// decode — replay re-derives rejects, not just accepts. The
+/// `ack-before-durable` lint rule pins this ordering.
+fn process_frame_durable(
+    conn: &mut Conn,
+    engine: &RoundCollector,
+    durable: &DurableLog,
+    kind: u8,
+    payload: &[u8],
+) -> Frame {
+    let metrics = engine.metrics();
+    let mut journal = durable.lock();
+    let mut reply = Vec::new();
+    let result: Result<u8, CollectorError> = match kind {
+        frames::REPORT => {
+            if journal
+                .append(journal::REC_REPORT, payload, metrics)
+                .is_err()
+            {
+                // The record is not durable; folding it anyway would let
+                // a crash silently lose an ingested report. Dropping the
+                // connection is the honest failure.
+                return Frame::Fatal;
+            }
+            fold_report(conn, engine, payload);
+            return Frame::Continue; // unacknowledged
+        }
+        frames::REPORT_BATCH => {
+            if journal
+                .append(journal::REC_BATCH, payload, metrics)
+                .is_err()
+            {
+                return Frame::Fatal;
+            }
+            fold_batch(conn, engine, payload);
+            return Frame::Continue; // unacknowledged
+        }
+        frames::OPEN => decode_open(payload)
+            .and_then(|(tenant, id, channel, quota)| {
+                engine.open_round_as(tenant, id, channel, quota)
+            })
+            .and_then(|()| journal.append(journal::REC_OPEN, payload, metrics))
+            .map(|()| frames::ACK),
+        frames::CLOSE => decode_round_id(payload)
+            .and_then(|id| engine.close_round(id))
+            .and_then(|counters| {
+                journal.append(journal::REC_CLOSE, payload, metrics)?;
+                Ok(counters)
+            })
+            .map(|counters| {
+                put_varint(counters.accepted, &mut reply);
+                put_varint(counters.rejected_duplicate, &mut reply);
+                put_varint(counters.rejected_quota, &mut reply);
+                put_varint(counters.rejected_invalid, &mut reply);
+                put_varint(counters.rejected_malformed, &mut reply);
+                reply.push(u8::from(counters.finalized_at_close));
+                frames::SUMMARY
+            }),
+        frames::FINALIZE => decode_round_id(payload)
+            .and_then(|id| engine.finalize(id))
+            .and_then(|outcome| {
+                journal.append(journal::REC_FINALIZE, payload, metrics)?;
+                // A finalize must survive the crash window between the
+                // fold and the reply leaving the socket, whatever the
+                // append-path policy — replaying a consumed round as
+                // still-open would resurrect it.
+                journal.sync(metrics)?;
+                Ok(outcome)
+            })
+            .map(|outcome| match outcome {
+                RoundOutcome::Adjacency(view) => {
+                    wire::encode_view(&view, &mut reply);
+                    frames::VIEW
+                }
+                RoundOutcome::DegreeVector {
+                    group_totals,
+                    accepted,
+                } => {
+                    put_varint(accepted, &mut reply);
+                    put_varint(group_totals.len() as u64, &mut reply);
+                    for &t in &group_totals {
+                        put_f64(t, &mut reply);
+                    }
+                    frames::DEGREE_SUMMARY
+                }
+            }),
+        frames::CHECKPOINT => decode_round_id(payload)
+            .and_then(|id| journal.checkpoint_round(engine, id, metrics))
+            .map(|()| frames::ACK),
+        kind => Err(CollectorError::UnexpectedFrame { kind }),
+    };
+    stage_reply(conn, metrics, result, reply)
 }
 
 /// Routes one report into its round. Engine refusals that prove the
@@ -930,6 +1150,7 @@ fn worker(
     shared: &Shared,
     engine: &RoundCollector,
     checkpoint_path: Option<&Path>,
+    durable: Option<&DurableLog>,
     stall: Duration,
     workers: usize,
 ) {
@@ -947,7 +1168,7 @@ fn worker(
             retire(shared, metrics);
             continue;
         }
-        match conn.pump(engine, checkpoint_path, &mut payload_scratch) {
+        match conn.pump(engine, checkpoint_path, durable, &mut payload_scratch) {
             Pump::Idle => {
                 if conn.mid_frame() && conn.last_progress.elapsed() > stall {
                     // Wedged mid-frame past the timeout: drop it. The
@@ -1016,11 +1237,18 @@ fn checkpoint_to_path(
     let path = path.ok_or(CollectorError::BadCheckpoint {
         detail: "daemon has no checkpoint path configured",
     })?;
-    let mut file = std::fs::File::create(path)?;
-    engine.checkpoint(round_id, &mut file)
+    // Snapshot into memory, then persist atomically (tmp + fsync +
+    // rename + parent fsync): a crash mid-write leaves the previous
+    // snapshot intact instead of a torn file at the configured path.
+    let mut snapshot = Vec::new();
+    engine.checkpoint(round_id, &mut snapshot)?;
+    crate::wal::atomic_write_file(path, &snapshot)?;
+    Ok(())
 }
 
-fn decode_open(payload: &[u8]) -> Result<(u64, u64, RoundChannel, Option<u64>), CollectorError> {
+pub(crate) fn decode_open(
+    payload: &[u8],
+) -> Result<(u64, u64, RoundChannel, Option<u64>), CollectorError> {
     let mut buf = payload;
     let round_id = get_varint(&mut buf)?;
     let tenant = get_varint(&mut buf)?;

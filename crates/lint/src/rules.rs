@@ -21,6 +21,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("opcode-arm", "every wire frame opcode must be referenced by collector non-test code"),
     ("opcode-proptest", "every wire frame opcode must be exercised by a proptest file"),
     ("alloc-cap", "every allocation in a decode/read path must follow a length cap or proof"),
+    ("ack-before-durable", "no ACK/SUMMARY reply staged before the journal append in durable frame paths"),
     ("allow-without-reason", "allow annotations must carry `-- reason`"),
     ("unused-allow", "allow annotations that suppress nothing are errors"),
     ("annotation-syntax", "malformed ldp-lint annotations and unbalanced hot-path regions"),
@@ -139,6 +140,9 @@ pub(crate) fn run(files: &[FileLex]) -> Vec<Finding> {
             }
             if ALLOC_CAP_FILES.contains(&f.rel.as_str()) {
                 alloc_cap(f, &mut out);
+            }
+            if is_collector_src(&f.rel) {
+                ack_before_durable(f, &mut out);
             }
             hot_path_lock(f, &anns[fi].regions, &mut out);
             hot_path_ordering(f, &anns[fi].regions, &mut out);
@@ -817,6 +821,86 @@ fn frame_consts(toks: &[Tok]) -> Vec<(String, u32)> {
 // ---------------------------------------------------------------------------
 // Allocation caps in decode paths
 // ---------------------------------------------------------------------------
+
+/// Reply-staging frame constants: an occurrence of one of these in a
+/// durable path before any journal append is the write-ahead inversion.
+const REPLY_IDENTS: &[&str] = &["ACK", "SUMMARY", "DEGREE_SUMMARY", "VIEW"];
+
+/// The write-ahead ordering of DESIGN.md §11: in a durable frame path
+/// (any collector function whose name contains `durable`), the journal
+/// append must come before any reply constant is staged. A crash between
+/// an early `ACK` and a late append would acknowledge a report the
+/// journal never saw — exactly the loss the WAL exists to rule out.
+///
+/// Token-level heuristic: within such a function, flag any
+/// [`REPLY_IDENTS`] identifier seen before the first identifier
+/// containing `append`. Linear token order over-approximates control
+/// flow (a reply-first match arm after an append-bearing arm is
+/// missed; an append behind an `if` is trusted), but the real daemon
+/// funnels every state-changing frame through one function where the
+/// textual order *is* the execution order, and the annotation grammar
+/// can discharge deliberate exceptions.
+fn ack_before_durable(f: &FileLex, out: &mut Vec<Raw>) {
+    let toks = &f.toks;
+    // (name, open depth, seen a journal append) — same fn-stack walk as
+    // `alloc_cap`.
+    let mut stack: Vec<(String, i32, bool)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+            if let Some(name) = pending_fn.take() {
+                stack.push((name, depth, false));
+            }
+            continue;
+        }
+        if t.is_punct('}') {
+            if let Some(&(_, d, _)) = stack.last() {
+                if d == depth {
+                    stack.pop();
+                }
+            }
+            depth -= 1;
+            continue;
+        }
+        if t.is_punct(';') && pending_fn.is_some() && depth == 0 {
+            pending_fn = None; // trait method declaration without body
+            continue;
+        }
+        if f.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "fn" {
+            if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                pending_fn = Some(name.text.clone());
+            }
+            continue;
+        }
+        let Some(top) = stack.last_mut() else {
+            continue;
+        };
+        if !top.0.contains("durable") {
+            continue;
+        }
+        if t.text.contains("append") {
+            top.2 = true;
+            continue;
+        }
+        if REPLY_IDENTS.contains(&t.text.as_str()) && !top.2 {
+            out.push(Raw {
+                call_path: Vec::new(),
+                rule: "ack-before-durable",
+                line: t.line,
+                message: format!(
+                    "reply `{}` staged in durable path `{}` before any journal append; \
+                     a crash here acknowledges a report the journal never saw",
+                    t.text, top.0
+                ),
+            });
+        }
+    }
+}
 
 /// Function-name prefixes that mark untrusted-input decode paths.
 const DECODE_FN_PREFIXES: &[&str] = &["decode", "read", "get", "resume", "parse"];

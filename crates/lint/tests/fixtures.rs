@@ -185,6 +185,22 @@ fn alloc_cap_is_pinned() {
 }
 
 #[test]
+fn ack_before_durable_is_pinned() {
+    assert_rule_pinned("ack-before-durable", "ack-before-durable");
+    let bad = lint("ack-before-durable/bad");
+    // Both the early `ACK` and the early `SUMMARY` fire, and the finding
+    // names the offending durable function.
+    let findings: Vec<_> = bad
+        .iter()
+        .filter(|f| f.rule == "ack-before-durable")
+        .collect();
+    assert_eq!(findings.len(), 2, "{bad:#?}");
+    for f in &findings {
+        assert!(f.message.contains("process_frame_durable"), "{f}");
+    }
+}
+
+#[test]
 fn allow_without_reason_is_pinned() {
     assert_rule_pinned("allow-without-reason", "allow-without-reason");
     // A reasonless allow suppresses nothing: the underlying wall-clock
@@ -240,6 +256,7 @@ fn rule_catalog_is_complete() {
         "opcode-arm",
         "opcode-proptest",
         "alloc-cap",
+        "ack-before-durable",
         "allow-without-reason",
         "unused-allow",
         "annotation-syntax",

@@ -85,6 +85,21 @@ pub enum TraceEvent {
         /// Sessions active after the reap.
         active: u64,
     },
+    /// A round was rebuilt from the data dir at startup (checkpoint
+    /// load plus journal-tail replay).
+    RoundRecovered {
+        /// Round id.
+        round: u64,
+        /// Journal records re-applied for this round.
+        replayed: u64,
+    },
+    /// Startup recovery finished scanning the data dir.
+    RecoveryComplete {
+        /// Rounds rebuilt.
+        rounds: u64,
+        /// Journal records re-applied in total.
+        replayed: u64,
+    },
 }
 
 const KIND_SESSION_ACCEPTED: u64 = 1;
@@ -97,6 +112,8 @@ const KIND_QUIESCE_BEGIN: u64 = 7;
 const KIND_QUIESCE_END: u64 = 8;
 const KIND_ERR_EMITTED: u64 = 9;
 const KIND_STALL_REAPED: u64 = 10;
+const KIND_ROUND_RECOVERED: u64 = 11;
+const KIND_RECOVERY_COMPLETE: u64 = 12;
 
 impl TraceEvent {
     /// Packs the event into `(kind, a, b)` cells.
@@ -112,6 +129,12 @@ impl TraceEvent {
             TraceEvent::QuiesceEnd { round } => (KIND_QUIESCE_END, round, 0),
             TraceEvent::ErrEmitted { code } => (KIND_ERR_EMITTED, u64::from(code), 0),
             TraceEvent::StallReaped { active } => (KIND_STALL_REAPED, active, 0),
+            TraceEvent::RoundRecovered { round, replayed } => {
+                (KIND_ROUND_RECOVERED, round, replayed)
+            }
+            TraceEvent::RecoveryComplete { rounds, replayed } => {
+                (KIND_RECOVERY_COMPLETE, rounds, replayed)
+            }
         }
     }
 
@@ -140,6 +163,14 @@ impl TraceEvent {
                 code: (a & 0xff) as u8,
             },
             KIND_STALL_REAPED => TraceEvent::StallReaped { active: a },
+            KIND_ROUND_RECOVERED => TraceEvent::RoundRecovered {
+                round: a,
+                replayed: b,
+            },
+            KIND_RECOVERY_COMPLETE => TraceEvent::RecoveryComplete {
+                rounds: a,
+                replayed: b,
+            },
             _ => return None,
         })
     }
@@ -297,6 +328,14 @@ mod tests {
             TraceEvent::QuiesceEnd { round: 9 },
             TraceEvent::ErrEmitted { code: 11 },
             TraceEvent::StallReaped { active: 1 },
+            TraceEvent::RoundRecovered {
+                round: 9,
+                replayed: 4096,
+            },
+            TraceEvent::RecoveryComplete {
+                rounds: 2,
+                replayed: 8192,
+            },
         ];
         for ev in events {
             let (k, a, b) = ev.encode();

@@ -133,6 +133,45 @@ pub mod frames {
     pub const STATS_REPLY: u8 = 0x86;
 }
 
+/// Record framing of the collector's write-ahead journal.
+///
+/// A WAL segment file is a stream of the **same** length-prefixed frames
+/// the network codec speaks ([`write_frame`]/[`read_frame`]), preceded by
+/// its own magic + version header — so journal replay inherits the
+/// codec's totality discipline for free: a hostile length claim is a
+/// typed refusal before any allocation, and a torn final record is
+/// distinguishable from clean EOF at a frame boundary by
+/// [`read_frame`]'s `Ok(None)`-vs-`UnexpectedEof` split.
+///
+/// These record kinds are deliberately a separate vocabulary from
+/// [`frames`]: a journal byte stream is not a network capture, and the
+/// wire-totality lint rules (`opcode-arm`/`opcode-proptest`) govern the
+/// network vocabulary only. Every record's payload begins with the
+/// round id as a varint, so truncation-tolerant scans can route records
+/// without understanding every kind.
+pub mod journal {
+    /// Magic bytes opening a WAL segment file.
+    pub const SEGMENT_MAGIC: [u8; 4] = *b"LDPW";
+    /// Journal format version.
+    pub const SEGMENT_VERSION: u8 = 1;
+    /// A round was opened; payload = the `OPEN` frame payload verbatim.
+    pub const REC_OPEN: u8 = 0x01;
+    /// One routed report; payload = the `REPORT` frame payload verbatim.
+    pub const REC_REPORT: u8 = 0x02;
+    /// A routed report batch; payload = the `REPORT_BATCH` frame payload
+    /// verbatim.
+    pub const REC_BATCH: u8 = 0x03;
+    /// Intake of the named round closed; payload = round id varint.
+    pub const REC_CLOSE: u8 = 0x04;
+    /// The named round finalized (left the registry); payload = round id
+    /// varint.
+    pub const REC_FINALIZE: u8 = 0x05;
+    /// The named round's state through this point is captured by its
+    /// checkpoint file — replay discards the round's earlier records and
+    /// reloads the snapshot instead; payload = round id varint.
+    pub const REC_CHECKPOINT: u8 = 0x06;
+}
+
 /// Typed decode/transport failures. Every malformed input maps to one of
 /// these — the codec never panics on untrusted bytes.
 #[derive(Debug)]
