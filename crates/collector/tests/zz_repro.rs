@@ -1,0 +1,29 @@
+use ldp_collector::round::{CollectorConfig, RoundChannel};
+use ldp_collector::server::CollectorServer;
+use ldp_collector::wal::FsyncPolicy;
+use ldp_collector::client::CollectorClient;
+use ldp_protocols::UserReport;
+
+#[test]
+fn finalize_then_restart_recovers() {
+    let dir = std::env::temp_dir().join(format!("ldp-repro-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = CollectorConfig { shards: 2, ..CollectorConfig::default() };
+    let (addr, handle) = CollectorServer::spawn_durable(cfg.clone(), &dir, FsyncPolicy::Always).expect("spawn");
+    let mut client = CollectorClient::connect(addr).expect("connect");
+    client.open_round(7, RoundChannel::DegreeVector { population: 4, groups: 2 }, None).expect("open");
+    for u in 0..4u64 {
+        client.queue_report(u, &UserReport::DegreeVector(vec![1.0, u as f64])).expect("queue");
+    }
+    client.sync().expect("sync");
+    client.checkpoint_round(7).expect("checkpoint");
+    client.close_round(7).expect("close");
+    client.finalize_degree_vector(7).expect("finalize");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("serve");
+    // Restart over the same data dir: must recover cleanly (nothing open).
+    match CollectorServer::spawn_durable(cfg, &dir, FsyncPolicy::Always) {
+        Ok((_, h2)) => { eprintln!("RESTART OK"); drop(h2); }
+        Err(e) => panic!("RESTART FAILED: {e:?}"),
+    }
+}
